@@ -1,0 +1,123 @@
+// E7 / E8 — the completeness ladder.
+//
+// Reproduces the Section 4 comparisons: the p.48 witness where surveillance
+// is strictly more complete than the high-water mark ("intuitively,
+// surveillance is better here, since it allows forgetting while high-water
+// mark does not"), the p.49 witness where surveillance is not maximal, and a
+// corpus census of mechanism utility (fraction of runs answered with a real
+// value) across the whole mechanism ladder.
+//
+// Benchmark: cost of a completeness comparison over a grid.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/corpus/generator.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/maximal.h"
+#include "src/policy/policy.h"
+#include "src/monitor/capability.h"
+#include "src/staticflow/static_mechanisms.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+void PrintWitnesses() {
+  PrintHeader("E7: p.48 witness — surveillance vs high-water, allow(x2)");
+  const Program w = MustCompile(
+      "program witness(x1, x2) { y = x1; if (x2 == 0) { y = x2; } }");
+  const SurveillanceMechanism ms = MakeSurveillanceM(Program(w), VarSet{1});
+  const SurveillanceMechanism mh = MakeHighWaterMechanism(Program(w), VarSet{1});
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  const CompletenessStats stats = CompareCompleteness(ms, mh, domain);
+  PrintRow({"relation", "Ms utility", "Mh utility"}, {22, 12, 12});
+  PrintRow({CompletenessRelationName(stats.Relation()),
+            FormatDouble(stats.FirstUtility(), 3), FormatDouble(stats.SecondUtility(), 3)},
+           {22, 12, 12});
+  std::printf("  Paper: Mh always outputs Lambda; Ms releases exactly when x2 == 0 (Ms > Mh).\n");
+
+  PrintHeader("E8: p.49 witness — surveillance is not maximal, allow(x2)");
+  const Program v = MustCompile(
+      "program witness(x1, x2) { if (x1 == 0) { y = 1; } else { y = 1; } }");
+  const SurveillanceMechanism msv = MakeSurveillanceM(Program(v), VarSet{1});
+  const ProgramAsMechanism bare{Program(v)};
+  const AllowPolicy policy(2, VarSet{1});
+  const auto maximal =
+      SynthesizeMaximalMechanism(bare, policy, domain, Observability::kValueOnly);
+  PrintRow({"mechanism", "utility"}, {26, 10});
+  PrintRow({"surveillance Ms", FormatDouble(MeasureUtility(msv, domain), 3)}, {26, 10});
+  PrintRow({"maximal (= Q, constant)", FormatDouble(MeasureUtility(*maximal.mechanism, domain), 3)},
+           {26, 10});
+  std::printf("  Paper: Ms always outputs Lambda although Q itself is sound: Mmax > Ms.\n");
+}
+
+void PrintCensus() {
+  PrintHeader("Corpus census: mean utility of each mechanism (60 programs, allow(0) of 2)");
+  CorpusConfig config;
+  config.num_inputs = 2;
+  const auto corpus = MakeCorpus(config, 60, 12000);
+  const VarSet allowed{0};
+  const AllowPolicy policy(2, allowed);
+  const InputDomain domain = InputDomain::Uniform(2, {0, 1, 2});
+
+  double plug = 0, cap = 0, hw = 0, ms = 0, cert_mono = 0, cert_scoped = 0, residual = 0,
+         max_u = 0;
+  for (const SourceProgram& s : corpus) {
+    const Program q = Lower(s);
+    plug += MeasureUtility(PlugMechanism(2), domain);
+    cap += MeasureUtility(CapabilityMechanism(Program(q), allowed), domain);
+    hw += MeasureUtility(MakeHighWaterMechanism(Program(q), allowed), domain);
+    ms += MeasureUtility(MakeSurveillanceM(Program(q), allowed), domain);
+    cert_mono += MeasureUtility(
+        StaticCertifiedMechanism(Program(q), allowed, PcDiscipline::kMonotonePc), domain);
+    cert_scoped += MeasureUtility(
+        StaticCertifiedMechanism(Program(q), allowed, PcDiscipline::kScopedPc), domain);
+    residual += MeasureUtility(
+        ResidualGuardMechanism(Program(q), allowed, PcDiscipline::kScopedPc), domain);
+    const ProgramAsMechanism bare{Program(q)};
+    max_u += MeasureUtility(
+        *SynthesizeMaximalMechanism(bare, policy, domain, Observability::kValueOnly).mechanism,
+        domain);
+  }
+  const double n = static_cast<double>(corpus.size());
+  PrintRow({"mechanism", "mean utility"}, {30, 12});
+  PrintRow({"plug", FormatDouble(plug / n, 3)}, {30, 12});
+  PrintRow({"capability system", FormatDouble(cap / n, 3)}, {30, 12});
+  PrintRow({"static certify (monotone)", FormatDouble(cert_mono / n, 3)}, {30, 12});
+  PrintRow({"static certify (scoped)", FormatDouble(cert_scoped / n, 3)}, {30, 12});
+  PrintRow({"residual guard (scoped)", FormatDouble(residual / n, 3)}, {30, 12});
+  PrintRow({"high-water mark", FormatDouble(hw / n, 3)}, {30, 12});
+  PrintRow({"surveillance", FormatDouble(ms / n, 3)}, {30, 12});
+  PrintRow({"finite maximal (Thm 2)", FormatDouble(max_u / n, 3)}, {30, 12});
+  std::printf(
+      "\n  Expected shape: plug <= static <= residual and plug <= high-water <=\n"
+      "  surveillance <= maximal, with a real gap between surveillance and maximal\n"
+      "  (Theorem 4 is why no effective procedure closes it).\n");
+}
+
+void PrintReproduction() {
+  PrintWitnesses();
+  PrintCensus();
+}
+
+void BM_CompareCompleteness(benchmark::State& state) {
+  CorpusConfig config;
+  config.num_inputs = 2;
+  const Program q = Lower(GenerateProgram(config, 7, "bench"));
+  const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), VarSet{0});
+  const SurveillanceMechanism mh = MakeHighWaterMechanism(Program(q), VarSet{0});
+  const InputDomain domain = InputDomain::Range(2, 0, static_cast<Value>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompareCompleteness(ms, mh, domain).both_value);
+  }
+  state.counters["grid"] = static_cast<double>(domain.size());
+}
+BENCHMARK(BM_CompareCompleteness)->Arg(3)->Arg(7)->Arg(15);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

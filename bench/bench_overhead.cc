@@ -1,0 +1,129 @@
+// Enforcement-overhead ablation.
+//
+// Not a single paper table, but the design-choice ablation DESIGN.md calls
+// out: what each enforcement style costs per run relative to the bare
+// interpreter — surveillance (interpreted labels), the literal Section 3
+// instrumented program, the lattice-generalized monitor, and the high-water
+// variant. The instrumented program also shows the static size cost of the
+// Section 3 transformation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/corpus/generator.h"
+#include "src/flowchart/bytecode.h"
+#include "src/flowchart/interpreter.h"
+#include "src/flowlang/lower.h"
+#include "src/lattice/flow_mechanism.h"
+#include "src/surveillance/instrument.h"
+#include "src/surveillance/surveillance.h"
+
+namespace secpol {
+namespace {
+
+Program BenchProgram() {
+  CorpusConfig config;
+  config.num_inputs = 3;
+  config.max_block_len = 5;
+  config.max_depth = 3;
+  return Lower(GenerateProgram(config, 90210, "bench"));
+}
+
+void PrintReproduction() {
+  PrintHeader("Ablation: program size cost of the literal Section 3 instrumentation");
+  const Program q = BenchProgram();
+  const Program instrumented = InstrumentSurveillance(q, VarSet{0});
+  PrintRow({"program", "boxes", "variables"}, {14, 8, 10});
+  PrintRow({"original", std::to_string(q.num_boxes()), std::to_string(q.num_vars())},
+           {14, 8, 10});
+  PrintRow({"instrumented", std::to_string(instrumented.num_boxes()),
+            std::to_string(instrumented.num_vars())},
+           {14, 8, 10});
+  std::printf(
+      "\n  The Section 3 transformation roughly doubles boxes (label updates) and\n"
+      "  variables (one shadow per variable plus C-bar). Per-run costs follow in\n"
+      "  the benchmark section: bare interpreter vs each enforcement style.\n");
+}
+
+void BM_BareInterpreter(benchmark::State& state) {
+  const Program q = BenchProgram();
+  const Input input = {1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunProgram(q, input).output);
+  }
+}
+BENCHMARK(BM_BareInterpreter);
+
+void BM_BytecodeInterpreter(benchmark::State& state) {
+  const BytecodeProgram bc = CompileToBytecode(BenchProgram());
+  const Input input = {1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunBytecode(bc, input).output);
+  }
+}
+BENCHMARK(BM_BytecodeInterpreter);
+
+void BM_InstrumentedBytecode(benchmark::State& state) {
+  // The whole enforcement pipeline compiled: Section 3 instrumentation, then
+  // bytecode. Label joins become integer ORs in a flat instruction stream.
+  const Program instrumented = InstrumentSurveillance(BenchProgram(), VarSet{0});
+  const BytecodeProgram bc = CompileToBytecode(instrumented);
+  const Input input = {1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunBytecode(bc, input).output);
+  }
+}
+BENCHMARK(BM_InstrumentedBytecode);
+
+void BM_Surveillance(benchmark::State& state) {
+  const SurveillanceMechanism m = MakeSurveillanceM(BenchProgram(), VarSet{0});
+  const Input input = {1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Run(input).kind);
+  }
+}
+BENCHMARK(BM_Surveillance);
+
+void BM_HighWater(benchmark::State& state) {
+  const SurveillanceMechanism m = MakeHighWaterMechanism(BenchProgram(), VarSet{0});
+  const Input input = {1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Run(input).kind);
+  }
+}
+BENCHMARK(BM_HighWater);
+
+void BM_InstrumentedProgram(benchmark::State& state) {
+  const InstrumentedMechanism m(BenchProgram(), VarSet{0});
+  const Input input = {1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Run(input).kind);
+  }
+}
+BENCHMARK(BM_InstrumentedProgram);
+
+void BM_LatticeFlow(benchmark::State& state) {
+  const auto lattice = std::make_shared<SubsetLattice>(3);
+  std::vector<ClassId> classes = {1, 2, 4};
+  const LatticeFlowMechanism m(BenchProgram(), lattice, classes, /*clearance=*/1);
+  const Input input = {1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Run(input).kind);
+  }
+}
+BENCHMARK(BM_LatticeFlow);
+
+void BM_InstrumentationItself(benchmark::State& state) {
+  const Program q = BenchProgram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InstrumentSurveillance(q, VarSet{0}).num_boxes());
+  }
+}
+BENCHMARK(BM_InstrumentationItself);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

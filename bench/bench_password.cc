@@ -1,0 +1,93 @@
+// E2 — Example 5's logon program and the page-boundary password attack.
+//
+// Reproduces: the logon program is unsound for allow(uid, pw) but leaks
+// "little"; and the closing Section 2 war story — "the work factor can be
+// reduced to n * K by appropriately placing candidate passwords across page
+// boundaries and observing page movement."
+//
+// Benchmark: oracle calls (complexity counters) for both attacks.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/channels/password_attack.h"
+#include "src/mechanism/soundness.h"
+#include "src/monitor/logon.h"
+#include "src/policy/policy.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+std::vector<int> WorstSecret(int k, int n) {
+  return std::vector<int>(static_cast<size_t>(k), n - 1);
+}
+
+void PrintReproduction() {
+  PrintHeader("E2a: Example 5 — logon as its own mechanism, allow(uid, pw)");
+  const auto logon = MakeLogonProgram(2, 2);
+  const AllowPolicy policy = MakeLogonPolicy();
+  const InputDomain domain = InputDomain::PerInput({{0, 1}, {0, 1, 2, 3}, {0, 1}});
+  const auto report = CheckSoundness(*logon, policy, domain, Observability::kValueOnly);
+  PrintRow({"mechanism", "verdict", "policy classes"}, {12, 10, 15});
+  PrintRow({"logon", report.sound ? "SOUND" : "UNSOUND", std::to_string(report.policy_classes)},
+           {12, 10, 15});
+  std::printf(
+      "  Paper: unsound — yet \"workable in practice [because] the amount of\n"
+      "  information obtained by the user is small\" (one accept/reject bit).\n");
+
+  PrintHeader("E2b: work factor — brute force n^k vs page-boundary attack n*k");
+  PrintRow({"k", "n", "n^k", "brute guesses", "page guesses", "speedup"},
+           {4, 4, 12, 14, 13, 10});
+  for (const auto& [k, n] : std::vector<std::pair<int, int>>{
+           {2, 4}, {3, 4}, {4, 4}, {5, 4}, {6, 4}, {4, 8}, {4, 16}}) {
+    const std::uint64_t space = static_cast<std::uint64_t>(std::pow(n, k));
+
+    PasswordChecker brute_victim(WorstSecret(k, n), n);
+    const AttackResult brute = BruteForceAttack(brute_victim, space + 1);
+
+    PasswordChecker page_victim(WorstSecret(k, n), n);
+    const AttackResult page = PageBoundaryAttack(page_victim);
+
+    PrintRow({std::to_string(k), std::to_string(n), std::to_string(space),
+              std::to_string(brute.guesses), std::to_string(page.guesses),
+              FormatDouble(static_cast<double>(brute.guesses) /
+                               static_cast<double>(page.guesses),
+                           1) +
+                  "x"},
+             {4, 4, 12, 14, 13, 10});
+  }
+  std::printf(
+      "\n  Expected shape: brute force grows as n^k, the paging attack as n*k —\n"
+      "  the observable the designers forgot (page movement) collapses the search.\n");
+}
+
+void BM_BruteForce(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = 4;
+  const std::uint64_t space = static_cast<std::uint64_t>(std::pow(n, k));
+  for (auto _ : state) {
+    PasswordChecker victim(WorstSecret(k, n), n);
+    benchmark::DoNotOptimize(BruteForceAttack(victim, space + 1).guesses);
+  }
+  state.counters["oracle_calls"] = static_cast<double>(space);
+}
+BENCHMARK(BM_BruteForce)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_PageBoundaryAttack(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = 4;
+  for (auto _ : state) {
+    PasswordChecker victim(WorstSecret(k, n), n);
+    benchmark::DoNotOptimize(PageBoundaryAttack(victim).guesses);
+  }
+  state.counters["oracle_calls"] = static_cast<double>(n * k);
+}
+BENCHMARK(BM_PageBoundaryAttack)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

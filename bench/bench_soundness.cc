@@ -1,0 +1,129 @@
+// E1 / E5 / E16 — the soundness table.
+//
+// Reproduces: Example 3's trivial mechanisms (plug always sound, the bare
+// program usually not), Theorem 3 (surveillance sound when time is hidden),
+// Theorem 3' (M' sound under observable time), the high-water mark, and the
+// deliberately unsound naive-scoped discipline. Rows report the checker's
+// verdict over a random corpus; the paper's claims predict the SOUND/LEAKY
+// column exactly.
+//
+// Benchmarks: soundness-checker throughput and per-run mechanism cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/corpus/generator.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/surveillance/surveillance.h"
+
+namespace secpol {
+namespace {
+
+constexpr int kPrograms = 40;
+constexpr int kInputs = 3;
+
+std::vector<Program> Corpus() {
+  CorpusConfig config;
+  config.num_inputs = kInputs;
+  std::vector<Program> out;
+  for (const SourceProgram& s : MakeCorpus(config, kPrograms, 11000)) {
+    out.push_back(Lower(s));
+  }
+  return out;
+}
+
+struct Row {
+  std::string mechanism;
+  Observability obs;
+  int sound = 0;
+  int unsound = 0;
+};
+
+void PrintReproduction() {
+  PrintHeader("E1/E5/E16: soundness verdicts over a 40-program corpus, allow(0) of 3 inputs");
+  const std::vector<Program> corpus = Corpus();
+  const VarSet allowed{0};
+  const AllowPolicy policy(kInputs, allowed);
+  const InputDomain domain = InputDomain::Uniform(kInputs, {-1, 0, 2});
+
+  auto census = [&](const std::string& name, Observability obs, auto make) {
+    Row row{name, obs};
+    for (const Program& q : corpus) {
+      const auto mechanism = make(q);
+      const auto report = CheckSoundness(*mechanism, policy, domain, obs);
+      report.sound ? ++row.sound : ++row.unsound;
+    }
+    PrintRow({row.mechanism, ObservabilityName(row.obs), std::to_string(row.sound),
+              std::to_string(row.unsound)},
+             {34, 12, 8, 8});
+  };
+
+  PrintRow({"mechanism", "observes", "sound", "leaky"}, {34, 12, 8, 8});
+  census("plug (Example 3)", Observability::kValueAndTime, [&](const Program& q) {
+    return std::make_unique<PlugMechanism>(q.num_inputs());
+  });
+  census("bare program (Example 3)", Observability::kValueOnly, [&](const Program& q) {
+    return std::make_unique<ProgramAsMechanism>(Program(q));
+  });
+  census("surveillance M (Thm 3)", Observability::kValueOnly, [&](const Program& q) {
+    return std::make_unique<SurveillanceMechanism>(Program(q), allowed);
+  });
+  census("surveillance M (time observable)", Observability::kValueAndTime,
+         [&](const Program& q) {
+           return std::make_unique<SurveillanceMechanism>(Program(q), allowed);
+         });
+  census("surveillance M' (Thm 3')", Observability::kValueAndTime, [&](const Program& q) {
+    return std::make_unique<SurveillanceMechanism>(Program(q), allowed,
+                                                   TimingMode::kTimeObservable);
+  });
+  census("high-water mark", Observability::kValueOnly, [&](const Program& q) {
+    return std::make_unique<SurveillanceMechanism>(Program(q), allowed,
+                                                   TimingMode::kTimeUnobservable,
+                                                   LabelDiscipline::kHighWater);
+  });
+  census("naive scoped-pc (E16)", Observability::kValueOnly, [&](const Program& q) {
+    return std::make_unique<SurveillanceMechanism>(Program(q), allowed,
+                                                   TimingMode::kTimeUnobservable,
+                                                   LabelDiscipline::kNaiveScopedPc);
+  });
+  std::printf(
+      "\n  Expected per the paper: plug/M/M'/high-water fully sound; the bare program\n"
+      "  and the naive scoped-pc discipline leak on some programs.\n");
+}
+
+void BM_CheckSoundness(benchmark::State& state) {
+  CorpusConfig config;
+  config.num_inputs = kInputs;
+  const Program q = Lower(GenerateProgram(config, 42, "bench"));
+  const SurveillanceMechanism m = MakeSurveillanceM(Program(q), VarSet{0});
+  const AllowPolicy policy(kInputs, VarSet{0});
+  const InputDomain domain =
+      InputDomain::Uniform(kInputs, {-2, -1, 0, 1, static_cast<Value>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckSoundness(m, policy, domain, Observability::kValueOnly).sound);
+  }
+  state.counters["grid"] = static_cast<double>(domain.size());
+}
+BENCHMARK(BM_CheckSoundness)->Arg(2)->Arg(3);
+
+void BM_SurveillanceRun(benchmark::State& state) {
+  CorpusConfig config;
+  config.num_inputs = kInputs;
+  const Program q = Lower(GenerateProgram(config, 42, "bench"));
+  const SurveillanceMechanism m = MakeSurveillanceM(Program(q), VarSet{0});
+  const Input input = {1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Run(input).kind);
+  }
+}
+BENCHMARK(BM_SurveillanceRun);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

@@ -1,0 +1,111 @@
+// E14 — Section 5: compile-time vs run-time enforcement.
+//
+// Reproduces: "Using static techniques to produce programs would result in
+// efficient security enforcement. Of course, this requires that the security
+// policy be known at compile time ... A different compilation would be
+// required for each different security policy."
+//
+// The table reports, over a corpus: how often each static analysis
+// certifies, the utility of static vs dynamic mechanisms, and the
+// amortization story — certification is paid once, surveillance is paid on
+// every run. Benchmarks measure both costs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/corpus/generator.h"
+#include "src/flowchart/interpreter.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/completeness.h"
+#include "src/policy/policy.h"
+#include "src/staticflow/analysis.h"
+#include "src/staticflow/static_mechanisms.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+void PrintReproduction() {
+  PrintHeader("E14: static certification vs dynamic surveillance (80 programs, allow(0) of 2)");
+  CorpusConfig config;
+  config.num_inputs = 2;
+  const auto corpus = MakeCorpus(config, 80, 15000);
+  const VarSet allowed{0};
+  const InputDomain domain = InputDomain::Uniform(2, {0, 1, 2});
+
+  int certified_mono = 0, certified_scoped = 0;
+  double u_cert = 0, u_residual = 0, u_surv = 0;
+  for (const SourceProgram& s : corpus) {
+    const Program q = Lower(s);
+    const StaticCertifiedMechanism mono(Program(q), allowed, PcDiscipline::kMonotonePc);
+    const StaticCertifiedMechanism scoped(Program(q), allowed, PcDiscipline::kScopedPc);
+    certified_mono += mono.certified() ? 1 : 0;
+    certified_scoped += scoped.certified() ? 1 : 0;
+    u_cert += MeasureUtility(scoped, domain);
+    u_residual += MeasureUtility(
+        ResidualGuardMechanism(Program(q), allowed, PcDiscipline::kScopedPc), domain);
+    u_surv += MeasureUtility(MakeSurveillanceM(Program(q), allowed), domain);
+  }
+  const double n = static_cast<double>(corpus.size());
+  PrintRow({"metric", "value"}, {42, 12});
+  PrintRow({"certified, monotone-pc analysis", std::to_string(certified_mono) + "/80"},
+           {42, 12});
+  PrintRow({"certified, scoped-pc analysis", std::to_string(certified_scoped) + "/80"},
+           {42, 12});
+  PrintRow({"mean utility: certify-or-plug (scoped)", FormatDouble(u_cert / n, 3)}, {42, 12});
+  PrintRow({"mean utility: residual guard (scoped)", FormatDouble(u_residual / n, 3)},
+           {42, 12});
+  PrintRow({"mean utility: dynamic surveillance", FormatDouble(u_surv / n, 3)}, {42, 12});
+  std::printf(
+      "\n  Expected shape: the scoped analysis certifies at least as often as the\n"
+      "  monotone one. Static-scoped and dynamic surveillance are incomparable:\n"
+      "  the scoped analysis forgets pc taint at join points (safe only because it\n"
+      "  examines every path, which no sound dynamic monitor can mimic — see E16),\n"
+      "  while surveillance releases input-dependently but drags its monotone\n"
+      "  C-bar to the halt. Dynamic enforcement also pays label tracking on every\n"
+      "  run, which the benchmarks below quantify.\n");
+}
+
+Program BenchProgram() {
+  CorpusConfig config;
+  config.num_inputs = 2;
+  config.max_block_len = 6;
+  return Lower(GenerateProgram(config, 31337, "bench"));
+}
+
+void BM_CertifyOnce(benchmark::State& state) {
+  const Program q = BenchProgram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AnalyzeInformationFlow(q, PcDiscipline::kScopedPc).program_release_label.bits());
+  }
+}
+BENCHMARK(BM_CertifyOnce);
+
+void BM_CertifiedRun(benchmark::State& state) {
+  // After certification: a plain interpreter run, zero enforcement overhead.
+  const Program q = BenchProgram();
+  const Input input = {1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunProgram(q, input).output);
+  }
+}
+BENCHMARK(BM_CertifiedRun);
+
+void BM_SurveilledRun(benchmark::State& state) {
+  const Program q = BenchProgram();
+  const SurveillanceMechanism m = MakeSurveillanceM(Program(q), VarSet{0});
+  const Input input = {1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Run(input).kind);
+  }
+}
+// The per-run price of dynamic enforcement; certified runs avoid it but
+// give up surveillance's input-dependent completeness.
+BENCHMARK(BM_SurveilledRun);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

@@ -1,0 +1,79 @@
+// E15 — the one-way tape and tab(i).
+//
+// Reproduces Section 2's claim: under allow(z2) with observable time, no
+// reader that walks across z1 can be sound (it encodes |z1| in its running
+// time); a linear-cost tab(i) has the same flaw; a constant-time tab(i)
+// restores soundness.
+//
+// Benchmark: seek cost per strategy as the skipped block grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/tape/tape.h"
+
+namespace secpol {
+namespace {
+
+void PrintReproduction() {
+  PrintHeader("E15: read z2 under allow(z2) — seek strategy x observability matrix");
+  const AllowPolicy policy(4, BlockCoordinates(1));
+  const InputDomain domain = InputDomain::PerInput({
+      {0, 1, 4},  // |z1| (disallowed)
+      {5, 6},     // z1 symbol (disallowed)
+      {1, 2},     // |z2|
+      {8, 9},     // z2 symbol
+  });
+
+  PrintRow({"strategy", "sound (value)", "sound (value+time)"}, {14, 14, 19});
+  for (const SeekStrategy s :
+       {SeekStrategy::kWalk, SeekStrategy::kTabLinear, SeekStrategy::kTabConstant}) {
+    const auto reader = MakeBlockReader(2, 1, s);
+    const bool sv =
+        CheckSoundness(*reader, policy, domain, Observability::kValueOnly).sound;
+    const bool st =
+        CheckSoundness(*reader, policy, domain, Observability::kValueAndTime).sound;
+    PrintRow({SeekStrategyName(s), sv ? "yes" : "NO", st ? "yes" : "NO"}, {14, 14, 19});
+  }
+  std::printf(
+      "\n  Paper: walking across z1 \"will encode the length of z1 into the\n"
+      "  computation\"; tab(i) only helps if it \"runs in constant time\".\n");
+
+  PrintHeader("Seek step counts vs |z1| (the observable itself)");
+  PrintRow({"|z1|", "walk", "tab-linear", "tab-constant"}, {6, 8, 11, 13});
+  for (const Value len : {0, 4, 16, 64}) {
+    std::vector<StepCount> costs;
+    for (const SeekStrategy s :
+         {SeekStrategy::kWalk, SeekStrategy::kTabLinear, SeekStrategy::kTabConstant}) {
+      TapeMachine tape({{len, 7}, {1, 9}});
+      tape.Tab(1, s);
+      costs.push_back(tape.steps());
+    }
+    PrintRow({std::to_string(len), std::to_string(costs[0]), std::to_string(costs[1]),
+              std::to_string(costs[2])},
+             {6, 8, 11, 13});
+  }
+}
+
+void BM_Seek(benchmark::State& state) {
+  const auto strategy = static_cast<SeekStrategy>(state.range(0));
+  const Value len = state.range(1);
+  for (auto _ : state) {
+    TapeMachine tape({{len, 7}, {1, 9}});
+    tape.Tab(1, strategy);
+    benchmark::DoNotOptimize(tape.Read());
+  }
+  state.counters["z1_len"] = static_cast<double>(len);
+}
+BENCHMARK(BM_Seek)
+    ->Args({static_cast<long>(SeekStrategy::kWalk), 64})
+    ->Args({static_cast<long>(SeekStrategy::kWalk), 4096})
+    ->Args({static_cast<long>(SeekStrategy::kTabConstant), 64})
+    ->Args({static_cast<long>(SeekStrategy::kTabConstant), 4096});
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

@@ -1,0 +1,52 @@
+// Shared helpers for the benchmark/reproduction binaries.
+//
+// Every bench binary prints its experiment's reproduction table(s) first —
+// the rows EXPERIMENTS.md records — and then runs its google-benchmark
+// timings. `RunBenchMain` wires that up.
+
+#ifndef SECPOL_BENCH_BENCH_UTIL_H_
+#define SECPOL_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace secpol {
+
+// Prints a crude fixed-width table.
+inline void PrintRow(const std::vector<std::string>& cells, const std::vector<int>& widths) {
+  std::string line = "  ";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::string cell = cells[i];
+    const int width = i < widths.size() ? widths[i] : 18;
+    if (static_cast<int>(cell.size()) < width) {
+      cell.resize(static_cast<size_t>(width), ' ');
+    }
+    line += cell + " ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace secpol
+
+// Each bench binary defines PrintReproduction() and registers benchmarks
+// with the usual BENCHMARK(...) macros, then uses this main.
+#define SECPOL_BENCH_MAIN(print_fn)                    \
+  int main(int argc, char** argv) {                    \
+    print_fn();                                        \
+    benchmark::Initialize(&argc, argv);                \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                        \
+    }                                                  \
+    benchmark::RunSpecifiedBenchmarks();               \
+    benchmark::Shutdown();                             \
+    return 0;                                          \
+  }
+
+#endif  // SECPOL_BENCH_BENCH_UTIL_H_

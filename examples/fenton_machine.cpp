@@ -1,0 +1,55 @@
+// Example 1: Fenton's data-mark machine, its ambiguous halt, and the
+// negative-inference leak ("The dog did nothing in the nighttime").
+
+#include <cstdio>
+
+#include "src/mechanism/soundness.h"
+#include "src/minsky/data_mark.h"
+#include "src/minsky/minsky.h"
+#include "src/policy/policy.h"
+
+using namespace secpol;
+
+int main() {
+  const MinskyProgram witness = MakeNegativeInferenceWitness();
+  std::printf("%s\n", witness.ToString().c_str());
+  std::printf("Register 0 holds the priv input x; register 1 (null) is the output.\n\n");
+
+  const AllowPolicy policy = AllowPolicy::AllowNone(1);
+  const InputDomain domain = InputDomain::Range(1, 0, 4);
+
+  struct Variant {
+    const char* label;
+    GuardedHaltSemantics semantics;
+    bool check_pc;
+  };
+  for (const Variant& v : {
+           Variant{"(a) 'if P = null then halt' skips when P = priv",
+                   GuardedHaltSemantics::kSkipWhenPriv, false},
+           Variant{"(b) it emits an error message when P = priv",
+                   GuardedHaltSemantics::kErrorWhenPriv, false},
+           Variant{"(c) repaired: plain halt also consults P",
+                   GuardedHaltSemantics::kErrorWhenPriv, true},
+       }) {
+    DataMarkConfig config;
+    config.priv_registers = VarSet{0};
+    config.guarded_halt = v.semantics;
+    config.check_pc_at_halt = v.check_pc;
+    const DataMarkMachine machine(witness, config);
+
+    std::printf("%s\n", v.label);
+    for (Value x : {0, 1, 3}) {
+      std::printf("  x=%lld -> %s\n", static_cast<long long>(x),
+                  machine.Run(Input{x}).ToString().c_str());
+    }
+    const SoundnessReport report =
+        CheckSoundness(machine, policy, domain, Observability::kValueOnly);
+    std::printf("  => %s\n\n", report.ToString().c_str());
+  }
+
+  std::printf(
+      "Interpretation (b) outputs its error message if and only if x = 0: the\n"
+      "*absence* of the message tells you x != 0. \"Intuitively, the difficulty\n"
+      "here is what we call negative inference.\"\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// A multi-level-security kernel on a Denning lattice: two monitor designs
+// for one policy, compared with the paper's own yardsticks (soundness, then
+// completeness).
+
+#include <cstdio>
+#include <memory>
+
+#include "src/lattice/lattice.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/soundness.h"
+#include "src/monitor/mls.h"
+
+using namespace secpol;
+
+int main() {
+  const auto lattice = std::make_shared<LinearLattice>(LinearLattice::Military());
+  // Three files: a public bulletin, a secret roster, a top-secret cable.
+  const std::vector<ClassId> classes = {0, 2, 3};
+  const ClassId clearance = 2;  // the caller holds "secret"
+
+  std::printf("Lattice: %s; files at %s / %s / %s; clearance: %s\n\n",
+              lattice->name().c_str(), lattice->ClassName(classes[0]).c_str(),
+              lattice->ClassName(classes[1]).c_str(), lattice->ClassName(classes[2]).c_str(),
+              lattice->ClassName(clearance).c_str());
+
+  const MlsUserProgram sum_all = [](MlsSession& session) {
+    Value sum = 0;
+    for (int i = 0; i < session.num_files(); ++i) {
+      sum += session.ReadFile(i);
+    }
+    return sum;
+  };
+
+  const auto no_read_up = MakeMlsMechanism("sum", lattice, classes, clearance,
+                                           MlsMonitorKind::kNoReadUp, sum_all);
+  const auto taint = MakeMlsMechanism("sum", lattice, classes, clearance,
+                                      MlsMonitorKind::kTaintAndCheck, sum_all);
+
+  const Input contents = {10, 20, 40};
+  std::printf("files = (10, 20, 40); program sums everything it can touch\n");
+  std::printf("  no-read-up      : %s   (top-secret read refused, zero-filled)\n",
+              no_read_up->Run(contents).ToString().c_str());
+  std::printf("  taint-and-check : %s\n\n", taint->Run(contents).ToString().c_str());
+
+  // Both enforce the same information filter; the checker confirms it.
+  const AllowPolicy policy = MakeMlsPolicy(*lattice, classes, clearance);
+  const InputDomain domain = InputDomain::Uniform(3, {0, 1, 2});
+  for (const auto& mech : {no_read_up, taint}) {
+    std::printf("%-28s -> %s\n", mech->name().c_str(),
+                CheckSoundness(*mech, policy, domain, Observability::kValueOnly)
+                    .ToString()
+                    .c_str());
+  }
+
+  const CompletenessStats stats = CompareCompleteness(*no_read_up, *taint, domain);
+  std::printf("\ncompleteness: %s\n", stats.ToString().c_str());
+  std::printf(
+      "\nBoth designs are sound for %s; they differ in completeness, which is\n"
+      "exactly how Section 4 says mechanisms for the same policy should be\n"
+      "compared. Access control degrades reads; flow control vetoes outputs.\n",
+      policy.name().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: write a program, state a policy, enforce it, prove it.
+//
+// The five questions of the paper's conclusion, in code:
+//   1'. What is the security policy?            -> AllowPolicy
+//   2'. What is the protection mechanism?       -> SurveillanceMechanism
+//   3'. Is the protection mechanism sound?      -> CheckSoundness
+//   4'. How complete is the protection mechanism? -> MeasureUtility / Compare
+//   5'. Does the observability postulate hold?  -> Observability::kValueAndTime
+
+#include <cstdio>
+
+#include "src/flowlang/lower.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/surveillance/surveillance.h"
+
+using namespace secpol;
+
+int main() {
+  // A program with a public and a secret input. It computes tax from the
+  // public salary; the secret bonus flows nowhere near the output.
+  const Program q = MustCompile(R"(
+    program payroll(salary, bonus_secret) {
+      locals rate;
+      rate = 30;
+      if (salary < 1000) { rate = 10; }
+      y = salary * rate / 100;
+    })");
+
+  // 1'. The policy: the user may learn the salary (input 0), nothing else.
+  const AllowPolicy policy(2, VarSet{0});
+  std::printf("policy:    %s\n", policy.name().c_str());
+
+  // 2'. The mechanism: Section 3's surveillance monitor.
+  const SurveillanceMechanism monitor = MakeSurveillanceM(Program(q), VarSet{0});
+  std::printf("mechanism: %s\n", monitor.name().c_str());
+
+  // Run it.
+  const Outcome ok = monitor.Run(Input{1200, 999});
+  std::printf("run(1200, secret): %s\n", ok.ToString().c_str());
+
+  // 3'. Soundness, decided exhaustively over a grid.
+  const InputDomain domain = InputDomain::PerInput({{0, 500, 1000, 1500}, {0, 1, 2}});
+  const SoundnessReport report =
+      CheckSoundness(monitor, policy, domain, Observability::kValueOnly);
+  std::printf("soundness: %s\n", report.ToString().c_str());
+
+  // 4'. Completeness: how often do we get an answer instead of a notice?
+  std::printf("utility:   %.3f of the grid answered with a real value\n",
+              MeasureUtility(monitor, domain));
+
+  // 5'. The observability postulate: is running time an output here?
+  // The branch tests salary (allowed), so even the timing is clean:
+  const SoundnessReport timed =
+      CheckSoundness(monitor, policy, domain, Observability::kValueAndTime);
+  std::printf("with time: %s\n", timed.ToString().c_str());
+
+  // Contrast: a program that launders the secret through a branch. The
+  // monitor catches the implicit flow through the program counter.
+  const Program leaky = MustCompile(R"(
+    program leaky(salary, bonus_secret) {
+      if (bonus_secret > 0) { y = 1; } else { y = 0; }
+    })");
+  const SurveillanceMechanism leaky_monitor = MakeSurveillanceM(Program(leaky), VarSet{0});
+  std::printf("\nleaky program, run(1200, 1): %s\n",
+              leaky_monitor.Run(Input{1200, 1}).ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The Observability Postulate live: a constant function that is anything
+// but constant once you can see the clock — and Theorem 3''s fix.
+
+#include <cstdio>
+
+#include "src/channels/timing.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/surveillance/surveillance.h"
+
+using namespace secpol;
+
+int main() {
+  // Section 2's program: loop x times, output 1.
+  const Program q = MustCompile(R"(
+    program constant_but_slow(x) {
+      locals c;
+      c = x;
+      while (c != 0) { c = c - 1; }
+      y = 1;
+    })");
+
+  const AllowPolicy policy = AllowPolicy::AllowNone(1);  // allow(): hide x entirely
+  const InputDomain domain = InputDomain::Range(1, 0, 7);
+
+  std::printf("Q(x) = 1 for every x. Policy: %s.\n\n", policy.name().c_str());
+
+  const ProgramAsMechanism bare{Program(q)};
+  std::printf("Q as its own mechanism:\n");
+  for (Value x : {0, 3, 7}) {
+    std::printf("  Q(%lld) = %s\n", static_cast<long long>(x),
+                bare.Run(Input{x}).ToString().c_str());
+  }
+
+  std::printf("\nValue-only observer:  %s\n",
+              CheckSoundness(bare, policy, domain, Observability::kValueOnly)
+                  .ToString()
+                  .c_str());
+  std::printf("Observer with a clock: %s\n",
+              CheckSoundness(bare, policy, domain, Observability::kValueAndTime)
+                  .ToString()
+                  .c_str());
+
+  const LeakReport leak = MeasureLeak(bare, policy, domain, Observability::kValueAndTime);
+  std::printf("Channel capacity: %s\n", leak.ToString().c_str());
+
+  // Theorem 3': abort before any test on disallowed data. The abort happens
+  // at the same step for every secret, so the clock is silent.
+  const SurveillanceMechanism m_prime = MakeSurveillanceMPrime(Program(q), VarSet::Empty());
+  std::printf("\nM' (timing-safe surveillance):\n");
+  for (Value x : {0, 3, 7}) {
+    std::printf("  M'(%lld) = %s\n", static_cast<long long>(x),
+                m_prime.Run(Input{x}).ToString().c_str());
+  }
+  std::printf("M' with a clock: %s\n",
+              CheckSoundness(m_prime, policy, domain, Observability::kValueAndTime)
+                  .ToString()
+                  .c_str());
+  std::printf(
+      "\nThe price: M' refuses a program a value-only observer could have been\n"
+      "given. Soundness against stronger observers costs completeness.\n");
+  return 0;
+}

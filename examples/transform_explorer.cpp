@@ -1,0 +1,50 @@
+// Examples 7 and 8 side by side: the same functional-equivalence transform
+// that turns a hopeless monitor into the maximal one also turns a useful
+// monitor into the plug — and Theorem 4 says no tool can always choose
+// correctly. The advisor tries anyway, by measuring.
+
+#include <cstdio>
+
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/mechanism/completeness.h"
+#include "src/surveillance/surveillance.h"
+#include "src/transforms/advisor.h"
+#include "src/transforms/transforms.h"
+
+using namespace secpol;
+
+namespace {
+
+void Explore(const char* title, const SourceProgram& program, VarSet allowed) {
+  std::printf("--- %s ---\n%s\n", title, program.ToString().c_str());
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  const AdvisorReport report = AdviseTransforms(program, allowed, domain);
+  std::printf("%s\n", report.ToString().c_str());
+  std::printf("chosen rewriting:\n%s\n", report.best().program.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const SourceProgram ex7 = MustParseProgram(R"(
+    program ex7(x1, x2) {
+      locals r;
+      if (x1 == 1) { r = 1; } else { r = 2; }
+      if (r == 1) { y = 1; } else { y = 1; }
+    })");
+  Explore("Example 7: transform wins (policy allow(x2))", ex7, VarSet{1});
+
+  const SourceProgram ex8 = MustParseProgram(R"(
+    program ex8(x1, x2) {
+      if (x2 == 1) { y = 1; } else { y = x1; }
+    })");
+  Explore("Example 8: transform loses (policy allow(x2))", ex8, VarSet{1});
+
+  std::printf(
+      "\"Whether to apply a transform or not is not necessarily a clearcut\n"
+      "decision. In fact the optimal strategy for deciding is not, as the next\n"
+      "theorem shows, computable.\" (Theorem 4.) The advisor sidesteps the theorem\n"
+      "by *measuring* candidates on a finite grid — heuristically, not optimally.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "src/channels/paging.h"
+
+#include <cassert>
+
+namespace secpol {
+
+PagedMemory::PagedMemory(std::uint64_t page_size) : page_size_(page_size) {
+  assert(page_size > 0);
+}
+
+void PagedMemory::Access(std::uint64_t address) {
+  const std::uint64_t page = PageOf(address);
+  if (resident_.insert(page).second) {
+    ++faults_;
+  }
+}
+
+void PagedMemory::FlushAll() { resident_.clear(); }
+
+}  // namespace secpol

@@ -1,0 +1,46 @@
+// A miniature demand-paging simulator.
+//
+// Section 2's closing war story: "user passwords consist of exactly K
+// characters ... the work factor can be reduced to n * K by appropriately
+// placing candidate passwords across page boundaries and observing page
+// movement resulting from 'guessing' password values." Observing page
+// movement needs nothing more than: pages fault the first time they are
+// touched, and faults are countable. This simulator provides exactly that.
+
+#ifndef SECPOL_SRC_CHANNELS_PAGING_H_
+#define SECPOL_SRC_CHANNELS_PAGING_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/util/value.h"
+
+namespace secpol {
+
+class PagedMemory {
+ public:
+  explicit PagedMemory(std::uint64_t page_size);
+
+  std::uint64_t page_size() const { return page_size_; }
+  std::uint64_t PageOf(std::uint64_t address) const { return address / page_size_; }
+
+  // Touches `address`; a fault is recorded if its page is not resident, and
+  // the page becomes resident.
+  void Access(std::uint64_t address);
+
+  bool Resident(std::uint64_t page) const { return resident_.count(page) > 0; }
+  std::uint64_t faults() const { return faults_; }
+
+  // Evicts every page (the attacker's reset between probes).
+  void FlushAll();
+
+ private:
+  std::uint64_t page_size_;
+  std::set<std::uint64_t> resident_;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_CHANNELS_PAGING_H_

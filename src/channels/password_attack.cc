@@ -1,0 +1,116 @@
+#include "src/channels/password_attack.h"
+
+#include <cassert>
+
+namespace secpol {
+
+PasswordChecker::PasswordChecker(std::vector<int> secret, int alphabet)
+    : secret_(std::move(secret)), alphabet_(alphabet) {
+  assert(alphabet_ > 0);
+  for (int c : secret_) {
+    (void)c;
+    assert(c >= 0 && c < alphabet_);
+  }
+}
+
+bool PasswordChecker::Check(const std::vector<int>& guess, PagedMemory& memory,
+                            std::uint64_t guess_base) {
+  ++attempts_;
+  // Early-exit comparison: each compared character of the guess is touched
+  // in memory before the comparison. The observable side effect — which
+  // pages became resident — is exactly what the attack exploits.
+  for (size_t i = 0; i < secret_.size(); ++i) {
+    memory.Access(guess_base + i);
+    const int g = i < guess.size() ? guess[i] : -1;
+    if (g != secret_[i]) {
+      return false;
+    }
+  }
+  return guess.size() == secret_.size();
+}
+
+AttackResult BruteForceAttack(PasswordChecker& checker, std::uint64_t max_guesses) {
+  const int k = checker.length();
+  const int n = checker.alphabet();
+  AttackResult result;
+  std::vector<int> guess(static_cast<size_t>(k), 0);
+  // One huge page: brute force learns nothing from paging.
+  PagedMemory memory(1u << 20);
+
+  while (result.guesses < max_guesses) {
+    ++result.guesses;
+    if (checker.Check(guess, memory, 0)) {
+      result.found = true;
+      result.recovered = guess;
+      return result;
+    }
+    // Lexicographic increment.
+    int pos = k - 1;
+    while (pos >= 0) {
+      if (++guess[static_cast<size_t>(pos)] < n) {
+        break;
+      }
+      guess[static_cast<size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) {
+      return result;  // exhausted the space without a match
+    }
+  }
+  return result;
+}
+
+AttackResult PageBoundaryAttack(PasswordChecker& checker) {
+  const int k = checker.length();
+  const int n = checker.alphabet();
+  AttackResult result;
+  std::vector<int> recovered;
+
+  const std::uint64_t page_size = static_cast<std::uint64_t>(k) + 1;
+  PagedMemory memory(page_size);
+
+  for (int pos = 0; pos < k; ++pos) {
+    bool pinned = false;
+    for (int candidate = 0; candidate < n; ++candidate) {
+      std::vector<int> guess = recovered;
+      guess.push_back(candidate);
+      guess.resize(static_cast<size_t>(k), 0);
+
+      if (pos == k - 1) {
+        // Last position: the oracle's accept/reject answer suffices.
+        ++result.guesses;
+        if (checker.Check(guess, memory, 0)) {
+          recovered.push_back(candidate);
+          pinned = true;
+          break;
+        }
+        continue;
+      }
+
+      // Place the guess so that characters [0, pos] share a page and
+      // character pos+1 begins the next, initially non-resident, page.
+      const std::uint64_t base = page_size - static_cast<std::uint64_t>(pos) - 1;
+      const std::uint64_t probe_page = memory.PageOf(base + static_cast<std::uint64_t>(pos) + 1);
+      memory.FlushAll();
+      memory.Access(base);  // make the first page resident
+
+      ++result.guesses;
+      checker.Check(guess, memory, base);
+      if (memory.Resident(probe_page)) {
+        // The comparison crossed the boundary: every character up to and
+        // including `candidate` matched.
+        recovered.push_back(candidate);
+        pinned = true;
+        break;
+      }
+    }
+    if (!pinned) {
+      return result;  // inconsistent oracle; give up
+    }
+  }
+  result.found = true;
+  result.recovered = std::move(recovered);
+  return result;
+}
+
+}  // namespace secpol

@@ -1,0 +1,62 @@
+// The page-boundary password attack (Section 2) versus brute force.
+//
+// A password checker compares a guess to the secret character by character
+// and stops at the first mismatch — the classic early-exit comparison. The
+// checker itself never reveals more than accept/reject, and its running time
+// is hidden; but it *touches guess memory* as it compares. An attacker who
+// places the guess across a page boundary and watches which pages fault
+// learns how far the comparison got, turning the n^k search into n*k.
+
+#ifndef SECPOL_SRC_CHANNELS_PASSWORD_ATTACK_H_
+#define SECPOL_SRC_CHANNELS_PASSWORD_ATTACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/channels/paging.h"
+
+namespace secpol {
+
+// The victim: holds the secret and checks guesses through paged memory.
+class PasswordChecker {
+ public:
+  // secret: k symbols, each in [0, alphabet).
+  PasswordChecker(std::vector<int> secret, int alphabet);
+
+  int length() const { return static_cast<int>(secret_.size()); }
+  int alphabet() const { return alphabet_; }
+
+  // Compares guess (laid out in `memory` starting at `guess_base`) against
+  // the secret, touching guess memory cell by cell and stopping at the first
+  // mismatch. Returns true iff the guess is correct. Increments the attempt
+  // counter.
+  bool Check(const std::vector<int>& guess, PagedMemory& memory, std::uint64_t guess_base);
+
+  std::uint64_t attempts() const { return attempts_; }
+
+ private:
+  std::vector<int> secret_;
+  int alphabet_;
+  std::uint64_t attempts_ = 0;
+};
+
+struct AttackResult {
+  bool found = false;
+  std::vector<int> recovered;
+  std::uint64_t guesses = 0;  // oracle calls used
+};
+
+// Exhaustive search in lexicographic order; worst case n^k oracle calls.
+// `max_guesses` aborts hopeless runs (returns found=false).
+AttackResult BruteForceAttack(PasswordChecker& checker, std::uint64_t max_guesses);
+
+// The page-boundary attack: for each position, each candidate symbol is
+// probed with the *next* position placed on a freshly flushed page; if that
+// page faults, the comparison advanced past the candidate, so the candidate
+// is correct. At most n probes per position — n*k total.
+AttackResult PageBoundaryAttack(PasswordChecker& checker);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_CHANNELS_PASSWORD_ATTACK_H_

@@ -1,0 +1,48 @@
+#include "src/channels/timing.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/util/strings.h"
+
+namespace secpol {
+
+std::string LeakReport::ToString() const {
+  return "leak: max " + FormatDouble(max_leak_bits, 3) + " bits/run (" +
+         std::to_string(max_distinct_outcomes) + " distinguishable outcomes; " +
+         std::to_string(leaky_classes) + "/" + std::to_string(policy_classes) +
+         " classes leaky)";
+}
+
+LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolicy& policy,
+                       const InputDomain& domain, Observability obs) {
+  // Observable signature: (kind, value-if-any, steps-if-observable).
+  using Signature = std::tuple<int, Value, StepCount>;
+  std::map<PolicyImage, std::set<Signature>> classes;
+
+  domain.ForEach([&](InputView input) {
+    const Outcome outcome = mechanism.Run(input);
+    Signature sig{outcome.IsValue() ? 1 : 0, outcome.IsValue() ? outcome.value : 0,
+                  obs == Observability::kValueAndTime ? outcome.steps : 0};
+    classes[policy.Image(input)].insert(sig);
+  });
+
+  LeakReport report;
+  report.policy_classes = classes.size();
+  for (const auto& [image, signatures] : classes) {
+    (void)image;
+    report.max_distinct_outcomes =
+        std::max<std::uint64_t>(report.max_distinct_outcomes, signatures.size());
+    if (signatures.size() > 1) {
+      ++report.leaky_classes;
+    }
+  }
+  if (report.max_distinct_outcomes > 0) {
+    report.max_leak_bits = std::log2(static_cast<double>(report.max_distinct_outcomes));
+  }
+  return report;
+}
+
+}  // namespace secpol

@@ -1,0 +1,46 @@
+// Quantifying leaks through forgotten observables.
+//
+// The Observability Postulate says the output must encode everything the
+// user can observe. When a mechanism is sound for value-only observation but
+// not for value+time, the difference is a timing channel; this module
+// measures its capacity over a finite domain: within each policy class, the
+// number of distinguishable observable outcomes bounds what an adversary can
+// learn (log2 of it, in bits per run). A sound mechanism scores exactly one
+// outcome per class — zero bits.
+
+#ifndef SECPOL_SRC_CHANNELS_TIMING_H_
+#define SECPOL_SRC_CHANNELS_TIMING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/mechanism/domain.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/outcome.h"
+#include "src/policy/policy.h"
+
+namespace secpol {
+
+struct LeakReport {
+  // The largest number of observably distinct outcomes within one policy
+  // class (1 = sound).
+  std::uint64_t max_distinct_outcomes = 0;
+  // log2(max_distinct_outcomes): bits an adversary can extract per run by
+  // choosing inputs inside one class.
+  double max_leak_bits = 0.0;
+  // Classes with more than one distinct outcome.
+  std::uint64_t leaky_classes = 0;
+  std::uint64_t policy_classes = 0;
+
+  std::string ToString() const;
+};
+
+// Measures the channel of `mechanism` w.r.t. `policy` over `domain` under
+// observability `obs`. With obs = kValueAndTime and a mechanism sound for
+// kValueOnly, the report isolates the pure timing channel.
+LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolicy& policy,
+                       const InputDomain& domain, Observability obs);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_CHANNELS_TIMING_H_

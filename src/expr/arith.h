@@ -1,0 +1,97 @@
+// The total arithmetic semantics shared by the AST evaluator and the
+// bytecode interpreter. Wrapping add/sub/mul, division/remainder defined as
+// 0 on zero divisors, INT64_MIN / -1 handled explicitly.
+
+#ifndef SECPOL_SRC_EXPR_ARITH_H_
+#define SECPOL_SRC_EXPR_ARITH_H_
+
+#include <cstdint>
+
+#include "src/expr/expr.h"
+#include "src/util/value.h"
+
+namespace secpol {
+
+inline Value WrapAdd(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b));
+}
+inline Value WrapSub(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b));
+}
+inline Value WrapMul(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+}
+inline Value TotalDiv(Value a, Value b) {
+  if (b == 0) {
+    return 0;
+  }
+  if (a == INT64_MIN && b == -1) {
+    return INT64_MIN;
+  }
+  return a / b;
+}
+inline Value TotalMod(Value a, Value b) {
+  if (b == 0) {
+    return 0;
+  }
+  if (a == INT64_MIN && b == -1) {
+    return 0;
+  }
+  return a % b;
+}
+
+inline Value EvalUnaryOp(UnaryOp op, Value a) {
+  switch (op) {
+    case UnaryOp::kNeg:
+      return WrapSub(0, a);
+    case UnaryOp::kNot:
+      return a == 0 ? 1 : 0;
+  }
+  return 0;
+}
+
+inline Value EvalBinaryOp(BinaryOp op, Value a, Value b) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return WrapAdd(a, b);
+    case BinaryOp::kSub:
+      return WrapSub(a, b);
+    case BinaryOp::kMul:
+      return WrapMul(a, b);
+    case BinaryOp::kDiv:
+      return TotalDiv(a, b);
+    case BinaryOp::kMod:
+      return TotalMod(a, b);
+    case BinaryOp::kMin:
+      return a < b ? a : b;
+    case BinaryOp::kMax:
+      return a > b ? a : b;
+    case BinaryOp::kBitAnd:
+      return a & b;
+    case BinaryOp::kBitOr:
+      return a | b;
+    case BinaryOp::kBitXor:
+      return a ^ b;
+    case BinaryOp::kEq:
+      return a == b ? 1 : 0;
+    case BinaryOp::kNe:
+      return a != b ? 1 : 0;
+    case BinaryOp::kLt:
+      return a < b ? 1 : 0;
+    case BinaryOp::kLe:
+      return a <= b ? 1 : 0;
+    case BinaryOp::kGt:
+      return a > b ? 1 : 0;
+    case BinaryOp::kGe:
+      return a >= b ? 1 : 0;
+    case BinaryOp::kAnd:
+      return (a != 0 && b != 0) ? 1 : 0;
+    case BinaryOp::kOr:
+      return (a != 0 || b != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_EXPR_ARITH_H_

@@ -1,0 +1,273 @@
+#include "src/expr/expr.h"
+
+#include "src/expr/arith.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace secpol {
+
+struct Expr::Node {
+  Kind kind;
+  Value const_value = 0;
+  int var_id = -1;
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  std::vector<Expr> children;
+};
+
+std::string BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kMin:
+      return "min";
+    case BinaryOp::kMax:
+      return "max";
+    case BinaryOp::kBitAnd:
+      return "&";
+    case BinaryOp::kBitOr:
+      return "|";
+    case BinaryOp::kBitXor:
+      return "^";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "&&";
+    case BinaryOp::kOr:
+      return "||";
+  }
+  return "?";
+}
+
+std::string UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg:
+      return "-";
+    case UnaryOp::kNot:
+      return "!";
+  }
+  return "?";
+}
+
+Expr::Expr() : Expr(Const(0)) {}
+
+Expr::Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+Expr Expr::Const(Value value) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kConst;
+  node->const_value = value;
+  return Expr(std::move(node));
+}
+
+Expr Expr::Var(int var_id) {
+  assert(var_id >= 0 && var_id <= VarSet::kMaxIndex);
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kVar;
+  node->var_id = var_id;
+  return Expr(std::move(node));
+}
+
+Expr Expr::Unary(UnaryOp op, Expr operand) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kUnary;
+  node->unary_op = op;
+  node->children = {std::move(operand)};
+  return Expr(std::move(node));
+}
+
+Expr Expr::Binary(BinaryOp op, Expr lhs, Expr rhs) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kBinary;
+  node->binary_op = op;
+  node->children = {std::move(lhs), std::move(rhs)};
+  return Expr(std::move(node));
+}
+
+Expr Expr::Select(Expr cond, Expr then_value, Expr else_value) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kSelect;
+  node->children = {std::move(cond), std::move(then_value), std::move(else_value)};
+  return Expr(std::move(node));
+}
+
+Expr::Kind Expr::kind() const { return node_->kind; }
+
+Value Expr::const_value() const {
+  assert(kind() == Kind::kConst);
+  return node_->const_value;
+}
+
+int Expr::var_id() const {
+  assert(kind() == Kind::kVar);
+  return node_->var_id;
+}
+
+UnaryOp Expr::unary_op() const {
+  assert(kind() == Kind::kUnary);
+  return node_->unary_op;
+}
+
+BinaryOp Expr::binary_op() const {
+  assert(kind() == Kind::kBinary);
+  return node_->binary_op;
+}
+
+const Expr& Expr::operand(int i) const {
+  assert(i >= 0 && i < num_operands());
+  return node_->children[i];
+}
+
+int Expr::num_operands() const { return static_cast<int>(node_->children.size()); }
+
+Value Expr::Eval(InputView env) const {
+  switch (kind()) {
+    case Kind::kConst:
+      return node_->const_value;
+    case Kind::kVar:
+      assert(static_cast<size_t>(node_->var_id) < env.size());
+      return env[node_->var_id];
+    case Kind::kUnary:
+      return EvalUnaryOp(node_->unary_op, operand(0).Eval(env));
+    case Kind::kBinary: {
+      const Value a = operand(0).Eval(env);
+      const Value b = operand(1).Eval(env);
+      return EvalBinaryOp(node_->binary_op, a, b);
+    }
+    case Kind::kSelect: {
+      // Note: all three children are evaluated; Select is branch-free by
+      // design so that its cost and its dependency set are path-independent.
+      const Value cond = operand(0).Eval(env);
+      const Value then_value = operand(1).Eval(env);
+      const Value else_value = operand(2).Eval(env);
+      return cond != 0 ? then_value : else_value;
+    }
+  }
+  return 0;
+}
+
+VarSet Expr::FreeVars() const {
+  switch (kind()) {
+    case Kind::kConst:
+      return VarSet::Empty();
+    case Kind::kVar:
+      return VarSet::Singleton(node_->var_id);
+    default: {
+      VarSet out;
+      for (const Expr& child : node_->children) {
+        out = out.Union(child.FreeVars());
+      }
+      return out;
+    }
+  }
+}
+
+int Expr::NodeCount() const {
+  int count = 1;
+  for (const Expr& child : node_->children) {
+    count += child.NodeCount();
+  }
+  return count;
+}
+
+bool Expr::StructurallyEquals(const Expr& other) const {
+  if (node_ == other.node_) {
+    return true;
+  }
+  if (kind() != other.kind()) {
+    return false;
+  }
+  switch (kind()) {
+    case Kind::kConst:
+      return node_->const_value == other.node_->const_value;
+    case Kind::kVar:
+      return node_->var_id == other.node_->var_id;
+    case Kind::kUnary:
+      if (node_->unary_op != other.node_->unary_op) {
+        return false;
+      }
+      break;
+    case Kind::kBinary:
+      if (node_->binary_op != other.node_->binary_op) {
+        return false;
+      }
+      break;
+    case Kind::kSelect:
+      break;
+  }
+  if (num_operands() != other.num_operands()) {
+    return false;
+  }
+  for (int i = 0; i < num_operands(); ++i) {
+    if (!operand(i).StructurallyEquals(other.operand(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Expr Expr::MapVars(const std::function<int(int)>& remap) const {
+  switch (kind()) {
+    case Kind::kConst:
+      return *this;
+    case Kind::kVar:
+      return Var(remap(node_->var_id));
+    case Kind::kUnary:
+      return Unary(node_->unary_op, operand(0).MapVars(remap));
+    case Kind::kBinary:
+      return Binary(node_->binary_op, operand(0).MapVars(remap), operand(1).MapVars(remap));
+    case Kind::kSelect:
+      return Select(operand(0).MapVars(remap), operand(1).MapVars(remap),
+                    operand(2).MapVars(remap));
+  }
+  return *this;
+}
+
+std::string Expr::ToString(const std::function<std::string(int)>& var_name) const {
+  switch (kind()) {
+    case Kind::kConst:
+      return std::to_string(node_->const_value);
+    case Kind::kVar:
+      return var_name(node_->var_id);
+    case Kind::kUnary:
+      return UnaryOpName(node_->unary_op) + "(" + operand(0).ToString(var_name) + ")";
+    case Kind::kBinary: {
+      const std::string op = BinaryOpName(node_->binary_op);
+      if (node_->binary_op == BinaryOp::kMin || node_->binary_op == BinaryOp::kMax) {
+        return op + "(" + operand(0).ToString(var_name) + ", " + operand(1).ToString(var_name) +
+               ")";
+      }
+      return "(" + operand(0).ToString(var_name) + " " + op + " " + operand(1).ToString(var_name) +
+             ")";
+    }
+    case Kind::kSelect:
+      return "select(" + operand(0).ToString(var_name) + ", " + operand(1).ToString(var_name) +
+             ", " + operand(2).ToString(var_name) + ")";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  return ToString([](int id) { return "v" + std::to_string(id); });
+}
+
+}  // namespace secpol

@@ -1,0 +1,129 @@
+// The expression language of the flowchart model.
+//
+// The paper allows arbitrary recursive expressions E(w) and predicates B(w) in
+// assignment and decision boxes. We provide a concrete total expression
+// language over 64-bit integers: constants, variables, arithmetic, bitwise
+// operators, comparisons (yielding 0/1), boolean connectives, and a ternary
+// branch-free Select. Predicates are expressions interpreted as "true iff
+// nonzero".
+//
+// Totality: division and remainder by zero evaluate to 0; signed overflow
+// wraps (evaluation is done in unsigned arithmetic). Every expression is thus
+// a total function of its environment, as the paper requires.
+//
+// Expressions are immutable values: an Expr is a shared handle to an
+// immutable node, so copying is cheap and structural sharing is free.
+
+#ifndef SECPOL_SRC_EXPR_EXPR_H_
+#define SECPOL_SRC_EXPR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/value.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+enum class UnaryOp {
+  kNeg,  // -a
+  kNot,  // !a (1 if a == 0 else 0)
+};
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // a / b, 0 when b == 0
+  kMod,  // a % b, 0 when b == 0
+  kMin,
+  kMax,
+  kBitAnd,
+  kBitOr,
+  kBitXor,
+  kEq,  // comparisons yield 0 or 1
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,  // logical; operands are truth-tested against 0
+  kOr,
+};
+
+// Returns the surface syntax for an operator ("+", "==", "min", ...).
+std::string BinaryOpName(BinaryOp op);
+std::string UnaryOpName(UnaryOp op);
+
+class Expr {
+ public:
+  enum class Kind { kConst, kVar, kUnary, kBinary, kSelect };
+
+  // Default-constructed Expr is the constant 0.
+  Expr();
+
+  // --- Factories ---
+  static Expr Const(Value value);
+  static Expr Var(int var_id);
+  static Expr Unary(UnaryOp op, Expr operand);
+  static Expr Binary(BinaryOp op, Expr lhs, Expr rhs);
+  // Branch-free conditional: value of `then_value` if cond != 0 else
+  // `else_value`. Both arms are always "evaluated" (their variables count as
+  // dependencies); this is what the if-then-else transform of Section 4
+  // produces.
+  static Expr Select(Expr cond, Expr then_value, Expr else_value);
+
+  // --- Structure accessors ---
+  Kind kind() const;
+  Value const_value() const;           // requires kConst
+  int var_id() const;                  // requires kVar
+  UnaryOp unary_op() const;            // requires kUnary
+  BinaryOp binary_op() const;          // requires kBinary
+  const Expr& operand(int i) const;    // child i (0-based)
+  int num_operands() const;
+
+  // --- Semantics ---
+  // Evaluates under `env`, where env[i] is the value of variable i. All
+  // referenced variable ids must be < env.size().
+  Value Eval(InputView env) const;
+
+  // The set of variable ids appearing in this expression: the w1..wp of an
+  // assignment box, used to build surveillance labels.
+  VarSet FreeVars() const;
+
+  // Number of AST nodes; used as a data-independent evaluation cost.
+  int NodeCount() const;
+
+  // Structural equality (used by the select-simplification rule that powers
+  // Example 7: Select(c, e, e) ==> e).
+  bool StructurallyEquals(const Expr& other) const;
+
+  // Returns a copy with every variable id i replaced by remap(i).
+  Expr MapVars(const std::function<int(int)>& remap) const;
+
+  // Renders with variable names provided by `var_name`.
+  std::string ToString(const std::function<std::string(int)>& var_name) const;
+  // Renders with default names v0, v1, ...
+  std::string ToString() const;
+
+ private:
+  struct Node;
+  explicit Expr(std::shared_ptr<const Node> node);
+  std::shared_ptr<const Node> node_;
+};
+
+// Convenience builders used pervasively in tests and examples.
+inline Expr C(Value v) { return Expr::Const(v); }
+inline Expr V(int id) { return Expr::Var(id); }
+inline Expr Add(Expr a, Expr b) { return Expr::Binary(BinaryOp::kAdd, a, b); }
+inline Expr Sub(Expr a, Expr b) { return Expr::Binary(BinaryOp::kSub, a, b); }
+inline Expr Mul(Expr a, Expr b) { return Expr::Binary(BinaryOp::kMul, a, b); }
+inline Expr Eq(Expr a, Expr b) { return Expr::Binary(BinaryOp::kEq, a, b); }
+inline Expr Ne(Expr a, Expr b) { return Expr::Binary(BinaryOp::kNe, a, b); }
+inline Expr Lt(Expr a, Expr b) { return Expr::Binary(BinaryOp::kLt, a, b); }
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_EXPR_EXPR_H_

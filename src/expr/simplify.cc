@@ -1,0 +1,185 @@
+#include "src/expr/simplify.h"
+
+namespace secpol {
+
+namespace {
+
+bool IsConst(const Expr& e, Value v) {
+  return e.kind() == Expr::Kind::kConst && e.const_value() == v;
+}
+
+bool IsAnyConst(const Expr& e) { return e.kind() == Expr::Kind::kConst; }
+
+// Folds a binary op over two constants by evaluating through the regular
+// total semantics (empty environment: constants have no variables).
+Expr FoldBinary(BinaryOp op, const Expr& a, const Expr& b) {
+  return Expr::Const(Expr::Binary(op, a, b).Eval({}));
+}
+
+Expr SimplifyBinary(BinaryOp op, Expr a, Expr b) {
+  if (IsAnyConst(a) && IsAnyConst(b)) {
+    return FoldBinary(op, a, b);
+  }
+  switch (op) {
+    case BinaryOp::kAdd:
+      if (IsConst(a, 0)) {
+        return b;
+      }
+      if (IsConst(b, 0)) {
+        return a;
+      }
+      break;
+    case BinaryOp::kSub:
+      if (IsConst(b, 0)) {
+        return a;
+      }
+      if (a.StructurallyEquals(b)) {
+        return Expr::Const(0);  // x - x == 0, and drops x's dependency
+      }
+      break;
+    case BinaryOp::kMul:
+      if (IsConst(a, 0) || IsConst(b, 0)) {
+        return Expr::Const(0);  // total semantics: no side conditions
+      }
+      if (IsConst(a, 1)) {
+        return b;
+      }
+      if (IsConst(b, 1)) {
+        return a;
+      }
+      break;
+    case BinaryOp::kDiv:
+      if (IsConst(b, 1)) {
+        return a;
+      }
+      if (IsConst(b, 0)) {
+        return Expr::Const(0);  // division by zero is defined as 0
+      }
+      break;
+    case BinaryOp::kMod:
+      if (IsConst(b, 1) || IsConst(b, 0)) {
+        return Expr::Const(0);
+      }
+      break;
+    case BinaryOp::kMin:
+    case BinaryOp::kMax:
+      if (a.StructurallyEquals(b)) {
+        return a;
+      }
+      break;
+    case BinaryOp::kBitAnd:
+      if (IsConst(a, 0) || IsConst(b, 0)) {
+        return Expr::Const(0);
+      }
+      if (IsConst(a, -1)) {
+        return b;
+      }
+      if (IsConst(b, -1)) {
+        return a;
+      }
+      break;
+    case BinaryOp::kBitOr:
+      if (IsConst(a, 0)) {
+        return b;
+      }
+      if (IsConst(b, 0)) {
+        return a;
+      }
+      if (IsConst(a, -1) || IsConst(b, -1)) {
+        return Expr::Const(-1);
+      }
+      break;
+    case BinaryOp::kBitXor:
+      if (IsConst(a, 0)) {
+        return b;
+      }
+      if (IsConst(b, 0)) {
+        return a;
+      }
+      if (a.StructurallyEquals(b)) {
+        return Expr::Const(0);
+      }
+      break;
+    case BinaryOp::kEq:
+    case BinaryOp::kLe:
+    case BinaryOp::kGe:
+      if (a.StructurallyEquals(b)) {
+        return Expr::Const(1);
+      }
+      break;
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kGt:
+      if (a.StructurallyEquals(b)) {
+        return Expr::Const(0);
+      }
+      break;
+    case BinaryOp::kAnd:
+      if (IsConst(a, 0) || IsConst(b, 0)) {
+        return Expr::Const(0);
+      }
+      if (IsAnyConst(a) && a.const_value() != 0) {
+        // Truth-test the remaining operand.
+        return Expr::Binary(BinaryOp::kNe, b, Expr::Const(0));
+      }
+      if (IsAnyConst(b) && b.const_value() != 0) {
+        return Expr::Binary(BinaryOp::kNe, a, Expr::Const(0));
+      }
+      break;
+    case BinaryOp::kOr:
+      if ((IsAnyConst(a) && a.const_value() != 0) ||
+          (IsAnyConst(b) && b.const_value() != 0)) {
+        return Expr::Const(1);
+      }
+      if (IsConst(a, 0)) {
+        return Expr::Binary(BinaryOp::kNe, b, Expr::Const(0));
+      }
+      if (IsConst(b, 0)) {
+        return Expr::Binary(BinaryOp::kNe, a, Expr::Const(0));
+      }
+      break;
+  }
+  return Expr::Binary(op, std::move(a), std::move(b));
+}
+
+}  // namespace
+
+Expr Simplify(const Expr& expr) {
+  switch (expr.kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kVar:
+      return expr;
+    case Expr::Kind::kUnary: {
+      Expr operand = Simplify(expr.operand(0));
+      if (IsAnyConst(operand)) {
+        return Expr::Const(Expr::Unary(expr.unary_op(), operand).Eval({}));
+      }
+      // Neg(Neg(x)) == x under wrapping arithmetic.
+      if (expr.unary_op() == UnaryOp::kNeg && operand.kind() == Expr::Kind::kUnary &&
+          operand.unary_op() == UnaryOp::kNeg) {
+        return operand.operand(0);
+      }
+      return Expr::Unary(expr.unary_op(), std::move(operand));
+    }
+    case Expr::Kind::kBinary:
+      return SimplifyBinary(expr.binary_op(), Simplify(expr.operand(0)),
+                            Simplify(expr.operand(1)));
+    case Expr::Kind::kSelect: {
+      Expr cond = Simplify(expr.operand(0));
+      Expr then_value = Simplify(expr.operand(1));
+      Expr else_value = Simplify(expr.operand(2));
+      if (IsAnyConst(cond)) {
+        return cond.const_value() != 0 ? then_value : else_value;
+      }
+      // The Example 7 rule: equal arms drop the condition (and with it the
+      // condition's entire dependency set).
+      if (then_value.StructurallyEquals(else_value)) {
+        return then_value;
+      }
+      return Expr::Select(std::move(cond), std::move(then_value), std::move(else_value));
+    }
+  }
+  return expr;
+}
+
+}  // namespace secpol

@@ -1,0 +1,27 @@
+// Expression simplification: constant folding and algebraic identities.
+//
+// Used by the transform pipeline (Section 4/5 rewrites create Select chains
+// and dead arithmetic worth folding) and by anything that wants smaller
+// instrumented programs. Simplification must preserve semantics *exactly*
+// (including the wrapping/total semantics of Eval); the property tests run
+// random expressions over random environments to enforce that.
+//
+// Note what is deliberately NOT done: nothing that changes the dependency
+// set unsoundly. Dropping a dependency is only allowed when the value
+// provably never depends on it (e.g. x * 0 => 0, Select(c, e, e) => e);
+// these are exactly the "forgetting" steps that make transformed programs
+// more complete under surveillance.
+
+#ifndef SECPOL_SRC_EXPR_SIMPLIFY_H_
+#define SECPOL_SRC_EXPR_SIMPLIFY_H_
+
+#include "src/expr/expr.h"
+
+namespace secpol {
+
+// Returns a semantically identical expression, no larger than the input.
+Expr Simplify(const Expr& expr);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_EXPR_SIMPLIFY_H_

@@ -1,0 +1,104 @@
+#include "src/flowchart/builder.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace secpol {
+
+namespace {
+// Sentinel edge meaning "the box appended after this one".
+constexpr int kFallThrough = -2;
+}  // namespace
+
+ProgramBuilder::ProgramBuilder(std::string name, std::vector<std::string> input_names,
+                               std::vector<std::string> local_names)
+    : program_(std::move(name), std::move(input_names), std::move(local_names)) {
+  Start();
+}
+
+int ProgramBuilder::Var(const std::string& name) const {
+  const int id = program_.FindVar(name);
+  assert(id >= 0 && "unknown variable name");
+  return id;
+}
+
+int ProgramBuilder::Start() {
+  Box box;
+  box.kind = Box::Kind::kStart;
+  box.next = kFallThrough;
+  return program_.AddBox(box);
+}
+
+int ProgramBuilder::Assign(int var, Expr expr) {
+  Box box;
+  box.kind = Box::Kind::kAssign;
+  box.var = var;
+  box.expr = std::move(expr);
+  box.next = kFallThrough;
+  return program_.AddBox(box);
+}
+
+int ProgramBuilder::Decision(Expr predicate) {
+  Box box;
+  box.kind = Box::Kind::kDecision;
+  box.predicate = std::move(predicate);
+  box.true_next = kFallThrough;
+  box.false_next = kFallThrough;
+  return program_.AddBox(box);
+}
+
+int ProgramBuilder::HaltBox() {
+  Box box;
+  box.kind = Box::Kind::kHalt;
+  return program_.AddBox(box);
+}
+
+void ProgramBuilder::Goto(int box, int target) {
+  Box& b = program_.mutable_box(box);
+  assert(b.kind == Box::Kind::kStart || b.kind == Box::Kind::kAssign);
+  b.next = target;
+}
+
+void ProgramBuilder::SetBranches(int decision, int true_target, int false_target) {
+  Box& b = program_.mutable_box(decision);
+  assert(b.kind == Box::Kind::kDecision);
+  b.true_next = true_target;
+  b.false_next = false_target;
+}
+
+Program ProgramBuilder::Build() {
+  assert(!built_);
+  built_ = true;
+  // Resolve fall-through edges.
+  for (int i = 0; i < program_.num_boxes(); ++i) {
+    Box& box = program_.mutable_box(i);
+    auto resolve = [&](int& edge) {
+      if (edge == kFallThrough) {
+        edge = i + 1;
+      }
+    };
+    switch (box.kind) {
+      case Box::Kind::kStart:
+      case Box::Kind::kAssign:
+        resolve(box.next);
+        break;
+      case Box::Kind::kDecision:
+        resolve(box.true_next);
+        resolve(box.false_next);
+        break;
+      case Box::Kind::kHalt:
+        break;
+    }
+  }
+  Result<bool> valid = program_.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "ProgramBuilder produced invalid program '%s': %s\n%s\n",
+                 program_.name().c_str(), valid.error().ToString().c_str(),
+                 program_.ToString().c_str());
+    std::abort();
+  }
+  return std::move(program_);
+}
+
+}  // namespace secpol

@@ -1,0 +1,59 @@
+// Fluent construction of flowchart programs from C++.
+//
+// The builder appends boxes in straight-line order and lets tests and
+// examples express the paper's witness programs compactly:
+//
+//   ProgramBuilder b("witness", {"x1", "x2"}, {});
+//   int d = b.Decision(Ne(V(0), C(0)));
+//   int t = b.Assign(b.OutputVar(), C(1));
+//   int e = b.Assign(b.OutputVar(), C(2));
+//   b.SetBranches(d, t, e);
+//   b.Goto(t, b.HaltBox());  ...
+//
+// Most users should prefer the flowlang front end; the builder exists for
+// programs whose graph structure is not expressible as structured code.
+
+#ifndef SECPOL_SRC_FLOWCHART_BUILDER_H_
+#define SECPOL_SRC_FLOWCHART_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/flowchart/program.h"
+
+namespace secpol {
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder(std::string name, std::vector<std::string> input_names,
+                 std::vector<std::string> local_names);
+
+  // Variable lookup.
+  int Var(const std::string& name) const;
+  int OutputVar() const { return program_.output_var(); }
+
+  // Box creation. Successor edges default to "the next box appended", which
+  // makes straight-line code read naturally; use Goto/SetBranches to rewire.
+  int Start();
+  int Assign(int var, Expr expr);
+  int Decision(Expr predicate);
+  int HaltBox();
+
+  // Rewires the unconditional successor of `box` (start or assign).
+  void Goto(int box, int target);
+  // Rewires both branches of a decision box.
+  void SetBranches(int decision, int true_target, int false_target);
+
+  // Finalizes: resolves "fall-through" edges (-2 placeholders) to the next
+  // appended box, validates, and returns the program. Aborts on invalid
+  // structure (builder misuse is a programming error).
+  Program Build();
+
+ private:
+  Program program_;
+  bool built_ = false;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_FLOWCHART_BUILDER_H_

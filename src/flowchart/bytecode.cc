@@ -1,0 +1,301 @@
+#include "src/flowchart/bytecode.h"
+
+#include <cassert>
+
+#include "src/expr/arith.h"
+
+namespace secpol {
+
+namespace {
+
+// Compiles expressions for one box into three-address code. Temporaries are
+// allocated after the program's variables and recycled per box.
+class ExprCompiler {
+ public:
+  ExprCompiler(int first_temp, std::vector<BcInst>* code)
+      : first_temp_(first_temp), next_temp_(first_temp), code_(code) {}
+
+  int max_register_used() const { return max_register_used_; }
+
+  // Compiles `expr`; the result lands in `desired_dst` if >= 0, otherwise in
+  // any register (possibly the variable's own register for leaves). Returns
+  // the register holding the result.
+  int Compile(const Expr& expr, int desired_dst) {
+    switch (expr.kind()) {
+      case Expr::Kind::kConst: {
+        const int dst = Alloc(desired_dst);
+        BcInst inst;
+        inst.op = BcOp::kConst;
+        inst.dst = dst;
+        inst.imm = expr.const_value();
+        code_->push_back(inst);
+        return dst;
+      }
+      case Expr::Kind::kVar: {
+        if (desired_dst < 0 || desired_dst == expr.var_id()) {
+          Note(expr.var_id());
+          return expr.var_id();
+        }
+        BcInst inst;
+        inst.op = BcOp::kMov;
+        inst.dst = desired_dst;
+        inst.a = expr.var_id();
+        code_->push_back(inst);
+        Note(desired_dst);
+        return desired_dst;
+      }
+      case Expr::Kind::kUnary: {
+        const int a = Compile(expr.operand(0), -1);
+        const int dst = Alloc(desired_dst);
+        BcInst inst;
+        inst.op = BcOp::kUnary;
+        inst.unary_op = expr.unary_op();
+        inst.dst = dst;
+        inst.a = a;
+        code_->push_back(inst);
+        return dst;
+      }
+      case Expr::Kind::kBinary: {
+        const int a = Compile(expr.operand(0), -1);
+        const int b = Compile(expr.operand(1), -1);
+        const int dst = Alloc(desired_dst);
+        BcInst inst;
+        inst.op = BcOp::kBinary;
+        inst.binary_op = expr.binary_op();
+        inst.dst = dst;
+        inst.a = a;
+        inst.b = b;
+        code_->push_back(inst);
+        return dst;
+      }
+      case Expr::Kind::kSelect: {
+        const int a = Compile(expr.operand(0), -1);
+        const int b = Compile(expr.operand(1), -1);
+        const int c = Compile(expr.operand(2), -1);
+        const int dst = Alloc(desired_dst);
+        BcInst inst;
+        inst.op = BcOp::kSelect;
+        inst.dst = dst;
+        inst.a = a;
+        inst.b = b;
+        inst.c = c;
+        code_->push_back(inst);
+        return dst;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  int Alloc(int desired_dst) {
+    const int reg = desired_dst >= 0 ? desired_dst : next_temp_++;
+    Note(reg);
+    return reg;
+  }
+  void Note(int reg) {
+    if (reg > max_register_used_) {
+      max_register_used_ = reg;
+    }
+  }
+
+  int first_temp_;
+  int next_temp_;
+  int max_register_used_ = 0;
+  std::vector<BcInst>* code_;
+};
+
+}  // namespace
+
+BytecodeProgram CompileToBytecode(const Program& program) {
+  assert(program.Validate().ok());
+  BytecodeProgram out;
+  out.num_inputs_ = program.num_inputs();
+  out.output_reg_ = program.output_var();
+
+  // Pass 1: compile each box into a chunk with box-indexed jump targets.
+  struct Chunk {
+    std::vector<BcInst> code;  // targets hold BOX ids, patched in pass 2
+  };
+  std::vector<Chunk> chunks(static_cast<size_t>(program.num_boxes()));
+  int max_register = program.num_vars() - 1;
+
+  for (int b = 0; b < program.num_boxes(); ++b) {
+    const Box& box = program.box(b);
+    Chunk& chunk = chunks[static_cast<size_t>(b)];
+    ExprCompiler exprs(program.num_vars(), &chunk.code);
+    switch (box.kind) {
+      case Box::Kind::kStart: {
+        BcInst jump;
+        jump.op = BcOp::kJump;
+        jump.target = box.next;
+        chunk.code.push_back(jump);
+        break;
+      }
+      case Box::Kind::kAssign: {
+        // The root write happens last, so compiling straight into the
+        // destination register still reads the old value in the operands.
+        exprs.Compile(box.expr, box.var);
+        BcInst jump;
+        jump.op = BcOp::kJump;
+        jump.target = box.next;
+        chunk.code.push_back(jump);
+        break;
+      }
+      case Box::Kind::kDecision: {
+        const int test = exprs.Compile(box.predicate, -1);
+        BcInst branch;
+        branch.op = BcOp::kBranchZ;
+        branch.a = test;
+        branch.target = box.false_next;
+        chunk.code.push_back(branch);
+        BcInst jump;
+        jump.op = BcOp::kJump;
+        jump.target = box.true_next;
+        chunk.code.push_back(jump);
+        break;
+      }
+      case Box::Kind::kHalt: {
+        BcInst halt;
+        halt.op = BcOp::kHalt;
+        chunk.code.push_back(halt);
+        break;
+      }
+    }
+    assert(!chunk.code.empty());
+    chunk.code.front().charges_step = true;
+    for (BcInst& inst : chunk.code) {
+      inst.source_box = b;
+    }
+    if (exprs.max_register_used() > max_register) {
+      max_register = exprs.max_register_used();
+    }
+  }
+  out.num_registers_ = max_register + 1;
+
+  // Pass 2: lay out chunks (start box first) and patch targets.
+  std::vector<int> entry(static_cast<size_t>(program.num_boxes()), 0);
+  int offset = 0;
+  auto place = [&](int b) {
+    entry[static_cast<size_t>(b)] = offset;
+    offset += static_cast<int>(chunks[static_cast<size_t>(b)].code.size());
+  };
+  place(program.start_box());
+  for (int b = 0; b < program.num_boxes(); ++b) {
+    if (b != program.start_box()) {
+      place(b);
+    }
+  }
+  auto append = [&](int b) {
+    for (BcInst inst : chunks[static_cast<size_t>(b)].code) {
+      if (inst.op == BcOp::kJump || inst.op == BcOp::kBranchZ) {
+        inst.target = entry[static_cast<size_t>(inst.target)];
+      }
+      out.code_.push_back(inst);
+    }
+  };
+  append(program.start_box());
+  for (int b = 0; b < program.num_boxes(); ++b) {
+    if (b != program.start_box()) {
+      append(b);
+    }
+  }
+  return out;
+}
+
+ExecResult RunBytecode(const BytecodeProgram& bytecode, InputView input, StepCount fuel) {
+  assert(static_cast<int>(input.size()) == bytecode.num_inputs());
+  std::vector<Value> regs(static_cast<size_t>(bytecode.num_registers()), 0);
+  for (int i = 0; i < bytecode.num_inputs(); ++i) {
+    regs[i] = input[i];
+  }
+  const BcInst* code = bytecode.code().data();
+
+  ExecResult result;
+  int pc = 0;
+  while (true) {
+    const BcInst& inst = code[pc];
+    if (inst.charges_step) {
+      if (result.steps >= fuel) {
+        return result;  // fuel exhausted, halted stays false
+      }
+      ++result.steps;
+    }
+    switch (inst.op) {
+      case BcOp::kConst:
+        regs[inst.dst] = inst.imm;
+        ++pc;
+        break;
+      case BcOp::kMov:
+        regs[inst.dst] = regs[inst.a];
+        ++pc;
+        break;
+      case BcOp::kUnary:
+        regs[inst.dst] = EvalUnaryOp(inst.unary_op, regs[inst.a]);
+        ++pc;
+        break;
+      case BcOp::kBinary:
+        regs[inst.dst] = EvalBinaryOp(inst.binary_op, regs[inst.a], regs[inst.b]);
+        ++pc;
+        break;
+      case BcOp::kSelect:
+        regs[inst.dst] = regs[inst.a] != 0 ? regs[inst.b] : regs[inst.c];
+        ++pc;
+        break;
+      case BcOp::kJump:
+        pc = inst.target;
+        break;
+      case BcOp::kBranchZ:
+        pc = regs[inst.a] == 0 ? inst.target : pc + 1;
+        break;
+      case BcOp::kHalt:
+        result.output = regs[bytecode.output_reg()];
+        result.halted = true;
+        result.halt_box = inst.source_box;
+        return result;
+    }
+  }
+}
+
+std::string BytecodeProgram::ToString() const {
+  std::string out = "bytecode (" + std::to_string(num_registers_) + " regs)\n";
+  for (size_t i = 0; i < code_.size(); ++i) {
+    const BcInst& inst = code_[i];
+    out += "  " + std::to_string(i) + ": ";
+    switch (inst.op) {
+      case BcOp::kConst:
+        out += "r" + std::to_string(inst.dst) + " <- " + std::to_string(inst.imm);
+        break;
+      case BcOp::kMov:
+        out += "r" + std::to_string(inst.dst) + " <- r" + std::to_string(inst.a);
+        break;
+      case BcOp::kUnary:
+        out += "r" + std::to_string(inst.dst) + " <- " + UnaryOpName(inst.unary_op) + " r" +
+               std::to_string(inst.a);
+        break;
+      case BcOp::kBinary:
+        out += "r" + std::to_string(inst.dst) + " <- r" + std::to_string(inst.a) + " " +
+               BinaryOpName(inst.binary_op) + " r" + std::to_string(inst.b);
+        break;
+      case BcOp::kSelect:
+        out += "r" + std::to_string(inst.dst) + " <- r" + std::to_string(inst.a) + " ? r" +
+               std::to_string(inst.b) + " : r" + std::to_string(inst.c);
+        break;
+      case BcOp::kJump:
+        out += "jump " + std::to_string(inst.target);
+        break;
+      case BcOp::kBranchZ:
+        out += "brz r" + std::to_string(inst.a) + ", " + std::to_string(inst.target);
+        break;
+      case BcOp::kHalt:
+        out += "halt";
+        break;
+    }
+    if (inst.charges_step) {
+      out += "   ; box " + std::to_string(inst.source_box);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace secpol

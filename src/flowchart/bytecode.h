@@ -1,0 +1,79 @@
+// A flat bytecode backend for flowchart programs.
+//
+// The AST-walking interpreter is the reference semantics; this compiler
+// flattens each flowchart into three-address code over a register file
+// (program variables first, expression temporaries after), removing all
+// pointer chasing from the hot loop. The observable behaviour — output,
+// *step count*, halting box — is bit-identical to the reference interpreter:
+// each flowchart box charges exactly one step, attributed to the box's first
+// instruction, so a bytecode run can stand in for an interpreted run even
+// under Observability::kValueAndTime. A differential property suite enforces
+// this on random corpora.
+
+#ifndef SECPOL_SRC_FLOWCHART_BYTECODE_H_
+#define SECPOL_SRC_FLOWCHART_BYTECODE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/flowchart/interpreter.h"
+#include "src/flowchart/program.h"
+
+namespace secpol {
+
+enum class BcOp {
+  kConst,     // dst <- imm
+  kMov,       // dst <- reg a
+  kUnary,     // dst <- unary_op a
+  kBinary,    // dst <- a binary_op b
+  kSelect,    // dst <- a != 0 ? b : c
+  kJump,      // pc <- target
+  kBranchZ,   // pc <- target if reg a == 0, else fall through
+  kHalt,      // stop; output register holds y
+};
+
+struct BcInst {
+  BcOp op = BcOp::kHalt;
+  int dst = -1;
+  int a = -1;
+  int b = -1;
+  int c = -1;
+  Value imm = 0;
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  int target = -1;
+  // True on the first instruction compiled from each flowchart box: executing
+  // it charges one step, preserving the reference step count.
+  bool charges_step = false;
+  // The source box id (reported as halt_box for kHalt, and for diagnostics).
+  int source_box = -1;
+};
+
+class BytecodeProgram {
+ public:
+  int num_inputs() const { return num_inputs_; }
+  int num_registers() const { return num_registers_; }
+  int output_reg() const { return output_reg_; }
+  const std::vector<BcInst>& code() const { return code_; }
+
+  std::string ToString() const;
+
+ private:
+  friend BytecodeProgram CompileToBytecode(const Program& program);
+  int num_inputs_ = 0;
+  int num_registers_ = 0;
+  int output_reg_ = 0;
+  std::vector<BcInst> code_;
+};
+
+// Compiles a valid flowchart program.
+BytecodeProgram CompileToBytecode(const Program& program);
+
+// Executes with semantics identical to RunProgram on the source flowchart
+// (same output, steps, halted flag, and halt_box).
+ExecResult RunBytecode(const BytecodeProgram& bytecode, InputView input,
+                       StepCount fuel = kDefaultFuel);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_FLOWCHART_BYTECODE_H_

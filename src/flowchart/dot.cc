@@ -1,0 +1,53 @@
+#include "src/flowchart/dot.h"
+
+namespace secpol {
+
+namespace {
+
+std::string EscapeLabel(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ProgramToDot(const Program& program) {
+  auto name_of = [&program](int id) { return program.VarName(id); };
+  std::string out = "digraph \"" + EscapeLabel(program.name()) + "\" {\n";
+  out += "  node [fontname=\"monospace\"];\n";
+  for (int i = 0; i < program.num_boxes(); ++i) {
+    const Box& box = program.box(i);
+    const std::string id = "b" + std::to_string(i);
+    switch (box.kind) {
+      case Box::Kind::kStart:
+        out += "  " + id + " [shape=oval, label=\"START\"];\n";
+        out += "  " + id + " -> b" + std::to_string(box.next) + ";\n";
+        break;
+      case Box::Kind::kAssign:
+        out += "  " + id + " [shape=box, label=\"" +
+               EscapeLabel(program.VarName(box.var) + " <- " + box.expr.ToString(name_of)) +
+               "\"];\n";
+        out += "  " + id + " -> b" + std::to_string(box.next) + ";\n";
+        break;
+      case Box::Kind::kDecision:
+        out += "  " + id + " [shape=diamond, label=\"" +
+               EscapeLabel(box.predicate.ToString(name_of)) + "\"];\n";
+        out += "  " + id + " -> b" + std::to_string(box.true_next) + " [label=\"T\"];\n";
+        out += "  " + id + " -> b" + std::to_string(box.false_next) + " [label=\"F\"];\n";
+        break;
+      case Box::Kind::kHalt:
+        out += "  " + id + " [shape=oval, label=\"HALT\"];\n";
+        break;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace secpol

@@ -1,0 +1,18 @@
+// Graphviz DOT export of flowchart programs, for documentation and debugging.
+
+#ifndef SECPOL_SRC_FLOWCHART_DOT_H_
+#define SECPOL_SRC_FLOWCHART_DOT_H_
+
+#include <string>
+
+#include "src/flowchart/program.h"
+
+namespace secpol {
+
+// Renders `program` as a DOT digraph. Decision boxes become diamonds,
+// assignments rectangles, start/halt ovals.
+std::string ProgramToDot(const Program& program);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_FLOWCHART_DOT_H_

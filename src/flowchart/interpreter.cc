@@ -1,0 +1,80 @@
+#include "src/flowchart/interpreter.h"
+
+#include <cassert>
+#include <vector>
+
+namespace secpol {
+
+ExecResult RunProgram(const Program& program, InputView input, StepCount fuel) {
+  assert(static_cast<int>(input.size()) == program.num_inputs());
+  std::vector<Value> env(program.num_vars(), 0);
+  for (int i = 0; i < program.num_inputs(); ++i) {
+    env[i] = input[i];
+  }
+
+  ExecResult result;
+  int pc = program.start_box();
+  while (result.steps < fuel) {
+    ++result.steps;
+    const Box& box = program.box(pc);
+    switch (box.kind) {
+      case Box::Kind::kStart:
+        pc = box.next;
+        break;
+      case Box::Kind::kAssign:
+        env[box.var] = box.expr.Eval(env);
+        pc = box.next;
+        break;
+      case Box::Kind::kDecision:
+        pc = box.predicate.Eval(env) != 0 ? box.true_next : box.false_next;
+        break;
+      case Box::Kind::kHalt:
+        result.output = env[program.output_var()];
+        result.halted = true;
+        result.halt_box = pc;
+        return result;
+    }
+  }
+  return result;  // fuel exhausted
+}
+
+namespace {
+
+// Recursively enumerates the grid and compares outputs.
+bool EquivalentRec(const Program& p1, const Program& p2, const std::vector<Value>& grid_values,
+                   std::vector<Value>& input, size_t index, StepCount fuel) {
+  if (index == input.size()) {
+    const ExecResult r1 = RunProgram(p1, input, fuel);
+    const ExecResult r2 = RunProgram(p2, input, fuel);
+    if (r1.halted != r2.halted) {
+      return false;
+    }
+    // Both exhausted fuel: equivalent as far as is observable within it.
+    return !r1.halted || r1.output == r2.output;
+  }
+  for (Value v : grid_values) {
+    input[index] = v;
+    if (!EquivalentRec(p1, p2, grid_values, input, index + 1, fuel)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FunctionallyEquivalentOnGrid(const Program& p1, const Program& p2,
+                                  const std::vector<Value>& grid_values, StepCount fuel) {
+  if (p1.num_inputs() != p2.num_inputs()) {
+    return false;
+  }
+  std::vector<Value> input(p1.num_inputs(), 0);
+  if (input.empty()) {
+    const ExecResult r1 = RunProgram(p1, input, fuel);
+    const ExecResult r2 = RunProgram(p2, input, fuel);
+    return r1.halted && r2.halted && r1.output == r2.output;
+  }
+  return EquivalentRec(p1, p2, grid_values, input, 0, fuel);
+}
+
+}  // namespace secpol

@@ -1,0 +1,41 @@
+// The plain (unprotected) flowchart interpreter.
+//
+// Running a flowchart yields the value of y at the halt box plus the number
+// of steps executed — the two-component output (value, time) of Section 3.
+// Whether "time" is released to the user is a property of the mechanism and
+// the observability assumption, not of the interpreter; we always record it.
+
+#ifndef SECPOL_SRC_FLOWCHART_INTERPRETER_H_
+#define SECPOL_SRC_FLOWCHART_INTERPRETER_H_
+
+#include "src/flowchart/program.h"
+#include "src/util/value.h"
+
+namespace secpol {
+
+// Default fuel bound. Programs in this library are total by construction;
+// the bound exists to turn accidental nontermination into a detectable error
+// instead of a hang.
+inline constexpr StepCount kDefaultFuel = 1u << 22;
+
+struct ExecResult {
+  Value output = 0;       // value of y at halt
+  StepCount steps = 0;    // boxes executed (including start and halt)
+  bool halted = false;    // false => fuel exhausted
+  int halt_box = -1;      // which halt box terminated execution
+};
+
+// Executes `program` on `input` (input.size() must equal num_inputs()).
+ExecResult RunProgram(const Program& program, InputView input, StepCount fuel = kDefaultFuel);
+
+// Exhaustively checks that two programs compute the same output function on
+// the cross product of `grid_values` assigned to each input (both programs
+// must have the same arity). Returns true iff functionally equivalent on the
+// grid. Used to audit the Section 4/5 program transforms.
+bool FunctionallyEquivalentOnGrid(const Program& p1, const Program& p2,
+                                  const std::vector<Value>& grid_values,
+                                  StepCount fuel = kDefaultFuel);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_FLOWCHART_INTERPRETER_H_

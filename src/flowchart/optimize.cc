@@ -1,0 +1,51 @@
+#include "src/flowchart/optimize.h"
+
+#include "src/expr/simplify.h"
+
+namespace secpol {
+
+Program OptimizeProgram(const Program& program, OptimizeStats* stats) {
+  OptimizeStats local;
+  Program out = program;
+  for (int b = 0; b < out.num_boxes(); ++b) {
+    Box& box = out.mutable_box(b);
+    switch (box.kind) {
+      case Box::Kind::kAssign: {
+        Expr simplified = Simplify(box.expr);
+        if (!simplified.StructurallyEquals(box.expr)) {
+          ++local.expressions_simplified;
+          box.expr = std::move(simplified);
+        }
+        break;
+      }
+      case Box::Kind::kDecision: {
+        Expr simplified = Simplify(box.predicate);
+        if (!simplified.StructurallyEquals(box.predicate)) {
+          ++local.expressions_simplified;
+        }
+        if (simplified.kind() == Expr::Kind::kConst) {
+          // Rewire both edges to the taken branch; the box remains a
+          // constant test (one step, empty label contribution).
+          const int taken =
+              simplified.const_value() != 0 ? box.true_next : box.false_next;
+          if (box.true_next != taken || box.false_next != taken) {
+            ++local.predicates_folded;
+          }
+          box.true_next = taken;
+          box.false_next = taken;
+        }
+        box.predicate = std::move(simplified);
+        break;
+      }
+      case Box::Kind::kStart:
+      case Box::Kind::kHalt:
+        break;
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return out;
+}
+
+}  // namespace secpol

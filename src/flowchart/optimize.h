@@ -1,0 +1,32 @@
+// A conservative flowchart optimizer.
+//
+// Applies the expression simplifier to every box and short-circuits
+// decisions whose predicates fold to constants (their untaken edge is
+// rewired away, leaving the box as a pass-through test on a constant — the
+// box itself is kept so step counts are preserved exactly). Dead boxes are
+// left in place (they cost nothing and box ids stay stable).
+//
+// Guarantees, enforced by tests:
+//   * functional equivalence (output AND step count AND halt box);
+//   * surveillance labels never grow — simplification only ever removes
+//     dependencies (x * 0, Select(c, e, e), ...), so the optimized program's
+//     surveillance mechanism is at least as complete as the original's.
+
+#ifndef SECPOL_SRC_FLOWCHART_OPTIMIZE_H_
+#define SECPOL_SRC_FLOWCHART_OPTIMIZE_H_
+
+#include "src/flowchart/program.h"
+
+namespace secpol {
+
+struct OptimizeStats {
+  int expressions_simplified = 0;
+  int predicates_folded = 0;
+};
+
+// Returns the optimized program (same box count and numbering).
+Program OptimizeProgram(const Program& program, OptimizeStats* stats = nullptr);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_FLOWCHART_OPTIMIZE_H_

@@ -1,0 +1,175 @@
+#include "src/flowchart/program.h"
+
+#include <deque>
+
+namespace secpol {
+
+Program::Program(std::string name, std::vector<std::string> input_names,
+                 std::vector<std::string> local_names)
+    : name_(std::move(name)),
+      num_inputs_(static_cast<int>(input_names.size())),
+      num_locals_(static_cast<int>(local_names.size())) {
+  var_names_ = std::move(input_names);
+  for (auto& local : local_names) {
+    var_names_.push_back(std::move(local));
+  }
+  var_names_.push_back("y");
+}
+
+int Program::FindVar(const std::string& name) const {
+  for (int i = 0; i < num_vars(); ++i) {
+    if (var_names_[i] == name) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int Program::AddBox(Box box) {
+  const int id = static_cast<int>(boxes_.size());
+  if (box.kind == Box::Kind::kStart && start_box_ < 0) {
+    start_box_ = id;
+  }
+  boxes_.push_back(std::move(box));
+  return id;
+}
+
+Result<bool> Program::Validate() const {
+  if (num_vars() > VarSet::kMaxIndex + 1) {
+    return Error{"too many variables (limit 64)"};
+  }
+  int start_count = 0;
+  for (const Box& box : boxes_) {
+    if (box.kind == Box::Kind::kStart) {
+      ++start_count;
+    }
+  }
+  if (start_count != 1) {
+    return Error{"program must have exactly one start box, found " +
+                 std::to_string(start_count)};
+  }
+  auto edge_ok = [&](int target) { return target >= 0 && target < num_boxes(); };
+  auto vars_ok = [&](const Expr& e) { return e.FreeVars().SubsetOf(VarSet::FirstN(num_vars())); };
+
+  bool has_halt = false;
+  for (int i = 0; i < num_boxes(); ++i) {
+    const Box& box = boxes_[i];
+    const std::string where = "box " + std::to_string(i) + ": ";
+    switch (box.kind) {
+      case Box::Kind::kStart:
+        if (!edge_ok(box.next)) {
+          return Error{where + "start has invalid successor"};
+        }
+        break;
+      case Box::Kind::kAssign:
+        if (!edge_ok(box.next)) {
+          return Error{where + "assignment has invalid successor"};
+        }
+        if (box.var < 0 || box.var >= num_vars()) {
+          return Error{where + "assignment to invalid variable id"};
+        }
+        if (IsInputVar(box.var)) {
+          return Error{where + "assignment to input variable " + VarName(box.var)};
+        }
+        if (!vars_ok(box.expr)) {
+          return Error{where + "expression references out-of-range variable"};
+        }
+        break;
+      case Box::Kind::kDecision:
+        if (!edge_ok(box.true_next) || !edge_ok(box.false_next)) {
+          return Error{where + "decision has invalid successor"};
+        }
+        if (!vars_ok(box.predicate)) {
+          return Error{where + "predicate references out-of-range variable"};
+        }
+        break;
+      case Box::Kind::kHalt:
+        has_halt = true;
+        break;
+    }
+  }
+  if (!has_halt) {
+    return Error{"program has no halt box"};
+  }
+
+  // Reachability: some halt box must be reachable from start.
+  std::vector<bool> seen(boxes_.size(), false);
+  std::deque<int> queue = {start_box_};
+  seen[start_box_] = true;
+  bool halt_reachable = false;
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    const Box& box = boxes_[id];
+    auto visit = [&](int target) {
+      if (target >= 0 && !seen[target]) {
+        seen[target] = true;
+        queue.push_back(target);
+      }
+    };
+    switch (box.kind) {
+      case Box::Kind::kStart:
+      case Box::Kind::kAssign:
+        visit(box.next);
+        break;
+      case Box::Kind::kDecision:
+        visit(box.true_next);
+        visit(box.false_next);
+        break;
+      case Box::Kind::kHalt:
+        halt_reachable = true;
+        break;
+    }
+  }
+  if (!halt_reachable) {
+    return Error{"no halt box is reachable from start"};
+  }
+  return true;
+}
+
+VarSet Program::ReferencedInputs() const {
+  VarSet inputs = VarSet::FirstN(num_inputs_);
+  VarSet seen;
+  for (const Box& box : boxes_) {
+    switch (box.kind) {
+      case Box::Kind::kAssign:
+        seen = seen.Union(box.expr.FreeVars());
+        break;
+      case Box::Kind::kDecision:
+        seen = seen.Union(box.predicate.FreeVars());
+        break;
+      default:
+        break;
+    }
+  }
+  return seen.Intersect(inputs);
+}
+
+std::string Program::ToString() const {
+  auto name_of = [this](int id) { return VarName(id); };
+  std::string out = "program " + name_ + " (start=" + std::to_string(start_box_) + ")\n";
+  for (int i = 0; i < num_boxes(); ++i) {
+    const Box& box = boxes_[i];
+    out += "  [" + std::to_string(i) + "] ";
+    switch (box.kind) {
+      case Box::Kind::kStart:
+        out += "START -> " + std::to_string(box.next);
+        break;
+      case Box::Kind::kAssign:
+        out += VarName(box.var) + " <- " + box.expr.ToString(name_of) + " -> " +
+               std::to_string(box.next);
+        break;
+      case Box::Kind::kDecision:
+        out += "if " + box.predicate.ToString(name_of) + " -> " + std::to_string(box.true_next) +
+               " else -> " + std::to_string(box.false_next);
+        break;
+      case Box::Kind::kHalt:
+        out += "HALT";
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace secpol

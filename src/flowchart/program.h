@@ -1,0 +1,100 @@
+// The flowchart program model of Section 3.
+//
+// "A flowchart F is a finite connected directed graph whose nodes are boxes"
+// of four kinds: start, decision, assignment, halt. Variables are the input
+// variables x1..xk, program variables r1..rm, and the single output variable
+// y. Execution begins at the unique start box with program variables and y
+// initialized to 0 and inputs bound to the input tuple.
+//
+// Variable ids are assigned densely:
+//   [0, num_inputs)                          the inputs x1..xk
+//   [num_inputs, num_inputs + num_locals)    the program variables r1..rm
+//   num_inputs + num_locals                  the output variable y
+
+#ifndef SECPOL_SRC_FLOWCHART_PROGRAM_H_
+#define SECPOL_SRC_FLOWCHART_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/util/result.h"
+#include "src/util/value.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+// One node of the flowchart graph. Which fields are meaningful depends on
+// `kind`; `next` edges are indices into Program::boxes.
+struct Box {
+  enum class Kind { kStart, kAssign, kDecision, kHalt };
+
+  Kind kind = Kind::kHalt;
+
+  // kStart, kAssign: the unconditional successor.
+  int next = -1;
+
+  // kAssign: `var <- expr`.
+  int var = -1;
+  Expr expr;
+
+  // kDecision: branch to true_next iff predicate evaluates nonzero.
+  Expr predicate;
+  int true_next = -1;
+  int false_next = -1;
+};
+
+class Program {
+ public:
+  Program(std::string name, std::vector<std::string> input_names,
+          std::vector<std::string> local_names);
+
+  const std::string& name() const { return name_; }
+  int num_inputs() const { return num_inputs_; }
+  int num_locals() const { return num_locals_; }
+  // Total number of variables including the output.
+  int num_vars() const { return num_inputs_ + num_locals_ + 1; }
+  // The id of the output variable y.
+  int output_var() const { return num_inputs_ + num_locals_; }
+  bool IsInputVar(int id) const { return id >= 0 && id < num_inputs_; }
+
+  const std::string& VarName(int id) const { return var_names_[id]; }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  // Returns the id of the named variable, or -1.
+  int FindVar(const std::string& name) const;
+
+  int num_boxes() const { return static_cast<int>(boxes_.size()); }
+  const Box& box(int id) const { return boxes_[id]; }
+  Box& mutable_box(int id) { return boxes_[id]; }
+  const std::vector<Box>& boxes() const { return boxes_; }
+
+  int start_box() const { return start_box_; }
+
+  // Appends a box and returns its id. The first kStart box appended becomes
+  // the start box.
+  int AddBox(Box box);
+
+  // Structural validation: exactly one start box, all edges in range, all
+  // variable ids in range, no assignment to an input variable, halt boxes
+  // reachable, every non-halt box has successors.
+  Result<bool> Validate() const;
+
+  // The set of input ids (as VarSet) whose variables occur anywhere in the
+  // program text. Useful diagnostics.
+  VarSet ReferencedInputs() const;
+
+  // Human-readable listing of the boxes.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  int num_inputs_;
+  int num_locals_;
+  std::vector<std::string> var_names_;
+  std::vector<Box> boxes_;
+  int start_box_ = -1;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_FLOWCHART_PROGRAM_H_

@@ -1,0 +1,120 @@
+#include "src/flowlang/ast.h"
+
+namespace secpol {
+
+Stmt Stmt::Assign(int var, Expr expr) {
+  Stmt s;
+  s.kind = Kind::kAssign;
+  s.var = var;
+  s.expr = std::move(expr);
+  return s;
+}
+
+Stmt Stmt::If(Expr cond, std::vector<Stmt> then_body, std::vector<Stmt> else_body) {
+  Stmt s;
+  s.kind = Kind::kIf;
+  s.cond = std::move(cond);
+  s.then_body = std::move(then_body);
+  s.else_body = std::move(else_body);
+  return s;
+}
+
+Stmt Stmt::While(Expr cond, std::vector<Stmt> body) {
+  Stmt s;
+  s.kind = Kind::kWhile;
+  s.cond = std::move(cond);
+  s.body = std::move(body);
+  return s;
+}
+
+Stmt Stmt::Halt() {
+  Stmt s;
+  s.kind = Kind::kHalt;
+  return s;
+}
+
+std::string SourceProgram::VarName(int id) const {
+  if (id < num_inputs()) {
+    return input_names[id];
+  }
+  if (id < num_inputs() + num_locals()) {
+    return local_names[id - num_inputs()];
+  }
+  return "y";
+}
+
+int SourceProgram::FindVar(const std::string& name) const {
+  for (int i = 0; i < num_vars(); ++i) {
+    if (VarName(i) == name) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+namespace {
+
+void PrintBlock(const SourceProgram& p, const std::vector<Stmt>& block, int indent,
+                std::string& out);
+
+void PrintStmt(const SourceProgram& p, const Stmt& stmt, int indent, std::string& out) {
+  auto name_of = [&p](int id) { return p.VarName(id); };
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (stmt.kind) {
+    case Stmt::Kind::kAssign:
+      out += pad + p.VarName(stmt.var) + " = " + stmt.expr.ToString(name_of) + ";\n";
+      break;
+    case Stmt::Kind::kIf:
+      out += pad + "if (" + stmt.cond.ToString(name_of) + ") {\n";
+      PrintBlock(p, stmt.then_body, indent + 1, out);
+      if (!stmt.else_body.empty()) {
+        out += pad + "} else {\n";
+        PrintBlock(p, stmt.else_body, indent + 1, out);
+      }
+      out += pad + "}\n";
+      break;
+    case Stmt::Kind::kWhile:
+      out += pad + "while (" + stmt.cond.ToString(name_of) + ") {\n";
+      PrintBlock(p, stmt.body, indent + 1, out);
+      out += pad + "}\n";
+      break;
+    case Stmt::Kind::kHalt:
+      out += pad + "halt;\n";
+      break;
+  }
+}
+
+void PrintBlock(const SourceProgram& p, const std::vector<Stmt>& block, int indent,
+                std::string& out) {
+  for (const Stmt& stmt : block) {
+    PrintStmt(p, stmt, indent, out);
+  }
+}
+
+}  // namespace
+
+std::string SourceProgram::ToString() const {
+  std::string out = "program " + name + "(";
+  for (size_t i = 0; i < input_names.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += input_names[i];
+  }
+  out += ") {\n";
+  if (!local_names.empty()) {
+    out += "  locals ";
+    for (size_t i = 0; i < local_names.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += local_names[i];
+    }
+    out += ";\n";
+  }
+  PrintBlock(*this, body, 1, out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace secpol

@@ -1,0 +1,78 @@
+// Structured source AST for the flowlang front-end language.
+//
+// flowlang is a small structured language that lowers to the paper's
+// flowchart model. Programs in tests, examples, and the corpus generator are
+// written (or generated) as flowlang and lowered. The Section 4/5 program
+// transforms also operate on this AST, because the single-entry/single-exit
+// structures the paper transforms are exactly flowlang's if/while statements.
+//
+// Grammar sketch:
+//
+//   program NAME '(' params ')' '{' [ 'locals' idents ';' ] stmt* '}'
+//   stmt := IDENT '=' expr ';'
+//         | 'if' '(' expr ')' block [ 'else' block ]
+//         | 'while' '(' expr ')' block
+//         | 'halt' ';'
+//   expr := usual C-like precedence, plus select(c,a,b), min(a,b), max(a,b)
+//
+// The output variable is always named `y` and is implicitly declared.
+// Variable ids in embedded Exprs follow the flowchart numbering: inputs in
+// parameter order, locals in declaration order, then y.
+
+#ifndef SECPOL_SRC_FLOWLANG_AST_H_
+#define SECPOL_SRC_FLOWLANG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/flowchart/program.h"
+
+namespace secpol {
+
+struct Stmt {
+  enum class Kind { kAssign, kIf, kWhile, kHalt };
+
+  Kind kind = Kind::kAssign;
+
+  // kAssign: var <- expr.
+  int var = -1;
+  Expr expr;
+
+  // kIf / kWhile condition (true iff nonzero).
+  Expr cond;
+
+  // kIf bodies (else_body may be empty) and kWhile body.
+  std::vector<Stmt> then_body;
+  std::vector<Stmt> else_body;
+  std::vector<Stmt> body;
+
+  static Stmt Assign(int var, Expr expr);
+  static Stmt If(Expr cond, std::vector<Stmt> then_body, std::vector<Stmt> else_body = {});
+  static Stmt While(Expr cond, std::vector<Stmt> body);
+  static Stmt Halt();
+};
+
+struct SourceProgram {
+  std::string name;
+  std::vector<std::string> input_names;
+  std::vector<std::string> local_names;
+  std::vector<Stmt> body;
+
+  int num_inputs() const { return static_cast<int>(input_names.size()); }
+  int num_locals() const { return static_cast<int>(local_names.size()); }
+  int num_vars() const { return num_inputs() + num_locals() + 1; }
+  int output_var() const { return num_inputs() + num_locals(); }
+
+  // Variable name by flowchart id.
+  std::string VarName(int id) const;
+  // Id of a named variable, or -1.
+  int FindVar(const std::string& name) const;
+
+  // Pretty-prints back to flowlang source.
+  std::string ToString() const;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_FLOWLANG_AST_H_

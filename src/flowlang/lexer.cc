@@ -1,0 +1,180 @@
+#include "src/flowlang/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace secpol {
+
+namespace {
+
+TokenKind KeywordKind(const std::string& text) {
+  if (text == "program") {
+    return TokenKind::kKwProgram;
+  }
+  if (text == "locals") {
+    return TokenKind::kKwLocals;
+  }
+  if (text == "if") {
+    return TokenKind::kKwIf;
+  }
+  if (text == "else") {
+    return TokenKind::kKwElse;
+  }
+  if (text == "while") {
+    return TokenKind::kKwWhile;
+  }
+  if (text == "halt") {
+    return TokenKind::kKwHalt;
+  }
+  if (text == "select") {
+    return TokenKind::kKwSelect;
+  }
+  if (text == "min") {
+    return TokenKind::kKwMin;
+  }
+  if (text == "max") {
+    return TokenKind::kKwMax;
+  }
+  return TokenKind::kIdent;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+
+  auto make = [&](TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+  auto advance = [&](size_t n) {
+    for (size_t j = 0; j < n && i < source.size(); ++j, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') {
+        advance(1);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < source.size() && std::isdigit(static_cast<unsigned char>(source[j]))) {
+        ++j;
+      }
+      Token t = make(TokenKind::kInt, std::string(source.substr(i, j - i)));
+      errno = 0;
+      t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        return Error{"integer literal out of range", line, column};
+      }
+      tokens.push_back(std::move(t));
+      advance(j - i);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[j])) || source[j] == '_')) {
+        ++j;
+      }
+      std::string text(source.substr(i, j - i));
+      const TokenKind kind = KeywordKind(text);
+      Token t = make(kind, std::move(text));
+      tokens.push_back(std::move(t));
+      advance(j - i);
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < source.size() && source[i + 1] == second;
+    };
+    TokenKind kind;
+    size_t len = 1;
+    switch (c) {
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case '{':
+        kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        kind = TokenKind::kRBrace;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case ';':
+        kind = TokenKind::kSemicolon;
+        break;
+      case '+':
+        kind = TokenKind::kPlus;
+        break;
+      case '-':
+        kind = TokenKind::kMinus;
+        break;
+      case '*':
+        kind = TokenKind::kStar;
+        break;
+      case '/':
+        kind = TokenKind::kSlash;
+        break;
+      case '%':
+        kind = TokenKind::kPercent;
+        break;
+      case '^':
+        kind = TokenKind::kCaret;
+        break;
+      case '&':
+        kind = two('&') ? (len = 2, TokenKind::kAmpAmp) : TokenKind::kAmp;
+        break;
+      case '|':
+        kind = two('|') ? (len = 2, TokenKind::kPipePipe) : TokenKind::kPipe;
+        break;
+      case '=':
+        kind = two('=') ? (len = 2, TokenKind::kEqEq) : TokenKind::kAssign;
+        break;
+      case '!':
+        kind = two('=') ? (len = 2, TokenKind::kNotEq) : TokenKind::kBang;
+        break;
+      case '<':
+        kind = two('=') ? (len = 2, TokenKind::kLe) : TokenKind::kLt;
+        break;
+      case '>':
+        kind = two('=') ? (len = 2, TokenKind::kGe) : TokenKind::kGt;
+        break;
+      default:
+        return Error{std::string("unexpected character '") + c + "'", line, column};
+    }
+    tokens.push_back(make(kind, std::string(source.substr(i, len))));
+    advance(len);
+  }
+  tokens.push_back(make(TokenKind::kEof, ""));
+  return tokens;
+}
+
+}  // namespace secpol

@@ -1,0 +1,69 @@
+// Tokenizer for flowlang source text.
+
+#ifndef SECPOL_SRC_FLOWLANG_LEXER_H_
+#define SECPOL_SRC_FLOWLANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace secpol {
+
+enum class TokenKind {
+  kIdent,
+  kInt,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kAssign,   // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,      // &
+  kAmpAmp,   // &&
+  kPipe,     // |
+  kPipePipe, // ||
+  kCaret,    // ^
+  kBang,     // !
+  kEqEq,
+  kNotEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // Keywords.
+  kKwProgram,
+  kKwLocals,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwHalt,
+  kKwSelect,
+  kKwMin,
+  kKwMax,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  std::int64_t int_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+// Tokenizes `source`. Comments run from "//" to end of line. Returns an
+// Error for unknown characters or malformed integers.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_FLOWLANG_LEXER_H_

@@ -1,0 +1,111 @@
+#include "src/flowlang/lower.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/flowlang/parser.h"
+
+namespace secpol {
+
+namespace {
+
+class Lowerer {
+ public:
+  explicit Lowerer(const SourceProgram& source)
+      : source_(source),
+        program_(source.name, source.input_names, source.local_names) {}
+
+  Program Run() {
+    // Box 0: start (added below); the final halt is the continuation of the
+    // whole body.
+    Box start;
+    start.kind = Box::Kind::kStart;
+    start.next = -1;
+    const int start_id = program_.AddBox(start);
+
+    Box halt;
+    halt.kind = Box::Kind::kHalt;
+    const int halt_id = program_.AddBox(halt);
+
+    const int entry = EmitBlock(source_.body, halt_id);
+    program_.mutable_box(start_id).next = entry;
+
+    Result<bool> valid = program_.Validate();
+    if (!valid.ok()) {
+      std::fprintf(stderr, "Lower produced invalid program: %s\n",
+                   valid.error().ToString().c_str());
+      std::abort();
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // Emits `block`, arranging for control to continue at `cont`. Returns the
+  // entry box id of the emitted code ( `cont` itself for an empty block).
+  int EmitBlock(const std::vector<Stmt>& block, int cont) {
+    int entry = cont;
+    // Emit back to front so each statement knows its continuation.
+    for (auto it = block.rbegin(); it != block.rend(); ++it) {
+      entry = EmitStmt(*it, entry);
+    }
+    return entry;
+  }
+
+  int EmitStmt(const Stmt& stmt, int cont) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kAssign: {
+        Box box;
+        box.kind = Box::Kind::kAssign;
+        box.var = stmt.var;
+        box.expr = stmt.expr;
+        box.next = cont;
+        return program_.AddBox(box);
+      }
+      case Stmt::Kind::kIf: {
+        const int then_entry = EmitBlock(stmt.then_body, cont);
+        const int else_entry = EmitBlock(stmt.else_body, cont);
+        Box box;
+        box.kind = Box::Kind::kDecision;
+        box.predicate = stmt.cond;
+        box.true_next = then_entry;
+        box.false_next = else_entry;
+        return program_.AddBox(box);
+      }
+      case Stmt::Kind::kWhile: {
+        // The decision box must exist before the body (the body jumps back to
+        // it); reserve it, emit the body, then patch.
+        Box placeholder;
+        placeholder.kind = Box::Kind::kDecision;
+        placeholder.predicate = stmt.cond;
+        placeholder.true_next = -1;
+        placeholder.false_next = cont;
+        const int decision_id = program_.AddBox(placeholder);
+        const int body_entry = EmitBlock(stmt.body, decision_id);
+        program_.mutable_box(decision_id).true_next = body_entry;
+        return decision_id;
+      }
+      case Stmt::Kind::kHalt: {
+        Box box;
+        box.kind = Box::Kind::kHalt;
+        return program_.AddBox(box);
+      }
+    }
+    assert(false && "unreachable");
+    return cont;
+  }
+
+  const SourceProgram& source_;
+  Program program_;
+};
+
+}  // namespace
+
+Program Lower(const SourceProgram& source) {
+  Lowerer lowerer(source);
+  return lowerer.Run();
+}
+
+Program MustCompile(std::string_view source) { return Lower(MustParseProgram(source)); }
+
+}  // namespace secpol

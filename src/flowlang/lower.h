@@ -1,0 +1,22 @@
+// Lowering from the structured flowlang AST to the flowchart model.
+
+#ifndef SECPOL_SRC_FLOWLANG_LOWER_H_
+#define SECPOL_SRC_FLOWLANG_LOWER_H_
+
+#include "src/flowchart/program.h"
+#include "src/flowlang/ast.h"
+
+namespace secpol {
+
+// Lowers `source` to a flowchart Program. Execution falls through to an
+// implicit halt at the end of the program body; explicit `halt;` statements
+// lower to halt boxes. The result is validated; lowering a syntactically
+// valid SourceProgram cannot fail.
+Program Lower(const SourceProgram& source);
+
+// Parses and lowers in one step (aborts on parse error; for literals).
+Program MustCompile(std::string_view source);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_FLOWLANG_LOWER_H_

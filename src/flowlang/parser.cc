@@ -1,0 +1,389 @@
+#include "src/flowlang/parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "src/flowlang/lexer.h"
+
+namespace secpol {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SourceProgram> Parse() {
+    if (auto err = Expect(TokenKind::kKwProgram)) {
+      return *err;
+    }
+    if (Peek().kind != TokenKind::kIdent) {
+      return Err("expected program name");
+    }
+    program_.name = Next().text;
+
+    if (auto err = Expect(TokenKind::kLParen)) {
+      return *err;
+    }
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Err("expected parameter name");
+        }
+        program_.input_names.push_back(Next().text);
+        if (Peek().kind == TokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (auto err = Expect(TokenKind::kRParen)) {
+      return *err;
+    }
+    if (auto err = Expect(TokenKind::kLBrace)) {
+      return *err;
+    }
+    if (Peek().kind == TokenKind::kKwLocals) {
+      Next();
+      while (true) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Err("expected local variable name");
+        }
+        program_.local_names.push_back(Next().text);
+        if (Peek().kind == TokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      if (auto err = Expect(TokenKind::kSemicolon)) {
+        return *err;
+      }
+    }
+
+    // Duplicate-name check.
+    for (int i = 0; i < program_.num_vars(); ++i) {
+      for (int j = i + 1; j < program_.num_vars(); ++j) {
+        if (program_.VarName(i) == program_.VarName(j)) {
+          return Err("duplicate variable name '" + program_.VarName(i) + "'");
+        }
+      }
+    }
+
+    Result<std::vector<Stmt>> body = ParseBlockBody(TokenKind::kRBrace);
+    if (!body.ok()) {
+      return body.error();
+    }
+    program_.body = std::move(body).value();
+    if (auto err = Expect(TokenKind::kRBrace)) {
+      return *err;
+    }
+    if (Peek().kind != TokenKind::kEof) {
+      return Err("trailing input after program");
+    }
+    return std::move(program_);
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t idx = pos_ + static_cast<size_t>(ahead);
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Error Err(const std::string& message) const {
+    return Error{message, Peek().line, Peek().column};
+  }
+
+  // Returns an error if the next token is not `kind`; otherwise consumes it.
+  std::optional<Error> Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Err("unexpected token '" + Peek().text + "'");
+    }
+    Next();
+    return std::nullopt;
+  }
+
+  Result<std::vector<Stmt>> ParseBlockBody(TokenKind terminator) {
+    std::vector<Stmt> stmts;
+    while (Peek().kind != terminator && Peek().kind != TokenKind::kEof) {
+      Result<Stmt> stmt = ParseStmt();
+      if (!stmt.ok()) {
+        return stmt.error();
+      }
+      stmts.push_back(std::move(stmt).value());
+    }
+    return stmts;
+  }
+
+  Result<std::vector<Stmt>> ParseBracedBlock() {
+    if (auto err = Expect(TokenKind::kLBrace)) {
+      return *err;
+    }
+    Result<std::vector<Stmt>> body = ParseBlockBody(TokenKind::kRBrace);
+    if (!body.ok()) {
+      return body;
+    }
+    if (auto err = Expect(TokenKind::kRBrace)) {
+      return *err;
+    }
+    return body;
+  }
+
+  Result<Stmt> ParseStmt() {
+    switch (Peek().kind) {
+      case TokenKind::kKwHalt: {
+        Next();
+        if (auto err = Expect(TokenKind::kSemicolon)) {
+          return *err;
+        }
+        return Stmt::Halt();
+      }
+      case TokenKind::kKwIf: {
+        Next();
+        if (auto err = Expect(TokenKind::kLParen)) {
+          return *err;
+        }
+        Result<Expr> cond = ParseExpr();
+        if (!cond.ok()) {
+          return cond.error();
+        }
+        if (auto err = Expect(TokenKind::kRParen)) {
+          return *err;
+        }
+        Result<std::vector<Stmt>> then_body = ParseBracedBlock();
+        if (!then_body.ok()) {
+          return then_body.error();
+        }
+        std::vector<Stmt> else_body;
+        if (Peek().kind == TokenKind::kKwElse) {
+          Next();
+          Result<std::vector<Stmt>> parsed = ParseBracedBlock();
+          if (!parsed.ok()) {
+            return parsed.error();
+          }
+          else_body = std::move(parsed).value();
+        }
+        return Stmt::If(std::move(cond).value(), std::move(then_body).value(),
+                        std::move(else_body));
+      }
+      case TokenKind::kKwWhile: {
+        Next();
+        if (auto err = Expect(TokenKind::kLParen)) {
+          return *err;
+        }
+        Result<Expr> cond = ParseExpr();
+        if (!cond.ok()) {
+          return cond.error();
+        }
+        if (auto err = Expect(TokenKind::kRParen)) {
+          return *err;
+        }
+        Result<std::vector<Stmt>> body = ParseBracedBlock();
+        if (!body.ok()) {
+          return body.error();
+        }
+        return Stmt::While(std::move(cond).value(), std::move(body).value());
+      }
+      case TokenKind::kIdent: {
+        const Token& ident = Next();
+        const int var = program_.FindVar(ident.text);
+        if (var < 0) {
+          return Error{"undeclared variable '" + ident.text + "'", ident.line, ident.column};
+        }
+        if (var < program_.num_inputs()) {
+          return Error{"cannot assign to input variable '" + ident.text + "'", ident.line,
+                       ident.column};
+        }
+        if (auto err = Expect(TokenKind::kAssign)) {
+          return *err;
+        }
+        Result<Expr> expr = ParseExpr();
+        if (!expr.ok()) {
+          return expr.error();
+        }
+        if (auto err = Expect(TokenKind::kSemicolon)) {
+          return *err;
+        }
+        return Stmt::Assign(var, std::move(expr).value());
+      }
+      default:
+        return Err("expected statement");
+    }
+  }
+
+  // Expression precedence climbing. Levels, loosest first:
+  //   || ; && ; | ; ^ ; & ; == != ; < <= > >= ; + - ; * / % ; unary ; primary
+  Result<Expr> ParseExpr() { return ParseBinary(0); }
+
+  struct OpLevel {
+    TokenKind token;
+    BinaryOp op;
+    int level;
+  };
+
+  static constexpr int kNumLevels = 9;
+
+  std::optional<BinaryOp> MatchLevel(int level) const {
+    static const OpLevel kOps[] = {
+        {TokenKind::kPipePipe, BinaryOp::kOr, 0},    {TokenKind::kAmpAmp, BinaryOp::kAnd, 1},
+        {TokenKind::kPipe, BinaryOp::kBitOr, 2},     {TokenKind::kCaret, BinaryOp::kBitXor, 3},
+        {TokenKind::kAmp, BinaryOp::kBitAnd, 4},     {TokenKind::kEqEq, BinaryOp::kEq, 5},
+        {TokenKind::kNotEq, BinaryOp::kNe, 5},       {TokenKind::kLt, BinaryOp::kLt, 6},
+        {TokenKind::kLe, BinaryOp::kLe, 6},          {TokenKind::kGt, BinaryOp::kGt, 6},
+        {TokenKind::kGe, BinaryOp::kGe, 6},          {TokenKind::kPlus, BinaryOp::kAdd, 7},
+        {TokenKind::kMinus, BinaryOp::kSub, 7},      {TokenKind::kStar, BinaryOp::kMul, 8},
+        {TokenKind::kSlash, BinaryOp::kDiv, 8},      {TokenKind::kPercent, BinaryOp::kMod, 8},
+    };
+    for (const OpLevel& entry : kOps) {
+      if (entry.level == level && entry.token == Peek().kind) {
+        return entry.op;
+      }
+    }
+    return std::nullopt;
+  }
+
+  Result<Expr> ParseBinary(int level) {
+    if (level >= kNumLevels) {
+      return ParseUnary();
+    }
+    Result<Expr> lhs = ParseBinary(level + 1);
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    Expr expr = std::move(lhs).value();
+    while (auto op = MatchLevel(level)) {
+      Next();
+      Result<Expr> rhs = ParseBinary(level + 1);
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      expr = Expr::Binary(*op, std::move(expr), std::move(rhs).value());
+    }
+    return expr;
+  }
+
+  Result<Expr> ParseUnary() {
+    if (Peek().kind == TokenKind::kMinus) {
+      Next();
+      Result<Expr> operand = ParseUnary();
+      if (!operand.ok()) {
+        return operand;
+      }
+      return Expr::Unary(UnaryOp::kNeg, std::move(operand).value());
+    }
+    if (Peek().kind == TokenKind::kBang) {
+      Next();
+      Result<Expr> operand = ParseUnary();
+      if (!operand.ok()) {
+        return operand;
+      }
+      return Expr::Unary(UnaryOp::kNot, std::move(operand).value());
+    }
+    return ParsePrimary();
+  }
+
+  // Parses "(e1, e2[, e3])" for the builtin calls.
+  Result<std::vector<Expr>> ParseArgs(int count) {
+    if (auto err = Expect(TokenKind::kLParen)) {
+      return *err;
+    }
+    std::vector<Expr> args;
+    for (int i = 0; i < count; ++i) {
+      if (i > 0) {
+        if (auto err = Expect(TokenKind::kComma)) {
+          return *err;
+        }
+      }
+      Result<Expr> arg = ParseExpr();
+      if (!arg.ok()) {
+        return arg.error();
+      }
+      args.push_back(std::move(arg).value());
+    }
+    if (auto err = Expect(TokenKind::kRParen)) {
+      return *err;
+    }
+    return args;
+  }
+
+  Result<Expr> ParsePrimary() {
+    switch (Peek().kind) {
+      case TokenKind::kInt: {
+        const Token& t = Next();
+        return Expr::Const(t.int_value);
+      }
+      case TokenKind::kIdent: {
+        const Token& t = Next();
+        const int var = program_.FindVar(t.text);
+        if (var < 0) {
+          return Error{"undeclared variable '" + t.text + "'", t.line, t.column};
+        }
+        return Expr::Var(var);
+      }
+      case TokenKind::kLParen: {
+        Next();
+        Result<Expr> inner = ParseExpr();
+        if (!inner.ok()) {
+          return inner;
+        }
+        if (auto err = Expect(TokenKind::kRParen)) {
+          return *err;
+        }
+        return inner;
+      }
+      case TokenKind::kKwSelect: {
+        Next();
+        Result<std::vector<Expr>> args = ParseArgs(3);
+        if (!args.ok()) {
+          return args.error();
+        }
+        auto& a = args.value();
+        return Expr::Select(a[0], a[1], a[2]);
+      }
+      case TokenKind::kKwMin:
+      case TokenKind::kKwMax: {
+        const BinaryOp op = Peek().kind == TokenKind::kKwMin ? BinaryOp::kMin : BinaryOp::kMax;
+        Next();
+        Result<std::vector<Expr>> args = ParseArgs(2);
+        if (!args.ok()) {
+          return args.error();
+        }
+        auto& a = args.value();
+        return Expr::Binary(op, a[0], a[1]);
+      }
+      default:
+        return Err("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  SourceProgram program_;
+};
+
+}  // namespace
+
+Result<SourceProgram> ParseProgram(std::string_view source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) {
+    return tokens.error();
+  }
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+SourceProgram MustParseProgram(std::string_view source) {
+  Result<SourceProgram> parsed = ParseProgram(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "MustParseProgram failed: %s\nsource:\n%.*s\n",
+                 parsed.error().ToString().c_str(), static_cast<int>(source.size()),
+                 source.data());
+    std::abort();
+  }
+  return std::move(parsed).value();
+}
+
+}  // namespace secpol

@@ -1,0 +1,23 @@
+// Recursive-descent parser for flowlang.
+
+#ifndef SECPOL_SRC_FLOWLANG_PARSER_H_
+#define SECPOL_SRC_FLOWLANG_PARSER_H_
+
+#include <string_view>
+
+#include "src/flowlang/ast.h"
+#include "src/util/result.h"
+
+namespace secpol {
+
+// Parses one flowlang program. Undeclared variables, assignment to inputs,
+// and syntax errors are reported as Error with source positions.
+Result<SourceProgram> ParseProgram(std::string_view source);
+
+// Convenience: parse-or-abort, for tests and examples whose sources are
+// string literals known to be valid.
+SourceProgram MustParseProgram(std::string_view source);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_FLOWLANG_PARSER_H_

@@ -1,0 +1,78 @@
+#include "src/lattice/flow_mechanism.h"
+
+#include <cassert>
+
+namespace secpol {
+
+LatticeFlowMechanism::LatticeFlowMechanism(Program program,
+                                           std::shared_ptr<const SecurityLattice> lattice,
+                                           std::vector<ClassId> input_classes, ClassId clearance,
+                                           StepCount fuel)
+    : program_(std::move(program)),
+      lattice_(std::move(lattice)),
+      input_classes_(std::move(input_classes)),
+      clearance_(clearance),
+      fuel_(fuel) {
+  assert(static_cast<int>(input_classes_.size()) == program_.num_inputs());
+  assert(lattice_->IsValid(clearance_));
+  for (ClassId c : input_classes_) {
+    (void)c;
+    assert(lattice_->IsValid(c));
+  }
+}
+
+std::string LatticeFlowMechanism::name() const {
+  return "lattice-flow[" + lattice_->name() + "](" + program_.name() + ")";
+}
+
+Outcome LatticeFlowMechanism::Run(InputView input) const {
+  assert(static_cast<int>(input.size()) == program_.num_inputs());
+
+  std::vector<Value> env(program_.num_vars(), 0);
+  std::vector<ClassId> labels(program_.num_vars(), lattice_->Bottom());
+  for (int i = 0; i < program_.num_inputs(); ++i) {
+    env[i] = input[i];
+    labels[i] = input_classes_[i];
+  }
+  ClassId pc_label = lattice_->Bottom();
+
+  auto expr_label = [&](const Expr& expr) {
+    ClassId out = lattice_->Bottom();
+    expr.FreeVars().ForEachIndex([&](int v) { out = lattice_->Join(out, labels[v]); });
+    return out;
+  };
+
+  StepCount steps = 0;
+  int pc = program_.start_box();
+  while (steps < fuel_) {
+    ++steps;
+    const Box& box = program_.box(pc);
+    switch (box.kind) {
+      case Box::Kind::kStart:
+        pc = box.next;
+        break;
+      case Box::Kind::kAssign:
+        labels[box.var] = lattice_->Join(expr_label(box.expr), pc_label);
+        env[box.var] = box.expr.Eval(env);
+        pc = box.next;
+        break;
+      case Box::Kind::kDecision:
+        pc_label = lattice_->Join(pc_label, expr_label(box.predicate));
+        pc = box.predicate.Eval(env) != 0 ? box.true_next : box.false_next;
+        break;
+      case Box::Kind::kHalt: {
+        const int y = program_.output_var();
+        const ClassId release = lattice_->Join(labels[y], pc_label);
+        if (lattice_->Leq(release, clearance_)) {
+          return Outcome::Val(env[y], steps);
+        }
+        return Outcome::Violation(steps, "output class " + lattice_->ClassName(release) +
+                                             " exceeds clearance " +
+                                             lattice_->ClassName(clearance_));
+      }
+    }
+  }
+  return Outcome::Violation(steps, "fuel exhausted");
+}
+
+}  // namespace secpol

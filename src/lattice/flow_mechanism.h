@@ -1,0 +1,49 @@
+// Lattice-labelled dynamic flow enforcement.
+//
+// The Section 3 surveillance mechanism generalized from subset labels to an
+// arbitrary security lattice: each input is classified, labels join upward
+// through assignments and the program counter, and the output is released to
+// the caller's clearance exactly when label(y) join label(pc) <= clearance.
+//
+// With SubsetLattice(k), classification x_i -> {i}, and clearance = J, this
+// mechanism coincides with SurveillanceMechanism — a property test asserts
+// that equivalence on random corpora.
+
+#ifndef SECPOL_SRC_LATTICE_FLOW_MECHANISM_H_
+#define SECPOL_SRC_LATTICE_FLOW_MECHANISM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/flowchart/interpreter.h"
+#include "src/flowchart/program.h"
+#include "src/lattice/lattice.h"
+#include "src/mechanism/mechanism.h"
+
+namespace secpol {
+
+class LatticeFlowMechanism : public ProtectionMechanism {
+ public:
+  // input_classes[i] is the security class of input i; clearance is the
+  // caller's class.
+  LatticeFlowMechanism(Program program, std::shared_ptr<const SecurityLattice> lattice,
+                       std::vector<ClassId> input_classes, ClassId clearance,
+                       StepCount fuel = kDefaultFuel);
+
+  int num_inputs() const override { return program_.num_inputs(); }
+  Outcome Run(InputView input) const override;
+  std::string name() const override;
+
+  const SecurityLattice& lattice() const { return *lattice_; }
+
+ private:
+  Program program_;
+  std::shared_ptr<const SecurityLattice> lattice_;
+  std::vector<ClassId> input_classes_;
+  ClassId clearance_;
+  StepCount fuel_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_LATTICE_FLOW_MECHANISM_H_

@@ -1,0 +1,165 @@
+#include "src/lattice/lattice.h"
+
+#include <cassert>
+
+namespace secpol {
+
+SubsetLattice::SubsetLattice(int num_atoms) : num_atoms_(num_atoms) {
+  assert(num_atoms >= 0 && num_atoms <= 62);
+}
+
+ClassId SubsetLattice::Top() const { return (ClassId{1} << num_atoms_) - 1; }
+
+bool SubsetLattice::IsValid(ClassId a) const { return (a & ~Top()) == 0; }
+
+std::vector<ClassId> SubsetLattice::AllClasses() const {
+  std::vector<ClassId> out;
+  // Enumeration only makes sense for small atom counts; callers check.
+  assert(num_atoms_ <= 20);
+  for (ClassId a = 0; a <= Top(); ++a) {
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::string SubsetLattice::ClassName(ClassId a) const {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < num_atoms_; ++i) {
+    if ((a >> i) & 1) {
+      if (!first) {
+        out += ",";
+      }
+      out += std::to_string(i);
+      first = false;
+    }
+  }
+  return out + "}";
+}
+
+std::string SubsetLattice::name() const {
+  return "subset(" + std::to_string(num_atoms_) + ")";
+}
+
+LinearLattice::LinearLattice(std::vector<std::string> level_names)
+    : level_names_(std::move(level_names)) {
+  assert(!level_names_.empty());
+}
+
+LinearLattice LinearLattice::Military() {
+  return LinearLattice({"unclassified", "confidential", "secret", "top-secret"});
+}
+
+std::vector<ClassId> LinearLattice::AllClasses() const {
+  std::vector<ClassId> out;
+  for (ClassId a = 0; a < level_names_.size(); ++a) {
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::string LinearLattice::ClassName(ClassId a) const {
+  return IsValid(a) ? level_names_[a] : "?";
+}
+
+std::string LinearLattice::name() const {
+  return "linear(" + std::to_string(level_names_.size()) + ")";
+}
+
+ProductLattice::ProductLattice(std::shared_ptr<const SecurityLattice> first,
+                               std::shared_ptr<const SecurityLattice> second)
+    : first_(std::move(first)), second_(std::move(second)) {}
+
+ClassId ProductLattice::Pack(ClassId first, ClassId second) {
+  assert(first < (ClassId{1} << 32) && second < (ClassId{1} << 32));
+  return (first << 32) | second;
+}
+
+ClassId ProductLattice::Bottom() const { return Pack(first_->Bottom(), second_->Bottom()); }
+
+ClassId ProductLattice::Top() const { return Pack(first_->Top(), second_->Top()); }
+
+ClassId ProductLattice::Join(ClassId a, ClassId b) const {
+  return Pack(first_->Join(First(a), First(b)), second_->Join(Second(a), Second(b)));
+}
+
+ClassId ProductLattice::Meet(ClassId a, ClassId b) const {
+  return Pack(first_->Meet(First(a), First(b)), second_->Meet(Second(a), Second(b)));
+}
+
+bool ProductLattice::Leq(ClassId a, ClassId b) const {
+  return first_->Leq(First(a), First(b)) && second_->Leq(Second(a), Second(b));
+}
+
+bool ProductLattice::IsValid(ClassId a) const {
+  return first_->IsValid(First(a)) && second_->IsValid(Second(a));
+}
+
+std::vector<ClassId> ProductLattice::AllClasses() const {
+  std::vector<ClassId> out;
+  for (ClassId a : first_->AllClasses()) {
+    for (ClassId b : second_->AllClasses()) {
+      out.push_back(Pack(a, b));
+    }
+  }
+  return out;
+}
+
+std::string ProductLattice::ClassName(ClassId a) const {
+  return "(" + first_->ClassName(First(a)) + ", " + second_->ClassName(Second(a)) + ")";
+}
+
+std::string ProductLattice::name() const {
+  return "product(" + first_->name() + ", " + second_->name() + ")";
+}
+
+std::string CheckLatticeLaws(const SecurityLattice& lattice) {
+  const std::vector<ClassId> classes = lattice.AllClasses();
+  auto fail = [&](const std::string& law, ClassId a, ClassId b) {
+    return law + " violated at (" + lattice.ClassName(a) + ", " + lattice.ClassName(b) + ")";
+  };
+  for (ClassId a : classes) {
+    if (lattice.Join(a, a) != a) {
+      return fail("join idempotence", a, a);
+    }
+    if (lattice.Meet(a, a) != a) {
+      return fail("meet idempotence", a, a);
+    }
+    if (!lattice.Leq(lattice.Bottom(), a)) {
+      return fail("bottom minimality", lattice.Bottom(), a);
+    }
+    if (!lattice.Leq(a, lattice.Top())) {
+      return fail("top maximality", a, lattice.Top());
+    }
+    for (ClassId b : classes) {
+      if (lattice.Join(a, b) != lattice.Join(b, a)) {
+        return fail("join commutativity", a, b);
+      }
+      if (lattice.Meet(a, b) != lattice.Meet(b, a)) {
+        return fail("meet commutativity", a, b);
+      }
+      if (lattice.Join(a, lattice.Meet(a, b)) != a) {
+        return fail("absorption (join over meet)", a, b);
+      }
+      if (lattice.Meet(a, lattice.Join(a, b)) != a) {
+        return fail("absorption (meet over join)", a, b);
+      }
+      // Leq consistency: a <= b iff join(a,b) == b iff meet(a,b) == a.
+      const bool leq = lattice.Leq(a, b);
+      if (leq != (lattice.Join(a, b) == b)) {
+        return fail("leq/join consistency", a, b);
+      }
+      if (leq != (lattice.Meet(a, b) == a)) {
+        return fail("leq/meet consistency", a, b);
+      }
+      for (ClassId c : classes) {
+        if (lattice.Join(lattice.Join(a, b), c) != lattice.Join(a, lattice.Join(b, c))) {
+          return fail("join associativity", a, b);
+        }
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace secpol

@@ -1,0 +1,122 @@
+// Security-class lattices.
+//
+// The paper's Section 3 labels are subsets of {1..k}; Denning's lattice
+// model (cited as [2]) is the natural generalization: labels live in any
+// finite lattice of security classes, flows join upward, and an output may
+// be released to a clearance c exactly when its label is <= c. This module
+// provides the lattice interface, three standard instances (subset, linear,
+// product), and a law checker used by the property tests.
+
+#ifndef SECPOL_SRC_LATTICE_LATTICE_H_
+#define SECPOL_SRC_LATTICE_LATTICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace secpol {
+
+// Opaque handle for a security class; interpretation is lattice-specific.
+using ClassId = std::uint64_t;
+
+class SecurityLattice {
+ public:
+  virtual ~SecurityLattice() = default;
+
+  virtual ClassId Bottom() const = 0;
+  virtual ClassId Top() const = 0;
+  // Least upper bound (the class-combining operator of flows).
+  virtual ClassId Join(ClassId a, ClassId b) const = 0;
+  // Greatest lower bound.
+  virtual ClassId Meet(ClassId a, ClassId b) const = 0;
+  // The flow relation: information of class a may flow to class b.
+  virtual bool Leq(ClassId a, ClassId b) const = 0;
+  virtual bool IsValid(ClassId a) const = 0;
+
+  // Enumerates every class (lattices here are finite).
+  virtual std::vector<ClassId> AllClasses() const = 0;
+
+  virtual std::string ClassName(ClassId a) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Powerset of n atoms, ClassId is a bitmask. SubsetLattice(k) with atom i
+// = "input i" is exactly the Section 3 label domain.
+class SubsetLattice : public SecurityLattice {
+ public:
+  explicit SubsetLattice(int num_atoms);
+
+  ClassId Bottom() const override { return 0; }
+  ClassId Top() const override;
+  ClassId Join(ClassId a, ClassId b) const override { return a | b; }
+  ClassId Meet(ClassId a, ClassId b) const override { return a & b; }
+  bool Leq(ClassId a, ClassId b) const override { return (a & ~b) == 0; }
+  bool IsValid(ClassId a) const override;
+  std::vector<ClassId> AllClasses() const override;
+  std::string ClassName(ClassId a) const override;
+  std::string name() const override;
+
+ private:
+  int num_atoms_;
+};
+
+// A totally ordered chain, e.g. unclassified < confidential < secret <
+// top-secret. ClassId is the level index.
+class LinearLattice : public SecurityLattice {
+ public:
+  explicit LinearLattice(std::vector<std::string> level_names);
+
+  // The classic four-level military chain.
+  static LinearLattice Military();
+
+  ClassId Bottom() const override { return 0; }
+  ClassId Top() const override { return level_names_.size() - 1; }
+  ClassId Join(ClassId a, ClassId b) const override { return a > b ? a : b; }
+  ClassId Meet(ClassId a, ClassId b) const override { return a < b ? a : b; }
+  bool Leq(ClassId a, ClassId b) const override { return a <= b; }
+  bool IsValid(ClassId a) const override { return a < level_names_.size(); }
+  std::vector<ClassId> AllClasses() const override;
+  std::string ClassName(ClassId a) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::string> level_names_;
+};
+
+// Component-wise product of two lattices (e.g. military level x compartment
+// set). ClassId packs the components into the low/high 32 bits; component
+// class ids must fit in 32 bits.
+class ProductLattice : public SecurityLattice {
+ public:
+  ProductLattice(std::shared_ptr<const SecurityLattice> first,
+                 std::shared_ptr<const SecurityLattice> second);
+
+  static ClassId Pack(ClassId first, ClassId second);
+  static ClassId First(ClassId packed) { return packed >> 32; }
+  static ClassId Second(ClassId packed) { return packed & 0xffffffffu; }
+
+  ClassId Bottom() const override;
+  ClassId Top() const override;
+  ClassId Join(ClassId a, ClassId b) const override;
+  ClassId Meet(ClassId a, ClassId b) const override;
+  bool Leq(ClassId a, ClassId b) const override;
+  bool IsValid(ClassId a) const override;
+  std::vector<ClassId> AllClasses() const override;
+  std::string ClassName(ClassId a) const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const SecurityLattice> first_;
+  std::shared_ptr<const SecurityLattice> second_;
+};
+
+// Checks the lattice laws by enumeration: commutativity, associativity,
+// idempotence of join and meet, absorption, consistency of Leq with
+// join/meet, and bottom/top behaviour. Returns an empty string on success or
+// a description of the first violated law.
+std::string CheckLatticeLaws(const SecurityLattice& lattice);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_LATTICE_LATTICE_H_

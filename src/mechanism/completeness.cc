@@ -1,0 +1,88 @@
+#include "src/mechanism/completeness.h"
+
+#include <cassert>
+
+#include "src/util/strings.h"
+
+namespace secpol {
+
+std::string CompletenessRelationName(CompletenessRelation relation) {
+  switch (relation) {
+    case CompletenessRelation::kEquivalent:
+      return "M1 == M2";
+    case CompletenessRelation::kFirstMore:
+      return "M1 > M2";
+    case CompletenessRelation::kSecondMore:
+      return "M2 > M1";
+    case CompletenessRelation::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+CompletenessRelation CompletenessStats::Relation() const {
+  if (first_only == 0 && second_only == 0) {
+    return CompletenessRelation::kEquivalent;
+  }
+  if (second_only == 0) {
+    return CompletenessRelation::kFirstMore;
+  }
+  if (first_only == 0) {
+    return CompletenessRelation::kSecondMore;
+  }
+  return CompletenessRelation::kIncomparable;
+}
+
+double CompletenessStats::FirstUtility() const {
+  return total == 0 ? 0.0 : static_cast<double>(both_value + first_only) / total;
+}
+
+double CompletenessStats::SecondUtility() const {
+  return total == 0 ? 0.0 : static_cast<double>(both_value + second_only) / total;
+}
+
+std::string CompletenessStats::ToString() const {
+  return CompletenessRelationName(Relation()) + " [both=" + std::to_string(both_value) +
+         " first-only=" + std::to_string(first_only) +
+         " second-only=" + std::to_string(second_only) + " neither=" + std::to_string(neither) +
+         " total=" + std::to_string(total) + "]";
+}
+
+CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
+                                      const ProtectionMechanism& m2,
+                                      const InputDomain& domain) {
+  assert(m1.num_inputs() == m2.num_inputs());
+  assert(m1.num_inputs() == domain.num_inputs());
+
+  CompletenessStats stats;
+  domain.ForEach([&](InputView input) {
+    ++stats.total;
+    const bool v1 = m1.Run(input).IsValue();
+    const bool v2 = m2.Run(input).IsValue();
+    if (v1 && v2) {
+      ++stats.both_value;
+    } else if (v1) {
+      ++stats.first_only;
+    } else if (v2) {
+      ++stats.second_only;
+    } else {
+      ++stats.neither;
+    }
+  });
+  return stats;
+}
+
+double MeasureUtility(const ProtectionMechanism& m, const InputDomain& domain) {
+  assert(m.num_inputs() == domain.num_inputs());
+  std::uint64_t total = 0;
+  std::uint64_t values = 0;
+  domain.ForEach([&](InputView input) {
+    ++total;
+    if (m.Run(input).IsValue()) {
+      ++values;
+    }
+  });
+  return total == 0 ? 0.0 : static_cast<double>(values) / total;
+}
+
+}  // namespace secpol

@@ -1,0 +1,57 @@
+// The completeness order on protection mechanisms (Section 4).
+//
+// "M1 is as complete as M2 (M1 >= M2) provided, for all inputs a, if
+// M2(a) = Q(a) then M1(a) = Q(a)." Because every value outcome of a
+// protection mechanism for Q *is* Q(a) by definition, the order depends only
+// on where each mechanism emits values vs violation notices, so it can be
+// computed without reference to Q.
+
+#ifndef SECPOL_SRC_MECHANISM_COMPLETENESS_H_
+#define SECPOL_SRC_MECHANISM_COMPLETENESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/mechanism/domain.h"
+#include "src/mechanism/mechanism.h"
+
+namespace secpol {
+
+enum class CompletenessRelation {
+  kEquivalent,   // value sets identical
+  kFirstMore,    // M1 > M2 (strictly more complete)
+  kSecondMore,   // M2 > M1
+  kIncomparable  // each returns a value somewhere the other violates
+};
+
+std::string CompletenessRelationName(CompletenessRelation relation);
+
+struct CompletenessStats {
+  std::uint64_t total = 0;
+  std::uint64_t both_value = 0;
+  std::uint64_t first_only = 0;   // M1 value, M2 violation
+  std::uint64_t second_only = 0;  // M2 value, M1 violation
+  std::uint64_t neither = 0;
+
+  CompletenessRelation Relation() const;
+
+  // Utility of each mechanism: fraction of inputs answered with a real value.
+  double FirstUtility() const;
+  double SecondUtility() const;
+
+  std::string ToString() const;
+};
+
+// Tabulates both mechanisms over `domain` and derives the order.
+CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
+                                      const ProtectionMechanism& m2,
+                                      const InputDomain& domain);
+
+// Fraction of the domain on which `m` returns a real value (its usefulness;
+// the plug scores 0, the bare program scores 1).
+double MeasureUtility(const ProtectionMechanism& m, const InputDomain& domain);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_COMPLETENESS_H_

@@ -1,0 +1,89 @@
+#include "src/mechanism/domain.h"
+
+#include <cassert>
+
+namespace secpol {
+
+InputDomain::InputDomain(std::vector<std::vector<Value>> per_input)
+    : per_input_(std::move(per_input)) {
+  for (const auto& values : per_input_) {
+    (void)values;
+    assert(!values.empty() && "every coordinate needs at least one candidate value");
+  }
+}
+
+InputDomain InputDomain::Uniform(int num_inputs, std::vector<Value> values) {
+  std::vector<std::vector<Value>> per_input(static_cast<size_t>(num_inputs), values);
+  return InputDomain(std::move(per_input));
+}
+
+InputDomain InputDomain::PerInput(std::vector<std::vector<Value>> per_input) {
+  return InputDomain(std::move(per_input));
+}
+
+InputDomain InputDomain::Range(int num_inputs, Value lo, Value hi) {
+  assert(lo <= hi);
+  std::vector<Value> values;
+  for (Value v = lo; v <= hi; ++v) {
+    values.push_back(v);
+  }
+  return Uniform(num_inputs, std::move(values));
+}
+
+std::uint64_t InputDomain::size() const {
+  std::uint64_t total = 1;
+  for (const auto& values : per_input_) {
+    total *= values.size();
+  }
+  return total;
+}
+
+void InputDomain::ForEach(const std::function<void(InputView)>& fn) const {
+  Input current(per_input_.size(), 0);
+  if (per_input_.empty()) {
+    fn(current);
+    return;
+  }
+  std::vector<size_t> index(per_input_.size(), 0);
+  for (size_t i = 0; i < per_input_.size(); ++i) {
+    current[i] = per_input_[i][0];
+  }
+  while (true) {
+    fn(current);
+    // Odometer increment.
+    size_t pos = per_input_.size();
+    while (pos > 0) {
+      --pos;
+      if (++index[pos] < per_input_[pos].size()) {
+        current[pos] = per_input_[pos][index[pos]];
+        break;
+      }
+      index[pos] = 0;
+      current[pos] = per_input_[pos][0];
+      if (pos == 0) {
+        return;
+      }
+    }
+  }
+}
+
+std::vector<Input> InputDomain::Enumerate() const {
+  std::vector<Input> out;
+  out.reserve(size());
+  ForEach([&out](InputView input) { out.emplace_back(input.begin(), input.end()); });
+  return out;
+}
+
+std::string InputDomain::ToString() const {
+  std::string out = "domain[";
+  for (size_t i = 0; i < per_input_.size(); ++i) {
+    if (i > 0) {
+      out += " x ";
+    }
+    out += std::to_string(per_input_[i].size());
+  }
+  out += " = " + std::to_string(size()) + " tuples]";
+  return out;
+}
+
+}  // namespace secpol

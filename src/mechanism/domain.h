@@ -1,0 +1,49 @@
+// Finite input domains for exhaustive extensional checks.
+//
+// The paper's definitions quantify over all inputs. We decide them exactly
+// over finite grids: an InputDomain assigns each input coordinate a finite
+// list of candidate values and enumerates the cross product.
+
+#ifndef SECPOL_SRC_MECHANISM_DOMAIN_H_
+#define SECPOL_SRC_MECHANISM_DOMAIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/util/value.h"
+
+namespace secpol {
+
+class InputDomain {
+ public:
+  // Every coordinate ranges over the same candidate list.
+  static InputDomain Uniform(int num_inputs, std::vector<Value> values);
+  // Coordinate i ranges over per_input[i].
+  static InputDomain PerInput(std::vector<std::vector<Value>> per_input);
+  // Every coordinate ranges over {lo, lo+1, ..., hi}.
+  static InputDomain Range(int num_inputs, Value lo, Value hi);
+
+  int num_inputs() const { return static_cast<int>(per_input_.size()); }
+  const std::vector<Value>& values_for(int i) const { return per_input_[i]; }
+
+  // Number of tuples in the grid (product of coordinate sizes).
+  std::uint64_t size() const;
+
+  // Calls fn(input) for every tuple, in lexicographic order.
+  void ForEach(const std::function<void(InputView)>& fn) const;
+
+  // Materializes the grid (use only for small domains).
+  std::vector<Input> Enumerate() const;
+
+  std::string ToString() const;
+
+ private:
+  explicit InputDomain(std::vector<std::vector<Value>> per_input);
+  std::vector<std::vector<Value>> per_input_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_DOMAIN_H_

@@ -1,0 +1,76 @@
+#include "src/mechanism/integrity.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "src/util/strings.h"
+
+namespace secpol {
+
+std::string IntegrityCounterexample::ToString() const {
+  return "inputs " + FormatInput(input_a) + " and " + FormatInput(input_b) +
+         " must stay distinguishable but both observe as [" + outcome.ToString() + "]";
+}
+
+std::string IntegrityReport::ToString() const {
+  std::string out = preserved ? "PRESERVED" : "INFORMATION LOST";
+  out += " (" + std::to_string(inputs_checked) + " inputs, " +
+         std::to_string(required_classes) + " required classes)";
+  if (counterexample.has_value()) {
+    out += "\n  counterexample: " + counterexample->ToString();
+  }
+  return out;
+}
+
+IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanism,
+                                             const SecurityPolicy& required,
+                                             const InputDomain& domain, Observability obs) {
+  assert(mechanism.num_inputs() == required.num_inputs());
+  assert(mechanism.num_inputs() == domain.num_inputs());
+
+  IntegrityReport report;
+  report.preserved = true;
+
+  // Observable signature of one outcome.
+  using Signature = std::tuple<int, Value, StepCount>;
+  auto signature_of = [obs](const Outcome& outcome) {
+    return Signature{outcome.IsValue() ? 1 : 0, outcome.IsValue() ? outcome.value : 0,
+                     obs == Observability::kValueAndTime ? outcome.steps : 0};
+  };
+
+  // First input observed per outcome signature, with its required image.
+  std::map<Signature, std::pair<Input, PolicyImage>> seen;
+  std::set<PolicyImage> classes;
+
+  domain.ForEach([&](InputView input) {
+    if (!report.preserved) {
+      return;
+    }
+    ++report.inputs_checked;
+    PolicyImage image = required.Image(input);
+    classes.insert(image);
+    const Outcome outcome = mechanism.Run(input);
+    const Signature sig = signature_of(outcome);
+    auto [it, inserted] =
+        seen.try_emplace(sig, Input(input.begin(), input.end()), image);
+    if (inserted) {
+      return;
+    }
+    if (it->second.second != image) {
+      report.preserved = false;
+      IntegrityCounterexample cx;
+      cx.input_a = it->second.first;
+      cx.input_b = Input(input.begin(), input.end());
+      cx.outcome = outcome;
+      report.counterexample = std::move(cx);
+    }
+  });
+
+  report.required_classes = classes.size();
+  return report;
+}
+
+}  // namespace secpol

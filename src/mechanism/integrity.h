@@ -1,0 +1,62 @@
+// The paper's *second* security question — Q as an "O operator".
+//
+// "If Q is used as an operator function, then the security question is:
+// Does the value of Q(d1,...,dk) contain ALL the information that it should?
+// This second question has sometimes been called 'data security' (Popek).
+// It concerns itself with whether or not information, such as a system
+// table, has been illegally altered and hence lost."
+//
+// The paper asserts without proof that its methods carry over; this module
+// makes that concrete. Where confidentiality ("view function") soundness
+// says M must not distinguish MORE than the policy image, integrity
+// ("operator function") preservation says M must not distinguish LESS: a
+// mechanism preserves a required-information policy R over a domain iff
+// inputs with different R-images produce observably different outcomes —
+// i.e. the map input -> outcome *refines* R, so R(d) is recoverable from
+// M(d) and nothing the policy requires has been lost.
+//
+// The dual symmetry is exact: soundness = "outcome is a function of I(d)";
+// preservation = "R(d) is a function of the outcome".
+
+#ifndef SECPOL_SRC_MECHANISM_INTEGRITY_H_
+#define SECPOL_SRC_MECHANISM_INTEGRITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/mechanism/domain.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/outcome.h"
+#include "src/policy/policy.h"
+
+namespace secpol {
+
+// A witness of information loss: two inputs the policy requires to remain
+// distinguishable that the mechanism collapses to one observable outcome.
+struct IntegrityCounterexample {
+  Input input_a;
+  Input input_b;
+  Outcome outcome;  // the shared observable outcome
+
+  std::string ToString() const;
+};
+
+struct IntegrityReport {
+  bool preserved = false;
+  std::optional<IntegrityCounterexample> counterexample;
+  std::uint64_t inputs_checked = 0;
+  std::uint64_t required_classes = 0;
+
+  std::string ToString() const;
+};
+
+// Checks that `mechanism` preserves the information required by `required`
+// over `domain` under observability `obs`.
+IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanism,
+                                             const SecurityPolicy& required,
+                                             const InputDomain& domain, Observability obs);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_INTEGRITY_H_

@@ -1,0 +1,54 @@
+#include "src/mechanism/maximal.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+namespace secpol {
+
+MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
+                                            const SecurityPolicy& policy,
+                                            const InputDomain& domain, Observability obs) {
+  assert(q.num_inputs() == policy.num_inputs());
+  assert(q.num_inputs() == domain.num_inputs());
+
+  struct ClassInfo {
+    std::vector<Input> members;
+    Outcome first_outcome;
+    bool constant = true;
+  };
+  std::map<PolicyImage, ClassInfo> classes;
+
+  MaximalSynthesis result;
+  domain.ForEach([&](InputView input) {
+    ++result.inputs;
+    Outcome outcome = q.Run(input);
+    PolicyImage image = policy.Image(input);
+    auto [it, inserted] = classes.try_emplace(std::move(image));
+    ClassInfo& info = it->second;
+    if (inserted) {
+      info.first_outcome = outcome;
+    } else if (info.constant && !info.first_outcome.ObservablyEquals(outcome, obs)) {
+      info.constant = false;
+    }
+    info.members.emplace_back(input.begin(), input.end());
+  });
+
+  auto table = std::make_shared<TableMechanism>("maximal(" + q.name() + ")", q.num_inputs());
+  result.policy_classes = classes.size();
+  for (auto& [image, info] : classes) {
+    (void)image;
+    if (info.constant) {
+      ++result.released_classes;
+    }
+    for (Input& member : info.members) {
+      // Replaying Q preserves both value and steps for the released class.
+      Outcome outcome = info.constant ? q.Run(member) : Outcome::Violation(0);
+      table->Set(std::move(member), std::move(outcome));
+    }
+  }
+  result.mechanism = std::move(table);
+  return result;
+}
+
+}  // namespace secpol

@@ -1,0 +1,42 @@
+// Finite-domain synthesis of the maximal sound protection mechanism.
+//
+// Theorem 2 proves a maximal sound mechanism exists for every (Q, I);
+// Theorem 4 proves no effective procedure produces it in general, and Ruzzo
+// observed it need not even be recursive. Both obstructions live in the
+// infinite quantifier: over a *finite* input domain the maximal mechanism is
+// directly computable — release Q(d) exactly on those policy classes where Q
+// is observably constant — and its cost is the full tabulation of Q on the
+// grid. bench_maximal measures how that cost explodes with arity and domain
+// size, which is the computable shadow of Theorem 4.
+
+#ifndef SECPOL_SRC_MECHANISM_MAXIMAL_H_
+#define SECPOL_SRC_MECHANISM_MAXIMAL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/mechanism/domain.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/outcome.h"
+#include "src/policy/policy.h"
+
+namespace secpol {
+
+struct MaximalSynthesis {
+  std::shared_ptr<TableMechanism> mechanism;
+  std::uint64_t inputs = 0;           // grid size tabulated
+  std::uint64_t policy_classes = 0;   // number of I-equivalence classes
+  std::uint64_t released_classes = 0; // classes where Q is constant (released)
+};
+
+// Builds the maximal sound mechanism for `q` and `policy` over `domain`.
+// Under kValueAndTime a class is released only if Q's (value, steps) pair is
+// constant on it; released outcomes replay Q's own steps, and violation
+// outcomes use steps = 0 so violations are timing-uniform.
+MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
+                                            const SecurityPolicy& policy,
+                                            const InputDomain& domain, Observability obs);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_MAXIMAL_H_

@@ -1,0 +1,152 @@
+#include "src/mechanism/mechanism.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace secpol {
+
+ProgramAsMechanism::ProgramAsMechanism(Program program, StepCount fuel)
+    : program_(std::move(program)), fuel_(fuel) {}
+
+Outcome ProgramAsMechanism::Run(InputView input) const {
+  const ExecResult result = RunProgram(program_, input, fuel_);
+  if (!result.halted) {
+    return Outcome::Violation(result.steps, "fuel exhausted");
+  }
+  return Outcome::Val(result.output, result.steps);
+}
+
+PlugMechanism::PlugMechanism(int num_inputs) : num_inputs_(num_inputs) {}
+
+Outcome PlugMechanism::Run(InputView input) const {
+  (void)input;
+  return Outcome::Violation(0, "plug pulled");
+}
+
+FunctionMechanism::FunctionMechanism(std::string name, int num_inputs, Fn fn)
+    : name_(std::move(name)), num_inputs_(num_inputs), fn_(std::move(fn)) {}
+
+Outcome FunctionMechanism::Run(InputView input) const {
+  assert(static_cast<int>(input.size()) == num_inputs_);
+  return fn_(input);
+}
+
+TableMechanism::TableMechanism(std::string name, int num_inputs)
+    : name_(std::move(name)), num_inputs_(num_inputs) {}
+
+void TableMechanism::Set(Input input, Outcome outcome) {
+  table_[std::move(input)] = std::move(outcome);
+}
+
+Outcome TableMechanism::Run(InputView input) const {
+  const auto it = table_.find(Input(input.begin(), input.end()));
+  if (it == table_.end()) {
+    std::fprintf(stderr, "TableMechanism '%s': input outside tabulated domain\n", name_.c_str());
+    std::abort();
+  }
+  return it->second;
+}
+
+JoinMechanism::JoinMechanism(std::vector<std::shared_ptr<const ProtectionMechanism>> members)
+    : members_(std::move(members)) {
+  assert(!members_.empty());
+  for (const auto& member : members_) {
+    (void)member;
+    assert(member->num_inputs() == members_[0]->num_inputs());
+  }
+}
+
+int JoinMechanism::num_inputs() const { return members_[0]->num_inputs(); }
+
+Outcome JoinMechanism::Run(InputView input) const {
+  StepCount total_steps = 0;
+  const Outcome* first_value = nullptr;
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(members_.size());
+  for (const auto& member : members_) {
+    outcomes.push_back(member->Run(input));
+    total_steps += outcomes.back().steps;
+  }
+  for (const Outcome& outcome : outcomes) {
+    if (outcome.IsValue()) {
+      first_value = &outcome;
+      break;
+    }
+  }
+  if (first_value != nullptr) {
+    return Outcome::Val(first_value->value, total_steps);
+  }
+  return Outcome::Violation(total_steps, "all joined mechanisms violated");
+}
+
+std::string JoinMechanism::name() const {
+  std::string out = "(";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i > 0) {
+      out += " v ";
+    }
+    out += members_[i]->name();
+  }
+  out += ")";
+  return out;
+}
+
+std::shared_ptr<const ProtectionMechanism> Join(
+    std::shared_ptr<const ProtectionMechanism> m1,
+    std::shared_ptr<const ProtectionMechanism> m2) {
+  std::vector<std::shared_ptr<const ProtectionMechanism>> members = {std::move(m1),
+                                                                     std::move(m2)};
+  return std::make_shared<JoinMechanism>(std::move(members));
+}
+
+MeetMechanism::MeetMechanism(std::vector<std::shared_ptr<const ProtectionMechanism>> members)
+    : members_(std::move(members)) {
+  assert(!members_.empty());
+  for (const auto& member : members_) {
+    (void)member;
+    assert(member->num_inputs() == members_[0]->num_inputs());
+  }
+}
+
+int MeetMechanism::num_inputs() const { return members_[0]->num_inputs(); }
+
+Outcome MeetMechanism::Run(InputView input) const {
+  StepCount total_steps = 0;
+  const Outcome* value = nullptr;
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(members_.size());
+  for (const auto& member : members_) {
+    outcomes.push_back(member->Run(input));
+    total_steps += outcomes.back().steps;
+  }
+  for (const Outcome& outcome : outcomes) {
+    if (outcome.IsViolation()) {
+      return Outcome::Violation(total_steps, "some met mechanism violated");
+    }
+    value = &outcome;
+  }
+  return Outcome::Val(value->value, total_steps);
+}
+
+std::string MeetMechanism::name() const {
+  std::string out = "(";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i > 0) {
+      out += " ^ ";
+    }
+    out += members_[i]->name();
+  }
+  out += ")";
+  return out;
+}
+
+std::shared_ptr<const ProtectionMechanism> Meet(
+    std::shared_ptr<const ProtectionMechanism> m1,
+    std::shared_ptr<const ProtectionMechanism> m2) {
+  std::vector<std::shared_ptr<const ProtectionMechanism>> members = {std::move(m1),
+                                                                     std::move(m2)};
+  return std::make_shared<MeetMechanism>(std::move(members));
+}
+
+}  // namespace secpol

@@ -1,0 +1,156 @@
+// Protection mechanisms (Section 2) and the basic mechanism zoo.
+//
+// "M : D1 x ... x Dk -> E u F is a protection mechanism for Q provided for
+// all d either M(d) = Q(d) or M(d) is in F."
+//
+// Mechanisms here are extensional objects: anything that maps inputs to
+// Outcomes. The trivial mechanisms of Example 3 (the program itself, and
+// "pulling the plug"), the join operator of Theorem 1, and a finite table
+// mechanism (used by the maximal synthesizer) live in this header.
+
+#ifndef SECPOL_SRC_MECHANISM_MECHANISM_H_
+#define SECPOL_SRC_MECHANISM_MECHANISM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/flowchart/interpreter.h"
+#include "src/flowchart/program.h"
+#include "src/mechanism/outcome.h"
+#include "src/util/value.h"
+
+namespace secpol {
+
+class ProtectionMechanism {
+ public:
+  virtual ~ProtectionMechanism() = default;
+
+  virtual int num_inputs() const = 0;
+  virtual Outcome Run(InputView input) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Example 3, first trivial mechanism: the program Q as its own protection
+// mechanism — "no protection at all". Sound only when Q already factors
+// through the policy.
+class ProgramAsMechanism : public ProtectionMechanism {
+ public:
+  explicit ProgramAsMechanism(Program program, StepCount fuel = kDefaultFuel);
+
+  int num_inputs() const override { return program_.num_inputs(); }
+  Outcome Run(InputView input) const override;
+  std::string name() const override { return "identity(" + program_.name() + ")"; }
+
+  const Program& program() const { return program_; }
+
+ private:
+  Program program_;
+  StepCount fuel_;
+};
+
+// Example 3, second trivial mechanism: always output the violation notice.
+// "This corresponds to pulling the plug." Sound for every policy, useless.
+class PlugMechanism : public ProtectionMechanism {
+ public:
+  explicit PlugMechanism(int num_inputs);
+
+  int num_inputs() const override { return num_inputs_; }
+  Outcome Run(InputView input) const override;
+  std::string name() const override { return "plug"; }
+
+ private:
+  int num_inputs_;
+};
+
+// Adapter for mechanisms defined by arbitrary C++ callables: the logon
+// program, tape machines, and the OS monitor all surface through this.
+class FunctionMechanism : public ProtectionMechanism {
+ public:
+  using Fn = std::function<Outcome(InputView)>;
+
+  FunctionMechanism(std::string name, int num_inputs, Fn fn);
+
+  int num_inputs() const override { return num_inputs_; }
+  Outcome Run(InputView input) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int num_inputs_;
+  Fn fn_;
+};
+
+// A finite, fully tabulated mechanism over an enumerated input domain.
+// Running it on an input outside the table is a programming error.
+class TableMechanism : public ProtectionMechanism {
+ public:
+  TableMechanism(std::string name, int num_inputs);
+
+  void Set(Input input, Outcome outcome);
+
+  int num_inputs() const override { return num_inputs_; }
+  Outcome Run(InputView input) const override;
+  std::string name() const override { return name_; }
+
+  size_t table_size() const { return table_.size(); }
+
+ private:
+  std::string name_;
+  int num_inputs_;
+  std::map<Input, Outcome> table_;
+};
+
+// Theorem 1's join: M1 v M2 (generalized to any number of members) returns
+// the real output whenever some member does, and a violation notice
+// otherwise. If M1..Mn are mechanisms for the same program Q, every value
+// outcome equals Q(d), so members that return values agree.
+//
+// Step accounting: the join evaluates every member, so its running time is
+// the sum of member running times. This keeps the join's time a function of
+// the members' times (important when the checker observes time).
+class JoinMechanism : public ProtectionMechanism {
+ public:
+  explicit JoinMechanism(std::vector<std::shared_ptr<const ProtectionMechanism>> members);
+
+  int num_inputs() const override;
+  Outcome Run(InputView input) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::shared_ptr<const ProtectionMechanism>> members_;
+};
+
+// Convenience: join of two mechanisms.
+std::shared_ptr<const ProtectionMechanism> Join(
+    std::shared_ptr<const ProtectionMechanism> m1,
+    std::shared_ptr<const ProtectionMechanism> m2);
+
+// The meet: M1 ^ M2 releases the real output only where EVERY member does,
+// and violates otherwise. Together with JoinMechanism this realizes the
+// paper's remark that "if we assume only a single violation notice, it can
+// easily be shown that the sound protection mechanisms form a lattice."
+// The meet of sound mechanisms is sound and is a lower bound of each member
+// in the completeness order (property-tested).
+class MeetMechanism : public ProtectionMechanism {
+ public:
+  explicit MeetMechanism(std::vector<std::shared_ptr<const ProtectionMechanism>> members);
+
+  int num_inputs() const override;
+  Outcome Run(InputView input) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::shared_ptr<const ProtectionMechanism>> members_;
+};
+
+// Convenience: meet of two mechanisms.
+std::shared_ptr<const ProtectionMechanism> Meet(
+    std::shared_ptr<const ProtectionMechanism> m1,
+    std::shared_ptr<const ProtectionMechanism> m2);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_MECHANISM_H_

@@ -1,0 +1,51 @@
+#include "src/mechanism/outcome.h"
+
+namespace secpol {
+
+std::string ObservabilityName(Observability obs) {
+  switch (obs) {
+    case Observability::kValueOnly:
+      return "value-only";
+    case Observability::kValueAndTime:
+      return "value+time";
+  }
+  return "?";
+}
+
+Outcome Outcome::Val(Value value, StepCount steps) {
+  Outcome o;
+  o.kind = Kind::kValue;
+  o.value = value;
+  o.steps = steps;
+  return o;
+}
+
+Outcome Outcome::Violation(StepCount steps, std::string notice) {
+  Outcome o;
+  o.kind = Kind::kViolation;
+  o.steps = steps;
+  o.notice = std::move(notice);
+  return o;
+}
+
+bool Outcome::ObservablyEquals(const Outcome& other, Observability obs) const {
+  if (kind != other.kind) {
+    return false;
+  }
+  if (kind == Kind::kValue && value != other.value) {
+    return false;
+  }
+  if (obs == Observability::kValueAndTime && steps != other.steps) {
+    return false;
+  }
+  return true;
+}
+
+std::string Outcome::ToString() const {
+  if (IsValue()) {
+    return "value " + std::to_string(value) + " (steps " + std::to_string(steps) + ")";
+  }
+  return "VIOLATION[" + notice + "] (steps " + std::to_string(steps) + ")";
+}
+
+}  // namespace secpol

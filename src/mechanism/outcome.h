@@ -1,0 +1,59 @@
+// Mechanism outcomes and the observability model.
+//
+// A protection mechanism M for Q maps each input either to Q(d) or to a
+// violation notice from a set F disjoint from Q's outputs. Per the
+// Observability Postulate, the output must encode everything the user can
+// observe; running time is the canonical forgotten observable, so every
+// Outcome carries a step count and the checker decides whether to observe it.
+
+#ifndef SECPOL_SRC_MECHANISM_OUTCOME_H_
+#define SECPOL_SRC_MECHANISM_OUTCOME_H_
+
+#include <string>
+
+#include "src/util/value.h"
+
+namespace secpol {
+
+// What the user of a mechanism can observe about one run.
+enum class Observability {
+  // The user sees only the value (or the fact of a violation notice). This
+  // is Section 3's first assumption, range(Q) = Z.
+  kValueOnly,
+  // The user additionally observes the number of steps executed,
+  // range(Q) = Z x Z. Timing channels become visible to the checker.
+  kValueAndTime,
+};
+
+std::string ObservabilityName(Observability obs);
+
+struct Outcome {
+  enum class Kind {
+    kValue,      // the real output Q(d)
+    kViolation,  // a violation notice from F
+  };
+
+  Kind kind = Kind::kViolation;
+  Value value = 0;       // meaningful iff kind == kValue
+  StepCount steps = 0;   // always recorded
+  std::string notice;    // meaningful iff kind == kViolation
+
+  static Outcome Val(Value value, StepCount steps);
+  static Outcome Violation(StepCount steps, std::string notice = "access violation");
+
+  bool IsValue() const { return kind == Kind::kValue; }
+  bool IsViolation() const { return kind == Kind::kViolation; }
+
+  // Whether a user restricted to `obs` can distinguish this outcome from
+  // `other`. Distinct violation notices are treated as the same single
+  // notice, following Section 4 ("we do not distinguish between different
+  // violation notices"); under kValueAndTime the steps at which any outcome
+  // (including a violation) is delivered are observable.
+  bool ObservablyEquals(const Outcome& other, Observability obs) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_OUTCOME_H_

@@ -1,0 +1,29 @@
+#include "src/mechanism/policy_compare.h"
+
+#include <cassert>
+#include <map>
+
+namespace secpol {
+
+bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q,
+                   const InputDomain& domain) {
+  assert(p.num_inputs() == q.num_inputs());
+  assert(p.num_inputs() == domain.num_inputs());
+  // Functional dependency check: each q-image must map to a single p-image.
+  std::map<PolicyImage, PolicyImage> q_to_p;
+  bool functional = true;
+  domain.ForEach([&](InputView input) {
+    if (!functional) {
+      return;
+    }
+    PolicyImage q_image = q.Image(input);
+    PolicyImage p_image = p.Image(input);
+    auto [it, inserted] = q_to_p.try_emplace(std::move(q_image), std::move(p_image));
+    if (!inserted && it->second != p.Image(input)) {
+      functional = false;
+    }
+  });
+  return functional;
+}
+
+}  // namespace secpol

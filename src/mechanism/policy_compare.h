@@ -1,0 +1,26 @@
+// Comparing policies by how much they reveal.
+//
+// Policy P *reveals at most* policy Q (over a finite domain) when P's image
+// is a function of Q's image: everything P discloses, Q already disclosed,
+// so P's indistinguishability classes are unions of Q's. Two consequences,
+// both enforced by property tests:
+//
+//  * allow(J1) reveals at most allow(J2)  iff  J1 is a subset of J2;
+//  * soundness is antitone in disclosure — a mechanism sound for the
+//    stricter P is automatically sound for any Q with P RevealsAtMost Q,
+//    because M = M' o I_P = (M' o f) o I_Q.
+
+#ifndef SECPOL_SRC_MECHANISM_POLICY_COMPARE_H_
+#define SECPOL_SRC_MECHANISM_POLICY_COMPARE_H_
+
+#include "src/mechanism/domain.h"
+#include "src/policy/policy.h"
+
+namespace secpol {
+
+// True iff, over `domain`, Image_p is a function of Image_q.
+bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q, const InputDomain& domain);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_POLICY_COMPARE_H_

@@ -1,0 +1,67 @@
+#include "src/mechanism/soundness.h"
+
+#include <cassert>
+#include <map>
+#include <utility>
+
+#include "src/util/strings.h"
+
+namespace secpol {
+
+std::string SoundnessCounterexample::ToString() const {
+  return "inputs " + FormatInput(input_a) + " and " + FormatInput(input_b) +
+         " share a policy image but M gives [" + outcome_a.ToString() + "] vs [" +
+         outcome_b.ToString() + "]";
+}
+
+std::string SoundnessReport::ToString() const {
+  std::string out = sound ? "SOUND" : "UNSOUND";
+  out += " (" + std::to_string(inputs_checked) + " inputs, " + std::to_string(policy_classes) +
+         " policy classes)";
+  if (counterexample.has_value()) {
+    out += "\n  counterexample: " + counterexample->ToString();
+  }
+  return out;
+}
+
+SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
+                               const SecurityPolicy& policy, const InputDomain& domain,
+                               Observability obs) {
+  assert(mechanism.num_inputs() == policy.num_inputs());
+  assert(mechanism.num_inputs() == domain.num_inputs());
+
+  SoundnessReport report;
+  report.sound = true;
+
+  // First representative of each policy class, with its outcome.
+  std::map<PolicyImage, std::pair<Input, Outcome>> representatives;
+
+  domain.ForEach([&](InputView input) {
+    if (!report.sound) {
+      return;  // already found a counterexample; skim the rest
+    }
+    ++report.inputs_checked;
+    PolicyImage image = policy.Image(input);
+    Outcome outcome = mechanism.Run(input);
+    auto [it, inserted] = representatives.try_emplace(
+        std::move(image), Input(input.begin(), input.end()), outcome);
+    if (inserted) {
+      return;
+    }
+    const auto& [rep_input, rep_outcome] = it->second;
+    if (!rep_outcome.ObservablyEquals(outcome, obs)) {
+      report.sound = false;
+      SoundnessCounterexample cx;
+      cx.input_a = rep_input;
+      cx.input_b = Input(input.begin(), input.end());
+      cx.outcome_a = rep_outcome;
+      cx.outcome_b = outcome;
+      report.counterexample = std::move(cx);
+    }
+  });
+
+  report.policy_classes = representatives.size();
+  return report;
+}
+
+}  // namespace secpol

@@ -1,0 +1,56 @@
+// The soundness checker: decides the paper's central definition over a
+// finite input domain.
+//
+// "M is sound provided there is a function M' : Y -> E u F such that for all
+// d, M(d) = M'(I(d))" — i.e. M factors through the policy image. Over a
+// finite domain this is decidable: group inputs by image and require M to be
+// observably constant on every group. Ruzzo's observation (Section 4) that
+// soundness is undecidable in general is precisely why the checker is
+// parameterized by a finite domain.
+
+#ifndef SECPOL_SRC_MECHANISM_SOUNDNESS_H_
+#define SECPOL_SRC_MECHANISM_SOUNDNESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/mechanism/domain.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/outcome.h"
+#include "src/policy/policy.h"
+
+namespace secpol {
+
+// A witness of unsoundness: two inputs the policy deems indistinguishable on
+// which the mechanism behaves observably differently. This is exactly an
+// information leak — by choosing between a and b an adversary encodes one
+// bit the policy forbids.
+struct SoundnessCounterexample {
+  Input input_a;
+  Input input_b;
+  Outcome outcome_a;
+  Outcome outcome_b;
+
+  std::string ToString() const;
+};
+
+struct SoundnessReport {
+  bool sound = false;
+  std::optional<SoundnessCounterexample> counterexample;
+  std::uint64_t inputs_checked = 0;
+  std::uint64_t policy_classes = 0;
+
+  std::string ToString() const;
+};
+
+// Exhaustively checks soundness of `mechanism` for `policy` over `domain`
+// under observability `obs`. mechanism.num_inputs() must match both the
+// policy and the domain.
+SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
+                               const SecurityPolicy& policy, const InputDomain& domain,
+                               Observability obs);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_SOUNDNESS_H_

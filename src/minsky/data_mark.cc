@@ -1,0 +1,117 @@
+#include "src/minsky/data_mark.h"
+
+#include <cassert>
+
+namespace secpol {
+
+std::string GuardedHaltSemanticsName(GuardedHaltSemantics semantics) {
+  switch (semantics) {
+    case GuardedHaltSemantics::kSkipWhenPriv:
+      return "skip-when-priv";
+    case GuardedHaltSemantics::kErrorWhenPriv:
+      return "error-when-priv";
+  }
+  return "?";
+}
+
+DataMarkMachine::DataMarkMachine(MinskyProgram program, DataMarkConfig config)
+    : program_(std::move(program)), config_(config) {
+  assert(program_.Valid());
+}
+
+std::string DataMarkMachine::name() const {
+  return "data-mark[" + GuardedHaltSemanticsName(config_.guarded_halt) +
+         (config_.check_pc_at_halt ? ",pc-checked" : "") + "](" + program_.name + ")";
+}
+
+Outcome DataMarkMachine::Run(InputView input) const {
+  std::vector<Value> regs(static_cast<size_t>(program_.num_registers), 0);
+  std::vector<bool> priv(static_cast<size_t>(program_.num_registers), false);
+  for (int i = 0; i < program_.num_inputs && i < static_cast<int>(input.size()); ++i) {
+    regs[i] = input[i] < 0 ? 0 : input[i];
+  }
+  for (int r = 0; r < program_.num_registers; ++r) {
+    priv[r] = config_.priv_registers.Contains(r);
+  }
+  bool pc_priv = false;
+
+  StepCount steps = 0;
+  int pc = 0;
+  while (steps < config_.fuel) {
+    if (pc >= static_cast<int>(program_.code.size())) {
+      // "The semantics of the halt statement are undefined in case the halt
+      // statement is the last program statement" — surfaced as its own
+      // notice so experiments can observe the gap.
+      return Outcome::Violation(steps, "undefined: control ran past program end");
+    }
+    ++steps;
+    const MinskyInst& inst = program_.code[pc];
+    switch (inst.op) {
+      case MinskyInst::Op::kInc:
+        // Writing under a priv program counter marks the register priv.
+        priv[inst.reg] = priv[inst.reg] || pc_priv;
+        ++regs[inst.reg];
+        ++pc;
+        break;
+      case MinskyInst::Op::kDecJz:
+        // Testing a priv register marks the program counter priv.
+        pc_priv = pc_priv || priv[inst.reg];
+        if (regs[inst.reg] == 0) {
+          pc = inst.target;
+        } else {
+          priv[inst.reg] = priv[inst.reg] || pc_priv;
+          --regs[inst.reg];
+          ++pc;
+        }
+        break;
+      case MinskyInst::Op::kJmp:
+        pc = inst.target;
+        break;
+      case MinskyInst::Op::kGuardedHalt:
+        if (!pc_priv) {
+          // "if P = null then halt" — release path below.
+          const bool out_priv = priv[program_.output_reg];
+          if (out_priv) {
+            return Outcome::Violation(steps, "output register marked priv");
+          }
+          return Outcome::Val(regs[program_.output_reg], steps);
+        }
+        switch (config_.guarded_halt) {
+          case GuardedHaltSemantics::kSkipWhenPriv:
+            ++pc;  // treat as a no-op and proceed
+            break;
+          case GuardedHaltSemantics::kErrorWhenPriv:
+            // The unsound interpretation: the notice itself becomes a
+            // channel (negative inference).
+            return Outcome::Violation(steps, "halt suppressed: P = priv");
+        }
+        break;
+      case MinskyInst::Op::kHalt: {
+        const bool blocked =
+            priv[program_.output_reg] || (config_.check_pc_at_halt && pc_priv);
+        if (blocked) {
+          return Outcome::Violation(steps, "output register marked priv");
+        }
+        return Outcome::Val(regs[program_.output_reg], steps);
+      }
+    }
+  }
+  return Outcome::Violation(steps, "fuel exhausted");
+}
+
+MinskyProgram MakeNegativeInferenceWitness() {
+  MinskyProgram p;
+  p.name = "negative_inference";
+  p.num_registers = 2;
+  p.num_inputs = 1;   // register 0 = x, the priv input
+  p.output_reg = 1;   // register 1 stays 0 and null-marked
+  p.code = {
+      MinskyInst::DecJz(0, 2),   // 0: x == 0 -> guarded halt; P becomes priv
+      MinskyInst::Jmp(3),        // 1: x != 0 -> plain halt
+      MinskyInst::GuardedHalt(), // 2: P = priv here on every path
+      MinskyInst::Halt(),        // 3: releases r1 = 0 (null mark)
+  };
+  return p;
+}
+
+}  // namespace secpol

@@ -1,0 +1,83 @@
+// Fenton's data-mark machine (Example 1).
+//
+// Each register carries a security attribute, null or priv ("the latter
+// indicating that the register possibly contains privileged information"),
+// and so does the program counter P. Testing a priv register marks P priv;
+// writing under a priv P marks the written register priv. The machine's
+// output is released only when the output register's mark is null.
+//
+// The paper's Example 1 (continued) observes that Fenton's halt statement
+//     if P = null then halt
+// is "not completely defined" when P = priv, and that one reasonable
+// interpretation — emit an error message — is UNSOUND, because "a program
+// can be written that will output an error message if and only if x = 0"
+// (negative inference). This module implements all the candidate semantics
+// so the soundness checker can adjudicate:
+//
+//   kSkipWhenPriv  — the guarded halt is a no-op when P = priv; if it was
+//                    the last statement, execution "falls off the end",
+//                    which the paper notes is undefined (we surface it as a
+//                    distinct violation notice).
+//   kErrorWhenPriv — the guarded halt emits a violation notice when
+//                    P = priv. This is the unsound interpretation.
+//
+// Orthogonally, `check_pc_at_halt` decides whether a plain HALT releases the
+// output when P = priv but the output register is null-marked. Fenton's
+// original machine releases it (the output mark alone is consulted); the
+// repaired machine joins P into the release decision, which is what makes
+// the construction sound (it is the Minsky-machine twin of the flowchart
+// halt rule y-bar u C-bar subset-of J).
+
+#ifndef SECPOL_SRC_MINSKY_DATA_MARK_H_
+#define SECPOL_SRC_MINSKY_DATA_MARK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mechanism/mechanism.h"
+#include "src/minsky/minsky.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+enum class GuardedHaltSemantics {
+  kSkipWhenPriv,
+  kErrorWhenPriv,
+};
+
+std::string GuardedHaltSemanticsName(GuardedHaltSemantics semantics);
+
+struct DataMarkConfig {
+  // Registers initially marked priv (typically the secret inputs).
+  VarSet priv_registers;
+  GuardedHaltSemantics guarded_halt = GuardedHaltSemantics::kSkipWhenPriv;
+  // Join P into the release decision at plain HALT (the repaired machine).
+  bool check_pc_at_halt = false;
+  StepCount fuel = kMinskyDefaultFuel;
+};
+
+class DataMarkMachine : public ProtectionMechanism {
+ public:
+  DataMarkMachine(MinskyProgram program, DataMarkConfig config);
+
+  int num_inputs() const override { return program_.num_inputs; }
+  Outcome Run(InputView input) const override;
+  std::string name() const override;
+
+  const MinskyProgram& program() const { return program_; }
+
+ private:
+  MinskyProgram program_;
+  DataMarkConfig config_;
+};
+
+// The Example 1 witness: under kErrorWhenPriv this machine emits the error
+// notice iff its (priv) input register x is 0, and returns the value 0
+// otherwise — leaking whether x == 0 through the notice itself.
+// Register 0 is the priv input x; register 1 is the (null) output.
+MinskyProgram MakeNegativeInferenceWitness();
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MINSKY_DATA_MARK_H_

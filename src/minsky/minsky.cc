@@ -1,0 +1,204 @@
+#include "src/minsky/minsky.h"
+
+namespace secpol {
+
+MinskyInst MinskyInst::Inc(int reg) {
+  MinskyInst inst;
+  inst.op = Op::kInc;
+  inst.reg = reg;
+  return inst;
+}
+
+MinskyInst MinskyInst::DecJz(int reg, int target) {
+  MinskyInst inst;
+  inst.op = Op::kDecJz;
+  inst.reg = reg;
+  inst.target = target;
+  return inst;
+}
+
+MinskyInst MinskyInst::Jmp(int target) {
+  MinskyInst inst;
+  inst.op = Op::kJmp;
+  inst.target = target;
+  return inst;
+}
+
+MinskyInst MinskyInst::Halt() {
+  MinskyInst inst;
+  inst.op = Op::kHalt;
+  return inst;
+}
+
+MinskyInst MinskyInst::GuardedHalt() {
+  MinskyInst inst;
+  inst.op = Op::kGuardedHalt;
+  return inst;
+}
+
+bool MinskyProgram::Valid() const {
+  if (num_inputs > num_registers || output_reg < 0 || output_reg >= num_registers) {
+    return false;
+  }
+  for (const MinskyInst& inst : code) {
+    switch (inst.op) {
+      case MinskyInst::Op::kInc:
+        if (inst.reg < 0 || inst.reg >= num_registers) {
+          return false;
+        }
+        break;
+      case MinskyInst::Op::kDecJz:
+        if (inst.reg < 0 || inst.reg >= num_registers || inst.target < 0 ||
+            inst.target > static_cast<int>(code.size())) {
+          return false;
+        }
+        break;
+      case MinskyInst::Op::kJmp:
+        if (inst.target < 0 || inst.target > static_cast<int>(code.size())) {
+          return false;
+        }
+        break;
+      case MinskyInst::Op::kHalt:
+      case MinskyInst::Op::kGuardedHalt:
+        break;
+    }
+  }
+  return true;
+}
+
+std::string MinskyProgram::ToString() const {
+  std::string out = "minsky " + name + " (" + std::to_string(num_registers) + " regs)\n";
+  for (size_t i = 0; i < code.size(); ++i) {
+    const MinskyInst& inst = code[i];
+    out += "  " + std::to_string(i) + ": ";
+    switch (inst.op) {
+      case MinskyInst::Op::kInc:
+        out += "INC r" + std::to_string(inst.reg);
+        break;
+      case MinskyInst::Op::kDecJz:
+        out += "DECJZ r" + std::to_string(inst.reg) + ", " + std::to_string(inst.target);
+        break;
+      case MinskyInst::Op::kJmp:
+        out += "JMP " + std::to_string(inst.target);
+        break;
+      case MinskyInst::Op::kHalt:
+        out += "HALT";
+        break;
+      case MinskyInst::Op::kGuardedHalt:
+        out += "IF P = null THEN HALT";
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+MinskyResult RunMinsky(const MinskyProgram& program, InputView input, StepCount fuel) {
+  std::vector<Value> regs(static_cast<size_t>(program.num_registers), 0);
+  for (int i = 0; i < program.num_inputs && i < static_cast<int>(input.size()); ++i) {
+    regs[i] = input[i] < 0 ? 0 : input[i];
+  }
+  MinskyResult result;
+  int pc = 0;
+  while (result.steps < fuel) {
+    if (pc >= static_cast<int>(program.code.size())) {
+      result.fell_off_end = true;
+      result.halted = true;
+      result.output = regs[program.output_reg];
+      return result;
+    }
+    ++result.steps;
+    const MinskyInst& inst = program.code[pc];
+    switch (inst.op) {
+      case MinskyInst::Op::kInc:
+        ++regs[inst.reg];
+        ++pc;
+        break;
+      case MinskyInst::Op::kDecJz:
+        if (regs[inst.reg] == 0) {
+          pc = inst.target;
+        } else {
+          --regs[inst.reg];
+          ++pc;
+        }
+        break;
+      case MinskyInst::Op::kJmp:
+        pc = inst.target;
+        break;
+      case MinskyInst::Op::kHalt:
+      case MinskyInst::Op::kGuardedHalt:
+        result.halted = true;
+        result.output = regs[program.output_reg];
+        return result;
+    }
+  }
+  return result;
+}
+
+MinskyProgram MakeAddProgram() {
+  MinskyProgram p;
+  p.name = "add";
+  p.num_registers = 2;
+  p.num_inputs = 2;
+  p.code = {
+      MinskyInst::DecJz(1, 3),
+      MinskyInst::Inc(0),
+      MinskyInst::Jmp(0),
+      MinskyInst::Halt(),
+  };
+  return p;
+}
+
+MinskyProgram MakeMoveProgram() {
+  MinskyProgram p;
+  p.name = "move";
+  p.num_registers = 2;
+  p.num_inputs = 2;
+  p.code = {
+      MinskyInst::DecJz(0, 2),
+      MinskyInst::Jmp(0),
+      MinskyInst::DecJz(1, 5),
+      MinskyInst::Inc(0),
+      MinskyInst::Jmp(2),
+      MinskyInst::Halt(),
+  };
+  return p;
+}
+
+MinskyProgram MakeIsZeroProgram() {
+  MinskyProgram p;
+  p.name = "is_zero";
+  p.num_registers = 1;
+  p.num_inputs = 1;
+  p.code = {
+      MinskyInst::DecJz(0, 4),
+      MinskyInst::DecJz(0, 3),
+      MinskyInst::Jmp(1),
+      MinskyInst::Halt(),
+      MinskyInst::Inc(0),
+      MinskyInst::Halt(),
+  };
+  return p;
+}
+
+MinskyProgram MakeMinProgram() {
+  MinskyProgram p;
+  p.name = "min";
+  p.num_registers = 3;
+  p.num_inputs = 2;
+  p.code = {
+      MinskyInst::DecJz(0, 6),  // 0: r0 == 0 -> move result
+      MinskyInst::DecJz(1, 4),  // 1: r1 == 0 -> zero r0 first
+      MinskyInst::Inc(2),       // 2
+      MinskyInst::Jmp(0),       // 3
+      MinskyInst::DecJz(0, 6),  // 4: drain r0
+      MinskyInst::Jmp(4),       // 5
+      MinskyInst::DecJz(2, 9),  // 6: move r2 -> r0
+      MinskyInst::Inc(0),       // 7
+      MinskyInst::Jmp(6),       // 8
+      MinskyInst::Halt(),       // 9
+  };
+  return p;
+}
+
+}  // namespace secpol

@@ -1,0 +1,83 @@
+// Minsky register machines (Example 1's computation model).
+//
+// "The value Q(d1,...,dk) is the value obtained by the computation of some
+// given Minsky-machine that was started with its ith register containing
+// di." The machine has non-negative integer registers and two operations:
+// increment, and decrement-or-jump-if-zero. This is the substrate on which
+// Fenton's data-mark machine (data_mark.h) runs.
+
+#ifndef SECPOL_SRC_MINSKY_MINSKY_H_
+#define SECPOL_SRC_MINSKY_MINSKY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/value.h"
+
+namespace secpol {
+
+struct MinskyInst {
+  enum class Op {
+    kInc,          // reg += 1; fall through
+    kDecJz,        // if reg == 0 jump to target, else reg -= 1 and fall through
+    kJmp,          // unconditional jump to target
+    kHalt,         // stop; the output register holds the result
+    kGuardedHalt,  // Fenton's "if P = null then halt" — semantics are chosen
+                   // by the data-mark machine; the plain machine treats it
+                   // as kHalt
+  };
+
+  Op op = Op::kHalt;
+  int reg = -1;     // kInc, kDecJz
+  int target = -1;  // kDecJz, kJmp
+
+  static MinskyInst Inc(int reg);
+  static MinskyInst DecJz(int reg, int target);
+  static MinskyInst Jmp(int target);
+  static MinskyInst Halt();
+  static MinskyInst GuardedHalt();
+};
+
+struct MinskyProgram {
+  std::string name;
+  int num_registers = 0;
+  // Registers [0, num_inputs) are initialized from the input tuple; the rest
+  // start at 0.
+  int num_inputs = 0;
+  // The register whose value is the program's output.
+  int output_reg = 0;
+  std::vector<MinskyInst> code;
+
+  // Structural validation: register/target ranges.
+  bool Valid() const;
+  std::string ToString() const;
+};
+
+struct MinskyResult {
+  Value output = 0;
+  StepCount steps = 0;
+  bool halted = false;         // false: fuel exhausted
+  bool fell_off_end = false;   // control ran past the last instruction
+};
+
+inline constexpr StepCount kMinskyDefaultFuel = 1u << 20;
+
+// Plain (unprotected) execution; negative inputs are clamped to 0 (Minsky
+// registers are naturals).
+MinskyResult RunMinsky(const MinskyProgram& program, InputView input,
+                       StepCount fuel = kMinskyDefaultFuel);
+
+// --- A small library of machines, used by tests and examples ---
+
+// r0 = r0 + r1 (destroys r1).
+MinskyProgram MakeAddProgram();
+// r0 = r1 (destroys r1).
+MinskyProgram MakeMoveProgram();
+// r0 = 1 if r0 == 0 else 0.
+MinskyProgram MakeIsZeroProgram();
+// r0 = min(r0, r1).
+MinskyProgram MakeMinProgram();
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MINSKY_MINSKY_H_

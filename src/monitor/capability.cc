@@ -1,0 +1,68 @@
+#include "src/monitor/capability.h"
+
+#include <cassert>
+
+namespace secpol {
+
+CapabilityMechanism::CapabilityMechanism(Program program, VarSet capabilities, StepCount fuel)
+    : program_(std::move(program)), capabilities_(capabilities), fuel_(fuel) {
+  assert(capabilities_.SubsetOf(VarSet::FirstN(program_.num_inputs())));
+  const VarSet uncapable = VarSet::FirstN(program_.num_inputs()).Minus(capabilities_);
+  faults_.resize(static_cast<size_t>(program_.num_boxes()));
+  for (int b = 0; b < program_.num_boxes(); ++b) {
+    const Box& box = program_.box(b);
+    switch (box.kind) {
+      case Box::Kind::kAssign:
+        faults_[static_cast<size_t>(b)] = box.expr.FreeVars().Intersect(uncapable);
+        break;
+      case Box::Kind::kDecision:
+        faults_[static_cast<size_t>(b)] = box.predicate.FreeVars().Intersect(uncapable);
+        break;
+      case Box::Kind::kStart:
+      case Box::Kind::kHalt:
+        break;
+    }
+  }
+}
+
+std::string CapabilityMechanism::name() const {
+  return "capability" + capabilities_.ToString() + "(" + program_.name() + ")";
+}
+
+Outcome CapabilityMechanism::Run(InputView input) const {
+  assert(static_cast<int>(input.size()) == program_.num_inputs());
+  std::vector<Value> env(program_.num_vars(), 0);
+  for (int i = 0; i < program_.num_inputs(); ++i) {
+    env[i] = input[i];
+  }
+
+  StepCount steps = 0;
+  int pc = program_.start_box();
+  while (steps < fuel_) {
+    ++steps;
+    const Box& box = program_.box(pc);
+    if (!faults_[static_cast<size_t>(pc)].empty()) {
+      // Missing-capability fault, before the reference happens.
+      return Outcome::Violation(
+          steps, "no capability for input(s) " +
+                     faults_[static_cast<size_t>(pc)].ToString());
+    }
+    switch (box.kind) {
+      case Box::Kind::kStart:
+        pc = box.next;
+        break;
+      case Box::Kind::kAssign:
+        env[box.var] = box.expr.Eval(env);
+        pc = box.next;
+        break;
+      case Box::Kind::kDecision:
+        pc = box.predicate.Eval(env) != 0 ? box.true_next : box.false_next;
+        break;
+      case Box::Kind::kHalt:
+        return Outcome::Val(env[program_.output_var()], steps);
+    }
+  }
+  return Outcome::Violation(steps, "fuel exhausted");
+}
+
+}  // namespace secpol

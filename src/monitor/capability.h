@@ -1,0 +1,52 @@
+// A capability-system protection mechanism.
+//
+// The paper's conclusion: "Our model ... can be used to model capability
+// systems as well as surveillance." In a capability system a computation can
+// only name what it holds capabilities for; there is no notion of tainted
+// data because untouchable data is never touched.
+//
+// Rendered in the flowchart world: the caller holds read capabilities for
+// the allowed inputs. Execution proceeds normally until any expression or
+// predicate *references* an input the caller has no capability for; at that
+// instant the run aborts with a violation notice (the missing-capability
+// fault). No labels are tracked — possession is checked, not flow.
+//
+// Properties (all property-tested):
+//  * Sound even under observable time: the path, and therefore the fault
+//    point, is a function of capability-readable data only.
+//  * Strictly below the timing-safe surveillance M' in the completeness
+//    order: M' tolerates *assignments* from disallowed data (the labels
+//    catch them at halt if they matter); the capability fault tolerates no
+//    reference at all. cap <= M' <= ... in the mechanism ladder.
+
+#ifndef SECPOL_SRC_MONITOR_CAPABILITY_H_
+#define SECPOL_SRC_MONITOR_CAPABILITY_H_
+
+#include "src/flowchart/interpreter.h"
+#include "src/flowchart/program.h"
+#include "src/mechanism/mechanism.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+class CapabilityMechanism : public ProtectionMechanism {
+ public:
+  // `capabilities` are input indices the caller may reference.
+  CapabilityMechanism(Program program, VarSet capabilities, StepCount fuel = kDefaultFuel);
+
+  int num_inputs() const override { return program_.num_inputs(); }
+  Outcome Run(InputView input) const override;
+  std::string name() const override;
+
+ private:
+  Program program_;
+  VarSet capabilities_;
+  StepCount fuel_;
+  // Precomputed per box: the disallowed inputs its expression/predicate
+  // references (empty = box can never fault).
+  std::vector<VarSet> faults_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MONITOR_CAPABILITY_H_

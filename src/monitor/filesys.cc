@@ -1,0 +1,122 @@
+#include "src/monitor/filesys.h"
+
+#include <cassert>
+
+namespace secpol {
+
+FileSystem::FileSystem(std::vector<Value> dirs, std::vector<Value> files, Value grant_value)
+    : dirs_(std::move(dirs)), files_(std::move(files)), grant_value_(grant_value) {
+  assert(dirs_.size() == files_.size());
+}
+
+std::string DenialModeName(DenialMode mode) {
+  switch (mode) {
+    case DenialMode::kFailStop:
+      return "fail-stop";
+    case DenialMode::kZeroFill:
+      return "zero-fill";
+    case DenialMode::kLeakyLenient:
+      return "leaky-lenient";
+  }
+  return "?";
+}
+
+MonitorSession::MonitorSession(const FileSystem& fs, DenialMode mode) : fs_(fs), mode_(mode) {}
+
+Value MonitorSession::ReadDirectory(int i) {
+  ++syscalls_;
+  if (aborted_ || i < 0 || i >= fs_.num_files()) {
+    return 0;
+  }
+  return fs_.DirEntry(i);
+}
+
+Value MonitorSession::ReadFile(int i) {
+  ++syscalls_;
+  if (aborted_ || i < 0 || i >= fs_.num_files()) {
+    return 0;
+  }
+  if (fs_.Granted(i)) {
+    return fs_.RawContent(i);
+  }
+  switch (mode_) {
+    case DenialMode::kFailStop:
+      aborted_ = true;
+      abort_notice_ = "Illegal access attempted, run aborted";
+      return 0;
+    case DenialMode::kZeroFill:
+      return 0;
+    case DenialMode::kLeakyLenient:
+      // UNSOUND by design: whether the run aborts depends on the *protected*
+      // content (Example 4's leak-through-the-notice).
+      if (fs_.RawContent(i) != 0) {
+        aborted_ = true;
+        abort_notice_ = "Illegal access to nonzero file, run aborted";
+      }
+      return 0;
+  }
+  return 0;
+}
+
+std::shared_ptr<ProtectionMechanism> MakeMonitoredMechanism(std::string name, int num_files,
+                                                            Value grant_value, DenialMode mode,
+                                                            UserProgram program) {
+  const std::string full_name = name + "/" + DenialModeName(mode);
+  return std::make_shared<FunctionMechanism>(
+      full_name, 2 * num_files,
+      [num_files, grant_value, mode, program = std::move(program)](InputView input) {
+        std::vector<Value> dirs(input.begin(), input.begin() + num_files);
+        std::vector<Value> files(input.begin() + num_files, input.end());
+        const FileSystem fs(std::move(dirs), std::move(files), grant_value);
+        MonitorSession session(fs, mode);
+        const Value result = program(session);
+        if (session.aborted()) {
+          return Outcome::Violation(session.syscalls(), session.abort_notice());
+        }
+        return Outcome::Val(result, session.syscalls());
+      });
+}
+
+UserProgram MakeCompliantSummer() {
+  return [](MonitorSession& session) {
+    Value sum = 0;
+    // The session does not expose the file count directly; probe directories
+    // until an out-of-range read (monitors return 0 for those, and real
+    // programs know k). We pass k through a generous fixed bound.
+    for (int i = 0; i < 64; ++i) {
+      const Value dir = session.ReadDirectory(i);
+      if (dir == 1) {
+        sum += session.ReadFile(i);
+      }
+    }
+    return sum;
+  };
+}
+
+UserProgram MakeGreedySummer() {
+  return [](MonitorSession& session) {
+    Value sum = 0;
+    for (int i = 0; i < 64; ++i) {
+      sum += session.ReadFile(i);
+      if (session.aborted()) {
+        break;
+      }
+    }
+    return sum;
+  };
+}
+
+UserProgram MakeAdaptiveReader() {
+  return [](MonitorSession& session) {
+    Value result = 0;
+    if (session.ReadDirectory(0) == 1) {
+      result = session.ReadFile(0);
+      if (result % 2 != 0) {
+        result += session.ReadFile(1);
+      }
+    }
+    return result;
+  };
+}
+
+}  // namespace secpol

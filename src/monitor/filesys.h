@@ -1,0 +1,118 @@
+// Example 2's file system, as a user-space reference monitor.
+//
+// "Here Di is the set of possible values for the ith directory; Fi is the
+// set of values for the ith file. ... the ith directory will contain
+// information about who can access the ith file. We wish to know whether or
+// not Q(d1..dk, f1..fk) contains any information from a file that was to be
+// denied to us."
+//
+// The kernel holds k directories and k files; a user program runs against a
+// MonitorSession that mediates every access (the classic reference-monitor
+// placement). The monitor's denial behaviour is configurable:
+//
+//   kFailStop     — the run aborts with "Illegal access attempted, run
+//                   aborted" (the paper's Example 2 violation notice).
+//   kZeroFill     — denied reads return 0 and the run continues.
+//   kLeakyLenient — denied reads of a ZERO file return 0 silently but a
+//                   nonzero denied file aborts. This reproduces Example 4's
+//                   unsound mechanisms "that leak information via their
+//                   violation notices": the notice itself now encodes one
+//                   bit of the protected file. The soundness checker
+//                   convicts it.
+//
+// Syscall count is the session's step measure, so timing experiments apply
+// to monitors too.
+
+#ifndef SECPOL_SRC_MONITOR_FILESYS_H_
+#define SECPOL_SRC_MONITOR_FILESYS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mechanism/mechanism.h"
+#include "src/policy/policy.h"
+#include "src/util/value.h"
+
+namespace secpol {
+
+// The kernel-side state: k directory entries gating k file contents.
+class FileSystem {
+ public:
+  // dirs.size() == files.size(); directory i grants access to file i iff
+  // dirs[i] == grant_value.
+  FileSystem(std::vector<Value> dirs, std::vector<Value> files, Value grant_value);
+
+  int num_files() const { return static_cast<int>(files_.size()); }
+  Value grant_value() const { return grant_value_; }
+  Value DirEntry(int i) const { return dirs_[i]; }
+  bool Granted(int i) const { return dirs_[i] == grant_value_; }
+  // Raw content: only the monitor may call this.
+  Value RawContent(int i) const { return files_[i]; }
+
+ private:
+  std::vector<Value> dirs_;
+  std::vector<Value> files_;
+  Value grant_value_;
+};
+
+enum class DenialMode {
+  kFailStop,
+  kZeroFill,
+  kLeakyLenient,
+};
+
+std::string DenialModeName(DenialMode mode);
+
+// The user program's only window onto the file system.
+class MonitorSession {
+ public:
+  MonitorSession(const FileSystem& fs, DenialMode mode);
+
+  // Directory entries are always readable (the policy image contains every
+  // directory).
+  Value ReadDirectory(int i);
+
+  // Mediated file read. On denial, behaviour follows the DenialMode; in
+  // fail-stop modes the session latches `aborted` and subsequent reads
+  // return 0 (a well-behaved program checks aborted() or simply finishes).
+  Value ReadFile(int i);
+
+  bool aborted() const { return aborted_; }
+  const std::string& abort_notice() const { return abort_notice_; }
+  StepCount syscalls() const { return syscalls_; }
+
+ private:
+  const FileSystem& fs_;
+  DenialMode mode_;
+  bool aborted_ = false;
+  std::string abort_notice_;
+  StepCount syscalls_ = 0;
+};
+
+// A user program computes a value through a session.
+using UserProgram = std::function<Value(MonitorSession&)>;
+
+// Packages (kernel + monitor + user program) as a protection mechanism over
+// the input tuple (d1..dk, f1..fk), checkable against DirectoryGatedPolicy.
+std::shared_ptr<ProtectionMechanism> MakeMonitoredMechanism(std::string name, int num_files,
+                                                            Value grant_value, DenialMode mode,
+                                                            UserProgram program);
+
+// --- Stock user programs for tests, examples, and benches ---
+
+// Sums the contents of exactly the files whose directories grant access
+// (checks before reading — never triggers a denial).
+UserProgram MakeCompliantSummer();
+// Sums every file unconditionally (triggers denials whenever any directory
+// refuses).
+UserProgram MakeGreedySummer();
+// Reads file 0 if granted, then — if its content is odd — also reads file 1.
+// Its *access pattern* depends on data, which is exactly the situation where
+// monitor denial behaviour must be scrutinized.
+UserProgram MakeAdaptiveReader();
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MONITOR_FILESYS_H_

@@ -1,0 +1,155 @@
+#include "src/monitor/kernel.h"
+
+#include <cassert>
+
+namespace secpol {
+
+std::string ResourceAccountingName(ResourceAccounting accounting) {
+  switch (accounting) {
+    case ResourceAccounting::kGlobalAccounting:
+      return "global";
+    case ResourceAccounting::kPartitionedAccounting:
+      return "partitioned";
+  }
+  return "?";
+}
+
+bool ProcessContext::AllocBuffer() {
+  MiniKernel& k = kernel_;
+  const bool global = k.accounting_ == ResourceAccounting::kGlobalAccounting;
+  const Value limit = global ? k.pool_size_ : k.quota_of(pid_);
+  const Value in_use = global ? k.allocated_total_ : k.held_[static_cast<size_t>(pid_)];
+  if (in_use >= limit) {
+    return false;
+  }
+  ++k.allocated_total_;
+  ++k.held_[static_cast<size_t>(pid_)];
+  return true;
+}
+
+bool ProcessContext::FreeBuffer() {
+  MiniKernel& k = kernel_;
+  if (k.held_[static_cast<size_t>(pid_)] == 0) {
+    return false;
+  }
+  --k.allocated_total_;
+  --k.held_[static_cast<size_t>(pid_)];
+  return true;
+}
+
+Value ProcessContext::ReadFreeCount() const {
+  const MiniKernel& k = kernel_;
+  switch (k.accounting_) {
+    case ResourceAccounting::kGlobalAccounting:
+      return k.free_count();
+    case ResourceAccounting::kPartitionedAccounting:
+      return k.quota_of(pid_) - k.held_[static_cast<size_t>(pid_)];
+  }
+  return 0;
+}
+
+Value ProcessContext::Round() const { return kernel_.round_; }
+
+MiniKernel::MiniKernel(Value pool_size, ResourceAccounting accounting)
+    : pool_size_(pool_size), accounting_(accounting) {
+  assert(pool_size > 0);
+}
+
+int MiniKernel::Spawn(std::string name, ProcessBody body) {
+  const int pid = static_cast<int>(processes_.size());
+  processes_.push_back({std::move(name), std::move(body), false});
+  held_.push_back(0);
+  return pid;
+}
+
+Value MiniKernel::quota_of(int pid) const {
+  (void)pid;
+  const Value n = static_cast<Value>(processes_.empty() ? 1 : processes_.size());
+  return pool_size_ / n;
+}
+
+Value MiniKernel::RunUntilIdle(Value max_rounds) {
+  for (round_ = 0; round_ < max_rounds; ++round_) {
+    bool any_live = false;
+    for (size_t pid = 0; pid < processes_.size(); ++pid) {
+      Process& process = processes_[pid];
+      if (process.done) {
+        continue;
+      }
+      ProcessContext context(*this, static_cast<int>(pid));
+      if (!process.body(context)) {
+        process.done = true;
+      } else {
+        any_live = true;
+      }
+    }
+    if (!any_live) {
+      ++round_;
+      break;
+    }
+  }
+  return round_;
+}
+
+ProcessBody MakeResourceSender(Value secret, int num_rounds, int bits_per_round) {
+  // `held` is tracked in the closure: real processes know what they hold.
+  auto held = std::make_shared<Value>(0);
+  const Value mask = (Value{1} << bits_per_round) - 1;
+  return [secret, num_rounds, bits_per_round, mask, held](ProcessContext& ctx) {
+    const Value round = ctx.Round();
+    if (round >= num_rounds) {
+      while (*held > 0 && ctx.FreeBuffer()) {
+        --*held;
+      }
+      return false;
+    }
+    const Value chunk = (secret >> (round * bits_per_round)) & mask;
+    while (*held < chunk && ctx.AllocBuffer()) {
+      ++*held;
+    }
+    while (*held > chunk && ctx.FreeBuffer()) {
+      --*held;
+    }
+    return true;
+  };
+}
+
+ProcessBody MakeResourceReceiver(int num_rounds, std::vector<Value>* samples) {
+  return [num_rounds, samples](ProcessContext& ctx) {
+    if (ctx.Round() >= num_rounds) {
+      return false;
+    }
+    samples->push_back(ctx.ReadFreeCount());
+    return true;
+  };
+}
+
+Value RunCovertChannel(Value secret, int secret_bits, ResourceAccounting accounting,
+                       int bits_per_round) {
+  assert(secret_bits > 0 && bits_per_round > 0 && bits_per_round <= 16);
+  const int rounds = (secret_bits + bits_per_round - 1) / bits_per_round;
+  const Value pool = (Value{1} << bits_per_round) - 1 > 0
+                         ? (Value{1} << bits_per_round) - 1
+                         : 1;
+
+  MiniKernel kernel(pool == 0 ? 1 : pool, accounting);
+  kernel.Spawn("sender", MakeResourceSender(secret, rounds, bits_per_round));
+  std::vector<Value> samples;
+  kernel.Spawn("receiver", MakeResourceReceiver(rounds, &samples));
+  kernel.RunUntilIdle();
+
+  // Reconstruct: each sample is (pool free count) = pool - sender_held.
+  Value recovered = 0;
+  for (size_t r = 0; r < samples.size(); ++r) {
+    const Value chunk = kernel.pool_size() - samples[r];
+    recovered |= (chunk & ((Value{1} << bits_per_round) - 1))
+                 << (static_cast<Value>(r) * bits_per_round);
+  }
+  // Mask to the claimed width.
+  if (secret_bits < 63) {
+    recovered &= (Value{1} << secret_bits) - 1;
+  }
+  return recovered;
+}
+
+}  // namespace secpol

@@ -1,0 +1,125 @@
+// A miniature multiprogramming kernel: processes, a round-robin scheduler,
+// and shared resources with accounting — the substrate for the paper's
+// remark that in "a general-purpose operating system ... information can be
+// passed via resource usage patterns."
+//
+// Processes are cooperative coroutne-like step functions: on each quantum a
+// process receives the kernel interface and performs at most one syscall.
+// The kernel exposes two *accounting modes* for its shared resource (a pool
+// of buffers):
+//
+//   kGlobalAccounting  — any process can read the pool-wide free count.
+//     A sender modulates its allocations; a receiver polls the free count:
+//     a classic storage/resource channel, measurable at several bits per
+//     scheduling round.
+//
+//   kPartitionedAccounting — each process sees only its own usage; the
+//     receiver's observable is constant and the channel capacity collapses
+//     to zero.
+//
+// Experiment E17 (bench_kernel) measures both. The mitigation mirrors the
+// paper's diagnosis: the pool-wide count was a forgotten observable; either
+// declare it an output (and find the mechanism unsound) or remove it from
+// the observable surface (partitioning).
+
+#ifndef SECPOL_SRC_MONITOR_KERNEL_H_
+#define SECPOL_SRC_MONITOR_KERNEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/value.h"
+
+namespace secpol {
+
+enum class ResourceAccounting {
+  kGlobalAccounting,
+  kPartitionedAccounting,
+};
+
+std::string ResourceAccountingName(ResourceAccounting accounting);
+
+class MiniKernel;
+
+// What a process may do during one quantum.
+class ProcessContext {
+ public:
+  ProcessContext(MiniKernel& kernel, int pid) : kernel_(kernel), pid_(pid) {}
+
+  int pid() const { return pid_; }
+
+  // Allocates one buffer from the shared pool; returns false if exhausted.
+  bool AllocBuffer();
+  // Releases one of the caller's buffers; returns false if it holds none.
+  bool FreeBuffer();
+  // The resource observable. Under kGlobalAccounting: pool-wide free count.
+  // Under kPartitionedAccounting: the caller's own quota remainder.
+  Value ReadFreeCount() const;
+  // Scheduler round counter (a clock every process can see).
+  Value Round() const;
+
+ private:
+  MiniKernel& kernel_;
+  int pid_;
+};
+
+// A process body: called once per quantum until it returns false (done).
+using ProcessBody = std::function<bool(ProcessContext&)>;
+
+class MiniKernel {
+ public:
+  // pool_size buffers shared among all processes; under partitioned
+  // accounting each process gets an equal static quota.
+  MiniKernel(Value pool_size, ResourceAccounting accounting);
+
+  int Spawn(std::string name, ProcessBody body);
+
+  // Runs round-robin quanta until every process is done or `max_rounds`
+  // elapses. Returns the number of rounds executed.
+  Value RunUntilIdle(Value max_rounds = 10000);
+
+  ResourceAccounting accounting() const { return accounting_; }
+  Value pool_size() const { return pool_size_; }
+  Value round() const { return round_; }
+  Value free_count() const { return pool_size_ - allocated_total_; }
+  Value held_by(int pid) const { return held_[static_cast<size_t>(pid)]; }
+  Value quota_of(int pid) const;
+
+ private:
+  friend class ProcessContext;
+
+  struct Process {
+    std::string name;
+    ProcessBody body;
+    bool done = false;
+  };
+
+  Value pool_size_;
+  ResourceAccounting accounting_;
+  Value allocated_total_ = 0;
+  Value round_ = 0;
+  std::vector<Process> processes_;
+  std::vector<Value> held_;
+};
+
+// --- The covert-channel pair (used by tests, the bench, and the example) ---
+
+// The sender leaks `secret` (bits_per_round bits at a time) by holding that
+// many buffers during each scheduling round.
+ProcessBody MakeResourceSender(Value secret, int num_rounds, int bits_per_round);
+
+// The receiver samples the observable each round; the recovered values are
+// appended to *samples.
+ProcessBody MakeResourceReceiver(int num_rounds, std::vector<Value>* samples);
+
+// Runs a sender/receiver pair and attempts to reconstruct the secret.
+// Returns the recovered value (garbage under partitioned accounting — which
+// is the point).
+Value RunCovertChannel(Value secret, int secret_bits, ResourceAccounting accounting,
+                       int bits_per_round = 2);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MONITOR_KERNEL_H_

@@ -1,0 +1,34 @@
+#include "src/monitor/logon.h"
+
+namespace secpol {
+
+Value PasswordOf(Value table, Value uid, Value password_space) {
+  if (uid < 0 || table < 0 || password_space <= 0) {
+    return -1;
+  }
+  Value digits = table;
+  for (Value u = 0; u < uid; ++u) {
+    digits /= password_space;
+  }
+  return digits % password_space;
+}
+
+std::shared_ptr<ProtectionMechanism> MakeLogonProgram(int num_users, Value password_space) {
+  return std::make_shared<FunctionMechanism>(
+      "logon", 3, [num_users, password_space](InputView input) {
+        const Value uid = input[0];
+        const Value table = input[1];
+        const Value pw = input[2];
+        // One step per user slot scanned: data-independent.
+        const StepCount steps = static_cast<StepCount>(num_users);
+        if (uid < 0 || uid >= num_users) {
+          return Outcome::Val(0, steps);
+        }
+        const Value stored = PasswordOf(table, uid, password_space);
+        return Outcome::Val(stored == pw ? 1 : 0, steps);
+      });
+}
+
+AllowPolicy MakeLogonPolicy() { return AllowPolicy(3, VarSet{0, 2}); }
+
+}  // namespace secpol

@@ -1,0 +1,40 @@
+// Example 5: the logon program.
+//
+// "Q : D1 x D2 x D3 -> {true, false} where D1 is the set of userids, D2 the
+// set of possible password tables, and D3 the set of passwords. Q(d1,d2,d3)
+// is true iff (d1, d3) is in d2. Consider the security policy allow(1,3) —
+// do not let the user have any information from the password table. Then Q,
+// as its own protection mechanism, is unsound. The reason this program is
+// workable in practice is that the amount of information obtained by the
+// user is 'small'."
+//
+// We encode a password table for `num_users` users over an alphabet of
+// `password_space` symbols as the base-`password_space` number whose u-th
+// digit is user u's password.
+
+#ifndef SECPOL_SRC_MONITOR_LOGON_H_
+#define SECPOL_SRC_MONITOR_LOGON_H_
+
+#include <memory>
+
+#include "src/mechanism/mechanism.h"
+#include "src/policy/policy.h"
+#include "src/util/value.h"
+
+namespace secpol {
+
+// Digit `uid` of `table` in base `password_space` — the stored password.
+Value PasswordOf(Value table, Value uid, Value password_space);
+
+// The logon program as its own protection mechanism: inputs (uid, table,
+// pw), output 1 iff pw matches. Out-of-range uids never match. Steps: one
+// per table digit probed, independent of secret data.
+std::shared_ptr<ProtectionMechanism> MakeLogonProgram(int num_users, Value password_space);
+
+// The policy of Example 5: allow(uid, pw) — coordinates 0 and 2 — hiding the
+// table (coordinate 1).
+AllowPolicy MakeLogonPolicy();
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MONITOR_LOGON_H_

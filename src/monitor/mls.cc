@@ -1,0 +1,128 @@
+#include "src/monitor/mls.h"
+
+#include <cassert>
+
+namespace secpol {
+
+std::string MlsMonitorKindName(MlsMonitorKind kind) {
+  switch (kind) {
+    case MlsMonitorKind::kNoReadUp:
+      return "no-read-up";
+    case MlsMonitorKind::kTaintAndCheck:
+      return "taint-and-check";
+  }
+  return "?";
+}
+
+std::string WriteDisciplineName(WriteDiscipline discipline) {
+  switch (discipline) {
+    case WriteDiscipline::kUnrestrictedWrite:
+      return "unrestricted-write";
+    case WriteDiscipline::kStarProperty:
+      return "star-property";
+  }
+  return "?";
+}
+
+MlsSession::MlsSession(const SecurityLattice& lattice, std::vector<ClassId> file_classes,
+                       std::vector<Value> contents, ClassId clearance, MlsMonitorKind kind,
+                       WriteDiscipline writes)
+    : lattice_(lattice),
+      file_classes_(std::move(file_classes)),
+      contents_(std::move(contents)),
+      clearance_(clearance),
+      kind_(kind),
+      writes_(writes),
+      process_label_(lattice.Bottom()) {
+  assert(file_classes_.size() == contents_.size());
+}
+
+bool MlsSession::WriteFile(int i, Value value) {
+  ++syscalls_;
+  if (i < 0 || i >= num_files()) {
+    return false;
+  }
+  if (writes_ == WriteDiscipline::kStarProperty) {
+    // The writer's effective label: everything the write could carry.
+    const ClassId effective =
+        kind_ == MlsMonitorKind::kTaintAndCheck ? process_label_ : clearance_;
+    if (!lattice_.Leq(effective, file_classes_[i])) {
+      return false;  // no write down
+    }
+  }
+  contents_[i] = value;
+  return true;
+}
+
+Value MlsSession::ReadFile(int i) {
+  ++syscalls_;
+  if (i < 0 || i >= num_files()) {
+    return 0;
+  }
+  switch (kind_) {
+    case MlsMonitorKind::kNoReadUp:
+      if (!lattice_.Leq(file_classes_[i], clearance_)) {
+        return 0;  // refused; the zero is classification-determined
+      }
+      return contents_[i];
+    case MlsMonitorKind::kTaintAndCheck:
+      process_label_ = lattice_.Join(process_label_, file_classes_[i]);
+      return contents_[i];
+  }
+  return 0;
+}
+
+std::shared_ptr<ProtectionMechanism> MakeMlsMechanism(
+    std::string name, std::shared_ptr<const SecurityLattice> lattice,
+    std::vector<ClassId> file_classes, ClassId clearance, MlsMonitorKind kind,
+    MlsUserProgram program) {
+  const int num_files = static_cast<int>(file_classes.size());
+  const std::string full_name = name + "/" + MlsMonitorKindName(kind);
+  return std::make_shared<FunctionMechanism>(
+      full_name, num_files,
+      [lattice = std::move(lattice), file_classes = std::move(file_classes), clearance, kind,
+       program = std::move(program)](InputView input) {
+        MlsSession session(*lattice, file_classes, Input(input.begin(), input.end()), clearance,
+                           kind);
+        const Value result = program(session);
+        if (kind == MlsMonitorKind::kTaintAndCheck &&
+            !lattice->Leq(session.process_label(), clearance)) {
+          return Outcome::Violation(session.syscalls(),
+                                    "process label exceeds clearance at output");
+        }
+        return Outcome::Val(result, session.syscalls());
+      });
+}
+
+std::shared_ptr<ProtectionMechanism> MakeMlsObserverMechanism(
+    std::string name, std::shared_ptr<const SecurityLattice> lattice,
+    std::vector<ClassId> file_classes, ClassId writer_clearance, MlsMonitorKind kind,
+    WriteDiscipline writes, MlsUserProgram program, int observed_file) {
+  const int num_files = static_cast<int>(file_classes.size());
+  const std::string full_name = name + "/" + MlsMonitorKindName(kind) + "/" +
+                                WriteDisciplineName(writes) + "/observes-file" +
+                                std::to_string(observed_file);
+  return std::make_shared<FunctionMechanism>(
+      full_name, num_files,
+      [lattice = std::move(lattice), file_classes = std::move(file_classes), writer_clearance,
+       kind, writes, program = std::move(program), observed_file](InputView input) {
+        MlsSession session(*lattice, file_classes, Input(input.begin(), input.end()),
+                           writer_clearance, kind, writes);
+        (void)program(session);
+        // What the passive observer sees afterwards: the file's final state.
+        return Outcome::Val(session.FinalContent(observed_file), session.syscalls());
+      });
+}
+
+AllowPolicy MakeMlsPolicy(const SecurityLattice& lattice,
+                          const std::vector<ClassId>& file_classes, ClassId clearance) {
+  VarSet allowed;
+  for (size_t i = 0; i < file_classes.size(); ++i) {
+    if (lattice.Leq(file_classes[i], clearance)) {
+      allowed.Insert(static_cast<int>(i));
+    }
+  }
+  return AllowPolicy(static_cast<int>(file_classes.size()), allowed);
+}
+
+}  // namespace secpol

@@ -1,0 +1,125 @@
+// A multi-level-security kernel over a Denning lattice.
+//
+// The paper closes by noting its model "can be used to model capability
+// systems as well as surveillance"; this module models the other classic
+// mechanism family: a kernel whose files carry lattice classifications and
+// whose processes run at a clearance. Two monitor designs are provided for
+// the same policy ("the caller learns nothing about files classified above
+// its clearance"):
+//
+//   kNoReadUp — access control in the Bell–LaPadula style: a read of a file
+//     above clearance is refused (zero-filled). Decisions depend only on the
+//     fixed classification map, never on contents — sound by construction.
+//
+//   kTaintAndCheck — surveillance at syscall granularity: all reads succeed,
+//     the process label accumulates the labels of everything read, and the
+//     *output* is released only if the accumulated label flows to the
+//     clearance. More complete than kNoReadUp for programs that read high
+//     data but do not let it reach the output... as long as the program's
+//     result really drops it; with a single final check the label is
+//     conservative, so the comparison mirrors high-water vs surveillance.
+//
+// The induced policy for the checker: inputs are the k file contents;
+// allowed coordinates are the files whose class flows to the clearance.
+
+#ifndef SECPOL_SRC_MONITOR_MLS_H_
+#define SECPOL_SRC_MONITOR_MLS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lattice/lattice.h"
+#include "src/mechanism/mechanism.h"
+#include "src/policy/policy.h"
+#include "src/util/value.h"
+
+namespace secpol {
+
+enum class MlsMonitorKind {
+  kNoReadUp,
+  kTaintAndCheck,
+};
+
+std::string MlsMonitorKindName(MlsMonitorKind kind);
+
+// The write rule. Reads move information into the process; writes move it
+// into files, and a write below the writer's effective label is the classic
+// downgrade leak the *-property forbids ("no write down").
+enum class WriteDiscipline {
+  // Writes are unchecked — the deliberately leaky configuration, which the
+  // soundness checker convicts (see MlsWriteTest).
+  kUnrestrictedWrite,
+  // The *-property: a write is permitted only if the writer's effective
+  // label flows to the file's class. Under kNoReadUp the effective label is
+  // the clearance; under kTaintAndCheck it is the accumulated taint, which
+  // is more permissive for processes that have read nothing sensitive.
+  kStarProperty,
+};
+
+std::string WriteDisciplineName(WriteDiscipline discipline);
+
+class MlsSession {
+ public:
+  MlsSession(const SecurityLattice& lattice, std::vector<ClassId> file_classes,
+             std::vector<Value> contents, ClassId clearance, MlsMonitorKind kind,
+             WriteDiscipline writes = WriteDiscipline::kStarProperty);
+
+  int num_files() const { return static_cast<int>(contents_.size()); }
+
+  // Mediated read; behaviour depends on the monitor kind.
+  Value ReadFile(int i);
+
+  // Mediated write; returns false (and leaves the file untouched) when the
+  // write discipline refuses.
+  bool WriteFile(int i, Value value);
+
+  // The class of file i — public metadata, like Example 2's directories.
+  ClassId FileClass(int i) const { return file_classes_[i]; }
+
+  // Raw final content — for building observer mechanisms, not for programs.
+  Value FinalContent(int i) const { return contents_[i]; }
+
+  ClassId process_label() const { return process_label_; }
+  StepCount syscalls() const { return syscalls_; }
+
+ private:
+  const SecurityLattice& lattice_;
+  std::vector<ClassId> file_classes_;
+  std::vector<Value> contents_;
+  ClassId clearance_;
+  MlsMonitorKind kind_;
+  WriteDiscipline writes_;
+  ClassId process_label_;
+  StepCount syscalls_ = 0;
+};
+
+using MlsUserProgram = std::function<Value(MlsSession&)>;
+
+// Builds the mechanism over inputs (f1..fk) for a fixed classification map
+// and clearance.
+std::shared_ptr<ProtectionMechanism> MakeMlsMechanism(
+    std::string name, std::shared_ptr<const SecurityLattice> lattice,
+    std::vector<ClassId> file_classes, ClassId clearance, MlsMonitorKind kind,
+    MlsUserProgram program);
+
+// The policy the two monitors enforce: allow exactly the files whose class
+// flows to `clearance`.
+AllowPolicy MakeMlsPolicy(const SecurityLattice& lattice,
+                          const std::vector<ClassId>& file_classes, ClassId clearance);
+
+// An *observer* mechanism for the write experiments: a writer program runs
+// at `writer_clearance`; what the mechanism outputs is the FINAL CONTENT of
+// `observed_file` — i.e. what a passive subject cleared exactly for that
+// file sees afterwards. Checked against MakeMlsPolicy at the observer's
+// level, this decides whether the write rules stop information from being
+// laundered downward through the file system.
+std::shared_ptr<ProtectionMechanism> MakeMlsObserverMechanism(
+    std::string name, std::shared_ptr<const SecurityLattice> lattice,
+    std::vector<ClassId> file_classes, ClassId writer_clearance, MlsMonitorKind kind,
+    WriteDiscipline writes, MlsUserProgram program, int observed_file);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MONITOR_MLS_H_

@@ -1,0 +1,90 @@
+#include "src/policy/policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace secpol {
+
+AllowPolicy::AllowPolicy(int num_inputs, VarSet allowed)
+    : num_inputs_(num_inputs), allowed_(allowed) {
+  assert(allowed.SubsetOf(VarSet::FirstN(num_inputs)));
+}
+
+AllowPolicy AllowPolicy::AllowAll(int num_inputs) {
+  return AllowPolicy(num_inputs, VarSet::FirstN(num_inputs));
+}
+
+AllowPolicy AllowPolicy::AllowNone(int num_inputs) {
+  return AllowPolicy(num_inputs, VarSet::Empty());
+}
+
+VarSet AllowPolicy::denied() const { return VarSet::FirstN(num_inputs_).Minus(allowed_); }
+
+PolicyImage AllowPolicy::Image(InputView input) const {
+  assert(static_cast<int>(input.size()) == num_inputs_);
+  PolicyImage image;
+  image.reserve(static_cast<size_t>(allowed_.size()));
+  for (int i = 0; i < num_inputs_; ++i) {
+    if (allowed_.Contains(i)) {
+      image.push_back(input[i]);
+    }
+  }
+  return image;
+}
+
+std::string AllowPolicy::name() const {
+  std::string out = "allow(";
+  bool first = true;
+  for (int i = 0; i < num_inputs_; ++i) {
+    if (allowed_.Contains(i)) {
+      if (!first) {
+        out += ",";
+      }
+      out += std::to_string(i);
+      first = false;
+    }
+  }
+  out += ")";
+  return out;
+}
+
+DirectoryGatedPolicy::DirectoryGatedPolicy(int num_files, Value grant_value)
+    : num_files_(num_files), grant_value_(grant_value) {}
+
+PolicyImage DirectoryGatedPolicy::Image(InputView input) const {
+  assert(static_cast<int>(input.size()) == num_inputs());
+  PolicyImage image(input.begin(), input.begin() + num_files_);
+  for (int i = 0; i < num_files_; ++i) {
+    const bool granted = input[i] == grant_value_;
+    image.push_back(granted ? input[num_files_ + i] : 0);
+  }
+  return image;
+}
+
+std::string DirectoryGatedPolicy::name() const {
+  return "directory-gated(" + std::to_string(num_files_) + " files)";
+}
+
+QueryBudgetPolicy::QueryBudgetPolicy(int num_secrets) : num_secrets_(num_secrets) {}
+
+PolicyImage QueryBudgetPolicy::Image(InputView input) const {
+  assert(static_cast<int>(input.size()) == num_inputs());
+  const Value budget = input[num_secrets_];
+  const int visible =
+      static_cast<int>(std::clamp<Value>(budget, 0, static_cast<Value>(num_secrets_)));
+  PolicyImage image;
+  for (int i = 0; i < visible; ++i) {
+    image.push_back(input[i]);
+  }
+  for (int i = visible; i < num_secrets_; ++i) {
+    image.push_back(0);
+  }
+  image.push_back(budget);
+  return image;
+}
+
+std::string QueryBudgetPolicy::name() const {
+  return "query-budget(" + std::to_string(num_secrets_) + " secrets)";
+}
+
+}  // namespace secpol

@@ -1,0 +1,113 @@
+// Security policies (Section 2).
+//
+// "A security policy I for the program Q : D1 x ... x Dk -> E is a function
+// from D1 x ... x Dk to Y where Y is a new set."
+//
+// A policy is an information filter: I(d) is everything the user is allowed
+// to learn about the input d. Soundness of a mechanism M is the statement
+// that M factors through I. Operationally (and this is how the soundness
+// checker uses policies) two inputs with the same image must be
+// indistinguishable through M.
+//
+// The paper's central family is allow(i1,...,im) — project onto the allowed
+// coordinates — but the definition admits arbitrary filters; we also provide
+// the content-dependent file-system policy of Example 2 and a
+// history/budget-dependent policy as witnesses of that generality.
+
+#ifndef SECPOL_SRC_POLICY_POLICY_H_
+#define SECPOL_SRC_POLICY_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/value.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+// The policy image I(d), encoded as a value tuple. Equality of images defines
+// the policy's indistinguishability classes.
+using PolicyImage = std::vector<Value>;
+
+class SecurityPolicy {
+ public:
+  virtual ~SecurityPolicy() = default;
+
+  // Number of program inputs this policy filters.
+  virtual int num_inputs() const = 0;
+
+  // I(d1,...,dk).
+  virtual PolicyImage Image(InputView input) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// allow(J): the user may learn exactly the coordinates in J.
+// allow() (empty J) is "allow the user no information";
+// allow(0..k-1) is "allow the user any information he wants".
+class AllowPolicy : public SecurityPolicy {
+ public:
+  AllowPolicy(int num_inputs, VarSet allowed);
+
+  static AllowPolicy AllowAll(int num_inputs);
+  static AllowPolicy AllowNone(int num_inputs);
+
+  // The allowed coordinate set J.
+  VarSet allowed() const { return allowed_; }
+  // The disallowed complement.
+  VarSet denied() const;
+
+  int num_inputs() const override { return num_inputs_; }
+  PolicyImage Image(InputView input) const override;
+  std::string name() const override;
+
+ private:
+  int num_inputs_;
+  VarSet allowed_;
+};
+
+// Example 2's file-system policy: inputs are k directories followed by k
+// files; the user may always see every directory, and may see file i exactly
+// when directory i grants access (its value equals `grant_value`).
+//
+//   I(d1..dk, f1..fk) = (d1..dk, f1'..fk'),  fi' = fi if di == grant else 0.
+//
+// Note this policy is NOT of the allow(...) form: which coordinates are
+// filtered depends on the input itself.
+class DirectoryGatedPolicy : public SecurityPolicy {
+ public:
+  DirectoryGatedPolicy(int num_files, Value grant_value);
+
+  int num_files() const { return num_files_; }
+  Value grant_value() const { return grant_value_; }
+
+  int num_inputs() const override { return 2 * num_files_; }
+  PolicyImage Image(InputView input) const override;
+  std::string name() const override;
+
+ private:
+  int num_files_;
+  Value grant_value_;
+};
+
+// A history-dependent policy in the single-shot encoding the paper sketches
+// for data-base systems: the last input coordinate is a query budget b; the
+// user may learn the first min(b, n) secret coordinates and the budget
+// itself. ("Policies where what a user is permitted to view is dependent
+// upon a history of the user's previous queries.")
+class QueryBudgetPolicy : public SecurityPolicy {
+ public:
+  explicit QueryBudgetPolicy(int num_secrets);
+
+  int num_inputs() const override { return num_secrets_ + 1; }
+  PolicyImage Image(InputView input) const override;
+  std::string name() const override;
+
+ private:
+  int num_secrets_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_POLICY_POLICY_H_

@@ -1,0 +1,44 @@
+#include "src/policy/refinement.h"
+
+#include <cassert>
+
+namespace secpol {
+
+ProductPolicy::ProductPolicy(std::shared_ptr<const SecurityPolicy> p,
+                             std::shared_ptr<const SecurityPolicy> q)
+    : p_(std::move(p)), q_(std::move(q)) {
+  assert(p_->num_inputs() == q_->num_inputs());
+}
+
+int ProductPolicy::num_inputs() const { return p_->num_inputs(); }
+
+PolicyImage ProductPolicy::Image(InputView input) const {
+  PolicyImage image = p_->Image(input);
+  // A length marker keeps (a,bc) and (ab,c) images distinct.
+  image.push_back(static_cast<Value>(image.size()));
+  for (Value v : q_->Image(input)) {
+    image.push_back(v);
+  }
+  return image;
+}
+
+std::string ProductPolicy::name() const {
+  return "(" + p_->name() + " * " + q_->name() + ")";
+}
+
+AggregateSumPolicy::AggregateSumPolicy(int num_inputs) : num_inputs_(num_inputs) {}
+
+PolicyImage AggregateSumPolicy::Image(InputView input) const {
+  assert(static_cast<int>(input.size()) == num_inputs_);
+  Value sum = 0;
+  for (Value v : input) {
+    sum += v;
+  }
+  return {sum};
+}
+
+std::string AggregateSumPolicy::name() const {
+  return "aggregate-sum(" + std::to_string(num_inputs_) + ")";
+}
+
+}  // namespace secpol

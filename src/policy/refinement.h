@@ -1,0 +1,57 @@
+// Policy algebra: combining information filters.
+//
+// The paper notes its policy definition "does admit arbitrarily complex
+// policies"; once policies are first-class it is natural to combine and
+// compare them. The comparison predicate RevealsAtMost lives in
+// src/mechanism/policy_compare.h (it needs a finite domain to quantify
+// over); the composite policies live here.
+
+#ifndef SECPOL_SRC_POLICY_REFINEMENT_H_
+#define SECPOL_SRC_POLICY_REFINEMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/policy/policy.h"
+
+namespace secpol {
+
+// The common refinement of two filters: image = (p image, q image). Its
+// indistinguishability classes are the pairwise intersections of p's and
+// q's classes, so it reveals what EITHER constituent reveals; a mechanism
+// sound for p or for q alone is automatically sound for the product.
+class ProductPolicy : public SecurityPolicy {
+ public:
+  ProductPolicy(std::shared_ptr<const SecurityPolicy> p,
+                std::shared_ptr<const SecurityPolicy> q);
+
+  int num_inputs() const override;
+  PolicyImage Image(InputView input) const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const SecurityPolicy> p_;
+  std::shared_ptr<const SecurityPolicy> q_;
+};
+
+// A policy well beyond the allow(...) family: reveal only the SUM of all
+// inputs — the aggregate may be published, the components may not. No
+// label-based mechanism in this library can enforce it non-trivially
+// (labels cannot express "only the sum is clean"), but the finite maximal
+// synthesizer of Theorem 2 handles it like any other filter; the tests use
+// it to demonstrate the generality of both definitions.
+class AggregateSumPolicy : public SecurityPolicy {
+ public:
+  explicit AggregateSumPolicy(int num_inputs);
+
+  int num_inputs() const override { return num_inputs_; }
+  PolicyImage Image(InputView input) const override;
+  std::string name() const override;
+
+ private:
+  int num_inputs_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_POLICY_REFINEMENT_H_

@@ -1,0 +1,130 @@
+#include "src/staticflow/analysis.h"
+
+#include <cassert>
+
+#include "src/staticflow/cfg.h"
+#include "src/staticflow/dominance.h"
+
+namespace secpol {
+
+std::string PcDisciplineName(PcDiscipline discipline) {
+  switch (discipline) {
+    case PcDiscipline::kMonotonePc:
+      return "monotone-pc";
+    case PcDiscipline::kScopedPc:
+      return "scoped-pc";
+  }
+  return "?";
+}
+
+namespace {
+
+// Joins the labels of every variable occurring in `expr`.
+VarSet ExprLabel(const Expr& expr, const std::vector<VarSet>& labels) {
+  VarSet out;
+  expr.FreeVars().ForEachIndex([&](int v) { out = out.Union(labels[v]); });
+  return out;
+}
+
+}  // namespace
+
+StaticFlowResult AnalyzeInformationFlow(const Program& program, PcDiscipline discipline) {
+  assert(program.Validate().ok());
+  const Cfg cfg(program);
+  const PostDominators pdom(cfg);
+
+  const int num_boxes = program.num_boxes();
+  const int num_vars = program.num_vars();
+
+  StaticFlowResult result;
+  result.labels_in.assign(static_cast<size_t>(num_boxes),
+                          std::vector<VarSet>(static_cast<size_t>(num_vars)));
+  result.pc_in.assign(static_cast<size_t>(num_boxes), VarSet::Empty());
+  result.release_label.assign(static_cast<size_t>(num_boxes), VarSet::Empty());
+
+  // Entry state: input variable i carries label {i}; locals and y are 0
+  // constants and carry the empty label.
+  const int entry = cfg.entry();
+  for (int i = 0; i < program.num_inputs(); ++i) {
+    result.labels_in[entry][i] = VarSet::Singleton(i);
+  }
+
+  // Derived pc for the scoped discipline: join of the predicate labels of
+  // every decision the box is control-dependent on, under the *current*
+  // label assignment.
+  auto scoped_pc = [&](int box) {
+    VarSet pc;
+    for (int d : pdom.ControlDependences(box)) {
+      pc = pc.Union(ExprLabel(program.box(d).predicate, result.labels_in[d]));
+    }
+    return pc;
+  };
+
+  // Round-robin sweeps to the least fixpoint. The label lattice is finite
+  // (subsets of inputs per variable) and all transfers are monotone, so this
+  // terminates; programs are small enough that sweep order is irrelevant.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.rounds;
+    for (int b = 0; b < num_boxes; ++b) {
+      if (!cfg.Reachable(b)) {
+        continue;
+      }
+      const Box& box = program.box(b);
+      // Compute the out-state from the in-state.
+      std::vector<VarSet> out = result.labels_in[b];
+      VarSet out_pc = result.pc_in[b];
+      switch (box.kind) {
+        case Box::Kind::kStart:
+          break;
+        case Box::Kind::kAssign: {
+          VarSet pc_effective = discipline == PcDiscipline::kMonotonePc ? out_pc : scoped_pc(b);
+          out[box.var] = ExprLabel(box.expr, result.labels_in[b]).Union(pc_effective);
+          break;
+        }
+        case Box::Kind::kDecision:
+          if (discipline == PcDiscipline::kMonotonePc) {
+            out_pc = out_pc.Union(ExprLabel(box.predicate, result.labels_in[b]));
+          }
+          break;
+        case Box::Kind::kHalt:
+          break;
+      }
+      // Merge into successors.
+      for (int s : cfg.Successors(b)) {
+        if (s >= num_boxes) {
+          continue;  // virtual exit
+        }
+        for (int v = 0; v < num_vars; ++v) {
+          const VarSet merged = result.labels_in[s][v].Union(out[v]);
+          if (merged != result.labels_in[s][v]) {
+            result.labels_in[s][v] = merged;
+            changed = true;
+          }
+        }
+        const VarSet merged_pc = result.pc_in[s].Union(out_pc);
+        if (merged_pc != result.pc_in[s]) {
+          result.pc_in[s] = merged_pc;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Release labels at halts.
+  const int y = program.output_var();
+  for (int h : cfg.ReachableHalts()) {
+    VarSet pc_at_halt =
+        discipline == PcDiscipline::kMonotonePc ? result.pc_in[h] : scoped_pc(h);
+    if (discipline == PcDiscipline::kScopedPc) {
+      result.pc_in[h] = pc_at_halt;  // surface the derived pc for inspection
+    }
+    result.release_label[h] = result.labels_in[h][y].Union(pc_at_halt);
+    result.program_release_label = result.program_release_label.Union(result.release_label[h]);
+    result.halts.push_back(h);
+  }
+  return result;
+}
+
+}  // namespace secpol

@@ -1,0 +1,65 @@
+// Static information-flow analysis (Section 5).
+//
+// "Static information flow analysis techniques can be used to determine the
+// flow of information that will occur at the time a program is executed"
+// (Moore; Denning & Denning). This module computes, at compile time, a
+// conservative label for every variable at every program point, including
+// the flow through the program counter needed "to avoid difficulties such as
+// transmitting disallowed information via negative inference".
+//
+// Two pc disciplines are provided:
+//
+//  * kMonotonePc — the static analogue of the Section 3 surveillance
+//    mechanism: the pc label only grows along a path and merges by union.
+//    Most conservative.
+//  * kScopedPc — the Denning-style analysis: an assignment is tainted by
+//    exactly the predicates of the decisions it is control-dependent on.
+//    Strictly more precise on programs with branches that rejoin, and still
+//    sound for *static* use because every path is analyzed. (The dynamic
+//    analogue of this discipline is unsound; experiment E16 demonstrates.)
+
+#ifndef SECPOL_SRC_STATICFLOW_ANALYSIS_H_
+#define SECPOL_SRC_STATICFLOW_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/flowchart/program.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+enum class PcDiscipline {
+  kMonotonePc,
+  kScopedPc,
+};
+
+std::string PcDisciplineName(PcDiscipline discipline);
+
+struct StaticFlowResult {
+  // labels_in[box][var]: label of `var` at entry to `box` (union over all
+  // paths). Meaningful for reachable boxes only.
+  std::vector<std::vector<VarSet>> labels_in;
+  // pc_in[box]: the monotone pc label at entry (kMonotonePc), or the
+  // control-dependence-derived pc (kScopedPc).
+  std::vector<VarSet> pc_in;
+  // For each box id: release_label[box] is meaningful when the box is a
+  // reachable halt; it is label(y) u pc at that halt — the information the
+  // released output may encode.
+  std::vector<VarSet> release_label;
+  // Union of release labels over all reachable halts: the program-wide
+  // certificate label. The program is certifiable for allow(J) iff this is
+  // a subset of J.
+  VarSet program_release_label;
+  // Reachable halt box ids.
+  std::vector<int> halts;
+  // Fixpoint sweeps executed.
+  int rounds = 0;
+};
+
+// Runs the analysis. The input program must be valid.
+StaticFlowResult AnalyzeInformationFlow(const Program& program, PcDiscipline discipline);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_STATICFLOW_ANALYSIS_H_

@@ -1,0 +1,57 @@
+#include "src/staticflow/cfg.h"
+
+#include <deque>
+
+namespace secpol {
+
+Cfg::Cfg(const Program& program) : program_(&program), num_nodes_(program.num_boxes()) {
+  const int total = num_nodes_ + 1;  // + virtual exit
+  successors_.resize(total);
+  predecessors_.resize(total);
+  reachable_.assign(total, false);
+
+  auto add_edge = [this](int from, int to) {
+    successors_[from].push_back(to);
+    predecessors_[to].push_back(from);
+  };
+
+  for (int i = 0; i < num_nodes_; ++i) {
+    const Box& box = program.box(i);
+    switch (box.kind) {
+      case Box::Kind::kStart:
+      case Box::Kind::kAssign:
+        add_edge(i, box.next);
+        break;
+      case Box::Kind::kDecision:
+        add_edge(i, box.true_next);
+        if (box.false_next != box.true_next) {
+          add_edge(i, box.false_next);
+        }
+        break;
+      case Box::Kind::kHalt:
+        add_edge(i, virtual_exit());
+        break;
+    }
+  }
+
+  // Forward reachability from the entry.
+  std::deque<int> queue = {entry()};
+  reachable_[entry()] = true;
+  while (!queue.empty()) {
+    const int node = queue.front();
+    queue.pop_front();
+    for (int succ : successors_[node]) {
+      if (!reachable_[succ]) {
+        reachable_[succ] = true;
+        queue.push_back(succ);
+      }
+    }
+  }
+  for (int i = 0; i < num_nodes_; ++i) {
+    if (reachable_[i] && program.box(i).kind == Box::Kind::kHalt) {
+      reachable_halts_.push_back(i);
+    }
+  }
+}
+
+}  // namespace secpol

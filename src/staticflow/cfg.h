@@ -1,0 +1,47 @@
+// Control-flow-graph view of a flowchart program.
+//
+// The flowchart IR already is a CFG at box granularity; this wrapper
+// materializes successor/predecessor lists, reachability, and a virtual exit
+// node that all halt boxes feed, which the postdominator computation needs
+// when a program has several halt boxes.
+
+#ifndef SECPOL_SRC_STATICFLOW_CFG_H_
+#define SECPOL_SRC_STATICFLOW_CFG_H_
+
+#include <vector>
+
+#include "src/flowchart/program.h"
+
+namespace secpol {
+
+class Cfg {
+ public:
+  explicit Cfg(const Program& program);
+
+  const Program& program() const { return *program_; }
+
+  // Number of real nodes (boxes). The virtual exit has id num_nodes().
+  int num_nodes() const { return num_nodes_; }
+  int virtual_exit() const { return num_nodes_; }
+  int entry() const { return program_->start_box(); }
+
+  const std::vector<int>& Successors(int node) const { return successors_[node]; }
+  const std::vector<int>& Predecessors(int node) const { return predecessors_[node]; }
+
+  bool Reachable(int node) const { return reachable_[node]; }
+  // Reachable halt boxes, in id order.
+  const std::vector<int>& ReachableHalts() const { return reachable_halts_; }
+
+ private:
+  const Program* program_;
+  int num_nodes_;
+  // Indexed by node id; the virtual exit occupies the last slot.
+  std::vector<std::vector<int>> successors_;
+  std::vector<std::vector<int>> predecessors_;
+  std::vector<bool> reachable_;
+  std::vector<int> reachable_halts_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_STATICFLOW_CFG_H_

@@ -1,0 +1,94 @@
+#include "src/staticflow/dominance.h"
+
+namespace secpol {
+
+PostDominators::PostDominators(const Cfg& cfg) : cfg_(&cfg) {
+  const int total = cfg.num_nodes() + 1;
+  const int exit = cfg.virtual_exit();
+
+  // Iterative dataflow on the reverse CFG:
+  //   postdom(exit) = {exit}
+  //   postdom(n)    = {n} u  INTERSECT over successors s of postdom(s)
+  // Initialized to "all nodes" and shrunk to the greatest fixpoint.
+  postdom_.assign(static_cast<size_t>(total), BitVec(total, true));
+  BitVec exit_only(total, false);
+  exit_only.Set(exit);
+  postdom_[exit] = exit_only;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Sweep real nodes; order does not affect the fixpoint.
+    for (int n = 0; n < cfg.num_nodes(); ++n) {
+      if (!cfg.Reachable(n)) {
+        continue;
+      }
+      BitVec next(total, true);
+      const auto& succs = cfg.Successors(n);
+      if (succs.empty()) {
+        next = BitVec(total, false);
+      } else {
+        for (int s : succs) {
+          next.IntersectWith(postdom_[s]);
+        }
+      }
+      next.Set(n);
+      if (next != postdom_[n]) {
+        postdom_[n] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+
+  // Immediate postdominator: among the strict postdominators of n, the one
+  // closest to n — i.e. the one whose own postdominator set is largest.
+  ipdom_.assign(static_cast<size_t>(total), -1);
+  for (int n = 0; n < total; ++n) {
+    if (n != exit && !cfg.Reachable(n)) {
+      continue;
+    }
+    int best = -1;
+    int best_size = -1;
+    for (int p = 0; p < total; ++p) {
+      if (p == n || !postdom_[n].Test(p)) {
+        continue;
+      }
+      const int p_size = postdom_[p].Count();
+      if (p_size > best_size) {
+        best = p;
+        best_size = p_size;
+      }
+    }
+    ipdom_[n] = best;
+  }
+
+  // Control dependence (FOW criterion).
+  control_deps_.assign(static_cast<size_t>(total), {});
+  for (int b = 0; b < cfg.num_nodes(); ++b) {
+    if (!cfg.Reachable(b) || cfg.program().box(b).kind != Box::Kind::kDecision) {
+      continue;
+    }
+    for (int n = 0; n < cfg.num_nodes(); ++n) {
+      if (!cfg.Reachable(n)) {
+        continue;
+      }
+      if (PostDominates(n, b) && n != b) {
+        continue;  // n strictly postdominates b: not control-dependent
+      }
+      bool depends = false;
+      for (int s : cfg.Successors(b)) {
+        if (PostDominates(n, s)) {
+          depends = true;
+          break;
+        }
+      }
+      if (depends) {
+        control_deps_[n].push_back(b);
+      }
+    }
+  }
+}
+
+bool PostDominators::PostDominates(int a, int b) const { return postdom_[b].Test(a); }
+
+}  // namespace secpol

@@ -1,0 +1,47 @@
+// Postdominators and control dependence.
+//
+// Moore's "static information flow analysis" and Denning & Denning's
+// certification both need to know which statements are governed by which
+// tests — i.e. control dependence, computed from postdominators in the
+// classic Ferrante–Ottenstein–Warren way. The dynamic scoped-pc label
+// discipline (the deliberately unsound one demonstrated in experiment E16)
+// also uses immediate postdominators as its pc-restore points.
+
+#ifndef SECPOL_SRC_STATICFLOW_DOMINANCE_H_
+#define SECPOL_SRC_STATICFLOW_DOMINANCE_H_
+
+#include <vector>
+
+#include "src/staticflow/cfg.h"
+#include "src/util/bitvec.h"
+
+namespace secpol {
+
+class PostDominators {
+ public:
+  explicit PostDominators(const Cfg& cfg);
+
+  // True iff `a` postdominates `b` (every path from b to exit passes a).
+  // Reflexive. Nodes that cannot reach the exit postdominate nothing
+  // meaningfully; our programs are total so this does not arise in practice.
+  bool PostDominates(int a, int b) const;
+
+  // Immediate postdominator of `node`, or the virtual exit for halt boxes;
+  // -1 for unreachable nodes.
+  int ImmediatePostDominator(int node) const { return ipdom_[node]; }
+
+  // Decision boxes that `node` is control-dependent on (FOW): node depends
+  // on decision b iff node postdominates some successor of b but does not
+  // postdominate b itself.
+  const std::vector<int>& ControlDependences(int node) const { return control_deps_[node]; }
+
+ private:
+  const Cfg* cfg_;
+  std::vector<BitVec> postdom_;       // postdom_[n] = set of postdominators of n
+  std::vector<int> ipdom_;
+  std::vector<std::vector<int>> control_deps_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_STATICFLOW_DOMINANCE_H_

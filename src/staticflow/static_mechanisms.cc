@@ -1,0 +1,59 @@
+#include "src/staticflow/static_mechanisms.h"
+
+namespace secpol {
+
+StaticCertifiedMechanism::StaticCertifiedMechanism(Program program, VarSet allowed_inputs,
+                                                   PcDiscipline discipline, StepCount fuel)
+    : program_(std::move(program)),
+      allowed_(allowed_inputs),
+      discipline_(discipline),
+      fuel_(fuel),
+      certified_(false) {
+  const StaticFlowResult flow = AnalyzeInformationFlow(program_, discipline_);
+  certified_ = flow.program_release_label.SubsetOf(allowed_);
+}
+
+Outcome StaticCertifiedMechanism::Run(InputView input) const {
+  if (!certified_) {
+    return Outcome::Violation(0, "program failed flow certification");
+  }
+  const ExecResult result = RunProgram(program_, input, fuel_);
+  if (!result.halted) {
+    return Outcome::Violation(result.steps, "fuel exhausted");
+  }
+  return Outcome::Val(result.output, result.steps);
+}
+
+std::string StaticCertifiedMechanism::name() const {
+  return "static-certify[" + PcDisciplineName(discipline_) + "](" + program_.name() + ")";
+}
+
+ResidualGuardMechanism::ResidualGuardMechanism(Program program, VarSet allowed_inputs,
+                                               PcDiscipline discipline, StepCount fuel)
+    : program_(std::move(program)),
+      allowed_(allowed_inputs),
+      discipline_(discipline),
+      fuel_(fuel),
+      release_at_(static_cast<size_t>(program_.num_boxes()), false) {
+  const StaticFlowResult flow = AnalyzeInformationFlow(program_, discipline_);
+  for (int h : flow.halts) {
+    release_at_[h] = flow.release_label[h].SubsetOf(allowed_);
+  }
+}
+
+Outcome ResidualGuardMechanism::Run(InputView input) const {
+  const ExecResult result = RunProgram(program_, input, fuel_);
+  if (!result.halted) {
+    return Outcome::Violation(result.steps, "fuel exhausted");
+  }
+  if (!release_at_[result.halt_box]) {
+    return Outcome::Violation(result.steps, "halt on uncertified path");
+  }
+  return Outcome::Val(result.output, result.steps);
+}
+
+std::string ResidualGuardMechanism::name() const {
+  return "residual-guard[" + PcDisciplineName(discipline_) + "](" + program_.name() + ")";
+}
+
+}  // namespace secpol

@@ -1,0 +1,80 @@
+// Compile-time protection mechanisms (Section 5).
+//
+// "Using static techniques to produce programs would result in efficient
+// security enforcement. Of course, this requires that the security policy be
+// known at compile time."
+//
+// Two static mechanisms are provided:
+//
+//  * StaticCertifiedMechanism — batch certification (Denning & Denning): if
+//    every reachable halt's release label is allowed, the program runs with
+//    no run-time checks at all; otherwise the mechanism is the plug. All
+//    analysis cost is paid once, at construction.
+//
+//  * ResidualGuardMechanism — Example 9's shape: the release decision is
+//    made statically *per halt box*, so paths whose flows are allowed run to
+//    completion and release, while paths that would leak end in a violation
+//    notice. This is the compile-time specialization "if x1 != 0 then
+//    violation else ..." of Example 9.
+//
+// Both are value-only mechanisms: they make no attempt to normalize running
+// time, so soundness is claimed (and tested) under kValueOnly observability.
+
+#ifndef SECPOL_SRC_STATICFLOW_STATIC_MECHANISMS_H_
+#define SECPOL_SRC_STATICFLOW_STATIC_MECHANISMS_H_
+
+#include <vector>
+
+#include "src/flowchart/interpreter.h"
+#include "src/flowchart/program.h"
+#include "src/mechanism/mechanism.h"
+#include "src/staticflow/analysis.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+class StaticCertifiedMechanism : public ProtectionMechanism {
+ public:
+  StaticCertifiedMechanism(Program program, VarSet allowed_inputs,
+                           PcDiscipline discipline = PcDiscipline::kScopedPc,
+                           StepCount fuel = kDefaultFuel);
+
+  // Whether the program passed certification (decided at construction).
+  bool certified() const { return certified_; }
+
+  int num_inputs() const override { return program_.num_inputs(); }
+  Outcome Run(InputView input) const override;
+  std::string name() const override;
+
+ private:
+  Program program_;
+  VarSet allowed_;
+  PcDiscipline discipline_;
+  StepCount fuel_;
+  bool certified_;
+};
+
+class ResidualGuardMechanism : public ProtectionMechanism {
+ public:
+  ResidualGuardMechanism(Program program, VarSet allowed_inputs,
+                         PcDiscipline discipline = PcDiscipline::kScopedPc,
+                         StepCount fuel = kDefaultFuel);
+
+  // release_at(halt_box): the statically computed decision for that halt.
+  bool ReleasesAt(int halt_box) const { return release_at_[halt_box]; }
+
+  int num_inputs() const override { return program_.num_inputs(); }
+  Outcome Run(InputView input) const override;
+  std::string name() const override;
+
+ private:
+  Program program_;
+  VarSet allowed_;
+  PcDiscipline discipline_;
+  StepCount fuel_;
+  std::vector<bool> release_at_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_STATICFLOW_STATIC_MECHANISMS_H_

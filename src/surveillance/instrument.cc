@@ -1,0 +1,215 @@
+#include "src/surveillance/instrument.h"
+
+#include <cassert>
+
+namespace secpol {
+
+namespace {
+
+// Box expansion sizes per original box kind (see EmitBox).
+int ExpansionSize(const Box& box) {
+  switch (box.kind) {
+    case Box::Kind::kStart:
+      return 1;  // the start box itself; label inits are appended at the end
+    case Box::Kind::kAssign:
+      return 2;  // label update + assignment
+    case Box::Kind::kDecision:
+      return 2;  // pc-label update + decision
+    case Box::Kind::kHalt:
+      return 4;  // release check + halt | Lambda-assign + halt
+  }
+  return 0;
+}
+
+}  // namespace
+
+Program InstrumentSurveillance(const Program& q, VarSet allowed_inputs) {
+  const int k = q.num_inputs();
+  const int m = q.num_locals();
+  const int orig_vars = q.num_vars();  // k + m + 1
+  assert(2 * orig_vars + 1 <= VarSet::kMaxIndex + 1 && "too many variables to instrument");
+
+  // New variable layout:
+  //   [0, k)                 inputs (unchanged ids)
+  //   [k, k+m)               original locals (unchanged ids)
+  //   [k+m, k+m+orig_vars)   shadow labels: shadow(v) = k + m + v
+  //   k+m+orig_vars          C-bar, the program-counter label
+  //   k+m+orig_vars+1        y (the new output variable id)
+  const int shadow_base = k + m;
+  const int pc_var = shadow_base + orig_vars;
+  const int new_y = pc_var + 1;
+  const int old_y = q.output_var();
+
+  auto remap = [&](int v) { return v == old_y ? new_y : v; };
+  auto shadow = [&](int v) { return shadow_base + v; };
+
+  std::vector<std::string> input_names = q.var_names();
+  input_names.resize(static_cast<size_t>(k));
+  std::vector<std::string> local_names;
+  for (int v = k; v < k + m; ++v) {
+    local_names.push_back(q.VarName(v));
+  }
+  for (int v = 0; v < orig_vars; ++v) {
+    local_names.push_back(q.VarName(v) + "_bar");
+  }
+  local_names.push_back("C_bar");
+
+  Program out(q.name() + "_surv", std::move(input_names), std::move(local_names));
+
+  // Pass 1: compute the entry id of each original box's expansion.
+  std::vector<int> entry(static_cast<size_t>(q.num_boxes()), 0);
+  int offset = 0;
+  for (int b = 0; b < q.num_boxes(); ++b) {
+    entry[b] = offset;
+    offset += ExpansionSize(q.box(b));
+  }
+  // Input label initializers live after all expansions.
+  const int init_chain_start = offset;
+
+  // Label-join expression for the variables of `e`, always including C-bar
+  // for assignments (transformation (2) of Section 3).
+  auto label_join = [&](const Expr& e, bool include_pc) {
+    Expr acc;
+    bool have = false;
+    // `e` is in the original id space; its variables map to their shadows.
+    const VarSet vars = e.FreeVars();
+    for (int v = 0; v < orig_vars; ++v) {
+      if (!vars.Contains(v)) {
+        continue;
+      }
+      const Expr sv = Expr::Var(shadow(v));
+      acc = have ? Expr::Binary(BinaryOp::kBitOr, acc, sv) : sv;
+      have = true;
+    }
+    if (include_pc) {
+      const Expr pc = Expr::Var(pc_var);
+      acc = have ? Expr::Binary(BinaryOp::kBitOr, acc, pc) : pc;
+      have = true;
+    }
+    if (!have) {
+      acc = Expr::Const(0);
+    }
+    return acc;
+  };
+
+  const Value denied_mask =
+      static_cast<Value>(VarSet::FirstN(k).Minus(allowed_inputs).bits());
+
+  // Pass 2: emit expansions. AddBox must be called in exactly the order the
+  // entry ids were assigned.
+  for (int b = 0; b < q.num_boxes(); ++b) {
+    const Box& box = q.box(b);
+    switch (box.kind) {
+      case Box::Kind::kStart: {
+        // Transformation (1): the start box leads into the chain of label
+        // initializers (emitted after all expansions), which then continues
+        // at the original successor's expansion.
+        Box start;
+        start.kind = Box::Kind::kStart;
+        start.next = k > 0 ? init_chain_start : entry[box.next];
+        out.AddBox(start);
+        break;
+      }
+      case Box::Kind::kAssign: {
+        // Transformation (2): v-bar <- w1-bar u ... u wp-bar u C-bar; v <- E.
+        Box label_box;
+        label_box.kind = Box::Kind::kAssign;
+        label_box.var = shadow(box.var);
+        label_box.expr = label_join(box.expr, /*include_pc=*/true);
+        label_box.next = entry[b] + 1;
+        out.AddBox(label_box);
+
+        Box value_box;
+        value_box.kind = Box::Kind::kAssign;
+        value_box.var = remap(box.var);
+        value_box.expr = box.expr.MapVars(remap);
+        value_box.next = entry[box.next];
+        out.AddBox(value_box);
+        break;
+      }
+      case Box::Kind::kDecision: {
+        // Transformation (3): C-bar <- C-bar u w1-bar u ... ; then branch.
+        Box label_box;
+        label_box.kind = Box::Kind::kAssign;
+        label_box.var = pc_var;
+        label_box.expr = label_join(box.predicate, /*include_pc=*/true);
+        label_box.next = entry[b] + 1;
+        out.AddBox(label_box);
+
+        Box decision;
+        decision.kind = Box::Kind::kDecision;
+        decision.predicate = box.predicate.MapVars(remap);
+        decision.true_next = entry[box.true_next];
+        decision.false_next = entry[box.false_next];
+        out.AddBox(decision);
+        break;
+      }
+      case Box::Kind::kHalt: {
+        // Transformation (4): release y iff (y-bar u C-bar) & ~J == 0, else
+        // output Lambda.
+        Box check;
+        check.kind = Box::Kind::kDecision;
+        check.predicate = Expr::Binary(
+            BinaryOp::kEq,
+            Expr::Binary(BinaryOp::kBitAnd,
+                         Expr::Binary(BinaryOp::kBitOr, Expr::Var(shadow(old_y)),
+                                      Expr::Var(pc_var)),
+                         Expr::Const(denied_mask)),
+            Expr::Const(0));
+        check.true_next = entry[b] + 1;
+        check.false_next = entry[b] + 2;
+        out.AddBox(check);
+
+        Box ok_halt;
+        ok_halt.kind = Box::Kind::kHalt;
+        out.AddBox(ok_halt);
+
+        Box lambda_assign;
+        lambda_assign.kind = Box::Kind::kAssign;
+        lambda_assign.var = new_y;
+        lambda_assign.expr = Expr::Const(kViolationSentinel);
+        lambda_assign.next = entry[b] + 3;
+        out.AddBox(lambda_assign);
+
+        Box viol_halt;
+        viol_halt.kind = Box::Kind::kHalt;
+        out.AddBox(viol_halt);
+        break;
+      }
+    }
+  }
+
+  // Input label initializer chain: x_i-bar <- {i}; shadows of locals and y
+  // are already 0 (the empty set) by initialization.
+  const int start_succ = entry[q.box(q.start_box()).next];
+  for (int i = 0; i < k; ++i) {
+    Box init;
+    init.kind = Box::Kind::kAssign;
+    init.var = shadow(i);
+    init.expr = Expr::Const(static_cast<Value>(VarSet::Singleton(i).bits()));
+    init.next = i + 1 < k ? init_chain_start + i + 1 : start_succ;
+    out.AddBox(init);
+  }
+
+  Result<bool> valid = out.Validate();
+  assert(valid.ok() && "instrumenter emitted an invalid program");
+  (void)valid;
+  return out;
+}
+
+InstrumentedMechanism::InstrumentedMechanism(const Program& q, VarSet allowed_inputs,
+                                             StepCount fuel)
+    : instrumented_(InstrumentSurveillance(q, allowed_inputs)), fuel_(fuel) {}
+
+Outcome InstrumentedMechanism::Run(InputView input) const {
+  const ExecResult result = RunProgram(instrumented_, input, fuel_);
+  if (!result.halted) {
+    return Outcome::Violation(result.steps, "fuel exhausted");
+  }
+  if (result.output == kViolationSentinel) {
+    return Outcome::Violation(result.steps, "Lambda");
+  }
+  return Outcome::Val(result.output, result.steps);
+}
+
+}  // namespace secpol

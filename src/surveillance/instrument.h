@@ -1,0 +1,63 @@
+// The literal Section 3 program transformation.
+//
+// Section 3 does not define surveillance as an interpreter: it defines it as
+// a *source-to-source transformation* on flowcharts — "M is obtained from Q
+// by applying the following transformations". This module performs that
+// transformation: it emits a new flowchart whose variables include a shadow
+// label variable per original variable (labels encoded as bitmask integers)
+// plus the program-counter label, with the paper's four box rewrites.
+//
+// The instrumented program is an ordinary flowchart runnable by the plain
+// interpreter; a violation notice is encoded as a reserved sentinel output
+// value (the paper's Lambda, a symbol not in E). InstrumentedMechanism wraps
+// execution and decodes the sentinel back into a violation Outcome.
+//
+// Property test `instrumenter ≡ interpreter` (tests/surveillance_test.cc and
+// the corpus property suite) runs both implementations on random programs
+// and requires identical value/violation behaviour — the two must agree
+// everywhere or one of them mis-implements the paper.
+
+#ifndef SECPOL_SRC_SURVEILLANCE_INSTRUMENT_H_
+#define SECPOL_SRC_SURVEILLANCE_INSTRUMENT_H_
+
+#include <limits>
+
+#include "src/flowchart/interpreter.h"
+#include "src/flowchart/program.h"
+#include "src/mechanism/mechanism.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+// Lambda: the reserved violation output of instrumented programs. Original
+// programs must not legitimately output this value (all our corpora and
+// examples use small values).
+inline constexpr Value kViolationSentinel = std::numeric_limits<Value>::min() + 0x5ec;
+
+// Emits the instrumented flowchart M for program Q and policy allow(J).
+// Requires 2 * Q.num_vars() + 1 <= 64 variables.
+Program InstrumentSurveillance(const Program& q, VarSet allowed_inputs);
+
+// Runs the instrumented program under the plain interpreter and decodes the
+// sentinel. Step counts are those of the instrumented program (a protection
+// mechanism "may have a running time that differs from that of the original
+// program").
+class InstrumentedMechanism : public ProtectionMechanism {
+ public:
+  InstrumentedMechanism(const Program& q, VarSet allowed_inputs,
+                        StepCount fuel = kDefaultFuel);
+
+  int num_inputs() const override { return instrumented_.num_inputs(); }
+  Outcome Run(InputView input) const override;
+  std::string name() const override { return "instrumented(" + instrumented_.name() + ")"; }
+
+  const Program& instrumented_program() const { return instrumented_; }
+
+ private:
+  Program instrumented_;
+  StepCount fuel_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SURVEILLANCE_INSTRUMENT_H_

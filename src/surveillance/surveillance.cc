@@ -1,0 +1,169 @@
+#include "src/surveillance/surveillance.h"
+
+#include <cassert>
+
+#include "src/staticflow/cfg.h"
+#include "src/staticflow/dominance.h"
+
+namespace secpol {
+
+std::string TimingModeName(TimingMode mode) {
+  switch (mode) {
+    case TimingMode::kTimeUnobservable:
+      return "M";
+    case TimingMode::kTimeObservable:
+      return "M'";
+  }
+  return "?";
+}
+
+std::string LabelDisciplineName(LabelDiscipline discipline) {
+  switch (discipline) {
+    case LabelDiscipline::kSurveillance:
+      return "surveillance";
+    case LabelDiscipline::kHighWater:
+      return "high-water";
+    case LabelDiscipline::kNaiveScopedPc:
+      return "naive-scoped";
+  }
+  return "?";
+}
+
+SurveillanceMechanism::SurveillanceMechanism(Program program, VarSet allowed_inputs,
+                                             TimingMode timing, LabelDiscipline discipline,
+                                             StepCount fuel)
+    : program_(std::move(program)),
+      allowed_(allowed_inputs),
+      timing_(timing),
+      discipline_(discipline),
+      fuel_(fuel) {
+  assert(allowed_.SubsetOf(VarSet::FirstN(program_.num_inputs())));
+  if (discipline_ == LabelDiscipline::kNaiveScopedPc) {
+    const Cfg cfg(program_);
+    const PostDominators pdom(cfg);
+    ipdom_.resize(static_cast<size_t>(program_.num_boxes()), -1);
+    for (int b = 0; b < program_.num_boxes(); ++b) {
+      ipdom_[b] = pdom.ImmediatePostDominator(b);
+    }
+  }
+}
+
+std::string SurveillanceMechanism::name() const {
+  return LabelDisciplineName(discipline_) + "[" + TimingModeName(timing_) + "](" +
+         program_.name() + ")";
+}
+
+Outcome SurveillanceMechanism::Run(InputView input) const { return RunTraced(input).outcome; }
+
+SurveillanceTrace SurveillanceMechanism::RunTraced(InputView input) const {
+  assert(static_cast<int>(input.size()) == program_.num_inputs());
+
+  std::vector<Value> env(program_.num_vars(), 0);
+  std::vector<VarSet> labels(program_.num_vars());
+  for (int i = 0; i < program_.num_inputs(); ++i) {
+    env[i] = input[i];
+    labels[i] = VarSet::Singleton(i);
+  }
+  VarSet pc_label;
+
+  // kNaiveScopedPc: saved pc labels to restore when control reaches the
+  // decision's immediate postdominator (the join point).
+  struct Scope {
+    int join_box;
+    VarSet saved_pc;
+  };
+  std::vector<Scope> scopes;
+
+  // Joins the labels of the variables occurring in `expr`.
+  auto expr_label = [&labels](const Expr& expr) {
+    VarSet out;
+    expr.FreeVars().ForEachIndex([&](int v) { out = out.Union(labels[v]); });
+    return out;
+  };
+
+  SurveillanceTrace trace;
+  StepCount steps = 0;
+  int pc = program_.start_box();
+  while (steps < fuel_) {
+    // Scoped discipline: restore the pc label at join points.
+    if (discipline_ == LabelDiscipline::kNaiveScopedPc) {
+      while (!scopes.empty() && scopes.back().join_box == pc) {
+        pc_label = scopes.back().saved_pc;
+        scopes.pop_back();
+      }
+    }
+    ++steps;
+    const Box& box = program_.box(pc);
+    switch (box.kind) {
+      case Box::Kind::kStart:
+        pc = box.next;
+        break;
+      case Box::Kind::kAssign: {
+        VarSet new_label = expr_label(box.expr).Union(pc_label);
+        if (discipline_ == LabelDiscipline::kHighWater) {
+          // High-water mark: labels never decrease — no forgetting.
+          new_label = new_label.Union(labels[box.var]);
+        }
+        labels[box.var] = new_label;
+        env[box.var] = box.expr.Eval(env);
+        pc = box.next;
+        break;
+      }
+      case Box::Kind::kDecision: {
+        const VarSet test_label = expr_label(box.predicate);
+        if (timing_ == TimingMode::kTimeObservable &&
+            !test_label.Union(pc_label).SubsetOf(allowed_)) {
+          // M': "if a disallowed variable is about to be tested, flowchart
+          // execution is halted and a violation notice is given —
+          // immediately."
+          trace.outcome = Outcome::Violation(steps, "test on disallowed data");
+          trace.labels = std::move(labels);
+          trace.pc_label = pc_label;
+          return trace;
+        }
+        if (discipline_ == LabelDiscipline::kNaiveScopedPc) {
+          const int join = ipdom_[pc];
+          if (scopes.empty() || scopes.back().join_box != join) {
+            scopes.push_back({join, pc_label});
+          }
+        }
+        pc_label = pc_label.Union(test_label);
+        pc = box.predicate.Eval(env) != 0 ? box.true_next : box.false_next;
+        break;
+      }
+      case Box::Kind::kHalt: {
+        const int y = program_.output_var();
+        const VarSet release = labels[y].Union(pc_label);
+        if (release.SubsetOf(allowed_)) {
+          trace.outcome = Outcome::Val(env[y], steps);
+        } else {
+          trace.outcome = Outcome::Violation(steps, "output depends on disallowed inputs");
+        }
+        trace.labels = std::move(labels);
+        trace.pc_label = pc_label;
+        return trace;
+      }
+    }
+  }
+  trace.outcome = Outcome::Violation(steps, "fuel exhausted");
+  trace.labels = std::move(labels);
+  trace.pc_label = pc_label;
+  return trace;
+}
+
+SurveillanceMechanism MakeSurveillanceM(Program program, VarSet allowed, StepCount fuel) {
+  return SurveillanceMechanism(std::move(program), allowed, TimingMode::kTimeUnobservable,
+                               LabelDiscipline::kSurveillance, fuel);
+}
+
+SurveillanceMechanism MakeSurveillanceMPrime(Program program, VarSet allowed, StepCount fuel) {
+  return SurveillanceMechanism(std::move(program), allowed, TimingMode::kTimeObservable,
+                               LabelDiscipline::kSurveillance, fuel);
+}
+
+SurveillanceMechanism MakeHighWaterMechanism(Program program, VarSet allowed, StepCount fuel) {
+  return SurveillanceMechanism(std::move(program), allowed, TimingMode::kTimeUnobservable,
+                               LabelDiscipline::kHighWater, fuel);
+}
+
+}  // namespace secpol

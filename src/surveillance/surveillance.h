@@ -1,0 +1,105 @@
+// The surveillance protection mechanism (Section 3) and its relatives.
+//
+// The mechanism associates with every variable v a surveillance variable
+// v-bar holding the set of input indices that may have affected v, and a
+// surveillance variable C-bar for the program counter. The instrumented
+// semantics are:
+//
+//   start:     x_i-bar <- {i};  r_j-bar, y-bar <- {} ; C-bar <- {}
+//   v <- E(w): v-bar <- w1-bar u ... u wp-bar u C-bar     (then assign v)
+//   if B(w):   C-bar <- C-bar u w1-bar u ... u wp-bar     (then branch)
+//   halt:      release y iff (y-bar u C-bar) subset of J, else notice
+//
+// Theorem 3: this mechanism M is sound for allow(J) when running time is
+// unobservable. Theorem 3': the modified M' — which additionally halts with
+// a violation notice *before* executing any test on disallowed data — is
+// sound even when running time is observable.
+//
+// Three label disciplines are provided:
+//   kSurveillance — the above; assignment *overwrites* the label
+//                   ("surveillance allows forgetting").
+//   kHighWater    — assignment joins with the old label; labels only grow
+//                   (the ADEPT-50-style high-water mark, Section 4's Mh).
+//   kNaiveScopedPc — C-bar is restored at each decision's immediate
+//                   postdominator. This is the classic UNSOUND dynamic
+//                   discipline (implicit flow through the branch not taken);
+//                   it exists so the soundness checker can exhibit the leak
+//                   (experiment E16). Never use it for protection.
+
+#ifndef SECPOL_SRC_SURVEILLANCE_SURVEILLANCE_H_
+#define SECPOL_SRC_SURVEILLANCE_SURVEILLANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/flowchart/interpreter.h"
+#include "src/flowchart/program.h"
+#include "src/mechanism/mechanism.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+enum class TimingMode {
+  // Theorem 3's M: label checks happen only at halt; running time is assumed
+  // unobservable (claim soundness under Observability::kValueOnly).
+  kTimeUnobservable,
+  // Theorem 3''s M': execution aborts with a violation notice immediately
+  // before any test whose operands carry disallowed labels, so the path —
+  // and with it the running time — depends only on allowed data (claim
+  // soundness under Observability::kValueAndTime).
+  kTimeObservable,
+};
+
+enum class LabelDiscipline {
+  kSurveillance,
+  kHighWater,
+  kNaiveScopedPc,
+};
+
+std::string TimingModeName(TimingMode mode);
+std::string LabelDisciplineName(LabelDiscipline discipline);
+
+// Full instrumented state at halt, for inspection and documentation.
+struct SurveillanceTrace {
+  Outcome outcome;
+  std::vector<VarSet> labels;  // final v-bar per variable
+  VarSet pc_label;             // final C-bar
+};
+
+class SurveillanceMechanism : public ProtectionMechanism {
+ public:
+  SurveillanceMechanism(Program program, VarSet allowed_inputs,
+                        TimingMode timing = TimingMode::kTimeUnobservable,
+                        LabelDiscipline discipline = LabelDiscipline::kSurveillance,
+                        StepCount fuel = kDefaultFuel);
+
+  int num_inputs() const override { return program_.num_inputs(); }
+  Outcome Run(InputView input) const override;
+  std::string name() const override;
+
+  SurveillanceTrace RunTraced(InputView input) const;
+
+  const Program& program() const { return program_; }
+  VarSet allowed_inputs() const { return allowed_; }
+
+ private:
+  Program program_;
+  VarSet allowed_;
+  TimingMode timing_;
+  LabelDiscipline discipline_;
+  StepCount fuel_;
+  // Immediate postdominator per box; computed only for kNaiveScopedPc.
+  std::vector<int> ipdom_;
+};
+
+// Convenience factories matching the paper's names.
+SurveillanceMechanism MakeSurveillanceM(Program program, VarSet allowed,
+                                        StepCount fuel = kDefaultFuel);
+SurveillanceMechanism MakeSurveillanceMPrime(Program program, VarSet allowed,
+                                             StepCount fuel = kDefaultFuel);
+SurveillanceMechanism MakeHighWaterMechanism(Program program, VarSet allowed,
+                                             StepCount fuel = kDefaultFuel);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SURVEILLANCE_SURVEILLANCE_H_

@@ -1,0 +1,88 @@
+#include "src/tape/tape.h"
+
+#include <cassert>
+
+namespace secpol {
+
+std::string SeekStrategyName(SeekStrategy strategy) {
+  switch (strategy) {
+    case SeekStrategy::kWalk:
+      return "walk";
+    case SeekStrategy::kTabLinear:
+      return "tab-linear";
+    case SeekStrategy::kTabConstant:
+      return "tab-constant";
+  }
+  return "?";
+}
+
+TapeMachine::TapeMachine(const std::vector<std::pair<Value, Value>>& blocks) {
+  for (const auto& [length, symbol] : blocks) {
+    block_start_.push_back(cells_.size());
+    for (Value i = 0; i < length; ++i) {
+      cells_.push_back(symbol);
+    }
+  }
+}
+
+Value TapeMachine::Read() {
+  ++steps_;
+  return head_ < cells_.size() ? cells_[head_] : 0;
+}
+
+void TapeMachine::Advance() {
+  ++steps_;
+  ++head_;
+}
+
+void TapeMachine::Tab(int index, SeekStrategy strategy) {
+  assert(index >= 0 && static_cast<size_t>(index) < block_start_.size());
+  const std::size_t target = block_start_[static_cast<size_t>(index)];
+  switch (strategy) {
+    case SeekStrategy::kWalk:
+      // Not a tab at all: the caller walks cell by cell.
+      while (head_ < target) {
+        Advance();
+      }
+      ++steps_;  // the final positioning check
+      break;
+    case SeekStrategy::kTabLinear:
+      // One operation whose implementation still walks internally: its cost
+      // depends on the lengths of the skipped blocks.
+      steps_ += (target > head_ ? target - head_ : 0) + 1;
+      head_ = target;
+      break;
+    case SeekStrategy::kTabConstant:
+      ++steps_;
+      head_ = target;
+      break;
+  }
+}
+
+std::shared_ptr<ProtectionMechanism> MakeBlockReader(int num_blocks, int target,
+                                                     SeekStrategy strategy) {
+  assert(target >= 0 && target < num_blocks);
+  const std::string name =
+      "block-reader[" + SeekStrategyName(strategy) + ", z" + std::to_string(target) + "]";
+  return std::make_shared<FunctionMechanism>(
+      name, 2 * num_blocks, [num_blocks, target, strategy](InputView input) {
+        std::vector<std::pair<Value, Value>> blocks;
+        for (int b = 0; b < num_blocks; ++b) {
+          const Value length = input[2 * b] < 0 ? 0 : input[2 * b];
+          blocks.emplace_back(length, input[2 * b + 1]);
+        }
+        TapeMachine tape(blocks);
+        tape.Tab(target, strategy);
+        // An empty target block reads as 0; the read is still charged so the
+        // step count does not depend on the (allowed) target length.
+        Value symbol = tape.Read();
+        if (blocks[static_cast<size_t>(target)].first == 0) {
+          symbol = 0;
+        }
+        return Outcome::Val(symbol, tape.steps());
+      });
+}
+
+VarSet BlockCoordinates(int block) { return VarSet{2 * block, 2 * block + 1}; }
+
+}  // namespace secpol

@@ -1,0 +1,86 @@
+// The one-way read-only tape machine of Section 2.
+//
+// "Let programs have inputs that are placed on a linear one-way read-only
+// tape with the head initially at the leftmost character ... Consider a
+// security policy allow(2), i.e. allow information only about the second
+// block. Then we claim that no program Q can read z2 and also be sound,
+// provided running time is observable [because] it must move across z1 ...
+// it will encode the length of z1 into the computation. ... One answer is to
+// add a new operation, say tab(i). ... Perhaps tab(i) takes time dependent
+// on the length of z1,...,zi-1? ... one solution is to program tab(i) so
+// that it runs in constant time."
+//
+// The machine: the tape holds k blocks; block j is input as a (length,
+// symbol) pair — length_j copies of symbol_j. A reader program positions the
+// head at a target block and reads its first symbol. Three seek strategies
+// realize the paper's three cases:
+//
+//   kWalk        — advance cell by cell across the preceding blocks
+//                  (cost = cells crossed): unsound under observable time.
+//   kTabLinear   — tab(i) whose implementation still walks internally
+//                  (same cost, one "operation"): equally unsound.
+//   kTabConstant — tab(i) in one step: sound.
+//
+// All three are sound when time is unobservable; experiment E15 runs the
+// checker over all strategy x observability combinations.
+
+#ifndef SECPOL_SRC_TAPE_TAPE_H_
+#define SECPOL_SRC_TAPE_TAPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mechanism/mechanism.h"
+#include "src/util/value.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+enum class SeekStrategy {
+  kWalk,
+  kTabLinear,
+  kTabConstant,
+};
+
+std::string SeekStrategyName(SeekStrategy strategy);
+
+// A concrete tape machine: cells are materialized from (length, symbol)
+// block descriptors, and every head operation is charged to a step counter.
+class TapeMachine {
+ public:
+  // blocks[j] = {length, symbol}; negative lengths are clamped to 0.
+  explicit TapeMachine(const std::vector<std::pair<Value, Value>>& blocks);
+
+  // Reads the cell under the head without moving (1 step). Reading past the
+  // end of the tape yields 0.
+  Value Read();
+  // Moves the head one cell right (1 step).
+  void Advance();
+  // Positions the head at the first cell of block `index`.
+  // kTabConstant: 1 step. kTabLinear: steps equal to the distance walked.
+  void Tab(int index, SeekStrategy strategy);
+
+  StepCount steps() const { return steps_; }
+  std::size_t head() const { return head_; }
+
+ private:
+  std::vector<Value> cells_;
+  std::vector<std::size_t> block_start_;
+  std::size_t head_ = 0;
+  StepCount steps_ = 0;
+};
+
+// The "read the first symbol of block `target`" program, as a protection
+// mechanism over inputs (len_0, sym_0, len_1, sym_1, ..., len_{k-1},
+// sym_{k-1}). An empty target block reads as 0.
+std::shared_ptr<ProtectionMechanism> MakeBlockReader(int num_blocks, int target,
+                                                     SeekStrategy strategy);
+
+// The input coordinates describing block `b` — the set the paper's allow(2)
+// grants (for us, allow of block b = {2b, 2b+1}).
+VarSet BlockCoordinates(int block);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_TAPE_TAPE_H_

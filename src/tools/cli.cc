@@ -1,0 +1,428 @@
+#include "src/tools/cli.h"
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "src/flowchart/bytecode.h"
+#include "src/flowchart/dot.h"
+#include "src/flowchart/interpreter.h"
+#include "src/flowchart/optimize.h"
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/staticflow/analysis.h"
+#include "src/staticflow/static_mechanisms.h"
+#include "src/surveillance/instrument.h"
+#include "src/surveillance/surveillance.h"
+#include "src/transforms/advisor.h"
+#include "src/transforms/structure.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+
+namespace {
+
+struct ParsedArgs {
+  std::string command;
+  std::string file;
+  std::vector<std::pair<std::string, std::string>> flags;  // --name=value / --name
+};
+
+std::optional<ParsedArgs> ParseArgs(const std::vector<std::string>& args, std::string* err) {
+  if (args.empty()) {
+    *err += "usage: secpol <command> <file.fl> [flags]\n";
+    return std::nullopt;
+  }
+  ParsedArgs parsed;
+  parsed.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (StartsWith(arg, "--")) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        parsed.flags.emplace_back(arg.substr(2), "");
+      } else {
+        parsed.flags.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    } else if (parsed.file.empty()) {
+      parsed.file = arg;
+    } else {
+      *err += "unexpected positional argument '" + arg + "'\n";
+      return std::nullopt;
+    }
+  }
+  return parsed;
+}
+
+bool HasFlag(const ParsedArgs& args, const std::string& name) {
+  for (const auto& [flag, value] : args.flags) {
+    if (flag == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> FlagValue(const ParsedArgs& args, const std::string& name) {
+  for (const auto& [flag, value] : args.flags) {
+    if (flag == name) {
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+// Parses "1,2,3" into integers.
+std::optional<std::vector<Value>> ParseValueList(const std::string& text, std::string* err) {
+  std::vector<Value> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    try {
+      out.push_back(std::stoll(item));
+    } catch (...) {
+      *err += "bad integer '" + item + "'\n";
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::optional<VarSet> ParseAllowSet(const ParsedArgs& args, int num_inputs, std::string* err) {
+  const std::optional<std::string> value = FlagValue(args, "allow");
+  if (!value.has_value()) {
+    *err += "missing --allow=<comma-separated input indices> (empty string for allow())\n";
+    return std::nullopt;
+  }
+  VarSet allowed;
+  if (value->empty()) {
+    return allowed;
+  }
+  const auto indices = ParseValueList(*value, err);
+  if (!indices.has_value()) {
+    return std::nullopt;
+  }
+  for (Value i : *indices) {
+    if (i < 0 || i >= num_inputs) {
+      *err += "allow index " + std::to_string(i) + " out of range\n";
+      return std::nullopt;
+    }
+    allowed.Insert(static_cast<int>(i));
+  }
+  return allowed;
+}
+
+InputDomain ParseGrid(const ParsedArgs& args, int num_inputs) {
+  Value lo = -1;
+  Value hi = 2;
+  if (const auto grid = FlagValue(args, "grid"); grid.has_value()) {
+    const size_t colon = grid->find(':');
+    if (colon != std::string::npos) {
+      lo = std::stoll(grid->substr(0, colon));
+      hi = std::stoll(grid->substr(colon + 1));
+    }
+  }
+  return InputDomain::Range(num_inputs, lo, hi);
+}
+
+std::optional<Program> LoadProgram(const ParsedArgs& args, std::string* err) {
+  if (args.file.empty()) {
+    *err += "missing program file\n";
+    return std::nullopt;
+  }
+  std::ifstream stream(args.file);
+  if (!stream) {
+    *err += "cannot open '" + args.file + "'\n";
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << stream.rdbuf();
+  Result<SourceProgram> parsed = ParseProgram(buffer.str());
+  if (!parsed.ok()) {
+    *err += args.file + ":" + parsed.error().ToString() + "\n";
+    return std::nullopt;
+  }
+  return Lower(parsed.value());
+}
+
+std::optional<SourceProgram> LoadSource(const ParsedArgs& args, std::string* err) {
+  std::ifstream stream(args.file);
+  if (!stream) {
+    *err += "cannot open '" + args.file + "'\n";
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << stream.rdbuf();
+  Result<SourceProgram> parsed = ParseProgram(buffer.str());
+  if (!parsed.ok()) {
+    *err += args.file + ":" + parsed.error().ToString() + "\n";
+    return std::nullopt;
+  }
+  return std::move(parsed).value();
+}
+
+std::optional<Input> ParseInputs(const ParsedArgs& args, int num_inputs, std::string* err) {
+  const std::optional<std::string> value = FlagValue(args, "input");
+  Input input;
+  if (value.has_value() && !value->empty()) {
+    const auto parsed = ParseValueList(*value, err);
+    if (!parsed.has_value()) {
+      return std::nullopt;
+    }
+    input = *parsed;
+  }
+  if (static_cast<int>(input.size()) != num_inputs) {
+    *err += "expected " + std::to_string(num_inputs) + " inputs, got " +
+            std::to_string(input.size()) + "\n";
+    return std::nullopt;
+  }
+  return input;
+}
+
+int CmdRun(const ParsedArgs& args, std::string* out, std::string* err) {
+  const auto program = LoadProgram(args, err);
+  if (!program.has_value()) {
+    return 1;
+  }
+  const auto input = ParseInputs(args, program->num_inputs(), err);
+  if (!input.has_value()) {
+    return 1;
+  }
+  const ExecResult result = RunProgram(*program, *input);
+  if (!result.halted) {
+    *out += "did not halt within fuel\n";
+    return 2;
+  }
+  *out += "y = " + std::to_string(result.output) + " (steps " +
+          std::to_string(result.steps) + ")\n";
+  return 0;
+}
+
+int CmdMonitor(const ParsedArgs& args, std::string* out, std::string* err) {
+  const auto program = LoadProgram(args, err);
+  if (!program.has_value()) {
+    return 1;
+  }
+  const auto allowed = ParseAllowSet(args, program->num_inputs(), err);
+  if (!allowed.has_value()) {
+    return 1;
+  }
+  const auto input = ParseInputs(args, program->num_inputs(), err);
+  if (!input.has_value()) {
+    return 1;
+  }
+  const TimingMode timing =
+      HasFlag(args, "time-safe") ? TimingMode::kTimeObservable : TimingMode::kTimeUnobservable;
+  const LabelDiscipline discipline = HasFlag(args, "high-water")
+                                         ? LabelDiscipline::kHighWater
+                                         : LabelDiscipline::kSurveillance;
+  const SurveillanceMechanism mechanism(std::move(*program), *allowed, timing, discipline);
+  *out += mechanism.name() + ": " + mechanism.Run(*input).ToString() + "\n";
+  return 0;
+}
+
+std::unique_ptr<ProtectionMechanism> MakeCheckedMechanism(const std::string& kind,
+                                                          const Program& program,
+                                                          VarSet allowed, std::string* err) {
+  if (kind == "surveillance" || kind.empty()) {
+    return std::make_unique<SurveillanceMechanism>(Program(program), allowed);
+  }
+  if (kind == "mprime") {
+    return std::make_unique<SurveillanceMechanism>(Program(program), allowed,
+                                                   TimingMode::kTimeObservable);
+  }
+  if (kind == "highwater") {
+    return std::make_unique<SurveillanceMechanism>(Program(program), allowed,
+                                                   TimingMode::kTimeUnobservable,
+                                                   LabelDiscipline::kHighWater);
+  }
+  if (kind == "bare") {
+    return std::make_unique<ProgramAsMechanism>(Program(program));
+  }
+  if (kind == "static") {
+    return std::make_unique<StaticCertifiedMechanism>(Program(program), allowed);
+  }
+  if (kind == "residual") {
+    return std::make_unique<ResidualGuardMechanism>(Program(program), allowed);
+  }
+  *err += "unknown --mechanism '" + kind + "'\n";
+  return nullptr;
+}
+
+int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
+  const auto program = LoadProgram(args, err);
+  if (!program.has_value()) {
+    return 1;
+  }
+  const auto allowed = ParseAllowSet(args, program->num_inputs(), err);
+  if (!allowed.has_value()) {
+    return 1;
+  }
+  const std::string kind = FlagValue(args, "mechanism").value_or("surveillance");
+  const auto mechanism = MakeCheckedMechanism(kind, *program, *allowed, err);
+  if (mechanism == nullptr) {
+    return 1;
+  }
+  const AllowPolicy policy(program->num_inputs(), *allowed);
+  const InputDomain domain = ParseGrid(args, program->num_inputs());
+  const Observability obs =
+      HasFlag(args, "time") ? Observability::kValueAndTime : Observability::kValueOnly;
+  const SoundnessReport report = CheckSoundness(*mechanism, policy, domain, obs);
+  *out += mechanism->name() + " for " + policy.name() + " over " + domain.ToString() + " [" +
+          ObservabilityName(obs) + "]:\n" + report.ToString() + "\n";
+  return report.sound ? 0 : 2;
+}
+
+int CmdAnalyze(const ParsedArgs& args, std::string* out, std::string* err) {
+  const auto program = LoadProgram(args, err);
+  if (!program.has_value()) {
+    return 1;
+  }
+  const auto allowed = ParseAllowSet(args, program->num_inputs(), err);
+  if (!allowed.has_value()) {
+    return 1;
+  }
+  const PcDiscipline discipline =
+      HasFlag(args, "monotone") ? PcDiscipline::kMonotonePc : PcDiscipline::kScopedPc;
+  const StaticFlowResult flow = AnalyzeInformationFlow(*program, discipline);
+  *out += "analysis: " + PcDisciplineName(discipline) + ", " + std::to_string(flow.rounds) +
+          " fixpoint rounds\n";
+  for (int h : flow.halts) {
+    *out += "  halt box " + std::to_string(h) + ": release label " +
+            flow.release_label[h].ToString() +
+            (flow.release_label[h].SubsetOf(*allowed) ? " (releases)" : " (violates)") + "\n";
+  }
+  *out += "program release label: " + flow.program_release_label.ToString() + " -> " +
+          (flow.program_release_label.SubsetOf(*allowed) ? "CERTIFIED" : "NOT CERTIFIED") +
+          " for allow=" + allowed->ToString() + "\n";
+  return 0;
+}
+
+int CmdInstrument(const ParsedArgs& args, std::string* out, std::string* err) {
+  const auto program = LoadProgram(args, err);
+  if (!program.has_value()) {
+    return 1;
+  }
+  const auto allowed = ParseAllowSet(args, program->num_inputs(), err);
+  if (!allowed.has_value()) {
+    return 1;
+  }
+  *out += InstrumentSurveillance(*program, *allowed).ToString();
+  return 0;
+}
+
+int CmdAdvise(const ParsedArgs& args, std::string* out, std::string* err) {
+  const auto source = LoadSource(args, err);
+  if (!source.has_value()) {
+    return 1;
+  }
+  const int num_inputs = source->num_inputs();
+  const auto allowed = ParseAllowSet(args, num_inputs, err);
+  if (!allowed.has_value()) {
+    return 1;
+  }
+  const InputDomain domain = ParseGrid(args, num_inputs);
+  const AdvisorReport report = AdviseTransforms(*source, *allowed, domain);
+  *out += report.ToString();
+  *out += "chosen rewriting:\n" + report.best().program.ToString();
+  return 0;
+}
+
+int CmdOptimize(const ParsedArgs& args, std::string* out, std::string* err) {
+  const auto program = LoadProgram(args, err);
+  if (!program.has_value()) {
+    return 1;
+  }
+  OptimizeStats stats;
+  const Program optimized = OptimizeProgram(*program, &stats);
+  *out += "simplified " + std::to_string(stats.expressions_simplified) +
+          " expressions, folded " + std::to_string(stats.predicates_folded) +
+          " constant decisions\n";
+  *out += optimized.ToString();
+  return 0;
+}
+
+int CmdDecompile(const ParsedArgs& args, std::string* out, std::string* err) {
+  const auto program = LoadProgram(args, err);
+  if (!program.has_value()) {
+    return 1;
+  }
+  const auto structured = StructureProgram(*program);
+  if (!structured.has_value()) {
+    *err += "control flow is not structurable\n";
+    return 2;
+  }
+  // Audit before printing: a decompiler that can be wrong is worse than one
+  // that refuses.
+  if (!FunctionallyEquivalentOnGrid(*program, Lower(*structured), {-2, -1, 0, 1, 2})) {
+    *err += "internal error: structuring audit failed\n";
+    return 2;
+  }
+  *out += structured->ToString();
+  return 0;
+}
+
+int CmdDot(const ParsedArgs& args, std::string* out, std::string* err) {
+  const auto program = LoadProgram(args, err);
+  if (!program.has_value()) {
+    return 1;
+  }
+  *out += ProgramToDot(*program);
+  return 0;
+}
+
+int CmdBytecode(const ParsedArgs& args, std::string* out, std::string* err) {
+  const auto program = LoadProgram(args, err);
+  if (!program.has_value()) {
+    return 1;
+  }
+  *out += CompileToBytecode(*program).ToString();
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::string* out, std::string* err) {
+  const auto parsed = ParseArgs(args, err);
+  if (!parsed.has_value()) {
+    return 1;
+  }
+  if (parsed->command == "run") {
+    return CmdRun(*parsed, out, err);
+  }
+  if (parsed->command == "monitor") {
+    return CmdMonitor(*parsed, out, err);
+  }
+  if (parsed->command == "check") {
+    return CmdCheck(*parsed, out, err);
+  }
+  if (parsed->command == "analyze") {
+    return CmdAnalyze(*parsed, out, err);
+  }
+  if (parsed->command == "instrument") {
+    return CmdInstrument(*parsed, out, err);
+  }
+  if (parsed->command == "advise") {
+    return CmdAdvise(*parsed, out, err);
+  }
+  if (parsed->command == "decompile") {
+    return CmdDecompile(*parsed, out, err);
+  }
+  if (parsed->command == "optimize") {
+    return CmdOptimize(*parsed, out, err);
+  }
+  if (parsed->command == "dot") {
+    return CmdDot(*parsed, out, err);
+  }
+  if (parsed->command == "bytecode") {
+    return CmdBytecode(*parsed, out, err);
+  }
+  *err += "unknown command '" + parsed->command +
+          "' (expected run|monitor|check|analyze|instrument|advise|optimize|decompile|dot|bytecode)\n";
+  return 1;
+}
+
+}  // namespace secpol

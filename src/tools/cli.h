@@ -1,0 +1,42 @@
+// The secpol command-line driver, as a library so tests can drive it.
+//
+// Commands (the binary is src/tools/secpol_main.cc):
+//
+//   secpol run <file.fl> --input=1,2,3
+//       Run the program under the plain interpreter.
+//   secpol monitor <file.fl> --allow=0,2 --input=1,2,3 [--time-safe|--high-water]
+//       Run it under a surveillance mechanism.
+//   secpol check <file.fl> --allow=0,2 [--grid=lo:hi] [--time] [--mechanism=M]
+//       Exhaustive soundness verdict; M in {surveillance, mprime, highwater,
+//       bare, static, residual}.
+//   secpol analyze <file.fl> --allow=0,2 [--monotone]
+//       Static information-flow report (per-halt release labels).
+//   secpol instrument <file.fl> --allow=0,2
+//       Print the literal Section 3 instrumented flowchart.
+//   secpol advise <file.fl> --allow=0,2 [--grid=lo:hi]
+//       Transform-advisor report.
+//   secpol optimize <file.fl>
+//       Simplify expressions / fold constant tests; print the result.
+//   secpol decompile <file.fl>
+//       Structure the flowchart back into flowlang (audited round trip).
+//   secpol dot <file.fl>
+//       Graphviz DOT of the flowchart.
+//   secpol bytecode <file.fl>
+//       Compiled bytecode listing.
+
+#ifndef SECPOL_SRC_TOOLS_CLI_H_
+#define SECPOL_SRC_TOOLS_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace secpol {
+
+// Runs one CLI invocation. `args` excludes the program name. Output and
+// diagnostics are appended to *out / *err. Returns the process exit code
+// (0 success, 1 user error, 2 verdict-failure for `check`).
+int RunCli(const std::vector<std::string>& args, std::string* out, std::string* err);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_TOOLS_CLI_H_

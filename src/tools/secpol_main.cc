@@ -1,0 +1,17 @@
+// The secpol command-line tool. See src/tools/cli.h for usage.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  std::string err;
+  const int code = secpol::RunCli(args, &out, &err);
+  std::fputs(out.c_str(), stdout);
+  std::fputs(err.c_str(), stderr);
+  return code;
+}

@@ -1,0 +1,105 @@
+#include "src/transforms/advisor.h"
+
+#include "src/flowchart/interpreter.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/completeness.h"
+#include "src/surveillance/surveillance.h"
+#include "src/transforms/transforms.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+
+namespace {
+
+// Equivalence audit: both programs must agree on every grid tuple. The grid
+// values come from the advisor's domain (first coordinate's candidates are
+// reused for all coordinates — domains used with the advisor are uniform).
+bool AuditEquivalent(const Program& original, const Program& candidate,
+                     const InputDomain& domain) {
+  std::vector<Value> values = domain.values_for(0);
+  return FunctionallyEquivalentOnGrid(original, candidate, values);
+}
+
+}  // namespace
+
+std::string AdvisorReport::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const AdvisorCandidate& c = candidates[i];
+    out += (i == best_index ? "* " : "  ") + c.description +
+           ": utility=" + FormatDouble(c.utility, 4) +
+           (c.equivalent ? "" : " [NOT EQUIVALENT — rejected]") + "\n";
+  }
+  return out;
+}
+
+AdvisorReport AdviseTransforms(const SourceProgram& program, VarSet allowed,
+                               const InputDomain& domain, const AdvisorOptions& options) {
+  const Program original = Lower(program);
+
+  struct Pipeline {
+    std::string description;
+    SourceProgram result;
+  };
+  std::vector<Pipeline> pipelines;
+  pipelines.push_back({"original", program});
+
+  bool changed = false;
+  const SourceProgram ite = ApplyIfToSelect(program, {.simplify_equal_arms = true}, &changed);
+  if (changed) {
+    pipelines.push_back({"if-to-select", ite});
+  }
+
+  changed = false;
+  const SourceProgram ite_raw =
+      ApplyIfToSelect(program, {.simplify_equal_arms = false}, &changed);
+  if (changed) {
+    pipelines.push_back({"if-to-select (no simplify)", ite_raw});
+  }
+
+  changed = false;
+  const SourceProgram unrolled = ApplyLoopUnroll(program, options.unroll_max_factor, &changed);
+  if (changed) {
+    pipelines.push_back({"unroll", unrolled});
+    bool changed2 = false;
+    const SourceProgram unrolled_ite =
+        ApplyIfToSelect(unrolled, {.simplify_equal_arms = true}, &changed2);
+    if (changed2) {
+      pipelines.push_back({"unroll + if-to-select", unrolled_ite});
+    }
+  }
+
+  if (options.try_tail_duplication) {
+    changed = false;
+    const SourceProgram dup = ApplyTailDuplication(program, &changed);
+    if (changed) {
+      pipelines.push_back({"tail-duplication", dup});
+    }
+  }
+
+  AdvisorReport report;
+  for (Pipeline& pipeline : pipelines) {
+    AdvisorCandidate candidate;
+    candidate.description = std::move(pipeline.description);
+    candidate.program = std::move(pipeline.result);
+    Program lowered = Lower(candidate.program);
+    candidate.equivalent = AuditEquivalent(original, lowered, domain);
+    if (candidate.equivalent) {
+      const SurveillanceMechanism mechanism = MakeSurveillanceM(std::move(lowered), allowed);
+      candidate.utility = MeasureUtility(mechanism, domain);
+    }
+    report.candidates.push_back(std::move(candidate));
+  }
+
+  report.best_index = 0;
+  for (size_t i = 1; i < report.candidates.size(); ++i) {
+    const AdvisorCandidate& c = report.candidates[i];
+    const AdvisorCandidate& best = report.candidates[report.best_index];
+    if (c.equivalent && (!best.equivalent || c.utility > best.utility)) {
+      report.best_index = i;
+    }
+  }
+  return report;
+}
+
+}  // namespace secpol

@@ -1,0 +1,53 @@
+// The transform advisor.
+//
+// "Whether to apply a transform or not is not necessarily a clearcut
+// decision" — Example 7 shows a transform reaching the maximal mechanism,
+// Example 8 shows the same transform making things strictly worse, and
+// Theorem 4 shows no effective procedure can decide optimally. The advisor
+// is therefore an explicitly *heuristic* search: it generates candidate
+// rewritings, audits each for functional equivalence on a grid, measures the
+// completeness of the induced surveillance mechanism on that grid, and keeps
+// the best. It can fail to find the maximal mechanism; Theorem 4 says any
+// such tool must.
+
+#ifndef SECPOL_SRC_TRANSFORMS_ADVISOR_H_
+#define SECPOL_SRC_TRANSFORMS_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/flowlang/ast.h"
+#include "src/mechanism/domain.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+struct AdvisorCandidate {
+  std::string description;   // which transform pipeline produced it
+  SourceProgram program;
+  bool equivalent = false;   // audited against the original on the grid
+  double utility = 0.0;      // fraction of grid answered with a real value
+};
+
+struct AdvisorReport {
+  std::vector<AdvisorCandidate> candidates;  // includes the original first
+  size_t best_index = 0;                     // highest-utility equivalent candidate
+
+  const AdvisorCandidate& best() const { return candidates[best_index]; }
+  std::string ToString() const;
+};
+
+struct AdvisorOptions {
+  long long unroll_max_factor = 8;
+  bool try_tail_duplication = true;
+};
+
+// Explores transform pipelines for `program` under allow(`allowed`),
+// scoring each candidate by the utility of its surveillance mechanism
+// (TimingMode::kTimeUnobservable) over `domain`.
+AdvisorReport AdviseTransforms(const SourceProgram& program, VarSet allowed,
+                               const InputDomain& domain, const AdvisorOptions& options = {});
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_TRANSFORMS_ADVISOR_H_

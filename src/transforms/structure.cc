@@ -1,0 +1,154 @@
+#include "src/transforms/structure.h"
+
+#include <deque>
+#include <set>
+
+#include "src/staticflow/cfg.h"
+#include "src/staticflow/dominance.h"
+
+namespace secpol {
+
+namespace {
+
+class Structurer {
+ public:
+  explicit Structurer(const Program& program)
+      : program_(program), cfg_(program), pdom_(cfg_) {}
+
+  std::optional<SourceProgram> Run() {
+    SourceProgram out;
+    out.name = program_.name();
+    for (int i = 0; i < program_.num_inputs(); ++i) {
+      out.input_names.push_back(program_.VarName(i));
+    }
+    for (int i = program_.num_inputs(); i < program_.num_vars() - 1; ++i) {
+      out.local_names.push_back(program_.VarName(i));
+    }
+    auto body = Block(program_.box(program_.start_box()).next, /*stop=*/-1);
+    if (!body.has_value()) {
+      return std::nullopt;
+    }
+    out.body = std::move(*body);
+    return out;
+  }
+
+ private:
+  // True if `target` is reachable from `from` without passing through
+  // `barrier` or `region_stop`. The region boundary matters: without it, a
+  // nested decision's arm can "return" to the decision by exiting the
+  // current region and riding an *enclosing* loop's back edge, which would
+  // be misdetected as a loop here.
+  bool ReachableAvoiding(int from, int target, int barrier, int region_stop) const {
+    if (from == barrier || from == region_stop) {
+      return false;
+    }
+    std::set<int> seen;
+    std::deque<int> queue = {from};
+    seen.insert(from);
+    while (!queue.empty()) {
+      const int node = queue.front();
+      queue.pop_front();
+      if (node == target) {
+        return true;
+      }
+      for (int succ : cfg_.Successors(node)) {
+        if (succ == barrier || succ == region_stop || succ >= cfg_.num_nodes() ||
+            seen.count(succ) > 0) {
+          continue;
+        }
+        seen.insert(succ);
+        queue.push_back(succ);
+      }
+    }
+    return false;
+  }
+
+  // Parses the region starting at `entry` up to (exclusive) `stop`
+  // (-1 = parse until the path ends in a halt).
+  std::optional<std::vector<Stmt>> Block(int entry, int stop) {
+    std::vector<Stmt> out;
+    int at = entry;
+    // Budgets guard against malformed or pathologically duplicated regions
+    // (e.g. loops with internal halt branches re-expanding their tails):
+    // a per-block walk limit plus a whole-program statement budget.
+    for (int guard = 0; guard <= program_.num_boxes() * 4; ++guard) {
+      if (++budget_ > program_.num_boxes() * 16) {
+        return std::nullopt;
+      }
+      if (at == stop) {
+        return out;
+      }
+      const Box& box = program_.box(at);
+      switch (box.kind) {
+        case Box::Kind::kStart:
+          return std::nullopt;  // a second start box: malformed
+        case Box::Kind::kAssign:
+          out.push_back(Stmt::Assign(box.var, box.expr));
+          at = box.next;
+          break;
+        case Box::Kind::kHalt:
+          out.push_back(Stmt::Halt());
+          return out;
+        case Box::Kind::kDecision: {
+          // While loop: a branch that can return to the decision without
+          // crossing the other branch's target.
+          const bool true_loops = ReachableAvoiding(box.true_next, at, box.false_next, stop);
+          const bool false_loops = ReachableAvoiding(box.false_next, at, box.true_next, stop);
+          if (true_loops && false_loops) {
+            return std::nullopt;  // irreducible
+          }
+          if (true_loops || false_loops) {
+            const int body_entry = true_loops ? box.true_next : box.false_next;
+            const int exit = true_loops ? box.false_next : box.true_next;
+            auto body = Block(body_entry, /*stop=*/at);
+            if (!body.has_value()) {
+              return std::nullopt;
+            }
+            const Expr cond = true_loops
+                                  ? box.predicate
+                                  : Expr::Unary(UnaryOp::kNot, box.predicate);
+            out.push_back(Stmt::While(cond, std::move(*body)));
+            at = exit;
+            break;
+          }
+          // If/else region: arms meet at the decision's immediate
+          // postdominator.
+          const int join = pdom_.ImmediatePostDominator(at);
+          if (join < 0) {
+            return std::nullopt;
+          }
+          const int arm_stop = join >= cfg_.num_nodes() ? -1 : join;
+          auto then_body = Block(box.true_next, arm_stop);
+          auto else_body = Block(box.false_next, arm_stop);
+          if (!then_body.has_value() || !else_body.has_value()) {
+            return std::nullopt;
+          }
+          out.push_back(Stmt::If(box.predicate, std::move(*then_body), std::move(*else_body)));
+          if (join >= cfg_.num_nodes()) {
+            return out;  // both arms halted; the region is the whole tail
+          }
+          at = join;
+          break;
+        }
+      }
+    }
+    return std::nullopt;  // guard exhausted
+  }
+
+  const Program& program_;
+  Cfg cfg_;
+  PostDominators pdom_;
+  int budget_ = 0;
+};
+
+}  // namespace
+
+std::optional<SourceProgram> StructureProgram(const Program& program) {
+  if (!program.Validate().ok()) {
+    return std::nullopt;
+  }
+  Structurer structurer(program);
+  return structurer.Run();
+}
+
+}  // namespace secpol

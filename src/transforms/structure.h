@@ -1,0 +1,32 @@
+// Structuring (decompiling) flowcharts back into flowlang.
+//
+// The Section 4/5 transforms operate on single-entry/single-exit structures,
+// which in this library live in the structured AST. Programs built directly
+// as graphs (ProgramBuilder, the instrumenter, external tooling) can be
+// re-admitted to that pipeline by structuring: a pattern-directed walk that
+// recognizes sequences, if/else regions (join = immediate postdominator),
+// and the while loops our lowerer emits (a decision with a back edge).
+//
+// Structuring is partial by design: irreducible or exotic graphs yield
+// nullopt rather than a wrong program, and callers are expected to audit the
+// result with FunctionallyEquivalentOnGrid — the tests and the CLI
+// `decompile` command both do.
+
+#ifndef SECPOL_SRC_TRANSFORMS_STRUCTURE_H_
+#define SECPOL_SRC_TRANSFORMS_STRUCTURE_H_
+
+#include <optional>
+
+#include "src/flowchart/program.h"
+#include "src/flowlang/ast.h"
+
+namespace secpol {
+
+// Attempts to reconstruct a structured program. On success, Lower(result)
+// is functionally equivalent to `program` (same outputs; step counts may
+// differ because lowering re-derives the box layout).
+std::optional<SourceProgram> StructureProgram(const Program& program);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_TRANSFORMS_STRUCTURE_H_

@@ -1,0 +1,360 @@
+#include "src/transforms/transforms.h"
+
+#include <cassert>
+#include <functional>
+
+namespace secpol {
+
+namespace {
+
+// Variables assigned anywhere in a flat assignment block.
+VarSet AssignedVars(const std::vector<Stmt>& block) {
+  VarSet out;
+  for (const Stmt& stmt : block) {
+    if (stmt.kind == Stmt::Kind::kAssign) {
+      out.Insert(stmt.var);
+    }
+  }
+  return out;
+}
+
+bool IsFlatAssignBlock(const std::vector<Stmt>& block) {
+  VarSet assigned;
+  for (const Stmt& stmt : block) {
+    if (stmt.kind != Stmt::Kind::kAssign) {
+      return false;
+    }
+    if (assigned.Contains(stmt.var)) {
+      return false;  // double assignment; select emission would be wrong
+    }
+    // Reading a variable assigned by an *earlier* statement of the same arm
+    // would change meaning under parallel select emission (which always
+    // reads pre-branch values).
+    if (!stmt.expr.FreeVars().Intersect(assigned).empty()) {
+      return false;
+    }
+    assigned.Insert(stmt.var);
+  }
+  return true;
+}
+
+// Orders the assigned variables so every select reads only pre-branch
+// values: if the merged right-hand side for w reads v (v also assigned),
+// then w's select must execute before v is overwritten. Returns false on a
+// cyclic read/write dependency (e.g. swap: a reads b, b reads a).
+bool OrderSelects(const Stmt& stmt, std::vector<int>* order) {
+  const VarSet assigned = AssignedVars(stmt.then_body).Union(AssignedVars(stmt.else_body));
+  std::vector<int> vars;
+  for (int v = 0; v <= VarSet::kMaxIndex; ++v) {
+    if (assigned.Contains(v)) {
+      vars.push_back(v);
+    }
+  }
+  // reads[w] = assigned variables (other than w itself) appearing in either
+  // arm's expression for w — or in the shared condition, which every
+  // emitted Select re-evaluates and must see pre-branch values of.
+  auto reads_of = [&](int w) {
+    VarSet reads = stmt.cond.FreeVars();
+    for (const auto* arm : {&stmt.then_body, &stmt.else_body}) {
+      for (const Stmt& s : *arm) {
+        if (s.var == w) {
+          reads = reads.Union(s.expr.FreeVars());
+        }
+      }
+    }
+    reads = reads.Intersect(assigned);
+    reads.Erase(w);  // self-reads see the old value regardless of position
+    return reads;
+  };
+
+  // Kahn's algorithm: emit a variable once nothing still-to-emit reads it.
+  VarSet emitted;
+  order->clear();
+  while (order->size() < vars.size()) {
+    bool progressed = false;
+    for (int w : vars) {
+      if (emitted.Contains(w)) {
+        continue;
+      }
+      // w may be emitted if no *unemitted* variable's rhs reads w... wait:
+      // w's select overwrites w, so everyone who reads w must go first.
+      bool blocked = false;
+      for (int v : vars) {
+        if (v != w && !emitted.Contains(v) && reads_of(v).Contains(w)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) {
+        order->push_back(w);
+        emitted.Insert(w);
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      return false;  // cycle
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IfConvertible(const Stmt& stmt) {
+  if (stmt.kind != Stmt::Kind::kIf) {
+    return false;
+  }
+  if (!IsFlatAssignBlock(stmt.then_body) || !IsFlatAssignBlock(stmt.else_body)) {
+    return false;
+  }
+  std::vector<int> order;
+  return OrderSelects(stmt, &order);
+}
+
+namespace {
+
+// Returns the expression assigned to `var` in a flat arm, if any.
+std::optional<Expr> ArmValueOf(const std::vector<Stmt>& arm, int var) {
+  for (const Stmt& stmt : arm) {
+    if (stmt.var == var) {
+      return stmt.expr;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Stmt> IfToSelectBlock(const std::vector<Stmt>& block, const IfToSelectOptions& options,
+                                  bool* changed);
+
+Stmt IfToSelectStmt(const Stmt& stmt, const IfToSelectOptions& options, bool* changed) {
+  switch (stmt.kind) {
+    case Stmt::Kind::kAssign:
+    case Stmt::Kind::kHalt:
+      return stmt;
+    case Stmt::Kind::kWhile: {
+      Stmt out = stmt;
+      out.body = IfToSelectBlock(stmt.body, options, changed);
+      return out;
+    }
+    case Stmt::Kind::kIf:
+      break;  // handled below
+  }
+  if (!IfConvertible(stmt)) {
+    Stmt out = stmt;
+    out.then_body = IfToSelectBlock(stmt.then_body, options, changed);
+    out.else_body = IfToSelectBlock(stmt.else_body, options, changed);
+    return out;
+  }
+  // Convertible: replace by a sequence of Select assignments, one per
+  // assigned variable, in an order (from OrderSelects) that guarantees every
+  // select reads only pre-branch values.
+  *changed = true;
+  std::vector<Stmt> selects;
+  std::vector<int> order;
+  const bool ordered = OrderSelects(stmt, &order);
+  assert(ordered && "IfConvertible guaranteed an order exists");
+  (void)ordered;
+  for (int v : order) {
+    const Expr then_value = ArmValueOf(stmt.then_body, v).value_or(Expr::Var(v));
+    const Expr else_value = ArmValueOf(stmt.else_body, v).value_or(Expr::Var(v));
+    Expr rhs;
+    if (options.simplify_equal_arms && then_value.StructurallyEquals(else_value)) {
+      // Select(c, e, e) == e: the test cannot influence the value, so drop
+      // the dependency on it entirely (Example 7's collapse).
+      rhs = then_value;
+    } else {
+      rhs = Expr::Select(stmt.cond, then_value, else_value);
+    }
+    selects.push_back(Stmt::Assign(v, std::move(rhs)));
+  }
+  // Wrap in a synthetic single-statement form: the caller splices blocks, so
+  // return a marker If with empty cond is wrong — instead we return the
+  // statements through a block-level rewrite (see IfToSelectBlock).
+  Stmt wrapper = Stmt::If(Expr::Const(1), std::move(selects), {});
+  wrapper.var = -2;  // internal marker: splice then_body into parent block
+  return wrapper;
+}
+
+std::vector<Stmt> IfToSelectBlock(const std::vector<Stmt>& block, const IfToSelectOptions& options,
+                                  bool* changed) {
+  std::vector<Stmt> out;
+  for (const Stmt& stmt : block) {
+    Stmt rewritten = IfToSelectStmt(stmt, options, changed);
+    if (rewritten.kind == Stmt::Kind::kIf && rewritten.var == -2) {
+      for (Stmt& select : rewritten.then_body) {
+        out.push_back(std::move(select));
+      }
+    } else {
+      out.push_back(std::move(rewritten));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SourceProgram ApplyIfToSelect(const SourceProgram& program, const IfToSelectOptions& options,
+                              bool* changed) {
+  bool local_changed = false;
+  SourceProgram out = program;
+  out.body = IfToSelectBlock(program.body, options, &local_changed);
+  if (changed != nullptr) {
+    *changed = local_changed;
+  }
+  return out;
+}
+
+std::optional<long long> TryExtractTripCount(const std::vector<Stmt>& block, size_t while_index) {
+  assert(while_index < block.size());
+  const Stmt& loop = block[while_index];
+  if (loop.kind != Stmt::Kind::kWhile) {
+    return std::nullopt;
+  }
+  // Condition must be `c != 0` or `c > 0` for a variable c.
+  const Expr& cond = loop.cond;
+  if (cond.kind() != Expr::Kind::kBinary ||
+      (cond.binary_op() != BinaryOp::kNe && cond.binary_op() != BinaryOp::kGt)) {
+    return std::nullopt;
+  }
+  if (cond.operand(0).kind() != Expr::Kind::kVar ||
+      cond.operand(1).kind() != Expr::Kind::kConst || cond.operand(1).const_value() != 0) {
+    return std::nullopt;
+  }
+  const int counter = cond.operand(0).var_id();
+
+  // The statement immediately before the loop must be `c = K`, K >= 0.
+  if (while_index == 0) {
+    return std::nullopt;
+  }
+  const Stmt& init = block[while_index - 1];
+  if (init.kind != Stmt::Kind::kAssign || init.var != counter ||
+      init.expr.kind() != Expr::Kind::kConst || init.expr.const_value() < 0) {
+    return std::nullopt;
+  }
+
+  // The body must end with `c = c - 1` and contain no other assignment to c
+  // (and no nested control flow touching c; we conservatively require the
+  // decrement to be the only statement naming c on its left-hand side).
+  if (loop.body.empty()) {
+    return std::nullopt;
+  }
+  const Stmt& last = loop.body.back();
+  const bool is_decrement =
+      last.kind == Stmt::Kind::kAssign && last.var == counter &&
+      last.expr.kind() == Expr::Kind::kBinary && last.expr.binary_op() == BinaryOp::kSub &&
+      last.expr.operand(0).kind() == Expr::Kind::kVar &&
+      last.expr.operand(0).var_id() == counter &&
+      last.expr.operand(1).kind() == Expr::Kind::kConst &&
+      last.expr.operand(1).const_value() == 1;
+  if (!is_decrement) {
+    return std::nullopt;
+  }
+  // No other assignment to the counter, anywhere in the body.
+  std::function<bool(const std::vector<Stmt>&, bool)> touches =
+      [&](const std::vector<Stmt>& body, bool skip_last) -> bool {
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (skip_last && i + 1 == body.size()) {
+        continue;
+      }
+      const Stmt& s = body[i];
+      if (s.kind == Stmt::Kind::kAssign && s.var == counter) {
+        return true;
+      }
+      if (touches(s.then_body, false) || touches(s.else_body, false) ||
+          touches(s.body, false)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (touches(loop.body, /*skip_last=*/true)) {
+    return std::nullopt;
+  }
+  return init.expr.const_value();
+}
+
+namespace {
+
+std::vector<Stmt> UnrollBlock(const std::vector<Stmt>& block, long long max_factor,
+                              bool* changed) {
+  std::vector<Stmt> out;
+  for (size_t i = 0; i < block.size(); ++i) {
+    Stmt stmt = block[i];
+    // Recurse first.
+    stmt.then_body = UnrollBlock(stmt.then_body, max_factor, changed);
+    stmt.else_body = UnrollBlock(stmt.else_body, max_factor, changed);
+    stmt.body = UnrollBlock(stmt.body, max_factor, changed);
+
+    if (stmt.kind == Stmt::Kind::kWhile) {
+      const std::optional<long long> trips = TryExtractTripCount(block, i);
+      if (trips.has_value() && *trips <= max_factor) {
+        *changed = true;
+        for (long long copy = 0; copy < *trips; ++copy) {
+          out.push_back(Stmt::If(stmt.cond, stmt.body, {}));
+        }
+        continue;
+      }
+    }
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+}  // namespace
+
+SourceProgram ApplyLoopUnroll(const SourceProgram& program, long long max_factor, bool* changed) {
+  bool local_changed = false;
+  SourceProgram out = program;
+  out.body = UnrollBlock(program.body, max_factor, &local_changed);
+  if (changed != nullptr) {
+    *changed = local_changed;
+  }
+  return out;
+}
+
+namespace {
+
+// Rewrites `block` (a block that ends by falling through to program exit)
+// so that every top-level If absorbs its continuation into both arms.
+std::vector<Stmt> TailDuplicate(const std::vector<Stmt>& block, bool* changed) {
+  for (size_t i = 0; i < block.size(); ++i) {
+    const Stmt& stmt = block[i];
+    if (stmt.kind != Stmt::Kind::kIf) {
+      continue;
+    }
+    *changed = true;
+    const std::vector<Stmt> tail(block.begin() + static_cast<long>(i) + 1, block.end());
+    Stmt rewritten = stmt;
+    auto extend = [&](std::vector<Stmt> arm) {
+      for (const Stmt& t : tail) {
+        arm.push_back(t);
+      }
+      // Each arm becomes a complete path ending at its own halt box, then is
+      // itself tail-duplicated.
+      if (arm.empty() || arm.back().kind != Stmt::Kind::kHalt) {
+        arm.push_back(Stmt::Halt());
+      }
+      return TailDuplicate(arm, changed);
+    };
+    rewritten.then_body = extend(rewritten.then_body);
+    rewritten.else_body = extend(rewritten.else_body);
+    std::vector<Stmt> out(block.begin(), block.begin() + static_cast<long>(i));
+    out.push_back(std::move(rewritten));
+    return out;
+  }
+  return block;
+}
+
+}  // namespace
+
+SourceProgram ApplyTailDuplication(const SourceProgram& program, bool* changed) {
+  bool local_changed = false;
+  SourceProgram out = program;
+  out.body = TailDuplicate(program.body, &local_changed);
+  if (changed != nullptr) {
+    *changed = local_changed;
+  }
+  return out;
+}
+
+}  // namespace secpol

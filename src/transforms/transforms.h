@@ -1,0 +1,84 @@
+// Functional-equivalence-preserving program transforms (Sections 4 and 5).
+//
+// "Given a program Q, transform it to Q' where Q and Q' are functionally
+// equivalent. Then apply the surveillance protection mechanism to Q' to
+// yield a sound protection mechanism for Q."
+//
+// Three transforms are implemented:
+//
+//  * If-then-else transform (Example 7): a conditional whose arms are pure
+//    assignment blocks becomes a block of branch-free Select assignments.
+//    The test's taint moves from the program counter into the data — which
+//    can help (no lingering pc taint, and Select(c, e, e) simplifies to e,
+//    dropping the test entirely — Example 7) or hurt (both arms' data taints
+//    merge — Example 8). Whether to apply it is exactly the judgment call
+//    Theorem 4 proves cannot be automated optimally.
+//
+//  * Loop unrolling (the paper's "while transform" analogue for
+//    single-entry/single-exit loops): while (c) B  ==>  n copies of
+//    if (c) B. Equivalent whenever the loop never iterates more than n
+//    times; combined with the if-then-else transform it yields branch-free
+//    loop bodies. TryExtractTripCount recognizes the bounded-counter loops
+//    the corpus generates so the unroll factor can be chosen safely.
+//
+//  * Tail duplication (Example 9): statements following a conditional (and
+//    the program exit itself) are duplicated into both arms, giving each arm
+//    its own halt box. A per-halt static mechanism (ResidualGuardMechanism)
+//    can then release on the clean arm and violate only on the leaky one —
+//    "the protection mechanism need only give a violation notice in case
+//    x1 != 0".
+//
+// All transforms preserve functional equivalence by construction; callers
+// are nevertheless encouraged to audit with FunctionallyEquivalentOnGrid,
+// and every test in tests/transforms_test.cc does.
+
+#ifndef SECPOL_SRC_TRANSFORMS_TRANSFORMS_H_
+#define SECPOL_SRC_TRANSFORMS_TRANSFORMS_H_
+
+#include <optional>
+
+#include "src/flowlang/ast.h"
+
+namespace secpol {
+
+// --- If-then-else transform ---
+
+// True if `stmt` is an If eligible for the select transform: both arms are
+// flat assignment blocks, no variable is assigned twice in an arm, and no
+// arm expression reads a variable assigned in either arm.
+bool IfConvertible(const Stmt& stmt);
+
+struct IfToSelectOptions {
+  // Apply Select(c, e, e) => e when both arms produce structurally equal
+  // values for a variable (this is what collapses Example 7 to `y = 1`).
+  bool simplify_equal_arms = true;
+};
+
+// Rewrites every eligible If in the program (recursively) into Select
+// assignments. Sets *changed if any rewrite happened.
+SourceProgram ApplyIfToSelect(const SourceProgram& program, const IfToSelectOptions& options,
+                              bool* changed = nullptr);
+
+// --- Loop unrolling ---
+
+// Recognizes the bounded-counter idiom
+//     c = K;  while (c != 0) { ...; c = c - 1; }
+// (with c not otherwise assigned and K >= 0) and returns K.
+// `block` is the enclosing block, `while_index` the position of the While.
+std::optional<long long> TryExtractTripCount(const std::vector<Stmt>& block, size_t while_index);
+
+// Unrolls every While whose trip count is statically recognized (and at most
+// `max_factor`) into trip-count copies of `if (cond) body`. Loops without a
+// recognized bound are left untouched.
+SourceProgram ApplyLoopUnroll(const SourceProgram& program, long long max_factor,
+                              bool* changed = nullptr);
+
+// --- Tail duplication ---
+
+// Duplicates the statements following each top-level If (plus the implicit
+// program exit) into both arms, ending each arm with an explicit halt.
+SourceProgram ApplyTailDuplication(const SourceProgram& program, bool* changed = nullptr);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_TRANSFORMS_TRANSFORMS_H_

@@ -1,0 +1,85 @@
+// BitVec: a fixed-size dynamic bitset used by the CFG dataflow analyses
+// (dominator sets over programs with arbitrarily many boxes).
+
+#ifndef SECPOL_SRC_UTIL_BITVEC_H_
+#define SECPOL_SRC_UTIL_BITVEC_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace secpol {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(int size, bool value = false)
+      : size_(size),
+        words_(static_cast<size_t>((size + 63) / 64), value ? ~std::uint64_t{0} : 0) {
+    Trim();
+  }
+
+  int size() const { return size_; }
+
+  bool Test(int i) const {
+    assert(i >= 0 && i < size_);
+    return (words_[static_cast<size_t>(i) / 64] >> (i % 64)) & 1;
+  }
+  void Set(int i) {
+    assert(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i) / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  void Clear(int i) {
+    assert(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i) / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  // this &= other. Returns true if this changed.
+  bool IntersectWith(const BitVec& other) {
+    assert(size_ == other.size_);
+    bool changed = false;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t next = words_[w] & other.words_[w];
+      changed |= next != words_[w];
+      words_[w] = next;
+    }
+    return changed;
+  }
+
+  // this |= other. Returns true if this changed.
+  bool UnionWith(const BitVec& other) {
+    assert(size_ == other.size_);
+    bool changed = false;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t next = words_[w] | other.words_[w];
+      changed |= next != words_[w];
+      words_[w] = next;
+    }
+    return changed;
+  }
+
+  int Count() const {
+    int count = 0;
+    for (std::uint64_t word : words_) {
+      count += std::popcount(word);
+    }
+    return count;
+  }
+
+  bool operator==(const BitVec&) const = default;
+
+ private:
+  void Trim() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
+    }
+  }
+
+  int size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_UTIL_BITVEC_H_

@@ -1,0 +1,66 @@
+// A tiny expected-like result type used by parsers and validators.
+//
+// We do not use exceptions for anticipated failures (malformed source text,
+// invalid graphs); those are reported through Result<T>. Programming errors
+// use assertions.
+
+#ifndef SECPOL_SRC_UTIL_RESULT_H_
+#define SECPOL_SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace secpol {
+
+// An error with a human-readable message and an optional source location.
+struct Error {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  std::string ToString() const {
+    if (line == 0) {
+      return message;
+    }
+    return std::to_string(line) + ":" + std::to_string(column) + ": " + message;
+  }
+};
+
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return Error{...};` work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Error error) : error_(std::move(error)) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_UTIL_RESULT_H_

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation for corpora and benchmarks.
+//
+// xoshiro256** seeded via splitmix64. We avoid <random> engines so that the
+// generated corpora are reproducible across standard-library versions.
+
+#ifndef SECPOL_SRC_UTIL_RNG_H_
+#define SECPOL_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace secpol {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // True with probability `numerator / denominator`.
+  bool Chance(std::uint32_t numerator, std::uint32_t denominator);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_UTIL_RNG_H_

@@ -1,0 +1,40 @@
+#include "src/util/strings.h"
+
+#include <cstdio>
+
+namespace secpol {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatInput(InputView input) {
+  std::string out = "(";
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(input[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace secpol

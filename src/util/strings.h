@@ -1,0 +1,29 @@
+// Small string helpers used throughout the library.
+
+#ifndef SECPOL_SRC_UTIL_STRINGS_H_
+#define SECPOL_SRC_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/value.h"
+
+namespace secpol {
+
+// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Renders an input tuple as "(1, 2, 3)".
+std::string FormatInput(InputView input);
+
+// Printf-lite formatting for a double with `digits` fraction digits.
+std::string FormatDouble(double value, int digits);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_UTIL_STRINGS_H_

@@ -1,0 +1,32 @@
+// Core value and input types shared by every module.
+//
+// The paper models a program as a total function Q : D1 x ... x Dk -> E.
+// We fix every Di and E to be the 64-bit integers, which is the domain the
+// paper's flowchart language uses ("The domain of the variables ... is the
+// integers").
+
+#ifndef SECPOL_SRC_UTIL_VALUE_H_
+#define SECPOL_SRC_UTIL_VALUE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace secpol {
+
+// A single machine value. All program variables, inputs, and outputs range
+// over Value.
+using Value = std::int64_t;
+
+// One concrete input tuple (d1, ..., dk).
+using Input = std::vector<Value>;
+
+// Read-only view of an input tuple.
+using InputView = std::span<const Value>;
+
+// Step counts ("running time" in the sense of the Observability Postulate).
+using StepCount = std::uint64_t;
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_UTIL_VALUE_H_

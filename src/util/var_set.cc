@@ -1,0 +1,23 @@
+#include "src/util/var_set.h"
+
+#include <string>
+
+namespace secpol {
+
+std::string VarSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i <= kMaxIndex; ++i) {
+    if (Contains(i)) {
+      if (!first) {
+        out += ",";
+      }
+      out += std::to_string(i);
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace secpol

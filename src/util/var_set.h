@@ -1,0 +1,92 @@
+// VarSet: a small set of variable (or input) indices, used as the
+// surveillance-label domain of Section 3 of the paper ("The values of v-bar
+// are always subsets of {1,...,k}").
+//
+// Represented as a 64-bit mask; programs are limited to 64 tracked variables,
+// which is far beyond anything in the paper or our corpus.
+
+#ifndef SECPOL_SRC_UTIL_VAR_SET_H_
+#define SECPOL_SRC_UTIL_VAR_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace secpol {
+
+class VarSet {
+ public:
+  static constexpr int kMaxIndex = 63;
+
+  constexpr VarSet() = default;
+  constexpr VarSet(std::initializer_list<int> indices) {
+    for (int i : indices) {
+      Insert(i);
+    }
+  }
+
+  // The empty set (the label of a constant).
+  static constexpr VarSet Empty() { return VarSet(); }
+
+  // {index}.
+  static constexpr VarSet Singleton(int index) {
+    VarSet s;
+    s.Insert(index);
+    return s;
+  }
+
+  // {0, 1, ..., n-1}.
+  static constexpr VarSet FirstN(int n) {
+    VarSet s;
+    s.bits_ = n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+    return s;
+  }
+
+  static constexpr VarSet FromBits(std::uint64_t bits) {
+    VarSet s;
+    s.bits_ = bits;
+    return s;
+  }
+
+  constexpr void Insert(int index) { bits_ |= Bit(index); }
+  constexpr void Erase(int index) { bits_ &= ~Bit(index); }
+  constexpr bool Contains(int index) const { return (bits_ & Bit(index)) != 0; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int size() const { return std::popcount(bits_); }
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  // Set union: the label join of the subset lattice.
+  constexpr VarSet Union(VarSet other) const { return FromBits(bits_ | other.bits_); }
+  constexpr VarSet Intersect(VarSet other) const { return FromBits(bits_ & other.bits_); }
+  constexpr VarSet Minus(VarSet other) const { return FromBits(bits_ & ~other.bits_); }
+
+  // True iff this set is a subset of `other`. The soundness test of the halt
+  // box is `y-bar SubsetOf J`.
+  constexpr bool SubsetOf(VarSet other) const { return (bits_ & ~other.bits_) == 0; }
+
+  constexpr bool operator==(const VarSet&) const = default;
+
+  // Calls fn(index) for every member, ascending. O(popcount), not O(64).
+  template <typename Fn>
+  void ForEachIndex(Fn fn) const {
+    std::uint64_t bits = bits_;
+    while (bits != 0) {
+      const int index = std::countr_zero(bits);
+      fn(index);
+      bits &= bits - 1;
+    }
+  }
+
+  // Renders as e.g. "{0,2,5}".
+  std::string ToString() const;
+
+ private:
+  static constexpr std::uint64_t Bit(int index) { return std::uint64_t{1} << index; }
+
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_UTIL_VAR_SET_H_

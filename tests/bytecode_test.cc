@@ -1,0 +1,111 @@
+// Tests for the bytecode backend: exact behavioural equivalence with the
+// reference interpreter (output, steps, halt box, fuel behaviour).
+
+#include <gtest/gtest.h>
+
+#include "src/corpus/generator.h"
+#include "src/flowchart/bytecode.h"
+#include "src/flowchart/interpreter.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/domain.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+void ExpectSameExecution(const Program& q, InputView input, StepCount fuel = kDefaultFuel) {
+  const BytecodeProgram bc = CompileToBytecode(q);
+  const ExecResult ref = RunProgram(q, input, fuel);
+  const ExecResult got = RunBytecode(bc, input, fuel);
+  EXPECT_EQ(ref.halted, got.halted) << q.name() << FormatInput(input);
+  EXPECT_EQ(ref.output, got.output) << q.name() << FormatInput(input);
+  EXPECT_EQ(ref.steps, got.steps) << q.name() << FormatInput(input);
+  EXPECT_EQ(ref.halt_box, got.halt_box) << q.name() << FormatInput(input);
+}
+
+TEST(BytecodeTest, StraightLine) {
+  const Program q = MustCompile("program q(a, b) { y = a * 10 + b; }");
+  ExpectSameExecution(q, Input{3, 4});
+  ExpectSameExecution(q, Input{-2, 7});
+}
+
+TEST(BytecodeTest, Branches) {
+  const Program q =
+      MustCompile("program q(x) { if (x > 0) { y = 1; } else { y = 2; } }");
+  for (Value x : {-1, 0, 1, 5}) {
+    ExpectSameExecution(q, Input{x});
+  }
+}
+
+TEST(BytecodeTest, LoopsAndSteps) {
+  const Program q = MustCompile(
+      "program q(n) { locals c; c = n; while (c != 0) { y = y + c; c = c - 1; } }");
+  for (Value n : {0, 1, 5, 20}) {
+    ExpectSameExecution(q, Input{n});
+  }
+}
+
+TEST(BytecodeTest, MultipleHaltBoxes) {
+  const Program q = MustCompile(
+      "program q(x) { if (x == 0) { y = 7; halt; } y = 8; }");
+  ExpectSameExecution(q, Input{0});
+  ExpectSameExecution(q, Input{1});
+}
+
+TEST(BytecodeTest, SelfReferencingAssignmentReadsOldValue) {
+  // `y = y + a` compiled with y as destination must read the old y in the
+  // operand.
+  const Program q = MustCompile("program q(a) { y = 5; y = y + a; }");
+  const BytecodeProgram bc = CompileToBytecode(q);
+  EXPECT_EQ(RunBytecode(bc, Input{3}).output, 8);
+}
+
+TEST(BytecodeTest, SelectCompiles) {
+  const Program q = MustCompile("program q(a, b, c) { y = select(a, b, c); }");
+  ExpectSameExecution(q, Input{1, 10, 20});
+  ExpectSameExecution(q, Input{0, 10, 20});
+}
+
+TEST(BytecodeTest, FuelExhaustionMatchesInterpreter) {
+  const Program q = MustCompile(
+      "program spin(x) { locals c; c = 0 - 1; while (c != 0) { c = c - 1; } }");
+  ExpectSameExecution(q, Input{0}, /*fuel=*/500);
+}
+
+TEST(BytecodeTest, RegistersCoverTemporaries) {
+  const Program q = MustCompile("program q(a, b) { y = (a + b) * (a - b) + (a * b); }");
+  const BytecodeProgram bc = CompileToBytecode(q);
+  EXPECT_GT(bc.num_registers(), q.num_vars());
+  ExpectSameExecution(q, Input{6, 2});
+}
+
+TEST(BytecodeTest, ToStringListsInstructions) {
+  const Program q = MustCompile("program q(a) { y = a + 1; }");
+  const std::string text = CompileToBytecode(q).ToString();
+  EXPECT_NE(text.find("bytecode"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+  EXPECT_NE(text.find("jump"), std::string::npos);
+}
+
+class BytecodeDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BytecodeDifferentialTest, MatchesInterpreterOnRandomPrograms) {
+  CorpusConfig config;
+  config.num_inputs = 3;
+  const Program q = Lower(GenerateProgram(config, GetParam(), "bc"));
+  const BytecodeProgram bc = CompileToBytecode(q);
+  InputDomain::Uniform(3, {-2, 0, 1, 3}).ForEach([&](InputView input) {
+    const ExecResult ref = RunProgram(q, input);
+    const ExecResult got = RunBytecode(bc, input);
+    ASSERT_EQ(ref.halted, got.halted) << "seed " << GetParam() << FormatInput(input);
+    ASSERT_EQ(ref.output, got.output) << "seed " << GetParam() << FormatInput(input);
+    ASSERT_EQ(ref.steps, got.steps) << "seed " << GetParam() << FormatInput(input);
+    ASSERT_EQ(ref.halt_box, got.halt_box) << "seed " << GetParam() << FormatInput(input);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BytecodeDifferentialTest,
+                         ::testing::Range<std::uint64_t>(8000, 8060));
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,115 @@
+// Tests for the capability-system mechanism (the conclusion's "capability
+// systems as well as surveillance").
+
+#include <gtest/gtest.h>
+
+#include "src/corpus/generator.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/soundness.h"
+#include "src/monitor/capability.h"
+#include "src/policy/policy.h"
+#include "src/surveillance/surveillance.h"
+
+namespace secpol {
+namespace {
+
+TEST(CapabilityTest, RunsWithFullCapabilities) {
+  const Program q = MustCompile("program q(a, b) { y = a + b; }");
+  const CapabilityMechanism m(Program(q), VarSet{0, 1});
+  const Outcome o = m.Run(Input{2, 3});
+  ASSERT_TRUE(o.IsValue());
+  EXPECT_EQ(o.value, 5);
+}
+
+TEST(CapabilityTest, FaultsOnFirstMissingCapabilityReference) {
+  const Program q = MustCompile("program q(a, b) { y = a; y = y + b; }");
+  const CapabilityMechanism m(Program(q), VarSet{0});
+  const Outcome o = m.Run(Input{2, 3});
+  ASSERT_TRUE(o.IsViolation());
+  EXPECT_NE(o.notice.find("no capability"), std::string::npos);
+  EXPECT_NE(o.notice.find("{1}"), std::string::npos);
+}
+
+TEST(CapabilityTest, FaultsOnPredicatesToo) {
+  const Program q = MustCompile("program q(a, sec) { if (sec > 0) { y = 1; } y = y; }");
+  const CapabilityMechanism m(Program(q), VarSet{0});
+  EXPECT_TRUE(m.Run(Input{1, 1}).IsViolation());
+}
+
+TEST(CapabilityTest, NeverTouchedInputsNeedNoCapability) {
+  const Program q = MustCompile("program q(a, unused) { y = a * 2; }");
+  const CapabilityMechanism m(Program(q), VarSet{0});
+  EXPECT_TRUE(m.Run(Input{4, 99}).IsValue());
+}
+
+TEST(CapabilityTest, PathSensitivity) {
+  // The uncapable input is only referenced on one path: runs that avoid the
+  // path complete.
+  const Program q = MustCompile(
+      "program q(a, sec) { if (a == 0) { y = 7; } else { y = sec; } }");
+  const CapabilityMechanism m(Program(q), VarSet{0});
+  EXPECT_TRUE(m.Run(Input{0, 99}).IsValue());
+  EXPECT_TRUE(m.Run(Input{1, 99}).IsViolation());
+}
+
+TEST(CapabilityTest, FaultTimingIsCapabilityDetermined) {
+  // Two inputs agreeing on capable coordinates fault at the same step.
+  const Program q = MustCompile(
+      "program q(a, sec) { locals c; c = a; while (c != 0) { c = c - 1; } y = sec; }");
+  const CapabilityMechanism m(Program(q), VarSet{0});
+  const Outcome o1 = m.Run(Input{2, 5});
+  const Outcome o2 = m.Run(Input{2, 77});
+  EXPECT_TRUE(o1.IsViolation());
+  EXPECT_EQ(o1.steps, o2.steps);
+}
+
+class CapabilityPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CapabilityPropertyTest, SoundEvenUnderObservableTime) {
+  CorpusConfig config;
+  config.num_inputs = 2;
+  const Program q = Lower(GenerateProgram(config, GetParam(), "cap"));
+  const InputDomain domain = InputDomain::Uniform(2, {-1, 0, 2});
+  for (const VarSet caps : {VarSet::Empty(), VarSet{0}, VarSet{1}, VarSet{0, 1}}) {
+    const CapabilityMechanism m(Program(q), caps);
+    EXPECT_TRUE(CheckSoundness(m, AllowPolicy(2, caps), domain,
+                               Observability::kValueAndTime)
+                    .sound)
+        << "seed " << GetParam() << " caps " << caps.ToString();
+  }
+}
+
+TEST_P(CapabilityPropertyTest, BelowTimingSafeSurveillanceInTheLadder) {
+  // cap <= M': wherever the capability mechanism completes, the paths only
+  // referenced capable data, so M''s labels stay allowed and it releases.
+  CorpusConfig config;
+  config.num_inputs = 2;
+  const Program q = Lower(GenerateProgram(config, GetParam(), "cap"));
+  const VarSet caps{0};
+  const CapabilityMechanism cap(Program(q), caps);
+  const SurveillanceMechanism m_prime = MakeSurveillanceMPrime(Program(q), caps);
+  const InputDomain domain = InputDomain::Uniform(2, {0, 1, 2});
+  EXPECT_EQ(CompareCompleteness(m_prime, cap, domain).second_only, 0u)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CapabilityPropertyTest,
+                         ::testing::Range<std::uint64_t>(10000, 10040));
+
+TEST(CapabilityTest, StrictlyBelowMPrimeOnForgettingPrograms) {
+  // `y = sec; y = 0`: the capability fault fires on the reference; M'
+  // tolerates the dead assignment and releases the overwritten y.
+  const Program q = MustCompile("program q(a, sec) { y = sec; y = 0; }");
+  const VarSet caps{0};
+  const CapabilityMechanism cap(Program(q), caps);
+  const SurveillanceMechanism m_prime = MakeSurveillanceMPrime(Program(q), caps);
+  EXPECT_TRUE(cap.Run(Input{1, 2}).IsViolation());
+  EXPECT_TRUE(m_prime.Run(Input{1, 2}).IsValue());
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  EXPECT_EQ(CompareCompleteness(m_prime, cap, domain).Relation(),
+            CompletenessRelation::kFirstMore);
+}
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,186 @@
+// Tests for the secpol command-line driver.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/tools/cli.h"
+
+namespace secpol {
+namespace {
+
+// Writes a temp program file and returns its path.
+class CliTest : public ::testing::Test {
+ protected:
+  std::string WriteProgram(const std::string& source) {
+    const std::string path =
+        ::testing::TempDir() + "cli_test_" + std::to_string(counter_++) + ".fl";
+    std::ofstream out(path);
+    out << source;
+    out.close();
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : paths_) {
+      std::remove(path.c_str());
+    }
+  }
+
+  // Runs the CLI, returning the exit code; stdout/stderr captured.
+  int Run(std::vector<std::string> args) {
+    out_.clear();
+    err_.clear();
+    return RunCli(args, &out_, &err_);
+  }
+
+  std::string out_;
+  std::string err_;
+
+ private:
+  int counter_ = 0;
+  std::vector<std::string> paths_;
+};
+
+TEST_F(CliTest, RunExecutesProgram) {
+  const std::string path = WriteProgram("program p(a, b) { y = a * b; }");
+  EXPECT_EQ(Run({"run", path, "--input=6,7"}), 0);
+  EXPECT_NE(out_.find("y = 42"), std::string::npos);
+}
+
+TEST_F(CliTest, RunRejectsWrongArity) {
+  const std::string path = WriteProgram("program p(a, b) { y = a; }");
+  EXPECT_EQ(Run({"run", path, "--input=1"}), 1);
+  EXPECT_NE(err_.find("expected 2 inputs"), std::string::npos);
+}
+
+TEST_F(CliTest, MonitorReleasesAndViolates) {
+  const std::string path = WriteProgram("program p(pub, sec) { y = pub; }");
+  EXPECT_EQ(Run({"monitor", path, "--allow=0", "--input=5,9"}), 0);
+  EXPECT_NE(out_.find("value 5"), std::string::npos);
+
+  const std::string leaky = WriteProgram("program p(pub, sec) { y = sec; }");
+  EXPECT_EQ(Run({"monitor", leaky, "--allow=0", "--input=5,9"}), 0);
+  EXPECT_NE(out_.find("VIOLATION"), std::string::npos);
+}
+
+TEST_F(CliTest, MonitorVariants) {
+  const std::string path = WriteProgram("program p(pub, sec) { y = pub; }");
+  EXPECT_EQ(Run({"monitor", path, "--allow=0", "--input=1,2", "--high-water"}), 0);
+  EXPECT_NE(out_.find("high-water"), std::string::npos);
+  EXPECT_EQ(Run({"monitor", path, "--allow=0", "--input=1,2", "--time-safe"}), 0);
+  EXPECT_NE(out_.find("[M']"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckVerdictDrivesExitCode) {
+  const std::string path = WriteProgram("program p(pub, sec) { y = pub; }");
+  EXPECT_EQ(Run({"check", path, "--allow=0"}), 0);
+  EXPECT_NE(out_.find("SOUND"), std::string::npos);
+
+  // The bare program leaking sec: exit code 2 signals "unsound".
+  const std::string leaky = WriteProgram("program p(pub, sec) { y = sec; }");
+  EXPECT_EQ(Run({"check", leaky, "--allow=0", "--mechanism=bare"}), 2);
+  EXPECT_NE(out_.find("UNSOUND"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckWithTimeAndGrid) {
+  const std::string path = WriteProgram(
+      "program p(sec) { locals c; c = sec; while (c != 0) { c = c - 1; } y = 1; }");
+  EXPECT_EQ(Run({"check", path, "--allow=", "--grid=0:3", "--time", "--mechanism=bare"}), 2);
+  EXPECT_EQ(Run({"check", path, "--allow=", "--grid=0:3", "--time", "--mechanism=mprime"}), 0);
+}
+
+TEST_F(CliTest, CheckAllMechanismKinds) {
+  const std::string path = WriteProgram("program p(pub, sec) { y = pub + 1; }");
+  for (const char* kind :
+       {"surveillance", "mprime", "highwater", "static", "residual"}) {
+    EXPECT_EQ(Run({"check", path, "--allow=0", std::string("--mechanism=") + kind}), 0)
+        << kind;
+  }
+}
+
+TEST_F(CliTest, AnalyzeReportsLabels) {
+  const std::string path = WriteProgram(
+      "program p(pub, sec) { if (sec > 0) { y = 1; } else { y = 2; } }");
+  EXPECT_EQ(Run({"analyze", path, "--allow=0"}), 0);
+  EXPECT_NE(out_.find("NOT CERTIFIED"), std::string::npos);
+  EXPECT_EQ(Run({"analyze", path, "--allow=0,1"}), 0);
+  EXPECT_NE(out_.find("CERTIFIED"), std::string::npos);
+}
+
+TEST_F(CliTest, InstrumentPrintsShadowVariables) {
+  const std::string path = WriteProgram("program p(a) { y = a; }");
+  EXPECT_EQ(Run({"instrument", path, "--allow=0"}), 0);
+  EXPECT_NE(out_.find("a_bar"), std::string::npos);
+  EXPECT_NE(out_.find("C_bar"), std::string::npos);
+}
+
+TEST_F(CliTest, AdviseShowsCandidates) {
+  const std::string path = WriteProgram(R"(
+    program ex7(x1, x2) {
+      locals r;
+      if (x1 == 1) { r = 1; } else { r = 2; }
+      if (r == 1) { y = 1; } else { y = 1; }
+    })");
+  EXPECT_EQ(Run({"advise", path, "--allow=1", "--grid=0:2"}), 0);
+  EXPECT_NE(out_.find("if-to-select"), std::string::npos);
+  EXPECT_NE(out_.find("chosen rewriting"), std::string::npos);
+}
+
+TEST_F(CliTest, OptimizeSimplifiesAndReports) {
+  const std::string path = WriteProgram("program p(a) { y = a * 1 + 0; }");
+  EXPECT_EQ(Run({"optimize", path}), 0);
+  EXPECT_NE(out_.find("simplified 1 expressions"), std::string::npos);
+  EXPECT_NE(out_.find("y <- a"), std::string::npos);
+}
+
+TEST_F(CliTest, DecompileRoundTripsAndAudits) {
+  const std::string path = WriteProgram(
+      "program p(n) { locals c; c = n; if (n > 0) { y = 1; } else { y = 2; } }");
+  EXPECT_EQ(Run({"decompile", path}), 0);
+  EXPECT_NE(out_.find("program p(n)"), std::string::npos);
+  EXPECT_NE(out_.find("if ("), std::string::npos);
+}
+
+TEST_F(CliTest, DotEmitsGraph) {
+  const std::string path = WriteProgram("program p(a) { if (a) { y = 1; } }");
+  EXPECT_EQ(Run({"dot", path}), 0);
+  EXPECT_NE(out_.find("digraph"), std::string::npos);
+}
+
+TEST_F(CliTest, BytecodeListsInstructions) {
+  const std::string path = WriteProgram("program p(a) { y = a + 1; }");
+  EXPECT_EQ(Run({"bytecode", path}), 0);
+  EXPECT_NE(out_.find("halt"), std::string::npos);
+}
+
+TEST_F(CliTest, ErrorsAreReported) {
+  EXPECT_EQ(Run({}), 1);
+  EXPECT_NE(err_.find("usage"), std::string::npos);
+
+  EXPECT_EQ(Run({"frobnicate", "x.fl"}), 1);
+  EXPECT_NE(err_.find("unknown command"), std::string::npos);
+
+  EXPECT_EQ(Run({"run", "/nonexistent/file.fl", "--input="}), 1);
+  EXPECT_NE(err_.find("cannot open"), std::string::npos);
+
+  const std::string bad = WriteProgram("program p( { }");
+  EXPECT_EQ(Run({"run", bad, "--input="}), 1);
+
+  const std::string path = WriteProgram("program p(a) { y = a; }");
+  EXPECT_EQ(Run({"monitor", path, "--input=1"}), 1);  // missing --allow
+  EXPECT_NE(err_.find("--allow"), std::string::npos);
+  EXPECT_EQ(Run({"monitor", path, "--allow=7", "--input=1"}), 1);  // out of range
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--mechanism=warp"}), 1);
+}
+
+TEST_F(CliTest, ParserErrorsCarryLocation) {
+  const std::string bad = WriteProgram("program p(a) {\n  y = ;\n}");
+  EXPECT_EQ(Run({"run", bad, "--input=1"}), 1);
+  EXPECT_NE(err_.find(":2:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secpol

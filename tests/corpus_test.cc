@@ -1,0 +1,146 @@
+// Tests for the random program generator: validity, totality, determinism.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/corpus/generator.h"
+#include "src/flowchart/interpreter.h"
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/mechanism/domain.h"
+
+namespace secpol {
+namespace {
+
+TEST(CorpusTest, DeterministicBySeed) {
+  const CorpusConfig config;
+  // Compare bodies (strip the differing program names at the first '(').
+  auto body_of = [](const SourceProgram& p) {
+    const std::string text = p.ToString();
+    return text.substr(text.find('('));
+  };
+  const SourceProgram a = GenerateProgram(config, 99, "a");
+  const SourceProgram b = GenerateProgram(config, 99, "b");
+  EXPECT_EQ(body_of(a), body_of(b));
+  const SourceProgram c = GenerateProgram(config, 100, "c");
+  EXPECT_NE(body_of(a), body_of(c));
+}
+
+TEST(CorpusTest, RespectsVariableBudget) {
+  CorpusConfig config;
+  config.num_inputs = 4;
+  config.num_value_locals = 3;
+  config.num_counter_locals = 2;
+  const SourceProgram p = GenerateProgram(config, 1, "p");
+  EXPECT_EQ(p.num_inputs(), 4);
+  EXPECT_EQ(p.num_locals(), 5);
+}
+
+class CorpusValidityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorpusValidityTest, LowersValidates) {
+  const CorpusConfig config;
+  const SourceProgram source = GenerateProgram(config, GetParam(), "gen");
+  const Program lowered = Lower(source);
+  EXPECT_TRUE(lowered.Validate().ok());
+}
+
+TEST_P(CorpusValidityTest, IsTotalWithinFuel) {
+  const CorpusConfig config;
+  const Program lowered = Lower(GenerateProgram(config, GetParam(), "gen"));
+  // Sample a grid of inputs, including negatives: the bounded-counter loops
+  // must terminate regardless.
+  InputDomain::Uniform(config.num_inputs, {-3, 0, 5}).ForEach([&](InputView input) {
+    const ExecResult result = RunProgram(lowered, input, /*fuel=*/100000);
+    EXPECT_TRUE(result.halted) << "seed " << GetParam();
+  });
+}
+
+TEST_P(CorpusValidityTest, ReparsesFromPrettyPrint) {
+  const CorpusConfig config;
+  const SourceProgram source = GenerateProgram(config, GetParam(), "gen");
+  const auto reparsed = ParseProgram(source.ToString());
+  ASSERT_TRUE(reparsed.ok()) << source.ToString() << "\n"
+                             << reparsed.error().ToString();
+  EXPECT_TRUE(FunctionallyEquivalentOnGrid(Lower(source), Lower(reparsed.value()),
+                                           {-2, 0, 1, 3}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusValidityTest,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+TEST(CorpusTest, CountersOnlyTouchedByLoopScaffold) {
+  // Counters (the trailing locals) must only appear as `c = K`, the loop
+  // test, and `c = c - 1`. We verify the invariant that matters: loops
+  // always terminate, even with adversarial inputs, because nothing else
+  // writes the counter. Checked behaviourally over many seeds above; here
+  // check structurally that counter assignments are constant or decrement.
+  CorpusConfig config;
+  config.num_counter_locals = 2;
+  const int first_counter = config.num_inputs + config.num_value_locals;
+
+  std::function<void(const std::vector<Stmt>&)> scan = [&](const std::vector<Stmt>& block) {
+    for (const Stmt& stmt : block) {
+      if (stmt.kind == Stmt::Kind::kAssign && stmt.var >= first_counter &&
+          stmt.var < first_counter + config.num_counter_locals) {
+        const bool is_const_init = stmt.expr.kind() == Expr::Kind::kConst;
+        const bool is_decrement = stmt.expr.kind() == Expr::Kind::kBinary &&
+                                  stmt.expr.binary_op() == BinaryOp::kSub;
+        EXPECT_TRUE(is_const_init || is_decrement);
+      }
+      scan(stmt.then_body);
+      scan(stmt.else_body);
+      scan(stmt.body);
+    }
+  };
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const SourceProgram p = GenerateProgram(config, seed, "gen");
+    scan(p.body);
+  }
+}
+
+TEST(CorpusTest, MakeCorpusProducesDistinctPrograms) {
+  const CorpusConfig config;
+  const auto corpus = MakeCorpus(config, 10, 500);
+  ASSERT_EQ(corpus.size(), 10u);
+  int distinct = 0;
+  for (size_t i = 1; i < corpus.size(); ++i) {
+    if (corpus[i].ToString() != corpus[0].ToString()) {
+      ++distinct;
+    }
+  }
+  EXPECT_GT(distinct, 5);
+}
+
+TEST(CorpusTest, LoopsAppearInTheCorpus) {
+  // With default probabilities, some seed in a small range must generate a
+  // while loop — guards against silently losing loop generation.
+  bool found = false;
+  for (std::uint64_t seed = 0; seed < 30 && !found; ++seed) {
+    const SourceProgram p = GenerateProgram(CorpusConfig{}, seed, "gen");
+    found = p.ToString().find("while") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CorpusTest, BranchesAppearInTheCorpus) {
+  bool found = false;
+  for (std::uint64_t seed = 0; seed < 30 && !found; ++seed) {
+    const SourceProgram p = GenerateProgram(CorpusConfig{}, seed, "gen");
+    // Loop scaffolding uses `if (1)`; look for a non-constant test.
+    const std::string text = p.ToString();
+    size_t pos = 0;
+    while ((pos = text.find("if (", pos)) != std::string::npos) {
+      if (text.compare(pos, 6, "if (1)") != 0) {
+        found = true;
+        break;
+      }
+      ++pos;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,229 @@
+// Unit tests for the flowchart IR, builder, validator, and interpreter.
+
+#include <gtest/gtest.h>
+
+#include "src/flowchart/builder.h"
+#include "src/flowchart/dot.h"
+#include "src/flowchart/interpreter.h"
+#include "src/flowchart/program.h"
+
+namespace secpol {
+namespace {
+
+// y = x0 + x1, straight line.
+Program MakeAdder() {
+  ProgramBuilder b("adder", {"x0", "x1"}, {});
+  b.Assign(b.OutputVar(), Add(V(0), V(1)));
+  b.HaltBox();
+  return b.Build();
+}
+
+// if (x0 != 0) y = 1 else y = 2.
+Program MakeBrancher() {
+  ProgramBuilder b("brancher", {"x0"}, {});
+  const int d = b.Decision(Ne(V(0), C(0)));
+  const int t = b.Assign(b.OutputVar(), C(1));
+  const int e = b.Assign(b.OutputVar(), C(2));
+  const int h = b.HaltBox();
+  b.SetBranches(d, t, e);
+  b.Goto(t, h);
+  b.Goto(e, h);
+  return b.Build();
+}
+
+// while (x0 != 0 is impossible: inputs immutable) — instead: r = x0; while
+// (r != 0) { y = y + 2; r = r - 1; }  => y = 2 * max(x0, 0 for negatives it
+// loops forever) — we use non-negative inputs in tests.
+Program MakeLooper() {
+  ProgramBuilder b("looper", {"x0"}, {"r"});
+  const int r = b.Var("r");
+  b.Assign(r, V(0));
+  const int d = b.Decision(Ne(V(r), C(0)));
+  const int body1 = b.Assign(b.OutputVar(), Add(V(b.OutputVar()), C(2)));
+  const int body2 = b.Assign(r, Sub(V(r), C(1)));
+  const int h = b.HaltBox();
+  b.SetBranches(d, body1, h);
+  b.Goto(body2, d);
+  (void)body2;
+  return b.Build();
+}
+
+TEST(ProgramTest, VariableLayout) {
+  const Program p = MakeLooper();
+  EXPECT_EQ(p.num_inputs(), 1);
+  EXPECT_EQ(p.num_locals(), 1);
+  EXPECT_EQ(p.num_vars(), 3);
+  EXPECT_EQ(p.output_var(), 2);
+  EXPECT_EQ(p.VarName(0), "x0");
+  EXPECT_EQ(p.VarName(1), "r");
+  EXPECT_EQ(p.VarName(2), "y");
+  EXPECT_TRUE(p.IsInputVar(0));
+  EXPECT_FALSE(p.IsInputVar(1));
+  EXPECT_EQ(p.FindVar("r"), 1);
+  EXPECT_EQ(p.FindVar("nope"), -1);
+}
+
+TEST(ProgramTest, ReferencedInputs) {
+  EXPECT_EQ(MakeAdder().ReferencedInputs(), (VarSet{0, 1}));
+  ProgramBuilder b("unused_input", {"x0", "x1"}, {});
+  b.Assign(b.OutputVar(), V(1));
+  b.HaltBox();
+  EXPECT_EQ(b.Build().ReferencedInputs(), VarSet{1});
+}
+
+TEST(InterpreterTest, StraightLine) {
+  const Program p = MakeAdder();
+  const ExecResult r = RunProgram(p, Input{3, 4});
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.output, 7);
+  EXPECT_EQ(r.steps, 3u);  // start, assign, halt
+  EXPECT_EQ(r.halt_box, 2);
+}
+
+TEST(InterpreterTest, Branches) {
+  const Program p = MakeBrancher();
+  EXPECT_EQ(RunProgram(p, Input{5}).output, 1);
+  EXPECT_EQ(RunProgram(p, Input{0}).output, 2);
+  EXPECT_EQ(RunProgram(p, Input{-1}).output, 1);
+}
+
+TEST(InterpreterTest, LoopComputesAndCountsSteps) {
+  const Program p = MakeLooper();
+  const ExecResult r0 = RunProgram(p, Input{0});
+  const ExecResult r3 = RunProgram(p, Input{3});
+  EXPECT_EQ(r0.output, 0);
+  EXPECT_EQ(r3.output, 6);
+  // Each iteration costs 3 boxes (decision + 2 assignments).
+  EXPECT_EQ(r3.steps, r0.steps + 3 * 3);
+}
+
+TEST(InterpreterTest, FuelExhaustion) {
+  // r never reaches 0 for negative input; the fuel bound must trip.
+  const Program p = MakeLooper();
+  const ExecResult r = RunProgram(p, Input{-1}, /*fuel=*/100);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.steps, 100u);
+}
+
+TEST(InterpreterTest, LocalsInitializedToZero) {
+  ProgramBuilder b("reads_local", {"x0"}, {"r"});
+  b.Assign(b.OutputVar(), Add(V(b.Var("r")), C(5)));
+  b.HaltBox();
+  EXPECT_EQ(RunProgram(b.Build(), Input{99}).output, 5);
+}
+
+TEST(ValidationTest, RejectsAssignToInput) {
+  Program p("bad", {"x0"}, {});
+  Box start;
+  start.kind = Box::Kind::kStart;
+  start.next = 1;
+  p.AddBox(start);
+  Box assign;
+  assign.kind = Box::Kind::kAssign;
+  assign.var = 0;  // input!
+  assign.expr = C(1);
+  assign.next = 2;
+  p.AddBox(assign);
+  Box halt;
+  halt.kind = Box::Kind::kHalt;
+  p.AddBox(halt);
+  const auto result = p.Validate();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("input variable"), std::string::npos);
+}
+
+TEST(ValidationTest, RejectsMissingStart) {
+  Program p("bad", {}, {});
+  Box halt;
+  halt.kind = Box::Kind::kHalt;
+  p.AddBox(halt);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ValidationTest, RejectsDanglingEdge) {
+  Program p("bad", {}, {});
+  Box start;
+  start.kind = Box::Kind::kStart;
+  start.next = 7;  // out of range
+  p.AddBox(start);
+  Box halt;
+  halt.kind = Box::Kind::kHalt;
+  p.AddBox(halt);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ValidationTest, RejectsNoReachableHalt) {
+  Program p("bad", {}, {});
+  Box start;
+  start.kind = Box::Kind::kStart;
+  start.next = 1;
+  p.AddBox(start);
+  Box spin;
+  spin.kind = Box::Kind::kAssign;
+  spin.var = 0;  // y (no inputs/locals)
+  spin.expr = C(0);
+  spin.next = 1;  // self-loop
+  p.AddBox(spin);
+  Box halt;  // unreachable
+  halt.kind = Box::Kind::kHalt;
+  p.AddBox(halt);
+  const auto result = p.Validate();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("reachable"), std::string::npos);
+}
+
+TEST(ValidationTest, RejectsOutOfRangeVariableInExpr) {
+  Program p("bad", {"x0"}, {});
+  Box start;
+  start.kind = Box::Kind::kStart;
+  start.next = 1;
+  p.AddBox(start);
+  Box assign;
+  assign.kind = Box::Kind::kAssign;
+  assign.var = 1;  // y
+  assign.expr = V(9);
+  assign.next = 2;
+  p.AddBox(assign);
+  Box halt;
+  halt.kind = Box::Kind::kHalt;
+  p.AddBox(halt);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(EquivalenceTest, IdenticalProgramsEquivalent) {
+  EXPECT_TRUE(FunctionallyEquivalentOnGrid(MakeAdder(), MakeAdder(), {-2, -1, 0, 1, 2}));
+}
+
+TEST(EquivalenceTest, DifferentProgramsCaught) {
+  ProgramBuilder b("adder_off_by_one", {"x0", "x1"}, {});
+  b.Assign(b.OutputVar(), Add(Add(V(0), V(1)), C(1)));
+  b.HaltBox();
+  EXPECT_FALSE(FunctionallyEquivalentOnGrid(MakeAdder(), b.Build(), {0, 1}));
+}
+
+TEST(EquivalenceTest, ArityMismatchRejected) {
+  ProgramBuilder b("one_input", {"x0"}, {});
+  b.Assign(b.OutputVar(), V(0));
+  b.HaltBox();
+  EXPECT_FALSE(FunctionallyEquivalentOnGrid(MakeAdder(), b.Build(), {0, 1}));
+}
+
+TEST(DotTest, EmitsAllBoxShapes) {
+  const std::string dot = ProgramToDot(MakeBrancher());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("START"), std::string::npos);
+  EXPECT_NE(dot.find("HALT"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"T\""), std::string::npos);
+}
+
+TEST(ProgramTest, ToStringListsBoxes) {
+  const std::string text = MakeBrancher().ToString();
+  EXPECT_NE(text.find("START"), std::string::npos);
+  EXPECT_NE(text.find("if (x0 != 0)"), std::string::npos);
+  EXPECT_NE(text.find("y <- 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secpol

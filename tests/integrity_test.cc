@@ -1,0 +1,112 @@
+// Tests for the integrity dual — the paper's "operator function" question:
+// does the output contain ALL the information it should?
+
+#include <gtest/gtest.h>
+
+#include "src/flowlang/lower.h"
+#include "src/mechanism/integrity.h"
+#include "src/mechanism/mechanism.h"
+#include "src/policy/policy.h"
+#include "src/policy/refinement.h"
+
+namespace secpol {
+namespace {
+
+TEST(IntegrityTest, IdentityPreservesEverything) {
+  const Program q = MustCompile("program q(x) { y = x; }");
+  const ProgramAsMechanism m{Program(q)};
+  const AllowPolicy required = AllowPolicy::AllowAll(1);
+  const auto report = CheckInformationPreservation(m, required, InputDomain::Range(1, 0, 5),
+                                                   Observability::kValueOnly);
+  EXPECT_TRUE(report.preserved);
+  EXPECT_EQ(report.required_classes, 6u);
+}
+
+TEST(IntegrityTest, LossyProgramConvicted) {
+  // Q collapses x to x/2: inputs 0 and 1 become indistinguishable even
+  // though the required policy demands x be recoverable.
+  const Program q = MustCompile("program q(x) { y = x / 2; }");
+  const ProgramAsMechanism m{Program(q)};
+  const AllowPolicy required = AllowPolicy::AllowAll(1);
+  const auto report = CheckInformationPreservation(m, required, InputDomain::Range(1, 0, 5),
+                                                   Observability::kValueOnly);
+  EXPECT_FALSE(report.preserved);
+  ASSERT_TRUE(report.counterexample.has_value());
+  EXPECT_NE(report.counterexample->input_a, report.counterexample->input_b);
+  EXPECT_NE(report.ToString().find("INFORMATION LOST"), std::string::npos);
+}
+
+TEST(IntegrityTest, PreservationOnlyOfRequiredCoordinates) {
+  // Q(x0, x1) = x0: preserves allow(0), loses allow(1), loses allow(0,1).
+  const Program q = MustCompile("program q(a, b) { y = a; }");
+  const ProgramAsMechanism m{Program(q)};
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+
+  EXPECT_TRUE(CheckInformationPreservation(m, AllowPolicy(2, VarSet{0}), domain,
+                                           Observability::kValueOnly)
+                  .preserved);
+  EXPECT_FALSE(CheckInformationPreservation(m, AllowPolicy(2, VarSet{1}), domain,
+                                            Observability::kValueOnly)
+                   .preserved);
+  EXPECT_FALSE(CheckInformationPreservation(m, AllowPolicy::AllowAll(2), domain,
+                                            Observability::kValueOnly)
+                   .preserved);
+}
+
+TEST(IntegrityTest, PlugPreservesOnlyTrivialPolicies) {
+  const PlugMechanism plug(1);
+  const InputDomain domain = InputDomain::Range(1, 0, 3);
+  EXPECT_TRUE(CheckInformationPreservation(plug, AllowPolicy::AllowNone(1), domain,
+                                           Observability::kValueOnly)
+                  .preserved);
+  EXPECT_FALSE(CheckInformationPreservation(plug, AllowPolicy::AllowAll(1), domain,
+                                            Observability::kValueOnly)
+                   .preserved);
+}
+
+TEST(IntegrityTest, TimeCanCarryTheRequiredInformation) {
+  // The loop program: the VALUE loses x, but the STEP COUNT preserves it —
+  // an integrity-flavoured restatement of the Observability Postulate.
+  const Program q = MustCompile(
+      "program loop(x) { locals c; c = x; while (c != 0) { c = c - 1; } y = 1; }");
+  const ProgramAsMechanism m{Program(q)};
+  const AllowPolicy required = AllowPolicy::AllowAll(1);
+  const InputDomain domain = InputDomain::Range(1, 0, 4);
+
+  EXPECT_FALSE(
+      CheckInformationPreservation(m, required, domain, Observability::kValueOnly).preserved);
+  EXPECT_TRUE(CheckInformationPreservation(m, required, domain, Observability::kValueAndTime)
+                  .preserved);
+}
+
+TEST(IntegrityTest, AggregatePolicyPreservedBySumProgram) {
+  // The sum program preserves exactly the aggregate: its output IS the sum.
+  const Program q = MustCompile("program q(a, b) { y = a + b; }");
+  const ProgramAsMechanism m{Program(q)};
+  const AggregateSumPolicy required(2);
+  const InputDomain domain = InputDomain::Range(2, 0, 3);
+  EXPECT_TRUE(
+      CheckInformationPreservation(m, required, domain, Observability::kValueOnly).preserved);
+
+  // A projection loses the aggregate.
+  const Program proj = MustCompile("program p(a, b) { y = a; }");
+  const ProgramAsMechanism mp{Program(proj)};
+  EXPECT_FALSE(
+      CheckInformationPreservation(mp, required, domain, Observability::kValueOnly).preserved);
+}
+
+TEST(IntegrityTest, DualityWithSoundness) {
+  // For Q(x) = x and allow-all: Q is simultaneously sound (reveals no more)
+  // and preserving (reveals no less) — it transmits exactly the image.
+  const Program q = MustCompile("program q(x) { y = x; }");
+  const ProgramAsMechanism m{Program(q)};
+  const AllowPolicy policy = AllowPolicy::AllowAll(1);
+  const InputDomain domain = InputDomain::Range(1, 0, 4);
+  EXPECT_TRUE(
+      CheckInformationPreservation(m, policy, domain, Observability::kValueOnly).preserved);
+  // (Soundness of identity for allow-all is covered in mechanism_test; the
+  // two together say M computes a bijection of the image.)
+}
+
+}  // namespace
+}  // namespace secpol

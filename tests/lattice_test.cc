@@ -1,0 +1,177 @@
+// Tests for the security-class lattices and lattice-labelled enforcement.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/corpus/generator.h"
+#include "src/flowlang/lower.h"
+#include "src/lattice/flow_mechanism.h"
+#include "src/lattice/lattice.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+TEST(SubsetLatticeTest, BasicOperations) {
+  const SubsetLattice lattice(4);
+  EXPECT_EQ(lattice.Bottom(), 0u);
+  EXPECT_EQ(lattice.Top(), 0xfu);
+  EXPECT_EQ(lattice.Join(0b0011, 0b0101), 0b0111u);
+  EXPECT_EQ(lattice.Meet(0b0011, 0b0101), 0b0001u);
+  EXPECT_TRUE(lattice.Leq(0b0001, 0b0011));
+  EXPECT_FALSE(lattice.Leq(0b0100, 0b0011));
+  EXPECT_TRUE(lattice.IsValid(0xf));
+  EXPECT_FALSE(lattice.IsValid(0x10));
+  EXPECT_EQ(lattice.ClassName(0b101), "{0,2}");
+}
+
+TEST(LinearLatticeTest, MilitaryChain) {
+  const LinearLattice lattice = LinearLattice::Military();
+  EXPECT_EQ(lattice.Bottom(), 0u);
+  EXPECT_EQ(lattice.Top(), 3u);
+  EXPECT_EQ(lattice.ClassName(0), "unclassified");
+  EXPECT_EQ(lattice.ClassName(3), "top-secret");
+  EXPECT_EQ(lattice.Join(1, 2), 2u);
+  EXPECT_EQ(lattice.Meet(1, 2), 1u);
+  EXPECT_TRUE(lattice.Leq(0, 3));
+  EXPECT_FALSE(lattice.Leq(3, 2));
+}
+
+TEST(ProductLatticeTest, ComponentwiseOrder) {
+  const auto chain = std::make_shared<LinearLattice>(LinearLattice::Military());
+  const auto compartments = std::make_shared<SubsetLattice>(2);
+  const ProductLattice product(chain, compartments);
+
+  const ClassId secret_a = ProductLattice::Pack(2, 0b01);
+  const ClassId conf_ab = ProductLattice::Pack(1, 0b11);
+  // Incomparable: level higher but compartments smaller.
+  EXPECT_FALSE(product.Leq(secret_a, conf_ab));
+  EXPECT_FALSE(product.Leq(conf_ab, secret_a));
+  EXPECT_EQ(product.Join(secret_a, conf_ab), ProductLattice::Pack(2, 0b11));
+  EXPECT_EQ(product.Meet(secret_a, conf_ab), ProductLattice::Pack(1, 0b01));
+  EXPECT_NE(product.ClassName(secret_a).find("secret"), std::string::npos);
+}
+
+class LatticeLawTest : public ::testing::TestWithParam<int> {};
+
+TEST(LatticeLawsTest, SubsetLatticeSatisfiesAllLaws) {
+  EXPECT_EQ(CheckLatticeLaws(SubsetLattice(3)), "");
+}
+
+TEST(LatticeLawsTest, LinearLatticeSatisfiesAllLaws) {
+  EXPECT_EQ(CheckLatticeLaws(LinearLattice::Military()), "");
+}
+
+TEST(LatticeLawsTest, ProductLatticeSatisfiesAllLaws) {
+  const auto chain = std::make_shared<LinearLattice>(LinearLattice::Military());
+  const auto subsets = std::make_shared<SubsetLattice>(2);
+  EXPECT_EQ(CheckLatticeLaws(ProductLattice(chain, subsets)), "");
+}
+
+TEST(LatticeLawsTest, CheckerCatchesBrokenLattice) {
+  // A deliberately broken "lattice": join is max but meet is constant 0 over
+  // a chain of 3 — absorption fails.
+  class Broken : public SecurityLattice {
+   public:
+    ClassId Bottom() const override { return 0; }
+    ClassId Top() const override { return 2; }
+    ClassId Join(ClassId a, ClassId b) const override { return a > b ? a : b; }
+    ClassId Meet(ClassId, ClassId) const override { return 0; }
+    bool Leq(ClassId a, ClassId b) const override { return a <= b; }
+    bool IsValid(ClassId a) const override { return a <= 2; }
+    std::vector<ClassId> AllClasses() const override { return {0, 1, 2}; }
+    std::string ClassName(ClassId a) const override { return std::to_string(a); }
+    std::string name() const override { return "broken"; }
+  };
+  EXPECT_NE(CheckLatticeLaws(Broken()), "");
+}
+
+// --- Lattice-labelled enforcement ---
+
+TEST(LatticeFlowTest, ReleasesWithinClearance) {
+  const Program q = MustCompile("program q(lo, hi) { y = lo + 1; }");
+  const auto lattice = std::make_shared<LinearLattice>(LinearLattice::Military());
+  const LatticeFlowMechanism m(Program(q), lattice, {0, 3}, /*clearance=*/1);
+  const Outcome o = m.Run(Input{4, 9});
+  EXPECT_TRUE(o.IsValue());
+  EXPECT_EQ(o.value, 5);
+}
+
+TEST(LatticeFlowTest, BlocksAboveClearance) {
+  const Program q = MustCompile("program q(lo, hi) { y = hi; }");
+  const auto lattice = std::make_shared<LinearLattice>(LinearLattice::Military());
+  const LatticeFlowMechanism m(Program(q), lattice, {0, 3}, /*clearance=*/2);
+  const Outcome o = m.Run(Input{4, 9});
+  EXPECT_TRUE(o.IsViolation());
+  EXPECT_NE(o.notice.find("top-secret"), std::string::npos);
+}
+
+TEST(LatticeFlowTest, ImplicitFlowThroughPc) {
+  const Program q = MustCompile("program q(hi) { if (hi == 0) { y = 1; } else { y = 2; } }");
+  const auto lattice = std::make_shared<LinearLattice>(LinearLattice::Military());
+  const LatticeFlowMechanism m(Program(q), lattice, {3}, /*clearance=*/0);
+  EXPECT_TRUE(m.Run(Input{0}).IsViolation());
+}
+
+// With the subset lattice, classification x_i -> {i}, and clearance J, the
+// lattice mechanism must coincide with Section 3 surveillance.
+class LatticeAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatticeAgreementTest, SubsetLatticeMatchesSurveillance) {
+  CorpusConfig config;
+  config.num_inputs = 3;
+  const Program q = Lower(GenerateProgram(config, GetParam(), "lat"));
+  const VarSet allowed{0, 2};
+
+  const SurveillanceMechanism surv = MakeSurveillanceM(Program(q), allowed);
+  const auto lattice = std::make_shared<SubsetLattice>(3);
+  std::vector<ClassId> classes;
+  for (int i = 0; i < 3; ++i) {
+    classes.push_back(ClassId{1} << i);
+  }
+  const LatticeFlowMechanism lat(Program(q), lattice, classes, allowed.bits());
+
+  InputDomain::Uniform(3, {-1, 0, 2}).ForEach([&](InputView input) {
+    const Outcome a = surv.Run(input);
+    const Outcome b = lat.Run(input);
+    EXPECT_TRUE(a.ObservablyEquals(b, Observability::kValueAndTime))
+        << "seed " << GetParam() << " input " << FormatInput(input) << ": " << a.ToString()
+        << " vs " << b.ToString();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, LatticeAgreementTest,
+                         ::testing::Range<std::uint64_t>(6000, 6030));
+
+TEST(LatticeFlowTest, SoundForTheInducedAllowPolicy) {
+  CorpusConfig config;
+  config.num_inputs = 2;
+  const auto lattice = std::make_shared<LinearLattice>(LinearLattice::Military());
+  const std::vector<ClassId> classes = {1, 3};  // confidential, top-secret
+  const ClassId clearance = 2;                  // secret
+  // Induced allow-policy: inputs whose class flows to the clearance.
+  VarSet allowed;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    if (lattice->Leq(classes[i], clearance)) {
+      allowed.Insert(static_cast<int>(i));
+    }
+  }
+  ASSERT_EQ(allowed, VarSet{0});
+
+  const InputDomain domain = InputDomain::Uniform(2, {0, 1, 2});
+  for (std::uint64_t seed = 6100; seed < 6120; ++seed) {
+    const Program q = Lower(GenerateProgram(config, seed, "mls"));
+    const LatticeFlowMechanism m(Program(q), lattice, classes, clearance);
+    EXPECT_TRUE(CheckSoundness(m, AllowPolicy(2, allowed), domain,
+                               Observability::kValueOnly)
+                    .sound)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,370 @@
+// Tests for the mechanism framework: outcomes, trivial mechanisms
+// (Example 3), the soundness checker, the completeness order (Section 4),
+// the join operator (Theorem 1), and finite maximal synthesis (Theorem 2).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/flowlang/lower.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+
+namespace secpol {
+namespace {
+
+TEST(OutcomeTest, ObservableEquality) {
+  const Outcome v1 = Outcome::Val(3, 10);
+  const Outcome v2 = Outcome::Val(3, 99);
+  const Outcome v3 = Outcome::Val(4, 10);
+  const Outcome n1 = Outcome::Violation(10, "a");
+  const Outcome n2 = Outcome::Violation(20, "b");
+
+  EXPECT_TRUE(v1.ObservablyEquals(v2, Observability::kValueOnly));
+  EXPECT_FALSE(v1.ObservablyEquals(v2, Observability::kValueAndTime));
+  EXPECT_FALSE(v1.ObservablyEquals(v3, Observability::kValueOnly));
+  // All violation notices are one notice (Section 4) — but their timing is
+  // observable when time is.
+  EXPECT_TRUE(n1.ObservablyEquals(n2, Observability::kValueOnly));
+  EXPECT_FALSE(n1.ObservablyEquals(n2, Observability::kValueAndTime));
+  EXPECT_FALSE(v1.ObservablyEquals(n1, Observability::kValueOnly));
+}
+
+TEST(OutcomeTest, ToStringDistinguishesKinds) {
+  EXPECT_NE(Outcome::Val(1, 2).ToString().find("value 1"), std::string::npos);
+  EXPECT_NE(Outcome::Violation(2, "x").ToString().find("VIOLATION"), std::string::npos);
+}
+
+TEST(DomainTest, SizeAndEnumerate) {
+  const InputDomain domain = InputDomain::Uniform(2, {0, 1, 2});
+  EXPECT_EQ(domain.size(), 9u);
+  const auto all = domain.Enumerate();
+  ASSERT_EQ(all.size(), 9u);
+  EXPECT_EQ(all.front(), (Input{0, 0}));
+  EXPECT_EQ(all.back(), (Input{2, 2}));
+}
+
+TEST(DomainTest, PerInputAndRange) {
+  const InputDomain domain = InputDomain::PerInput({{0, 1}, {5}});
+  EXPECT_EQ(domain.size(), 2u);
+  EXPECT_EQ(domain.Enumerate()[1], (Input{1, 5}));
+
+  const InputDomain range = InputDomain::Range(1, -1, 1);
+  EXPECT_EQ(range.size(), 3u);
+}
+
+TEST(DomainTest, ZeroArity) {
+  const InputDomain domain = InputDomain::Uniform(0, {1, 2, 3});
+  EXPECT_EQ(domain.size(), 1u);
+  int calls = 0;
+  domain.ForEach([&](InputView input) {
+    EXPECT_TRUE(input.empty());
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+// --- Example 3: the two trivial protection mechanisms ---
+
+TEST(Example3, PlugIsSoundForEveryPolicy) {
+  const PlugMechanism plug(2);
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  for (const VarSet allowed : {VarSet::Empty(), VarSet{0}, VarSet{0, 1}}) {
+    const AllowPolicy policy(2, allowed);
+    const auto report =
+        CheckSoundness(plug, policy, domain, Observability::kValueAndTime);
+    EXPECT_TRUE(report.sound) << policy.name();
+  }
+}
+
+TEST(Example3, ProgramAsItsOwnMechanismMayBeUnsound) {
+  // Q(x0, x1) = x1; sound for allow(1), unsound for allow(0).
+  const Program q = MustCompile("program q(x0, x1) { y = x1; }");
+  const ProgramAsMechanism m{Program(q)};
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+
+  EXPECT_TRUE(
+      CheckSoundness(m, AllowPolicy(2, VarSet{1}), domain, Observability::kValueOnly).sound);
+  const auto bad =
+      CheckSoundness(m, AllowPolicy(2, VarSet{0}), domain, Observability::kValueOnly);
+  EXPECT_FALSE(bad.sound);
+  ASSERT_TRUE(bad.counterexample.has_value());
+  // The counterexample inputs agree on the allowed coordinate.
+  EXPECT_EQ(bad.counterexample->input_a[0], bad.counterexample->input_b[0]);
+}
+
+TEST(SoundnessTest, ReportCountsClasses) {
+  const Program q = MustCompile("program q(x0, x1) { y = x0; }");
+  const ProgramAsMechanism m{Program(q)};
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  const auto report =
+      CheckSoundness(m, AllowPolicy(2, VarSet{0}), domain, Observability::kValueOnly);
+  EXPECT_TRUE(report.sound);
+  EXPECT_EQ(report.inputs_checked, 9u);
+  EXPECT_EQ(report.policy_classes, 3u);
+  EXPECT_NE(report.ToString().find("SOUND"), std::string::npos);
+}
+
+// The Section 2 running-time example: Q(x) loops x times then outputs 1.
+// Constant as a value function, but its step count encodes x.
+std::shared_ptr<ProtectionMechanism> MakeTimingLoopMechanism() {
+  const Program q = MustCompile(
+      "program loop(x) { locals c; c = x; while (c != 0) { c = c - 1; } y = 1; }");
+  return std::make_shared<ProgramAsMechanism>(q);
+}
+
+TEST(ObservabilityPostulate, ConstantProgramSoundForValueOnly) {
+  const auto m = MakeTimingLoopMechanism();
+  const InputDomain domain = InputDomain::Range(1, 0, 4);
+  EXPECT_TRUE(
+      CheckSoundness(*m, AllowPolicy::AllowNone(1), domain, Observability::kValueOnly).sound);
+}
+
+TEST(ObservabilityPostulate, SameProgramUnsoundOnceTimeIsObservable) {
+  const auto m = MakeTimingLoopMechanism();
+  const InputDomain domain = InputDomain::Range(1, 0, 4);
+  const auto report =
+      CheckSoundness(*m, AllowPolicy::AllowNone(1), domain, Observability::kValueAndTime);
+  EXPECT_FALSE(report.sound);
+}
+
+// --- Completeness (Section 4) ---
+
+TEST(CompletenessTest, PlugIsLeastIdentityIsGreatest) {
+  const Program q = MustCompile("program q(x) { y = x; }");
+  const ProgramAsMechanism identity{Program(q)};
+  const PlugMechanism plug(1);
+  const InputDomain domain = InputDomain::Range(1, 0, 3);
+
+  const CompletenessStats stats = CompareCompleteness(identity, plug, domain);
+  EXPECT_EQ(stats.Relation(), CompletenessRelation::kFirstMore);
+  EXPECT_EQ(stats.first_only, 4u);
+  EXPECT_EQ(stats.both_value, 0u);
+  EXPECT_DOUBLE_EQ(stats.FirstUtility(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.SecondUtility(), 0.0);
+}
+
+TEST(CompletenessTest, EquivalentMechanisms) {
+  const PlugMechanism p1(1);
+  const PlugMechanism p2(1);
+  const InputDomain domain = InputDomain::Range(1, 0, 3);
+  EXPECT_EQ(CompareCompleteness(p1, p2, domain).Relation(),
+            CompletenessRelation::kEquivalent);
+}
+
+TEST(CompletenessTest, IncomparableMechanisms) {
+  // m1 answers on even inputs, m2 on odd.
+  auto on_parity = [](Value parity) {
+    return std::make_shared<FunctionMechanism>("parity", 1, [parity](InputView in) {
+      if ((in[0] % 2 + 2) % 2 == parity) {
+        return Outcome::Val(in[0], 1);
+      }
+      return Outcome::Violation(1);
+    });
+  };
+  const auto even = on_parity(0);
+  const auto odd = on_parity(1);
+  const InputDomain domain = InputDomain::Range(1, 0, 3);
+  EXPECT_EQ(CompareCompleteness(*even, *odd, domain).Relation(),
+            CompletenessRelation::kIncomparable);
+}
+
+TEST(CompletenessTest, MeasureUtility) {
+  const PlugMechanism plug(1);
+  const InputDomain domain = InputDomain::Range(1, 0, 9);
+  EXPECT_DOUBLE_EQ(MeasureUtility(plug, domain), 0.0);
+}
+
+// --- Theorem 1: the join of sound mechanisms is sound and an upper bound ---
+
+TEST(Theorem1, JoinIsUpperBoundAndSound) {
+  // Q(x0, x1) = x0 (computed two ways); policy allow(0).
+  // m_even releases on even x1 (violates otherwise) — NOT sound.
+  // Instead build two sound mechanisms with different coverage:
+  //   m_zero releases only when x0 == 0; m_pos releases only when x0 > 0.
+  auto make = [](auto release_if) {
+    return std::make_shared<FunctionMechanism>("partial", 2,
+                                               [release_if](InputView in) {
+                                                 if (release_if(in[0])) {
+                                                   return Outcome::Val(in[0], 1);
+                                                 }
+                                                 return Outcome::Violation(1);
+                                               });
+  };
+  const auto m_zero = make([](Value x) { return x == 0; });
+  const auto m_pos = make([](Value x) { return x > 0; });
+  const AllowPolicy policy(2, VarSet{0});
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+
+  ASSERT_TRUE(CheckSoundness(*m_zero, policy, domain, Observability::kValueOnly).sound);
+  ASSERT_TRUE(CheckSoundness(*m_pos, policy, domain, Observability::kValueOnly).sound);
+
+  const auto joined = Join(m_zero, m_pos);
+  EXPECT_TRUE(CheckSoundness(*joined, policy, domain, Observability::kValueOnly).sound);
+
+  // M1 v M2 >= M1 and >= M2.
+  const auto vs1 = CompareCompleteness(*joined, *m_zero, domain);
+  const auto vs2 = CompareCompleteness(*joined, *m_pos, domain);
+  EXPECT_EQ(vs1.second_only, 0u);
+  EXPECT_EQ(vs2.second_only, 0u);
+  // And here strictly more complete than each member.
+  EXPECT_EQ(vs1.Relation(), CompletenessRelation::kFirstMore);
+  EXPECT_EQ(vs2.Relation(), CompletenessRelation::kFirstMore);
+}
+
+TEST(Theorem1, JoinReleasesWhereAnyMemberReleases) {
+  const auto always = std::make_shared<FunctionMechanism>(
+      "always", 1, [](InputView in) { return Outcome::Val(in[0], 1); });
+  const auto never = std::make_shared<PlugMechanism>(1);
+  const auto joined = Join(never, always);
+  EXPECT_TRUE(joined->Run(Input{7}).IsValue());
+  EXPECT_EQ(joined->Run(Input{7}).value, 7);
+
+  const auto both_never = Join(never, std::make_shared<PlugMechanism>(1));
+  EXPECT_TRUE(both_never->Run(Input{7}).IsViolation());
+}
+
+TEST(Theorem1, JoinOfManyMembers) {
+  std::vector<std::shared_ptr<const ProtectionMechanism>> members;
+  for (Value target = 0; target < 4; ++target) {
+    members.push_back(std::make_shared<FunctionMechanism>(
+        "only" + std::to_string(target), 1, [target](InputView in) {
+          return in[0] == target ? Outcome::Val(in[0], 1) : Outcome::Violation(1);
+        }));
+  }
+  const JoinMechanism joined(members);
+  for (Value x = 0; x < 4; ++x) {
+    EXPECT_TRUE(joined.Run(Input{x}).IsValue());
+  }
+  EXPECT_TRUE(joined.Run(Input{9}).IsViolation());
+  EXPECT_NE(joined.name().find(" v "), std::string::npos);
+}
+
+// --- Theorem 2 (finite form): the synthesized maximal mechanism dominates ---
+
+TEST(Theorem2, MaximalReleasesExactlyConstantClasses) {
+  // Q(x0, x1) = x0 * 0 + (x1 == x1 ? 5 : 0) = 5 — constant; allow().
+  const Program constant = MustCompile("program c(x0) { y = 5; }");
+  const ProgramAsMechanism q{Program(constant)};
+  const InputDomain domain = InputDomain::Range(1, 0, 3);
+  const auto synth = SynthesizeMaximalMechanism(q, AllowPolicy::AllowNone(1), domain,
+                                                Observability::kValueOnly);
+  EXPECT_EQ(synth.policy_classes, 1u);
+  EXPECT_EQ(synth.released_classes, 1u);
+  EXPECT_TRUE(synth.mechanism->Run(Input{2}).IsValue());
+}
+
+TEST(Theorem2, MaximalIsSoundAndDominatesEverySoundMechanismWeTry) {
+  const Program q_src = MustCompile("program q(x0, x1) { y = x0 + (x1 - x1); }");
+  const ProgramAsMechanism q{Program(q_src)};
+  const AllowPolicy policy(2, VarSet{0});
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+
+  const auto synth =
+      SynthesizeMaximalMechanism(q, policy, domain, Observability::kValueOnly);
+  EXPECT_TRUE(
+      CheckSoundness(*synth.mechanism, policy, domain, Observability::kValueOnly).sound);
+  // Q depends only on x0, so every class is constant and maximal == Q.
+  EXPECT_EQ(synth.released_classes, synth.policy_classes);
+
+  const PlugMechanism plug(2);
+  const auto stats = CompareCompleteness(*synth.mechanism, plug, domain);
+  EXPECT_EQ(stats.second_only, 0u);
+}
+
+TEST(Theorem2, MaximalUnderTimeRequiresConstantSteps) {
+  // Value constant, steps vary with the hidden input: under kValueAndTime
+  // the class is not constant, so nothing is released.
+  const Program loop = MustCompile(
+      "program loop(x) { locals c; c = x; while (c != 0) { c = c - 1; } y = 1; }");
+  const ProgramAsMechanism q{Program(loop)};
+  const InputDomain domain = InputDomain::Range(1, 0, 3);
+
+  const auto value_only = SynthesizeMaximalMechanism(q, AllowPolicy::AllowNone(1), domain,
+                                                     Observability::kValueOnly);
+  EXPECT_EQ(value_only.released_classes, 1u);
+
+  const auto with_time = SynthesizeMaximalMechanism(q, AllowPolicy::AllowNone(1), domain,
+                                                    Observability::kValueAndTime);
+  EXPECT_EQ(with_time.released_classes, 0u);
+  EXPECT_TRUE(CheckSoundness(*with_time.mechanism, AllowPolicy::AllowNone(1), domain,
+                             Observability::kValueAndTime)
+                  .sound);
+}
+
+// "The sound protection mechanisms form a lattice" — join and meet laws.
+TEST(MechanismLatticeTest, MeetIsSoundLowerBound) {
+  auto make = [](auto release_if) {
+    return std::make_shared<FunctionMechanism>("partial", 2,
+                                               [release_if](InputView in) {
+                                                 if (release_if(in[0])) {
+                                                   return Outcome::Val(in[0], 1);
+                                                 }
+                                                 return Outcome::Violation(1);
+                                               });
+  };
+  const auto m_small = make([](Value x) { return x <= 1; });
+  const auto m_even = make([](Value x) { return x % 2 == 0; });
+  const AllowPolicy policy(2, VarSet{0});
+  const InputDomain domain = InputDomain::Range(2, 0, 3);
+
+  ASSERT_TRUE(CheckSoundness(*m_small, policy, domain, Observability::kValueOnly).sound);
+  ASSERT_TRUE(CheckSoundness(*m_even, policy, domain, Observability::kValueOnly).sound);
+
+  const auto met = Meet(m_small, m_even);
+  EXPECT_TRUE(CheckSoundness(*met, policy, domain, Observability::kValueOnly).sound);
+  // Lower bound: each member is at least as complete as the meet.
+  EXPECT_EQ(CompareCompleteness(*m_small, *met, domain).second_only, 0u);
+  EXPECT_EQ(CompareCompleteness(*m_even, *met, domain).second_only, 0u);
+  // Releases exactly on the intersection: x = 0 only.
+  EXPECT_TRUE(met->Run(Input{0, 0}).IsValue());
+  EXPECT_TRUE(met->Run(Input{1, 0}).IsViolation());  // odd
+  EXPECT_TRUE(met->Run(Input{2, 0}).IsViolation());  // > 1
+  EXPECT_NE(met->name().find(" ^ "), std::string::npos);
+}
+
+TEST(MechanismLatticeTest, AbsorptionOnValueSets) {
+  // join(m, meet(m, n)) releases exactly where m does (and dually).
+  auto make = [](auto release_if) {
+    return std::make_shared<FunctionMechanism>("partial", 1,
+                                               [release_if](InputView in) {
+                                                 if (release_if(in[0])) {
+                                                   return Outcome::Val(in[0], 1);
+                                                 }
+                                                 return Outcome::Violation(1);
+                                               });
+  };
+  const auto m = make([](Value x) { return x < 2; });
+  const auto n = make([](Value x) { return x % 2 == 0; });
+  const InputDomain domain = InputDomain::Range(1, 0, 4);
+
+  const auto join_absorb = Join(m, Meet(m, n));
+  EXPECT_EQ(CompareCompleteness(*join_absorb, *m, domain).Relation(),
+            CompletenessRelation::kEquivalent);
+  const auto meet_absorb = Meet(m, Join(m, n));
+  EXPECT_EQ(CompareCompleteness(*meet_absorb, *m, domain).Relation(),
+            CompletenessRelation::kEquivalent);
+}
+
+TEST(TableMechanismTest, StoresAndReplaysOutcomes) {
+  TableMechanism table("t", 1);
+  table.Set(Input{0}, Outcome::Val(5, 1));
+  table.Set(Input{1}, Outcome::Violation(0));
+  EXPECT_EQ(table.table_size(), 2u);
+  EXPECT_TRUE(table.Run(Input{0}).IsValue());
+  EXPECT_TRUE(table.Run(Input{1}).IsViolation());
+}
+
+TEST(ProgramAsMechanismTest, FuelExhaustionBecomesViolation) {
+  const Program loop = MustCompile(
+      "program diverge(x) { locals c; c = 0 - 1; while (c != 0) { c = c - 1; } }");
+  const ProgramAsMechanism m(Program(loop), /*fuel=*/50);
+  EXPECT_TRUE(m.Run(Input{0}).IsViolation());
+}
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,101 @@
+// Tests for the flowchart optimizer: semantic preservation (including step
+// counts) and the never-less-complete guarantee for surveillance.
+
+#include <gtest/gtest.h>
+
+#include "src/corpus/generator.h"
+#include "src/flowchart/interpreter.h"
+#include "src/flowchart/optimize.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/domain.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+TEST(OptimizeTest, SimplifiesAssignments) {
+  const Program q = MustCompile("program q(a) { y = a * 1 + 0; }");
+  OptimizeStats stats;
+  const Program opt = OptimizeProgram(q, &stats);
+  EXPECT_EQ(stats.expressions_simplified, 1);
+  // The simplified expression is just `a`.
+  bool found = false;
+  for (int b = 0; b < opt.num_boxes(); ++b) {
+    if (opt.box(b).kind == Box::Kind::kAssign) {
+      EXPECT_TRUE(opt.box(b).expr.StructurallyEquals(V(0)));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OptimizeTest, FoldsConstantDecisions) {
+  // The corpus loop scaffold emits `if (1) { ... }`.
+  const Program q = MustCompile("program q(a) { if (1 == 1) { y = a; } else { y = 9; } }");
+  OptimizeStats stats;
+  const Program opt = OptimizeProgram(q, &stats);
+  EXPECT_EQ(stats.predicates_folded, 1);
+  EXPECT_EQ(RunProgram(opt, Input{4}).output, 4);
+  // Step counts are preserved: the folded decision still costs its step.
+  EXPECT_EQ(RunProgram(opt, Input{4}).steps, RunProgram(q, Input{4}).steps);
+}
+
+TEST(OptimizeTest, PreservesValidity) {
+  const Program q = MustCompile(
+      "program q(a) { locals c; c = 2; while (c != 0) { y = y + a * 1; c = c - 1; } }");
+  const Program opt = OptimizeProgram(q);
+  EXPECT_TRUE(opt.Validate().ok());
+}
+
+class OptimizePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizePropertyTest, ExecutionIdenticalIncludingSteps) {
+  CorpusConfig config;
+  config.num_inputs = 3;
+  const Program q = Lower(GenerateProgram(config, GetParam(), "opt"));
+  const Program opt = OptimizeProgram(q);
+  ASSERT_TRUE(opt.Validate().ok());
+  InputDomain::Uniform(3, {-2, 0, 1, 3}).ForEach([&](InputView input) {
+    const ExecResult ref = RunProgram(q, input);
+    const ExecResult got = RunProgram(opt, input);
+    ASSERT_EQ(ref.output, got.output) << "seed " << GetParam() << FormatInput(input);
+    ASSERT_EQ(ref.steps, got.steps) << "seed " << GetParam() << FormatInput(input);
+    ASSERT_EQ(ref.halt_box, got.halt_box) << "seed " << GetParam() << FormatInput(input);
+  });
+}
+
+TEST_P(OptimizePropertyTest, SurveillanceNeverLessComplete) {
+  CorpusConfig config;
+  config.num_inputs = 2;
+  const Program q = Lower(GenerateProgram(config, GetParam(), "opt"));
+  const Program opt = OptimizeProgram(q);
+  const VarSet allowed{0};
+  const SurveillanceMechanism before = MakeSurveillanceM(Program(q), allowed);
+  const SurveillanceMechanism after = MakeSurveillanceM(Program(opt), allowed);
+  const InputDomain domain = InputDomain::Uniform(2, {0, 1, 2});
+  EXPECT_EQ(CompareCompleteness(after, before, domain).second_only, 0u)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, OptimizePropertyTest,
+                         ::testing::Range<std::uint64_t>(9000, 9040));
+
+TEST(OptimizeTest, CanUnlockSurveillanceReleases) {
+  // `y = sec * 0 + pub` depends only on pub semantically, but the label of
+  // the raw expression includes sec. Simplification drops the dead term.
+  const Program q = MustCompile("program q(pub, sec) { y = sec * 0 + pub; }");
+  const VarSet allowed{0};
+  const SurveillanceMechanism before = MakeSurveillanceM(Program(q), allowed);
+  EXPECT_TRUE(before.Run(Input{5, 9}).IsViolation());
+
+  const Program opt = OptimizeProgram(q);
+  const SurveillanceMechanism after = MakeSurveillanceM(Program(opt), allowed);
+  const Outcome o = after.Run(Input{5, 9});
+  ASSERT_TRUE(o.IsValue());
+  EXPECT_EQ(o.value, 5);
+}
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,204 @@
+// Tests for policy comparison (RevealsAtMost), the product policy, and the
+// aggregate-sum policy — including the antitonicity of soundness in
+// disclosure and Theorem 2 machinery on a beyond-allow policy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/flowlang/lower.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/policy_compare.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/policy/refinement.h"
+#include "src/surveillance/surveillance.h"
+
+namespace secpol {
+namespace {
+
+TEST(RevealsAtMostTest, AllowPoliciesOrderBySubset) {
+  const InputDomain domain = InputDomain::Range(3, 0, 2);
+  const VarSet sets[] = {VarSet::Empty(), VarSet{0}, VarSet{1}, VarSet{0, 1}, VarSet{0, 1, 2}};
+  for (const VarSet j1 : sets) {
+    for (const VarSet j2 : sets) {
+      const AllowPolicy p1(3, j1);
+      const AllowPolicy p2(3, j2);
+      EXPECT_EQ(RevealsAtMost(p1, p2, domain), j1.SubsetOf(j2))
+          << p1.name() << " vs " << p2.name();
+    }
+  }
+}
+
+TEST(RevealsAtMostTest, SumRevealsAtMostIdentityButNotConversely) {
+  const InputDomain domain = InputDomain::Range(2, 0, 3);
+  const AggregateSumPolicy sum(2);
+  const AllowPolicy all = AllowPolicy::AllowAll(2);
+  EXPECT_TRUE(RevealsAtMost(sum, all, domain));
+  EXPECT_FALSE(RevealsAtMost(all, sum, domain));
+}
+
+TEST(RevealsAtMostTest, ReflexiveAndTransitive) {
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  const AllowPolicy a = AllowPolicy::AllowNone(2);
+  const AllowPolicy b(2, VarSet{0});
+  const AllowPolicy c = AllowPolicy::AllowAll(2);
+  EXPECT_TRUE(RevealsAtMost(b, b, domain));
+  EXPECT_TRUE(RevealsAtMost(a, b, domain));
+  EXPECT_TRUE(RevealsAtMost(b, c, domain));
+  EXPECT_TRUE(RevealsAtMost(a, c, domain));
+}
+
+TEST(RevealsAtMostTest, SoundnessIsAntitoneInDisclosure) {
+  // M sound for the stricter policy => sound for anything it reveals at
+  // most. Surveillance with allow(0) is sound for allow(0); allow(0)
+  // reveals at most allow(0,1); hence sound for allow(0,1) too.
+  const Program q = MustCompile("program q(a, b) { y = a + 1; }");
+  const SurveillanceMechanism m = MakeSurveillanceM(Program(q), VarSet{0});
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  const AllowPolicy strict(2, VarSet{0});
+  const AllowPolicy loose = AllowPolicy::AllowAll(2);
+  ASSERT_TRUE(RevealsAtMost(strict, loose, domain));
+  ASSERT_TRUE(CheckSoundness(m, strict, domain, Observability::kValueOnly).sound);
+  EXPECT_TRUE(CheckSoundness(m, loose, domain, Observability::kValueOnly).sound);
+}
+
+TEST(ProductPolicyTest, ClassesAreCommonRefinement) {
+  const auto p = std::make_shared<AllowPolicy>(2, VarSet{0});
+  const auto q = std::make_shared<AggregateSumPolicy>(2);
+  const ProductPolicy product(p, q);
+  // (0,2) and (0,1): same p-image (x0 = 0), different sums -> distinct.
+  EXPECT_NE(product.Image(Input{0, 2}), product.Image(Input{0, 1}));
+  // (0,2) and (1,1): same sum, different x0 -> distinct.
+  EXPECT_NE(product.Image(Input{0, 2}), product.Image(Input{1, 1}));
+  // Identical inputs -> identical images.
+  EXPECT_EQ(product.Image(Input{1, 2}), product.Image(Input{1, 2}));
+  EXPECT_NE(product.name().find("*"), std::string::npos);
+}
+
+TEST(ProductPolicyTest, BothConstituentsRevealAtMostTheProduct) {
+  const InputDomain domain = InputDomain::Range(2, 0, 3);
+  const auto p = std::make_shared<AllowPolicy>(2, VarSet{0});
+  const auto q = std::make_shared<AggregateSumPolicy>(2);
+  const ProductPolicy product(p, q);
+  EXPECT_TRUE(RevealsAtMost(*p, product, domain));
+  EXPECT_TRUE(RevealsAtMost(*q, product, domain));
+}
+
+TEST(ProductPolicyTest, MechanismSoundForConstituentIsSoundForProduct) {
+  const Program q_prog = MustCompile("program q(a, b) { y = a; }");
+  const SurveillanceMechanism m = MakeSurveillanceM(Program(q_prog), VarSet{0});
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  const auto p1 = std::make_shared<AllowPolicy>(2, VarSet{0});
+  const auto p2 = std::make_shared<AggregateSumPolicy>(2);
+  ASSERT_TRUE(CheckSoundness(m, *p1, domain, Observability::kValueOnly).sound);
+  const ProductPolicy product(p1, p2);
+  EXPECT_TRUE(CheckSoundness(m, product, domain, Observability::kValueOnly).sound);
+}
+
+// --- The aggregate-sum policy exercises the full generality of Theorem 2 ---
+
+TEST(AggregateSumTest, SumProgramIsSoundForIt) {
+  const Program q = MustCompile("program q(a, b) { y = a + b; }");
+  const ProgramAsMechanism m{Program(q)};
+  const AggregateSumPolicy policy(2);
+  EXPECT_TRUE(CheckSoundness(m, policy, InputDomain::Range(2, 0, 3),
+                             Observability::kValueOnly)
+                  .sound);
+}
+
+TEST(AggregateSumTest, ProjectionIsNotSoundForIt) {
+  const Program q = MustCompile("program q(a, b) { y = a; }");
+  const ProgramAsMechanism m{Program(q)};
+  const AggregateSumPolicy policy(2);
+  EXPECT_FALSE(CheckSoundness(m, policy, InputDomain::Range(2, 0, 3),
+                              Observability::kValueOnly)
+                   .sound);
+}
+
+TEST(AggregateSumTest, LabelMechanismsCannotExpressIt) {
+  // Surveillance labels track which inputs flowed, not what function of
+  // them: even the sum program — perfectly sound for the policy — violates
+  // under any allow(J) proxy that tries to stand in for the aggregate.
+  const Program q = MustCompile("program q(a, b) { y = a + b; }");
+  const SurveillanceMechanism none = MakeSurveillanceM(Program(q), VarSet::Empty());
+  EXPECT_TRUE(none.Run(Input{1, 2}).IsViolation());
+}
+
+TEST(AggregateSumTest, MaximalSynthesisHandlesIt) {
+  // Theorem 2's construction is policy-agnostic: classes are sum-fibers, Q
+  // is constant on each, so the maximal mechanism releases everywhere.
+  const Program q = MustCompile("program q(a, b) { y = a + b; }");
+  const ProgramAsMechanism bare{Program(q)};
+  const AggregateSumPolicy policy(2);
+  const InputDomain domain = InputDomain::Range(2, 0, 3);
+  const auto synth =
+      SynthesizeMaximalMechanism(bare, policy, domain, Observability::kValueOnly);
+  EXPECT_EQ(synth.released_classes, synth.policy_classes);
+  EXPECT_EQ(synth.policy_classes, 7u);  // sums 0..6
+  EXPECT_TRUE(
+      CheckSoundness(*synth.mechanism, policy, domain, Observability::kValueOnly).sound);
+
+  // And for a program NOT constant on sum-fibers, maximal releases nothing
+  // on the mixed fibers but stays sound.
+  const Program proj = MustCompile("program p(a, b) { y = a; }");
+  const ProgramAsMechanism bare_proj{Program(proj)};
+  const auto synth_proj =
+      SynthesizeMaximalMechanism(bare_proj, policy, domain, Observability::kValueOnly);
+  EXPECT_LT(synth_proj.released_classes, synth_proj.policy_classes);
+  EXPECT_TRUE(CheckSoundness(*synth_proj.mechanism, policy, domain,
+                             Observability::kValueOnly)
+                  .sound);
+}
+
+// --- History-dependent enforcement end to end (QueryBudgetPolicy) ---
+
+TEST(QueryBudgetTest, BudgetRespectingMechanismIsSound) {
+  // Inputs: (s0, s1, budget). The mechanism answers the sum of the first
+  // min(budget, 2) secrets — exactly the policy image, so it is sound.
+  const QueryBudgetPolicy policy(2);
+  const FunctionMechanism m("budgeted-sum", 3, [](InputView in) {
+    const Value budget = std::clamp<Value>(in[2], 0, 2);
+    Value sum = 0;
+    for (Value i = 0; i < budget; ++i) {
+      sum += in[static_cast<size_t>(i)];
+    }
+    return Outcome::Val(sum, 3);
+  });
+  const InputDomain domain = InputDomain::PerInput({{0, 1, 2}, {0, 1, 2}, {0, 1, 2, 9}});
+  EXPECT_TRUE(CheckSoundness(m, policy, domain, Observability::kValueOnly).sound);
+}
+
+TEST(QueryBudgetTest, BudgetIgnoringMechanismIsUnsound) {
+  // Answers both secrets regardless of the budget: leaks when budget < 2.
+  const QueryBudgetPolicy policy(2);
+  const FunctionMechanism m("greedy-sum", 3, [](InputView in) {
+    return Outcome::Val(in[0] + 10 * in[1], 3);
+  });
+  const InputDomain domain = InputDomain::PerInput({{0, 1, 2}, {0, 1, 2}, {0, 1, 2}});
+  const auto report = CheckSoundness(m, policy, domain, Observability::kValueOnly);
+  EXPECT_FALSE(report.sound);
+  // The counterexample must involve a budget below 2.
+  ASSERT_TRUE(report.counterexample.has_value());
+  EXPECT_LT(report.counterexample->input_a[2], 2);
+}
+
+TEST(QueryBudgetTest, MaximalSynthesisRespectsHistoryClasses) {
+  const QueryBudgetPolicy policy(2);
+  const FunctionMechanism q("greedy-sum", 3, [](InputView in) {
+    return Outcome::Val(in[0] + 10 * in[1], 3);
+  });
+  const InputDomain domain = InputDomain::PerInput({{0, 1}, {0, 1}, {0, 1, 2}});
+  const auto synth =
+      SynthesizeMaximalMechanism(q, policy, domain, Observability::kValueOnly);
+  EXPECT_TRUE(
+      CheckSoundness(*synth.mechanism, policy, domain, Observability::kValueOnly).sound);
+  // Full-budget classes are singletons (everything revealed): released.
+  EXPECT_GT(synth.released_classes, 0u);
+  // Low-budget classes collapse distinct secrets: not all released.
+  EXPECT_LT(synth.released_classes, synth.policy_classes);
+}
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,94 @@
+// Unit tests for security policies.
+
+#include <gtest/gtest.h>
+
+#include "src/policy/policy.h"
+
+namespace secpol {
+namespace {
+
+TEST(AllowPolicyTest, ProjectsAllowedCoordinates) {
+  const AllowPolicy policy(4, VarSet{0, 2});
+  const Input input = {10, 20, 30, 40};
+  EXPECT_EQ(policy.Image(input), (PolicyImage{10, 30}));
+  EXPECT_EQ(policy.num_inputs(), 4);
+}
+
+TEST(AllowPolicyTest, AllowNoneErasesEverything) {
+  const AllowPolicy policy = AllowPolicy::AllowNone(3);
+  EXPECT_EQ(policy.Image(Input{1, 2, 3}), PolicyImage{});
+  EXPECT_EQ(policy.Image(Input{7, 8, 9}), PolicyImage{});
+  EXPECT_EQ(policy.name(), "allow()");
+}
+
+TEST(AllowPolicyTest, AllowAllIsIdentity) {
+  const AllowPolicy policy = AllowPolicy::AllowAll(3);
+  const Input input = {1, 2, 3};
+  EXPECT_EQ(policy.Image(input), (PolicyImage{1, 2, 3}));
+}
+
+TEST(AllowPolicyTest, DeniedComplement) {
+  const AllowPolicy policy(4, VarSet{1});
+  EXPECT_EQ(policy.denied(), (VarSet{0, 2, 3}));
+}
+
+TEST(AllowPolicyTest, NameListsCoordinates) {
+  EXPECT_EQ(AllowPolicy(4, VarSet{1, 3}).name(), "allow(1,3)");
+}
+
+TEST(AllowPolicyTest, EquivalenceClassesAreProjectionFibers) {
+  const AllowPolicy policy(2, VarSet{0});
+  EXPECT_EQ(policy.Image(Input{5, 1}), policy.Image(Input{5, 9}));
+  EXPECT_NE(policy.Image(Input{5, 1}), policy.Image(Input{6, 1}));
+}
+
+TEST(DirectoryGatedPolicyTest, GrantsRevealFiles) {
+  // 2 files: dirs = (1, 0), files = (7, 9).
+  const DirectoryGatedPolicy policy(2, /*grant_value=*/1);
+  EXPECT_EQ(policy.num_inputs(), 4);
+  EXPECT_EQ(policy.Image(Input{1, 0, 7, 9}), (PolicyImage{1, 0, 7, 0}));
+  EXPECT_EQ(policy.Image(Input{0, 1, 7, 9}), (PolicyImage{0, 1, 0, 9}));
+  EXPECT_EQ(policy.Image(Input{1, 1, 7, 9}), (PolicyImage{1, 1, 7, 9}));
+  EXPECT_EQ(policy.Image(Input{0, 0, 7, 9}), (PolicyImage{0, 0, 0, 0}));
+}
+
+TEST(DirectoryGatedPolicyTest, DeniedFileContentsAreEquivalent) {
+  const DirectoryGatedPolicy policy(1, 1);
+  // Directory denies: different contents, same image.
+  EXPECT_EQ(policy.Image(Input{0, 5}), policy.Image(Input{0, 42}));
+  // Directory grants: contents distinguish.
+  EXPECT_NE(policy.Image(Input{1, 5}), policy.Image(Input{1, 42}));
+}
+
+TEST(DirectoryGatedPolicyTest, NotOfAllowForm) {
+  // The set of revealed coordinates depends on the input itself — the
+  // defining feature distinguishing it from every allow(J).
+  const DirectoryGatedPolicy policy(1, 1);
+  const PolicyImage granted = policy.Image(Input{1, 5});
+  const PolicyImage denied = policy.Image(Input{0, 5});
+  EXPECT_NE(granted, denied);
+  EXPECT_EQ(granted[1], 5);
+  EXPECT_EQ(denied[1], 0);
+}
+
+TEST(QueryBudgetPolicyTest, BudgetControlsVisibility) {
+  const QueryBudgetPolicy policy(3);
+  EXPECT_EQ(policy.num_inputs(), 4);
+  EXPECT_EQ(policy.Image(Input{10, 20, 30, 0}), (PolicyImage{0, 0, 0, 0}));
+  EXPECT_EQ(policy.Image(Input{10, 20, 30, 2}), (PolicyImage{10, 20, 0, 2}));
+  EXPECT_EQ(policy.Image(Input{10, 20, 30, 3}), (PolicyImage{10, 20, 30, 3}));
+}
+
+TEST(QueryBudgetPolicyTest, BudgetClamped) {
+  const QueryBudgetPolicy policy(2);
+  EXPECT_EQ(policy.Image(Input{1, 2, 99}), (PolicyImage{1, 2, 99}));
+  EXPECT_EQ(policy.Image(Input{1, 2, -5}), (PolicyImage{0, 0, -5}));
+}
+
+TEST(QueryBudgetPolicyTest, BudgetItselfAlwaysVisible) {
+  const QueryBudgetPolicy policy(1);
+  EXPECT_NE(policy.Image(Input{5, 0}), policy.Image(Input{5, 1}));
+}
+
+}  // namespace
+}  // namespace secpol

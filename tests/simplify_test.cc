@@ -1,0 +1,142 @@
+// Tests for the expression simplifier: identities, folding, and the
+// semantics-preservation property over random expressions.
+
+#include <gtest/gtest.h>
+
+#include "src/expr/expr.h"
+#include "src/expr/simplify.h"
+#include "src/util/rng.h"
+
+namespace secpol {
+namespace {
+
+TEST(SimplifyTest, ConstantFolding) {
+  EXPECT_TRUE(Simplify(Add(C(2), C(3))).StructurallyEquals(C(5)));
+  EXPECT_TRUE(Simplify(Mul(Add(C(1), C(1)), C(4))).StructurallyEquals(C(8)));
+  EXPECT_TRUE(Simplify(Expr::Unary(UnaryOp::kNeg, C(7))).StructurallyEquals(C(-7)));
+  // Total semantics fold too.
+  EXPECT_TRUE(Simplify(Expr::Binary(BinaryOp::kDiv, C(5), C(0))).StructurallyEquals(C(0)));
+}
+
+TEST(SimplifyTest, AdditiveIdentities) {
+  EXPECT_TRUE(Simplify(Add(V(0), C(0))).StructurallyEquals(V(0)));
+  EXPECT_TRUE(Simplify(Add(C(0), V(0))).StructurallyEquals(V(0)));
+  EXPECT_TRUE(Simplify(Sub(V(0), C(0))).StructurallyEquals(V(0)));
+  EXPECT_TRUE(Simplify(Sub(V(3), V(3))).StructurallyEquals(C(0)));
+}
+
+TEST(SimplifyTest, MultiplicativeIdentities) {
+  EXPECT_TRUE(Simplify(Mul(V(0), C(1))).StructurallyEquals(V(0)));
+  EXPECT_TRUE(Simplify(Mul(V(0), C(0))).StructurallyEquals(C(0)));
+  EXPECT_TRUE(Simplify(Expr::Binary(BinaryOp::kDiv, V(0), C(1))).StructurallyEquals(V(0)));
+  EXPECT_TRUE(Simplify(Expr::Binary(BinaryOp::kMod, V(0), C(1))).StructurallyEquals(C(0)));
+}
+
+TEST(SimplifyTest, BitwiseIdentities) {
+  EXPECT_TRUE(
+      Simplify(Expr::Binary(BinaryOp::kBitOr, V(0), C(0))).StructurallyEquals(V(0)));
+  EXPECT_TRUE(
+      Simplify(Expr::Binary(BinaryOp::kBitAnd, V(0), C(0))).StructurallyEquals(C(0)));
+  EXPECT_TRUE(
+      Simplify(Expr::Binary(BinaryOp::kBitAnd, V(0), C(-1))).StructurallyEquals(V(0)));
+  EXPECT_TRUE(
+      Simplify(Expr::Binary(BinaryOp::kBitXor, V(2), V(2))).StructurallyEquals(C(0)));
+}
+
+TEST(SimplifyTest, ComparisonOfEqualOperands) {
+  EXPECT_TRUE(Simplify(Eq(V(1), V(1))).StructurallyEquals(C(1)));
+  EXPECT_TRUE(Simplify(Ne(V(1), V(1))).StructurallyEquals(C(0)));
+  EXPECT_TRUE(Simplify(Lt(V(1), V(1))).StructurallyEquals(C(0)));
+  EXPECT_TRUE(
+      Simplify(Expr::Binary(BinaryOp::kMin, V(1), V(1))).StructurallyEquals(V(1)));
+}
+
+TEST(SimplifyTest, LogicalShortCircuits) {
+  EXPECT_TRUE(Simplify(Expr::Binary(BinaryOp::kAnd, C(0), V(0))).StructurallyEquals(C(0)));
+  EXPECT_TRUE(Simplify(Expr::Binary(BinaryOp::kOr, C(3), V(0))).StructurallyEquals(C(1)));
+  // true && x normalizes to a truth test, not x itself (x may not be 0/1).
+  const Expr normalized = Simplify(Expr::Binary(BinaryOp::kAnd, C(1), V(0)));
+  EXPECT_EQ(normalized.Eval(std::vector<Value>{5}), 1);
+  EXPECT_EQ(normalized.Eval(std::vector<Value>{0}), 0);
+}
+
+TEST(SimplifyTest, SelectRules) {
+  EXPECT_TRUE(Simplify(Expr::Select(C(1), V(0), V(1))).StructurallyEquals(V(0)));
+  EXPECT_TRUE(Simplify(Expr::Select(C(0), V(0), V(1))).StructurallyEquals(V(1)));
+  // Example 7's rule: equal arms drop the condition AND its dependencies.
+  const Expr collapsed = Simplify(Expr::Select(V(9), Add(V(0), C(0)), V(0)));
+  EXPECT_TRUE(collapsed.StructurallyEquals(V(0)));
+  EXPECT_FALSE(collapsed.FreeVars().Contains(9));
+}
+
+TEST(SimplifyTest, DoubleNegation) {
+  const Expr e = Expr::Unary(UnaryOp::kNeg, Expr::Unary(UnaryOp::kNeg, V(2)));
+  EXPECT_TRUE(Simplify(e).StructurallyEquals(V(2)));
+}
+
+TEST(SimplifyTest, NestedSimplificationCascades) {
+  // select(c, x*1 + 0, x) -> select(c, x, x) -> x.
+  const Expr e = Expr::Select(V(1), Add(Mul(V(0), C(1)), C(0)), V(0));
+  EXPECT_TRUE(Simplify(e).StructurallyEquals(V(0)));
+}
+
+// --- Property: semantics preserved, size never grows ---
+
+Expr RandomExpr(Rng& rng, int depth, int num_vars) {
+  if (depth <= 0 || rng.Chance(30, 100)) {
+    if (rng.Chance(50, 100)) {
+      return Expr::Const(rng.NextInRange(-4, 4));
+    }
+    return Expr::Var(static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(num_vars))));
+  }
+  const int shape = static_cast<int>(rng.NextBelow(10));
+  if (shape == 0) {
+    return Expr::Unary(rng.Chance(50, 100) ? UnaryOp::kNeg : UnaryOp::kNot,
+                       RandomExpr(rng, depth - 1, num_vars));
+  }
+  if (shape == 1) {
+    return Expr::Select(RandomExpr(rng, depth - 1, num_vars),
+                        RandomExpr(rng, depth - 1, num_vars),
+                        RandomExpr(rng, depth - 1, num_vars));
+  }
+  static constexpr BinaryOp kOps[] = {
+      BinaryOp::kAdd,    BinaryOp::kSub,   BinaryOp::kMul,    BinaryOp::kDiv,
+      BinaryOp::kMod,    BinaryOp::kMin,   BinaryOp::kMax,    BinaryOp::kBitAnd,
+      BinaryOp::kBitOr,  BinaryOp::kBitXor, BinaryOp::kEq,    BinaryOp::kNe,
+      BinaryOp::kLt,     BinaryOp::kLe,    BinaryOp::kGt,     BinaryOp::kGe,
+      BinaryOp::kAnd,    BinaryOp::kOr,
+  };
+  return Expr::Binary(kOps[rng.NextBelow(std::size(kOps))], RandomExpr(rng, depth - 1, num_vars),
+                      RandomExpr(rng, depth - 1, num_vars));
+}
+
+class SimplifyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplifyPropertyTest, PreservesSemanticsAndNeverGrows) {
+  Rng rng(GetParam());
+  constexpr int kNumVars = 4;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Expr original = RandomExpr(rng, 4, kNumVars);
+    const Expr simplified = Simplify(original);
+    EXPECT_LE(simplified.NodeCount(), original.NodeCount());
+    // Evaluate over a sample of environments, including edge values.
+    for (int env_trial = 0; env_trial < 20; ++env_trial) {
+      std::vector<Value> env(kNumVars);
+      for (Value& v : env) {
+        v = env_trial < 3 ? (env_trial - 1) : rng.NextInRange(-100, 100);
+      }
+      ASSERT_EQ(original.Eval(env), simplified.Eval(env))
+          << original.ToString() << "  =/=>  " << simplified.ToString();
+    }
+    // Simplification never invents dependencies.
+    EXPECT_TRUE(simplified.FreeVars().SubsetOf(original.FreeVars()));
+    // Idempotence.
+    EXPECT_TRUE(Simplify(simplified).StructurallyEquals(simplified));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPropertyTest,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,336 @@
+// Tests for the surveillance mechanism family: Theorems 3 and 3', the
+// Section 4 witness programs, the high-water comparison, the unsound
+// naive-scoped discipline, and the instrumenter/interpreter agreement.
+
+#include <gtest/gtest.h>
+
+#include "src/corpus/generator.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/surveillance/instrument.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+// The Section 4 (p.48) witness separating surveillance from high-water mark:
+//   y = x1; if (x2 == 0) { y = x2; }
+// Policy allow(2) — in 0-based coordinates allow{1} (x2 is input 1).
+// Mh always outputs Lambda; Ms outputs Lambda only when x2 != 0.
+Program MakeForgettingWitness() {
+  return MustCompile("program witness(x1, x2) { y = x1; if (x2 == 0) { y = x2; } }");
+}
+
+// The Section 4 (p.49) witness showing surveillance is not maximal:
+// branch on x1, both arms assign the same constant. Q is constant, hence
+// sound as its own mechanism for allow(2); Ms always outputs Lambda.
+Program MakeNotMaximalWitness() {
+  return MustCompile(
+      "program witness(x1, x2) { if (x1 == 0) { y = 1; } else { y = 1; } }");
+}
+
+TEST(SurveillanceTest, TracksDirectFlows) {
+  const Program q = MustCompile("program q(a, b) { y = a + 1; }");
+  const SurveillanceMechanism allowed = MakeSurveillanceM(Program(q), VarSet{0});
+  const SurveillanceMechanism denied = MakeSurveillanceM(Program(q), VarSet{1});
+  EXPECT_TRUE(allowed.Run(Input{3, 9}).IsValue());
+  EXPECT_EQ(allowed.Run(Input{3, 9}).value, 4);
+  EXPECT_TRUE(denied.Run(Input{3, 9}).IsViolation());
+}
+
+TEST(SurveillanceTest, TracksImplicitFlowThroughPc) {
+  // y never reads x directly; the branch leaks it into the pc label.
+  const Program q = MustCompile("program q(x) { if (x == 0) { y = 1; } else { y = 2; } }");
+  const SurveillanceMechanism m = MakeSurveillanceM(Program(q), VarSet::Empty());
+  EXPECT_TRUE(m.Run(Input{0}).IsViolation());
+  EXPECT_TRUE(m.Run(Input{1}).IsViolation());
+}
+
+TEST(SurveillanceTest, PcLabelPersistsAfterJoin) {
+  // Monotone C-bar: even assignments after the join are tainted.
+  const Program q = MustCompile(
+      "program q(x) { locals r; if (x == 0) { r = 1; } else { r = 2; } y = 7; }");
+  const SurveillanceMechanism m = MakeSurveillanceM(Program(q), VarSet::Empty());
+  // y = 7 is a constant, but C-bar already contains x.
+  EXPECT_TRUE(m.Run(Input{0}).IsViolation());
+}
+
+TEST(SurveillanceTest, ForgettingOverwritesLabels) {
+  const Program q = MustCompile("program q(a, b) { y = a; y = b; }");
+  const SurveillanceMechanism m = MakeSurveillanceM(Program(q), VarSet{1});
+  EXPECT_TRUE(m.Run(Input{5, 6}).IsValue());
+  EXPECT_EQ(m.Run(Input{5, 6}).value, 6);
+}
+
+TEST(SurveillanceTest, TraceExposesLabels) {
+  const Program q = MustCompile("program q(a, b) { locals r; r = a; y = r + b; }");
+  const SurveillanceMechanism m = MakeSurveillanceM(Program(q), VarSet{0, 1});
+  const SurveillanceTrace trace = m.RunTraced(Input{1, 2});
+  EXPECT_TRUE(trace.outcome.IsValue());
+  const Program& p = m.program();
+  EXPECT_EQ(trace.labels[p.FindVar("r")], VarSet{0});
+  EXPECT_EQ(trace.labels[p.output_var()], (VarSet{0, 1}));
+  EXPECT_EQ(trace.pc_label, VarSet::Empty());
+}
+
+// --- Theorem 3: soundness when time is unobservable ---
+
+class SurveillanceSoundnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SurveillanceSoundnessTest, SoundOnRandomProgram) {
+  CorpusConfig config;
+  config.num_inputs = 3;
+  const SourceProgram source = GenerateProgram(config, GetParam(), "prog");
+  const Program q = Lower(source);
+  const InputDomain domain = InputDomain::Uniform(3, {-1, 0, 2});
+  // Try several policies per program.
+  for (const VarSet allowed : {VarSet::Empty(), VarSet{0}, VarSet{1, 2}, VarSet{0, 1, 2}}) {
+    const AllowPolicy policy(3, allowed);
+    const SurveillanceMechanism m = MakeSurveillanceM(Program(q), allowed);
+    const auto report = CheckSoundness(m, policy, domain, Observability::kValueOnly);
+    EXPECT_TRUE(report.sound) << "seed " << GetParam() << " policy " << policy.name() << "\n"
+                              << source.ToString() << report.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SurveillanceSoundnessTest,
+                         ::testing::Range<std::uint64_t>(1000, 1040));
+
+// --- Theorem 3': the timing-safe variant ---
+
+class MPrimeSoundnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MPrimeSoundnessTest, SoundEvenWithObservableTime) {
+  CorpusConfig config;
+  config.num_inputs = 3;
+  const SourceProgram source = GenerateProgram(config, GetParam(), "prog");
+  const Program q = Lower(source);
+  const InputDomain domain = InputDomain::Uniform(3, {-1, 0, 2});
+  for (const VarSet allowed : {VarSet::Empty(), VarSet{0}, VarSet{1, 2}}) {
+    const AllowPolicy policy(3, allowed);
+    const SurveillanceMechanism m = MakeSurveillanceMPrime(Program(q), allowed);
+    const auto report = CheckSoundness(m, policy, domain, Observability::kValueAndTime);
+    EXPECT_TRUE(report.sound) << "seed " << GetParam() << " policy " << policy.name() << "\n"
+                              << source.ToString() << report.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, MPrimeSoundnessTest,
+                         ::testing::Range<std::uint64_t>(2000, 2040));
+
+TEST(TimingTest, PlainSurveillanceUnsoundUnderObservableTime) {
+  // The loop program: M releases y = 1 always (labels empty — the loop
+  // condition taints C-bar... it tests c which derives from x, so it
+  // violates; use a program whose *only* leak is timing: loop on an allowed
+  // input, compute y from nothing).
+  const Program q = MustCompile(
+      "program loop(pub, sec) { locals c; c = pub * 0 + sec * 0 + pub; "
+      "while (c != 0) { c = c - 1; } y = 1; }");
+  // Hmm: loop counter derives from pub only; add a second, secret-driven
+  // loop to create the timing leak while keeping labels allowed:
+  const Program q2 = MustCompile(
+      "program loop2(pub, sec) { locals c; c = sec; while (c != 0) { c = c - 1; } y = 1; }");
+  (void)q;
+  const AllowPolicy policy(2, VarSet{0});
+  const InputDomain domain = InputDomain::PerInput({{0, 1}, {0, 1, 2, 3}});
+
+  // M releases the constant... it must NOT: the loop tests c (label {sec}),
+  // so C-bar gets tainted and M violates — uniformly. Check value-only
+  // soundness first:
+  const SurveillanceMechanism m = MakeSurveillanceM(Program(q2), VarSet{0});
+  EXPECT_TRUE(CheckSoundness(m, policy, domain, Observability::kValueOnly).sound);
+  // But the *time at which the violation is emitted* still depends on sec:
+  // M is unsound once time is observable. This is exactly why M' aborts
+  // before the first disallowed test.
+  EXPECT_FALSE(CheckSoundness(m, policy, domain, Observability::kValueAndTime).sound);
+
+  const SurveillanceMechanism mp = MakeSurveillanceMPrime(Program(q2), VarSet{0});
+  EXPECT_TRUE(CheckSoundness(mp, policy, domain, Observability::kValueAndTime).sound);
+}
+
+TEST(TimingTest, MPrimeAbortsBeforeDisallowedTest) {
+  const Program q = MustCompile(
+      "program q(sec) { locals c; c = sec; while (c != 0) { c = c - 1; } y = 1; }");
+  const SurveillanceMechanism mp = MakeSurveillanceMPrime(Program(q), VarSet::Empty());
+  const Outcome o1 = mp.Run(Input{1});
+  const Outcome o2 = mp.Run(Input{7});
+  EXPECT_TRUE(o1.IsViolation());
+  EXPECT_TRUE(o2.IsViolation());
+  // Identical timing regardless of the secret: the abort happens at the
+  // first test.
+  EXPECT_EQ(o1.steps, o2.steps);
+}
+
+// --- Section 4: surveillance vs high-water mark ---
+
+TEST(HighWaterTest, WitnessSeparatesMsFromMh) {
+  const Program q = MakeForgettingWitness();
+  const VarSet allowed{1};  // allow(x2)
+  const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), allowed);
+  const SurveillanceMechanism mh = MakeHighWaterMechanism(Program(q), allowed);
+
+  // "Mh always outputs Lambda; on the other hand, Ms outputs Lambda only
+  // when x2 != 0."
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  domain.ForEach([&](InputView input) {
+    EXPECT_TRUE(mh.Run(input).IsViolation()) << FormatInput(input);
+    EXPECT_EQ(ms.Run(input).IsValue(), input[1] == 0) << FormatInput(input);
+  });
+
+  const CompletenessStats stats = CompareCompleteness(ms, mh, domain);
+  EXPECT_EQ(stats.Relation(), CompletenessRelation::kFirstMore);
+}
+
+TEST(HighWaterTest, HighWaterIsSoundToo) {
+  CorpusConfig config;
+  config.num_inputs = 2;
+  const InputDomain domain = InputDomain::Uniform(2, {0, 1, 3});
+  for (std::uint64_t seed = 3000; seed < 3020; ++seed) {
+    const Program q = Lower(GenerateProgram(config, seed, "hw"));
+    const VarSet allowed{0};
+    const SurveillanceMechanism mh = MakeHighWaterMechanism(Program(q), allowed);
+    EXPECT_TRUE(CheckSoundness(mh, AllowPolicy(2, allowed), domain,
+                               Observability::kValueOnly)
+                    .sound)
+        << "seed " << seed;
+  }
+}
+
+TEST(HighWaterTest, SurveillanceAlwaysAtLeastAsCompleteOnCorpus) {
+  CorpusConfig config;
+  config.num_inputs = 2;
+  const InputDomain domain = InputDomain::Uniform(2, {0, 1, 3});
+  for (std::uint64_t seed = 3100; seed < 3130; ++seed) {
+    const Program q = Lower(GenerateProgram(config, seed, "cmp"));
+    const VarSet allowed{0};
+    const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), allowed);
+    const SurveillanceMechanism mh = MakeHighWaterMechanism(Program(q), allowed);
+    const CompletenessStats stats = CompareCompleteness(ms, mh, domain);
+    EXPECT_EQ(stats.second_only, 0u) << "seed " << seed;  // Ms >= Mh, always
+  }
+}
+
+// --- Section 4 (p.49): surveillance is not maximal ---
+
+TEST(NotMaximalTest, SurveillanceAlwaysViolatesOnWitness) {
+  const Program q = MakeNotMaximalWitness();
+  const VarSet allowed{1};  // allow(x2)
+  const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), allowed);
+  const InputDomain domain = InputDomain::Range(2, 0, 1);
+  domain.ForEach(
+      [&](InputView input) { EXPECT_TRUE(ms.Run(input).IsViolation()) << FormatInput(input); });
+}
+
+TEST(NotMaximalTest, QItselfIsSoundAndStrictlyMoreComplete) {
+  const Program q = MakeNotMaximalWitness();
+  const AllowPolicy policy(2, VarSet{1});
+  const InputDomain domain = InputDomain::Range(2, 0, 1);
+
+  const ProgramAsMechanism mmax{Program(q)};  // Q is constant: sound
+  EXPECT_TRUE(CheckSoundness(mmax, policy, domain, Observability::kValueOnly).sound);
+
+  const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), VarSet{1});
+  const CompletenessStats stats = CompareCompleteness(mmax, ms, domain);
+  EXPECT_EQ(stats.Relation(), CompletenessRelation::kFirstMore);
+
+  // And the synthesized maximal mechanism agrees with Q here.
+  const auto synth =
+      SynthesizeMaximalMechanism(mmax, policy, domain, Observability::kValueOnly);
+  EXPECT_EQ(synth.released_classes, synth.policy_classes);
+}
+
+// --- The naive scoped-pc discipline is unsound (E16) ---
+
+TEST(NaiveScopedTest, CheckerExhibitsTheImplicitFlowLeak) {
+  const Program q = MustCompile("program q(x) { if (x == 0) { y = 1; } }");
+  const SurveillanceMechanism naive(Program(q), VarSet::Empty(),
+                                    TimingMode::kTimeUnobservable,
+                                    LabelDiscipline::kNaiveScopedPc);
+  // x == 0: assignment under taint -> violation. x != 0: y untouched, pc
+  // restored at the join -> releases 0. The difference leaks x == 0.
+  EXPECT_TRUE(naive.Run(Input{0}).IsViolation());
+  EXPECT_TRUE(naive.Run(Input{1}).IsValue());
+
+  const auto report = CheckSoundness(naive, AllowPolicy::AllowNone(1),
+                                     InputDomain::Range(1, 0, 1), Observability::kValueOnly);
+  EXPECT_FALSE(report.sound);
+  ASSERT_TRUE(report.counterexample.has_value());
+}
+
+TEST(NaiveScopedTest, MonotonePcClosesTheLeak) {
+  const Program q = MustCompile("program q(x) { if (x == 0) { y = 1; } }");
+  const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), VarSet::Empty());
+  EXPECT_TRUE(CheckSoundness(ms, AllowPolicy::AllowNone(1), InputDomain::Range(1, 0, 1),
+                             Observability::kValueOnly)
+                  .sound);
+}
+
+// --- The literal Section 3 instrumenter ---
+
+TEST(InstrumentTest, InstrumentedProgramValidatesAndRuns) {
+  const Program q = MakeForgettingWitness();
+  const Program m = InstrumentSurveillance(q, VarSet{1});
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.num_inputs(), q.num_inputs());
+  // Shadow variables double the count (plus C-bar).
+  EXPECT_EQ(m.num_vars(), 2 * q.num_vars() + 1);
+}
+
+TEST(InstrumentTest, AgreesWithInterpreterOnWitnesses) {
+  for (const Program& q : {MakeForgettingWitness(), MakeNotMaximalWitness()}) {
+    for (const VarSet allowed : {VarSet::Empty(), VarSet{0}, VarSet{1}, VarSet{0, 1}}) {
+      const SurveillanceMechanism interp = MakeSurveillanceM(Program(q), allowed);
+      const InstrumentedMechanism inst(q, allowed);
+      InputDomain::Range(2, -1, 2).ForEach([&](InputView input) {
+        const Outcome a = interp.Run(input);
+        const Outcome b = inst.Run(input);
+        EXPECT_TRUE(a.ObservablyEquals(b, Observability::kValueOnly))
+            << q.name() << " " << allowed.ToString() << " " << FormatInput(input) << ": "
+            << a.ToString() << " vs " << b.ToString();
+      });
+    }
+  }
+}
+
+class InstrumentAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InstrumentAgreementTest, AgreesWithInterpreterOnRandomPrograms) {
+  CorpusConfig config;
+  config.num_inputs = 2;
+  config.num_value_locals = 2;
+  const Program q = Lower(GenerateProgram(config, GetParam(), "inst"));
+  const VarSet allowed{0};
+  const SurveillanceMechanism interp = MakeSurveillanceM(Program(q), allowed);
+  const InstrumentedMechanism inst(q, allowed);
+  InputDomain::Uniform(2, {-1, 0, 2}).ForEach([&](InputView input) {
+    const Outcome a = interp.Run(input);
+    const Outcome b = inst.Run(input);
+    EXPECT_TRUE(a.ObservablyEquals(b, Observability::kValueOnly))
+        << "seed " << GetParam() << " input " << FormatInput(input) << ": " << a.ToString()
+        << " vs " << b.ToString();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, InstrumentAgreementTest,
+                         ::testing::Range<std::uint64_t>(4000, 4050));
+
+TEST(InstrumentTest, InstrumentedMechanismIsSound) {
+  CorpusConfig config;
+  config.num_inputs = 2;
+  const InputDomain domain = InputDomain::Uniform(2, {0, 1, 2});
+  for (std::uint64_t seed = 4200; seed < 4215; ++seed) {
+    const Program q = Lower(GenerateProgram(config, seed, "inst_sound"));
+    const InstrumentedMechanism inst(q, VarSet{1});
+    EXPECT_TRUE(CheckSoundness(inst, AllowPolicy(2, VarSet{1}), domain,
+                               Observability::kValueOnly)
+                    .sound)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,360 @@
+// Tests for the Section 4/5 program transforms and the transform advisor:
+// Examples 7, 8, and 9, loop unrolling, tail duplication, and the
+// functional-equivalence audits.
+
+#include <gtest/gtest.h>
+
+#include "src/flowchart/interpreter.h"
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/surveillance/surveillance.h"
+#include "src/transforms/advisor.h"
+#include "src/transforms/transforms.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+const std::vector<Value> kGrid = {-2, -1, 0, 1, 2};
+
+bool Equivalent(const SourceProgram& a, const SourceProgram& b) {
+  return FunctionallyEquivalentOnGrid(Lower(a), Lower(b), kGrid);
+}
+
+TEST(IfConvertibleTest, RecognizesFlatAssignArms) {
+  const SourceProgram p = MustParseProgram(
+      "program p(x, a, b) { if (x == 0) { y = a; } else { y = b; } }");
+  EXPECT_TRUE(IfConvertible(p.body[0]));
+}
+
+TEST(IfConvertibleTest, RejectsNestedControlFlow) {
+  const SourceProgram p = MustParseProgram(
+      "program p(x) { if (x == 0) { if (x == 1) { y = 1; } } else { y = 2; } }");
+  EXPECT_FALSE(IfConvertible(p.body[0]));
+}
+
+TEST(IfConvertibleTest, RejectsArmReadingAssignedVariable) {
+  // The else arm reads r which the then arm assigns: naive parallel select
+  // emission would be wrong, so the transform must refuse.
+  const SourceProgram p = MustParseProgram(
+      "program p(x) { locals r; if (x == 0) { r = 1; y = r + 1; } else { y = 2; } }");
+  EXPECT_FALSE(IfConvertible(p.body[0]));
+}
+
+TEST(IfConvertibleTest, RejectsDoubleAssignmentInArm) {
+  const SourceProgram p = MustParseProgram(
+      "program p(x) { if (x == 0) { y = 1; y = 2; } else { y = 3; } }");
+  EXPECT_FALSE(IfConvertible(p.body[0]));
+}
+
+TEST(IfConvertibleTest, SelfReadIsConvertible) {
+  // y = y + 1 reads only its own pre-branch value: fine.
+  const SourceProgram p = MustParseProgram(
+      "program p(x) { if (x == 0) { y = y + 1; } else { y = y + 2; } }");
+  EXPECT_TRUE(IfConvertible(p.body[0]));
+  bool changed = false;
+  const SourceProgram q = ApplyIfToSelect(p, {}, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_TRUE(Equivalent(p, q));
+}
+
+TEST(IfConvertibleTest, CrossReadsOrderedCorrectly) {
+  // r reads y's pre-branch value while y is itself assigned: the select for
+  // r must be emitted before y's overwrite.
+  const SourceProgram p = MustParseProgram(
+      "program p(x) { locals r; y = 5; if (x == 0) { r = y; y = 1; } else { y = 2; } "
+      "y = y + r; }");
+  // then-arm: r = y; y = 1 — r reads y before the arm assigns y, which
+  // IsFlatAssignBlock permits (y not yet assigned at the read).
+  ASSERT_TRUE(IfConvertible(p.body[1]));
+  bool changed = false;
+  const SourceProgram q = ApplyIfToSelect(p, {}, &changed);
+  ASSERT_TRUE(changed);
+  EXPECT_TRUE(Equivalent(p, q));
+}
+
+TEST(IfConvertibleTest, SwapCycleIsRejected) {
+  // Across arms, a reads b and b reads a: no emission order reads only
+  // pre-branch values.
+  const SourceProgram p = MustParseProgram(
+      "program p(x) { locals a, b; a = 1; b = 2; "
+      "if (x == 0) { a = b; } else { b = a; } y = a * 10 + b; }");
+  EXPECT_FALSE(IfConvertible(p.body[2]));
+}
+
+TEST(IfToSelectTest, PreservesSemantics) {
+  const SourceProgram p = MustParseProgram(
+      "program p(x, a, b) { locals r; if (x > 0) { y = a; r = 1; } else { y = b; } y = y + r; }");
+  bool changed = false;
+  const SourceProgram q = ApplyIfToSelect(p, {}, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_TRUE(Equivalent(p, q));
+}
+
+TEST(IfToSelectTest, UnassignedArmKeepsOldValue) {
+  const SourceProgram p = MustParseProgram(
+      "program p(x) { locals r; r = 9; if (x == 0) { r = 1; } else { y = 2; } y = y + r; }");
+  const SourceProgram q = ApplyIfToSelect(p, {}, nullptr);
+  EXPECT_TRUE(Equivalent(p, q));
+}
+
+TEST(IfToSelectTest, RecursesIntoLoopsAndIfs) {
+  const SourceProgram p = MustParseProgram(R"(
+    program p(x, n) {
+      locals c;
+      c = 2;
+      while (c != 0) {
+        if (x == 0) { y = y + 1; } else { y = y + 2; }
+        c = c - 1;
+      }
+    })");
+  bool changed = false;
+  const SourceProgram q = ApplyIfToSelect(p, {}, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_TRUE(Equivalent(p, q));
+  // The loop body's If is gone.
+  EXPECT_EQ(q.ToString().find("if ("), std::string::npos);
+}
+
+// --- Example 7: the transform reaches the maximal mechanism ---
+
+SourceProgram Example7Program() {
+  // if (x1 == 1) r = 1 else r = 2; if (r == 1) y = 1 else y = 1.
+  return MustParseProgram(R"(
+    program ex7(x1, x2) {
+      locals r;
+      if (x1 == 1) { r = 1; } else { r = 2; }
+      if (r == 1) { y = 1; } else { y = 1; }
+    })");
+}
+
+TEST(Example7, PlainSurveillanceAlwaysViolates) {
+  const SurveillanceMechanism ms = MakeSurveillanceM(Lower(Example7Program()), VarSet{1});
+  InputDomain::Range(2, 0, 2).ForEach(
+      [&](InputView input) { EXPECT_TRUE(ms.Run(input).IsViolation()); });
+}
+
+TEST(Example7, TransformedSurveillanceIsMaximal) {
+  bool changed = false;
+  const SourceProgram q_prime = ApplyIfToSelect(Example7Program(), {}, &changed);
+  ASSERT_TRUE(changed);
+  ASSERT_TRUE(Equivalent(Example7Program(), q_prime));
+
+  const SurveillanceMechanism ms = MakeSurveillanceM(Lower(q_prime), VarSet{1});
+  // "The surveillance protection mechanism for Q' and I = allow(2) always
+  // gives the output 1; clearly it is maximal."
+  InputDomain::Range(2, 0, 2).ForEach([&](InputView input) {
+    const Outcome o = ms.Run(input);
+    EXPECT_TRUE(o.IsValue());
+    EXPECT_EQ(o.value, 1);
+  });
+  // Soundness is not sacrificed.
+  EXPECT_TRUE(CheckSoundness(ms, AllowPolicy(2, VarSet{1}), InputDomain::Range(2, 0, 2),
+                             Observability::kValueOnly)
+                  .sound);
+}
+
+TEST(Example7, SimplificationIsWhatCollapsesIt) {
+  // Without the equal-arm simplification the select keeps the dependency on
+  // r (hence x1) and surveillance still violates.
+  bool changed = false;
+  const SourceProgram raw =
+      ApplyIfToSelect(Example7Program(), {.simplify_equal_arms = false}, &changed);
+  ASSERT_TRUE(changed);
+  const SurveillanceMechanism ms = MakeSurveillanceM(Lower(raw), VarSet{1});
+  EXPECT_TRUE(ms.Run(Input{0, 0}).IsViolation());
+}
+
+// --- Example 8: the same transform can make things strictly worse ---
+
+SourceProgram Example8Program() {
+  // if (x2 == 1) y = 1 else y = x1;  policy allow(x2).
+  return MustParseProgram(
+      "program ex8(x1, x2) { if (x2 == 1) { y = 1; } else { y = x1; } }");
+}
+
+TEST(Example8, TransformStrictlyLessComplete) {
+  const SourceProgram q = Example8Program();
+  bool changed = false;
+  const SourceProgram q_prime = ApplyIfToSelect(q, {}, &changed);
+  ASSERT_TRUE(changed);
+  ASSERT_TRUE(Equivalent(q, q_prime));
+
+  const VarSet allowed{1};
+  const SurveillanceMechanism m = MakeSurveillanceM(Lower(q), allowed);
+  const SurveillanceMechanism m_prime = MakeSurveillanceM(Lower(q_prime), allowed);
+
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  // "M' always outputs Lambda. On the other hand, M outputs 1 provided
+  // x2 = 1; hence M > M'."
+  domain.ForEach([&](InputView input) {
+    EXPECT_TRUE(m_prime.Run(input).IsViolation());
+    EXPECT_EQ(m.Run(input).IsValue(), input[1] == 1);
+  });
+  EXPECT_EQ(CompareCompleteness(m, m_prime, domain).Relation(),
+            CompletenessRelation::kFirstMore);
+}
+
+// --- Loop unrolling ---
+
+TEST(TripCountTest, RecognizesBoundedCounterIdiom) {
+  const SourceProgram p = MustParseProgram(
+      "program p() { locals c; c = 3; while (c != 0) { y = y + 1; c = c - 1; } }");
+  EXPECT_EQ(TryExtractTripCount(p.body, 1), 3);
+}
+
+TEST(TripCountTest, RejectsForeignShapes) {
+  const SourceProgram no_init = MustParseProgram(
+      "program p(n) { locals c; c = n; while (c != 0) { c = c - 1; } }");
+  EXPECT_FALSE(TryExtractTripCount(no_init.body, 1).has_value());
+
+  const SourceProgram no_dec = MustParseProgram(
+      "program p() { locals c; c = 1; while (c != 0) { c = 0; } }");
+  EXPECT_FALSE(TryExtractTripCount(no_dec.body, 1).has_value());
+
+  const SourceProgram extra_assign = MustParseProgram(
+      "program p() { locals c; c = 2; while (c != 0) { c = c + 1; c = c - 1; } }");
+  EXPECT_FALSE(TryExtractTripCount(extra_assign.body, 1).has_value());
+}
+
+TEST(UnrollTest, PreservesSemantics) {
+  const SourceProgram p = MustParseProgram(R"(
+    program p(a) {
+      locals c;
+      c = 3;
+      while (c != 0) { y = y + a; c = c - 1; }
+    })");
+  bool changed = false;
+  const SourceProgram q = ApplyLoopUnroll(p, 8, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_TRUE(Equivalent(p, q));
+  EXPECT_EQ(q.ToString().find("while"), std::string::npos);
+}
+
+TEST(UnrollTest, RespectsMaxFactor) {
+  const SourceProgram p = MustParseProgram(
+      "program p() { locals c; c = 9; while (c != 0) { y = y + 1; c = c - 1; } }");
+  bool changed = false;
+  const SourceProgram q = ApplyLoopUnroll(p, 4, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_NE(q.ToString().find("while"), std::string::npos);
+}
+
+TEST(UnrollTest, UnrollPlusSelectRemovesLoopTaint) {
+  // Loop bound is a constant, the body taints y with a; after unroll +
+  // if-to-select there are no decisions left, so the pc never taints and
+  // surveillance releases y whenever its data labels allow.
+  const SourceProgram p = MustParseProgram(R"(
+    program p(pub, sec) {
+      locals c;
+      c = 2;
+      while (c != 0) { y = y + pub; c = c - 1; }
+    })");
+  const VarSet allowed{0};
+  const SurveillanceMechanism before = MakeSurveillanceM(Lower(p), allowed);
+  // The loop tests c (label empty — c is a constant counter!), so actually
+  // the loop itself is harmless here; make sure both release.
+  EXPECT_TRUE(before.Run(Input{1, 9}).IsValue());
+
+  bool changed = false;
+  const SourceProgram unrolled = ApplyLoopUnroll(p, 8, &changed);
+  ASSERT_TRUE(changed);
+  const SourceProgram selected = ApplyIfToSelect(unrolled, {}, &changed);
+  EXPECT_TRUE(Equivalent(p, selected));
+  const SurveillanceMechanism after = MakeSurveillanceM(Lower(selected), allowed);
+  EXPECT_TRUE(after.Run(Input{1, 9}).IsValue());
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  EXPECT_EQ(CompareCompleteness(after, before, domain).second_only, 0u);
+}
+
+// --- Example 9: tail duplication ---
+
+SourceProgram Example9Program() {
+  return MustParseProgram(
+      "program ex9(x1, x2) { locals r; if (x1 == 0) { r = 0; } else { r = x2; } y = r; }");
+}
+
+TEST(Example9, TailDuplicationPreservesSemantics) {
+  bool changed = false;
+  const SourceProgram dup = ApplyTailDuplication(Example9Program(), &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_TRUE(Equivalent(Example9Program(), dup));
+  // Both arms now end in explicit halts.
+  const std::string text = dup.ToString();
+  EXPECT_NE(text.find("halt;"), std::string::npos);
+}
+
+TEST(Example9, IfToSelectWouldAlwaysViolate) {
+  bool changed = false;
+  const SourceProgram selected = ApplyIfToSelect(Example9Program(), {}, &changed);
+  ASSERT_TRUE(changed);
+  const SurveillanceMechanism ms = MakeSurveillanceM(Lower(selected), VarSet{0});
+  // "The related protection mechanism would always output a violation
+  // notice."
+  InputDomain::Range(2, 0, 2).ForEach(
+      [&](InputView input) { EXPECT_TRUE(ms.Run(input).IsViolation()); });
+}
+
+TEST(Example9, DuplicationPlusResidualGuardViolatesOnlyWhenX1Nonzero) {
+  bool changed = false;
+  const SourceProgram dup = ApplyTailDuplication(Example9Program(), &changed);
+  ASSERT_TRUE(changed);
+  // (Verified against the paper's conclusion via the static residual guard —
+  // see staticflow_test's ResidualGuardReleasesPerHalt, which uses the
+  // duplicated shape directly.)
+  const SurveillanceMechanism ms = MakeSurveillanceM(Lower(dup), VarSet{0});
+  InputDomain::Range(2, 0, 2).ForEach([&](InputView input) {
+    EXPECT_EQ(ms.Run(input).IsValue(), input[0] == 0) << FormatInput(input);
+  });
+}
+
+// --- The advisor ---
+
+TEST(AdvisorTest, PicksTheWinningTransformOnExample7) {
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  const AdvisorReport report = AdviseTransforms(Example7Program(), VarSet{1}, domain);
+  EXPECT_GE(report.candidates.size(), 2u);
+  EXPECT_TRUE(report.best().equivalent);
+  EXPECT_DOUBLE_EQ(report.best().utility, 1.0);
+  EXPECT_NE(report.best().description.find("if-to-select"), std::string::npos);
+}
+
+TEST(AdvisorTest, KeepsTheOriginalOnExample8) {
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  const AdvisorReport report = AdviseTransforms(Example8Program(), VarSet{1}, domain);
+  // The transform only hurts here; the original must win.
+  EXPECT_EQ(report.best_index, 0u);
+  EXPECT_EQ(report.best().description, "original");
+}
+
+TEST(AdvisorTest, EveryCandidateIsAudited) {
+  const InputDomain domain = InputDomain::Range(2, 0, 1);
+  const AdvisorReport report = AdviseTransforms(Example9Program(), VarSet{0}, domain);
+  for (const AdvisorCandidate& c : report.candidates) {
+    EXPECT_TRUE(c.equivalent) << c.description;
+  }
+  EXPECT_NE(report.ToString().find("utility="), std::string::npos);
+}
+
+TEST(AdvisorTest, TransformedMechanismsRemainSound) {
+  // Theorem-in-practice: whatever the advisor picks must still be sound.
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  for (const SourceProgram& p :
+       {Example7Program(), Example8Program(), Example9Program()}) {
+    for (const VarSet allowed : {VarSet::Empty(), VarSet{0}, VarSet{1}}) {
+      const AdvisorReport report = AdviseTransforms(p, allowed, domain);
+      const SurveillanceMechanism best =
+          MakeSurveillanceM(Lower(report.best().program), allowed);
+      EXPECT_TRUE(CheckSoundness(best, AllowPolicy(2, allowed), domain,
+                                 Observability::kValueOnly)
+                      .sound)
+          << p.name << " " << allowed.ToString() << " via " << report.best().description;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace secpol

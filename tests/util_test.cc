@@ -1,0 +1,210 @@
+// Unit tests for src/util.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/bitvec.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+namespace {
+
+TEST(VarSetTest, EmptyAndSingleton) {
+  EXPECT_TRUE(VarSet::Empty().empty());
+  EXPECT_EQ(VarSet::Empty().size(), 0);
+  const VarSet s = VarSet::Singleton(5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+}
+
+TEST(VarSetTest, FirstN) {
+  const VarSet s = VarSet::FirstN(3);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_TRUE(VarSet::FirstN(0).empty());
+}
+
+TEST(VarSetTest, FirstNFull64) {
+  const VarSet s = VarSet::FirstN(64);
+  EXPECT_EQ(s.size(), 64);
+  EXPECT_TRUE(s.Contains(63));
+}
+
+TEST(VarSetTest, InsertErase) {
+  VarSet s;
+  s.Insert(1);
+  s.Insert(3);
+  EXPECT_EQ(s.size(), 2);
+  s.Erase(1);
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(3));
+}
+
+TEST(VarSetTest, SetAlgebra) {
+  const VarSet a{0, 1, 2};
+  const VarSet b{2, 3};
+  EXPECT_EQ(a.Union(b), (VarSet{0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), VarSet{2});
+  EXPECT_EQ(a.Minus(b), (VarSet{0, 1}));
+  EXPECT_TRUE((VarSet{1}).SubsetOf(a));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_TRUE(VarSet::Empty().SubsetOf(VarSet::Empty()));
+}
+
+TEST(VarSetTest, SubsetOfIsPartialOrder) {
+  const VarSet sets[] = {VarSet::Empty(), VarSet{0}, VarSet{1}, VarSet{0, 1}, VarSet{0, 2}};
+  for (const VarSet& a : sets) {
+    EXPECT_TRUE(a.SubsetOf(a));
+    for (const VarSet& b : sets) {
+      if (a.SubsetOf(b) && b.SubsetOf(a)) {
+        EXPECT_EQ(a, b);
+      }
+      for (const VarSet& c : sets) {
+        if (a.SubsetOf(b) && b.SubsetOf(c)) {
+          EXPECT_TRUE(a.SubsetOf(c));
+        }
+      }
+    }
+  }
+}
+
+TEST(VarSetTest, ToString) {
+  EXPECT_EQ(VarSet::Empty().ToString(), "{}");
+  EXPECT_EQ((VarSet{0, 2, 5}).ToString(), "{0,2,5}");
+}
+
+TEST(BitVecTest, SetTestClear) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130);
+  EXPECT_FALSE(v.Test(0));
+  v.Set(0);
+  v.Set(64);
+  v.Set(129);
+  EXPECT_TRUE(v.Test(0));
+  EXPECT_TRUE(v.Test(64));
+  EXPECT_TRUE(v.Test(129));
+  EXPECT_EQ(v.Count(), 3);
+  v.Clear(64);
+  EXPECT_FALSE(v.Test(64));
+  EXPECT_EQ(v.Count(), 2);
+}
+
+TEST(BitVecTest, AllTrueConstructorTrimsTail) {
+  BitVec v(70, true);
+  EXPECT_EQ(v.Count(), 70);
+}
+
+TEST(BitVecTest, IntersectAndUnion) {
+  BitVec a(100);
+  BitVec b(100);
+  a.Set(1);
+  a.Set(99);
+  b.Set(99);
+  BitVec a2 = a;
+  EXPECT_TRUE(a2.IntersectWith(b));  // changed: bit 1 dropped
+  EXPECT_FALSE(a2.Test(1));
+  EXPECT_TRUE(a2.Test(99));
+  EXPECT_FALSE(a2.IntersectWith(b));  // stable now
+
+  BitVec c(100);
+  EXPECT_TRUE(c.UnionWith(a));
+  EXPECT_EQ(c, a);
+  EXPECT_FALSE(c.UnionWith(a));
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(43);
+  bool all_equal = true;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) {
+    all_equal = all_equal && (a2.Next() == c.Next());
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0, 100));
+    EXPECT_TRUE(rng.Chance(100, 100));
+  }
+}
+
+TEST(RngTest, NextDoubleUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+
+  Result<int> err(Error{"boom", 3, 7});
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().message, "boom");
+  EXPECT_EQ(err.error().ToString(), "3:7: boom");
+  EXPECT_EQ(Error{"plain"}.ToString(), "plain");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, FormatInput) {
+  const Input input = {1, -2, 3};
+  EXPECT_EQ(FormatInput(input), "(1, -2, 3)");
+  EXPECT_EQ(FormatInput(Input{}), "()");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("surveillance", "surv"));
+  EXPECT_FALSE(StartsWith("surv", "surveillance"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace secpol
