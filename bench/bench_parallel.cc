@@ -1,0 +1,126 @@
+// E13 — scaling the Theorem-4 cost wall across worker threads.
+//
+// E12 showed the |D|^k tabulation cost of extensional checking. The wall is
+// embarrassingly parallel: the grid shards into contiguous lexicographic rank
+// ranges and each shard is checked independently, with a deterministic
+// first-witness merge so the report is identical to the serial scan at every
+// thread count. This bench regenerates the Theorem-4 cost series at 1/2/4/8
+// threads: parallelism divides the constant but cannot touch the exponent —
+// the wall moves by at most log_|D|(threads) in k.
+//
+// Benchmark: soundness-check and maximal-synthesis time vs grid size and
+// thread count, plus measured speedup relative to the serial scan.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/corpus/generator.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/check_options.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/strings.h"
+#include "src/util/thread_pool.h"
+
+namespace secpol {
+namespace {
+
+Program MakeProgram(int num_inputs) {
+  CorpusConfig config;
+  config.num_inputs = num_inputs;
+  return Lower(GenerateProgram(config, 4242, "target"));
+}
+
+double CheckMillis(const ProtectionMechanism& mech, const SecurityPolicy& policy,
+                   const InputDomain& domain, int threads) {
+  const auto start = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(
+      CheckSoundness(mech, policy, domain, Observability::kValueOnly,
+                     CheckOptions::Threads(threads))
+          .inputs_checked);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+void PrintReproduction() {
+  PrintHeader("E13: Theorem-4 cost wall at 1/2/4/8 threads (deterministic shards)");
+  std::printf("  host hardware threads: %d\n\n", ThreadPool::HardwareThreads());
+  PrintRow({"inputs k", "|D| per coord", "grid |D|^k", "t=1 ms", "t=2 ms", "t=4 ms", "t=8 ms",
+            "speedup@4"},
+           {9, 14, 12, 10, 10, 10, 10, 10});
+  for (const int k : {2, 3, 4}) {
+    const Program q = MakeProgram(k);
+    const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), VarSet{0});
+    const AllowPolicy policy(k, VarSet{0});
+    for (const int d : {3, 5}) {
+      const InputDomain domain = InputDomain::Range(k, 0, d - 1);
+      double millis[4] = {0, 0, 0, 0};
+      const int threads[4] = {1, 2, 4, 8};
+      for (int i = 0; i < 4; ++i) {
+        millis[i] = CheckMillis(ms, policy, domain, threads[i]);
+      }
+      PrintRow({std::to_string(k), std::to_string(d), std::to_string(domain.size()),
+                FormatDouble(millis[0], 3), FormatDouble(millis[1], 3),
+                FormatDouble(millis[2], 3), FormatDouble(millis[3], 3),
+                FormatDouble(millis[2] > 0 ? millis[0] / millis[2] : 0.0, 2)},
+               {9, 14, 12, 10, 10, 10, 10, 10});
+    }
+  }
+  std::printf(
+      "\n  Sharding divides the |D|^k scan across workers; the merge replays the\n"
+      "  serial first-witness rule, so the verdict and counterexample never change.\n"
+      "  The exponent does not: threads buy a constant factor against a wall that\n"
+      "  grows geometrically in k — Theorem 4's cost, amortized but not escaped.\n");
+}
+
+void BM_ParallelSoundness(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const Program q = MakeProgram(k);
+  const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), VarSet{0});
+  const AllowPolicy policy(k, VarSet{0});
+  const InputDomain domain = InputDomain::Range(k, 0, 4);
+  const CheckOptions options = CheckOptions::Threads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckSoundness(ms, policy, domain, Observability::kValueOnly, options).inputs_checked);
+  }
+  state.counters["grid"] = static_cast<double>(domain.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ParallelSoundness)
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({3, 4})
+    ->Args({3, 8})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({4, 8});
+
+void BM_ParallelMaximalSynthesis(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const Program q = MakeProgram(4);
+  const ProgramAsMechanism bare{Program(q)};
+  const AllowPolicy policy(4, VarSet{0});
+  const InputDomain domain = InputDomain::Range(4, 0, 4);
+  const CheckOptions options = CheckOptions::Threads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SynthesizeMaximalMechanism(bare, policy, domain, Observability::kValueOnly, options)
+            .released_classes);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ParallelMaximalSynthesis)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

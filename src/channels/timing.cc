@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <tuple>
+#include <vector>
 
 #include "src/util/strings.h"
 
@@ -17,17 +18,39 @@ std::string LeakReport::ToString() const {
 }
 
 LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolicy& policy,
-                       const InputDomain& domain, Observability obs) {
+                       const InputDomain& domain, Observability obs,
+                       const CheckOptions& options) {
   // Observable signature: (kind, value-if-any, steps-if-observable).
   using Signature = std::tuple<int, Value, StepCount>;
   std::map<PolicyImage, std::set<Signature>> classes;
 
-  domain.ForEach([&](InputView input) {
-    const Outcome outcome = mechanism.Run(input);
-    Signature sig{outcome.IsValue() ? 1 : 0, outcome.IsValue() ? outcome.value : 0,
-                  obs == Observability::kValueAndTime ? outcome.steps : 0};
-    classes[policy.Image(input)].insert(sig);
-  });
+  const auto signature_of = [obs](const Outcome& outcome) {
+    return Signature{outcome.IsValue() ? 1 : 0, outcome.IsValue() ? outcome.value : 0,
+                     obs == Observability::kValueAndTime ? outcome.steps : 0};
+  };
+
+  const int threads = options.ResolvedThreads();
+  if (threads <= 1) {
+    domain.ForEach([&](InputView input) {
+      classes[policy.Image(input)].insert(signature_of(mechanism.Run(input)));
+    });
+  } else {
+    const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, domain.size());
+    std::vector<std::map<PolicyImage, std::set<Signature>>> partials(num_shards);
+    domain.ParallelForEach(
+        num_shards,
+        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+          (void)rank;
+          partials[shard][policy.Image(input)].insert(signature_of(mechanism.Run(input)));
+          return true;
+        },
+        threads);
+    for (auto& shard : partials) {
+      for (auto& [image, signatures] : shard) {
+        classes[image].insert(signatures.begin(), signatures.end());
+      }
+    }
+  }
 
   LeakReport report;
   report.policy_classes = classes.size();

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/mechanism/check_options.h"
 #include "src/mechanism/domain.h"
 #include "src/mechanism/mechanism.h"
 #include "src/mechanism/outcome.h"
@@ -37,9 +38,12 @@ struct LeakReport {
 
 // Measures the channel of `mechanism` w.r.t. `policy` over `domain` under
 // observability `obs`. With obs = kValueAndTime and a mechanism sound for
-// kValueOnly, the report isolates the pure timing channel.
+// kValueOnly, the report isolates the pure timing channel. The per-class
+// signature sets are merged by union across parallel shards, so the report
+// is identical to the serial scan at any thread count.
 LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolicy& policy,
-                       const InputDomain& domain, Observability obs);
+                       const InputDomain& domain, Observability obs,
+                       const CheckOptions& options = CheckOptions());
 
 }  // namespace secpol
 

@@ -1,0 +1,21 @@
+#include "src/mechanism/check_options.h"
+
+#include <algorithm>
+
+#include "src/util/thread_pool.h"
+
+namespace secpol {
+
+int CheckOptions::ResolvedThreads() const {
+  if (num_threads <= 0) {
+    return ThreadPool::HardwareThreads();
+  }
+  return num_threads;
+}
+
+std::uint64_t CheckOptions::ShardsFor(int threads, std::uint64_t grid_size) {
+  const std::uint64_t want = static_cast<std::uint64_t>(std::max(1, threads)) * 8;
+  return std::clamp<std::uint64_t>(grid_size, 1, want);
+}
+
+}  // namespace secpol

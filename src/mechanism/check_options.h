@@ -1,0 +1,37 @@
+// Shared knobs for the exhaustive checkers.
+//
+// Every extensional check (soundness, completeness, integrity, maximal
+// synthesis, policy comparison, leak measurement) scans the same kind of
+// cross-product grid; CheckOptions carries the evaluation knobs they all
+// share. The parallel engine is grid-sharded: the domain is split into
+// contiguous lexicographic rank ranges, each shard accumulates a partial
+// result, and the partials are merged by global rank so the final report is
+// bit-for-bit the one a serial scan produces, at any thread count.
+
+#ifndef SECPOL_SRC_MECHANISM_CHECK_OPTIONS_H_
+#define SECPOL_SRC_MECHANISM_CHECK_OPTIONS_H_
+
+#include <cstdint>
+
+namespace secpol {
+
+struct CheckOptions {
+  // Worker threads for grid evaluation: 0 = one per hardware thread,
+  // 1 = the serial reference scan, n > 1 = parallel with n workers.
+  int num_threads = 0;
+
+  static CheckOptions Serial() { return CheckOptions{1}; }
+  static CheckOptions Threads(int n) { return CheckOptions{n}; }
+
+  // num_threads with 0 resolved to the hardware thread count.
+  int ResolvedThreads() const;
+
+  // Number of contiguous shards to split a grid of `grid_size` tuples into
+  // when running on `threads` workers. A small multiple of the thread count
+  // so an uneven shard cannot serialize the tail, capped by the grid itself.
+  static std::uint64_t ShardsFor(int threads, std::uint64_t grid_size);
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_CHECK_OPTIONS_H_

@@ -1,6 +1,8 @@
 #include "src/mechanism/completeness.h"
 
 #include <cassert>
+#include <utility>
+#include <vector>
 
 #include "src/util/strings.h"
 
@@ -50,38 +52,95 @@ std::string CompletenessStats::ToString() const {
 
 CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
                                       const ProtectionMechanism& m2,
-                                      const InputDomain& domain) {
+                                      const InputDomain& domain, const CheckOptions& options) {
   assert(m1.num_inputs() == m2.num_inputs());
   assert(m1.num_inputs() == domain.num_inputs());
 
+  const int threads = options.ResolvedThreads();
+  if (threads <= 1) {
+    CompletenessStats stats;
+    domain.ForEach([&](InputView input) {
+      ++stats.total;
+      const bool v1 = m1.Run(input).IsValue();
+      const bool v2 = m2.Run(input).IsValue();
+      if (v1 && v2) {
+        ++stats.both_value;
+      } else if (v1) {
+        ++stats.first_only;
+      } else if (v2) {
+        ++stats.second_only;
+      } else {
+        ++stats.neither;
+      }
+    });
+    return stats;
+  }
+
+  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, domain.size());
+  std::vector<CompletenessStats> partials(num_shards);
+  domain.ParallelForEach(
+      num_shards,
+      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+        (void)rank;
+        CompletenessStats& stats = partials[shard];
+        ++stats.total;
+        const bool v1 = m1.Run(input).IsValue();
+        const bool v2 = m2.Run(input).IsValue();
+        if (v1 && v2) {
+          ++stats.both_value;
+        } else if (v1) {
+          ++stats.first_only;
+        } else if (v2) {
+          ++stats.second_only;
+        } else {
+          ++stats.neither;
+        }
+        return true;
+      },
+      threads);
   CompletenessStats stats;
-  domain.ForEach([&](InputView input) {
-    ++stats.total;
-    const bool v1 = m1.Run(input).IsValue();
-    const bool v2 = m2.Run(input).IsValue();
-    if (v1 && v2) {
-      ++stats.both_value;
-    } else if (v1) {
-      ++stats.first_only;
-    } else if (v2) {
-      ++stats.second_only;
-    } else {
-      ++stats.neither;
-    }
-  });
+  for (const CompletenessStats& partial : partials) {
+    stats.total += partial.total;
+    stats.both_value += partial.both_value;
+    stats.first_only += partial.first_only;
+    stats.second_only += partial.second_only;
+    stats.neither += partial.neither;
+  }
   return stats;
 }
 
-double MeasureUtility(const ProtectionMechanism& m, const InputDomain& domain) {
+double MeasureUtility(const ProtectionMechanism& m, const InputDomain& domain,
+                      const CheckOptions& options) {
   assert(m.num_inputs() == domain.num_inputs());
+  const int threads = options.ResolvedThreads();
   std::uint64_t total = 0;
   std::uint64_t values = 0;
-  domain.ForEach([&](InputView input) {
-    ++total;
-    if (m.Run(input).IsValue()) {
-      ++values;
+  if (threads <= 1) {
+    domain.ForEach([&](InputView input) {
+      ++total;
+      if (m.Run(input).IsValue()) {
+        ++values;
+      }
+    });
+  } else {
+    const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, domain.size());
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> partials(num_shards);
+    domain.ParallelForEach(
+        num_shards,
+        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+          (void)rank;
+          ++partials[shard].first;
+          if (m.Run(input).IsValue()) {
+            ++partials[shard].second;
+          }
+          return true;
+        },
+        threads);
+    for (const auto& [shard_total, shard_values] : partials) {
+      total += shard_total;
+      values += shard_values;
     }
-  });
+  }
   return total == 0 ? 0.0 : static_cast<double>(values) / total;
 }
 

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "src/mechanism/check_options.h"
 #include "src/mechanism/domain.h"
 #include "src/mechanism/mechanism.h"
 
@@ -43,14 +44,18 @@ struct CompletenessStats {
   std::string ToString() const;
 };
 
-// Tabulates both mechanisms over `domain` and derives the order.
+// Tabulates both mechanisms over `domain` and derives the order. The stats
+// are pure per-input counts, so parallel shards merge by summation and the
+// result is identical to the serial scan at any thread count.
 CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
                                       const ProtectionMechanism& m2,
-                                      const InputDomain& domain);
+                                      const InputDomain& domain,
+                                      const CheckOptions& options = CheckOptions());
 
 // Fraction of the domain on which `m` returns a real value (its usefulness;
 // the plug scores 0, the bare program scores 1).
-double MeasureUtility(const ProtectionMechanism& m, const InputDomain& domain);
+double MeasureUtility(const ProtectionMechanism& m, const InputDomain& domain,
+                      const CheckOptions& options = CheckOptions());
 
 }  // namespace secpol
 

@@ -1,6 +1,9 @@
 #include "src/mechanism/domain.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "src/util/thread_pool.h"
 
 namespace secpol {
 
@@ -30,12 +33,20 @@ InputDomain InputDomain::Range(int num_inputs, Value lo, Value hi) {
   return Uniform(num_inputs, std::move(values));
 }
 
-std::uint64_t InputDomain::size() const {
+std::optional<std::uint64_t> InputDomain::CheckedSize() const {
   std::uint64_t total = 1;
   for (const auto& values : per_input_) {
-    total *= values.size();
+    const std::uint64_t radix = values.size();
+    if (total > UINT64_MAX / radix) {
+      return std::nullopt;
+    }
+    total *= radix;
   }
   return total;
+}
+
+std::uint64_t InputDomain::size() const {
+  return CheckedSize().value_or(UINT64_MAX);
 }
 
 void InputDomain::ForEach(const std::function<void(InputView)>& fn) const {
@@ -67,9 +78,92 @@ void InputDomain::ForEach(const std::function<void(InputView)>& fn) const {
   }
 }
 
+void InputDomain::ForEachRange(std::uint64_t begin, std::uint64_t end, const RangeFn& fn) const {
+  const std::uint64_t total = size();
+  end = std::min(end, total);
+  if (begin >= end) {
+    return;
+  }
+  if (per_input_.empty()) {
+    Input empty;
+    fn(0, empty);
+    return;
+  }
+  // Decode the starting rank in mixed radix, coordinate 0 most significant.
+  std::vector<size_t> index(per_input_.size(), 0);
+  Input current(per_input_.size(), 0);
+  std::uint64_t rem = begin;
+  for (size_t i = per_input_.size(); i-- > 0;) {
+    const std::uint64_t radix = per_input_[i].size();
+    index[i] = static_cast<size_t>(rem % radix);
+    rem /= radix;
+  }
+  for (size_t i = 0; i < per_input_.size(); ++i) {
+    current[i] = per_input_[i][index[i]];
+  }
+  for (std::uint64_t rank = begin; rank < end; ++rank) {
+    if (!fn(rank, current)) {
+      return;
+    }
+    // Odometer increment.
+    size_t pos = per_input_.size();
+    while (pos > 0) {
+      --pos;
+      if (++index[pos] < per_input_[pos].size()) {
+        current[pos] = per_input_[pos][index[pos]];
+        break;
+      }
+      index[pos] = 0;
+      current[pos] = per_input_[pos][0];
+      if (pos == 0) {
+        return;
+      }
+    }
+  }
+}
+
+void InputDomain::ForEachShard(std::uint64_t shard, std::uint64_t num_shards,
+                               const RangeFn& fn) const {
+  assert(num_shards > 0 && shard < num_shards);
+  const std::uint64_t total = size();
+  const std::uint64_t base = total / num_shards;
+  const std::uint64_t extra = total % num_shards;
+  const std::uint64_t begin = shard * base + std::min(shard, extra);
+  const std::uint64_t end = begin + base + (shard < extra ? 1 : 0);
+  ForEachRange(begin, end, fn);
+}
+
+void InputDomain::ParallelForEach(std::uint64_t num_shards, const ShardFn& fn,
+                                  int num_threads) const {
+  if (num_shards == 0) {
+    num_shards = 1;
+  }
+  const int threads =
+      num_threads == 0 ? ThreadPool::HardwareThreads() : std::max(1, num_threads);
+  if (threads == 1) {
+    for (std::uint64_t s = 0; s < num_shards; ++s) {
+      ForEachShard(s, num_shards,
+                   [&](std::uint64_t rank, InputView input) { return fn(s, rank, input); });
+    }
+    return;
+  }
+  ThreadPool pool(threads);
+  for (std::uint64_t s = 0; s < num_shards; ++s) {
+    pool.Submit([this, s, num_shards, &fn] {
+      ForEachShard(s, num_shards,
+                   [&](std::uint64_t rank, InputView input) { return fn(s, rank, input); });
+    });
+  }
+  pool.Wait();
+}
+
 std::vector<Input> InputDomain::Enumerate() const {
+  const std::optional<std::uint64_t> total = CheckedSize();
+  if (!total.has_value() || *total > kEnumerateCap) {
+    return {};  // refuse to materialize; see header
+  }
   std::vector<Input> out;
-  out.reserve(size());
+  out.reserve(*total);
   ForEach([&out](InputView input) { out.emplace_back(input.begin(), input.end()); });
   return out;
 }

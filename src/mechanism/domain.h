@@ -3,12 +3,19 @@
 // The paper's definitions quantify over all inputs. We decide them exactly
 // over finite grids: an InputDomain assigns each input coordinate a finite
 // list of candidate values and enumerates the cross product.
+//
+// The grid has a canonical linearization — the lexicographic order, with
+// coordinate 0 most significant — and every tuple has a rank in it. The
+// sharded iterators below partition the grid by contiguous rank ranges so the
+// parallel checkers can evaluate shards concurrently and still merge their
+// partial results into the exact report a serial scan would produce.
 
 #ifndef SECPOL_SRC_MECHANISM_DOMAIN_H_
 #define SECPOL_SRC_MECHANISM_DOMAIN_H_
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,13 +35,38 @@ class InputDomain {
   int num_inputs() const { return static_cast<int>(per_input_.size()); }
   const std::vector<Value>& values_for(int i) const { return per_input_[i]; }
 
-  // Number of tuples in the grid (product of coordinate sizes).
+  // Number of tuples in the grid (product of coordinate sizes), saturating
+  // at UINT64_MAX when the product overflows 64 bits.
   std::uint64_t size() const;
+
+  // Exact tuple count, or nullopt when the product overflows std::uint64_t.
+  std::optional<std::uint64_t> CheckedSize() const;
 
   // Calls fn(input) for every tuple, in lexicographic order.
   void ForEach(const std::function<void(InputView)>& fn) const;
 
-  // Materializes the grid (use only for small domains).
+  // Visits the tuples with ranks in [begin, end), in lexicographic order.
+  // fn receives the global rank and the tuple; returning false stops the
+  // scan early. Ranks past size() are silently clipped.
+  using RangeFn = std::function<bool(std::uint64_t, InputView)>;
+  void ForEachRange(std::uint64_t begin, std::uint64_t end, const RangeFn& fn) const;
+
+  // Visits shard `shard` of `num_shards`: the grid split into num_shards
+  // contiguous rank ranges whose lengths differ by at most one.
+  void ForEachShard(std::uint64_t shard, std::uint64_t num_shards, const RangeFn& fn) const;
+
+  // Visits every tuple using `num_threads` workers (0 = one per hardware
+  // thread), the grid partitioned into `num_shards` contiguous shards.
+  // fn(shard, rank, input) runs concurrently for different shards — it must
+  // be thread-safe across shards — and returning false stops its shard.
+  // With one resolved thread the shards run inline, in order.
+  using ShardFn = std::function<bool(std::uint64_t, std::uint64_t, InputView)>;
+  void ParallelForEach(std::uint64_t num_shards, const ShardFn& fn, int num_threads = 0) const;
+
+  // Materializes the grid (use only for small domains). Grids larger than
+  // kEnumerateCap tuples — or whose size overflows — are refused with an
+  // empty vector (a real grid always has at least one tuple).
+  static constexpr std::uint64_t kEnumerateCap = std::uint64_t{1} << 22;
   std::vector<Input> Enumerate() const;
 
   std::string ToString() const;

@@ -1,10 +1,13 @@
 #include "src/mechanism/integrity.h"
 
+#include <atomic>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <set>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "src/util/strings.h"
 
@@ -25,21 +28,21 @@ std::string IntegrityReport::ToString() const {
   return out;
 }
 
-IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanism,
-                                             const SecurityPolicy& required,
-                                             const InputDomain& domain, Observability obs) {
-  assert(mechanism.num_inputs() == required.num_inputs());
-  assert(mechanism.num_inputs() == domain.num_inputs());
+namespace {
 
+// Observable signature of one outcome.
+using Signature = std::tuple<int, Value, StepCount>;
+
+Signature SignatureOf(const Outcome& outcome, Observability obs) {
+  return Signature{outcome.IsValue() ? 1 : 0, outcome.IsValue() ? outcome.value : 0,
+                   obs == Observability::kValueAndTime ? outcome.steps : 0};
+}
+
+IntegrityReport CheckPreservationSerial(const ProtectionMechanism& mechanism,
+                                        const SecurityPolicy& required,
+                                        const InputDomain& domain, Observability obs) {
   IntegrityReport report;
   report.preserved = true;
-
-  // Observable signature of one outcome.
-  using Signature = std::tuple<int, Value, StepCount>;
-  auto signature_of = [obs](const Outcome& outcome) {
-    return Signature{outcome.IsValue() ? 1 : 0, outcome.IsValue() ? outcome.value : 0,
-                     obs == Observability::kValueAndTime ? outcome.steps : 0};
-  };
 
   // First input observed per outcome signature, with its required image.
   std::map<Signature, std::pair<Input, PolicyImage>> seen;
@@ -53,7 +56,7 @@ IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanis
     PolicyImage image = required.Image(input);
     classes.insert(image);
     const Outcome outcome = mechanism.Run(input);
-    const Signature sig = signature_of(outcome);
+    const Signature sig = SignatureOf(outcome, obs);
     auto [it, inserted] =
         seen.try_emplace(sig, Input(input.begin(), input.end()), image);
     if (inserted) {
@@ -71,6 +74,162 @@ IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanis
 
   report.required_classes = classes.size();
   return report;
+}
+
+// One occurrence of a signature: its global grid rank, the tuple, its
+// required image, and the concrete outcome (the report prints the witness's
+// own outcome, which may differ from the representative's in unobserved
+// fields such as the notice text).
+struct Occurrence {
+  std::uint64_t rank = 0;
+  Input input;
+  PolicyImage image;
+  Outcome outcome;
+};
+
+// Per shard, per signature: the first occurrence, and the first occurrence
+// whose required image differs from it. Image equality is an equivalence
+// relation, so these two suffice to find the first occurrence differing from
+// any reference image.
+struct SigPartial {
+  Occurrence first;
+  std::optional<Occurrence> divergent;
+};
+
+IntegrityReport CheckPreservationParallel(const ProtectionMechanism& mechanism,
+                                          const SecurityPolicy& required,
+                                          const InputDomain& domain, Observability obs,
+                                          int threads) {
+  const std::uint64_t grid = domain.size();
+  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
+  std::vector<std::map<Signature, SigPartial>> partials(num_shards);
+  // First rank at which each required image occurs, per shard (for the
+  // required_classes count, which in the serial scan includes the witness's
+  // own — possibly new — image).
+  std::vector<std::map<PolicyImage, std::uint64_t>> image_firsts(num_shards);
+
+  // As in the soundness checker: two different images under one signature at
+  // ranks i1 < i2 guarantee a counterexample at rank <= i2.
+  std::atomic<std::uint64_t> conflict_bound{UINT64_MAX};
+
+  domain.ParallelForEach(
+      num_shards,
+      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+        if (rank > conflict_bound.load(std::memory_order_relaxed)) {
+          return false;
+        }
+        PolicyImage image = required.Image(input);
+        image_firsts[shard].try_emplace(image, rank);
+        const Outcome outcome = mechanism.Run(input);
+        const Signature sig = SignatureOf(outcome, obs);
+        auto [it, inserted] = partials[shard].try_emplace(sig);
+        SigPartial& partial = it->second;
+        if (inserted) {
+          partial.first =
+              Occurrence{rank, Input(input.begin(), input.end()), std::move(image), outcome};
+          return true;
+        }
+        if (!partial.divergent.has_value() && partial.first.image != image) {
+          partial.divergent =
+              Occurrence{rank, Input(input.begin(), input.end()), std::move(image), outcome};
+          std::uint64_t prev = conflict_bound.load(std::memory_order_relaxed);
+          while (rank < prev &&
+                 !conflict_bound.compare_exchange_weak(prev, rank, std::memory_order_relaxed)) {
+          }
+        }
+        return true;
+      },
+      threads);
+
+  // Global representative per signature: its lowest-rank occurrence.
+  std::map<Signature, const Occurrence*> global_first;
+  for (const auto& shard : partials) {
+    for (const auto& [sig, partial] : shard) {
+      auto [it, inserted] = global_first.try_emplace(sig, &partial.first);
+      if (!inserted && partial.first.rank < it->second->rank) {
+        it->second = &partial.first;
+      }
+    }
+  }
+
+  // The serial counterexample is the minimum-rank occurrence whose image
+  // differs from its signature's representative image.
+  std::uint64_t best_rank = UINT64_MAX;
+  const Occurrence* best_rep = nullptr;
+  const Occurrence* best_witness = nullptr;
+  for (const auto& [sig, rep] : global_first) {
+    for (const auto& shard : partials) {
+      const auto it = shard.find(sig);
+      if (it == shard.end()) {
+        continue;
+      }
+      const SigPartial& partial = it->second;
+      const Occurrence* candidate = nullptr;
+      if (partial.first.rank != rep->rank && partial.first.image != rep->image) {
+        candidate = &partial.first;
+      } else if (partial.divergent.has_value() && partial.divergent->image != rep->image) {
+        candidate = &*partial.divergent;
+      }
+      if (candidate != nullptr && candidate->rank < best_rank) {
+        best_rank = candidate->rank;
+        best_rep = rep;
+        best_witness = candidate;
+      }
+    }
+  }
+
+  IntegrityReport report;
+  if (best_witness == nullptr) {
+    report.preserved = true;
+    report.inputs_checked = grid;
+    std::set<PolicyImage> classes;
+    for (const auto& shard : image_firsts) {
+      for (const auto& [image, rank] : shard) {
+        (void)rank;
+        classes.insert(image);
+      }
+    }
+    report.required_classes = classes.size();
+    return report;
+  }
+  report.preserved = false;
+  report.inputs_checked = best_rank + 1;
+  std::map<PolicyImage, std::uint64_t> class_firsts;
+  for (const auto& shard : image_firsts) {
+    for (const auto& [image, rank] : shard) {
+      auto [it, inserted] = class_firsts.try_emplace(image, rank);
+      if (!inserted && rank < it->second) {
+        it->second = rank;
+      }
+    }
+  }
+  for (const auto& [image, rank] : class_firsts) {
+    (void)image;
+    if (rank <= best_rank) {
+      ++report.required_classes;
+    }
+  }
+  IntegrityCounterexample cx;
+  cx.input_a = best_rep->input;
+  cx.input_b = best_witness->input;
+  cx.outcome = best_witness->outcome;
+  report.counterexample = std::move(cx);
+  return report;
+}
+
+}  // namespace
+
+IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanism,
+                                             const SecurityPolicy& required,
+                                             const InputDomain& domain, Observability obs,
+                                             const CheckOptions& options) {
+  assert(mechanism.num_inputs() == required.num_inputs());
+  assert(mechanism.num_inputs() == domain.num_inputs());
+  const int threads = options.ResolvedThreads();
+  if (threads <= 1) {
+    return CheckPreservationSerial(mechanism, required, domain, obs);
+  }
+  return CheckPreservationParallel(mechanism, required, domain, obs, threads);
 }
 
 }  // namespace secpol

@@ -25,6 +25,7 @@
 #include <optional>
 #include <string>
 
+#include "src/mechanism/check_options.h"
 #include "src/mechanism/domain.h"
 #include "src/mechanism/mechanism.h"
 #include "src/mechanism/outcome.h"
@@ -52,10 +53,13 @@ struct IntegrityReport {
 };
 
 // Checks that `mechanism` preserves the information required by `required`
-// over `domain` under observability `obs`.
+// over `domain` under observability `obs`. With options.num_threads != 1 the
+// grid is evaluated in parallel shards; the merged report (counterexample,
+// counts) is identical to the serial scan at any thread count.
 IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanism,
                                              const SecurityPolicy& required,
-                                             const InputDomain& domain, Observability obs);
+                                             const InputDomain& domain, Observability obs,
+                                             const CheckOptions& options = CheckOptions());
 
 }  // namespace secpol
 

@@ -1,38 +1,105 @@
 #include "src/mechanism/maximal.h"
 
 #include <cassert>
+#include <iterator>
 #include <map>
+#include <utility>
 #include <vector>
 
 namespace secpol {
 
+namespace {
+
+struct ClassInfo {
+  std::vector<Input> members;
+  Outcome first_outcome;
+  bool constant = true;
+};
+
+// Tabulates one shard. Shard ranges are contiguous and increasing, so
+// concatenating per-shard member lists in shard order reproduces the
+// lexicographic member order of the serial tabulation, and a class is
+// constant globally iff every shard is internally constant and every
+// shard's first outcome observably equals the class's global first.
+std::map<PolicyImage, ClassInfo> TabulateClasses(const ProtectionMechanism& q,
+                                                 const SecurityPolicy& policy,
+                                                 const InputDomain& domain, Observability obs,
+                                                 int threads, std::uint64_t* inputs) {
+  if (threads <= 1) {
+    std::map<PolicyImage, ClassInfo> classes;
+    domain.ForEach([&](InputView input) {
+      ++*inputs;
+      Outcome outcome = q.Run(input);
+      PolicyImage image = policy.Image(input);
+      auto [it, inserted] = classes.try_emplace(std::move(image));
+      ClassInfo& info = it->second;
+      if (inserted) {
+        info.first_outcome = outcome;
+      } else if (info.constant && !info.first_outcome.ObservablyEquals(outcome, obs)) {
+        info.constant = false;
+      }
+      info.members.emplace_back(input.begin(), input.end());
+    });
+    return classes;
+  }
+
+  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, domain.size());
+  std::vector<std::map<PolicyImage, ClassInfo>> partials(num_shards);
+  std::vector<std::uint64_t> counts(num_shards, 0);
+  domain.ParallelForEach(
+      num_shards,
+      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+        (void)rank;
+        ++counts[shard];
+        Outcome outcome = q.Run(input);
+        PolicyImage image = policy.Image(input);
+        auto [it, inserted] = partials[shard].try_emplace(std::move(image));
+        ClassInfo& info = it->second;
+        if (inserted) {
+          info.first_outcome = outcome;
+        } else if (info.constant && !info.first_outcome.ObservablyEquals(outcome, obs)) {
+          info.constant = false;
+        }
+        info.members.emplace_back(input.begin(), input.end());
+        return true;
+      },
+      threads);
+
+  std::map<PolicyImage, ClassInfo> classes;
+  for (std::uint64_t shard = 0; shard < num_shards; ++shard) {
+    *inputs += counts[shard];
+    for (auto& [image, partial] : partials[shard]) {
+      auto [it, inserted] = classes.try_emplace(image);
+      ClassInfo& info = it->second;
+      if (inserted) {
+        info.first_outcome = partial.first_outcome;
+        info.constant = partial.constant;
+      } else {
+        if (!partial.constant ||
+            !info.first_outcome.ObservablyEquals(partial.first_outcome, obs)) {
+          info.constant = false;
+        }
+      }
+      info.members.insert(info.members.end(),
+                          std::make_move_iterator(partial.members.begin()),
+                          std::make_move_iterator(partial.members.end()));
+    }
+  }
+  return classes;
+}
+
+}  // namespace
+
 MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
                                             const SecurityPolicy& policy,
-                                            const InputDomain& domain, Observability obs) {
+                                            const InputDomain& domain, Observability obs,
+                                            const CheckOptions& options) {
   assert(q.num_inputs() == policy.num_inputs());
   assert(q.num_inputs() == domain.num_inputs());
 
-  struct ClassInfo {
-    std::vector<Input> members;
-    Outcome first_outcome;
-    bool constant = true;
-  };
-  std::map<PolicyImage, ClassInfo> classes;
-
   MaximalSynthesis result;
-  domain.ForEach([&](InputView input) {
-    ++result.inputs;
-    Outcome outcome = q.Run(input);
-    PolicyImage image = policy.Image(input);
-    auto [it, inserted] = classes.try_emplace(std::move(image));
-    ClassInfo& info = it->second;
-    if (inserted) {
-      info.first_outcome = outcome;
-    } else if (info.constant && !info.first_outcome.ObservablyEquals(outcome, obs)) {
-      info.constant = false;
-    }
-    info.members.emplace_back(input.begin(), input.end());
-  });
+  std::map<PolicyImage, ClassInfo> classes =
+      TabulateClasses(q, policy, domain, obs, options.ResolvedThreads(), &result.inputs);
 
   auto table = std::make_shared<TableMechanism>("maximal(" + q.name() + ")", q.num_inputs());
   result.policy_classes = classes.size();

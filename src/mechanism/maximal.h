@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/mechanism/check_options.h"
 #include "src/mechanism/domain.h"
 #include "src/mechanism/mechanism.h"
 #include "src/mechanism/outcome.h"
@@ -33,9 +34,14 @@ struct MaximalSynthesis {
 // Under kValueAndTime a class is released only if Q's (value, steps) pair is
 // constant on it; released outcomes replay Q's own steps, and violation
 // outcomes use steps = 0 so violations are timing-uniform.
+// With options.num_threads != 1 the tabulation runs in parallel shards;
+// class member lists are concatenated in shard order (= lexicographic
+// order), so the synthesized table and every count are identical to the
+// serial tabulation at any thread count.
 MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
                                             const SecurityPolicy& policy,
-                                            const InputDomain& domain, Observability obs);
+                                            const InputDomain& domain, Observability obs,
+                                            const CheckOptions& options = CheckOptions());
 
 }  // namespace secpol
 

@@ -1,29 +1,71 @@
 #include "src/mechanism/policy_compare.h"
 
+#include <atomic>
 #include <cassert>
 #include <map>
+#include <vector>
 
 namespace secpol {
 
 bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q,
-                   const InputDomain& domain) {
+                   const InputDomain& domain, const CheckOptions& options) {
   assert(p.num_inputs() == q.num_inputs());
   assert(p.num_inputs() == domain.num_inputs());
-  // Functional dependency check: each q-image must map to a single p-image.
-  std::map<PolicyImage, PolicyImage> q_to_p;
-  bool functional = true;
-  domain.ForEach([&](InputView input) {
-    if (!functional) {
-      return;
+
+  const int threads = options.ResolvedThreads();
+  if (threads <= 1) {
+    // Functional dependency check: each q-image must map to a single p-image.
+    std::map<PolicyImage, PolicyImage> q_to_p;
+    bool functional = true;
+    domain.ForEach([&](InputView input) {
+      if (!functional) {
+        return;
+      }
+      PolicyImage q_image = q.Image(input);
+      PolicyImage p_image = p.Image(input);
+      auto [it, inserted] = q_to_p.try_emplace(std::move(q_image), std::move(p_image));
+      if (!inserted && it->second != p.Image(input)) {
+        functional = false;
+      }
+    });
+    return functional;
+  }
+
+  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, domain.size());
+  std::vector<std::map<PolicyImage, PolicyImage>> partials(num_shards);
+  std::atomic<bool> functional{true};
+  domain.ParallelForEach(
+      num_shards,
+      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+        (void)rank;
+        if (!functional.load(std::memory_order_relaxed)) {
+          return false;
+        }
+        PolicyImage q_image = q.Image(input);
+        PolicyImage p_image = p.Image(input);
+        auto [it, inserted] =
+            partials[shard].try_emplace(std::move(q_image), std::move(p_image));
+        if (!inserted && it->second != p.Image(input)) {
+          functional.store(false, std::memory_order_relaxed);
+        }
+        return true;
+      },
+      threads);
+  if (!functional.load()) {
+    return false;
+  }
+  // Cross-shard consistency: the same q-image must map to the same p-image
+  // in every shard.
+  std::map<PolicyImage, PolicyImage> merged;
+  for (auto& shard : partials) {
+    for (auto& [q_image, p_image] : shard) {
+      auto [it, inserted] = merged.try_emplace(q_image, p_image);
+      if (!inserted && it->second != p_image) {
+        return false;
+      }
     }
-    PolicyImage q_image = q.Image(input);
-    PolicyImage p_image = p.Image(input);
-    auto [it, inserted] = q_to_p.try_emplace(std::move(q_image), std::move(p_image));
-    if (!inserted && it->second != p.Image(input)) {
-      functional = false;
-    }
-  });
-  return functional;
+  }
+  return true;
 }
 
 }  // namespace secpol

@@ -13,13 +13,17 @@
 #ifndef SECPOL_SRC_MECHANISM_POLICY_COMPARE_H_
 #define SECPOL_SRC_MECHANISM_POLICY_COMPARE_H_
 
+#include "src/mechanism/check_options.h"
 #include "src/mechanism/domain.h"
 #include "src/policy/policy.h"
 
 namespace secpol {
 
-// True iff, over `domain`, Image_p is a function of Image_q.
-bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q, const InputDomain& domain);
+// True iff, over `domain`, Image_p is a function of Image_q. The verdict is
+// a bare bool, so the parallel evaluation is trivially deterministic: shard
+// dependency maps are merged and re-checked for consistency.
+bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q, const InputDomain& domain,
+                   const CheckOptions& options = CheckOptions());
 
 }  // namespace secpol
 

@@ -1,8 +1,11 @@
 #include "src/mechanism/soundness.h"
 
+#include <atomic>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "src/util/strings.h"
 
@@ -24,12 +27,13 @@ std::string SoundnessReport::ToString() const {
   return out;
 }
 
-SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
-                               const SecurityPolicy& policy, const InputDomain& domain,
-                               Observability obs) {
-  assert(mechanism.num_inputs() == policy.num_inputs());
-  assert(mechanism.num_inputs() == domain.num_inputs());
+namespace {
 
+// The reference implementation: one lexicographic scan, stopping at the
+// first input whose outcome observably differs from its class representative.
+SoundnessReport CheckSoundnessSerial(const ProtectionMechanism& mechanism,
+                                     const SecurityPolicy& policy, const InputDomain& domain,
+                                     Observability obs) {
   SoundnessReport report;
   report.sound = true;
 
@@ -62,6 +66,145 @@ SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
 
   report.policy_classes = representatives.size();
   return report;
+}
+
+// One occurrence of a class member: its global grid rank, the tuple, and the
+// mechanism's outcome on it.
+struct Occurrence {
+  std::uint64_t rank = 0;
+  Input input;
+  Outcome outcome;
+};
+
+// What one shard records per policy class. Observable equality is an
+// equivalence relation, so to locate the first member that disagrees with
+// *any* reference outcome it suffices to keep the first member overall and
+// the first member observably different from it: at most one of the two can
+// agree with the reference.
+struct ClassPartial {
+  Occurrence first;
+  std::optional<Occurrence> divergent;
+};
+
+SoundnessReport CheckSoundnessParallel(const ProtectionMechanism& mechanism,
+                                       const SecurityPolicy& policy, const InputDomain& domain,
+                                       Observability obs, int threads) {
+  const std::uint64_t grid = domain.size();
+  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
+  std::vector<std::map<PolicyImage, ClassPartial>> partials(num_shards);
+
+  // Once some class holds two observably different outcomes at ranks
+  // i1 < i2, a counterexample exists at rank <= i2 whatever the global
+  // representative turns out to be, so ranks beyond the smallest such bound
+  // can never contribute the first witness and shards may skip them.
+  std::atomic<std::uint64_t> conflict_bound{UINT64_MAX};
+
+  domain.ParallelForEach(
+      num_shards,
+      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+        if (rank > conflict_bound.load(std::memory_order_relaxed)) {
+          return false;
+        }
+        auto& classes = partials[shard];
+        PolicyImage image = policy.Image(input);
+        Outcome outcome = mechanism.Run(input);
+        auto [it, inserted] = classes.try_emplace(std::move(image));
+        ClassPartial& partial = it->second;
+        if (inserted) {
+          partial.first = Occurrence{rank, Input(input.begin(), input.end()), outcome};
+          return true;
+        }
+        if (!partial.divergent.has_value() &&
+            !partial.first.outcome.ObservablyEquals(outcome, obs)) {
+          partial.divergent = Occurrence{rank, Input(input.begin(), input.end()), outcome};
+          std::uint64_t prev = conflict_bound.load(std::memory_order_relaxed);
+          while (rank < prev &&
+                 !conflict_bound.compare_exchange_weak(prev, rank, std::memory_order_relaxed)) {
+          }
+        }
+        return true;
+      },
+      threads);
+
+  // Merge. The global representative of a class is its lowest-rank
+  // occurrence; shard ranges are disjoint and increasing, so that is the
+  // `first` of the earliest shard that saw the class.
+  std::map<PolicyImage, const Occurrence*> global_first;
+  for (const auto& shard : partials) {
+    for (const auto& [image, partial] : shard) {
+      auto [it, inserted] = global_first.try_emplace(image, &partial.first);
+      if (!inserted && partial.first.rank < it->second->rank) {
+        it->second = &partial.first;
+      }
+    }
+  }
+
+  // The serial counterexample is the minimum-rank member that observably
+  // disagrees with its class representative.
+  std::uint64_t best_rank = UINT64_MAX;
+  const Occurrence* best_rep = nullptr;
+  const Occurrence* best_witness = nullptr;
+  for (const auto& [image, rep] : global_first) {
+    for (const auto& shard : partials) {
+      const auto it = shard.find(image);
+      if (it == shard.end()) {
+        continue;
+      }
+      const ClassPartial& partial = it->second;
+      const Occurrence* candidate = nullptr;
+      if (partial.first.rank != rep->rank &&
+          !partial.first.outcome.ObservablyEquals(rep->outcome, obs)) {
+        candidate = &partial.first;
+      } else if (partial.divergent.has_value() &&
+                 !partial.divergent->outcome.ObservablyEquals(rep->outcome, obs)) {
+        candidate = &*partial.divergent;
+      }
+      if (candidate != nullptr && candidate->rank < best_rank) {
+        best_rank = candidate->rank;
+        best_rep = rep;
+        best_witness = candidate;
+      }
+    }
+  }
+
+  SoundnessReport report;
+  if (best_witness == nullptr) {
+    report.sound = true;
+    report.inputs_checked = grid;
+    report.policy_classes = global_first.size();
+    return report;
+  }
+  report.sound = false;
+  // The serial scan stops at the witness: it has counted best_rank + 1
+  // inputs and seen exactly the classes that first occur at or before it.
+  report.inputs_checked = best_rank + 1;
+  for (const auto& [image, rep] : global_first) {
+    (void)image;
+    if (rep->rank <= best_rank) {
+      ++report.policy_classes;
+    }
+  }
+  SoundnessCounterexample cx;
+  cx.input_a = best_rep->input;
+  cx.input_b = best_witness->input;
+  cx.outcome_a = best_rep->outcome;
+  cx.outcome_b = best_witness->outcome;
+  report.counterexample = std::move(cx);
+  return report;
+}
+
+}  // namespace
+
+SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
+                               const SecurityPolicy& policy, const InputDomain& domain,
+                               Observability obs, const CheckOptions& options) {
+  assert(mechanism.num_inputs() == policy.num_inputs());
+  assert(mechanism.num_inputs() == domain.num_inputs());
+  const int threads = options.ResolvedThreads();
+  if (threads <= 1) {
+    return CheckSoundnessSerial(mechanism, policy, domain, obs);
+  }
+  return CheckSoundnessParallel(mechanism, policy, domain, obs, threads);
 }
 
 }  // namespace secpol

@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "src/mechanism/check_options.h"
 #include "src/mechanism/domain.h"
 #include "src/mechanism/mechanism.h"
 #include "src/mechanism/outcome.h"
@@ -46,10 +47,13 @@ struct SoundnessReport {
 
 // Exhaustively checks soundness of `mechanism` for `policy` over `domain`
 // under observability `obs`. mechanism.num_inputs() must match both the
-// policy and the domain.
+// policy and the domain. With options.num_threads != 1 the grid is evaluated
+// in parallel shards; the report — including the exact counterexample pair
+// and inputs_checked — is identical to the serial scan at any thread count,
+// because shard partials are merged by global grid rank (first witness wins).
 SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
                                const SecurityPolicy& policy, const InputDomain& domain,
-                               Observability obs);
+                               Observability obs, const CheckOptions& options = CheckOptions());
 
 }  // namespace secpol
 

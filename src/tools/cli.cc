@@ -128,6 +128,25 @@ InputDomain ParseGrid(const ParsedArgs& args, int num_inputs) {
   return InputDomain::Range(num_inputs, lo, hi);
 }
 
+// Parses --threads=N into grid-evaluation options. 0 (the default) means one
+// worker per hardware thread; 1 forces the serial reference scan.
+std::optional<CheckOptions> ParseCheckOptions(const ParsedArgs& args, std::string* err) {
+  CheckOptions options;
+  if (const auto threads = FlagValue(args, "threads"); threads.has_value()) {
+    try {
+      options.num_threads = std::stoi(*threads);
+    } catch (...) {
+      *err += "bad --threads value '" + *threads + "'\n";
+      return std::nullopt;
+    }
+    if (options.num_threads < 0) {
+      *err += "--threads must be >= 0\n";
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
 std::optional<Program> LoadProgram(const ParsedArgs& args, std::string* err) {
   if (args.file.empty()) {
     *err += "missing program file\n";
@@ -266,11 +285,15 @@ int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
   if (mechanism == nullptr) {
     return 1;
   }
+  const auto options = ParseCheckOptions(args, err);
+  if (!options.has_value()) {
+    return 1;
+  }
   const AllowPolicy policy(program->num_inputs(), *allowed);
   const InputDomain domain = ParseGrid(args, program->num_inputs());
   const Observability obs =
       HasFlag(args, "time") ? Observability::kValueAndTime : Observability::kValueOnly;
-  const SoundnessReport report = CheckSoundness(*mechanism, policy, domain, obs);
+  const SoundnessReport report = CheckSoundness(*mechanism, policy, domain, obs, *options);
   *out += mechanism->name() + " for " + policy.name() + " over " + domain.ToString() + " [" +
           ObservabilityName(obs) + "]:\n" + report.ToString() + "\n";
   return report.sound ? 0 : 2;
@@ -324,8 +347,14 @@ int CmdAdvise(const ParsedArgs& args, std::string* out, std::string* err) {
   if (!allowed.has_value()) {
     return 1;
   }
+  const auto check = ParseCheckOptions(args, err);
+  if (!check.has_value()) {
+    return 1;
+  }
   const InputDomain domain = ParseGrid(args, num_inputs);
-  const AdvisorReport report = AdviseTransforms(*source, *allowed, domain);
+  AdvisorOptions advisor_options;
+  advisor_options.check = *check;
+  const AdvisorReport report = AdviseTransforms(*source, *allowed, domain, advisor_options);
   *out += report.ToString();
   *out += "chosen rewriting:\n" + report.best().program.ToString();
   return 0;

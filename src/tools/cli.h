@@ -7,13 +7,16 @@
 //   secpol monitor <file.fl> --allow=0,2 --input=1,2,3 [--time-safe|--high-water]
 //       Run it under a surveillance mechanism.
 //   secpol check <file.fl> --allow=0,2 [--grid=lo:hi] [--time] [--mechanism=M]
+//                [--threads=N]
 //       Exhaustive soundness verdict; M in {surveillance, mprime, highwater,
-//       bare, static, residual}.
+//       bare, static, residual}. --threads=N evaluates the grid on N worker
+//       threads (0 = one per hardware thread, 1 = serial); the verdict and
+//       counterexample are identical at every thread count.
 //   secpol analyze <file.fl> --allow=0,2 [--monotone]
 //       Static information-flow report (per-halt release labels).
 //   secpol instrument <file.fl> --allow=0,2
 //       Print the literal Section 3 instrumented flowchart.
-//   secpol advise <file.fl> --allow=0,2 [--grid=lo:hi]
+//   secpol advise <file.fl> --allow=0,2 [--grid=lo:hi] [--threads=N]
 //       Transform-advisor report.
 //   secpol optimize <file.fl>
 //       Simplify expressions / fold constant tests; print the result.

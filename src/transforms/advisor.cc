@@ -86,7 +86,7 @@ AdvisorReport AdviseTransforms(const SourceProgram& program, VarSet allowed,
     candidate.equivalent = AuditEquivalent(original, lowered, domain);
     if (candidate.equivalent) {
       const SurveillanceMechanism mechanism = MakeSurveillanceM(std::move(lowered), allowed);
-      candidate.utility = MeasureUtility(mechanism, domain);
+      candidate.utility = MeasureUtility(mechanism, domain, options.check);
     }
     report.candidates.push_back(std::move(candidate));
   }

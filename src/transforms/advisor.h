@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/flowlang/ast.h"
+#include "src/mechanism/check_options.h"
 #include "src/mechanism/domain.h"
 #include "src/util/var_set.h"
 
@@ -40,6 +41,8 @@ struct AdvisorReport {
 struct AdvisorOptions {
   long long unroll_max_factor = 8;
   bool try_tail_duplication = true;
+  // Grid-evaluation knobs (thread count) for the utility measurements.
+  CheckOptions check;
 };
 
 // Explores transform pipelines for `program` under allow(`allowed`),

@@ -1,0 +1,56 @@
+// A small fixed-size thread pool for the parallel exhaustive checkers.
+//
+// The checkers partition their input grids into contiguous index shards and
+// submit one task per shard. Determinism is the *caller's* responsibility —
+// each checker merges per-shard partial results by global grid index — so the
+// pool itself promises only that every submitted task runs exactly once.
+
+#ifndef SECPOL_SRC_UTIL_THREAD_POOL_H_
+#define SECPOL_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace secpol {
+
+class ThreadPool {
+ public:
+  // Spawns max(1, num_threads) workers.
+  explicit ThreadPool(int num_threads);
+  // Waits for every pending task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task. Tasks must not call Submit or Wait on their own pool.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void Wait();
+
+  // max(1, std::thread::hardware_concurrency()).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_UTIL_THREAD_POOL_H_

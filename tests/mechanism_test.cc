@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
+#include "src/corpus/generator.h"
 #include "src/flowlang/lower.h"
 #include "src/mechanism/completeness.h"
 #include "src/mechanism/domain.h"
@@ -13,6 +16,7 @@
 #include "src/mechanism/mechanism.h"
 #include "src/mechanism/soundness.h"
 #include "src/policy/policy.h"
+#include "src/util/rng.h"
 
 namespace secpol {
 namespace {
@@ -55,6 +59,52 @@ TEST(DomainTest, PerInputAndRange) {
 
   const InputDomain range = InputDomain::Range(1, -1, 1);
   EXPECT_EQ(range.size(), 3u);
+}
+
+TEST(DomainTest, SizeSaturatesInsteadOfOverflowing) {
+  // 2^64 tuples: 64 binary coordinates overflow uint64 exactly by one bit.
+  const InputDomain domain = InputDomain::Uniform(64, {0, 1});
+  EXPECT_EQ(domain.CheckedSize(), std::nullopt);
+  EXPECT_EQ(domain.size(), UINT64_MAX);
+
+  const InputDomain fits = InputDomain::Uniform(63, {0, 1});
+  EXPECT_EQ(fits.CheckedSize(), std::uint64_t{1} << 63);
+  EXPECT_EQ(fits.size(), std::uint64_t{1} << 63);
+}
+
+TEST(DomainTest, EnumerateRefusesHugeGrids) {
+  // 10^10 tuples would OOM; Enumerate refuses with an empty vector (a real
+  // grid always has at least one tuple, so empty is unambiguous).
+  const InputDomain huge = InputDomain::Range(10, 0, 9);
+  EXPECT_GT(huge.size(), InputDomain::kEnumerateCap);
+  EXPECT_TRUE(huge.Enumerate().empty());
+
+  const InputDomain overflowing = InputDomain::Uniform(64, {0, 1});
+  EXPECT_TRUE(overflowing.Enumerate().empty());
+}
+
+TEST(DomainTest, ForEachRangeMatchesForEach) {
+  const InputDomain domain = InputDomain::PerInput({{0, 1, 2}, {7, 8}});
+  std::vector<Input> all;
+  domain.ForEach([&](InputView input) { all.emplace_back(input.begin(), input.end()); });
+
+  std::vector<Input> mid;
+  domain.ForEachRange(2, 5, [&](std::uint64_t rank, InputView input) {
+    EXPECT_EQ(Input(input.begin(), input.end()), all[rank]);
+    mid.emplace_back(input.begin(), input.end());
+    return true;
+  });
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.front(), all[2]);
+  EXPECT_EQ(mid.back(), all[4]);
+
+  // Clipping and early exit.
+  std::uint64_t visited = 0;
+  domain.ForEachRange(4, 99, [&](std::uint64_t, InputView) {
+    ++visited;
+    return false;  // stop after the first tuple
+  });
+  EXPECT_EQ(visited, 1u);
 }
 
 TEST(DomainTest, ZeroArity) {
@@ -364,6 +414,71 @@ TEST(ProgramAsMechanismTest, FuelExhaustionBecomesViolation) {
       "program diverge(x) { locals c; c = 0 - 1; while (c != 0) { c = c - 1; } }");
   const ProgramAsMechanism m(Program(loop), /*fuel=*/50);
   EXPECT_TRUE(m.Run(Input{0}).IsViolation());
+}
+
+// --- Fuzzed invariants ---
+
+// Soundness is a property of the *set* of grid points, not of their
+// enumeration order: permuting each coordinate's candidate-value list
+// permutes the grid but cannot change the verdict. (The counterexample found
+// first may differ; the verdict may not.)
+TEST(SoundnessPropertyTest, VerdictInvariantUnderCoordinatePermutation) {
+  CorpusConfig config;
+  const auto corpus = MakeCorpus(config, 20, /*seed=*/4242);
+  Rng rng(4242);
+  for (const SourceProgram& source : corpus) {
+    const ProgramAsMechanism m{Lower(source)};
+    VarSet allowed;
+    for (int i = 0; i < config.num_inputs; ++i) {
+      if (rng.Chance(1, 2)) {
+        allowed.Insert(i);
+      }
+    }
+    const AllowPolicy policy(config.num_inputs, allowed);
+
+    std::vector<std::vector<Value>> per_input(config.num_inputs, {-1, 0, 1, 2});
+    const InputDomain domain = InputDomain::PerInput(per_input);
+    // Fisher-Yates shuffle of every coordinate's value list.
+    for (auto& values : per_input) {
+      for (size_t i = values.size(); i > 1; --i) {
+        std::swap(values[i - 1], values[rng.NextBelow(i)]);
+      }
+    }
+    const InputDomain permuted = InputDomain::PerInput(per_input);
+
+    for (const Observability obs :
+         {Observability::kValueOnly, Observability::kValueAndTime}) {
+      EXPECT_EQ(CheckSoundness(m, policy, domain, obs).sound,
+                CheckSoundness(m, policy, permuted, obs).sound)
+          << source.name << " " << policy.name() << " " << ObservabilityName(obs);
+    }
+  }
+}
+
+// Example 3 as a fuzzed invariant: "pulling the plug" is sound for *every*
+// policy — any arity, any allowed set, any grid, any observability, any
+// thread count.
+TEST(SoundnessPropertyTest, PlugIsSoundForEveryRandomPolicy) {
+  Rng rng(99);
+  for (int trial = 0; trial < 64; ++trial) {
+    const int num_inputs = 1 + static_cast<int>(rng.NextBelow(4));
+    const PlugMechanism plug(num_inputs);
+    VarSet allowed;
+    for (int i = 0; i < num_inputs; ++i) {
+      if (rng.Chance(1, 2)) {
+        allowed.Insert(i);
+      }
+    }
+    const AllowPolicy policy(num_inputs, allowed);
+    const Value lo = rng.NextInRange(-3, 0);
+    const InputDomain domain = InputDomain::Range(num_inputs, lo, lo + rng.NextInRange(1, 3));
+    const Observability obs =
+        rng.Chance(1, 2) ? Observability::kValueOnly : Observability::kValueAndTime;
+    const CheckOptions options = CheckOptions::Threads(1 + static_cast<int>(rng.NextBelow(4)));
+    const auto report = CheckSoundness(plug, policy, domain, obs, options);
+    EXPECT_TRUE(report.sound) << policy.name() << " over " << domain.ToString();
+    EXPECT_EQ(report.inputs_checked, domain.size());
+  }
 }
 
 }  // namespace

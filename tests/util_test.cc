@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "src/util/bitvec.h"
+#include "src/util/thread_pool.h"
 #include "src/util/result.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
@@ -204,6 +207,45 @@ TEST(StringsTest, StartsWith) {
   EXPECT_TRUE(StartsWith("surveillance", "surv"));
   EXPECT_FALSE(StartsWith("surv", "surveillance"));
   EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
 }
 
 }  // namespace
