@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_completeness.dir/bench_completeness.cc.o"
+  "CMakeFiles/bench_completeness.dir/bench_completeness.cc.o.d"
+  "bench_completeness"
+  "bench_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fenton.dir/bench_fenton.cc.o"
+  "CMakeFiles/bench_fenton.dir/bench_fenton.cc.o.d"
+  "bench_fenton"
+  "bench_fenton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fenton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filesys.dir/bench_filesys.cc.o"
+  "CMakeFiles/bench_filesys.dir/bench_filesys.cc.o.d"
+  "bench_filesys"
+  "bench_filesys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filesys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maximal.dir/bench_maximal.cc.o"
+  "CMakeFiles/bench_maximal.dir/bench_maximal.cc.o.d"
+  "bench_maximal"
+  "bench_maximal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maximal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

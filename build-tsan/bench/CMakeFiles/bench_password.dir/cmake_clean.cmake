@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_password.dir/bench_password.cc.o"
+  "CMakeFiles/bench_password.dir/bench_password.cc.o.d"
+  "bench_password"
+  "bench_password.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_password.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

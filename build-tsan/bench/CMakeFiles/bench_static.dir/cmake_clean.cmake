@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static.dir/bench_static.cc.o"
+  "CMakeFiles/bench_static.dir/bench_static.cc.o.d"
+  "bench_static"
+  "bench_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tape.dir/bench_tape.cc.o"
+  "CMakeFiles/bench_tape.dir/bench_tape.cc.o.d"
+  "bench_tape"
+  "bench_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transforms.dir/bench_transforms.cc.o"
+  "CMakeFiles/bench_transforms.dir/bench_transforms.cc.o.d"
+  "bench_transforms"
+  "bench_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenton_machine.dir/fenton_machine.cpp.o"
+  "CMakeFiles/fenton_machine.dir/fenton_machine.cpp.o.d"
+  "fenton_machine"
+  "fenton_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenton_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

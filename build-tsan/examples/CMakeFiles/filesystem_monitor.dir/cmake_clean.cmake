@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_monitor.dir/filesystem_monitor.cpp.o"
+  "CMakeFiles/filesystem_monitor.dir/filesystem_monitor.cpp.o.d"
+  "filesystem_monitor"
+  "filesystem_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

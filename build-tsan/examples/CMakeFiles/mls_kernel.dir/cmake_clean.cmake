@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mls_kernel.dir/mls_kernel.cpp.o"
+  "CMakeFiles/mls_kernel.dir/mls_kernel.cpp.o.d"
+  "mls_kernel"
+  "mls_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mls_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

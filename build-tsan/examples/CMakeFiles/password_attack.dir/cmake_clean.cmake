@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/password_attack.dir/password_attack.cpp.o"
+  "CMakeFiles/password_attack.dir/password_attack.cpp.o.d"
+  "password_attack"
+  "password_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/password_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_channel.dir/timing_channel.cpp.o"
+  "CMakeFiles/timing_channel.dir/timing_channel.cpp.o.d"
+  "timing_channel"
+  "timing_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

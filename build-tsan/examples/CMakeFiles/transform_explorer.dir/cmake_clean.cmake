@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_explorer.dir/transform_explorer.cpp.o"
+  "CMakeFiles/transform_explorer.dir/transform_explorer.cpp.o.d"
+  "transform_explorer"
+  "transform_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

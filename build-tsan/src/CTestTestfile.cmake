@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("expr")
+subdirs("flowchart")
+subdirs("flowlang")
+subdirs("policy")
+subdirs("mechanism")
+subdirs("staticflow")
+subdirs("surveillance")
+subdirs("transforms")
+subdirs("lattice")
+subdirs("minsky")
+subdirs("tape")
+subdirs("monitor")
+subdirs("channels")
+subdirs("corpus")
+subdirs("tools")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channels/paging.cc" "src/channels/CMakeFiles/secpol_channels.dir/paging.cc.o" "gcc" "src/channels/CMakeFiles/secpol_channels.dir/paging.cc.o.d"
+  "/root/repo/src/channels/password_attack.cc" "src/channels/CMakeFiles/secpol_channels.dir/password_attack.cc.o" "gcc" "src/channels/CMakeFiles/secpol_channels.dir/password_attack.cc.o.d"
+  "/root/repo/src/channels/timing.cc" "src/channels/CMakeFiles/secpol_channels.dir/timing.cc.o" "gcc" "src/channels/CMakeFiles/secpol_channels.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mechanism/CMakeFiles/secpol_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/policy/CMakeFiles/secpol_policy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/secpol_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flowchart/CMakeFiles/secpol_flowchart.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/expr/CMakeFiles/secpol_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

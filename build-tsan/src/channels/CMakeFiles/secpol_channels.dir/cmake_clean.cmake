@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_channels.dir/paging.cc.o"
+  "CMakeFiles/secpol_channels.dir/paging.cc.o.d"
+  "CMakeFiles/secpol_channels.dir/password_attack.cc.o"
+  "CMakeFiles/secpol_channels.dir/password_attack.cc.o.d"
+  "CMakeFiles/secpol_channels.dir/timing.cc.o"
+  "CMakeFiles/secpol_channels.dir/timing.cc.o.d"
+  "libsecpol_channels.a"
+  "libsecpol_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

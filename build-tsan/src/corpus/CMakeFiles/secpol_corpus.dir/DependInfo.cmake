@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/secpol_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/secpol_corpus.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/flowlang/CMakeFiles/secpol_flowlang.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/secpol_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flowchart/CMakeFiles/secpol_flowchart.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/expr/CMakeFiles/secpol_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

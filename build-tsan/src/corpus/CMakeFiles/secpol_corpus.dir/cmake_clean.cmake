@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_corpus.dir/generator.cc.o"
+  "CMakeFiles/secpol_corpus.dir/generator.cc.o.d"
+  "libsecpol_corpus.a"
+  "libsecpol_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

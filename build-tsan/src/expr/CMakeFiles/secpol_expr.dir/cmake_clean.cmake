@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_expr.dir/expr.cc.o"
+  "CMakeFiles/secpol_expr.dir/expr.cc.o.d"
+  "CMakeFiles/secpol_expr.dir/simplify.cc.o"
+  "CMakeFiles/secpol_expr.dir/simplify.cc.o.d"
+  "libsecpol_expr.a"
+  "libsecpol_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

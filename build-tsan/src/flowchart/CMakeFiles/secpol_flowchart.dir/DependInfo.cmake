@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowchart/builder.cc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/builder.cc.o" "gcc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/builder.cc.o.d"
+  "/root/repo/src/flowchart/bytecode.cc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/bytecode.cc.o" "gcc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/bytecode.cc.o.d"
+  "/root/repo/src/flowchart/dot.cc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/dot.cc.o" "gcc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/dot.cc.o.d"
+  "/root/repo/src/flowchart/interpreter.cc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/interpreter.cc.o" "gcc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/interpreter.cc.o.d"
+  "/root/repo/src/flowchart/optimize.cc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/optimize.cc.o" "gcc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/optimize.cc.o.d"
+  "/root/repo/src/flowchart/program.cc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/program.cc.o" "gcc" "src/flowchart/CMakeFiles/secpol_flowchart.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/expr/CMakeFiles/secpol_expr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/secpol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

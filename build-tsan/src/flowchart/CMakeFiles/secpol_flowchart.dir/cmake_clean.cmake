@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_flowchart.dir/builder.cc.o"
+  "CMakeFiles/secpol_flowchart.dir/builder.cc.o.d"
+  "CMakeFiles/secpol_flowchart.dir/bytecode.cc.o"
+  "CMakeFiles/secpol_flowchart.dir/bytecode.cc.o.d"
+  "CMakeFiles/secpol_flowchart.dir/dot.cc.o"
+  "CMakeFiles/secpol_flowchart.dir/dot.cc.o.d"
+  "CMakeFiles/secpol_flowchart.dir/interpreter.cc.o"
+  "CMakeFiles/secpol_flowchart.dir/interpreter.cc.o.d"
+  "CMakeFiles/secpol_flowchart.dir/optimize.cc.o"
+  "CMakeFiles/secpol_flowchart.dir/optimize.cc.o.d"
+  "CMakeFiles/secpol_flowchart.dir/program.cc.o"
+  "CMakeFiles/secpol_flowchart.dir/program.cc.o.d"
+  "libsecpol_flowchart.a"
+  "libsecpol_flowchart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_flowchart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for secpol_flowchart.
+# This may be replaced when dependencies are built.

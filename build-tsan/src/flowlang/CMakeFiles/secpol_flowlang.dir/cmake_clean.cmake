@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_flowlang.dir/ast.cc.o"
+  "CMakeFiles/secpol_flowlang.dir/ast.cc.o.d"
+  "CMakeFiles/secpol_flowlang.dir/lexer.cc.o"
+  "CMakeFiles/secpol_flowlang.dir/lexer.cc.o.d"
+  "CMakeFiles/secpol_flowlang.dir/lower.cc.o"
+  "CMakeFiles/secpol_flowlang.dir/lower.cc.o.d"
+  "CMakeFiles/secpol_flowlang.dir/parser.cc.o"
+  "CMakeFiles/secpol_flowlang.dir/parser.cc.o.d"
+  "libsecpol_flowlang.a"
+  "libsecpol_flowlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_flowlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/flow_mechanism.cc" "src/lattice/CMakeFiles/secpol_lattice.dir/flow_mechanism.cc.o" "gcc" "src/lattice/CMakeFiles/secpol_lattice.dir/flow_mechanism.cc.o.d"
+  "/root/repo/src/lattice/lattice.cc" "src/lattice/CMakeFiles/secpol_lattice.dir/lattice.cc.o" "gcc" "src/lattice/CMakeFiles/secpol_lattice.dir/lattice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mechanism/CMakeFiles/secpol_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flowchart/CMakeFiles/secpol_flowchart.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/secpol_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/expr/CMakeFiles/secpol_expr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/policy/CMakeFiles/secpol_policy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

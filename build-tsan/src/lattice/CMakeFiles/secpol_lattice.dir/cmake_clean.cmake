@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_lattice.dir/flow_mechanism.cc.o"
+  "CMakeFiles/secpol_lattice.dir/flow_mechanism.cc.o.d"
+  "CMakeFiles/secpol_lattice.dir/lattice.cc.o"
+  "CMakeFiles/secpol_lattice.dir/lattice.cc.o.d"
+  "libsecpol_lattice.a"
+  "libsecpol_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

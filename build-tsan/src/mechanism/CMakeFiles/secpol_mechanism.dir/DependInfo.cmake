@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mechanism/check_options.cc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/check_options.cc.o" "gcc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/check_options.cc.o.d"
+  "/root/repo/src/mechanism/completeness.cc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/completeness.cc.o" "gcc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/completeness.cc.o.d"
+  "/root/repo/src/mechanism/domain.cc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/domain.cc.o" "gcc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/domain.cc.o.d"
+  "/root/repo/src/mechanism/integrity.cc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/integrity.cc.o" "gcc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/integrity.cc.o.d"
+  "/root/repo/src/mechanism/maximal.cc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/maximal.cc.o" "gcc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/maximal.cc.o.d"
+  "/root/repo/src/mechanism/mechanism.cc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/mechanism.cc.o" "gcc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/mechanism.cc.o.d"
+  "/root/repo/src/mechanism/outcome.cc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/outcome.cc.o" "gcc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/outcome.cc.o.d"
+  "/root/repo/src/mechanism/policy_compare.cc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/policy_compare.cc.o" "gcc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/policy_compare.cc.o.d"
+  "/root/repo/src/mechanism/soundness.cc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/soundness.cc.o" "gcc" "src/mechanism/CMakeFiles/secpol_mechanism.dir/soundness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/flowchart/CMakeFiles/secpol_flowchart.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/policy/CMakeFiles/secpol_policy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/secpol_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/expr/CMakeFiles/secpol_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_mechanism.dir/check_options.cc.o"
+  "CMakeFiles/secpol_mechanism.dir/check_options.cc.o.d"
+  "CMakeFiles/secpol_mechanism.dir/completeness.cc.o"
+  "CMakeFiles/secpol_mechanism.dir/completeness.cc.o.d"
+  "CMakeFiles/secpol_mechanism.dir/domain.cc.o"
+  "CMakeFiles/secpol_mechanism.dir/domain.cc.o.d"
+  "CMakeFiles/secpol_mechanism.dir/integrity.cc.o"
+  "CMakeFiles/secpol_mechanism.dir/integrity.cc.o.d"
+  "CMakeFiles/secpol_mechanism.dir/maximal.cc.o"
+  "CMakeFiles/secpol_mechanism.dir/maximal.cc.o.d"
+  "CMakeFiles/secpol_mechanism.dir/mechanism.cc.o"
+  "CMakeFiles/secpol_mechanism.dir/mechanism.cc.o.d"
+  "CMakeFiles/secpol_mechanism.dir/outcome.cc.o"
+  "CMakeFiles/secpol_mechanism.dir/outcome.cc.o.d"
+  "CMakeFiles/secpol_mechanism.dir/policy_compare.cc.o"
+  "CMakeFiles/secpol_mechanism.dir/policy_compare.cc.o.d"
+  "CMakeFiles/secpol_mechanism.dir/soundness.cc.o"
+  "CMakeFiles/secpol_mechanism.dir/soundness.cc.o.d"
+  "libsecpol_mechanism.a"
+  "libsecpol_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

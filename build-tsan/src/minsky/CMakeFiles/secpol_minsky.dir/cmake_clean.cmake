@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_minsky.dir/data_mark.cc.o"
+  "CMakeFiles/secpol_minsky.dir/data_mark.cc.o.d"
+  "CMakeFiles/secpol_minsky.dir/minsky.cc.o"
+  "CMakeFiles/secpol_minsky.dir/minsky.cc.o.d"
+  "libsecpol_minsky.a"
+  "libsecpol_minsky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_minsky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/capability.cc" "src/monitor/CMakeFiles/secpol_monitor.dir/capability.cc.o" "gcc" "src/monitor/CMakeFiles/secpol_monitor.dir/capability.cc.o.d"
+  "/root/repo/src/monitor/filesys.cc" "src/monitor/CMakeFiles/secpol_monitor.dir/filesys.cc.o" "gcc" "src/monitor/CMakeFiles/secpol_monitor.dir/filesys.cc.o.d"
+  "/root/repo/src/monitor/kernel.cc" "src/monitor/CMakeFiles/secpol_monitor.dir/kernel.cc.o" "gcc" "src/monitor/CMakeFiles/secpol_monitor.dir/kernel.cc.o.d"
+  "/root/repo/src/monitor/logon.cc" "src/monitor/CMakeFiles/secpol_monitor.dir/logon.cc.o" "gcc" "src/monitor/CMakeFiles/secpol_monitor.dir/logon.cc.o.d"
+  "/root/repo/src/monitor/mls.cc" "src/monitor/CMakeFiles/secpol_monitor.dir/mls.cc.o" "gcc" "src/monitor/CMakeFiles/secpol_monitor.dir/mls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mechanism/CMakeFiles/secpol_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/policy/CMakeFiles/secpol_policy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lattice/CMakeFiles/secpol_lattice.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/secpol_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flowchart/CMakeFiles/secpol_flowchart.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/expr/CMakeFiles/secpol_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_monitor.dir/capability.cc.o"
+  "CMakeFiles/secpol_monitor.dir/capability.cc.o.d"
+  "CMakeFiles/secpol_monitor.dir/filesys.cc.o"
+  "CMakeFiles/secpol_monitor.dir/filesys.cc.o.d"
+  "CMakeFiles/secpol_monitor.dir/kernel.cc.o"
+  "CMakeFiles/secpol_monitor.dir/kernel.cc.o.d"
+  "CMakeFiles/secpol_monitor.dir/logon.cc.o"
+  "CMakeFiles/secpol_monitor.dir/logon.cc.o.d"
+  "CMakeFiles/secpol_monitor.dir/mls.cc.o"
+  "CMakeFiles/secpol_monitor.dir/mls.cc.o.d"
+  "libsecpol_monitor.a"
+  "libsecpol_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_policy.dir/policy.cc.o"
+  "CMakeFiles/secpol_policy.dir/policy.cc.o.d"
+  "CMakeFiles/secpol_policy.dir/refinement.cc.o"
+  "CMakeFiles/secpol_policy.dir/refinement.cc.o.d"
+  "libsecpol_policy.a"
+  "libsecpol_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_staticflow.dir/analysis.cc.o"
+  "CMakeFiles/secpol_staticflow.dir/analysis.cc.o.d"
+  "CMakeFiles/secpol_staticflow.dir/cfg.cc.o"
+  "CMakeFiles/secpol_staticflow.dir/cfg.cc.o.d"
+  "CMakeFiles/secpol_staticflow.dir/dominance.cc.o"
+  "CMakeFiles/secpol_staticflow.dir/dominance.cc.o.d"
+  "CMakeFiles/secpol_staticflow.dir/static_mechanisms.cc.o"
+  "CMakeFiles/secpol_staticflow.dir/static_mechanisms.cc.o.d"
+  "libsecpol_staticflow.a"
+  "libsecpol_staticflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_staticflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

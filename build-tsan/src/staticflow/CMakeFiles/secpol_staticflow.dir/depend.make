@@ -1,0 +1,2 @@
+# Empty dependencies file for secpol_staticflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_surveillance.dir/instrument.cc.o"
+  "CMakeFiles/secpol_surveillance.dir/instrument.cc.o.d"
+  "CMakeFiles/secpol_surveillance.dir/surveillance.cc.o"
+  "CMakeFiles/secpol_surveillance.dir/surveillance.cc.o.d"
+  "libsecpol_surveillance.a"
+  "libsecpol_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_tape.dir/tape.cc.o"
+  "CMakeFiles/secpol_tape.dir/tape.cc.o.d"
+  "libsecpol_tape.a"
+  "libsecpol_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for secpol_tape.
+# This may be replaced when dependencies are built.

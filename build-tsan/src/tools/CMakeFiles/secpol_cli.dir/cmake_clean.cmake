@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_cli.dir/secpol_main.cc.o"
+  "CMakeFiles/secpol_cli.dir/secpol_main.cc.o.d"
+  "secpol"
+  "secpol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_tools.dir/cli.cc.o"
+  "CMakeFiles/secpol_tools.dir/cli.cc.o.d"
+  "libsecpol_tools.a"
+  "libsecpol_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/advisor.cc" "src/transforms/CMakeFiles/secpol_transforms.dir/advisor.cc.o" "gcc" "src/transforms/CMakeFiles/secpol_transforms.dir/advisor.cc.o.d"
+  "/root/repo/src/transforms/structure.cc" "src/transforms/CMakeFiles/secpol_transforms.dir/structure.cc.o" "gcc" "src/transforms/CMakeFiles/secpol_transforms.dir/structure.cc.o.d"
+  "/root/repo/src/transforms/transforms.cc" "src/transforms/CMakeFiles/secpol_transforms.dir/transforms.cc.o" "gcc" "src/transforms/CMakeFiles/secpol_transforms.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/flowlang/CMakeFiles/secpol_flowlang.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/surveillance/CMakeFiles/secpol_surveillance.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mechanism/CMakeFiles/secpol_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/secpol_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/staticflow/CMakeFiles/secpol_staticflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flowchart/CMakeFiles/secpol_flowchart.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/expr/CMakeFiles/secpol_expr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/policy/CMakeFiles/secpol_policy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

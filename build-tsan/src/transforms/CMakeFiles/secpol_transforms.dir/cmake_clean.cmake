@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_transforms.dir/advisor.cc.o"
+  "CMakeFiles/secpol_transforms.dir/advisor.cc.o.d"
+  "CMakeFiles/secpol_transforms.dir/structure.cc.o"
+  "CMakeFiles/secpol_transforms.dir/structure.cc.o.d"
+  "CMakeFiles/secpol_transforms.dir/transforms.cc.o"
+  "CMakeFiles/secpol_transforms.dir/transforms.cc.o.d"
+  "libsecpol_transforms.a"
+  "libsecpol_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpol_util.dir/rng.cc.o"
+  "CMakeFiles/secpol_util.dir/rng.cc.o.d"
+  "CMakeFiles/secpol_util.dir/strings.cc.o"
+  "CMakeFiles/secpol_util.dir/strings.cc.o.d"
+  "CMakeFiles/secpol_util.dir/thread_pool.cc.o"
+  "CMakeFiles/secpol_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/secpol_util.dir/var_set.cc.o"
+  "CMakeFiles/secpol_util.dir/var_set.cc.o.d"
+  "libsecpol_util.a"
+  "libsecpol_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpol_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bytecode_test.dir/bytecode_test.cc.o"
+  "CMakeFiles/bytecode_test.dir/bytecode_test.cc.o.d"
+  "bytecode_test"
+  "bytecode_test.pdb"
+  "bytecode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bytecode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

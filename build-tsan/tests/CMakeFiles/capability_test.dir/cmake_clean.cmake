@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_test.dir/capability_test.cc.o"
+  "CMakeFiles/capability_test.dir/capability_test.cc.o.d"
+  "capability_test"
+  "capability_test.pdb"
+  "capability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channels_test.dir/channels_test.cc.o"
+  "CMakeFiles/channels_test.dir/channels_test.cc.o.d"
+  "channels_test"
+  "channels_test.pdb"
+  "channels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

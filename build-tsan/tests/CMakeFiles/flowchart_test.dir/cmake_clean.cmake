@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowchart_test.dir/flowchart_test.cc.o"
+  "CMakeFiles/flowchart_test.dir/flowchart_test.cc.o.d"
+  "flowchart_test"
+  "flowchart_test.pdb"
+  "flowchart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowchart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowlang_test.dir/flowlang_test.cc.o"
+  "CMakeFiles/flowlang_test.dir/flowlang_test.cc.o.d"
+  "flowlang_test"
+  "flowlang_test.pdb"
+  "flowlang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowlang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

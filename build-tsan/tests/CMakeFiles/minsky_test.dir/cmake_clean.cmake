@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minsky_test.dir/minsky_test.cc.o"
+  "CMakeFiles/minsky_test.dir/minsky_test.cc.o.d"
+  "minsky_test"
+  "minsky_test.pdb"
+  "minsky_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minsky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

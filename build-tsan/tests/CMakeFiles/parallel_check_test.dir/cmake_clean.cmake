@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_check_test.dir/parallel_check_test.cc.o"
+  "CMakeFiles/parallel_check_test.dir/parallel_check_test.cc.o.d"
+  "parallel_check_test"
+  "parallel_check_test.pdb"
+  "parallel_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simplify_test.cc" "tests/CMakeFiles/simplify_test.dir/simplify_test.cc.o" "gcc" "tests/CMakeFiles/simplify_test.dir/simplify_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/tools/CMakeFiles/secpol_tools.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/transforms/CMakeFiles/secpol_transforms.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/surveillance/CMakeFiles/secpol_surveillance.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/staticflow/CMakeFiles/secpol_staticflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/minsky/CMakeFiles/secpol_minsky.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tape/CMakeFiles/secpol_tape.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/monitor/CMakeFiles/secpol_monitor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lattice/CMakeFiles/secpol_lattice.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/channels/CMakeFiles/secpol_channels.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mechanism/CMakeFiles/secpol_mechanism.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/policy/CMakeFiles/secpol_policy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/corpus/CMakeFiles/secpol_corpus.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flowlang/CMakeFiles/secpol_flowlang.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flowchart/CMakeFiles/secpol_flowchart.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/expr/CMakeFiles/secpol_expr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/secpol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staticflow_test.dir/staticflow_test.cc.o"
+  "CMakeFiles/staticflow_test.dir/staticflow_test.cc.o.d"
+  "staticflow_test"
+  "staticflow_test.pdb"
+  "staticflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staticflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/expr_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/flowchart_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/flowlang_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/policy_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mechanism_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/surveillance_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/staticflow_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/transforms_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/lattice_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/minsky_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/tape_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/channels_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/simplify_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/bytecode_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integrity_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/policy_algebra_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cli_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/optimize_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/capability_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/structure_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_check_test[1]_include.cmake")
