@@ -1,0 +1,215 @@
+// E14 — the price of fault tolerance: cancellation-poll overhead and
+// deadline-bounded sweeps.
+//
+// PR "robustness runtime" threads a PollGate through every checker's hot
+// loop: one countdown branch per grid point, with the clock read and token
+// loads amortized over a 64-point stride. This bench quantifies that price
+// two ways: (1) a raw grid sweep with and without a gate — the microscopic
+// cost of the poll itself, which must stay within ~2% — and (2) the same
+// CheckSoundness configurations BENCH_parallel.json records, so the
+// trajectory across PRs stays comparable. It also measures how promptly a
+// deadline-bounded sweep stops: wall time past the deadline is bounded by
+// one poll stride, not by the remaining grid.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/corpus/generator.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/check_options.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/deadline.h"
+#include "src/util/strings.h"
+#include "src/util/thread_pool.h"
+
+namespace secpol {
+namespace {
+
+Program MakeProgram(int num_inputs) {
+  CorpusConfig config;
+  config.num_inputs = num_inputs;
+  return Lower(GenerateProgram(config, 4242, "target"));
+}
+
+// A raw rank sweep over `domain`, accumulating a checksum so the loop cannot
+// be optimized away. With `gated` the loop pays exactly what the checkers
+// pay per point: one PollGate::ShouldStop().
+std::uint64_t RawSweep(const InputDomain& domain, bool gated) {
+  std::uint64_t sum = 0;
+  PollGate gate((Deadline()));
+  domain.ForEachRange(0, domain.size(), [&](std::uint64_t rank, InputView input) {
+    if (gated && gate.ShouldStop()) {
+      return false;
+    }
+    sum += rank ^ static_cast<std::uint64_t>(input[0]);
+    return true;
+  });
+  return sum;
+}
+
+double SweepMillis(const InputDomain& domain, bool gated, int reps) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    benchmark::DoNotOptimize(RawSweep(domain, gated));
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+// Interleaved min-of-trials: scheduling noise at this granularity dwarfs the
+// effect being measured, and the minimum is the standard robust estimator.
+double SweepMillisMin(const InputDomain& domain, bool gated, int reps, int trials) {
+  double best = SweepMillis(domain, gated, reps);
+  for (int t = 1; t < trials; ++t) {
+    const double ms = SweepMillis(domain, gated, reps);
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+double CheckMillis(const ProtectionMechanism& mech, const SecurityPolicy& policy,
+                   const InputDomain& domain, int threads) {
+  const auto start = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(
+      CheckSoundness(mech, policy, domain, Observability::kValueOnly,
+                     CheckOptions::Threads(threads))
+          .inputs_checked);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+void PrintReproduction() {
+  PrintHeader("E14: robustness runtime — poll overhead and bounded sweeps");
+  std::printf("  host hardware threads: %d\n\n", ThreadPool::HardwareThreads());
+
+  // (1) Microscopic poll cost on a raw sweep (no mechanism evaluation, the
+  // worst case for relative overhead; real checkers amortize further).
+  {
+    const InputDomain domain = InputDomain::Range(4, 0, 9);  // 10^4 points
+    const int reps = 100;
+    const int trials = 7;
+    SweepMillis(domain, false, 10);  // warm up
+    SweepMillis(domain, true, 10);
+    const double bare = SweepMillisMin(domain, false, reps, trials);
+    const double gated = SweepMillisMin(domain, true, reps, trials);
+    const double overhead = bare > 0 ? (gated - bare) / bare * 100.0 : 0.0;
+    PrintRow({"sweep", "bare ms", "gated ms", "overhead %"}, {10, 12, 12, 12});
+    PrintRow({"10^4 x" + std::to_string(reps), FormatDouble(bare, 3), FormatDouble(gated, 3),
+              FormatDouble(overhead, 2)},
+             {10, 12, 12, 12});
+  }
+
+  // (2) The BENCH_parallel.json soundness series, for cross-PR comparison:
+  // the same grids, now with the gate in the hot loop.
+  std::printf("\n");
+  PrintRow({"inputs k", "|D| per coord", "grid |D|^k", "t=1 ms", "t=2 ms", "t=4 ms"},
+           {9, 14, 12, 10, 10, 10});
+  for (const int k : {3, 4}) {
+    const Program q = MakeProgram(k);
+    const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), VarSet{0});
+    const AllowPolicy policy(k, VarSet{0});
+    const InputDomain domain = InputDomain::Range(k, 0, 4);
+    PrintRow({std::to_string(k), "5", std::to_string(domain.size()),
+              FormatDouble(CheckMillis(ms, policy, domain, 1), 3),
+              FormatDouble(CheckMillis(ms, policy, domain, 2), 3),
+              FormatDouble(CheckMillis(ms, policy, domain, 4), 3)},
+             {9, 14, 12, 10, 10, 10});
+  }
+
+  // (3) Deadline promptness: a sweep that would run far past the deadline
+  // must stop within one poll stride of it.
+  {
+    const int k = 5;
+    const Program q = MakeProgram(k);
+    const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), VarSet{0});
+    const AllowPolicy policy(k, VarSet{0});
+    const InputDomain domain = InputDomain::Range(k, 0, 9);  // 10^5 points
+    std::printf("\n");
+    PrintRow({"deadline ms", "wall ms", "evaluated", "grid", "status"}, {12, 10, 12, 12, 20});
+    for (const int deadline_ms : {5, 20}) {
+      CheckOptions options = CheckOptions::Serial();
+      options.deadline = Deadline::AfterMillis(deadline_ms);
+      const auto start = std::chrono::steady_clock::now();
+      const SoundnessReport report =
+          CheckSoundness(ms, policy, domain, Observability::kValueOnly, options);
+      const double wall = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      PrintRow({std::to_string(deadline_ms), FormatDouble(wall, 2),
+                std::to_string(report.progress.evaluated),
+                std::to_string(report.progress.total),
+                CheckStatusName(report.progress.status)},
+               {12, 10, 12, 12, 20});
+    }
+  }
+
+  std::printf(
+      "\n  The gate is a countdown branch per grid point; every 64th point reads\n"
+      "  the steady clock and two relaxed atomics. That buys bounded, cancellable,\n"
+      "  exception-safe sweeps for ~one branch of overhead — and a deadline is\n"
+      "  honoured within one stride regardless of how much grid remains.\n");
+}
+
+void BM_RawSweep(benchmark::State& state) {
+  const InputDomain domain = InputDomain::Range(4, 0, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RawSweep(domain, false));
+  }
+  state.counters["points"] = static_cast<double>(domain.size());
+}
+BENCHMARK(BM_RawSweep);
+
+void BM_GatedSweep(benchmark::State& state) {
+  const InputDomain domain = InputDomain::Range(4, 0, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RawSweep(domain, true));
+  }
+  state.counters["points"] = static_cast<double>(domain.size());
+}
+BENCHMARK(BM_GatedSweep);
+
+void BM_SoundnessWithGate(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const Program q = MakeProgram(k);
+  const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), VarSet{0});
+  const AllowPolicy policy(k, VarSet{0});
+  const InputDomain domain = InputDomain::Range(k, 0, 4);
+  const CheckOptions options = CheckOptions::Threads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckSoundness(ms, policy, domain, Observability::kValueOnly, options).inputs_checked);
+  }
+  state.counters["grid"] = static_cast<double>(domain.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_SoundnessWithGate)->Args({3, 1})->Args({3, 4})->Args({4, 1})->Args({4, 4});
+
+void BM_DeadlineBoundedSoundness(benchmark::State& state) {
+  // Wall time of a deadline-capped sweep over an oversized grid: should sit
+  // just above the deadline (5ms), independent of grid size.
+  const Program q = MakeProgram(5);
+  const SurveillanceMechanism ms = MakeSurveillanceM(Program(q), VarSet{0});
+  const AllowPolicy policy(5, VarSet{0});
+  const InputDomain domain = InputDomain::Range(5, 0, 9);
+  for (auto _ : state) {
+    CheckOptions options = CheckOptions::Serial();
+    options.deadline = Deadline::AfterMillis(5);
+    benchmark::DoNotOptimize(
+        CheckSoundness(ms, policy, domain, Observability::kValueOnly, options)
+            .progress.evaluated);
+  }
+}
+BENCHMARK(BM_DeadlineBoundedSoundness);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

@@ -1,6 +1,7 @@
 #include "src/channels/timing.h"
 
 #include <cmath>
+#include <exception>
 #include <map>
 #include <set>
 #include <tuple>
@@ -11,10 +12,14 @@
 namespace secpol {
 
 std::string LeakReport::ToString() const {
-  return "leak: max " + FormatDouble(max_leak_bits, 3) + " bits/run (" +
-         std::to_string(max_distinct_outcomes) + " distinguishable outcomes; " +
-         std::to_string(leaky_classes) + "/" + std::to_string(policy_classes) +
-         " classes leaky)";
+  std::string out = "leak: max " + FormatDouble(max_leak_bits, 3) + " bits/run (" +
+                    std::to_string(max_distinct_outcomes) + " distinguishable outcomes; " +
+                    std::to_string(leaky_classes) + "/" + std::to_string(policy_classes) +
+                    " classes leaky)";
+  if (!progress.complete()) {
+    out += " [lower bound; " + progress.ToString() + "]";
+  }
+  return out;
 }
 
 LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolicy& policy,
@@ -29,30 +34,65 @@ LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolic
                      obs == Observability::kValueAndTime ? outcome.steps : 0};
   };
 
+  LeakReport report;
+  const std::uint64_t grid = domain.size();
+  report.progress.total = grid;
+
   const int threads = options.ResolvedThreads();
   if (threads <= 1) {
-    domain.ForEach([&](InputView input) {
-      classes[policy.Image(input)].insert(signature_of(mechanism.Run(input)));
-    });
+    std::vector<ShardMeter> meters(1, ShardMeter(options));
+    ShardMeter& meter = meters.front();
+    try {
+      domain.ForEachRange(0, grid, [&](std::uint64_t rank, InputView input) {
+        (void)rank;
+        if (meter.gate.ShouldStop()) {
+          return false;
+        }
+        ++meter.evaluated;
+        classes[policy.Image(input)].insert(signature_of(mechanism.Run(input)));
+        return true;
+      });
+      MergeMeters(meters, &report.progress);
+    } catch (const std::exception& e) {
+      MergeMeters(meters, &report.progress);
+      AbortProgress(&report.progress, e.what());
+    } catch (...) {
+      MergeMeters(meters, &report.progress);
+      AbortProgress(&report.progress, "unknown error");
+    }
   } else {
-    const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, domain.size());
+    const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
     std::vector<std::map<PolicyImage, std::set<Signature>>> partials(num_shards);
-    domain.ParallelForEach(
-        num_shards,
-        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
-          (void)rank;
-          partials[shard][policy.Image(input)].insert(signature_of(mechanism.Run(input)));
-          return true;
-        },
-        threads);
+    CancelToken drain;
+    std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
+    try {
+      domain.ParallelForEach(
+          num_shards,
+          [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+            (void)rank;
+            ShardMeter& meter = meters[shard];
+            if (meter.gate.ShouldStop()) {
+              return false;
+            }
+            ++meter.evaluated;
+            partials[shard][policy.Image(input)].insert(signature_of(mechanism.Run(input)));
+            return true;
+          },
+          threads, &drain);
+      MergeMeters(meters, &report.progress);
+    } catch (const std::exception& e) {
+      MergeMeters(meters, &report.progress);
+      AbortProgress(&report.progress, e.what());
+    } catch (...) {
+      MergeMeters(meters, &report.progress);
+      AbortProgress(&report.progress, "unknown error");
+    }
     for (auto& shard : partials) {
       for (auto& [image, signatures] : shard) {
         classes[image].insert(signatures.begin(), signatures.end());
       }
     }
   }
-
-  LeakReport report;
   report.policy_classes = classes.size();
   for (const auto& [image, signatures] : classes) {
     (void)image;

@@ -33,6 +33,11 @@ struct LeakReport {
   std::uint64_t leaky_classes = 0;
   std::uint64_t policy_classes = 0;
 
+  // How the sweep ended. On an incomplete run the measured capacity is a
+  // *lower* bound — unevaluated inputs can only add distinguishable
+  // outcomes, never remove them.
+  CheckProgress progress;
+
   std::string ToString() const;
 };
 
@@ -40,7 +45,9 @@ struct LeakReport {
 // observability `obs`. With obs = kValueAndTime and a mechanism sound for
 // kValueOnly, the report isolates the pure timing channel. The per-class
 // signature sets are merged by union across parallel shards, so the report
-// is identical to the serial scan at any thread count.
+// is identical to the serial scan at any thread count for completed runs.
+// The sweep honours options.deadline / options.cancel and converts a
+// throwing mechanism into progress.status = kAborted.
 LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolicy& policy,
                        const InputDomain& domain, Observability obs,
                        const CheckOptions& options = CheckOptions());

@@ -1,6 +1,7 @@
 #include "src/mechanism/completeness.h"
 
 #include <cassert>
+#include <exception>
 #include <utility>
 #include <vector>
 
@@ -44,7 +45,9 @@ double CompletenessStats::SecondUtility() const {
 }
 
 std::string CompletenessStats::ToString() const {
-  return CompletenessRelationName(Relation()) + " [both=" + std::to_string(both_value) +
+  std::string out = progress.complete() ? CompletenessRelationName(Relation())
+                                        : "UNKNOWN [" + progress.ToString() + "]";
+  return out + " [both=" + std::to_string(both_value) +
          " first-only=" + std::to_string(first_only) +
          " second-only=" + std::to_string(second_only) + " neither=" + std::to_string(neither) +
          " total=" + std::to_string(total) + "]";
@@ -57,32 +60,20 @@ CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
   assert(m1.num_inputs() == domain.num_inputs());
 
   const int threads = options.ResolvedThreads();
+  const std::uint64_t grid = domain.size();
+
   if (threads <= 1) {
     CompletenessStats stats;
-    domain.ForEach([&](InputView input) {
-      ++stats.total;
-      const bool v1 = m1.Run(input).IsValue();
-      const bool v2 = m2.Run(input).IsValue();
-      if (v1 && v2) {
-        ++stats.both_value;
-      } else if (v1) {
-        ++stats.first_only;
-      } else if (v2) {
-        ++stats.second_only;
-      } else {
-        ++stats.neither;
-      }
-    });
-    return stats;
-  }
-
-  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, domain.size());
-  std::vector<CompletenessStats> partials(num_shards);
-  domain.ParallelForEach(
-      num_shards,
-      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+    stats.progress.total = grid;
+    std::vector<ShardMeter> meters(1, ShardMeter(options));
+    ShardMeter& meter = meters.front();
+    try {
+      domain.ForEachRange(0, grid, [&](std::uint64_t rank, InputView input) {
         (void)rank;
-        CompletenessStats& stats = partials[shard];
+        if (meter.gate.ShouldStop()) {
+          return false;
+        }
+        ++meter.evaluated;
         ++stats.total;
         const bool v1 = m1.Run(input).IsValue();
         const bool v2 = m2.Run(input).IsValue();
@@ -96,9 +87,58 @@ CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
           ++stats.neither;
         }
         return true;
-      },
-      threads);
+      });
+      MergeMeters(meters, &stats.progress);
+    } catch (const std::exception& e) {
+      MergeMeters(meters, &stats.progress);
+      AbortProgress(&stats.progress, e.what());
+    } catch (...) {
+      MergeMeters(meters, &stats.progress);
+      AbortProgress(&stats.progress, "unknown error");
+    }
+    return stats;
+  }
+
+  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
+  std::vector<CompletenessStats> partials(num_shards);
   CompletenessStats stats;
+  stats.progress.total = grid;
+  CancelToken drain;
+  std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
+  try {
+    domain.ParallelForEach(
+        num_shards,
+        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+          (void)rank;
+          ShardMeter& meter = meters[shard];
+          if (meter.gate.ShouldStop()) {
+            return false;
+          }
+          ++meter.evaluated;
+          CompletenessStats& partial = partials[shard];
+          ++partial.total;
+          const bool v1 = m1.Run(input).IsValue();
+          const bool v2 = m2.Run(input).IsValue();
+          if (v1 && v2) {
+            ++partial.both_value;
+          } else if (v1) {
+            ++partial.first_only;
+          } else if (v2) {
+            ++partial.second_only;
+          } else {
+            ++partial.neither;
+          }
+          return true;
+        },
+        threads, &drain);
+    MergeMeters(meters, &stats.progress);
+  } catch (const std::exception& e) {
+    MergeMeters(meters, &stats.progress);
+    AbortProgress(&stats.progress, e.what());
+  } catch (...) {
+    MergeMeters(meters, &stats.progress);
+    AbortProgress(&stats.progress, "unknown error");
+  }
   for (const CompletenessStats& partial : partials) {
     stats.total += partial.total;
     stats.both_value += partial.both_value;

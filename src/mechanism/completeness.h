@@ -35,6 +35,10 @@ struct CompletenessStats {
   std::uint64_t second_only = 0;  // M2 value, M1 violation
   std::uint64_t neither = 0;
 
+  // How the sweep ended. On an incomplete run the counters cover only the
+  // evaluated grid points, so Relation() is not authoritative.
+  CheckProgress progress;
+
   CompletenessRelation Relation() const;
 
   // Utility of each mechanism: fraction of inputs answered with a real value.
@@ -46,14 +50,18 @@ struct CompletenessStats {
 
 // Tabulates both mechanisms over `domain` and derives the order. The stats
 // are pure per-input counts, so parallel shards merge by summation and the
-// result is identical to the serial scan at any thread count.
+// result is identical to the serial scan at any thread count. The sweep
+// honours options.deadline / options.cancel and converts a throwing
+// mechanism into progress.status = kAborted.
 CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
                                       const ProtectionMechanism& m2,
                                       const InputDomain& domain,
                                       const CheckOptions& options = CheckOptions());
 
 // Fraction of the domain on which `m` returns a real value (its usefulness;
-// the plug scores 0, the bare program scores 1).
+// the plug scores 0, the bare program scores 1). Ignores options.deadline —
+// a partial utility fraction would be misleading; a throwing mechanism
+// propagates as an exception to the caller.
 double MeasureUtility(const ProtectionMechanism& m, const InputDomain& domain,
                       const CheckOptions& options = CheckOptions());
 

@@ -134,13 +134,15 @@ void InputDomain::ForEachShard(std::uint64_t shard, std::uint64_t num_shards,
 }
 
 void InputDomain::ParallelForEach(std::uint64_t num_shards, const ShardFn& fn,
-                                  int num_threads) const {
+                                  int num_threads, const CancelToken* drain_on_error) const {
   if (num_shards == 0) {
     num_shards = 1;
   }
   const int threads =
       num_threads == 0 ? ThreadPool::HardwareThreads() : std::max(1, num_threads);
   if (threads == 1) {
+    // Inline path: an exception stops the remaining shards immediately, which
+    // is the strongest possible drain.
     for (std::uint64_t s = 0; s < num_shards; ++s) {
       ForEachShard(s, num_shards,
                    [&](std::uint64_t rank, InputView input) { return fn(s, rank, input); });
@@ -148,13 +150,32 @@ void InputDomain::ParallelForEach(std::uint64_t num_shards, const ShardFn& fn,
     return;
   }
   ThreadPool pool(threads);
+  if (drain_on_error != nullptr) {
+    pool.SetCancelOnException(*drain_on_error);
+  }
   for (std::uint64_t s = 0; s < num_shards; ++s) {
     pool.Submit([this, s, num_shards, &fn] {
       ForEachShard(s, num_shards,
                    [&](std::uint64_t rank, InputView input) { return fn(s, rank, input); });
     });
   }
-  pool.Wait();
+  pool.Wait();  // rethrows the first shard exception, if any
+}
+
+std::optional<std::uint64_t> InputDomain::RankOf(InputView input) const {
+  if (input.size() != per_input_.size()) {
+    return std::nullopt;
+  }
+  std::uint64_t rank = 0;
+  for (size_t i = 0; i < per_input_.size(); ++i) {
+    const std::vector<Value>& values = per_input_[i];
+    const auto it = std::find(values.begin(), values.end(), input[i]);
+    if (it == values.end()) {
+      return std::nullopt;
+    }
+    rank = rank * values.size() + static_cast<std::uint64_t>(it - values.begin());
+  }
+  return rank;
 }
 
 std::vector<Input> InputDomain::Enumerate() const {

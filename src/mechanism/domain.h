@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/deadline.h"
 #include "src/util/value.h"
 
 namespace secpol {
@@ -60,8 +61,19 @@ class InputDomain {
   // fn(shard, rank, input) runs concurrently for different shards — it must
   // be thread-safe across shards — and returning false stops its shard.
   // With one resolved thread the shards run inline, in order.
+  //
+  // Exception barrier: if fn throws in some shard, the first exception is
+  // rethrown here after every other shard has finished or drained. When
+  // `drain_on_error` is non-null it is cancelled as soon as an exception is
+  // captured, so shards polling it wind down early.
   using ShardFn = std::function<bool(std::uint64_t, std::uint64_t, InputView)>;
-  void ParallelForEach(std::uint64_t num_shards, const ShardFn& fn, int num_threads = 0) const;
+  void ParallelForEach(std::uint64_t num_shards, const ShardFn& fn, int num_threads = 0,
+                       const CancelToken* drain_on_error = nullptr) const;
+
+  // Lexicographic rank of `input` in this grid (inverse of the rank decoding
+  // ForEachRange performs), or nullopt when some coordinate value is not in
+  // the candidate list. Cost is a linear scan of each coordinate's list.
+  std::optional<std::uint64_t> RankOf(InputView input) const;
 
   // Materializes the grid (use only for small domains). Grids larger than
   // kEnumerateCap tuples — or whose size overflows — are refused with an

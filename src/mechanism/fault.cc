@@ -1,0 +1,319 @@
+#include "src/mechanism/fault.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+
+#include "src/flowchart/interpreter.h"
+
+namespace secpol {
+namespace {
+
+// Same finalizer splitmix64 uses; good per-rank bit mixing without carrying
+// generator state, so FiresAt is a pure function of (seed, rank).
+std::uint64_t MixRank(std::uint64_t seed, std::uint64_t rank) {
+  std::uint64_t z = seed ^ (rank + 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow:
+      return "throw";
+    case FaultKind::kFuelExhaustion:
+      return "fuel";
+    case FaultKind::kWrongValue:
+      return "wrong";
+    case FaultKind::kSlowEval:
+      return "slow";
+  }
+  return "?";
+}
+
+bool FaultSpec::TargetsRank(std::uint64_t rank) const {
+  if (!ranks.empty()) {
+    return std::find(ranks.begin(), ranks.end(), rank) != ranks.end();
+  }
+  if (rate_num == 0) {
+    return false;
+  }
+  assert(rate_den > 0);
+  return MixRank(seed, rank) % rate_den < rate_num;
+}
+
+std::string FaultSpec::ToString() const {
+  std::string out = FaultKindName(kind);
+  if (!ranks.empty()) {
+    char sep = '@';
+    for (std::uint64_t rank : ranks) {
+      out += sep + std::to_string(rank);
+      sep = '+';
+    }
+  } else {
+    out += '~' + std::to_string(rate_num) + '/' + std::to_string(rate_den);
+    if (seed != 0) {
+      out += ':' + std::to_string(seed);
+    }
+  }
+  if (transient) {
+    out += '!';
+  }
+  if (fires_per_rank > 0) {
+    out += 'x' + std::to_string(fires_per_rank);
+  }
+  if (kind == FaultKind::kSlowEval) {
+    out += 'u' + std::to_string(slow_micros);
+  }
+  return out;
+}
+
+namespace {
+
+Result<std::uint64_t> ParseUint(const std::string& text, std::size_t* pos) {
+  if (*pos >= text.size() || text[*pos] < '0' || text[*pos] > '9') {
+    return Error{"expected a number in fault spec at offset " + std::to_string(*pos)};
+  }
+  std::uint64_t value = 0;
+  while (*pos < text.size() && text[*pos] >= '0' && text[*pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(text[*pos] - '0');
+    ++(*pos);
+  }
+  return value;
+}
+
+Result<FaultSpec> ParseClause(const std::string& clause) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  if (clause.rfind("throw", 0) == 0) {
+    spec.kind = FaultKind::kThrow;
+    pos = 5;
+  } else if (clause.rfind("fuel", 0) == 0) {
+    spec.kind = FaultKind::kFuelExhaustion;
+    pos = 4;
+  } else if (clause.rfind("wrong", 0) == 0) {
+    spec.kind = FaultKind::kWrongValue;
+    pos = 5;
+  } else if (clause.rfind("slow", 0) == 0) {
+    spec.kind = FaultKind::kSlowEval;
+    pos = 4;
+  } else {
+    return Error{"unknown fault kind in clause '" + clause +
+                 "' (want throw|fuel|wrong|slow)"};
+  }
+  bool explicit_fires = false;
+  while (pos < clause.size()) {
+    const char c = clause[pos++];
+    switch (c) {
+      case '@': {
+        do {
+          auto rank = ParseUint(clause, &pos);
+          if (!rank.ok()) return rank.error();
+          spec.ranks.push_back(rank.value());
+        } while (pos < clause.size() && clause[pos] == '+' && ++pos);
+        break;
+      }
+      case '~': {
+        auto num = ParseUint(clause, &pos);
+        if (!num.ok()) return num.error();
+        if (pos >= clause.size() || clause[pos] != '/') {
+          return Error{"rate in clause '" + clause + "' needs the form ~num/den"};
+        }
+        ++pos;
+        auto den = ParseUint(clause, &pos);
+        if (!den.ok()) return den.error();
+        if (den.value() == 0) {
+          return Error{"rate denominator must be nonzero in clause '" + clause + "'"};
+        }
+        spec.rate_num = static_cast<std::uint32_t>(num.value());
+        spec.rate_den = static_cast<std::uint32_t>(den.value());
+        break;
+      }
+      case ':': {
+        auto seed = ParseUint(clause, &pos);
+        if (!seed.ok()) return seed.error();
+        spec.seed = seed.value();
+        break;
+      }
+      case '!':
+        spec.transient = true;
+        break;
+      case 'x': {
+        auto n = ParseUint(clause, &pos);
+        if (!n.ok()) return n.error();
+        spec.fires_per_rank = static_cast<int>(n.value());
+        explicit_fires = true;
+        break;
+      }
+      case 'u': {
+        auto micros = ParseUint(clause, &pos);
+        if (!micros.ok()) return micros.error();
+        spec.slow_micros = static_cast<std::uint32_t>(micros.value());
+        break;
+      }
+      default:
+        return Error{"unexpected character '" + std::string(1, c) + "' in clause '" +
+                     clause + "'"};
+    }
+  }
+  if (spec.ranks.empty() && spec.rate_num == 0) {
+    return Error{"clause '" + clause + "' targets nothing: give @ranks or ~num/den"};
+  }
+  if (spec.transient && spec.kind != FaultKind::kThrow) {
+    return Error{"'!' (transient) only applies to throw faults: '" + clause + "'"};
+  }
+  // A transient fault that fires forever can never be retried successfully;
+  // default it to a single firing per rank.
+  if (spec.transient && !explicit_fires) {
+    spec.fires_per_rank = 1;
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<std::vector<FaultSpec>> ParseFaultSpecs(const std::string& text) {
+  std::vector<FaultSpec> specs;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string clause = text.substr(start, end - start);
+    if (clause.empty()) {
+      return Error{"empty clause in fault spec '" + text + "'"};
+    }
+    auto spec = ParseClause(clause);
+    if (!spec.ok()) return spec.error();
+    specs.push_back(std::move(spec).value());
+    start = end + 1;
+    if (end == text.size()) break;
+  }
+  if (specs.empty()) {
+    return Error{"empty fault spec"};
+  }
+  return specs;
+}
+
+FaultInjectingMechanism::FaultInjectingMechanism(
+    std::shared_ptr<const ProtectionMechanism> inner, InputDomain domain,
+    std::vector<FaultSpec> faults)
+    : inner_(std::move(inner)), domain_(std::move(domain)), faults_(std::move(faults)) {
+  assert(inner_ != nullptr);
+  assert(inner_->num_inputs() == domain_.num_inputs());
+}
+
+bool FaultInjectingMechanism::ConsumeFire(std::size_t index, std::uint64_t rank) const {
+  const FaultSpec& spec = faults_[index];
+  if (!spec.TargetsRank(rank)) {
+    return false;
+  }
+  if (spec.fires_per_rank > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    int& attempts = attempts_[{index, rank}];
+    if (attempts >= spec.fires_per_rank) {
+      return false;  // budget spent; behave like the inner mechanism now
+    }
+    ++attempts;
+  }
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Outcome FaultInjectingMechanism::Run(InputView input) const {
+  const auto rank = domain_.RankOf(input);
+  assert(rank.has_value() && "fault injection input must lie in the domain");
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (!ConsumeFire(i, *rank)) {
+      continue;
+    }
+    const FaultSpec& spec = faults_[i];
+    switch (spec.kind) {
+      case FaultKind::kThrow:
+        if (spec.transient) {
+          throw TransientFaultError("transient fault at rank " + std::to_string(*rank));
+        }
+        throw FaultInjectedError("injected fault at rank " + std::to_string(*rank));
+      case FaultKind::kFuelExhaustion:
+        return Outcome::Violation(kDefaultFuel, "fuel exhausted");
+      case FaultKind::kWrongValue: {
+        Outcome outcome = inner_->Run(input);
+        if (outcome.IsValue()) {
+          outcome.value ^= 1;  // deterministic perturbation
+        } else {
+          outcome = Outcome::Val(0, outcome.steps);  // leak where it should deny
+        }
+        return outcome;
+      }
+      case FaultKind::kSlowEval:
+        std::this_thread::sleep_for(std::chrono::microseconds(spec.slow_micros));
+        return inner_->Run(input);
+    }
+  }
+  return inner_->Run(input);
+}
+
+FaultInjectingPolicy::FaultInjectingPolicy(std::shared_ptr<const SecurityPolicy> inner,
+                                           InputDomain domain, std::vector<FaultSpec> faults)
+    : inner_(std::move(inner)), domain_(std::move(domain)), faults_(std::move(faults)) {
+  assert(inner_ != nullptr);
+  assert(inner_->num_inputs() == domain_.num_inputs());
+}
+
+PolicyImage FaultInjectingPolicy::Image(InputView input) const {
+  const auto rank = domain_.RankOf(input);
+  assert(rank.has_value() && "fault injection input must lie in the domain");
+  for (const FaultSpec& spec : faults_) {
+    if (!spec.TargetsRank(*rank)) {
+      continue;
+    }
+    switch (spec.kind) {
+      case FaultKind::kThrow:
+        if (spec.transient) {
+          throw TransientFaultError("transient fault at rank " + std::to_string(*rank));
+        }
+        throw FaultInjectedError("injected fault at rank " + std::to_string(*rank));
+      case FaultKind::kWrongValue: {
+        PolicyImage image = inner_->Image(input);
+        if (!image.empty()) {
+          image.front() ^= 1;
+        } else {
+          image.push_back(1);
+        }
+        return image;
+      }
+      case FaultKind::kSlowEval:
+        std::this_thread::sleep_for(std::chrono::microseconds(spec.slow_micros));
+        return inner_->Image(input);
+      case FaultKind::kFuelExhaustion:
+        break;  // no fuel in a policy; ignore
+    }
+  }
+  return inner_->Image(input);
+}
+
+RetryingMechanism::RetryingMechanism(std::shared_ptr<const ProtectionMechanism> inner,
+                                     int max_retries)
+    : inner_(std::move(inner)), max_retries_(max_retries) {
+  assert(inner_ != nullptr);
+  assert(max_retries_ >= 0);
+}
+
+Outcome RetryingMechanism::Run(InputView input) const {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return inner_->Run(input);
+    } catch (const TransientFaultError&) {
+      if (attempt >= max_retries_) {
+        throw;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace secpol

@@ -1,0 +1,164 @@
+// Deterministic fault injection for the checking runtime.
+//
+// The checkers must degrade gracefully when the thing being checked
+// misbehaves: a mechanism that throws, exhausts its fuel, returns a wrong
+// value, or is pathologically slow should produce a structured checker
+// outcome — never a crash, never a hang, never a silently wrong verdict.
+// FaultInjectingMechanism wraps any ProtectionMechanism and injects such
+// faults at chosen grid points; because faults fire by *grid rank* (either
+// an explicit rank list or a seeded hash of the rank) the faulty mechanism
+// is itself a deterministic function of the input, so the serial ≡ parallel
+// differential contract stays testable even under injection.
+//
+// Faults marked transient throw TransientFaultError and stop firing after
+// `fires_per_rank` attempts at that rank; RetryingMechanism implements the
+// matching bounded retry policy, so transient faults are absorbed and the
+// checker's report is identical to the fault-free run.
+
+#ifndef SECPOL_SRC_MECHANISM_FAULT_H_
+#define SECPOL_SRC_MECHANISM_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/mechanism/domain.h"
+#include "src/mechanism/mechanism.h"
+#include "src/policy/policy.h"
+#include "src/util/result.h"
+
+namespace secpol {
+
+// Base class of every injected failure.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// A fault that may succeed if the operation is retried.
+class TransientFaultError : public FaultInjectedError {
+ public:
+  using FaultInjectedError::FaultInjectedError;
+};
+
+enum class FaultKind {
+  kThrow,          // throw FaultInjectedError / TransientFaultError
+  kFuelExhaustion, // return Violation("fuel exhausted") instead of running
+  kWrongValue,     // perturb the inner outcome's value
+  kSlowEval,       // sleep before running (wall time only; steps unchanged)
+};
+
+std::string FaultKindName(FaultKind kind);
+
+// Where and how one fault fires. Targeting is by grid rank: explicit `ranks`
+// win; otherwise the fault fires at rank r iff
+// splitmix64(seed ^ r) % rate_den < rate_num — deterministic per rank and
+// independent of evaluation order, so injection commutes with sharding.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kThrow;
+  std::vector<std::uint64_t> ranks;  // explicit target ranks (if non-empty)
+  std::uint32_t rate_num = 0;        // else: hash rate num/den
+  std::uint32_t rate_den = 1;
+  std::uint64_t seed = 0;
+  bool transient = false;       // kThrow only: throw TransientFaultError
+  int fires_per_rank = 0;       // 0 = every attempt; n > 0 = first n attempts
+  std::uint32_t slow_micros = 50;  // kSlowEval sleep per fire
+
+  bool TargetsRank(std::uint64_t rank) const;
+  std::string ToString() const;
+};
+
+// Parses a comma-separated fault-spec list (the CLI's --fault-spec syntax):
+//
+//   spec   := clause (',' clause)*
+//   clause := kind suffix*
+//   kind   := "throw" | "fuel" | "wrong" | "slow"
+//   suffix := '@' rank ('+' rank)*   explicit grid ranks
+//           | '~' num '/' den        seeded hash rate
+//           | ':' seed               seed for the hash rate (default 0)
+//           | '!'                    transient (kThrow)
+//           | 'x' n                  fires per rank (default: unlimited,
+//                                    or 1 when '!' is given)
+//           | 'u' micros             kSlowEval sleep in microseconds
+//
+// Example: "throw@5+9,fuel~1/10:42,slow~1/4u200".
+Result<std::vector<FaultSpec>> ParseFaultSpecs(const std::string& text);
+
+// Wraps `inner`, injecting `faults` at grid ranks of `domain`. Run() maps
+// the input back to its rank (assert: the input must lie in the domain).
+// Thread-safe: concurrent Run() calls from different shards are fine; the
+// per-rank attempt counters used by fires_per_rank are mutex-guarded.
+class FaultInjectingMechanism : public ProtectionMechanism {
+ public:
+  FaultInjectingMechanism(std::shared_ptr<const ProtectionMechanism> inner,
+                          InputDomain domain, std::vector<FaultSpec> faults);
+
+  int num_inputs() const override { return inner_->num_inputs(); }
+  Outcome Run(InputView input) const override;
+  std::string name() const override { return "faulty(" + inner_->name() + ")"; }
+
+  // Total faults fired so far (all kinds, all ranks).
+  std::uint64_t faults_fired() const { return fired_.load(std::memory_order_relaxed); }
+
+ private:
+  // True if spec `index` should fire for this attempt at `rank` (consumes
+  // one attempt when fires_per_rank bounds the spec).
+  bool ConsumeFire(std::size_t index, std::uint64_t rank) const;
+
+  std::shared_ptr<const ProtectionMechanism> inner_;
+  InputDomain domain_;
+  std::vector<FaultSpec> faults_;
+  mutable std::atomic<std::uint64_t> fired_{0};
+  mutable std::mutex mu_;  // guards attempts_
+  mutable std::map<std::pair<std::size_t, std::uint64_t>, int> attempts_;
+};
+
+// The same injector for policies (policy_compare has no mechanism to wrap).
+// kFuelExhaustion is meaningless for a policy and is ignored; kWrongValue
+// perturbs the image's first coordinate.
+class FaultInjectingPolicy : public SecurityPolicy {
+ public:
+  FaultInjectingPolicy(std::shared_ptr<const SecurityPolicy> inner, InputDomain domain,
+                       std::vector<FaultSpec> faults);
+
+  int num_inputs() const override { return inner_->num_inputs(); }
+  PolicyImage Image(InputView input) const override;
+  std::string name() const override { return "faulty(" + inner_->name() + ")"; }
+
+ private:
+  std::shared_ptr<const SecurityPolicy> inner_;
+  InputDomain domain_;
+  std::vector<FaultSpec> faults_;
+};
+
+// Bounded retry policy: re-runs the inner mechanism on TransientFaultError
+// up to `max_retries` extra attempts, then rethrows. Persistent faults
+// (plain FaultInjectedError or any other exception) are never retried.
+class RetryingMechanism : public ProtectionMechanism {
+ public:
+  RetryingMechanism(std::shared_ptr<const ProtectionMechanism> inner, int max_retries);
+
+  int num_inputs() const override { return inner_->num_inputs(); }
+  Outcome Run(InputView input) const override;
+  std::string name() const override {
+    return "retry(" + inner_->name() + ", " + std::to_string(max_retries_) + ")";
+  }
+
+  // Total retries performed so far (across all inputs and threads).
+  std::uint64_t retries_used() const { return retries_.load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<const ProtectionMechanism> inner_;
+  int max_retries_;
+  mutable std::atomic<std::uint64_t> retries_{0};
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_FAULT_H_

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <exception>
 #include <map>
 #include <optional>
 #include <set>
@@ -19,7 +20,14 @@ std::string IntegrityCounterexample::ToString() const {
 }
 
 std::string IntegrityReport::ToString() const {
-  std::string out = preserved ? "PRESERVED" : "INFORMATION LOST";
+  std::string out;
+  if (progress.complete()) {
+    out = preserved ? "PRESERVED" : "INFORMATION LOST";
+  } else if (counterexample.has_value()) {
+    out = "INFORMATION LOST [" + progress.ToString() + "]";
+  } else {
+    out = "UNKNOWN [" + progress.ToString() + "]";
+  }
   out += " (" + std::to_string(inputs_checked) + " inputs, " +
          std::to_string(required_classes) + " required classes)";
   if (counterexample.has_value()) {
@@ -40,39 +48,60 @@ Signature SignatureOf(const Outcome& outcome, Observability obs) {
 
 IntegrityReport CheckPreservationSerial(const ProtectionMechanism& mechanism,
                                         const SecurityPolicy& required,
-                                        const InputDomain& domain, Observability obs) {
+                                        const InputDomain& domain, Observability obs,
+                                        const CheckOptions& options) {
   IntegrityReport report;
   report.preserved = true;
+  report.progress.total = domain.size();
+
+  std::vector<ShardMeter> meters(1, ShardMeter(options));
+  ShardMeter& meter = meters.front();
 
   // First input observed per outcome signature, with its required image.
   std::map<Signature, std::pair<Input, PolicyImage>> seen;
   std::set<PolicyImage> classes;
 
-  domain.ForEach([&](InputView input) {
-    if (!report.preserved) {
-      return;
-    }
-    ++report.inputs_checked;
-    PolicyImage image = required.Image(input);
-    classes.insert(image);
-    const Outcome outcome = mechanism.Run(input);
-    const Signature sig = SignatureOf(outcome, obs);
-    auto [it, inserted] =
-        seen.try_emplace(sig, Input(input.begin(), input.end()), image);
-    if (inserted) {
-      return;
-    }
-    if (it->second.second != image) {
-      report.preserved = false;
-      IntegrityCounterexample cx;
-      cx.input_a = it->second.first;
-      cx.input_b = Input(input.begin(), input.end());
-      cx.outcome = outcome;
-      report.counterexample = std::move(cx);
-    }
-  });
+  try {
+    domain.ForEachRange(0, report.progress.total, [&](std::uint64_t rank, InputView input) {
+      (void)rank;
+      if (meter.gate.ShouldStop()) {
+        return false;
+      }
+      ++meter.evaluated;
+      ++report.inputs_checked;
+      PolicyImage image = required.Image(input);
+      classes.insert(image);
+      const Outcome outcome = mechanism.Run(input);
+      const Signature sig = SignatureOf(outcome, obs);
+      auto [it, inserted] =
+          seen.try_emplace(sig, Input(input.begin(), input.end()), image);
+      if (inserted) {
+        return true;
+      }
+      if (it->second.second != image) {
+        report.preserved = false;
+        IntegrityCounterexample cx;
+        cx.input_a = it->second.first;
+        cx.input_b = Input(input.begin(), input.end());
+        cx.outcome = outcome;
+        report.counterexample = std::move(cx);
+        return false;  // the serial scan stops at the first witness
+      }
+      return true;
+    });
+    MergeMeters(meters, &report.progress);
+  } catch (const std::exception& e) {
+    MergeMeters(meters, &report.progress);
+    AbortProgress(&report.progress, e.what());
+  } catch (...) {
+    MergeMeters(meters, &report.progress);
+    AbortProgress(&report.progress, "unknown error");
+  }
 
   report.required_classes = classes.size();
+  if (!report.progress.complete() && !report.counterexample.has_value()) {
+    report.preserved = false;  // fail closed
+  }
   return report;
 }
 
@@ -99,7 +128,7 @@ struct SigPartial {
 IntegrityReport CheckPreservationParallel(const ProtectionMechanism& mechanism,
                                           const SecurityPolicy& required,
                                           const InputDomain& domain, Observability obs,
-                                          int threads) {
+                                          int threads, const CheckOptions& options) {
   const std::uint64_t grid = domain.size();
   const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
   std::vector<std::map<Signature, SigPartial>> partials(num_shards);
@@ -108,16 +137,25 @@ IntegrityReport CheckPreservationParallel(const ProtectionMechanism& mechanism,
   // own — possibly new — image).
   std::vector<std::map<PolicyImage, std::uint64_t>> image_firsts(num_shards);
 
+  IntegrityReport report;
+  report.progress.total = grid;
+
+  CancelToken drain;
+  std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
+
   // As in the soundness checker: two different images under one signature at
   // ranks i1 < i2 guarantee a counterexample at rank <= i2.
   std::atomic<std::uint64_t> conflict_bound{UINT64_MAX};
 
-  domain.ParallelForEach(
-      num_shards,
-      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+  const auto sweep = [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+        ShardMeter& meter = meters[shard];
+        if (meter.gate.ShouldStop()) {
+          return false;
+        }
         if (rank > conflict_bound.load(std::memory_order_relaxed)) {
           return false;
         }
+        ++meter.evaluated;
         PolicyImage image = required.Image(input);
         image_firsts[shard].try_emplace(image, rank);
         const Outcome outcome = mechanism.Run(input);
@@ -138,8 +176,18 @@ IntegrityReport CheckPreservationParallel(const ProtectionMechanism& mechanism,
           }
         }
         return true;
-      },
-      threads);
+      };
+
+  try {
+    domain.ParallelForEach(num_shards, sweep, threads, &drain);
+    MergeMeters(meters, &report.progress);
+  } catch (const std::exception& e) {
+    MergeMeters(meters, &report.progress);
+    AbortProgress(&report.progress, e.what());
+  } catch (...) {
+    MergeMeters(meters, &report.progress);
+    AbortProgress(&report.progress, "unknown error");
+  }
 
   // Global representative per signature: its lowest-rank occurrence.
   std::map<Signature, const Occurrence*> global_first;
@@ -178,10 +226,7 @@ IntegrityReport CheckPreservationParallel(const ProtectionMechanism& mechanism,
     }
   }
 
-  IntegrityReport report;
   if (best_witness == nullptr) {
-    report.preserved = true;
-    report.inputs_checked = grid;
     std::set<PolicyImage> classes;
     for (const auto& shard : image_firsts) {
       for (const auto& [image, rank] : shard) {
@@ -190,6 +235,13 @@ IntegrityReport CheckPreservationParallel(const ProtectionMechanism& mechanism,
       }
     }
     report.required_classes = classes.size();
+    if (report.progress.complete()) {
+      report.preserved = true;
+      report.inputs_checked = grid;
+    } else {
+      report.preserved = false;  // fail closed
+      report.inputs_checked = report.progress.evaluated;
+    }
     return report;
   }
   report.preserved = false;
@@ -227,9 +279,9 @@ IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanis
   assert(mechanism.num_inputs() == domain.num_inputs());
   const int threads = options.ResolvedThreads();
   if (threads <= 1) {
-    return CheckPreservationSerial(mechanism, required, domain, obs);
+    return CheckPreservationSerial(mechanism, required, domain, obs, options);
   }
-  return CheckPreservationParallel(mechanism, required, domain, obs, threads);
+  return CheckPreservationParallel(mechanism, required, domain, obs, threads, options);
 }
 
 }  // namespace secpol

@@ -49,13 +49,21 @@ struct IntegrityReport {
   std::uint64_t inputs_checked = 0;
   std::uint64_t required_classes = 0;
 
+  // How the sweep ended. `preserved` is authoritative only when
+  // progress.complete(); an incomplete run with a counterexample is still
+  // definitively a loss (the collapsed pair was really evaluated), but the
+  // witness need not be the rank-minimal one.
+  CheckProgress progress;
+
   std::string ToString() const;
 };
 
 // Checks that `mechanism` preserves the information required by `required`
 // over `domain` under observability `obs`. With options.num_threads != 1 the
-// grid is evaluated in parallel shards; the merged report (counterexample,
-// counts) is identical to the serial scan at any thread count.
+// grid is evaluated in parallel shards; for completed runs the merged report
+// (counterexample, counts) is identical to the serial scan at any thread
+// count. The sweep honours options.deadline / options.cancel and converts a
+// throwing mechanism into progress.status = kAborted.
 IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanism,
                                              const SecurityPolicy& required,
                                              const InputDomain& domain, Observability obs,

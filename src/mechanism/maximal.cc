@@ -1,6 +1,7 @@
 #include "src/mechanism/maximal.h"
 
 #include <cassert>
+#include <exception>
 #include <iterator>
 #include <map>
 #include <utility>
@@ -24,36 +25,27 @@ struct ClassInfo {
 std::map<PolicyImage, ClassInfo> TabulateClasses(const ProtectionMechanism& q,
                                                  const SecurityPolicy& policy,
                                                  const InputDomain& domain, Observability obs,
-                                                 int threads, std::uint64_t* inputs) {
+                                                 const CheckOptions& options,
+                                                 std::uint64_t* inputs,
+                                                 CheckProgress* progress) {
+  const int threads = options.ResolvedThreads();
+  const std::uint64_t grid = domain.size();
+  progress->total = grid;
+
   if (threads <= 1) {
     std::map<PolicyImage, ClassInfo> classes;
-    domain.ForEach([&](InputView input) {
-      ++*inputs;
-      Outcome outcome = q.Run(input);
-      PolicyImage image = policy.Image(input);
-      auto [it, inserted] = classes.try_emplace(std::move(image));
-      ClassInfo& info = it->second;
-      if (inserted) {
-        info.first_outcome = outcome;
-      } else if (info.constant && !info.first_outcome.ObservablyEquals(outcome, obs)) {
-        info.constant = false;
-      }
-      info.members.emplace_back(input.begin(), input.end());
-    });
-    return classes;
-  }
-
-  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, domain.size());
-  std::vector<std::map<PolicyImage, ClassInfo>> partials(num_shards);
-  std::vector<std::uint64_t> counts(num_shards, 0);
-  domain.ParallelForEach(
-      num_shards,
-      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+    std::vector<ShardMeter> meters(1, ShardMeter(options));
+    ShardMeter& meter = meters.front();
+    try {
+      domain.ForEachRange(0, grid, [&](std::uint64_t rank, InputView input) {
         (void)rank;
-        ++counts[shard];
+        if (meter.gate.ShouldStop()) {
+          return false;
+        }
+        ++meter.evaluated;
         Outcome outcome = q.Run(input);
         PolicyImage image = policy.Image(input);
-        auto [it, inserted] = partials[shard].try_emplace(std::move(image));
+        auto [it, inserted] = classes.try_emplace(std::move(image));
         ClassInfo& info = it->second;
         if (inserted) {
           info.first_outcome = outcome;
@@ -62,12 +54,58 @@ std::map<PolicyImage, ClassInfo> TabulateClasses(const ProtectionMechanism& q,
         }
         info.members.emplace_back(input.begin(), input.end());
         return true;
-      },
-      threads);
+      });
+      MergeMeters(meters, progress);
+    } catch (const std::exception& e) {
+      MergeMeters(meters, progress);
+      AbortProgress(progress, e.what());
+    } catch (...) {
+      MergeMeters(meters, progress);
+      AbortProgress(progress, "unknown error");
+    }
+    *inputs += meter.evaluated;
+    return classes;
+  }
+
+  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
+  std::vector<std::map<PolicyImage, ClassInfo>> partials(num_shards);
+  CancelToken drain;
+  std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
+  try {
+    domain.ParallelForEach(
+        num_shards,
+        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+          (void)rank;
+          ShardMeter& meter = meters[shard];
+          if (meter.gate.ShouldStop()) {
+            return false;
+          }
+          ++meter.evaluated;
+          Outcome outcome = q.Run(input);
+          PolicyImage image = policy.Image(input);
+          auto [it, inserted] = partials[shard].try_emplace(std::move(image));
+          ClassInfo& info = it->second;
+          if (inserted) {
+            info.first_outcome = outcome;
+          } else if (info.constant && !info.first_outcome.ObservablyEquals(outcome, obs)) {
+            info.constant = false;
+          }
+          info.members.emplace_back(input.begin(), input.end());
+          return true;
+        },
+        threads, &drain);
+    MergeMeters(meters, progress);
+  } catch (const std::exception& e) {
+    MergeMeters(meters, progress);
+    AbortProgress(progress, e.what());
+  } catch (...) {
+    MergeMeters(meters, progress);
+    AbortProgress(progress, "unknown error");
+  }
 
   std::map<PolicyImage, ClassInfo> classes;
   for (std::uint64_t shard = 0; shard < num_shards; ++shard) {
-    *inputs += counts[shard];
+    *inputs += meters[shard].evaluated;
     for (auto& [image, partial] : partials[shard]) {
       auto [it, inserted] = classes.try_emplace(image);
       ClassInfo& info = it->second;
@@ -98,21 +136,37 @@ MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
   assert(q.num_inputs() == domain.num_inputs());
 
   MaximalSynthesis result;
-  std::map<PolicyImage, ClassInfo> classes =
-      TabulateClasses(q, policy, domain, obs, options.ResolvedThreads(), &result.inputs);
+  std::map<PolicyImage, ClassInfo> classes = TabulateClasses(
+      q, policy, domain, obs, options, &result.inputs, &result.progress);
+
+  result.policy_classes = classes.size();
+  if (!result.progress.complete()) {
+    // A table built from a partial tabulation could release a class whose
+    // unseen members disagree — fail closed with no mechanism at all.
+    return result;
+  }
 
   auto table = std::make_shared<TableMechanism>("maximal(" + q.name() + ")", q.num_inputs());
-  result.policy_classes = classes.size();
-  for (auto& [image, info] : classes) {
-    (void)image;
-    if (info.constant) {
-      ++result.released_classes;
+  try {
+    for (auto& [image, info] : classes) {
+      (void)image;
+      if (info.constant) {
+        ++result.released_classes;
+      }
+      for (Input& member : info.members) {
+        // Replaying Q preserves both value and steps for the released class.
+        Outcome outcome = info.constant ? q.Run(member) : Outcome::Violation(0);
+        table->Set(std::move(member), std::move(outcome));
+      }
     }
-    for (Input& member : info.members) {
-      // Replaying Q preserves both value and steps for the released class.
-      Outcome outcome = info.constant ? q.Run(member) : Outcome::Violation(0);
-      table->Set(std::move(member), std::move(outcome));
-    }
+  } catch (const std::exception& e) {
+    AbortProgress(&result.progress, e.what());
+    result.released_classes = 0;
+    return result;
+  } catch (...) {
+    AbortProgress(&result.progress, "unknown error");
+    result.released_classes = 0;
+    return result;
   }
   result.mechanism = std::move(table);
   return result;

@@ -28,6 +28,11 @@ struct MaximalSynthesis {
   std::uint64_t inputs = 0;           // grid size tabulated
   std::uint64_t policy_classes = 0;   // number of I-equivalence classes
   std::uint64_t released_classes = 0; // classes where Q is constant (released)
+
+  // How the tabulation ended. On an incomplete run `mechanism` is null —
+  // a table synthesized from a partial tabulation could silently release a
+  // non-constant class, so the synthesizer fails closed instead.
+  CheckProgress progress;
 };
 
 // Builds the maximal sound mechanism for `q` and `policy` over `domain`.
@@ -37,7 +42,10 @@ struct MaximalSynthesis {
 // With options.num_threads != 1 the tabulation runs in parallel shards;
 // class member lists are concatenated in shard order (= lexicographic
 // order), so the synthesized table and every count are identical to the
-// serial tabulation at any thread count.
+// serial tabulation at any thread count. The tabulation honours
+// options.deadline / options.cancel (returning a null mechanism with
+// progress describing the partial coverage) and converts a throwing Q into
+// progress.status = kAborted.
 MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
                                             const SecurityPolicy& policy,
                                             const InputDomain& domain, Observability obs,

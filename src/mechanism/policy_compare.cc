@@ -2,57 +2,109 @@
 
 #include <atomic>
 #include <cassert>
+#include <exception>
 #include <map>
 #include <vector>
 
 namespace secpol {
 
-bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q,
-                   const InputDomain& domain, const CheckOptions& options) {
+std::string PolicyCompareReport::ToString() const {
+  if (progress.complete()) {
+    return reveals_at_most ? "REVEALS AT MOST" : "REVEALS MORE";
+  }
+  if (violation_found) {
+    return "REVEALS MORE [" + progress.ToString() + "]";
+  }
+  return "UNKNOWN [" + progress.ToString() + "]";
+}
+
+PolicyCompareReport ComparePolicyDisclosure(const SecurityPolicy& p, const SecurityPolicy& q,
+                                            const InputDomain& domain,
+                                            const CheckOptions& options) {
   assert(p.num_inputs() == q.num_inputs());
   assert(p.num_inputs() == domain.num_inputs());
+
+  PolicyCompareReport report;
+  const std::uint64_t grid = domain.size();
+  report.progress.total = grid;
 
   const int threads = options.ResolvedThreads();
   if (threads <= 1) {
     // Functional dependency check: each q-image must map to a single p-image.
     std::map<PolicyImage, PolicyImage> q_to_p;
     bool functional = true;
-    domain.ForEach([&](InputView input) {
-      if (!functional) {
-        return;
-      }
-      PolicyImage q_image = q.Image(input);
-      PolicyImage p_image = p.Image(input);
-      auto [it, inserted] = q_to_p.try_emplace(std::move(q_image), std::move(p_image));
-      if (!inserted && it->second != p.Image(input)) {
-        functional = false;
-      }
-    });
-    return functional;
-  }
-
-  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, domain.size());
-  std::vector<std::map<PolicyImage, PolicyImage>> partials(num_shards);
-  std::atomic<bool> functional{true};
-  domain.ParallelForEach(
-      num_shards,
-      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+    std::vector<ShardMeter> meters(1, ShardMeter(options));
+    ShardMeter& meter = meters.front();
+    try {
+      domain.ForEachRange(0, grid, [&](std::uint64_t rank, InputView input) {
         (void)rank;
-        if (!functional.load(std::memory_order_relaxed)) {
+        if (meter.gate.ShouldStop()) {
           return false;
         }
+        ++meter.evaluated;
         PolicyImage q_image = q.Image(input);
         PolicyImage p_image = p.Image(input);
-        auto [it, inserted] =
-            partials[shard].try_emplace(std::move(q_image), std::move(p_image));
+        auto [it, inserted] = q_to_p.try_emplace(std::move(q_image), std::move(p_image));
         if (!inserted && it->second != p.Image(input)) {
-          functional.store(false, std::memory_order_relaxed);
+          functional = false;
+          return false;  // first violation decides the verdict
         }
         return true;
-      },
-      threads);
+      });
+      MergeMeters(meters, &report.progress);
+    } catch (const std::exception& e) {
+      MergeMeters(meters, &report.progress);
+      AbortProgress(&report.progress, e.what());
+    } catch (...) {
+      MergeMeters(meters, &report.progress);
+      AbortProgress(&report.progress, "unknown error");
+    }
+    report.violation_found = !functional;
+    report.reveals_at_most = functional && report.progress.complete();
+    return report;
+  }
+
+  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
+  std::vector<std::map<PolicyImage, PolicyImage>> partials(num_shards);
+  std::atomic<bool> functional{true};
+  CancelToken drain;
+  std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
+  try {
+    domain.ParallelForEach(
+        num_shards,
+        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+          (void)rank;
+          ShardMeter& meter = meters[shard];
+          if (meter.gate.ShouldStop()) {
+            return false;
+          }
+          if (!functional.load(std::memory_order_relaxed)) {
+            return false;
+          }
+          ++meter.evaluated;
+          PolicyImage q_image = q.Image(input);
+          PolicyImage p_image = p.Image(input);
+          auto [it, inserted] =
+              partials[shard].try_emplace(std::move(q_image), std::move(p_image));
+          if (!inserted && it->second != p.Image(input)) {
+            functional.store(false, std::memory_order_relaxed);
+          }
+          return true;
+        },
+        threads, &drain);
+    MergeMeters(meters, &report.progress);
+  } catch (const std::exception& e) {
+    MergeMeters(meters, &report.progress);
+    AbortProgress(&report.progress, e.what());
+  } catch (...) {
+    MergeMeters(meters, &report.progress);
+    AbortProgress(&report.progress, "unknown error");
+  }
+
   if (!functional.load()) {
-    return false;
+    report.violation_found = true;
+    report.reveals_at_most = false;
+    return report;
   }
   // Cross-shard consistency: the same q-image must map to the same p-image
   // in every shard.
@@ -61,11 +113,19 @@ bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q,
     for (auto& [q_image, p_image] : shard) {
       auto [it, inserted] = merged.try_emplace(q_image, p_image);
       if (!inserted && it->second != p_image) {
-        return false;
+        report.violation_found = true;
+        report.reveals_at_most = false;
+        return report;
       }
     }
   }
-  return true;
+  report.reveals_at_most = report.progress.complete();
+  return report;
+}
+
+bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q,
+                   const InputDomain& domain, const CheckOptions& options) {
+  return ComparePolicyDisclosure(p, q, domain, options).reveals_at_most;
 }
 
 }  // namespace secpol

@@ -13,15 +13,38 @@
 #ifndef SECPOL_SRC_MECHANISM_POLICY_COMPARE_H_
 #define SECPOL_SRC_MECHANISM_POLICY_COMPARE_H_
 
+#include <string>
+
 #include "src/mechanism/check_options.h"
 #include "src/mechanism/domain.h"
 #include "src/policy/policy.h"
 
 namespace secpol {
 
-// True iff, over `domain`, Image_p is a function of Image_q. The verdict is
-// a bare bool, so the parallel evaluation is trivially deterministic: shard
-// dependency maps are merged and re-checked for consistency.
+// Structured result of the functional-dependency sweep. `reveals_at_most` is
+// authoritative only when progress.complete() — except that `false` with a
+// complete()==false progress and a found dependency violation is still
+// definitive (a violating pair was really evaluated).
+struct PolicyCompareReport {
+  bool reveals_at_most = false;
+  // Whether a concrete dependency violation (one q-image mapped to two
+  // p-images) was found; distinguishes "proved false" from "unknown".
+  bool violation_found = false;
+  CheckProgress progress;
+
+  std::string ToString() const;
+};
+
+// Decides, over `domain`, whether Image_p is a function of Image_q. The
+// parallel evaluation is deterministic for completed runs: shard dependency
+// maps are merged and re-checked for consistency. Honours options.deadline /
+// options.cancel and converts a throwing policy into kAborted.
+PolicyCompareReport ComparePolicyDisclosure(const SecurityPolicy& p, const SecurityPolicy& q,
+                                            const InputDomain& domain,
+                                            const CheckOptions& options = CheckOptions());
+
+// Bare-bool convenience wrapper over ComparePolicyDisclosure. Fails closed:
+// returns true only when a *completed* sweep proved the dependency.
 bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q, const InputDomain& domain,
                    const CheckOptions& options = CheckOptions());
 

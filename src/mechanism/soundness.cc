@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <exception>
 #include <map>
 #include <optional>
 #include <utility>
@@ -18,7 +19,16 @@ std::string SoundnessCounterexample::ToString() const {
 }
 
 std::string SoundnessReport::ToString() const {
-  std::string out = sound ? "SOUND" : "UNSOUND";
+  std::string out;
+  if (progress.complete()) {
+    out = sound ? "SOUND" : "UNSOUND";
+  } else if (counterexample.has_value()) {
+    // The witness is genuine, so the verdict is definitive even though the
+    // sweep did not finish; it just need not be the first witness.
+    out = "UNSOUND [" + progress.ToString() + "]";
+  } else {
+    out = "UNKNOWN [" + progress.ToString() + "]";
+  }
   out += " (" + std::to_string(inputs_checked) + " inputs, " + std::to_string(policy_classes) +
          " policy classes)";
   if (counterexample.has_value()) {
@@ -33,38 +43,58 @@ namespace {
 // first input whose outcome observably differs from its class representative.
 SoundnessReport CheckSoundnessSerial(const ProtectionMechanism& mechanism,
                                      const SecurityPolicy& policy, const InputDomain& domain,
-                                     Observability obs) {
+                                     Observability obs, const CheckOptions& options) {
   SoundnessReport report;
   report.sound = true;
+  report.progress.total = domain.size();
+
+  std::vector<ShardMeter> meters(1, ShardMeter(options));
+  ShardMeter& meter = meters.front();
 
   // First representative of each policy class, with its outcome.
   std::map<PolicyImage, std::pair<Input, Outcome>> representatives;
 
-  domain.ForEach([&](InputView input) {
-    if (!report.sound) {
-      return;  // already found a counterexample; skim the rest
-    }
-    ++report.inputs_checked;
-    PolicyImage image = policy.Image(input);
-    Outcome outcome = mechanism.Run(input);
-    auto [it, inserted] = representatives.try_emplace(
-        std::move(image), Input(input.begin(), input.end()), outcome);
-    if (inserted) {
-      return;
-    }
-    const auto& [rep_input, rep_outcome] = it->second;
-    if (!rep_outcome.ObservablyEquals(outcome, obs)) {
-      report.sound = false;
-      SoundnessCounterexample cx;
-      cx.input_a = rep_input;
-      cx.input_b = Input(input.begin(), input.end());
-      cx.outcome_a = rep_outcome;
-      cx.outcome_b = outcome;
-      report.counterexample = std::move(cx);
-    }
-  });
+  try {
+    domain.ForEachRange(0, report.progress.total, [&](std::uint64_t rank, InputView input) {
+      (void)rank;
+      if (meter.gate.ShouldStop()) {
+        return false;
+      }
+      ++meter.evaluated;
+      ++report.inputs_checked;
+      PolicyImage image = policy.Image(input);
+      Outcome outcome = mechanism.Run(input);
+      auto [it, inserted] = representatives.try_emplace(
+          std::move(image), Input(input.begin(), input.end()), outcome);
+      if (inserted) {
+        return true;
+      }
+      const auto& [rep_input, rep_outcome] = it->second;
+      if (!rep_outcome.ObservablyEquals(outcome, obs)) {
+        report.sound = false;
+        SoundnessCounterexample cx;
+        cx.input_a = rep_input;
+        cx.input_b = Input(input.begin(), input.end());
+        cx.outcome_a = rep_outcome;
+        cx.outcome_b = outcome;
+        report.counterexample = std::move(cx);
+        return false;  // the serial scan stops at the first witness
+      }
+      return true;
+    });
+    MergeMeters(meters, &report.progress);
+  } catch (const std::exception& e) {
+    MergeMeters(meters, &report.progress);
+    AbortProgress(&report.progress, e.what());
+  } catch (...) {
+    MergeMeters(meters, &report.progress);
+    AbortProgress(&report.progress, "unknown error");
+  }
 
   report.policy_classes = representatives.size();
+  if (!report.progress.complete() && !report.counterexample.has_value()) {
+    report.sound = false;  // fail closed: unknown, never "sound by timeout"
+  }
   return report;
 }
 
@@ -88,10 +118,19 @@ struct ClassPartial {
 
 SoundnessReport CheckSoundnessParallel(const ProtectionMechanism& mechanism,
                                        const SecurityPolicy& policy, const InputDomain& domain,
-                                       Observability obs, int threads) {
+                                       Observability obs, int threads,
+                                       const CheckOptions& options) {
   const std::uint64_t grid = domain.size();
   const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
   std::vector<std::map<PolicyImage, ClassPartial>> partials(num_shards);
+
+  SoundnessReport report;
+  report.progress.total = grid;
+
+  // On a shard exception the pool cancels `drain`; sibling shards polling it
+  // wind down instead of sweeping their full ranges.
+  CancelToken drain;
+  std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
 
   // Once some class holds two observably different outcomes at ranks
   // i1 < i2, a counterexample exists at rank <= i2 whatever the global
@@ -99,32 +138,47 @@ SoundnessReport CheckSoundnessParallel(const ProtectionMechanism& mechanism,
   // can never contribute the first witness and shards may skip them.
   std::atomic<std::uint64_t> conflict_bound{UINT64_MAX};
 
-  domain.ParallelForEach(
-      num_shards,
-      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
-        if (rank > conflict_bound.load(std::memory_order_relaxed)) {
-          return false;
-        }
-        auto& classes = partials[shard];
-        PolicyImage image = policy.Image(input);
-        Outcome outcome = mechanism.Run(input);
-        auto [it, inserted] = classes.try_emplace(std::move(image));
-        ClassPartial& partial = it->second;
-        if (inserted) {
-          partial.first = Occurrence{rank, Input(input.begin(), input.end()), outcome};
-          return true;
-        }
-        if (!partial.divergent.has_value() &&
-            !partial.first.outcome.ObservablyEquals(outcome, obs)) {
-          partial.divergent = Occurrence{rank, Input(input.begin(), input.end()), outcome};
-          std::uint64_t prev = conflict_bound.load(std::memory_order_relaxed);
-          while (rank < prev &&
-                 !conflict_bound.compare_exchange_weak(prev, rank, std::memory_order_relaxed)) {
+  try {
+    domain.ParallelForEach(
+        num_shards,
+        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+          ShardMeter& meter = meters[shard];
+          if (meter.gate.ShouldStop()) {
+            return false;
           }
-        }
-        return true;
-      },
-      threads);
+          if (rank > conflict_bound.load(std::memory_order_relaxed)) {
+            return false;
+          }
+          ++meter.evaluated;
+          auto& classes = partials[shard];
+          PolicyImage image = policy.Image(input);
+          Outcome outcome = mechanism.Run(input);
+          auto [it, inserted] = classes.try_emplace(std::move(image));
+          ClassPartial& partial = it->second;
+          if (inserted) {
+            partial.first = Occurrence{rank, Input(input.begin(), input.end()), outcome};
+            return true;
+          }
+          if (!partial.divergent.has_value() &&
+              !partial.first.outcome.ObservablyEquals(outcome, obs)) {
+            partial.divergent = Occurrence{rank, Input(input.begin(), input.end()), outcome};
+            std::uint64_t prev = conflict_bound.load(std::memory_order_relaxed);
+            while (rank < prev &&
+                   !conflict_bound.compare_exchange_weak(prev, rank,
+                                                         std::memory_order_relaxed)) {
+            }
+          }
+          return true;
+        },
+        threads, &drain);
+    MergeMeters(meters, &report.progress);
+  } catch (const std::exception& e) {
+    MergeMeters(meters, &report.progress);
+    AbortProgress(&report.progress, e.what());
+  } catch (...) {
+    MergeMeters(meters, &report.progress);
+    AbortProgress(&report.progress, "unknown error");
+  }
 
   // Merge. The global representative of a class is its lowest-rank
   // occurrence; shard ranges are disjoint and increasing, so that is the
@@ -167,16 +221,23 @@ SoundnessReport CheckSoundnessParallel(const ProtectionMechanism& mechanism,
     }
   }
 
-  SoundnessReport report;
   if (best_witness == nullptr) {
-    report.sound = true;
-    report.inputs_checked = grid;
+    if (report.progress.complete()) {
+      report.sound = true;
+      report.inputs_checked = grid;
+    } else {
+      // Fail closed: partial coverage without a witness proves nothing.
+      report.sound = false;
+      report.inputs_checked = report.progress.evaluated;
+    }
     report.policy_classes = global_first.size();
     return report;
   }
   report.sound = false;
   // The serial scan stops at the witness: it has counted best_rank + 1
   // inputs and seen exactly the classes that first occur at or before it.
+  // (On an incomplete run this reconstruction is best-effort: the witness is
+  // genuine but earlier unevaluated ranks might hold an earlier one.)
   report.inputs_checked = best_rank + 1;
   for (const auto& [image, rep] : global_first) {
     (void)image;
@@ -202,9 +263,9 @@ SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
   assert(mechanism.num_inputs() == domain.num_inputs());
   const int threads = options.ResolvedThreads();
   if (threads <= 1) {
-    return CheckSoundnessSerial(mechanism, policy, domain, obs);
+    return CheckSoundnessSerial(mechanism, policy, domain, obs, options);
   }
-  return CheckSoundnessParallel(mechanism, policy, domain, obs, threads);
+  return CheckSoundnessParallel(mechanism, policy, domain, obs, threads, options);
 }
 
 }  // namespace secpol

@@ -42,15 +42,25 @@ struct SoundnessReport {
   std::uint64_t inputs_checked = 0;
   std::uint64_t policy_classes = 0;
 
+  // How the sweep ended. `sound` is authoritative only when
+  // progress.complete(); an incomplete run with a counterexample is still
+  // definitively UNSOUND (the witness pair was really evaluated), but the
+  // witness need not be the rank-minimal one; an incomplete run without a
+  // counterexample is UNKNOWN.
+  CheckProgress progress;
+
   std::string ToString() const;
 };
 
 // Exhaustively checks soundness of `mechanism` for `policy` over `domain`
 // under observability `obs`. mechanism.num_inputs() must match both the
 // policy and the domain. With options.num_threads != 1 the grid is evaluated
-// in parallel shards; the report — including the exact counterexample pair
-// and inputs_checked — is identical to the serial scan at any thread count,
-// because shard partials are merged by global grid rank (first witness wins).
+// in parallel shards; for completed runs the report — including the exact
+// counterexample pair and inputs_checked — is identical to the serial scan
+// at any thread count, because shard partials are merged by global grid rank
+// (first witness wins). The sweep honours options.deadline / options.cancel
+// and converts a throwing mechanism into progress.status = kAborted; it
+// never crashes or hangs.
 SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
                                const SecurityPolicy& policy, const InputDomain& domain,
                                Observability obs, const CheckOptions& options = CheckOptions());

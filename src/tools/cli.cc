@@ -11,6 +11,7 @@
 #include "src/flowchart/optimize.h"
 #include "src/flowlang/lower.h"
 #include "src/flowlang/parser.h"
+#include "src/mechanism/fault.h"
 #include "src/mechanism/soundness.h"
 #include "src/policy/policy.h"
 #include "src/staticflow/analysis.h"
@@ -128,8 +129,10 @@ InputDomain ParseGrid(const ParsedArgs& args, int num_inputs) {
   return InputDomain::Range(num_inputs, lo, hi);
 }
 
-// Parses --threads=N into grid-evaluation options. 0 (the default) means one
-// worker per hardware thread; 1 forces the serial reference scan.
+// Parses --threads=N and --deadline-ms=N into grid-evaluation options.
+// --threads=0 (the default) means one worker per hardware thread; 1 forces
+// the serial reference scan. --deadline-ms bounds the sweep's wall time;
+// an exceeded deadline yields a structured kDeadlineExceeded report.
 std::optional<CheckOptions> ParseCheckOptions(const ParsedArgs& args, std::string* err) {
   CheckOptions options;
   if (const auto threads = FlagValue(args, "threads"); threads.has_value()) {
@@ -143,6 +146,19 @@ std::optional<CheckOptions> ParseCheckOptions(const ParsedArgs& args, std::strin
       *err += "--threads must be >= 0\n";
       return std::nullopt;
     }
+  }
+  if (const auto deadline = FlagValue(args, "deadline-ms"); deadline.has_value()) {
+    long long millis = 0;
+    try {
+      millis = std::stoll(*deadline);
+    } catch (...) {
+      millis = -1;
+    }
+    if (millis <= 0) {
+      *err += "bad --deadline-ms value '" + *deadline + "' (want a positive integer)\n";
+      return std::nullopt;
+    }
+    options.deadline = Deadline::AfterMillis(millis);
   }
   return options;
 }
@@ -281,7 +297,8 @@ int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
     return 1;
   }
   const std::string kind = FlagValue(args, "mechanism").value_or("surveillance");
-  const auto mechanism = MakeCheckedMechanism(kind, *program, *allowed, err);
+  std::shared_ptr<const ProtectionMechanism> mechanism =
+      MakeCheckedMechanism(kind, *program, *allowed, err);
   if (mechanism == nullptr) {
     return 1;
   }
@@ -291,12 +308,48 @@ int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
   }
   const AllowPolicy policy(program->num_inputs(), *allowed);
   const InputDomain domain = ParseGrid(args, program->num_inputs());
+
+  // Optional fault injection (for exercising the runtime's degradation
+  // paths from the command line) and bounded retry of transient faults.
+  if (const auto fault_spec = FlagValue(args, "fault-spec"); fault_spec.has_value()) {
+    auto specs = ParseFaultSpecs(*fault_spec);
+    if (!specs.ok()) {
+      *err += "bad --fault-spec: " + specs.error().ToString() + "\n";
+      return 1;
+    }
+    mechanism = std::make_shared<FaultInjectingMechanism>(std::move(mechanism), domain,
+                                                          std::move(specs).value());
+  }
+  if (const auto retries = FlagValue(args, "retries"); retries.has_value()) {
+    int max_retries = -1;
+    try {
+      max_retries = std::stoi(*retries);
+    } catch (...) {
+      max_retries = -1;
+    }
+    if (max_retries < 0) {
+      *err += "bad --retries value '" + *retries + "' (want a non-negative integer)\n";
+      return 1;
+    }
+    mechanism = std::make_shared<RetryingMechanism>(std::move(mechanism), max_retries);
+  }
+
   const Observability obs =
       HasFlag(args, "time") ? Observability::kValueAndTime : Observability::kValueOnly;
   const SoundnessReport report = CheckSoundness(*mechanism, policy, domain, obs, *options);
   *out += mechanism->name() + " for " + policy.name() + " over " + domain.ToString() + " [" +
           ObservabilityName(obs) + "]:\n" + report.ToString() + "\n";
-  return report.sound ? 0 : 2;
+  // Exit codes mirror the structured status: a bounded or aborted run is
+  // neither "sound" (0) nor "proved unsound" (2) unless a witness was found.
+  switch (report.progress.status) {
+    case CheckStatus::kCompleted:
+      return report.sound ? 0 : 2;
+    case CheckStatus::kDeadlineExceeded:
+      return report.counterexample.has_value() ? 2 : 3;
+    case CheckStatus::kAborted:
+      return 4;
+  }
+  return 4;
 }
 
 int CmdAnalyze(const ParsedArgs& args, std::string* out, std::string* err) {

@@ -1,0 +1,135 @@
+// Deadlines and cooperative cancellation for long-running sweeps.
+//
+// The exhaustive checkers scan |D|^k grids that can take arbitrarily long
+// (Theorem 4's cost wall). A Deadline bounds a sweep in wall time; a
+// CancelToken lets another thread abort it. Both are *polled* by the sweep
+// loops through a PollGate, which amortizes the clock read and atomic load
+// over a stride of iterations so the hot loop pays roughly one predictable
+// branch per grid point.
+
+#ifndef SECPOL_SRC_UTIL_DEADLINE_H_
+#define SECPOL_SRC_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace secpol {
+
+// A steady-clock deadline. Default-constructed deadlines are unbounded.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  static Deadline Never() { return Deadline(); }
+
+  // Expires `ms` milliseconds from now. Non-positive values expire
+  // immediately (useful for tests and for "poll only" semantics).
+  static Deadline AfterMillis(std::int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  static Deadline At(Clock::time_point point) { return Deadline(point); }
+
+  bool unbounded() const { return unbounded_; }
+
+  // One clock read; false for unbounded deadlines.
+  bool Expired() const { return !unbounded_ && Clock::now() >= point_; }
+
+ private:
+  explicit Deadline(Clock::time_point point) : point_(point), unbounded_(false) {}
+
+  Clock::time_point point_{};
+  bool unbounded_ = true;
+};
+
+// A shared cancellation flag. Copies share the flag: hand a copy to a sweep
+// and call RequestCancel() from any thread to stop it at the next poll.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void RequestCancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool Cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+// Why a sweep stopped before covering its whole range.
+enum class StopReason {
+  kNone,       // still running / ran to completion
+  kDeadline,   // the deadline expired
+  kCancelled,  // a cancel token was triggered
+};
+
+// Amortized deadline/cancel poll for a sweep loop. Call ShouldStop() once
+// per grid point: most calls cost a decrement and a branch; every `stride`
+// calls the gate actually reads the token(s) and the clock. Once stopped it
+// stays stopped and reason() says why. The secondary token is for internal
+// drain signals (e.g. "a sibling shard threw, wind down"); both tokens
+// report kCancelled.
+class PollGate {
+ public:
+  static constexpr std::uint32_t kDefaultStride = 64;
+
+  explicit PollGate(const Deadline& deadline, CancelToken primary = CancelToken(),
+                    CancelToken secondary = CancelToken(),
+                    std::uint32_t stride = kDefaultStride)
+      : deadline_(deadline),
+        primary_(std::move(primary)),
+        secondary_(std::move(secondary)),
+        stride_(stride == 0 ? 1 : stride) {}
+
+  bool ShouldStop() {
+    // Hot path: one decrement and one predictable branch. The invariant that
+    // until_poll_ is pinned <= 0 once stopped (see Poll) lets this return an
+    // unconditional false mid-stride.
+    if (--until_poll_ > 0) {
+      return false;
+    }
+    if (Poll()) {
+      return true;
+    }
+    until_poll_ = static_cast<std::int32_t>(stride_);
+    return false;
+  }
+
+  // Unamortized check (used outside hot loops). Pins the stride countdown
+  // once stopped so every subsequent ShouldStop() re-enters this slow path
+  // and sees the sticky reason.
+  bool Poll() {
+    if (reason_ != StopReason::kNone) {
+      until_poll_ = 0;
+      return true;
+    }
+    if (primary_.Cancelled() || secondary_.Cancelled()) {
+      reason_ = StopReason::kCancelled;
+      until_poll_ = 0;
+      return true;
+    }
+    if (deadline_.Expired()) {
+      reason_ = StopReason::kDeadline;
+      until_poll_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  StopReason reason() const { return reason_; }
+
+ private:
+  Deadline deadline_;
+  CancelToken primary_;
+  CancelToken secondary_;
+  std::uint32_t stride_;
+  std::int32_t until_poll_ = 1;  // poll on the first call
+  StopReason reason_ = StopReason::kNone;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_UTIL_DEADLINE_H_

@@ -5,6 +5,31 @@
 
 namespace secpol {
 
+namespace {
+
+// Decrements in_flight_ on every exit path — including a throwing task or a
+// throwing cancel hook — so Wait() can never wedge on a lost decrement.
+class InFlightGuard {
+ public:
+  InFlightGuard(std::mutex& mu, std::size_t& in_flight, std::condition_variable& all_done)
+      : mu_(mu), in_flight_(in_flight), all_done_(all_done) {}
+
+  ~InFlightGuard() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    all_done_.notify_all();
+  }
+
+ private:
+  std::mutex& mu_;
+  std::size_t& in_flight_;
+  std::condition_variable& all_done_;
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   const int count = std::max(1, num_threads);
   workers_.reserve(static_cast<std::size_t>(count));
@@ -14,9 +39,12 @@ ThreadPool::ThreadPool(int num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  Wait();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Drain without rethrowing: a destructor must not throw, so an unclaimed
+    // task exception is dropped here.
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    first_exception_ = nullptr;
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -35,8 +63,20 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr pending;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    pending = std::exchange(first_exception_, nullptr);
+  }
+  if (pending != nullptr) {
+    std::rethrow_exception(pending);
+  }
+}
+
+void ThreadPool::SetCancelOnException(CancelToken token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancel_on_exception_ = std::move(token);
 }
 
 int ThreadPool::HardwareThreads() {
@@ -56,12 +96,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
-    {
+    InFlightGuard guard(mu_, in_flight_, all_done_);
+    try {
+      task();
+    } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
+      if (first_exception_ == nullptr) {
+        first_exception_ = std::current_exception();
+        if (cancel_on_exception_.has_value()) {
+          cancel_on_exception_->RequestCancel();
+        }
+      }
     }
-    all_done_.notify_all();
   }
 }
 

@@ -4,6 +4,14 @@
 // submit one task per shard. Determinism is the *caller's* responsibility —
 // each checker merges per-shard partial results by global grid index — so the
 // pool itself promises only that every submitted task runs exactly once.
+//
+// Exception barrier: a throwing task never reaches WorkerLoop's call stack
+// unprotected (which would std::terminate the process). The first exception
+// is captured and rethrown from the next Wait(); later exceptions are
+// dropped. If a cancel token was registered via SetCancelOnException, it is
+// triggered when the first exception is captured so cooperative tasks can
+// drain early; either way every queued task still runs (or drains) before
+// Wait() returns, so destruction is always safe.
 
 #ifndef SECPOL_SRC_UTIL_THREAD_POOL_H_
 #define SECPOL_SRC_UTIL_THREAD_POOL_H_
@@ -11,10 +19,14 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
+
+#include "src/util/deadline.h"
 
 namespace secpol {
 
@@ -22,7 +34,8 @@ class ThreadPool {
  public:
   // Spawns max(1, num_threads) workers.
   explicit ThreadPool(int num_threads);
-  // Waits for every pending task, then joins the workers.
+  // Waits for every pending task, then joins the workers. An unclaimed task
+  // exception is discarded (never thrown from the destructor).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,8 +46,14 @@ class ThreadPool {
   // Enqueues one task. Tasks must not call Submit or Wait on their own pool.
   void Submit(std::function<void()> task);
 
-  // Blocks until every task submitted so far has finished.
+  // Blocks until every task submitted so far has finished, then rethrows the
+  // first exception any of them raised (if one did). The exception is
+  // reported exactly once; a subsequent Wait() returns normally.
   void Wait();
+
+  // Registers a token to cancel when a task throws, so sibling tasks polling
+  // it stop early instead of running to completion. Call before Submit.
+  void SetCancelOnException(CancelToken token);
 
   // max(1, std::thread::hardware_concurrency()).
   static int HardwareThreads();
@@ -48,6 +67,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  // queued + currently executing
   bool stopping_ = false;
+  std::exception_ptr first_exception_;            // guarded by mu_
+  std::optional<CancelToken> cancel_on_exception_;  // guarded by mu_
   std::vector<std::thread> workers_;
 };
 

@@ -14,8 +14,12 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   std::string WriteProgram(const std::string& source) {
-    const std::string path =
-        ::testing::TempDir() + "cli_test_" + std::to_string(counter_++) + ".fl";
+    // The test name keeps paths unique across CLI test processes running
+    // concurrently under `ctest -j` (they all share TempDir).
+    const std::string test_name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    const std::string path = ::testing::TempDir() + "cli_test_" + test_name + "_" +
+                             std::to_string(counter_++) + ".fl";
     std::ofstream out(path);
     out << source;
     out.close();
@@ -83,6 +87,49 @@ TEST_F(CliTest, CheckVerdictDrivesExitCode) {
   const std::string leaky = WriteProgram("program p(pub, sec) { y = sec; }");
   EXPECT_EQ(Run({"check", leaky, "--allow=0", "--mechanism=bare"}), 2);
   EXPECT_NE(out_.find("UNSOUND"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckDeadlineExceededDrivesExitCode) {
+  // A slow program over an oversized grid cannot finish in 1ms: the run
+  // reports partial progress and exits 3 (bounded, no verdict).
+  const std::string path = WriteProgram(
+      "program p(a, b, c, d) { locals i; i = 500; while (i != 0) { i = i - 1; } y = a; }");
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--grid=0:9", "--mechanism=bare",
+                 "--deadline-ms=1", "--threads=1"}),
+            3);
+  EXPECT_NE(out_.find("UNKNOWN"), std::string::npos);
+  EXPECT_NE(out_.find("deadline exceeded"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckRejectsBadDeadline) {
+  const std::string path = WriteProgram("program p(a) { y = a; }");
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--deadline-ms=zero"}), 1);
+  EXPECT_NE(err_.find("bad --deadline-ms"), std::string::npos);
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--deadline-ms=-4"}), 1);
+}
+
+TEST_F(CliTest, CheckFaultSpecInjectsFaults) {
+  const std::string path = WriteProgram("program p(pub, sec) { y = pub; }");
+  // Persistent throw: structured abort, exit 4.
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--mechanism=bare", "--fault-spec=throw@4"}), 4);
+  EXPECT_NE(out_.find("aborted"), std::string::npos);
+  EXPECT_NE(out_.find("injected fault"), std::string::npos);
+  // Wrong-value corruption surfaces as an ordinary unsound verdict (exit 2).
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--mechanism=bare", "--fault-spec=wrong@2"}), 2);
+  EXPECT_NE(out_.find("UNSOUND"), std::string::npos);
+  // A transient fault absorbed by one retry leaves the verdict untouched.
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--mechanism=bare", "--fault-spec=throw!@4",
+                 "--retries=1"}),
+            0);
+  EXPECT_NE(out_.find("SOUND"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckRejectsBadFaultFlags) {
+  const std::string path = WriteProgram("program p(a) { y = a; }");
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--fault-spec=explode@1"}), 1);
+  EXPECT_NE(err_.find("bad --fault-spec"), std::string::npos);
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--retries=-1"}), 1);
+  EXPECT_NE(err_.find("bad --retries"), std::string::npos);
 }
 
 TEST_F(CliTest, CheckWithTimeAndGrid) {

@@ -1,0 +1,283 @@
+// Differential fault-injection suite: every checker, every fault kind,
+// serial and parallel.
+//
+// Contract under test (the graceful-degradation half of the robustness
+// runtime): injected faults never crash or hang a checker — a throwing
+// mechanism yields a structured kAborted report; a deterministic
+// wrong-value / fuel-exhaustion fault is just a different mechanism, so the
+// run completes and the serial ≡ parallel determinism contract still holds
+// on the *faulty* mechanism; slow evaluation and retried transient faults
+// change nothing at all — the report is byte-identical to the fault-free
+// serial baseline.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/channels/timing.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/fault.h"
+#include "src/mechanism/integrity.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/policy_compare.h"
+#include "src/mechanism/soundness.h"
+
+namespace secpol {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 7};
+
+InputDomain TestDomain() { return InputDomain::Range(2, 0, 2); }  // 9 points
+
+AllowPolicy FirstCoordinatePolicy() {
+  VarSet allowed;
+  allowed.Insert(0);
+  return AllowPolicy(2, allowed);
+}
+
+// Base mechanism: releases the first coordinate — sound for allow(0),
+// information-preserving for allow(0), and with input-dependent timing so
+// the leak checker has something to measure.
+std::shared_ptr<const ProtectionMechanism> BaseMechanism() {
+  return std::make_shared<FunctionMechanism>("base", 2, [](InputView input) {
+    return Outcome::Val(input[0], static_cast<StepCount>(input[0]) + 1);
+  });
+}
+
+std::shared_ptr<const ProtectionMechanism> WithFaults(const std::string& spec_text) {
+  auto specs = ParseFaultSpecs(spec_text);
+  EXPECT_TRUE(specs.ok()) << spec_text;
+  return std::make_shared<FaultInjectingMechanism>(BaseMechanism(), TestDomain(),
+                                                   std::move(specs).value());
+}
+
+// A checker run collapsed to a comparable string plus its structured status.
+struct RunResult {
+  std::string rendering;
+  CheckStatus status = CheckStatus::kCompleted;
+  std::string message;
+};
+
+using CheckerFn =
+    std::function<RunResult(const ProtectionMechanism&, const CheckOptions&)>;
+
+struct CheckerCase {
+  std::string name;
+  CheckerFn run;
+};
+
+std::vector<CheckerCase> MechanismCheckers() {
+  std::vector<CheckerCase> checkers;
+  checkers.push_back({"soundness", [](const ProtectionMechanism& m, const CheckOptions& o) {
+                        const SoundnessReport r = CheckSoundness(
+                            m, FirstCoordinatePolicy(), TestDomain(),
+                            Observability::kValueOnly, o);
+                        return RunResult{r.ToString(), r.progress.status,
+                                         r.progress.message};
+                      }});
+  checkers.push_back({"integrity", [](const ProtectionMechanism& m, const CheckOptions& o) {
+                        const IntegrityReport r = CheckInformationPreservation(
+                            m, FirstCoordinatePolicy(), TestDomain(),
+                            Observability::kValueOnly, o);
+                        return RunResult{r.ToString(), r.progress.status,
+                                         r.progress.message};
+                      }});
+  checkers.push_back(
+      {"completeness", [](const ProtectionMechanism& m, const CheckOptions& o) {
+         const CompletenessStats r =
+             CompareCompleteness(m, PlugMechanism(2), TestDomain(), o);
+         return RunResult{r.ToString(), r.progress.status, r.progress.message};
+       }});
+  checkers.push_back({"maximal", [](const ProtectionMechanism& m, const CheckOptions& o) {
+                        const MaximalSynthesis r = SynthesizeMaximalMechanism(
+                            m, FirstCoordinatePolicy(), TestDomain(),
+                            Observability::kValueOnly, o);
+                        std::string rendering =
+                            std::to_string(r.inputs) + " inputs, " +
+                            std::to_string(r.policy_classes) + " classes, " +
+                            std::to_string(r.released_classes) + " released, table " +
+                            (r.mechanism ? std::to_string(r.mechanism->table_size())
+                                         : "null");
+                        return RunResult{std::move(rendering), r.progress.status,
+                                         r.progress.message};
+                      }});
+  checkers.push_back({"timing-leak", [](const ProtectionMechanism& m, const CheckOptions& o) {
+                        const LeakReport r =
+                            MeasureLeak(m, FirstCoordinatePolicy(), TestDomain(),
+                                        Observability::kValueAndTime, o);
+                        return RunResult{r.ToString(), r.progress.status,
+                                         r.progress.message};
+                      }});
+  return checkers;
+}
+
+// policy_compare checks policies, not mechanisms; it gets its faults through
+// FaultInjectingPolicy instead.
+RunResult RunPolicyCompare(const std::string& spec_text, const CheckOptions& options) {
+  auto specs = ParseFaultSpecs(spec_text);
+  EXPECT_TRUE(specs.ok()) << spec_text;
+  const FaultInjectingPolicy faulty_p(
+      std::make_shared<AllowPolicy>(FirstCoordinatePolicy()), TestDomain(),
+      std::move(specs).value());
+  const AllowPolicy q = AllowPolicy::AllowAll(2);
+  const PolicyCompareReport r = ComparePolicyDisclosure(faulty_p, q, TestDomain(), options);
+  return RunResult{r.ToString(), r.progress.status, r.progress.message};
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(FaultDifferentialTest, PersistentThrowAbortsEveryChecker) {
+  for (const CheckerCase& checker : MechanismCheckers()) {
+    for (int threads : kThreadCounts) {
+      const auto faulty = WithFaults("throw@4");
+      const RunResult result = checker.run(*faulty, CheckOptions::Threads(threads));
+      EXPECT_EQ(result.status, CheckStatus::kAborted)
+          << checker.name << " threads=" << threads << ": " << result.rendering;
+      EXPECT_NE(result.message.find("injected fault"), std::string::npos)
+          << checker.name << " threads=" << threads;
+    }
+  }
+  for (int threads : kThreadCounts) {
+    const RunResult result = RunPolicyCompare("throw@4", CheckOptions::Threads(threads));
+    EXPECT_EQ(result.status, CheckStatus::kAborted) << "policy_compare threads=" << threads;
+    EXPECT_NE(result.message.find("injected fault"), std::string::npos);
+  }
+}
+
+TEST(FaultDifferentialTest, FuelExhaustionCompletesAndMatchesSerial) {
+  // A deterministic fuel fault is just a different (still deterministic)
+  // mechanism: the sweep completes and parallel runs reproduce the serial
+  // report on the same faulty mechanism byte for byte.
+  for (const CheckerCase& checker : MechanismCheckers()) {
+    const RunResult serial =
+        checker.run(*WithFaults("fuel@4"), CheckOptions::Serial());
+    ASSERT_EQ(serial.status, CheckStatus::kCompleted) << checker.name;
+    for (int threads : kThreadCounts) {
+      const RunResult parallel =
+          checker.run(*WithFaults("fuel@4"), CheckOptions::Threads(threads));
+      EXPECT_EQ(parallel.status, CheckStatus::kCompleted)
+          << checker.name << " threads=" << threads;
+      EXPECT_EQ(parallel.rendering, serial.rendering)
+          << checker.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(FaultDifferentialTest, WrongValueCompletesAndMatchesSerial) {
+  for (const CheckerCase& checker : MechanismCheckers()) {
+    const RunResult serial =
+        checker.run(*WithFaults("wrong@2"), CheckOptions::Serial());
+    ASSERT_EQ(serial.status, CheckStatus::kCompleted) << checker.name;
+    for (int threads : kThreadCounts) {
+      const RunResult parallel =
+          checker.run(*WithFaults("wrong@2"), CheckOptions::Threads(threads));
+      EXPECT_EQ(parallel.status, CheckStatus::kCompleted)
+          << checker.name << " threads=" << threads;
+      EXPECT_EQ(parallel.rendering, serial.rendering)
+          << checker.name << " threads=" << threads;
+    }
+  }
+  for (int threads : kThreadCounts) {
+    const RunResult serial = RunPolicyCompare("wrong@2", CheckOptions::Serial());
+    const RunResult parallel = RunPolicyCompare("wrong@2", CheckOptions::Threads(threads));
+    EXPECT_EQ(parallel.status, CheckStatus::kCompleted) << threads;
+    EXPECT_EQ(parallel.rendering, serial.rendering) << threads;
+  }
+}
+
+TEST(FaultDifferentialTest, WrongValueIsCaughtAsUnsoundness) {
+  // Sanity that the injected corruption is visible, not silently absorbed:
+  // rank 2 = (0, 2) gets value 0^1 = 1, diverging from (0, 0) and (0, 1)
+  // inside the input[0] = 0 policy class.
+  const auto faulty = WithFaults("wrong@2");
+  const SoundnessReport report =
+      CheckSoundness(*faulty, FirstCoordinatePolicy(), TestDomain(),
+                     Observability::kValueOnly, CheckOptions::Serial());
+  EXPECT_EQ(report.progress.status, CheckStatus::kCompleted);
+  EXPECT_FALSE(report.sound);
+  ASSERT_TRUE(report.counterexample.has_value());
+  EXPECT_EQ(report.counterexample->input_b, (Input{0, 2}));
+}
+
+TEST(FaultDifferentialTest, SlowEvalMatchesFaultFreeBaseline) {
+  // Slowness is pure wall time: the report must equal the fault-free serial
+  // baseline exactly, at every thread count.
+  for (const CheckerCase& checker : MechanismCheckers()) {
+    const RunResult baseline =
+        checker.run(*BaseMechanism(), CheckOptions::Serial());
+    ASSERT_EQ(baseline.status, CheckStatus::kCompleted) << checker.name;
+    for (int threads : kThreadCounts) {
+      const RunResult slow = checker.run(*WithFaults("slow~1/2:11u100"),
+                                         CheckOptions::Threads(threads));
+      EXPECT_EQ(slow.status, CheckStatus::kCompleted)
+          << checker.name << " threads=" << threads;
+      EXPECT_EQ(slow.rendering, baseline.rendering)
+          << checker.name << " threads=" << threads;
+    }
+  }
+  for (int threads : kThreadCounts) {
+    const PolicyCompareReport baseline = ComparePolicyDisclosure(
+        FirstCoordinatePolicy(), AllowPolicy::AllowAll(2), TestDomain(),
+        CheckOptions::Serial());
+    const RunResult slow = RunPolicyCompare("slow~1/2:11u100", CheckOptions::Threads(threads));
+    EXPECT_EQ(slow.status, CheckStatus::kCompleted) << threads;
+    EXPECT_EQ(slow.rendering, baseline.ToString()) << threads;
+  }
+}
+
+TEST(FaultDifferentialTest, TransientFaultWithRetryMatchesFaultFreeBaseline) {
+  // A transient fault wrapped in one retry is fully absorbed: the checker
+  // sees the fault-free mechanism, so every report — including the first
+  // witness on unsound variants — matches the fault-free serial baseline.
+  for (const CheckerCase& checker : MechanismCheckers()) {
+    const RunResult baseline =
+        checker.run(*BaseMechanism(), CheckOptions::Serial());
+    ASSERT_EQ(baseline.status, CheckStatus::kCompleted) << checker.name;
+    for (int threads : kThreadCounts) {
+      const RetryingMechanism retrying(WithFaults("throw!@4,throw!@7"),
+                                       /*max_retries=*/1);
+      const RunResult retried = checker.run(retrying, CheckOptions::Threads(threads));
+      EXPECT_EQ(retried.status, CheckStatus::kCompleted)
+          << checker.name << " threads=" << threads;
+      EXPECT_EQ(retried.rendering, baseline.rendering)
+          << checker.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(FaultDifferentialTest, UnretriedTransientFaultStillAborts) {
+  // Without a retry wrapper a transient fault is as fatal as a persistent
+  // one — the runtime never silently skips a grid point.
+  for (int threads : kThreadCounts) {
+    const auto faulty = WithFaults("throw!@4");
+    const SoundnessReport report =
+        CheckSoundness(*faulty, FirstCoordinatePolicy(), TestDomain(),
+                       Observability::kValueOnly, CheckOptions::Threads(threads));
+    EXPECT_EQ(report.progress.status, CheckStatus::kAborted) << threads;
+    EXPECT_NE(report.progress.message.find("transient fault"), std::string::npos)
+        << threads;
+  }
+}
+
+TEST(FaultDifferentialTest, SeededFaultRatesAreReproducible) {
+  // The same seeded spec fires at the same ranks in every run and at every
+  // thread count — runs on the same spec are mutually byte-identical.
+  for (const CheckerCase& checker : MechanismCheckers()) {
+    const RunResult first =
+        checker.run(*WithFaults("wrong~1/3:99"), CheckOptions::Serial());
+    ASSERT_EQ(first.status, CheckStatus::kCompleted) << checker.name;
+    for (int threads : kThreadCounts) {
+      const RunResult again =
+          checker.run(*WithFaults("wrong~1/3:99"), CheckOptions::Threads(threads));
+      EXPECT_EQ(again.rendering, first.rendering)
+          << checker.name << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace secpol

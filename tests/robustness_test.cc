@@ -1,0 +1,430 @@
+// Robustness runtime tests: deadlines, cancellation, the thread-pool
+// exception barrier, retry policy, and the fuel-exhaustion path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/fault.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/soundness.h"
+#include "src/util/deadline.h"
+#include "src/util/thread_pool.h"
+
+namespace secpol {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deadline / CancelToken / PollGate
+
+TEST(DeadlineTest, DefaultIsUnbounded) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.unbounded());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_FALSE(Deadline::Never().Expired());
+}
+
+TEST(DeadlineTest, NonPositiveMillisExpiresImmediately) {
+  EXPECT_TRUE(Deadline::AfterMillis(0).Expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineExpiresAfterSleep) {
+  const Deadline deadline = Deadline::AfterMillis(10);
+  EXPECT_FALSE(deadline.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(CancelTokenTest, CopiesShareTheFlag) {
+  CancelToken a;
+  CancelToken b = a;
+  EXPECT_FALSE(b.Cancelled());
+  a.RequestCancel();
+  EXPECT_TRUE(a.Cancelled());
+  EXPECT_TRUE(b.Cancelled());
+}
+
+TEST(PollGateTest, StopsOnExpiredDeadline) {
+  PollGate gate(Deadline::AfterMillis(0));
+  EXPECT_TRUE(gate.ShouldStop());
+  EXPECT_EQ(gate.reason(), StopReason::kDeadline);
+  // Sticky: stays stopped.
+  EXPECT_TRUE(gate.ShouldStop());
+}
+
+TEST(PollGateTest, StopsOnEitherToken) {
+  CancelToken primary;
+  CancelToken secondary;
+  {
+    PollGate gate(Deadline::Never(), primary, secondary);
+    EXPECT_FALSE(gate.ShouldStop());
+    primary.RequestCancel();
+    EXPECT_TRUE(gate.Poll());
+    EXPECT_EQ(gate.reason(), StopReason::kCancelled);
+  }
+  {
+    CancelToken other_primary;
+    PollGate gate(Deadline::Never(), other_primary, secondary);
+    secondary.RequestCancel();
+    EXPECT_TRUE(gate.Poll());
+    EXPECT_EQ(gate.reason(), StopReason::kCancelled);
+  }
+}
+
+TEST(PollGateTest, AmortizesPollsOverStride) {
+  CancelToken token;
+  PollGate gate(Deadline::Never(), token, CancelToken(), /*stride=*/8);
+  EXPECT_FALSE(gate.ShouldStop());  // first call polls
+  token.RequestCancel();
+  // The next stride-1 calls ride the cached verdict.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(gate.ShouldStop()) << "call " << i;
+  }
+  EXPECT_TRUE(gate.ShouldStop());  // stride boundary: real poll sees the token
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool exception barrier
+
+TEST(ThreadPoolExceptionTest, WaitRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&ran, i] {
+      if (i == 3) {
+        throw std::runtime_error("task 3 failed");
+      }
+      ran.fetch_add(1);
+    });
+  }
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3 failed");
+  }
+  // Every non-throwing task still ran exactly once.
+  EXPECT_EQ(ran.load(), 15);
+}
+
+TEST(ThreadPoolExceptionTest, ExceptionIsReportedExactlyOnce) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Claimed: a second Wait() is clean, and the pool still works.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolExceptionTest, DestructionWithUnclaimedExceptionIsSafe) {
+  // No Wait(): the destructor must drain, discard the exception, and join
+  // without terminating the process.
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("unclaimed"); });
+  }
+}
+
+TEST(ThreadPoolExceptionTest, CancelOnExceptionDrainsSiblings) {
+  ThreadPool pool(2);
+  CancelToken drain;
+  pool.SetCancelOnException(drain);
+  std::atomic<int> drained{0};
+  pool.Submit([] { throw std::runtime_error("first"); });
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&drain, &drained] {
+      // Cooperative task: observe the drain signal instead of doing work.
+      for (int spin = 0; spin < 1000 && !drain.Cancelled(); ++spin) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      if (drain.Cancelled()) {
+        drained.fetch_add(1);
+      }
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(drained.load(), 32);
+}
+
+TEST(ThreadPoolExceptionTest, NonStdExceptionIsContained) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw 42; });  // not derived from std::exception
+  EXPECT_THROW(pool.Wait(), int);
+}
+
+// ---------------------------------------------------------------------------
+// InputDomain::RankOf
+
+TEST(RankOfTest, InvertsEnumerationOrder) {
+  const InputDomain domain = InputDomain::PerInput({{-1, 0, 2}, {5, 7}});
+  std::uint64_t expected = 0;
+  domain.ForEachRange(0, domain.size(), [&](std::uint64_t rank, InputView input) -> bool {
+    EXPECT_EQ(rank, expected);
+    const auto decoded = domain.RankOf(input);
+    EXPECT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded.value_or(~0ull), rank);
+    ++expected;
+    return true;
+  });
+  EXPECT_EQ(expected, domain.size());
+}
+
+TEST(RankOfTest, RejectsOffGridInputs) {
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+  EXPECT_FALSE(domain.RankOf(std::vector<Value>{0, 99}).has_value());
+  EXPECT_FALSE(domain.RankOf(std::vector<Value>{-1, 0}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-bounded and cancelled checker runs
+
+std::shared_ptr<const ProtectionMechanism> SlowMechanism(int num_inputs,
+                                                         std::uint32_t micros) {
+  return std::make_shared<FunctionMechanism>(
+      "slow", num_inputs, [micros](InputView input) {
+        std::this_thread::sleep_for(std::chrono::microseconds(micros));
+        return Outcome::Val(input[0], 1);
+      });
+}
+
+TEST(DeadlineBoundedCheckTest, SerialRunStopsWithPartialProgress) {
+  // 10^4 grid points at 100us each would take ~1s; the 200ms deadline must
+  // stop the sweep long before that, with the stop observed within one poll
+  // stride (64 points ~ 6.4ms) of the deadline.
+  const InputDomain domain = InputDomain::Range(4, 0, 9);
+  const auto mechanism = SlowMechanism(4, 100);
+  const AllowPolicy policy = AllowPolicy::AllowAll(4);
+  CheckOptions options = CheckOptions::Serial();
+  options.deadline = Deadline::AfterMillis(200);
+
+  const auto start = std::chrono::steady_clock::now();
+  const SoundnessReport report =
+      CheckSoundness(*mechanism, policy, domain, Observability::kValueOnly, options);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  EXPECT_EQ(report.progress.status, CheckStatus::kDeadlineExceeded);
+  EXPECT_GT(report.progress.evaluated, 0u);
+  EXPECT_LT(report.progress.evaluated, domain.size());
+  EXPECT_FALSE(report.sound);  // fail closed
+  EXPECT_FALSE(report.counterexample.has_value());
+  EXPECT_NE(report.ToString().find("UNKNOWN"), std::string::npos);
+  EXPECT_LT(elapsed.count(), 400) << "sweep overran 2x the deadline";
+}
+
+TEST(DeadlineBoundedCheckTest, ParallelRunStopsWithPartialProgress) {
+  const InputDomain domain = InputDomain::Range(4, 0, 9);
+  const auto mechanism = SlowMechanism(4, 100);
+  const AllowPolicy policy = AllowPolicy::AllowAll(4);
+  CheckOptions options = CheckOptions::Threads(4);
+  options.deadline = Deadline::AfterMillis(100);
+
+  const auto start = std::chrono::steady_clock::now();
+  const SoundnessReport report =
+      CheckSoundness(*mechanism, policy, domain, Observability::kValueOnly, options);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  EXPECT_EQ(report.progress.status, CheckStatus::kDeadlineExceeded);
+  EXPECT_GT(report.progress.evaluated, 0u);
+  EXPECT_LT(report.progress.evaluated, domain.size());
+  EXPECT_LT(elapsed.count(), 2000);
+}
+
+TEST(CancelledCheckTest, PreCancelledRunAbortsImmediately) {
+  const InputDomain domain = InputDomain::Range(3, 0, 9);
+  const auto mechanism = SlowMechanism(3, 0);
+  const AllowPolicy policy = AllowPolicy::AllowAll(3);
+  for (int threads : {1, 3}) {
+    CheckOptions options = CheckOptions::Threads(threads);
+    options.cancel.RequestCancel();
+    const SoundnessReport report =
+        CheckSoundness(*mechanism, policy, domain, Observability::kValueOnly, options);
+    EXPECT_EQ(report.progress.status, CheckStatus::kAborted) << threads;
+    EXPECT_EQ(report.progress.message, "cancelled") << threads;
+    EXPECT_EQ(report.progress.evaluated, 0u) << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+
+TEST(RetryTest, TransientFaultIsAbsorbedWithinBudget) {
+  const InputDomain domain = InputDomain::Range(1, 0, 4);
+  auto specs = ParseFaultSpecs("throw!@2");
+  ASSERT_TRUE(specs.ok()) << specs.error().ToString();
+  auto inner = std::make_shared<FunctionMechanism>(
+      "inner", 1, [](InputView input) { return Outcome::Val(input[0], 1); });
+  auto faulty = std::make_shared<FaultInjectingMechanism>(inner, domain, specs.value());
+  RetryingMechanism retrying(faulty, /*max_retries=*/1);
+
+  for (Value v = 0; v <= 4; ++v) {
+    const Outcome outcome = retrying.Run(std::vector<Value>{v});
+    EXPECT_TRUE(outcome.IsValue());
+    EXPECT_EQ(outcome.value, v);
+  }
+  EXPECT_EQ(retrying.retries_used(), 1u);
+  EXPECT_EQ(faulty->faults_fired(), 1u);
+}
+
+TEST(RetryTest, ExhaustedBudgetRethrows) {
+  const InputDomain domain = InputDomain::Range(1, 0, 4);
+  // Fires on the first three attempts at rank 2; one retry is not enough.
+  auto specs = ParseFaultSpecs("throw!@2x3");
+  ASSERT_TRUE(specs.ok());
+  auto inner = std::make_shared<FunctionMechanism>(
+      "inner", 1, [](InputView input) { return Outcome::Val(input[0], 1); });
+  auto faulty = std::make_shared<FaultInjectingMechanism>(inner, domain, specs.value());
+  RetryingMechanism retrying(faulty, /*max_retries=*/1);
+  EXPECT_THROW(retrying.Run(std::vector<Value>{2}), TransientFaultError);
+  // A third attempt exhausts the fault's own budget and succeeds.
+  EXPECT_EQ(retrying.Run(std::vector<Value>{2}).value, 2);
+}
+
+TEST(RetryTest, PersistentFaultIsNeverRetried) {
+  const InputDomain domain = InputDomain::Range(1, 0, 4);
+  auto specs = ParseFaultSpecs("throw@2");
+  ASSERT_TRUE(specs.ok());
+  auto inner = std::make_shared<FunctionMechanism>(
+      "inner", 1, [](InputView input) { return Outcome::Val(input[0], 1); });
+  auto faulty = std::make_shared<FaultInjectingMechanism>(inner, domain, specs.value());
+  RetryingMechanism retrying(faulty, /*max_retries=*/5);
+  EXPECT_THROW(retrying.Run(std::vector<Value>{2}), FaultInjectedError);
+  EXPECT_EQ(faulty->faults_fired(), 1u);  // no retry attempts were made
+}
+
+// ---------------------------------------------------------------------------
+// Fault-spec parsing
+
+TEST(FaultSpecTest, ParsesClausesAndDefaults) {
+  const auto specs = ParseFaultSpecs("throw@5+9,fuel~1/10:42,slow~1/4u200,wrong@0x2");
+  ASSERT_TRUE(specs.ok()) << specs.error().ToString();
+  ASSERT_EQ(specs.value().size(), 4u);
+  const FaultSpec& t = specs.value()[0];
+  EXPECT_EQ(t.kind, FaultKind::kThrow);
+  EXPECT_EQ(t.ranks, (std::vector<std::uint64_t>{5, 9}));
+  EXPECT_FALSE(t.transient);
+  const FaultSpec& f = specs.value()[1];
+  EXPECT_EQ(f.kind, FaultKind::kFuelExhaustion);
+  EXPECT_EQ(f.rate_num, 1u);
+  EXPECT_EQ(f.rate_den, 10u);
+  EXPECT_EQ(f.seed, 42u);
+  const FaultSpec& s = specs.value()[2];
+  EXPECT_EQ(s.kind, FaultKind::kSlowEval);
+  EXPECT_EQ(s.slow_micros, 200u);
+  const FaultSpec& w = specs.value()[3];
+  EXPECT_EQ(w.kind, FaultKind::kWrongValue);
+  EXPECT_EQ(w.fires_per_rank, 2);
+}
+
+TEST(FaultSpecTest, TransientDefaultsToSingleFiring) {
+  const auto specs = ParseFaultSpecs("throw!@3");
+  ASSERT_TRUE(specs.ok());
+  EXPECT_TRUE(specs.value()[0].transient);
+  EXPECT_EQ(specs.value()[0].fires_per_rank, 1);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultSpecs("").ok());
+  EXPECT_FALSE(ParseFaultSpecs("explode@1").ok());
+  EXPECT_FALSE(ParseFaultSpecs("throw").ok());        // targets nothing
+  EXPECT_FALSE(ParseFaultSpecs("throw~1/0").ok());    // zero denominator
+  EXPECT_FALSE(ParseFaultSpecs("fuel!@1").ok());      // transient non-throw
+  EXPECT_FALSE(ParseFaultSpecs("throw@1,").ok());     // trailing empty clause
+  EXPECT_FALSE(ParseFaultSpecs("throw@x").ok());      // not a number
+}
+
+TEST(FaultSpecTest, HashTargetingIsDeterministic) {
+  FaultSpec spec;
+  spec.rate_num = 1;
+  spec.rate_den = 4;
+  spec.seed = 7;
+  std::uint64_t hits = 0;
+  for (std::uint64_t rank = 0; rank < 1000; ++rank) {
+    if (spec.TargetsRank(rank)) {
+      EXPECT_TRUE(spec.TargetsRank(rank));  // stable on re-query
+      ++hits;
+    }
+  }
+  // Roughly a quarter of the ranks; generous bounds to avoid flakiness.
+  EXPECT_GT(hits, 150u);
+  EXPECT_LT(hits, 350u);
+}
+
+// ---------------------------------------------------------------------------
+// Fuel exhaustion flows through the checkers as a normal violation
+
+TEST(FuelExhaustionTest, NonHaltingProgramBecomesViolation) {
+  const auto parsed = ParseProgram("program p(n) { locals c; c = n; while (c != 0) { c = c + 1; } y = 0; }");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  const ProgramAsMechanism mechanism(Lower(parsed.value()), /*fuel=*/100);
+  // n = 1 never reaches 0 counting upward; the fuel bound converts the
+  // divergence into a violation notice.
+  const Outcome diverged = mechanism.Run(std::vector<Value>{1});
+  ASSERT_TRUE(diverged.IsViolation());
+  EXPECT_EQ(diverged.notice, "fuel exhausted");
+  EXPECT_TRUE(mechanism.Run(std::vector<Value>{0}).IsValue());
+}
+
+TEST(FuelExhaustionTest, FlowsThroughSoundnessAsNormalOutcome) {
+  const auto parsed = ParseProgram("program p(n) { locals c; c = n; while (c != 0) { c = c + 1; } y = 0; }");
+  ASSERT_TRUE(parsed.ok());
+  const ProgramAsMechanism mechanism(Lower(parsed.value()), /*fuel=*/100);
+  const InputDomain domain = InputDomain::Range(1, 0, 3);
+  // allow() hides n entirely, but the mechanism halts on 0 and exhausts fuel
+  // on 1..3 — an observable difference inside the single policy class, i.e.
+  // an ordinary UNSOUND verdict, not a crash or an abort.
+  const AllowPolicy policy = AllowPolicy::AllowNone(1);
+  for (int threads : {1, 2}) {
+    const SoundnessReport report = CheckSoundness(mechanism, policy, domain,
+                                                  Observability::kValueOnly,
+                                                  CheckOptions::Threads(threads));
+    EXPECT_EQ(report.progress.status, CheckStatus::kCompleted) << threads;
+    EXPECT_FALSE(report.sound) << threads;
+    ASSERT_TRUE(report.counterexample.has_value()) << threads;
+    EXPECT_EQ(report.counterexample->outcome_b.notice, "fuel exhausted") << threads;
+  }
+}
+
+TEST(FuelExhaustionTest, FlowsThroughCompletenessAsNormalOutcome) {
+  const auto parsed = ParseProgram("program p(n) { locals c; c = n; while (c != 0) { c = c + 1; } y = 0; }");
+  ASSERT_TRUE(parsed.ok());
+  const ProgramAsMechanism mechanism(Lower(parsed.value()), /*fuel=*/100);
+  const PlugMechanism plug(1);
+  const InputDomain domain = InputDomain::Range(1, 0, 3);
+  const CompletenessStats stats = CompareCompleteness(mechanism, plug, domain,
+                                                      CheckOptions::Serial());
+  EXPECT_EQ(stats.progress.status, CheckStatus::kCompleted);
+  // Fuel-exhausted runs count as violations: only n = 0 yields a value.
+  EXPECT_EQ(stats.first_only, 1u);
+  EXPECT_EQ(stats.neither, 3u);
+  EXPECT_EQ(stats.Relation(), CompletenessRelation::kFirstMore);
+}
+
+TEST(FuelExhaustionTest, InjectedFuelFaultMatchesRealFuelExhaustion) {
+  // The harness's kFuelExhaustion is indistinguishable from a genuine
+  // out-of-fuel run as far as the checkers are concerned.
+  const InputDomain domain = InputDomain::Range(1, 0, 3);
+  auto inner = std::make_shared<FunctionMechanism>(
+      "inner", 1, [](InputView) { return Outcome::Val(0, 1); });
+  auto specs = ParseFaultSpecs("fuel@1+2+3");
+  ASSERT_TRUE(specs.ok());
+  const FaultInjectingMechanism faulty(inner, domain, specs.value());
+  const Outcome outcome = faulty.Run(std::vector<Value>{1});
+  ASSERT_TRUE(outcome.IsViolation());
+  EXPECT_EQ(outcome.notice, "fuel exhausted");
+}
+
+}  // namespace
+}  // namespace secpol
