@@ -1,0 +1,180 @@
+// E18 — the batch checking service: cold vs warm throughput, the cache
+// hit-rate curve, and the scheduler's per-job overhead.
+//
+// The service memoizes completed check reports under content-addressed keys
+// (JobCacheKey), so a repeated job costs a fingerprint + one sharded LRU
+// lookup instead of an exhaustive grid sweep. This bench quantifies the
+// three numbers that matter for capacity planning: (1) the warm/cold
+// throughput ratio on a batch of repeated jobs (the acceptance target is
+// >= 10x), (2) how batch wall time falls as the fraction of repeated jobs
+// rises, and (3) the scheduler's fixed cost per job — admission, validation,
+// fingerprinting, dispatch — measured on a batch that is 100% cache hits,
+// where nothing else is left to pay for.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/service/service.h"
+#include "src/util/strings.h"
+#include "src/util/thread_pool.h"
+
+namespace secpol {
+namespace {
+
+// Distinct jobs differ by an inner-loop bound, which both changes the
+// program's fingerprint (distinct cache keys) and gives every evaluation a
+// real cost, so a cold sweep is honest work rather than a no-op.
+std::string ProgramText(int variant) {
+  return "program p(a, b, c) { locals i; i = " + std::to_string(20 + variant) +
+         "; while (i != 0) { i = i - 1; } y = a + b * c; }";
+}
+
+CheckJobSpec JobFor(int variant) {
+  CheckJobSpec spec;
+  spec.id = "job-" + std::to_string(variant);
+  spec.program_text = ProgramText(variant);
+  spec.allow = VarSet{0};
+  spec.grid_lo = 0;
+  spec.grid_hi = 4;  // 5^3 = 125 surveilled evaluations per cold job
+  return spec;
+}
+
+std::vector<CheckJobSpec> DistinctJobs(int count) {
+  std::vector<CheckJobSpec> jobs;
+  jobs.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    jobs.push_back(JobFor(i));
+  }
+  return jobs;
+}
+
+double BatchMillis(CheckService& service, const std::vector<CheckJobSpec>& jobs) {
+  const auto start = std::chrono::steady_clock::now();
+  const BatchReport report = service.RunBatch(jobs);
+  benchmark::DoNotOptimize(report.stats.completed);
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void PrintReproduction() {
+  PrintHeader("E18: batch service — cold vs warm throughput and scheduler overhead");
+  std::printf("  host hardware threads: %d\n\n", ThreadPool::HardwareThreads());
+
+  const int kJobs = 64;
+  const std::vector<CheckJobSpec> jobs = DistinctJobs(kJobs);
+
+  // (1) Cold vs warm: the same batch twice on one service. The second pass
+  // answers every job from the cache with byte-identical reports.
+  {
+    ServiceConfig config;
+    config.concurrency = 1;
+    CheckService service(config);
+    const double cold_ms = BatchMillis(service, jobs);
+    double warm_ms = BatchMillis(service, jobs);
+    for (int trial = 0; trial < 5; ++trial) {  // min-of-trials: warm runs are tiny
+      const double ms = BatchMillis(service, jobs);
+      if (ms < warm_ms) warm_ms = ms;
+    }
+    const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+    PrintRow({"batch", "jobs", "wall ms", "jobs/s"}, {8, 6, 12, 12});
+    PrintRow({"cold", std::to_string(kJobs), FormatDouble(cold_ms, 2),
+              FormatDouble(kJobs / (cold_ms / 1000.0), 0)},
+             {8, 6, 12, 12});
+    PrintRow({"warm", std::to_string(kJobs), FormatDouble(warm_ms, 3),
+              FormatDouble(kJobs / (warm_ms / 1000.0), 0)},
+             {8, 6, 12, 12});
+    std::printf("  warm/cold speedup: %sx (target: >= 10x)\n\n", FormatDouble(speedup, 1).c_str());
+  }
+
+  // (2) Hit-rate curve: batches where a growing fraction of the jobs repeat
+  // an already-cached variant. Wall time should fall linearly in the hit
+  // rate — the misses dominate everything.
+  {
+    PrintRow({"repeat %", "hits", "misses", "wall ms"}, {9, 6, 7, 12});
+    for (const int repeat_pct : {0, 50, 90, 100}) {
+      ServiceConfig config;
+      config.concurrency = 1;
+      CheckService service(config);
+      // Pre-warm the repeated prefix: variants [0, repeated) are cached.
+      const int repeated = kJobs * repeat_pct / 100;
+      if (repeated > 0) {
+        (void)service.RunBatch(DistinctJobs(repeated));
+      }
+      const double ms = BatchMillis(service, jobs);
+      const CacheStats stats = service.cache().Stats();
+      PrintRow({std::to_string(repeat_pct), std::to_string(repeated),
+                std::to_string(kJobs - repeated), FormatDouble(ms, 2)},
+               {9, 6, 7, 12});
+      benchmark::DoNotOptimize(stats.hits);
+    }
+    std::printf("\n");
+  }
+
+  // (3) Scheduler overhead: with a fully warm cache every job's checker cost
+  // is gone; what remains — admission, re-validation (parse + lower +
+  // fingerprint), dispatch, stats — is the service's fixed per-job price.
+  {
+    ServiceConfig config;
+    config.concurrency = 1;
+    CheckService service(config);
+    (void)service.RunBatch(jobs);  // warm everything
+    double best_ms = BatchMillis(service, jobs);
+    for (int trial = 0; trial < 7; ++trial) {
+      const double ms = BatchMillis(service, jobs);
+      if (ms < best_ms) best_ms = ms;
+    }
+    std::printf("  scheduler + fingerprint overhead: %s us per job (100%% hits)\n",
+                FormatDouble(best_ms * 1000.0 / kJobs, 1).c_str());
+  }
+}
+
+void BM_ColdBatch(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const std::vector<CheckJobSpec> batch = DistinctJobs(jobs);
+  for (auto _ : state) {
+    ServiceConfig config;
+    config.concurrency = 1;
+    CheckService service(config);  // fresh cache every iteration
+    benchmark::DoNotOptimize(service.RunBatch(batch).stats.executed);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_ColdBatch)->Arg(16)->Arg(64);
+
+void BM_WarmBatch(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const std::vector<CheckJobSpec> batch = DistinctJobs(jobs);
+  ServiceConfig config;
+  config.concurrency = 1;
+  CheckService service(config);
+  (void)service.RunBatch(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.RunBatch(batch).stats.cache_hits);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_WarmBatch)->Arg(16)->Arg(64);
+
+void BM_CacheLookup(benchmark::State& state) {
+  // The cache in isolation: one sharded-LRU hit, no scheduler around it.
+  ResultCache cache(1024, 8);
+  Fingerprinter fp;
+  fp.Tag("bench");
+  const Fingerprint key = fp.Digest();
+  CachedResult value;
+  value.report = std::string(256, 'r');
+  cache.Insert(key, value);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(key)->exit_code);
+  }
+}
+BENCHMARK(BM_CacheLookup);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

@@ -270,4 +270,29 @@ std::string Expr::ToString() const {
   return ToString([](int id) { return "v" + std::to_string(id); });
 }
 
+void Expr::AppendFingerprint(Fingerprinter* fp) const {
+  fp->Tag("expr");
+  fp->I32(static_cast<int>(kind()));
+  switch (kind()) {
+    case Kind::kConst:
+      fp->I64(node_->const_value);
+      break;
+    case Kind::kVar:
+      fp->I32(node_->var_id);
+      break;
+    case Kind::kUnary:
+      fp->I32(static_cast<int>(node_->unary_op));
+      break;
+    case Kind::kBinary:
+      fp->I32(static_cast<int>(node_->binary_op));
+      break;
+    case Kind::kSelect:
+      break;
+  }
+  fp->I32(num_operands());
+  for (int i = 0; i < num_operands(); ++i) {
+    operand(i).AppendFingerprint(fp);
+  }
+}
+
 }  // namespace secpol

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/fingerprint.h"
 #include "src/util/value.h"
 #include "src/util/var_set.h"
 
@@ -102,6 +103,13 @@ class Expr {
 
   // Returns a copy with every variable id i replaced by remap(i).
   Expr MapVars(const std::function<int(int)>& remap) const;
+
+  // Canonical serialization hook for content addressing: appends a tagged
+  // encoding of the AST structure (kinds, operators, constants, variable
+  // ids). Structurally equal expressions encode identically; anything that
+  // can change Eval() changes the encoding. Pinned by golden hashes in
+  // tests/fingerprint_test.cc.
+  void AppendFingerprint(Fingerprinter* fp) const;
 
   // Renders with variable names provided by `var_name`.
   std::string ToString(const std::function<std::string(int)>& var_name) const;

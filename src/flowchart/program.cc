@@ -172,4 +172,44 @@ std::string Program::ToString() const {
   return out;
 }
 
+void Program::AppendFingerprint(Fingerprinter* fp) const {
+  fp->Tag("program");
+  fp->Str(name_);
+  fp->I32(num_inputs_);
+  fp->I32(num_locals_);
+  fp->U64(var_names_.size());
+  for (const std::string& name : var_names_) {
+    fp->Str(name);
+  }
+  fp->I32(start_box_);
+  fp->U64(boxes_.size());
+  for (const Box& box : boxes_) {
+    fp->Tag("box");
+    fp->I32(static_cast<int>(box.kind));
+    switch (box.kind) {
+      case Box::Kind::kStart:
+        fp->I32(box.next);
+        break;
+      case Box::Kind::kAssign:
+        fp->I32(box.var);
+        box.expr.AppendFingerprint(fp);
+        fp->I32(box.next);
+        break;
+      case Box::Kind::kDecision:
+        box.predicate.AppendFingerprint(fp);
+        fp->I32(box.true_next);
+        fp->I32(box.false_next);
+        break;
+      case Box::Kind::kHalt:
+        break;
+    }
+  }
+}
+
+Fingerprint Program::ContentFingerprint() const {
+  Fingerprinter fp;
+  AppendFingerprint(&fp);
+  return fp.Digest();
+}
+
 }  // namespace secpol

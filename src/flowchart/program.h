@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/expr/expr.h"
+#include "src/util/fingerprint.h"
 #include "src/util/result.h"
 #include "src/util/value.h"
 #include "src/util/var_set.h"
@@ -85,6 +86,18 @@ class Program {
 
   // Human-readable listing of the boxes.
   std::string ToString() const;
+
+  // Canonical serialization hook for content addressing: appends a tagged
+  // encoding of everything this program *is* — name, variable names, box
+  // graph (kinds, edges, assigned variables, expressions), start box. Names
+  // are included deliberately: they appear in mechanism names and violation
+  // notices, and the batch service's cache-key soundness argument (DESIGN.md
+  // §9) requires the fingerprint to cover everything that can reach report
+  // text. Pinned by golden hashes in tests/fingerprint_test.cc.
+  void AppendFingerprint(Fingerprinter* fp) const;
+
+  // Convenience: the digest of AppendFingerprint into a fresh Fingerprinter.
+  Fingerprint ContentFingerprint() const;
 
  private:
   std::string name_;

@@ -5,6 +5,12 @@
 
 namespace secpol {
 
+void SecurityPolicy::AppendFingerprint(Fingerprinter* fp) const {
+  fp->Tag("policy");
+  fp->Str(name());
+  fp->I32(num_inputs());
+}
+
 AllowPolicy::AllowPolicy(int num_inputs, VarSet allowed)
     : num_inputs_(num_inputs), allowed_(allowed) {
   assert(allowed.SubsetOf(VarSet::FirstN(num_inputs)));
@@ -48,6 +54,12 @@ std::string AllowPolicy::name() const {
   return out;
 }
 
+void AllowPolicy::AppendFingerprint(Fingerprinter* fp) const {
+  fp->Tag("allow-policy");
+  fp->I32(num_inputs_);
+  fp->U64(allowed_.bits());
+}
+
 DirectoryGatedPolicy::DirectoryGatedPolicy(int num_files, Value grant_value)
     : num_files_(num_files), grant_value_(grant_value) {}
 
@@ -63,6 +75,12 @@ PolicyImage DirectoryGatedPolicy::Image(InputView input) const {
 
 std::string DirectoryGatedPolicy::name() const {
   return "directory-gated(" + std::to_string(num_files_) + " files)";
+}
+
+void DirectoryGatedPolicy::AppendFingerprint(Fingerprinter* fp) const {
+  fp->Tag("directory-gated-policy");
+  fp->I32(num_files_);
+  fp->I64(grant_value_);
 }
 
 QueryBudgetPolicy::QueryBudgetPolicy(int num_secrets) : num_secrets_(num_secrets) {}
@@ -85,6 +103,11 @@ PolicyImage QueryBudgetPolicy::Image(InputView input) const {
 
 std::string QueryBudgetPolicy::name() const {
   return "query-budget(" + std::to_string(num_secrets_) + " secrets)";
+}
+
+void QueryBudgetPolicy::AppendFingerprint(Fingerprinter* fp) const {
+  fp->Tag("query-budget-policy");
+  fp->I32(num_secrets_);
 }
 
 }  // namespace secpol

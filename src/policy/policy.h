@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/fingerprint.h"
 #include "src/util/value.h"
 #include "src/util/var_set.h"
 
@@ -41,6 +42,14 @@ class SecurityPolicy {
   virtual PolicyImage Image(InputView input) const = 0;
 
   virtual std::string name() const = 0;
+
+  // Canonical serialization hook for content addressing (the batch service's
+  // check-result cache keys on it). Contract: two policies whose encodings
+  // match must compute the same Image on every input. The base encoding is
+  // the dynamic name() — sufficient for the policies here because each
+  // name() spells out every behavioural parameter — but subclasses whose
+  // name does NOT determine Image must override with a structured encoding.
+  virtual void AppendFingerprint(Fingerprinter* fp) const;
 };
 
 // allow(J): the user may learn exactly the coordinates in J.
@@ -61,6 +70,7 @@ class AllowPolicy : public SecurityPolicy {
   int num_inputs() const override { return num_inputs_; }
   PolicyImage Image(InputView input) const override;
   std::string name() const override;
+  void AppendFingerprint(Fingerprinter* fp) const override;
 
  private:
   int num_inputs_;
@@ -85,6 +95,7 @@ class DirectoryGatedPolicy : public SecurityPolicy {
   int num_inputs() const override { return 2 * num_files_; }
   PolicyImage Image(InputView input) const override;
   std::string name() const override;
+  void AppendFingerprint(Fingerprinter* fp) const override;
 
  private:
   int num_files_;
@@ -103,6 +114,7 @@ class QueryBudgetPolicy : public SecurityPolicy {
   int num_inputs() const override { return num_secrets_ + 1; }
   PolicyImage Image(InputView input) const override;
   std::string name() const override;
+  void AppendFingerprint(Fingerprinter* fp) const override;
 
  private:
   int num_secrets_;

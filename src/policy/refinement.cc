@@ -26,6 +26,12 @@ std::string ProductPolicy::name() const {
   return "(" + p_->name() + " * " + q_->name() + ")";
 }
 
+void ProductPolicy::AppendFingerprint(Fingerprinter* fp) const {
+  fp->Tag("product-policy");
+  p_->AppendFingerprint(fp);
+  q_->AppendFingerprint(fp);
+}
+
 AggregateSumPolicy::AggregateSumPolicy(int num_inputs) : num_inputs_(num_inputs) {}
 
 PolicyImage AggregateSumPolicy::Image(InputView input) const {

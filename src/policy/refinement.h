@@ -28,6 +28,9 @@ class ProductPolicy : public SecurityPolicy {
   int num_inputs() const override;
   PolicyImage Image(InputView input) const override;
   std::string name() const override;
+  // Composes the members' structured encodings (a name-based default would
+  // be sound only if both members' names determine their images).
+  void AppendFingerprint(Fingerprinter* fp) const override;
 
  private:
   std::shared_ptr<const SecurityPolicy> p_;

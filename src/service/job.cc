@@ -1,0 +1,387 @@
+#include "src/service/job.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/channels/timing.h"
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/mechanism/check_options.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/fault.h"
+#include "src/mechanism/integrity.h"
+#include "src/mechanism/outcome.h"
+#include "src/mechanism/policy_compare.h"
+#include "src/mechanism/soundness.h"
+#include "src/staticflow/static_mechanisms.h"
+#include "src/surveillance/surveillance.h"
+
+namespace secpol {
+
+namespace {
+
+// Exit-code vocabulary shared with `secpol check` (PR 2): 0 clean verdict,
+// 2 failed verdict / genuine witness, 3 deadline without witness, 4 aborted.
+int ExitForProgress(const CheckProgress& progress, bool clean_verdict, bool witness) {
+  switch (progress.status) {
+    case CheckStatus::kCompleted:
+      return clean_verdict ? 0 : 2;
+    case CheckStatus::kDeadlineExceeded:
+      return witness ? 2 : 3;
+    case CheckStatus::kAborted:
+      return 4;
+  }
+  return 4;
+}
+
+JobStatus StatusForProgress(const CheckProgress& progress) {
+  switch (progress.status) {
+    case CheckStatus::kCompleted:
+      return JobStatus::kCompleted;
+    case CheckStatus::kDeadlineExceeded:
+      return JobStatus::kDeadlineExceeded;
+    case CheckStatus::kAborted:
+      return JobStatus::kAborted;
+  }
+  return JobStatus::kAborted;
+}
+
+std::string Header(const std::string& subject, const std::string& relation,
+                   const std::string& object, const InputDomain& domain,
+                   std::optional<Observability> obs) {
+  std::string out = subject + " " + relation + " " + object + " over " + domain.ToString();
+  if (obs.has_value()) {
+    out += " [" + std::string(ObservabilityName(*obs)) + "]";
+  }
+  out += ":\n";
+  return out;
+}
+
+}  // namespace
+
+std::string CheckerKindName(CheckerKind kind) {
+  switch (kind) {
+    case CheckerKind::kSoundness:
+      return "soundness";
+    case CheckerKind::kIntegrity:
+      return "integrity";
+    case CheckerKind::kCompleteness:
+      return "completeness";
+    case CheckerKind::kMaximal:
+      return "maximal";
+    case CheckerKind::kPolicyCompare:
+      return "policy-compare";
+    case CheckerKind::kLeak:
+      return "leak";
+  }
+  return "unknown";
+}
+
+std::optional<CheckerKind> ParseCheckerKind(const std::string& name) {
+  for (CheckerKind kind :
+       {CheckerKind::kSoundness, CheckerKind::kIntegrity, CheckerKind::kCompleteness,
+        CheckerKind::kMaximal, CheckerKind::kPolicyCompare, CheckerKind::kLeak}) {
+    if (CheckerKindName(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string JobStatusName(JobStatus status) {
+  switch (status) {
+    case JobStatus::kCompleted:
+      return "completed";
+    case JobStatus::kDeadlineExceeded:
+      return "deadline exceeded";
+    case JobStatus::kAborted:
+      return "aborted";
+    case JobStatus::kRejected:
+      return "rejected";
+    case JobStatus::kInvalid:
+      return "invalid";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ProtectionMechanism> MakeMechanismKind(const std::string& kind,
+                                                       const Program& program, VarSet allowed,
+                                                       std::string* error) {
+  if (kind == "surveillance" || kind.empty()) {
+    return std::make_unique<SurveillanceMechanism>(Program(program), allowed);
+  }
+  if (kind == "mprime") {
+    return std::make_unique<SurveillanceMechanism>(Program(program), allowed,
+                                                   TimingMode::kTimeObservable);
+  }
+  if (kind == "highwater") {
+    return std::make_unique<SurveillanceMechanism>(Program(program), allowed,
+                                                   TimingMode::kTimeUnobservable,
+                                                   LabelDiscipline::kHighWater);
+  }
+  if (kind == "bare") {
+    return std::make_unique<ProgramAsMechanism>(Program(program));
+  }
+  if (kind == "static") {
+    return std::make_unique<StaticCertifiedMechanism>(Program(program), allowed);
+  }
+  if (kind == "residual") {
+    return std::make_unique<ResidualGuardMechanism>(Program(program), allowed);
+  }
+  if (error != nullptr) {
+    *error += "unknown mechanism kind '" + kind + "'";
+  }
+  return nullptr;
+}
+
+Fingerprint JobCacheKey(const CheckJobSpec& spec, const Program& program,
+                        const InputDomain& domain) {
+  Fingerprinter fp;
+  fp.Tag("check-job");
+  fp.I32(1);  // cache-key format version; bump on any encoding change
+  fp.I32(static_cast<int>(spec.checker));
+  // The canonical *structure* of the lowered program, not the source text:
+  // formatting-only edits to the flowlang source hit the same cache line.
+  program.AppendFingerprint(&fp);
+  fp.Tag("policy-allow");
+  fp.U64(spec.allow.bits());
+  fp.Tag("mechanism");
+  fp.Str(spec.mechanism);
+  fp.Tag("mechanism2");
+  fp.Str(spec.mechanism2);
+  fp.Tag("policy-allow2");
+  fp.U64(spec.allow2.bits());
+  // The exact grid, coordinate by coordinate (not just lo:hi — PerInput
+  // domains must not collide with Range domains of the same corners).
+  fp.Tag("grid");
+  fp.I32(domain.num_inputs());
+  for (int i = 0; i < domain.num_inputs(); ++i) {
+    fp.I64List(domain.values_for(i));
+  }
+  fp.Bool(spec.observe_time);
+  // Fault injection and the retry bound change what the checker observes,
+  // so they are part of the job's identity. num_threads / deadline_ms /
+  // priority are deliberately absent: the engine's determinism contract
+  // makes a *completed* report independent of all three, and only completed
+  // runs are cached (see DESIGN.md §9).
+  fp.Tag("faults");
+  fp.Str(spec.fault_spec);
+  fp.I32(spec.retries);
+  return fp.Digest();
+}
+
+Result<PreparedJob> PrepareJob(const CheckJobSpec& spec) {
+  Result<SourceProgram> parsed = ParseProgram(spec.program_text);
+  if (!parsed.ok()) {
+    return Error{"program: " + parsed.error().ToString()};
+  }
+  Program program = Lower(parsed.value());
+  const int num_inputs = program.num_inputs();
+  const VarSet inputs = VarSet::FirstN(num_inputs);
+  if (!spec.allow.SubsetOf(inputs)) {
+    return Error{"allow: index out of range for " + std::to_string(num_inputs) + " inputs"};
+  }
+  if (spec.checker == CheckerKind::kPolicyCompare && !spec.allow2.SubsetOf(inputs)) {
+    return Error{"allow2: index out of range for " + std::to_string(num_inputs) + " inputs"};
+  }
+  if (spec.grid_lo > spec.grid_hi) {
+    return Error{"grid: lo " + std::to_string(spec.grid_lo) + " exceeds hi " +
+                 std::to_string(spec.grid_hi)};
+  }
+  const Result<int> threads = ValidateThreads(spec.num_threads);
+  if (!threads.ok()) {
+    return Error{"threads: " + threads.error().message};
+  }
+  if (spec.deadline_ms < 0) {
+    return Error{"deadline_ms: must be >= 0 (0 = unbounded); got " +
+                 std::to_string(spec.deadline_ms)};
+  }
+  if (spec.retries >= 0) {
+    const Result<int> retries = ValidateRetries(spec.retries);
+    if (!retries.ok()) {
+      return Error{"retries: " + retries.error().message};
+    }
+  }
+  std::string mech_error;
+  if (MakeMechanismKind(spec.mechanism, program, spec.allow, &mech_error) == nullptr) {
+    return Error{"mechanism: " + mech_error};
+  }
+  if (spec.checker == CheckerKind::kCompleteness) {
+    mech_error.clear();
+    if (MakeMechanismKind(spec.mechanism2, program, spec.allow, &mech_error) == nullptr) {
+      return Error{"mechanism2: " + mech_error};
+    }
+  }
+  if (!spec.fault_spec.empty()) {
+    Result<std::vector<FaultSpec>> faults = ParseFaultSpecs(spec.fault_spec);
+    if (!faults.ok()) {
+      return Error{"fault_spec: " + faults.error().ToString()};
+    }
+  }
+  InputDomain domain = InputDomain::Range(num_inputs, spec.grid_lo, spec.grid_hi);
+  const Fingerprint key = JobCacheKey(spec, program, domain);
+  return PreparedJob{std::move(program), std::move(domain), key};
+}
+
+std::string RenderMaximalReport(const MaximalSynthesis& synthesis) {
+  std::string out;
+  out += "inputs tabulated: " + std::to_string(synthesis.inputs) + "\n";
+  out += "policy classes: " + std::to_string(synthesis.policy_classes) + ", released " +
+         std::to_string(synthesis.released_classes) + "\n";
+  if (synthesis.mechanism != nullptr) {
+    out += "mechanism: " + synthesis.mechanism->name() + " (" +
+           std::to_string(synthesis.mechanism->table_size()) + " table entries)\n";
+  } else {
+    out += "mechanism: none (fail-closed: tabulation incomplete)\n";
+  }
+  out += "progress: " + synthesis.progress.ToString();
+  return out;
+}
+
+JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared) {
+  JobResult result;
+  result.id = spec.id;
+  result.cache_key = prepared.key.ToHex();
+  result.total = prepared.domain.size();
+
+  CheckOptions options;
+  options.num_threads = spec.num_threads;
+  if (spec.deadline_ms > 0) {
+    options.deadline = Deadline::AfterMillis(spec.deadline_ms);
+  }
+  const Observability obs =
+      spec.observe_time ? Observability::kValueAndTime : Observability::kValueOnly;
+
+  // Build the checked mechanism and wrap it in the fault-injection /
+  // bounded-retry layers exactly the way `secpol check` does, so the batch
+  // service and the standalone CLI check the very same object.
+  std::string error;
+  auto wrap = [&](std::shared_ptr<const ProtectionMechanism> m)
+      -> std::shared_ptr<const ProtectionMechanism> {
+    if (!spec.fault_spec.empty()) {
+      auto faults = ParseFaultSpecs(spec.fault_spec);
+      m = std::make_shared<FaultInjectingMechanism>(std::move(m), prepared.domain,
+                                                    std::move(faults).value());
+    }
+    if (spec.retries >= 0) {
+      m = std::make_shared<RetryingMechanism>(std::move(m), spec.retries);
+    }
+    return m;
+  };
+  std::shared_ptr<const ProtectionMechanism> mechanism =
+      MakeMechanismKind(spec.mechanism, prepared.program, spec.allow, &error);
+  if (mechanism == nullptr) {
+    result.status = JobStatus::kInvalid;
+    result.error = error;
+    result.exit_code = 1;
+    return result;
+  }
+  mechanism = wrap(std::move(mechanism));
+
+  const AllowPolicy policy(prepared.program.num_inputs(), spec.allow);
+
+  const auto start = std::chrono::steady_clock::now();
+  switch (spec.checker) {
+    case CheckerKind::kSoundness: {
+      const SoundnessReport report =
+          CheckSoundness(*mechanism, policy, prepared.domain, obs, options);
+      result.report = Header(mechanism->name(), "for", policy.name(), prepared.domain, obs) +
+                      report.ToString() + "\n";
+      result.status = StatusForProgress(report.progress);
+      result.exit_code =
+          ExitForProgress(report.progress, report.sound, report.counterexample.has_value());
+      result.evaluated = report.progress.evaluated;
+      break;
+    }
+    case CheckerKind::kIntegrity: {
+      const IntegrityReport report =
+          CheckInformationPreservation(*mechanism, policy, prepared.domain, obs, options);
+      result.report =
+          Header(mechanism->name(), "preserving", policy.name(), prepared.domain, obs) +
+          report.ToString() + "\n";
+      result.status = StatusForProgress(report.progress);
+      result.exit_code =
+          ExitForProgress(report.progress, report.preserved, report.counterexample.has_value());
+      result.evaluated = report.progress.evaluated;
+      break;
+    }
+    case CheckerKind::kCompleteness: {
+      std::shared_ptr<const ProtectionMechanism> second =
+          MakeMechanismKind(spec.mechanism2, prepared.program, spec.allow, &error);
+      if (second == nullptr) {
+        result.status = JobStatus::kInvalid;
+        result.error = error;
+        result.exit_code = 1;
+        return result;
+      }
+      second = wrap(std::move(second));
+      const CompletenessStats stats =
+          CompareCompleteness(*mechanism, *second, prepared.domain, options);
+      result.report =
+          Header(mechanism->name(), "vs", second->name(), prepared.domain, std::nullopt) +
+          stats.ToString() + "\n";
+      result.status = StatusForProgress(stats.progress);
+      // A completeness comparison has no failing verdict; any completed
+      // relation is a clean exit.
+      result.exit_code = ExitForProgress(stats.progress, /*clean_verdict=*/true,
+                                         /*witness=*/false);
+      result.evaluated = stats.progress.evaluated;
+      break;
+    }
+    case CheckerKind::kMaximal: {
+      const MaximalSynthesis synthesis =
+          SynthesizeMaximalMechanism(*mechanism, policy, prepared.domain, obs, options);
+      result.report = Header("maximal", "for", policy.name(), prepared.domain, obs) +
+                      RenderMaximalReport(synthesis) + "\n";
+      result.status = StatusForProgress(synthesis.progress);
+      result.exit_code = ExitForProgress(synthesis.progress, /*clean_verdict=*/true,
+                                         /*witness=*/false);
+      result.evaluated = synthesis.progress.evaluated;
+      break;
+    }
+    case CheckerKind::kPolicyCompare: {
+      const AllowPolicy second(prepared.program.num_inputs(), spec.allow2);
+      const PolicyCompareReport report =
+          ComparePolicyDisclosure(policy, second, prepared.domain, options);
+      result.report = Header(policy.name(), "reveals-at-most", second.name(), prepared.domain,
+                             std::nullopt) +
+                      report.ToString() + "\n";
+      result.status = StatusForProgress(report.progress);
+      result.exit_code =
+          ExitForProgress(report.progress, report.reveals_at_most, report.violation_found);
+      result.evaluated = report.progress.evaluated;
+      break;
+    }
+    case CheckerKind::kLeak: {
+      const LeakReport report = MeasureLeak(*mechanism, policy, prepared.domain, obs, options);
+      result.report = Header(mechanism->name(), "for", policy.name(), prepared.domain, obs) +
+                      report.ToString() + "\n";
+      result.status = StatusForProgress(report.progress);
+      // An incomplete run that already saw two outcomes in one class is a
+      // genuine leak witness (capacity is a lower bound).
+      const bool leaky = report.leaky_classes > 0;
+      result.exit_code = ExitForProgress(report.progress, !leaky, leaky);
+      result.evaluated = report.progress.evaluated;
+      break;
+    }
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+JobResult ExecuteJob(const CheckJobSpec& spec) {
+  Result<PreparedJob> prepared = PrepareJob(spec);
+  if (!prepared.ok()) {
+    JobResult result;
+    result.id = spec.id;
+    result.status = JobStatus::kInvalid;
+    result.error = prepared.error().message;
+    result.exit_code = 1;
+    return result;
+  }
+  return RunPreparedJob(spec, prepared.value());
+}
+
+}  // namespace secpol

@@ -1,0 +1,153 @@
+// One batch-check job: a self-contained recipe for running any of the six
+// exhaustive checkers, plus its deterministic cache identity.
+//
+// A CheckJobSpec carries everything a checker invocation depends on — the
+// flowlang source, the policy parameters, the mechanism recipe, the grid,
+// observability, fault injection — as *data*, so a job can be shipped in a
+// JSON manifest, fingerprinted, scheduled, and re-run bit-identically.
+//
+// The differential contract this module is tested against: for any spec,
+// ExecuteJob's report text is byte-identical to calling the underlying
+// checker directly with the same ingredients, at any thread count, whether
+// the result came from a fresh run or (via CheckService) from the cache.
+
+#ifndef SECPOL_SRC_SERVICE_JOB_H_
+#define SECPOL_SRC_SERVICE_JOB_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/flowchart/program.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/mechanism.h"
+#include "src/util/fingerprint.h"
+#include "src/util/result.h"
+#include "src/util/value.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+// Which exhaustive checker the job runs.
+enum class CheckerKind {
+  kSoundness,      // CheckSoundness(mechanism, allow-policy)
+  kIntegrity,      // CheckInformationPreservation(mechanism, allow-policy)
+  kCompleteness,   // CompareCompleteness(mechanism, mechanism2)
+  kMaximal,        // SynthesizeMaximalMechanism(bare program, allow-policy)
+  kPolicyCompare,  // ComparePolicyDisclosure(allow-policy, allow2-policy)
+  kLeak,           // MeasureLeak(mechanism, allow-policy)
+};
+
+std::string CheckerKindName(CheckerKind kind);
+std::optional<CheckerKind> ParseCheckerKind(const std::string& name);
+
+// A fully specified check job. Defaults mirror `secpol check`.
+struct CheckJobSpec {
+  std::string id;  // caller-chosen label, echoed in the batch report
+
+  CheckerKind checker = CheckerKind::kSoundness;
+  std::string program_text;  // flowlang source (content, not a path)
+
+  // Primary policy: allow(`allow`) over the program's inputs.
+  VarSet allow;
+  // Checked mechanism kind: surveillance | mprime | highwater | bare |
+  // static | residual (same vocabulary as `secpol check --mechanism`).
+  std::string mechanism = "surveillance";
+  // kCompleteness only: the second mechanism of the comparison.
+  std::string mechanism2 = "bare";
+  // kPolicyCompare only: the second policy allow(`allow2`).
+  VarSet allow2;
+
+  // Grid: every input coordinate ranges over {grid_lo, ..., grid_hi}.
+  Value grid_lo = -1;
+  Value grid_hi = 2;
+  bool observe_time = false;  // kValueAndTime instead of kValueOnly
+
+  // Evaluation knobs (not part of the cache key; see JobCacheKey).
+  int num_threads = 1;
+  std::int64_t deadline_ms = 0;  // 0 = unbounded
+  int priority = 0;              // higher-priority jobs are scheduled first
+
+  // Deterministic fault injection (ParseFaultSpecs grammar) and bounded
+  // transient retry, as in `secpol check --fault-spec/--retries`.
+  std::string fault_spec;
+  int retries = -1;  // -1 = no retry wrapper
+};
+
+// How one job ended. Extends CheckStatus with the two service-level ways a
+// job can fail without its checker ever running.
+enum class JobStatus {
+  kCompleted,         // checker covered the whole grid (or cache hit)
+  kDeadlineExceeded,  // checker stopped at the per-job deadline
+  kAborted,           // cancelled or a fault escaped the retry budget
+  kRejected,          // admission control refused the job (backpressure)
+  kInvalid,           // the spec itself is malformed
+};
+
+std::string JobStatusName(JobStatus status);
+
+// Structured outcome of one job.
+struct JobResult {
+  std::string id;
+  JobStatus status = JobStatus::kInvalid;
+  bool from_cache = false;
+  // The checker's rendered report — byte-identical to the standalone
+  // checker's ToString() (empty for kRejected / kInvalid).
+  std::string report;
+  // Standalone-consistent exit code: 0 ok, 2 verdict failure (or a genuine
+  // witness on a partial run), 3 deadline without witness, 4 aborted,
+  // 1 invalid spec, 5 rejected by admission control.
+  int exit_code = 1;
+  std::uint64_t evaluated = 0;  // grid points actually evaluated
+  std::uint64_t total = 0;      // grid size
+  double wall_ms = 0.0;
+  std::string error;      // kInvalid / kRejected reason
+  std::string cache_key;  // hex fingerprint ("" when the spec never parsed)
+};
+
+// The spec parsed and validated: the lowered program, the grid, and the
+// job's cache identity.
+struct PreparedJob {
+  Program program;
+  InputDomain domain;
+  Fingerprint key;
+};
+
+// Parses program_text, validates every spec field against it, and computes
+// the cache key. Fails with a message naming the offending field.
+Result<PreparedJob> PrepareJob(const CheckJobSpec& spec);
+
+// The deterministic cache key of a job: a fingerprint over everything that
+// can influence the rendered report of a *completed* run — checker kind,
+// canonical program structure, policy parameters, mechanism recipe, the
+// exact grid, observability, fault specs, retry bound — and nothing that
+// can't (num_threads and deadline are excluded: the engine's determinism
+// contract makes completed reports independent of both, and only completed
+// runs are cached). See DESIGN.md §9 for the soundness argument.
+Fingerprint JobCacheKey(const CheckJobSpec& spec, const Program& program,
+                        const InputDomain& domain);
+
+// Runs the checker for an already-prepared job (no cache, no scheduler).
+// The result's wall_ms covers the checker run only.
+JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared);
+
+// PrepareJob + RunPreparedJob; invalid specs yield a kInvalid result.
+JobResult ExecuteJob(const CheckJobSpec& spec);
+
+// Builds one of the named mechanism kinds over `program` (the vocabulary of
+// `secpol check --mechanism` and CheckJobSpec::mechanism). Returns nullptr
+// and sets *error for an unknown kind.
+std::unique_ptr<ProtectionMechanism> MakeMechanismKind(const std::string& kind,
+                                                       const Program& program, VarSet allowed,
+                                                       std::string* error);
+
+// Report rendering for the maximal synthesizer (the one checker whose result
+// struct has no ToString of its own). Exposed so differential tests can
+// render a directly-synthesized result and compare bytes.
+std::string RenderMaximalReport(const MaximalSynthesis& synthesis);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SERVICE_JOB_H_

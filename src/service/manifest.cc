@@ -1,0 +1,318 @@
+#include "src/service/manifest.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+namespace secpol {
+
+namespace {
+
+// Field-level helpers: every accessor takes a `where` prefix ("jobs[3]")
+// so errors name the offending spot.
+
+Result<std::int64_t> IntField(const Json& object, const std::string& key,
+                              const std::string& where, std::int64_t fallback) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) {
+    return fallback;
+  }
+  if (!field->is_int()) {
+    return Error{where + "." + key + ": expected an integer"};
+  }
+  return field->AsInt();
+}
+
+Result<bool> BoolField(const Json& object, const std::string& key, const std::string& where,
+                       bool fallback) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) {
+    return fallback;
+  }
+  if (!field->is_bool()) {
+    return Error{where + "." + key + ": expected a boolean"};
+  }
+  return field->AsBool();
+}
+
+Result<std::string> StringField(const Json& object, const std::string& key,
+                                const std::string& where, std::string fallback) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) {
+    return fallback;
+  }
+  if (!field->is_string()) {
+    return Error{where + "." + key + ": expected a string"};
+  }
+  return field->AsString();
+}
+
+Result<VarSet> VarSetField(const Json& object, const std::string& key,
+                           const std::string& where, VarSet fallback) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) {
+    return fallback;
+  }
+  if (!field->is_array()) {
+    return Error{where + "." + key + ": expected an array of input indices"};
+  }
+  VarSet out;
+  for (const Json& item : field->Items()) {
+    if (!item.is_int() || item.AsInt() < 0 || item.AsInt() > VarSet::kMaxIndex) {
+      return Error{where + "." + key + ": indices must be integers in [0, " +
+                   std::to_string(VarSet::kMaxIndex) + "]"};
+    }
+    out.Insert(static_cast<int>(item.AsInt()));
+  }
+  return out;
+}
+
+// Applies one job object's fields over `spec` (used for both "defaults" and
+// each entry of "jobs").
+Result<bool> ApplyJobFields(const Json& object, const std::string& where, CheckJobSpec* spec) {
+  static const char* const kKnownKeys[] = {
+      "id",        "checker",    "program",  "program_file", "allow",
+      "allow2",    "mechanism",  "mechanism2", "grid",       "observe_time",
+      "threads",   "deadline_ms", "priority", "fault_spec",  "retries",
+  };
+  for (const auto& [key, value] : object.Members()) {
+    bool known = false;
+    for (const char* candidate : kKnownKeys) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Error{where + ": unknown key '" + key + "'"};
+    }
+  }
+
+  Result<std::string> id = StringField(object, "id", where, spec->id);
+  if (!id.ok()) return id.error();
+  spec->id = std::move(id).value();
+
+  Result<std::string> checker = StringField(object, "checker", where,
+                                            CheckerKindName(spec->checker));
+  if (!checker.ok()) return checker.error();
+  const std::optional<CheckerKind> kind = ParseCheckerKind(checker.value());
+  if (!kind.has_value()) {
+    return Error{where + ".checker: unknown checker '" + checker.value() + "'"};
+  }
+  spec->checker = *kind;
+
+  Result<std::string> program = StringField(object, "program", where, spec->program_text);
+  if (!program.ok()) return program.error();
+  spec->program_text = std::move(program).value();
+
+  Result<std::string> program_file = StringField(object, "program_file", where, "");
+  if (!program_file.ok()) return program_file.error();
+  if (!program_file.value().empty()) {
+    std::ifstream stream(program_file.value());
+    if (!stream) {
+      return Error{where + ".program_file: cannot open '" + program_file.value() + "'"};
+    }
+    std::stringstream buffer;
+    buffer << stream.rdbuf();
+    spec->program_text = buffer.str();
+  }
+
+  Result<VarSet> allow = VarSetField(object, "allow", where, spec->allow);
+  if (!allow.ok()) return allow.error();
+  spec->allow = allow.value();
+
+  Result<VarSet> allow2 = VarSetField(object, "allow2", where, spec->allow2);
+  if (!allow2.ok()) return allow2.error();
+  spec->allow2 = allow2.value();
+
+  Result<std::string> mechanism = StringField(object, "mechanism", where, spec->mechanism);
+  if (!mechanism.ok()) return mechanism.error();
+  spec->mechanism = std::move(mechanism).value();
+
+  Result<std::string> mechanism2 = StringField(object, "mechanism2", where, spec->mechanism2);
+  if (!mechanism2.ok()) return mechanism2.error();
+  spec->mechanism2 = std::move(mechanism2).value();
+
+  if (const Json* grid = object.Find("grid"); grid != nullptr) {
+    if (!grid->is_object()) {
+      return Error{where + ".grid: expected an object {\"lo\": ..., \"hi\": ...}"};
+    }
+    Result<std::int64_t> lo = IntField(*grid, "lo", where + ".grid", spec->grid_lo);
+    if (!lo.ok()) return lo.error();
+    Result<std::int64_t> hi = IntField(*grid, "hi", where + ".grid", spec->grid_hi);
+    if (!hi.ok()) return hi.error();
+    spec->grid_lo = lo.value();
+    spec->grid_hi = hi.value();
+  }
+
+  Result<bool> observe_time = BoolField(object, "observe_time", where, spec->observe_time);
+  if (!observe_time.ok()) return observe_time.error();
+  spec->observe_time = observe_time.value();
+
+  Result<std::int64_t> threads = IntField(object, "threads", where, spec->num_threads);
+  if (!threads.ok()) return threads.error();
+  spec->num_threads = static_cast<int>(threads.value());
+
+  Result<std::int64_t> deadline = IntField(object, "deadline_ms", where, spec->deadline_ms);
+  if (!deadline.ok()) return deadline.error();
+  spec->deadline_ms = deadline.value();
+
+  Result<std::int64_t> priority = IntField(object, "priority", where, spec->priority);
+  if (!priority.ok()) return priority.error();
+  spec->priority = static_cast<int>(priority.value());
+
+  Result<std::string> fault_spec = StringField(object, "fault_spec", where, spec->fault_spec);
+  if (!fault_spec.ok()) return fault_spec.error();
+  spec->fault_spec = std::move(fault_spec).value();
+
+  Result<std::int64_t> retries = IntField(object, "retries", where, spec->retries);
+  if (!retries.ok()) return retries.error();
+  spec->retries = static_cast<int>(retries.value());
+
+  return true;
+}
+
+}  // namespace
+
+Result<BatchManifest> ParseBatchManifest(const std::string& text) {
+  Result<Json> doc = Json::Parse(text);
+  if (!doc.ok()) {
+    return Error{"manifest: " + doc.error().ToString()};
+  }
+  if (!doc.value().is_object()) {
+    return Error{"manifest: top level must be an object"};
+  }
+  BatchManifest manifest;
+
+  if (const Json* service = doc.value().Find("service"); service != nullptr) {
+    if (!service->is_object()) {
+      return Error{"manifest.service: expected an object"};
+    }
+    for (const auto& [key, value] : service->Members()) {
+      if (key != "concurrency" && key != "max_pending" && key != "cache_capacity" &&
+          key != "cache_shards" && key != "cache_file") {
+        return Error{"manifest.service: unknown key '" + key + "'"};
+      }
+    }
+    Result<std::int64_t> concurrency =
+        IntField(*service, "concurrency", "manifest.service", manifest.service.concurrency);
+    if (!concurrency.ok()) return concurrency.error();
+    if (concurrency.value() < 0) {
+      return Error{"manifest.service.concurrency: must be >= 0 (0 = hardware threads)"};
+    }
+    manifest.service.concurrency = static_cast<int>(concurrency.value());
+
+    Result<std::int64_t> max_pending =
+        IntField(*service, "max_pending", "manifest.service", manifest.service.max_pending);
+    if (!max_pending.ok()) return max_pending.error();
+    if (max_pending.value() < 0) {
+      return Error{"manifest.service.max_pending: must be >= 0"};
+    }
+    manifest.service.max_pending = static_cast<int>(max_pending.value());
+
+    Result<std::int64_t> capacity =
+        IntField(*service, "cache_capacity", "manifest.service",
+                 static_cast<std::int64_t>(manifest.service.cache_capacity));
+    if (!capacity.ok()) return capacity.error();
+    if (capacity.value() < 1) {
+      return Error{"manifest.service.cache_capacity: must be >= 1"};
+    }
+    manifest.service.cache_capacity = static_cast<std::size_t>(capacity.value());
+
+    Result<std::int64_t> shards = IntField(*service, "cache_shards", "manifest.service",
+                                           manifest.service.cache_shards);
+    if (!shards.ok()) return shards.error();
+    if (shards.value() < 1) {
+      return Error{"manifest.service.cache_shards: must be >= 1"};
+    }
+    manifest.service.cache_shards = static_cast<int>(shards.value());
+
+    Result<std::string> cache_file = StringField(*service, "cache_file", "manifest.service",
+                                                 manifest.service.cache_file);
+    if (!cache_file.ok()) return cache_file.error();
+    manifest.service.cache_file = std::move(cache_file).value();
+  }
+
+  CheckJobSpec defaults;
+  if (const Json* default_fields = doc.value().Find("defaults"); default_fields != nullptr) {
+    if (!default_fields->is_object()) {
+      return Error{"manifest.defaults: expected an object"};
+    }
+    Result<bool> applied = ApplyJobFields(*default_fields, "manifest.defaults", &defaults);
+    if (!applied.ok()) return applied.error();
+  }
+
+  const Json* jobs = doc.value().Find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) {
+    return Error{"manifest.jobs: expected an array of job objects"};
+  }
+  for (std::size_t i = 0; i < jobs->Items().size(); ++i) {
+    const Json& entry = jobs->Items()[i];
+    const std::string where = "manifest.jobs[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      return Error{where + ": expected an object"};
+    }
+    CheckJobSpec spec = defaults;
+    Result<bool> applied = ApplyJobFields(entry, where, &spec);
+    if (!applied.ok()) return applied.error();
+    if (spec.id.empty()) {
+      spec.id = "job-" + std::to_string(i);
+    }
+    manifest.jobs.push_back(std::move(spec));
+  }
+  return manifest;
+}
+
+Json BatchReportToJson(const BatchReport& report) {
+  Json jobs = Json::MakeArray();
+  for (const JobResult& job : report.jobs) {
+    Json entry = Json::MakeObject();
+    entry.Set("id", Json::MakeString(job.id));
+    entry.Set("status", Json::MakeString(JobStatusName(job.status)));
+    entry.Set("exit_code", Json::MakeInt(job.exit_code));
+    entry.Set("from_cache", Json::MakeBool(job.from_cache));
+    entry.Set("cache_key", Json::MakeString(job.cache_key));
+    entry.Set("evaluated", Json::MakeInt(static_cast<std::int64_t>(job.evaluated)));
+    entry.Set("total", Json::MakeInt(static_cast<std::int64_t>(job.total)));
+    entry.Set("wall_ms", Json::MakeDouble(job.wall_ms));
+    if (!job.error.empty()) {
+      entry.Set("error", Json::MakeString(job.error));
+    }
+    entry.Set("report", Json::MakeString(job.report));
+    jobs.Append(std::move(entry));
+  }
+
+  const BatchStats& stats = report.stats;
+  Json scheduler = Json::MakeObject();
+  scheduler.Set("submitted", Json::MakeInt(stats.submitted));
+  scheduler.Set("admitted", Json::MakeInt(stats.admitted));
+  scheduler.Set("rejected", Json::MakeInt(stats.rejected));
+  scheduler.Set("invalid", Json::MakeInt(stats.invalid));
+  scheduler.Set("executed", Json::MakeInt(stats.executed));
+  scheduler.Set("cache_hits", Json::MakeInt(stats.cache_hits));
+  scheduler.Set("completed", Json::MakeInt(stats.completed));
+  scheduler.Set("deadline_exceeded", Json::MakeInt(stats.deadline_exceeded));
+  scheduler.Set("aborted", Json::MakeInt(stats.aborted));
+  scheduler.Set("wall_ms", Json::MakeDouble(stats.wall_ms));
+
+  Json cache = Json::MakeObject();
+  cache.Set("hits", Json::MakeInt(static_cast<std::int64_t>(stats.cache.hits)));
+  cache.Set("misses", Json::MakeInt(static_cast<std::int64_t>(stats.cache.misses)));
+  cache.Set("insertions", Json::MakeInt(static_cast<std::int64_t>(stats.cache.insertions)));
+  cache.Set("evictions", Json::MakeInt(static_cast<std::int64_t>(stats.cache.evictions)));
+  cache.Set("entries", Json::MakeInt(static_cast<std::int64_t>(stats.cache.entries)));
+  cache.Set("preloaded", Json::MakeInt(stats.cache_preloaded));
+  if (!stats.cache_load_error.empty()) {
+    cache.Set("load_error", Json::MakeString(stats.cache_load_error));
+  }
+
+  Json doc = Json::MakeObject();
+  doc.Set("jobs", std::move(jobs));
+  doc.Set("scheduler", std::move(scheduler));
+  doc.Set("cache", std::move(cache));
+  doc.Set("exit_code", Json::MakeInt(report.ExitCode()));
+  return doc;
+}
+
+}  // namespace secpol

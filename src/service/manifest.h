@@ -1,0 +1,62 @@
+// JSON boundary of the batch service: manifest in, batch report out.
+//
+// A manifest is one JSON object:
+//
+//   {
+//     "service": {                      // optional; ServiceConfig knobs
+//       "concurrency": 2, "max_pending": 64,
+//       "cache_capacity": 1024, "cache_shards": 8,
+//       "cache_file": "secpol_cache.json"
+//     },
+//     "defaults": { ... },              // optional; any per-job field
+//     "jobs": [
+//       {
+//         "id": "logon-soundness",      // optional label
+//         "checker": "soundness",       // soundness|integrity|completeness|
+//                                       //   maximal|policy-compare|leak
+//         "program": "program p(a,b) { y = a; }",   // flowlang source, or
+//         "program_file": "path/to/p.fl",           // read at parse time
+//         "allow": [0],                 // released input coordinates
+//         "allow2": [0, 1],             // policy-compare only
+//         "mechanism": "surveillance",  // surveillance|mprime|highwater|
+//                                       //   bare|static|residual
+//         "mechanism2": "bare",         // completeness only
+//         "grid": {"lo": -1, "hi": 2},
+//         "observe_time": false,
+//         "threads": 1, "deadline_ms": 0, "priority": 0,
+//         "fault_spec": "", "retries": -1
+//       }
+//     ]
+//   }
+//
+// Parsing is strict: unknown keys, wrong types, and out-of-range values are
+// errors naming the offending job and field, so a typo cannot silently
+// select a default.
+
+#ifndef SECPOL_SRC_SERVICE_MANIFEST_H_
+#define SECPOL_SRC_SERVICE_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/service/service.h"
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace secpol {
+
+struct BatchManifest {
+  ServiceConfig service;
+  std::vector<CheckJobSpec> jobs;
+};
+
+// Parses a manifest document. `text` is the raw JSON.
+Result<BatchManifest> ParseBatchManifest(const std::string& text);
+
+// Renders a batch report as a JSON document (per-job results in submission
+// order plus scheduler and cache stats).
+Json BatchReportToJson(const BatchReport& report);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SERVICE_MANIFEST_H_

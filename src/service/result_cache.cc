@@ -1,0 +1,178 @@
+#include "src/service/result_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/json.h"
+
+namespace secpol {
+
+namespace {
+
+constexpr int kPersistVersion = 1;
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity, int num_shards) : capacity_(std::max<std::size_t>(capacity, 1)) {
+  const std::size_t shards = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::max(num_shards, 1)), 1, capacity_);
+  // Floor division keeps the sum of shard budgets within the global
+  // capacity (shards is clamped to capacity, so the quotient is >= 1).
+  per_shard_capacity_ = capacity_ / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const Fingerprint& key) {
+  // hi is already a murmur-mixed lane; any byte of it spreads uniformly.
+  return *shards_[key.hi % shards_.size()];
+}
+
+std::optional<CachedResult> ResultCache::Lookup(const Fingerprint& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ResultCache::InsertLocked(Shard& shard, const Fingerprint& key, CachedResult value) {
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.stats.insertions;
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+void ResultCache::Insert(const Fingerprint& key, CachedResult value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertLocked(shard, key, std::move(value));
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+CacheStats ResultCache::Stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->stats;
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+Result<int> ResultCache::LoadFromFile(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    return 0;  // no persisted cache yet: a cold start, not an error
+  }
+  std::stringstream buffer;
+  buffer << stream.rdbuf();
+  Result<Json> doc = Json::Parse(buffer.str());
+  if (!doc.ok()) {
+    return Error{"cache file '" + path + "' is corrupt: " + doc.error().ToString()};
+  }
+  const Json* version = doc.value().Find("version");
+  if (version == nullptr || !version->is_int() || version->AsInt() != kPersistVersion) {
+    return Error{"cache file '" + path + "' has unsupported version"};
+  }
+  const Json* entries = doc.value().Find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    return Error{"cache file '" + path + "' has no entries array"};
+  }
+  int loaded = 0;
+  for (const Json& entry : entries->Items()) {
+    const Json* key = entry.Find("key");
+    const Json* report = entry.Find("report");
+    const Json* exit_code = entry.Find("exit_code");
+    const Json* evaluated = entry.Find("evaluated");
+    const Json* total = entry.Find("total");
+    if (key == nullptr || !key->is_string() || report == nullptr || !report->is_string() ||
+        exit_code == nullptr || !exit_code->is_int() || evaluated == nullptr ||
+        !evaluated->is_int() || total == nullptr || !total->is_int()) {
+      return Error{"cache file '" + path + "' entry " + std::to_string(loaded) +
+                   " is malformed"};
+    }
+    const std::optional<Fingerprint> fp = Fingerprint::FromHex(key->AsString());
+    if (!fp.has_value()) {
+      return Error{"cache file '" + path + "' entry " + std::to_string(loaded) +
+                   " has a bad key"};
+    }
+    CachedResult value;
+    value.report = report->AsString();
+    value.exit_code = static_cast<int>(exit_code->AsInt());
+    value.evaluated = static_cast<std::uint64_t>(evaluated->AsInt());
+    value.total = static_cast<std::uint64_t>(total->AsInt());
+    Insert(*fp, std::move(value));
+    ++loaded;
+  }
+  return loaded;
+}
+
+Result<int> ResultCache::SaveToFile(const std::string& path) const {
+  Json entries = Json::MakeArray();
+  int count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, value] : shard->lru) {
+      Json entry = Json::MakeObject();
+      entry.Set("key", Json::MakeString(key.ToHex()));
+      entry.Set("report", Json::MakeString(value.report));
+      entry.Set("exit_code", Json::MakeInt(value.exit_code));
+      entry.Set("evaluated", Json::MakeInt(static_cast<std::int64_t>(value.evaluated)));
+      entry.Set("total", Json::MakeInt(static_cast<std::int64_t>(value.total)));
+      entries.Append(std::move(entry));
+      ++count;
+    }
+  }
+  Json doc = Json::MakeObject();
+  doc.Set("version", Json::MakeInt(kPersistVersion));
+  doc.Set("entries", std::move(entries));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Error{"cannot write cache file '" + tmp + "'"};
+    }
+    out << doc.Serialize() << "\n";
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Error{"write to cache file '" + tmp + "' failed"};
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Error{"cannot rename cache file into place at '" + path + "'"};
+  }
+  return count;
+}
+
+}  // namespace secpol

@@ -1,0 +1,118 @@
+// A thread-safe, sharded, content-addressed cache of completed check
+// results.
+//
+// The batch service keys every job by its canonical fingerprint (JobCacheKey)
+// and memoizes the *rendered* report plus its exit metadata, so a warm hit
+// returns bytes identical to the run that populated it. Only completed runs
+// are ever inserted: partial (deadline / aborted) reports depend on wall
+// time, so caching them would break the byte-for-byte replay contract.
+//
+// Concurrency: the key space is split across independent LRU shards, each
+// behind its own mutex, so unrelated lookups never contend. Counters are
+// per-shard and aggregated on read.
+//
+// Persistence: the whole cache serializes to a JSON file (version-stamped),
+// written atomically (temp file + rename) so a crash mid-write leaves the
+// previous file intact. Loading is defensive — a missing, corrupt, or
+// truncated file degrades to a cold cache, never a crash.
+
+#ifndef SECPOL_SRC_SERVICE_RESULT_CACHE_H_
+#define SECPOL_SRC_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/util/fingerprint.h"
+#include "src/util/result.h"
+
+namespace secpol {
+
+// What a warm hit replays: everything about a completed job's outcome that
+// is a pure function of its cache key.
+struct CachedResult {
+  std::string report;           // rendered checker report, byte-exact
+  int exit_code = 0;
+  std::uint64_t evaluated = 0;  // == total for a completed run
+  std::uint64_t total = 0;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  CacheStats& operator+=(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+    entries += other.entries;
+    return *this;
+  }
+};
+
+class ResultCache {
+ public:
+  // `capacity` bounds the total entry count across all shards. The shard
+  // count is clamped so every shard holds at least one entry — a capacity-1
+  // cache is a single true LRU, not eight competing ones.
+  explicit ResultCache(std::size_t capacity, int num_shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Returns the cached result and freshens its LRU position, or nullopt
+  // (counted as a miss).
+  std::optional<CachedResult> Lookup(const Fingerprint& key);
+
+  // Inserts (or refreshes) `value` under `key`, evicting the shard's least
+  // recently used entry when over budget.
+  void Insert(const Fingerprint& key, CachedResult value);
+
+  std::size_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::size_t size() const;
+  CacheStats Stats() const;
+
+  // Loads entries persisted by SaveToFile. Returns the number of entries
+  // restored; a nonexistent file restores 0. A file that fails to parse, has
+  // the wrong version, or contains malformed entries yields an Error (the
+  // cache is left cold / partially loaded — still safe to use).
+  Result<int> LoadFromFile(const std::string& path);
+
+  // Atomically persists every entry (LRU order is not preserved across a
+  // save/load cycle; a reloaded cache is uniformly "old"). Returns the
+  // number of entries written.
+  Result<int> SaveToFile(const std::string& path) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.
+    std::list<std::pair<Fingerprint, CachedResult>> lru;
+    std::unordered_map<Fingerprint, std::list<std::pair<Fingerprint, CachedResult>>::iterator,
+                       FingerprintHash>
+        index;
+    CacheStats stats;
+  };
+
+  Shard& ShardFor(const Fingerprint& key);
+  void InsertLocked(Shard& shard, const Fingerprint& key, CachedResult value);
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SERVICE_RESULT_CACHE_H_

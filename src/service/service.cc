@@ -1,0 +1,173 @@
+#include "src/service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+#include "src/util/thread_pool.h"
+
+namespace secpol {
+
+int BatchReport::ExitCode() const {
+  int worst = 0;
+  for (const JobResult& job : jobs) {
+    worst = std::max(worst, job.exit_code);
+  }
+  return worst;
+}
+
+CheckService::CheckService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_capacity, config_.cache_shards) {
+  if (!config_.cache_file.empty()) {
+    Result<int> loaded = cache_.LoadFromFile(config_.cache_file);
+    if (loaded.ok()) {
+      cache_preloaded_ = loaded.value();
+    } else {
+      // A corrupt or truncated persistence file degrades to a cold start;
+      // the reason is surfaced in every batch report's stats.
+      cache_load_error_ = loaded.error().message;
+    }
+  }
+}
+
+CheckService::~CheckService() {
+  if (!config_.cache_file.empty()) {
+    (void)cache_.SaveToFile(config_.cache_file);  // best effort on shutdown
+  }
+}
+
+Result<int> CheckService::PersistCache() const {
+  if (config_.cache_file.empty()) {
+    return 0;
+  }
+  return cache_.SaveToFile(config_.cache_file);
+}
+
+BatchReport CheckService::RunBatch(const std::vector<CheckJobSpec>& specs) {
+  const auto batch_start = std::chrono::steady_clock::now();
+  BatchReport report;
+  report.stats.submitted = static_cast<int>(specs.size());
+  report.stats.cache_preloaded = cache_preloaded_;
+  report.stats.cache_load_error = cache_load_error_;
+  report.jobs.resize(specs.size());
+
+  // Admission control. The queue bound is a per-batch backpressure limit:
+  // everything past it is answered immediately with a distinct rejected
+  // status instead of being queued without bound. Earlier submissions win —
+  // rejection is by arrival order, not priority, so a flood of high-priority
+  // work cannot starve jobs that were already accepted.
+  const std::size_t bound =
+      config_.max_pending <= 0 ? 0 : static_cast<std::size_t>(config_.max_pending);
+  std::vector<std::size_t> admitted;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i < bound) {
+      admitted.push_back(i);
+      continue;
+    }
+    JobResult& rejected = report.jobs[i];
+    rejected.id = specs[i].id;
+    rejected.status = JobStatus::kRejected;
+    rejected.exit_code = 5;
+    rejected.error = "rejected: batch queue bound " + std::to_string(bound) +
+                     " exceeded (job " + std::to_string(i + 1) + " of " +
+                     std::to_string(specs.size()) + ")";
+    ++report.stats.rejected;
+  }
+  report.stats.admitted = static_cast<int>(admitted.size());
+
+  // Validate every admitted spec up front; only valid jobs are scheduled.
+  std::vector<std::optional<PreparedJob>> prepared(specs.size());
+  std::vector<std::size_t> runnable;
+  for (std::size_t i : admitted) {
+    Result<PreparedJob> job = PrepareJob(specs[i]);
+    if (!job.ok()) {
+      JobResult& invalid = report.jobs[i];
+      invalid.id = specs[i].id;
+      invalid.status = JobStatus::kInvalid;
+      invalid.exit_code = 1;
+      invalid.error = job.error().message;
+      ++report.stats.invalid;
+      continue;
+    }
+    prepared[i] = std::move(job).value();
+    runnable.push_back(i);
+  }
+
+  // Schedule by (priority desc, submission index asc). With one worker this
+  // is the exact execution order; with several it is the dispatch order.
+  std::stable_sort(runnable.begin(), runnable.end(), [&](std::size_t a, std::size_t b) {
+    return specs[a].priority > specs[b].priority;
+  });
+
+  auto run_one = [&](std::size_t i) {
+    const CheckJobSpec& spec = specs[i];
+    const PreparedJob& job = *prepared[i];
+    JobResult& slot = report.jobs[i];
+    if (std::optional<CachedResult> hit = cache_.Lookup(job.key); hit.has_value()) {
+      slot.id = spec.id;
+      slot.status = JobStatus::kCompleted;
+      slot.from_cache = true;
+      slot.report = std::move(hit->report);
+      slot.exit_code = hit->exit_code;
+      slot.evaluated = hit->evaluated;
+      slot.total = hit->total;
+      slot.cache_key = job.key.ToHex();
+      return;
+    }
+    slot = RunPreparedJob(spec, job);
+    if (slot.status == JobStatus::kCompleted) {
+      CachedResult value;
+      value.report = slot.report;
+      value.exit_code = slot.exit_code;
+      value.evaluated = slot.evaluated;
+      value.total = slot.total;
+      cache_.Insert(job.key, std::move(value));
+    }
+  };
+
+  const int workers = config_.concurrency == 0 ? ThreadPool::HardwareThreads()
+                                               : std::max(config_.concurrency, 1);
+  if (workers <= 1 || runnable.size() <= 1) {
+    for (std::size_t i : runnable) {
+      run_one(i);
+    }
+  } else {
+    ThreadPool pool(std::min<int>(workers, static_cast<int>(runnable.size())));
+    for (std::size_t i : runnable) {
+      pool.Submit([&run_one, i] { run_one(i); });
+    }
+    pool.Wait();
+  }
+
+  for (std::size_t i : runnable) {
+    const JobResult& job = report.jobs[i];
+    if (job.from_cache) {
+      ++report.stats.cache_hits;
+    } else {
+      ++report.stats.executed;
+    }
+    switch (job.status) {
+      case JobStatus::kCompleted:
+        ++report.stats.completed;
+        break;
+      case JobStatus::kDeadlineExceeded:
+        ++report.stats.deadline_exceeded;
+        break;
+      case JobStatus::kAborted:
+        ++report.stats.aborted;
+        break;
+      case JobStatus::kRejected:
+      case JobStatus::kInvalid:
+        break;  // counted at admission/validation time
+    }
+  }
+  report.stats.cache = cache_.Stats();
+  report.stats.wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - batch_start)
+                             .count();
+  return report;
+}
+
+}  // namespace secpol

@@ -1,0 +1,101 @@
+// CheckService: the batch checking scheduler.
+//
+// A batch is a list of CheckJobSpecs. The service admits jobs up to a queue
+// bound (the rest are rejected with a distinct backpressure status — they
+// are never silently dropped), orders the admitted queue by (priority desc,
+// submission index asc), and executes it on a bounded pool of job workers.
+// Each job consults the content-addressed result cache first; a miss runs
+// the checker (which may itself fan out over grid shards with its own
+// thread budget) and, if the run completed, populates the cache.
+//
+// Determinism: the batch report lists results in submission order, and for
+// completed jobs every byte of the per-job report is independent of the
+// scheduling — that is the engine's serial ≡ parallel contract plus the
+// cache's replay-exact-bytes contract, and it is what the differential
+// suite in tests/service_test.cc locks.
+
+#ifndef SECPOL_SRC_SERVICE_SERVICE_H_
+#define SECPOL_SRC_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/service/job.h"
+#include "src/service/result_cache.h"
+
+namespace secpol {
+
+struct ServiceConfig {
+  // Concurrent job executions (not grid threads — each job additionally
+  // brings its own CheckOptions thread budget). 0 = one per hardware thread.
+  int concurrency = 1;
+  // Admission control: at most this many jobs are admitted per batch; the
+  // rest are rejected with JobStatus::kRejected (backpressure).
+  int max_pending = 256;
+
+  std::size_t cache_capacity = 1024;
+  int cache_shards = 8;
+  // Optional persistence: loaded on construction, atomically written on
+  // destruction (and on demand via PersistCache).
+  std::string cache_file;
+};
+
+struct BatchStats {
+  int submitted = 0;
+  int admitted = 0;
+  int rejected = 0;   // admission-control rejections
+  int invalid = 0;    // specs that failed validation
+  int executed = 0;   // checker actually ran (cache miss)
+  int cache_hits = 0;
+  int completed = 0;
+  int deadline_exceeded = 0;
+  int aborted = 0;
+  double wall_ms = 0.0;  // whole-batch wall time
+
+  // Cache-lifetime counters (includes entries preloaded from disk and
+  // previous batches on the same service).
+  CacheStats cache;
+  int cache_preloaded = 0;        // entries restored from cache_file
+  std::string cache_load_error;   // non-empty when the file was corrupt
+};
+
+struct BatchReport {
+  std::vector<JobResult> jobs;  // submission order, one per submitted spec
+  BatchStats stats;
+
+  // Exit code for the whole batch: the most severe per-job code (codes are
+  // ordered so that higher = worse: 0 ok < 1 invalid < 2 verdict < 3
+  // deadline < 4 aborted < 5 rejected).
+  int ExitCode() const;
+};
+
+class CheckService {
+ public:
+  explicit CheckService(ServiceConfig config);
+  // Persists the cache when cache_file is configured (best effort).
+  ~CheckService();
+
+  CheckService(const CheckService&) = delete;
+  CheckService& operator=(const CheckService&) = delete;
+
+  // Runs one batch to completion. Thread-compatible: call from one thread
+  // at a time; the cache warms across successive batches.
+  BatchReport RunBatch(const std::vector<CheckJobSpec>& specs);
+
+  // Writes the cache to config().cache_file now. No-op without a file.
+  Result<int> PersistCache() const;
+
+  const ServiceConfig& config() const { return config_; }
+  ResultCache& cache() { return cache_; }
+
+ private:
+  ServiceConfig config_;
+  ResultCache cache_;
+  int cache_preloaded_ = 0;
+  std::string cache_load_error_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SERVICE_SERVICE_H_

@@ -14,6 +14,8 @@
 #include "src/mechanism/fault.h"
 #include "src/mechanism/soundness.h"
 #include "src/policy/policy.h"
+#include "src/service/manifest.h"
+#include "src/service/service.h"
 #include "src/staticflow/analysis.h"
 #include "src/staticflow/static_mechanisms.h"
 #include "src/surveillance/instrument.h"
@@ -136,16 +138,19 @@ InputDomain ParseGrid(const ParsedArgs& args, int num_inputs) {
 std::optional<CheckOptions> ParseCheckOptions(const ParsedArgs& args, std::string* err) {
   CheckOptions options;
   if (const auto threads = FlagValue(args, "threads"); threads.has_value()) {
+    long long value = -1;
     try {
-      options.num_threads = std::stoi(*threads);
+      value = std::stoll(*threads);
     } catch (...) {
       *err += "bad --threads value '" + *threads + "'\n";
       return std::nullopt;
     }
-    if (options.num_threads < 0) {
-      *err += "--threads must be >= 0\n";
+    const Result<int> validated = ValidateThreads(value);
+    if (!validated.ok()) {
+      *err += "bad --threads value: " + validated.error().message + "\n";
       return std::nullopt;
     }
+    options.num_threads = validated.value();
   }
   if (const auto deadline = FlagValue(args, "deadline-ms"); deadline.has_value()) {
     long long millis = 0;
@@ -154,11 +159,13 @@ std::optional<CheckOptions> ParseCheckOptions(const ParsedArgs& args, std::strin
     } catch (...) {
       millis = -1;
     }
-    if (millis <= 0) {
-      *err += "bad --deadline-ms value '" + *deadline + "' (want a positive integer)\n";
+    const Result<Deadline> validated = ValidateDeadlineMillis(millis);
+    if (!validated.ok()) {
+      *err += "bad --deadline-ms value '" + *deadline + "': " + validated.error().message +
+              "\n";
       return std::nullopt;
     }
-    options.deadline = Deadline::AfterMillis(millis);
+    options.deadline = validated.value();
   }
   return options;
 }
@@ -259,32 +266,18 @@ int CmdMonitor(const ParsedArgs& args, std::string* out, std::string* err) {
   return 0;
 }
 
+// Mechanism construction is shared with the batch service (MakeMechanismKind
+// in src/service/job.h) so `check --mechanism=X` and a manifest's
+// "mechanism": "X" always build the identical object.
 std::unique_ptr<ProtectionMechanism> MakeCheckedMechanism(const std::string& kind,
                                                           const Program& program,
                                                           VarSet allowed, std::string* err) {
-  if (kind == "surveillance" || kind.empty()) {
-    return std::make_unique<SurveillanceMechanism>(Program(program), allowed);
+  std::string error;
+  auto mechanism = MakeMechanismKind(kind, program, allowed, &error);
+  if (mechanism == nullptr) {
+    *err += "bad --mechanism: " + error + "\n";
   }
-  if (kind == "mprime") {
-    return std::make_unique<SurveillanceMechanism>(Program(program), allowed,
-                                                   TimingMode::kTimeObservable);
-  }
-  if (kind == "highwater") {
-    return std::make_unique<SurveillanceMechanism>(Program(program), allowed,
-                                                   TimingMode::kTimeUnobservable,
-                                                   LabelDiscipline::kHighWater);
-  }
-  if (kind == "bare") {
-    return std::make_unique<ProgramAsMechanism>(Program(program));
-  }
-  if (kind == "static") {
-    return std::make_unique<StaticCertifiedMechanism>(Program(program), allowed);
-  }
-  if (kind == "residual") {
-    return std::make_unique<ResidualGuardMechanism>(Program(program), allowed);
-  }
-  *err += "unknown --mechanism '" + kind + "'\n";
-  return nullptr;
+  return mechanism;
 }
 
 int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
@@ -321,17 +314,18 @@ int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
                                                           std::move(specs).value());
   }
   if (const auto retries = FlagValue(args, "retries"); retries.has_value()) {
-    int max_retries = -1;
+    long long max_retries = -1;
     try {
-      max_retries = std::stoi(*retries);
+      max_retries = std::stoll(*retries);
     } catch (...) {
       max_retries = -1;
     }
-    if (max_retries < 0) {
-      *err += "bad --retries value '" + *retries + "' (want a non-negative integer)\n";
+    const Result<int> validated = ValidateRetries(max_retries);
+    if (!validated.ok()) {
+      *err += "bad --retries value '" + *retries + "': " + validated.error().message + "\n";
       return 1;
     }
-    mechanism = std::make_shared<RetryingMechanism>(std::move(mechanism), max_retries);
+    mechanism = std::make_shared<RetryingMechanism>(std::move(mechanism), validated.value());
   }
 
   const Observability obs =
@@ -350,6 +344,36 @@ int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
       return 4;
   }
   return 4;
+}
+
+// `secpol batch <manifest.json>`: run a whole manifest of check jobs
+// through the scheduler + result cache and print the JSON batch report.
+// Exit code is the most severe per-job code (same vocabulary as `check`,
+// plus 5 = rejected by admission control); a manifest that does not parse
+// exits 1 before any job runs.
+int CmdBatch(const ParsedArgs& args, std::string* out, std::string* err) {
+  if (args.file.empty()) {
+    *err += "missing manifest file (usage: secpol batch <manifest.json> [--pretty])\n";
+    return 1;
+  }
+  std::ifstream stream(args.file);
+  if (!stream) {
+    *err += "cannot open '" + args.file + "'\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << stream.rdbuf();
+  Result<BatchManifest> manifest = ParseBatchManifest(buffer.str());
+  if (!manifest.ok()) {
+    *err += args.file + ": " + manifest.error().ToString() + "\n";
+    return 1;
+  }
+  CheckService service(manifest.value().service);
+  const BatchReport report = service.RunBatch(manifest.value().jobs);
+  const Json rendered = BatchReportToJson(report);
+  *out += HasFlag(args, "pretty") ? rendered.Pretty() : rendered.Serialize();
+  *out += "\n";
+  return report.ExitCode();
 }
 
 int CmdAnalyze(const ParsedArgs& args, std::string* out, std::string* err) {
@@ -481,6 +505,10 @@ int RunCli(const std::vector<std::string>& args, std::string* out, std::string* 
   if (parsed->command == "check") {
     return CmdCheck(*parsed, out, err);
   }
+  // Both spellings: `secpol batch m.json` and `secpol --batch m.json`.
+  if (parsed->command == "batch" || parsed->command == "--batch") {
+    return CmdBatch(*parsed, out, err);
+  }
   if (parsed->command == "analyze") {
     return CmdAnalyze(*parsed, out, err);
   }
@@ -503,7 +531,7 @@ int RunCli(const std::vector<std::string>& args, std::string* out, std::string* 
     return CmdBytecode(*parsed, out, err);
   }
   *err += "unknown command '" + parsed->command +
-          "' (expected run|monitor|check|analyze|instrument|advise|optimize|decompile|dot|bytecode)\n";
+          "' (expected run|monitor|check|batch|analyze|instrument|advise|optimize|decompile|dot|bytecode)\n";
   return 1;
 }
 

@@ -1,0 +1,212 @@
+#include "src/util/fingerprint.h"
+
+#include <cstring>
+
+namespace secpol {
+
+namespace {
+
+inline std::uint64_t Rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t FMix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+inline std::uint64_t LoadLE64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Fingerprint Murmur3_128(const void* data, std::size_t size, std::uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  const std::size_t nblocks = size / 16;
+
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+  const std::uint64_t c1 = 0x87c37b91114253d5ULL;
+  const std::uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = LoadLE64(bytes + i * 16);
+    std::uint64_t k2 = LoadLE64(bytes + i * 16 + 8);
+
+    k1 *= c1;
+    k1 = Rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = Rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+
+    k2 *= c2;
+    k2 = Rotl64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = Rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  const unsigned char* tail = bytes + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  switch (size & 15) {
+    case 15: k2 ^= std::uint64_t(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= std::uint64_t(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= std::uint64_t(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= std::uint64_t(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= std::uint64_t(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= std::uint64_t(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= std::uint64_t(tail[8]);
+      k2 *= c2;
+      k2 = Rotl64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= std::uint64_t(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= std::uint64_t(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= std::uint64_t(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= std::uint64_t(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= std::uint64_t(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= std::uint64_t(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= std::uint64_t(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= std::uint64_t(tail[0]);
+      k1 *= c1;
+      k1 = Rotl64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+      break;
+    case 0:
+      break;
+  }
+
+  h1 ^= static_cast<std::uint64_t>(size);
+  h2 ^= static_cast<std::uint64_t>(size);
+  h1 += h2;
+  h2 += h1;
+  h1 = FMix64(h1);
+  h2 = FMix64(h2);
+  h1 += h2;
+  h2 += h1;
+
+  return Fingerprint{h1, h2};
+}
+
+std::string Fingerprint::ToHex() const {
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t lane = i < 8 ? hi : lo;
+    const int byte = i < 8 ? 7 - i : 15 - i;
+    const unsigned v = static_cast<unsigned>((lane >> (byte * 8)) & 0xff);
+    out[2 * i] = kHexDigits[v >> 4];
+    out[2 * i + 1] = kHexDigits[v & 0xf];
+  }
+  return out;
+}
+
+std::optional<Fingerprint> Fingerprint::FromHex(std::string_view hex) {
+  if (hex.size() != 32) {
+    return std::nullopt;
+  }
+  Fingerprint fp;
+  for (int i = 0; i < 32; ++i) {
+    const int v = HexValue(hex[i]);
+    if (v < 0) {
+      return std::nullopt;
+    }
+    std::uint64_t& lane = i < 16 ? fp.hi : fp.lo;
+    lane = (lane << 4) | static_cast<std::uint64_t>(v);
+  }
+  return fp;
+}
+
+void Fingerprinter::RawBytes(const void* data, std::size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+void Fingerprinter::Tag(std::string_view tag) {
+  buffer_.push_back('T');
+  Str(tag);
+}
+
+void Fingerprinter::U64(std::uint64_t v) {
+  buffer_.push_back('U');
+  unsigned char raw[8];
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = static_cast<unsigned char>(v >> (i * 8));
+  }
+  RawBytes(raw, sizeof raw);
+}
+
+void Fingerprinter::I64(std::int64_t v) {
+  buffer_.push_back('I');
+  unsigned char raw[8];
+  const std::uint64_t u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = static_cast<unsigned char>(u >> (i * 8));
+  }
+  RawBytes(raw, sizeof raw);
+}
+
+void Fingerprinter::I32(std::int32_t v) { I64(v); }
+
+void Fingerprinter::Bool(bool v) {
+  buffer_.push_back('B');
+  buffer_.push_back(v ? '\1' : '\0');
+}
+
+void Fingerprinter::Str(std::string_view s) {
+  buffer_.push_back('S');
+  unsigned char raw[8];
+  const std::uint64_t size = s.size();
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = static_cast<unsigned char>(size >> (i * 8));
+  }
+  RawBytes(raw, sizeof raw);
+  RawBytes(s.data(), s.size());
+}
+
+void Fingerprinter::I64List(const std::vector<std::int64_t>& values) {
+  buffer_.push_back('L');
+  U64(values.size());
+  for (std::int64_t v : values) {
+    I64(v);
+  }
+}
+
+void Fingerprinter::I32List(const std::vector<std::int32_t>& values) {
+  buffer_.push_back('l');
+  U64(values.size());
+  for (std::int32_t v : values) {
+    I64(v);
+  }
+}
+
+Fingerprint Fingerprinter::Digest() const {
+  return Murmur3_128(buffer_.data(), buffer_.size());
+}
+
+}  // namespace secpol

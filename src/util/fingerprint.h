@@ -1,0 +1,95 @@
+// Canonical content fingerprints for check jobs.
+//
+// The batch checking service (src/service) memoizes checker reports in a
+// content-addressed cache, so every object that can influence a report —
+// flowchart programs, policies, mechanisms recipes, input domains, fault
+// specs — needs a stable content hash. A Fingerprinter accumulates a *tagged
+// canonical encoding* of such an object (every field is written with a
+// domain-separation tag and a fixed-width or length-prefixed form, so two
+// different field sequences can never encode to the same byte string) and
+// digests it to a 128-bit Fingerprint with MurmurHash3 x64/128.
+//
+// Stability contract: the encoding is part of the cache persistence format.
+// Changing what any AppendFingerprint hook writes invalidates every
+// persisted cache entry AND the golden hashes in tests/fingerprint_test.cc —
+// those goldens exist precisely so an accidental canonicalization change
+// fails loudly instead of silently serving stale cache hits.
+
+#ifndef SECPOL_SRC_UTIL_FINGERPRINT_H_
+#define SECPOL_SRC_UTIL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace secpol {
+
+// A 128-bit content hash. Value-comparable and hashable so it can key
+// unordered containers; renders as 32 lowercase hex digits.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Fingerprint& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const Fingerprint& other) const { return !(*this == other); }
+
+  std::string ToHex() const;
+  // Parses exactly 32 hex digits; anything else is nullopt.
+  static std::optional<Fingerprint> FromHex(std::string_view hex);
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const {
+    // The fingerprint is already a high-quality hash; fold the lanes.
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+// Accumulates a tagged canonical encoding and digests it.
+//
+// Every Append* call is unambiguous: tags separate field kinds, integers are
+// written as fixed-width little-endian, and strings/byte runs are length-
+// prefixed. Composite objects implement
+//     void AppendFingerprint(Fingerprinter* fp) const;
+// writing a leading tag for their own type, then their fields in a fixed
+// canonical order.
+class Fingerprinter {
+ public:
+  Fingerprinter() = default;
+
+  // Domain-separation tag, e.g. "expr", "box", "allow-policy".
+  void Tag(std::string_view tag);
+
+  void U64(std::uint64_t v);
+  void I64(std::int64_t v);
+  void I32(std::int32_t v);
+  void Bool(bool v);
+  void Str(std::string_view s);           // length-prefixed bytes
+  void I64List(const std::vector<std::int64_t>& values);
+  void I32List(const std::vector<std::int32_t>& values);
+
+  // Number of bytes encoded so far (diagnostics / tests).
+  std::size_t encoded_size() const { return buffer_.size(); }
+
+  // Digest of everything appended so far; the Fingerprinter can keep
+  // accumulating afterwards (the digest is not a stream checkpoint).
+  Fingerprint Digest() const;
+
+ private:
+  void RawBytes(const void* data, std::size_t size);
+
+  std::string buffer_;
+};
+
+// MurmurHash3 x64/128 (public-domain construction by Austin Appleby) over an
+// arbitrary byte string. Exposed for tests; everything else should go
+// through Fingerprinter so encodings stay tagged and unambiguous.
+Fingerprint Murmur3_128(const void* data, std::size_t size, std::uint64_t seed = 0);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_UTIL_FINGERPRINT_H_

@@ -1,0 +1,524 @@
+#include "src/util/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace secpol {
+
+namespace {
+
+// Recursive-descent JSON parser over a string_view, tracking line/column for
+// error messages.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    Result<Json> value = ParseValue();
+    if (!value.ok()) {
+      return value;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Error MakeError(const std::string& message) const {
+    return Error{message, line_, column_};
+  }
+  Result<Json> Fail(const std::string& message) const { return MakeError(message); }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  char Advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char expected) {
+    if (!AtEnd() && Peek() == expected) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      Advance();
+    }
+    return true;
+  }
+
+  Result<Json> ParseValue() {
+    SkipWhitespace();
+    if (AtEnd()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) {
+          return s.error();
+        }
+        return Json::MakeString(std::move(s).value());
+      }
+      case 't':
+        if (ConsumeWord("true")) {
+          return Json::MakeBool(true);
+        }
+        return Fail("bad literal (expected 'true')");
+      case 'f':
+        if (ConsumeWord("false")) {
+          return Json::MakeBool(false);
+        }
+        return Fail("bad literal (expected 'false')");
+      case 'n':
+        if (ConsumeWord("null")) {
+          return Json::Null();
+        }
+        return Fail("bad literal (expected 'null')");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          return ParseNumber();
+        }
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<Json> ParseObject() {
+    Advance();  // '{'
+    Json object = Json::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) {
+      return object;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Fail("expected object key string");
+      }
+      Result<std::string> key = ParseString();
+      if (!key.ok()) {
+        return key.error();
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      Result<Json> value = ParseValue();
+      if (!value.ok()) {
+        return value;
+      }
+      object.Set(std::move(key).value(), std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return object;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    Advance();  // '['
+    Json array = Json::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) {
+      return array;
+    }
+    while (true) {
+      Result<Json> value = ParseValue();
+      if (!value.ok()) {
+        return value;
+      }
+      array.Append(std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return array;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Advance();  // '"'
+    std::string out;
+    while (true) {
+      if (AtEnd()) {
+        return MakeError("unterminated string");
+      }
+      const char c = Advance();
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return MakeError("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) {
+        return MakeError("unterminated escape");
+      }
+      const char esc = Advance();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd()) {
+              return MakeError("truncated \\u escape");
+            }
+            const char h = Advance();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return MakeError("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the code point as UTF-8. Surrogate pairs are passed
+          // through as two 3-byte sequences (reports never emit them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return MakeError(std::string("bad escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  Result<Json> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') {
+      Advance();
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    bool integral = true;
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      Advance();
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
+        Advance();
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return Json::MakeInt(value);
+      }
+      // Out-of-range integer literal: fall through to double.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Fail("bad number '" + std::string(token) + "'");
+    }
+    return Json::MakeDouble(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Json Json::MakeBool(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::MakeInt(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::MakeDouble(double v) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::MakeString(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::MakeArray() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::MakeObject() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  assert(kind_ == Kind::kBool);
+  return bool_;
+}
+
+std::int64_t Json::AsInt() const {
+  if (kind_ == Kind::kDouble) {
+    assert(double_ == std::floor(double_));
+    return static_cast<std::int64_t>(double_);
+  }
+  assert(kind_ == Kind::kInt);
+  return int_;
+}
+
+double Json::AsDouble() const {
+  if (kind_ == Kind::kInt) {
+    return static_cast<double>(int_);
+  }
+  assert(kind_ == Kind::kDouble);
+  return double_;
+}
+
+const std::string& Json::AsString() const {
+  assert(kind_ == Kind::kString);
+  return string_;
+}
+
+const std::vector<Json>& Json::Items() const {
+  assert(kind_ == Kind::kArray);
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::Members() const {
+  assert(kind_ == Kind::kObject);
+  return members_;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void Json::Append(Json value) {
+  assert(kind_ == Kind::kArray);
+  items_.push_back(std::move(value));
+}
+
+void Json::Set(std::string key, Json value) {
+  assert(kind_ == Kind::kObject);
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::SerializeTo(std::string* out, int indent, bool pretty) const {
+  const std::string pad = pretty ? std::string(2 * (indent + 1), ' ') : "";
+  const std::string close_pad = pretty ? std::string(2 * indent, ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Kind::kDouble: {
+      if (std::isnan(double_) || std::isinf(double_)) {
+        *out += "null";  // JSON has no NaN/Inf; degrade explicitly.
+        return;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      *out += buf;
+      return;
+    }
+    case Kind::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      *out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        *out += pad;
+        items_[i].SerializeTo(out, indent + 1, pretty);
+        if (i + 1 < items_.size()) {
+          *out += ',';
+          if (!pretty) *out += ' ';
+        }
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      *out += nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        *out += pad;
+        *out += '"';
+        *out += JsonEscape(members_[i].first);
+        *out += "\": ";
+        members_[i].second.SerializeTo(out, indent + 1, pretty);
+        if (i + 1 < members_.size()) {
+          *out += ',';
+          if (!pretty) *out += ' ';
+        }
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::Serialize() const {
+  std::string out;
+  SerializeTo(&out, 0, false);
+  return out;
+}
+
+std::string Json::Pretty() const {
+  std::string out;
+  SerializeTo(&out, 0, true);
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace secpol

@@ -1,0 +1,91 @@
+// A minimal JSON value type: parse, build, serialize.
+//
+// The batch checking service speaks JSON at its boundaries — job manifests
+// in, batch reports out, BENCH_*.json perf records — and the container has
+// no third-party JSON dependency, so this is a small self-contained
+// implementation. Scope is deliberately narrow: UTF-8 text is passed through
+// uninterpreted (only ", \ and control characters are escaped), numbers are
+// stored as int64 when they parse exactly and double otherwise, and object
+// keys keep *insertion* order on build but are serialized as-is (parsers
+// preserve source order), which keeps report output deterministic.
+
+#ifndef SECPOL_SRC_UTIL_JSON_H_
+#define SECPOL_SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace secpol {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json MakeBool(bool v);
+  static Json MakeInt(std::int64_t v);
+  static Json MakeDouble(double v);
+  static Json MakeString(std::string v);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kInt || kind_ == Kind::kDouble; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Accessors assert the kind; use the is_* predicates first.
+  bool AsBool() const;
+  std::int64_t AsInt() const;     // kInt, or kDouble with integral value
+  double AsDouble() const;        // any number
+  const std::string& AsString() const;
+  const std::vector<Json>& Items() const;                          // kArray
+  const std::vector<std::pair<std::string, Json>>& Members() const;  // kObject
+
+  // Object lookup: pointer to the value, or nullptr when absent (or when
+  // this is not an object).
+  const Json* Find(std::string_view key) const;
+
+  // Builders.
+  void Append(Json value);                       // kArray
+  void Set(std::string key, Json value);         // kObject (replaces existing)
+
+  // Compact one-line serialization.
+  std::string Serialize() const;
+  // Pretty, two-space-indented serialization (trailing newline not included).
+  std::string Pretty() const;
+
+  // Parses one JSON document (must consume all non-whitespace input).
+  // Errors carry 1-based line/column of the offending character.
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void SerializeTo(std::string* out, int indent, bool pretty) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+// Escapes `s` as the *contents* of a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_UTIL_JSON_H_

@@ -223,6 +223,56 @@ TEST_F(CliTest, ErrorsAreReported) {
   EXPECT_EQ(Run({"check", path, "--allow=0", "--mechanism=warp"}), 1);
 }
 
+TEST_F(CliTest, BatchRunsManifestAndPrintsJsonReport) {
+  const std::string manifest = WriteProgram(R"({
+    "defaults": {"program": "program p(pub, sec) { y = pub; }", "allow": [0]},
+    "jobs": [
+      {"id": "sound"},
+      {"id": "leaky", "program": "program p(pub, sec) { y = sec; }",
+       "mechanism": "bare"}
+    ]
+  })");
+  // Worst per-job code wins: "sound" exits 0, "leaky" proves unsound (2).
+  EXPECT_EQ(Run({"batch", manifest}), 2);
+  EXPECT_NE(out_.find("\"id\": \"sound\""), std::string::npos);
+  EXPECT_NE(out_.find("\"status\": \"completed\""), std::string::npos);
+  EXPECT_NE(out_.find("\"exit_code\": 2"), std::string::npos);
+  EXPECT_NE(out_.find("\"scheduler\""), std::string::npos);
+  EXPECT_NE(out_.find("\"cache\""), std::string::npos);
+  EXPECT_NE(out_.find("UNSOUND"), std::string::npos);  // embedded report text
+
+  // The flag spelling and --pretty both work.
+  EXPECT_EQ(Run({"--batch", manifest, "--pretty"}), 2);
+  EXPECT_NE(out_.find("\"jobs\": ["), std::string::npos);
+}
+
+TEST_F(CliTest, BatchRejectsBadManifests) {
+  EXPECT_EQ(Run({"batch"}), 1);
+  EXPECT_NE(err_.find("missing manifest"), std::string::npos);
+
+  EXPECT_EQ(Run({"batch", "/nonexistent/manifest.json"}), 1);
+  EXPECT_NE(err_.find("cannot open"), std::string::npos);
+
+  const std::string garbage = WriteProgram("{not json");
+  EXPECT_EQ(Run({"batch", garbage}), 1);
+  EXPECT_NE(err_.find("manifest"), std::string::npos);
+
+  const std::string typo = WriteProgram(
+      R"({"jobs": [{"cheker": "soundness", "program": "program p(a) { y = a; }"}]})");
+  EXPECT_EQ(Run({"batch", typo}), 1);
+  EXPECT_NE(err_.find("unknown key 'cheker'"), std::string::npos);
+}
+
+TEST_F(CliTest, BatchInvalidJobSpecExitsOneWithStructuredReport) {
+  // The manifest parses, but the job itself is invalid (allow index out of
+  // range): the batch still runs and reports the job as invalid.
+  const std::string manifest = WriteProgram(
+      R"({"jobs": [{"program": "program p(a) { y = a; }", "allow": [7]}]})");
+  EXPECT_EQ(Run({"batch", manifest}), 1);
+  EXPECT_NE(out_.find("\"status\": \"invalid\""), std::string::npos);
+  EXPECT_NE(out_.find("allow:"), std::string::npos);
+}
+
 TEST_F(CliTest, ParserErrorsCarryLocation) {
   const std::string bad = WriteProgram("program p(a) {\n  y = ;\n}");
   EXPECT_EQ(Run({"run", bad, "--input=1"}), 1);

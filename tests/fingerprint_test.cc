@@ -1,0 +1,249 @@
+// Tests for canonical content fingerprints — the cache keys of the batch
+// checking service.
+//
+// The golden hashes pinned here are load-bearing: the fingerprint encoding
+// is the persistence format of the result cache, so an accidental change to
+// any AppendFingerprint hook (or to the Fingerprinter framing, or to the
+// Murmur3 construction) must fail THIS suite loudly rather than silently
+// serve stale cache entries under new keys (or worse, fresh results under
+// old keys). If you changed the encoding on purpose: bump the cache-key
+// format version in JobCacheKey and re-pin these values.
+
+#include "src/util/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/policy/policy.h"
+#include "src/policy/refinement.h"
+#include "src/service/job.h"
+
+namespace secpol {
+namespace {
+
+Program Compile(const std::string& source) {
+  Result<SourceProgram> parsed = ParseProgram(source);
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().ToString());
+  return Lower(parsed.value());
+}
+
+TEST(FingerprintTest, HexRoundTrip) {
+  const Fingerprint fp{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(fp.ToHex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(Fingerprint::FromHex(fp.ToHex()), fp);
+  EXPECT_EQ(Fingerprint::FromHex("0123456789ABCDEFFEDCBA9876543210"), fp);
+}
+
+TEST(FingerprintTest, FromHexRejectsMalformedInput) {
+  EXPECT_FALSE(Fingerprint::FromHex("").has_value());
+  EXPECT_FALSE(Fingerprint::FromHex("abc").has_value());
+  EXPECT_FALSE(Fingerprint::FromHex(std::string(31, '0')).has_value());
+  EXPECT_FALSE(Fingerprint::FromHex(std::string(33, '0')).has_value());
+  EXPECT_FALSE(Fingerprint::FromHex("0123456789abcdeffedcba987654321g").has_value());
+}
+
+TEST(FingerprintTest, EncodingIsUnambiguous) {
+  // Length-prefixed strings: ("ab","c") and ("a","bc") must not collide.
+  Fingerprinter a;
+  a.Str("ab");
+  a.Str("c");
+  Fingerprinter b;
+  b.Str("a");
+  b.Str("bc");
+  EXPECT_NE(a.Digest(), b.Digest());
+
+  // Tags are domain separators, not plain strings.
+  Fingerprinter c;
+  c.Tag("x");
+  Fingerprinter d;
+  d.Str("x");
+  EXPECT_NE(c.Digest(), d.Digest());
+
+  // Integer kinds are distinguished even for equal values.
+  Fingerprinter e;
+  e.U64(7);
+  Fingerprinter f;
+  f.I64(7);
+  EXPECT_NE(e.Digest(), f.Digest());
+
+  // List framing: [1,2]+[3] vs [1]+[2,3].
+  Fingerprinter g;
+  g.I64List({1, 2});
+  g.I64List({3});
+  Fingerprinter h;
+  h.I64List({1});
+  h.I64List({2, 3});
+  EXPECT_NE(g.Digest(), h.Digest());
+}
+
+TEST(FingerprintTest, DigestIsPureAndIncremental) {
+  Fingerprinter fp;
+  fp.Str("hello");
+  const Fingerprint first = fp.Digest();
+  EXPECT_EQ(fp.Digest(), first);  // digest does not consume the stream
+  fp.I32(1);
+  EXPECT_NE(fp.Digest(), first);
+}
+
+TEST(ProgramFingerprintTest, StructurallyEqualProgramsAgree) {
+  const Program p1 = Compile("program p(a, b) { y = a + b; }");
+  const Program p2 = Compile("program p(a,   b) { y = a + b; }");  // formatting only
+  EXPECT_EQ(p1.ContentFingerprint(), p2.ContentFingerprint());
+}
+
+TEST(ProgramFingerprintTest, BehaviouralDifferencesChangeTheHash) {
+  const Program base = Compile("program p(a, b) { y = a + b; }");
+  // Different constant.
+  EXPECT_NE(base.ContentFingerprint(),
+            Compile("program p(a, b) { y = a + 2; }").ContentFingerprint());
+  // Different operator.
+  EXPECT_NE(base.ContentFingerprint(),
+            Compile("program p(a, b) { y = a * b; }").ContentFingerprint());
+  // Different variable.
+  EXPECT_NE(base.ContentFingerprint(),
+            Compile("program p(a, b) { y = b + b; }").ContentFingerprint());
+  // Different control flow.
+  EXPECT_NE(base.ContentFingerprint(),
+            Compile("program p(a, b) { if (a == 0) { y = 1; } else { y = 2; } }")
+                .ContentFingerprint());
+  // Names reach mechanism names and report text, so they are covered too.
+  EXPECT_NE(base.ContentFingerprint(),
+            Compile("program q(a, b) { y = a + b; }").ContentFingerprint());
+}
+
+TEST(PolicyFingerprintTest, PolicyKindsAndParametersSeparate) {
+  Fingerprinter a1;
+  AllowPolicy(3, VarSet{0, 2}).AppendFingerprint(&a1);
+  Fingerprinter a2;
+  AllowPolicy(3, VarSet{0, 1}).AppendFingerprint(&a2);
+  EXPECT_NE(a1.Digest(), a2.Digest());
+
+  Fingerprinter a3;
+  AllowPolicy(4, VarSet{0, 2}).AppendFingerprint(&a3);
+  EXPECT_NE(a1.Digest(), a3.Digest());
+
+  Fingerprinter d;
+  DirectoryGatedPolicy(2, 1).AppendFingerprint(&d);
+  Fingerprinter q;
+  QueryBudgetPolicy(3).AppendFingerprint(&q);
+  EXPECT_NE(d.Digest(), q.Digest());
+
+  // Product composition is structural, not name-based.
+  Fingerprinter p1;
+  ProductPolicy(std::make_shared<AllowPolicy>(2, VarSet{0}),
+                std::make_shared<AllowPolicy>(2, VarSet{1}))
+      .AppendFingerprint(&p1);
+  Fingerprinter p2;
+  ProductPolicy(std::make_shared<AllowPolicy>(2, VarSet{1}),
+                std::make_shared<AllowPolicy>(2, VarSet{0}))
+      .AppendFingerprint(&p2);
+  EXPECT_NE(p1.Digest(), p2.Digest());
+}
+
+TEST(JobCacheKeyTest, EvaluationKnobsDoNotChangeTheKey) {
+  CheckJobSpec spec;
+  spec.program_text = "program p(a, b) { y = a; }";
+  spec.allow = VarSet{0};
+  const PreparedJob base = PrepareJob(spec).value();
+
+  CheckJobSpec tuned = spec;
+  tuned.id = "another-label";
+  tuned.num_threads = 7;
+  tuned.deadline_ms = 1234;
+  tuned.priority = 9;
+  EXPECT_EQ(PrepareJob(tuned).value().key, base.key);
+}
+
+TEST(JobCacheKeyTest, EverythingReportAffectingChangesTheKey) {
+  CheckJobSpec spec;
+  spec.program_text = "program p(a, b) { y = a; }";
+  spec.allow = VarSet{0};
+  const Fingerprint base = PrepareJob(spec).value().key;
+
+  auto key_of = [](CheckJobSpec s) { return PrepareJob(s).value().key; };
+
+  CheckJobSpec c = spec;
+  c.checker = CheckerKind::kLeak;
+  EXPECT_NE(key_of(c), base);
+  c = spec;
+  c.allow = VarSet{1};
+  EXPECT_NE(key_of(c), base);
+  c = spec;
+  c.mechanism = "bare";
+  EXPECT_NE(key_of(c), base);
+  c = spec;
+  c.grid_hi = 3;
+  EXPECT_NE(key_of(c), base);
+  c = spec;
+  c.observe_time = true;
+  EXPECT_NE(key_of(c), base);
+  c = spec;
+  c.fault_spec = "throw@1";
+  EXPECT_NE(key_of(c), base);
+  c = spec;
+  c.retries = 2;
+  EXPECT_NE(key_of(c), base);
+  c = spec;
+  c.program_text = "program p(a, b) { y = b; }";
+  EXPECT_NE(key_of(c), base);
+}
+
+// ---------------------------------------------------------------------------
+// Golden hashes. These pin the canonical encoding itself. Do not update them
+// casually — see the file comment.
+
+TEST(GoldenFingerprintTest, Murmur3KnownAnswers) {
+  EXPECT_EQ(Murmur3_128("", 0).ToHex(), "00000000000000000000000000000000");
+  const std::string fox = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(Murmur3_128(fox.data(), fox.size()).ToHex(), "e34bbc7bbc071b6c7a433ca9c49a9347");
+  const std::string abc = "abc";
+  EXPECT_EQ(Murmur3_128(abc.data(), abc.size()).ToHex(), "b4963f3f3fad78673ba2744126ca2d52");
+}
+
+TEST(GoldenFingerprintTest, ProgramCorpus) {
+  EXPECT_EQ(Compile("program p(a, b) { y = a; }").ContentFingerprint().ToHex(),
+            "4a9ce9ef3b9782803a5c0d4c979a7895");
+  EXPECT_EQ(Compile("program p(a, b) { y = a * b + 1; }").ContentFingerprint().ToHex(),
+            "36c89f17eaa59e128672a5a9a6526b78");
+  EXPECT_EQ(
+      Compile("program p(x) { if (x > 0) { y = 1; } else { y = 2; } }")
+          .ContentFingerprint()
+          .ToHex(),
+      "4cf6a5de84ee9710d4e53c5722d351fd");
+  EXPECT_EQ(
+      Compile("program p(n) { locals c; c = n; while (c != 0) { y = y + c; c = c - 1; } }")
+          .ContentFingerprint()
+          .ToHex(),
+      "36683b4b809b6687cb1ff32e781130c0");
+}
+
+TEST(GoldenFingerprintTest, Policies) {
+  Fingerprinter a;
+  AllowPolicy(3, VarSet{0, 2}).AppendFingerprint(&a);
+  EXPECT_EQ(a.Digest().ToHex(), "951e292111cff4a5a7c2c0c57a8a7b85");
+
+  Fingerprinter p;
+  ProductPolicy(std::make_shared<AllowPolicy>(2, VarSet{0}),
+                std::make_shared<QueryBudgetPolicy>(1))
+      .AppendFingerprint(&p);
+  EXPECT_EQ(p.Digest().ToHex(), "21a8bed7b000212171a06fb403801256");
+}
+
+TEST(GoldenFingerprintTest, JobCacheKeys) {
+  CheckJobSpec spec;
+  spec.program_text = "program p(a, b) { y = a; }";
+  spec.allow = VarSet{0};
+  EXPECT_EQ(PrepareJob(spec).value().key.ToHex(), "3fcecdf6a68b5362f59e6a4052fb4f54");
+
+  spec.checker = CheckerKind::kPolicyCompare;
+  spec.allow2 = VarSet{0, 1};
+  spec.grid_lo = 0;
+  spec.grid_hi = 1;
+  EXPECT_EQ(PrepareJob(spec).value().key.ToHex(), "a0153ba9c1735ae116f8026b9593bb4f");
+}
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,97 @@
+// Tests for the minimal JSON value type the batch service speaks at its
+// boundaries (manifests in, batch reports and cache files out).
+
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace secpol {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Json::Parse("null").value().is_null());
+  EXPECT_TRUE(Json::Parse("true").value().AsBool());
+  EXPECT_FALSE(Json::Parse("false").value().AsBool());
+  EXPECT_EQ(Json::Parse("42").value().AsInt(), 42);
+  EXPECT_EQ(Json::Parse("-7").value().AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5").value().AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3").value().AsDouble(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"").value().AsString(), "hi");
+}
+
+TEST(JsonParseTest, IntegerVsDoubleKinds) {
+  EXPECT_TRUE(Json::Parse("42").value().is_int());
+  EXPECT_FALSE(Json::Parse("42.0").value().is_int());
+  EXPECT_TRUE(Json::Parse("42.0").value().is_number());
+  // An integer literal too large for int64 degrades to double.
+  EXPECT_FALSE(Json::Parse("99999999999999999999999").value().is_int());
+}
+
+TEST(JsonParseTest, Structures) {
+  const Json doc = Json::Parse(R"({"a": [1, 2, {"b": true}], "c": "x"})").value();
+  ASSERT_TRUE(doc.is_object());
+  const Json* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->Items().size(), 3u);
+  EXPECT_EQ(a->Items()[1].AsInt(), 2);
+  EXPECT_TRUE(a->Items()[2].Find("b")->AsBool());
+  EXPECT_EQ(doc.Find("c")->AsString(), "x");
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(Json::Parse(R"("a\"b\\c\nd\te")").value().AsString(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::Parse(R"("Aé")").value().AsString(), "A\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());           // trailing document
+  EXPECT_FALSE(Json::Parse("\"\x01\"").ok());      // raw control char
+  EXPECT_FALSE(Json::Parse("{\"a\": nope}").ok());
+}
+
+TEST(JsonParseTest, ErrorsCarryLineAndColumn) {
+  const auto result = Json::Parse("{\n  \"a\": ??\n}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().line, 2);
+  EXPECT_GT(result.error().column, 1);
+}
+
+TEST(JsonSerializeTest, RoundTripsCompact) {
+  const std::string text = R"({"jobs": [1, 2], "ok": true, "name": "a\"b", "x": null})";
+  const Json doc = Json::Parse(text).value();
+  const Json again = Json::Parse(doc.Serialize()).value();
+  EXPECT_EQ(doc.Serialize(), again.Serialize());
+}
+
+TEST(JsonSerializeTest, ObjectKeysKeepInsertionOrder) {
+  Json doc = Json::MakeObject();
+  doc.Set("z", Json::MakeInt(1));
+  doc.Set("a", Json::MakeInt(2));
+  doc.Set("z", Json::MakeInt(3));  // replace keeps position
+  EXPECT_EQ(doc.Serialize(), R"({"z": 3, "a": 2})");
+}
+
+TEST(JsonSerializeTest, PrettyParsesBack) {
+  const Json doc = Json::Parse(R"({"a": [1, {"b": []}], "c": {}})").value();
+  const Json again = Json::Parse(doc.Pretty()).value();
+  EXPECT_EQ(doc.Serialize(), again.Serialize());
+}
+
+TEST(JsonSerializeTest, NonFiniteDoublesDegradeToNull) {
+  Json doc = Json::MakeDouble(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(doc.Serialize(), "null");
+}
+
+}  // namespace
+}  // namespace secpol

@@ -1,0 +1,670 @@
+// Tests for the batch checking service: the differential guarantee (batch
+// report ≡ standalone checker report, byte for byte, at any thread count,
+// cached or uncached, faults injected or not), the result cache's boundary
+// behaviour, persistence robustness, and the scheduler's admission control
+// and deadline handling.
+
+#include "src/service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/channels/timing.h"
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/fault.h"
+#include "src/mechanism/integrity.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/outcome.h"
+#include "src/mechanism/policy_compare.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/service/manifest.h"
+#include "src/service/result_cache.h"
+
+namespace secpol {
+namespace {
+
+// A program leaky enough that soundness/leak verdicts are interesting, with
+// loops and branches so structural hashing has something to chew on.
+constexpr char kLeakyProgram[] =
+    "program leaky(pub, sec) { if (sec > 0) { y = pub + 1; } else { y = pub; } }";
+constexpr char kCleanProgram[] = "program clean(pub, sec) { y = pub * pub; }";
+constexpr char kLoopProgram[] =
+    "program looper(n, sec) { locals c; c = n; while (c > 0) { y = y + 1; c = c - 1; } }";
+
+CheckJobSpec BaseSpec(const std::string& program, CheckerKind checker) {
+  CheckJobSpec spec;
+  spec.program_text = program;
+  spec.checker = checker;
+  spec.allow = VarSet{0};
+  spec.grid_lo = -1;
+  spec.grid_hi = 1;
+  return spec;
+}
+
+Program MustLower(const std::string& text) {
+  Result<SourceProgram> parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok());
+  return Lower(parsed.value());
+}
+
+// Renders the expected report for `spec` by calling the underlying checker
+// directly — independent re-derivation, duplicated on purpose so a drift in
+// either path breaks the byte-for-byte comparison.
+std::string ExpectedReport(const CheckJobSpec& spec, int num_threads) {
+  const Program program = MustLower(spec.program_text);
+  const InputDomain domain =
+      InputDomain::Range(program.num_inputs(), spec.grid_lo, spec.grid_hi);
+  const Observability obs =
+      spec.observe_time ? Observability::kValueAndTime : Observability::kValueOnly;
+  CheckOptions options;
+  options.num_threads = num_threads;
+  const AllowPolicy policy(program.num_inputs(), spec.allow);
+
+  std::string error;
+  std::shared_ptr<const ProtectionMechanism> mechanism =
+      MakeMechanismKind(spec.mechanism, program, spec.allow, &error);
+  EXPECT_NE(mechanism, nullptr) << error;
+  if (!spec.fault_spec.empty()) {
+    mechanism = std::make_shared<FaultInjectingMechanism>(
+        std::move(mechanism), domain, std::move(ParseFaultSpecs(spec.fault_spec)).value());
+  }
+  if (spec.retries >= 0) {
+    mechanism = std::make_shared<RetryingMechanism>(std::move(mechanism), spec.retries);
+  }
+
+  const std::string obs_tag = " [" + std::string(ObservabilityName(obs)) + "]";
+  switch (spec.checker) {
+    case CheckerKind::kSoundness:
+      return mechanism->name() + " for " + policy.name() + " over " + domain.ToString() +
+             obs_tag + ":\n" +
+             CheckSoundness(*mechanism, policy, domain, obs, options).ToString() + "\n";
+    case CheckerKind::kIntegrity:
+      return mechanism->name() + " preserving " + policy.name() + " over " +
+             domain.ToString() + obs_tag + ":\n" +
+             CheckInformationPreservation(*mechanism, policy, domain, obs, options)
+                 .ToString() +
+             "\n";
+    case CheckerKind::kCompleteness: {
+      std::shared_ptr<const ProtectionMechanism> second =
+          MakeMechanismKind(spec.mechanism2, program, spec.allow, &error);
+      EXPECT_NE(second, nullptr) << error;
+      return mechanism->name() + " vs " + second->name() + " over " + domain.ToString() +
+             ":\n" + CompareCompleteness(*mechanism, *second, domain, options).ToString() +
+             "\n";
+    }
+    case CheckerKind::kMaximal:
+      return "maximal for " + policy.name() + " over " + domain.ToString() + obs_tag + ":\n" +
+             RenderMaximalReport(
+                 SynthesizeMaximalMechanism(*mechanism, policy, domain, obs, options)) +
+             "\n";
+    case CheckerKind::kPolicyCompare: {
+      const AllowPolicy second(program.num_inputs(), spec.allow2);
+      return policy.name() + " reveals-at-most " + second.name() + " over " +
+             domain.ToString() + ":\n" +
+             ComparePolicyDisclosure(policy, second, domain, options).ToString() + "\n";
+    }
+    case CheckerKind::kLeak:
+      return mechanism->name() + " for " + policy.name() + " over " + domain.ToString() +
+             obs_tag + ":\n" +
+             MeasureLeak(*mechanism, policy, domain, obs, options).ToString() + "\n";
+  }
+  return "";
+}
+
+Fingerprint KeyOf(char tag) {
+  Fingerprinter fp;
+  fp.Tag("test-key");
+  fp.Str(std::string(1, tag));
+  return fp.Digest();
+}
+
+CachedResult ValueOf(const std::string& report) {
+  CachedResult value;
+  value.report = report;
+  value.exit_code = 0;
+  value.evaluated = 1;
+  value.total = 1;
+  return value;
+}
+
+std::string TempPath(const std::string& stem) {
+  const std::string test_name =
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  return ::testing::TempDir() + "service_test_" + test_name + "_" + stem;
+}
+
+// ---------------------------------------------------------------------------
+// The differential guarantee.
+
+TEST(ServiceDifferentialTest, EveryCheckerMatchesStandaloneAtEveryThreadCount) {
+  const struct {
+    const char* program;
+    CheckerKind checker;
+  } cases[] = {
+      {kLeakyProgram, CheckerKind::kSoundness},
+      {kCleanProgram, CheckerKind::kSoundness},
+      {kLoopProgram, CheckerKind::kSoundness},
+      {kLeakyProgram, CheckerKind::kIntegrity},
+      {kLeakyProgram, CheckerKind::kCompleteness},
+      {kCleanProgram, CheckerKind::kMaximal},
+      {kLeakyProgram, CheckerKind::kPolicyCompare},
+      {kLeakyProgram, CheckerKind::kLeak},
+  };
+  for (const auto& test_case : cases) {
+    for (const int threads : {1, 2, 7}) {
+      CheckJobSpec spec = BaseSpec(test_case.program, test_case.checker);
+      spec.num_threads = threads;
+      if (test_case.checker == CheckerKind::kPolicyCompare) {
+        spec.allow2 = VarSet{0, 1};
+      }
+      const std::string expected = ExpectedReport(spec, threads);
+
+      // Standalone execution.
+      const JobResult direct = ExecuteJob(spec);
+      EXPECT_EQ(direct.status, JobStatus::kCompleted);
+      EXPECT_EQ(direct.report, expected)
+          << CheckerKindName(test_case.checker) << " t=" << threads;
+
+      // Cold batch, then warm batch on the same service: the cached bytes
+      // must equal the cold bytes must equal the standalone bytes.
+      CheckService service(ServiceConfig{});
+      const BatchReport cold = service.RunBatch({spec});
+      ASSERT_EQ(cold.jobs.size(), 1u);
+      EXPECT_FALSE(cold.jobs[0].from_cache);
+      EXPECT_EQ(cold.jobs[0].report, expected);
+
+      const BatchReport warm = service.RunBatch({spec});
+      ASSERT_EQ(warm.jobs.size(), 1u);
+      EXPECT_TRUE(warm.jobs[0].from_cache);
+      EXPECT_EQ(warm.jobs[0].report, expected);
+      EXPECT_EQ(warm.jobs[0].exit_code, cold.jobs[0].exit_code);
+    }
+  }
+}
+
+TEST(ServiceDifferentialTest, FaultInjectionMatchesStandalone) {
+  for (const char* fault : {"wrong@2", "fuel@1+3"}) {
+    for (const int threads : {1, 2, 7}) {
+      CheckJobSpec spec = BaseSpec(kLeakyProgram, CheckerKind::kSoundness);
+      spec.fault_spec = fault;
+      spec.num_threads = threads;
+      const std::string expected = ExpectedReport(spec, threads);
+      const JobResult direct = ExecuteJob(spec);
+      EXPECT_EQ(direct.report, expected) << fault << " t=" << threads;
+
+      CheckService service(ServiceConfig{});
+      const BatchReport batch = service.RunBatch({spec});
+      EXPECT_EQ(batch.jobs[0].report, expected) << fault << " t=" << threads;
+    }
+  }
+}
+
+TEST(ServiceDifferentialTest, TransientFaultWithRetryMatchesFaultFreeRun) {
+  CheckJobSpec faulty = BaseSpec(kLeakyProgram, CheckerKind::kSoundness);
+  faulty.fault_spec = "throw!@4";
+  faulty.retries = 1;
+  CheckJobSpec clean = BaseSpec(kLeakyProgram, CheckerKind::kSoundness);
+
+  const JobResult faulty_result = ExecuteJob(faulty);
+  const JobResult clean_result = ExecuteJob(clean);
+  EXPECT_EQ(faulty_result.status, JobStatus::kCompleted);
+  // The retry wrapper changes the mechanism *name* but must not change the
+  // verdict or coverage: compare everything after the header line.
+  const auto body = [](const std::string& report) {
+    return report.substr(report.find(":\n"));
+  };
+  EXPECT_EQ(body(faulty_result.report), body(clean_result.report));
+  EXPECT_EQ(faulty_result.exit_code, clean_result.exit_code);
+}
+
+TEST(ServiceDifferentialTest, PersistentFaultAborts) {
+  CheckJobSpec spec = BaseSpec(kLeakyProgram, CheckerKind::kSoundness);
+  spec.fault_spec = "throw@4";
+  const JobResult result = ExecuteJob(spec);
+  EXPECT_EQ(result.status, JobStatus::kAborted);
+  EXPECT_EQ(result.exit_code, 4);
+
+  // Aborted runs are never cached: a rerun on the same service re-executes.
+  CheckService service(ServiceConfig{});
+  const BatchReport first = service.RunBatch({spec});
+  EXPECT_EQ(first.jobs[0].status, JobStatus::kAborted);
+  const BatchReport second = service.RunBatch({spec});
+  EXPECT_FALSE(second.jobs[0].from_cache);
+  EXPECT_EQ(service.cache().Stats().entries, 0u);
+}
+
+TEST(ServiceDifferentialTest, CacheKeyIgnoresThreadCountSafely) {
+  // A warm hit from a 1-thread run must serve a 7-thread request the exact
+  // same bytes — legal only because completed reports are thread-invariant.
+  CheckJobSpec spec = BaseSpec(kLoopProgram, CheckerKind::kSoundness);
+  spec.num_threads = 1;
+  CheckService service(ServiceConfig{});
+  const BatchReport cold = service.RunBatch({spec});
+
+  spec.num_threads = 7;
+  const BatchReport warm = service.RunBatch({spec});
+  EXPECT_TRUE(warm.jobs[0].from_cache);
+  EXPECT_EQ(warm.jobs[0].report, cold.jobs[0].report);
+  EXPECT_EQ(warm.jobs[0].report, ExpectedReport(spec, 7));
+}
+
+TEST(ServiceDifferentialTest, DuplicateJobsInOneBatchHitTheCache) {
+  CheckJobSpec spec = BaseSpec(kCleanProgram, CheckerKind::kSoundness);
+  ServiceConfig config;
+  config.concurrency = 1;  // deterministic: first occurrence computes
+  CheckService service(config);
+  const BatchReport report = service.RunBatch({spec, spec, spec});
+  EXPECT_EQ(report.stats.executed, 1);
+  EXPECT_EQ(report.stats.cache_hits, 2);
+  EXPECT_EQ(report.jobs[0].report, report.jobs[1].report);
+  EXPECT_EQ(report.jobs[1].report, report.jobs[2].report);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler behaviour.
+
+TEST(SchedulerTest, AdmissionControlRejectsBeyondTheBound) {
+  CheckJobSpec spec = BaseSpec(kCleanProgram, CheckerKind::kSoundness);
+  ServiceConfig config;
+  config.max_pending = 2;
+  CheckService service(config);
+  std::vector<CheckJobSpec> specs(5, spec);
+  for (int i = 0; i < 5; ++i) {
+    specs[i].id = "job-" + std::to_string(i);
+  }
+  const BatchReport report = service.RunBatch(specs);
+  ASSERT_EQ(report.jobs.size(), 5u);
+  EXPECT_EQ(report.stats.admitted, 2);
+  EXPECT_EQ(report.stats.rejected, 3);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(report.jobs[i].status, JobStatus::kCompleted) << i;
+  }
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_EQ(report.jobs[i].status, JobStatus::kRejected) << i;
+    EXPECT_EQ(report.jobs[i].exit_code, 5) << i;
+    EXPECT_NE(report.jobs[i].error.find("queue bound"), std::string::npos) << i;
+    EXPECT_TRUE(report.jobs[i].report.empty()) << i;
+  }
+  EXPECT_EQ(report.ExitCode(), 5);
+  // Results stay in submission order even though job-0/1 ran and 2-4 did not.
+  EXPECT_EQ(report.jobs[4].id, "job-4");
+}
+
+TEST(SchedulerTest, HigherPriorityRunsFirst) {
+  // Two jobs with identical cache keys and one worker: whichever runs first
+  // computes, the other hits the cache. Priority must decide.
+  CheckJobSpec low = BaseSpec(kLoopProgram, CheckerKind::kSoundness);
+  low.id = "low";
+  low.priority = 0;
+  CheckJobSpec high = low;
+  high.id = "high";
+  high.priority = 5;
+  ServiceConfig config;
+  config.concurrency = 1;
+  CheckService service(config);
+  const BatchReport report = service.RunBatch({low, high});
+  EXPECT_TRUE(report.jobs[0].from_cache) << "low priority should have been served second";
+  EXPECT_FALSE(report.jobs[1].from_cache) << "high priority should have computed";
+}
+
+TEST(SchedulerTest, PerJobDeadlineYieldsStructuredStatus) {
+  CheckJobSpec spec;
+  // 11^6 ≈ 1.7M surveilled evaluations: far more than 1ms of work.
+  spec.program_text =
+      "program big(a, b, c, d, e, f) { y = a + b + c + d + e + f; }";
+  spec.checker = CheckerKind::kSoundness;
+  spec.allow = VarSet{0};
+  spec.grid_lo = -5;
+  spec.grid_hi = 5;
+  spec.deadline_ms = 1;
+  CheckService service(ServiceConfig{});
+  const BatchReport report = service.RunBatch({spec});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].status, JobStatus::kDeadlineExceeded);
+  EXPECT_EQ(report.jobs[0].exit_code, 3);
+  EXPECT_LT(report.jobs[0].evaluated, report.jobs[0].total);
+  EXPECT_EQ(report.stats.deadline_exceeded, 1);
+  // Partial runs must not poison the cache.
+  EXPECT_EQ(service.cache().Stats().entries, 0u);
+}
+
+TEST(SchedulerTest, InvalidSpecsAreReportedNotRun) {
+  const struct {
+    void (*mutate)(CheckJobSpec*);
+    const char* expect_in_error;
+  } cases[] = {
+      {[](CheckJobSpec* s) { s->program_text = "progrm oops"; }, "program:"},
+      {[](CheckJobSpec* s) { s->allow = VarSet{7}; }, "allow:"},
+      {[](CheckJobSpec* s) { s->mechanism = "warp"; }, "mechanism:"},
+      {[](CheckJobSpec* s) { s->grid_lo = 3; s->grid_hi = 1; }, "grid:"},
+      {[](CheckJobSpec* s) { s->num_threads = -2; }, "threads:"},
+      {[](CheckJobSpec* s) { s->deadline_ms = -1; }, "deadline_ms:"},
+      {[](CheckJobSpec* s) { s->fault_spec = "sproing"; }, "fault_spec:"},
+  };
+  CheckService service(ServiceConfig{});
+  for (const auto& test_case : cases) {
+    CheckJobSpec spec = BaseSpec(kCleanProgram, CheckerKind::kSoundness);
+    test_case.mutate(&spec);
+    const BatchReport report = service.RunBatch({spec});
+    EXPECT_EQ(report.jobs[0].status, JobStatus::kInvalid);
+    EXPECT_EQ(report.jobs[0].exit_code, 1);
+    EXPECT_NE(report.jobs[0].error.find(test_case.expect_in_error), std::string::npos)
+        << "error was: " << report.jobs[0].error;
+  }
+}
+
+TEST(SchedulerTest, ConcurrentBatchMatchesSerialBatch) {
+  // 12 distinct jobs, executed with 1 worker and with 4: identical reports.
+  std::vector<CheckJobSpec> specs;
+  for (int hi = 1; hi <= 3; ++hi) {
+    for (const CheckerKind checker :
+         {CheckerKind::kSoundness, CheckerKind::kIntegrity, CheckerKind::kCompleteness,
+          CheckerKind::kLeak}) {
+      CheckJobSpec spec = BaseSpec(kLeakyProgram, checker);
+      spec.grid_hi = hi;
+      specs.push_back(spec);
+    }
+  }
+  ServiceConfig serial_config;
+  serial_config.concurrency = 1;
+  CheckService serial(serial_config);
+  ServiceConfig parallel_config;
+  parallel_config.concurrency = 4;
+  CheckService parallel(parallel_config);
+
+  const BatchReport a = serial.RunBatch(specs);
+  const BatchReport b = parallel.RunBatch(specs);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].report, b.jobs[i].report) << i;
+    EXPECT_EQ(a.jobs[i].exit_code, b.jobs[i].exit_code) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache boundary conditions.
+
+TEST(ResultCacheTest, CapacityOneIsATrueLru) {
+  ResultCache cache(1, /*num_shards=*/8);  // shards clamp to capacity
+  EXPECT_EQ(cache.num_shards(), 1);
+  cache.Insert(KeyOf('a'), ValueOf("A"));
+  EXPECT_TRUE(cache.Lookup(KeyOf('a')).has_value());
+  cache.Insert(KeyOf('b'), ValueOf("B"));
+  EXPECT_FALSE(cache.Lookup(KeyOf('a')).has_value()) << "a should have been evicted";
+  EXPECT_EQ(cache.Lookup(KeyOf('b'))->report, "B");
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, LruEvictsLeastRecentlyUsed) {
+  ResultCache cache(2, /*num_shards=*/1);
+  cache.Insert(KeyOf('a'), ValueOf("A"));
+  cache.Insert(KeyOf('b'), ValueOf("B"));
+  EXPECT_TRUE(cache.Lookup(KeyOf('a')).has_value());  // freshen a
+  cache.Insert(KeyOf('c'), ValueOf("C"));             // evicts b, not a
+  EXPECT_TRUE(cache.Lookup(KeyOf('a')).has_value());
+  EXPECT_FALSE(cache.Lookup(KeyOf('b')).has_value());
+  EXPECT_TRUE(cache.Lookup(KeyOf('c')).has_value());
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2, 1);
+  cache.Insert(KeyOf('a'), ValueOf("A1"));
+  cache.Insert(KeyOf('a'), ValueOf("A2"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(KeyOf('a'))->report, "A2");
+}
+
+TEST(ResultCacheTest, EvictionUnderConcurrentInsert) {
+  // Hammer a small sharded cache from many threads; TSan (CI) checks the
+  // locking, this test checks the capacity invariant survives the race.
+  ResultCache cache(16, 4);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<int> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &hits, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Fingerprinter fp;
+        fp.Tag("concurrent");
+        fp.I32(t % 3);  // overlapping key ranges across threads
+        fp.I32(i % 40);
+        const Fingerprint key = fp.Digest();
+        if (i % 2 == 0) {
+          cache.Insert(key, ValueOf("value"));
+        } else if (cache.Lookup(key).has_value()) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_LE(cache.size(), 16u);
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, cache.size());
+  EXPECT_GT(stats.insertions, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(ResultCacheTest, PersistenceRoundTrip) {
+  const std::string path = TempPath("cache.json");
+  {
+    ResultCache cache(8, 2);
+    CachedResult value;
+    value.report = "line one\nline \"quoted\" two\n";
+    value.exit_code = 2;
+    value.evaluated = 81;
+    value.total = 81;
+    cache.Insert(KeyOf('a'), value);
+    cache.Insert(KeyOf('b'), ValueOf("B"));
+    const Result<int> saved = cache.SaveToFile(path);
+    ASSERT_TRUE(saved.ok());
+    EXPECT_EQ(saved.value(), 2);
+  }
+  ResultCache restored(8, 2);
+  const Result<int> loaded = restored.LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), 2);
+  const auto hit = restored.Lookup(KeyOf('a'));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->report, "line one\nline \"quoted\" two\n");
+  EXPECT_EQ(hit->exit_code, 2);
+  EXPECT_EQ(hit->evaluated, 81u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, MissingFileIsAColdStartNotAnError) {
+  ResultCache cache(8, 2);
+  const Result<int> loaded = cache.LoadFromFile(TempPath("nonexistent.json"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), 0);
+}
+
+TEST(ResultCacheTest, CorruptAndTruncatedFilesDegradeToColdStart) {
+  const std::string garbage_path = TempPath("garbage.json");
+  {
+    std::ofstream out(garbage_path);
+    out << "this is not json {]";
+  }
+  ResultCache cache(8, 2);
+  EXPECT_FALSE(cache.LoadFromFile(garbage_path).ok());
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A valid file truncated mid-write (the failure rename() exists to
+  // prevent, simulated here) must also degrade, not crash.
+  const std::string truncated_path = TempPath("truncated.json");
+  {
+    ResultCache full(8, 2);
+    full.Insert(KeyOf('a'), ValueOf("A"));
+    full.Insert(KeyOf('b'), ValueOf("B"));
+    ASSERT_TRUE(full.SaveToFile(truncated_path).ok());
+    std::ifstream in(truncated_path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(truncated_path, std::ios::binary | std::ios::trunc);
+    out << contents.substr(0, contents.size() / 2);
+  }
+  ResultCache cache2(8, 2);
+  EXPECT_FALSE(cache2.LoadFromFile(truncated_path).ok());
+
+  // Wrong version and malformed entries are rejected too.
+  const std::string versioned_path = TempPath("version.json");
+  {
+    std::ofstream out(versioned_path);
+    out << R"({"version": 999, "entries": []})";
+  }
+  ResultCache cache3(8, 2);
+  EXPECT_FALSE(cache3.LoadFromFile(versioned_path).ok());
+
+  const std::string badentry_path = TempPath("badentry.json");
+  {
+    std::ofstream out(badentry_path);
+    out << R"({"version": 1, "entries": [{"key": "tooshort", "report": "r",)"
+        << R"( "exit_code": 0, "evaluated": 1, "total": 1}]})";
+  }
+  ResultCache cache4(8, 2);
+  EXPECT_FALSE(cache4.LoadFromFile(badentry_path).ok());
+
+  std::remove(garbage_path.c_str());
+  std::remove(truncated_path.c_str());
+  std::remove(versioned_path.c_str());
+  std::remove(badentry_path.c_str());
+}
+
+TEST(ResultCacheTest, ServiceWarmStartsFromPersistedCache) {
+  const std::string path = TempPath("service_cache.json");
+  CheckJobSpec spec = BaseSpec(kLeakyProgram, CheckerKind::kSoundness);
+  std::string cold_report;
+  {
+    ServiceConfig config;
+    config.cache_file = path;
+    CheckService service(config);
+    const BatchReport report = service.RunBatch({spec});
+    EXPECT_FALSE(report.jobs[0].from_cache);
+    cold_report = report.jobs[0].report;
+  }  // destructor persists
+  {
+    ServiceConfig config;
+    config.cache_file = path;
+    CheckService service(config);
+    const BatchReport report = service.RunBatch({spec});
+    EXPECT_TRUE(report.jobs[0].from_cache);
+    EXPECT_EQ(report.jobs[0].report, cold_report);
+    EXPECT_EQ(report.stats.cache_preloaded, 1);
+  }
+  // Corrupt the persisted file: the next service cold-starts and says why.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{broken";
+  }
+  {
+    ServiceConfig config;
+    config.cache_file = path;
+    CheckService service(config);
+    const BatchReport report = service.RunBatch({spec});
+    EXPECT_FALSE(report.jobs[0].from_cache);
+    EXPECT_EQ(report.jobs[0].report, cold_report);
+    EXPECT_NE(report.stats.cache_load_error.find("corrupt"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Manifest boundary.
+
+TEST(ManifestTest, ParsesDefaultsAndJobs) {
+  const std::string text = R"({
+    "service": {"concurrency": 2, "max_pending": 9, "cache_capacity": 33},
+    "defaults": {"program": "program p(a, b) { y = a; }", "allow": [0],
+                 "grid": {"lo": 0, "hi": 1}},
+    "jobs": [
+      {"id": "first"},
+      {"id": "second", "checker": "leak", "observe_time": true, "priority": 3},
+      {"id": "third", "checker": "policy-compare", "allow2": [0, 1]}
+    ]
+  })";
+  Result<BatchManifest> manifest = ParseBatchManifest(text);
+  ASSERT_TRUE(manifest.ok()) << manifest.error().message;
+  EXPECT_EQ(manifest.value().service.concurrency, 2);
+  EXPECT_EQ(manifest.value().service.max_pending, 9);
+  EXPECT_EQ(manifest.value().service.cache_capacity, 33u);
+  ASSERT_EQ(manifest.value().jobs.size(), 3u);
+  const CheckJobSpec& second = manifest.value().jobs[1];
+  EXPECT_EQ(second.id, "second");
+  EXPECT_EQ(second.checker, CheckerKind::kLeak);
+  EXPECT_TRUE(second.observe_time);
+  EXPECT_EQ(second.priority, 3);
+  EXPECT_EQ(second.grid_lo, 0);
+  EXPECT_EQ(second.grid_hi, 1);
+  EXPECT_EQ(manifest.value().jobs[2].allow2, (VarSet{0, 1}));
+
+  const BatchReport report = CheckService(manifest.value().service)
+                                 .RunBatch(manifest.value().jobs);
+  EXPECT_EQ(report.stats.completed, 3);
+}
+
+TEST(ManifestTest, RejectsUnknownAndMistypedFields) {
+  EXPECT_FALSE(ParseBatchManifest("[1]").ok());
+  EXPECT_FALSE(ParseBatchManifest("{}").ok());  // no jobs array
+  const auto error_of = [](const std::string& text) {
+    const Result<BatchManifest> result = ParseBatchManifest(text);
+    EXPECT_FALSE(result.ok());
+    return result.ok() ? std::string() : result.error().message;
+  };
+  EXPECT_NE(error_of(R"({"jobs": [{"checkr": "soundness"}]})").find("unknown key 'checkr'"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"jobs": [{"checker": "vibes"}]})").find("unknown checker"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"jobs": [{"allow": [0, "one"]}]})").find("allow"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"jobs": [{"threads": "four"}]})").find("threads"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"service": {"cache_capacity": 0}, "jobs": []})")
+                .find("cache_capacity"),
+            std::string::npos);
+  // Errors name the offending job.
+  EXPECT_NE(error_of(R"({"jobs": [{}, {"grid": 5}]})").find("jobs[1]"), std::string::npos);
+}
+
+TEST(ManifestTest, BatchReportJsonIsWellFormed) {
+  CheckJobSpec good = BaseSpec(kLeakyProgram, CheckerKind::kSoundness);
+  good.id = "good";
+  CheckJobSpec bad = good;
+  bad.id = "bad";
+  bad.mechanism = "warp";
+  ServiceConfig config;
+  config.max_pending = 2;
+  CheckService service(config);
+  const BatchReport report = service.RunBatch({good, bad, good});
+
+  const Json doc = BatchReportToJson(report);
+  // The serialized report must parse back — the CI step validating
+  // BENCH_*.json relies on the same property for bench output.
+  const Result<Json> parsed = Json::Parse(doc.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().Find("jobs")->Items().size(), 3u);
+  EXPECT_EQ(parsed.value().Find("jobs")->Items()[0].Find("status")->AsString(), "completed");
+  EXPECT_EQ(parsed.value().Find("jobs")->Items()[1].Find("status")->AsString(), "invalid");
+  EXPECT_EQ(parsed.value().Find("jobs")->Items()[2].Find("status")->AsString(), "rejected");
+  EXPECT_EQ(parsed.value().Find("exit_code")->AsInt(), 5);
+  EXPECT_EQ(parsed.value().Find("scheduler")->Find("rejected")->AsInt(), 1);
+  EXPECT_NE(parsed.value().Find("cache"), nullptr);
+}
+
+}  // namespace
+}  // namespace secpol
