@@ -1,0 +1,143 @@
+// E19 — the multi-check audit: six checks for the price of one sweep.
+//
+// Run standalone, the six extensional checkers re-evaluate their sources per
+// grid point: the checked mechanism is swept five times (soundness,
+// integrity, completeness, maximal tabulation, leak) and the comparison
+// mechanism once more. CheckAll builds one shared OutcomeTable — each
+// mechanism outcome and policy image computed exactly once per point — and
+// feeds six table-backed reducers from it, with every completed sub-report
+// byte-identical to its standalone checker's (tests/audit_test.cc locks
+// that). With evaluation cost c1 for the checked mechanism and c2 for the
+// comparand, the expected win is (5*c1 + c2) / (c1 + c2): >= 3x whenever
+// c1 >= c2, approaching 5x as the checked mechanism dominates. This bench
+// measures the actual ratio on a loop-bearing program where evaluation is
+// honest work, serial and parallel.
+//
+// Acceptance target: audit >= 3x faster than the six standalone checkers
+// back-to-back on the same grid.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/channels/timing.h"
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/mechanism/check_options.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/integrity.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/policy_compare.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/service/audit.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/strings.h"
+#include "src/util/thread_pool.h"
+
+namespace secpol {
+namespace {
+
+// A loop gives every evaluation a real cost, so the measured ratio reflects
+// sweep work, not reducer bookkeeping.
+Program MakeProgram() {
+  const char* text =
+      "program p(a, b, c) { locals i; i = 100; while (i != 0) { i = i - 1; } "
+      "y = a + b * c; }";
+  return Lower(ParseProgram(text).value());
+}
+
+struct Fixture {
+  Program program = MakeProgram();
+  SurveillanceMechanism checked{Program(program), VarSet{0}};
+  ProgramAsMechanism comparand{Program(program)};
+  AllowPolicy policy{3, VarSet{0}};
+  AllowPolicy policy2{3, VarSet{0, 1}};
+  InputDomain domain = InputDomain::Range(3, 0, 7);  // 512 points
+};
+
+// The six standalone checkers, back-to-back, exactly as six separate CLI
+// invocations or batch jobs would run them.
+void RunStandalone(const Fixture& f, const CheckOptions& options) {
+  const Observability obs = Observability::kValueOnly;
+  benchmark::DoNotOptimize(
+      CheckSoundness(f.checked, f.policy, f.domain, obs, options).inputs_checked);
+  benchmark::DoNotOptimize(
+      CheckInformationPreservation(f.checked, f.policy, f.domain, obs, options)
+          .inputs_checked);
+  benchmark::DoNotOptimize(
+      CompareCompleteness(f.checked, f.comparand, f.domain, options).both_value);
+  benchmark::DoNotOptimize(
+      SynthesizeMaximalMechanism(f.checked, f.policy, f.domain, obs, options).inputs);
+  benchmark::DoNotOptimize(
+      ComparePolicyDisclosure(f.policy, f.policy2, f.domain, options).reveals_at_most);
+  benchmark::DoNotOptimize(MeasureLeak(f.checked, f.policy, f.domain, obs, options).policy_classes);
+}
+
+void RunAudit(const Fixture& f, const CheckOptions& options) {
+  benchmark::DoNotOptimize(CheckAll(f.checked, f.comparand, f.policy, f.policy2, f.domain,
+                                    Observability::kValueOnly, options)
+                               .EvaluatedPoints());
+}
+
+template <typename Fn>
+double MinMillis(const Fn& fn, int trials) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+void PrintReproduction() {
+  PrintHeader("E19: multi-check audit — one shared sweep vs six standalone checkers");
+  std::printf("  host hardware threads: %d\n\n", ThreadPool::HardwareThreads());
+
+  const Fixture f;
+  std::printf("  grid: %llu points, surveillance vs bare over a 100-iteration loop body\n\n",
+              static_cast<unsigned long long>(f.domain.size()));
+
+  PrintRow({"threads", "six standalone ms", "audit ms", "speedup"}, {8, 18, 10, 8});
+  for (const int threads : {1, 2, 4}) {
+    const CheckOptions options = CheckOptions::Threads(threads);
+    const double standalone_ms = MinMillis([&] { RunStandalone(f, options); }, 5);
+    const double audit_ms = MinMillis([&] { RunAudit(f, options); }, 5);
+    PrintRow({std::to_string(threads), FormatDouble(standalone_ms, 2),
+              FormatDouble(audit_ms, 2), FormatDouble(standalone_ms / audit_ms, 2)},
+             {8, 18, 10, 8});
+  }
+  std::printf("\n  acceptance target: audit >= 3x faster than the six standalone checks\n");
+}
+
+void BM_SixStandaloneChecks(benchmark::State& state) {
+  const Fixture f;
+  const CheckOptions options = CheckOptions::Threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    RunStandalone(f, options);
+  }
+}
+BENCHMARK(BM_SixStandaloneChecks)->Arg(1)->Arg(4);
+
+void BM_AuditSharedTable(benchmark::State& state) {
+  const Fixture f;
+  const CheckOptions options = CheckOptions::Threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    RunAudit(f, options);
+  }
+}
+BENCHMARK(BM_AuditSharedTable)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

@@ -1,12 +1,15 @@
 #include "src/channels/timing.h"
 
 #include <cmath>
-#include <exception>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "src/mechanism/outcome_table.h"
+#include "src/mechanism/sweep.h"
 #include "src/util/strings.h"
 
 namespace secpol {
@@ -22,13 +25,21 @@ std::string LeakReport::ToString() const {
   return out;
 }
 
-LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolicy& policy,
-                       const InputDomain& domain, Observability obs,
-                       const CheckOptions& options) {
-  // Observable signature: (kind, value-if-any, steps-if-observable).
-  using Signature = std::tuple<int, Value, StepCount>;
-  std::map<PolicyImage, std::set<Signature>> classes;
+namespace {
 
+// Observable signature: (kind, value-if-any, steps-if-observable).
+using Signature = std::tuple<int, Value, StepCount>;
+
+struct LeakPoint {
+  PolicyImage image;
+  Outcome outcome;
+};
+
+// The leak reducer: per-class signature sets, merged by set union — order
+// independent, so shard structure cannot affect the report.
+template <typename EvalFn>
+LeakReport MeasureLeakImpl(const InputDomain& domain, Observability obs,
+                           const CheckOptions& options, const EvalFn& eval) {
   const auto signature_of = [obs](const Outcome& outcome) {
     return Signature{outcome.IsValue() ? 1 : 0, outcome.IsValue() ? outcome.value : 0,
                      obs == Observability::kValueAndTime ? outcome.steps : 0};
@@ -36,61 +47,20 @@ LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolic
 
   LeakReport report;
   const std::uint64_t grid = domain.size();
-  report.progress.total = grid;
+  const SweepPlan plan = SweepPlan::For(options, grid);
+  std::vector<std::map<PolicyImage, std::set<Signature>>> partials(plan.num_shards);
 
-  const int threads = options.ResolvedThreads();
-  if (threads <= 1) {
-    std::vector<ShardMeter> meters(1, ShardMeter(options));
-    ShardMeter& meter = meters.front();
-    try {
-      domain.ForEachRange(0, grid, [&](std::uint64_t rank, InputView input) {
-        (void)rank;
-        if (meter.gate.ShouldStop()) {
-          return false;
-        }
-        ++meter.evaluated;
-        classes[policy.Image(input)].insert(signature_of(mechanism.Run(input)));
+  report.progress = SweepGrid(
+      domain, options, plan, [&](std::uint64_t shard, std::uint64_t rank, InputView input) {
+        LeakPoint point = eval(rank, input);
+        partials[shard][std::move(point.image)].insert(signature_of(point.outcome));
         return true;
       });
-      MergeMeters(meters, &report.progress);
-    } catch (const std::exception& e) {
-      MergeMeters(meters, &report.progress);
-      AbortProgress(&report.progress, e.what());
-    } catch (...) {
-      MergeMeters(meters, &report.progress);
-      AbortProgress(&report.progress, "unknown error");
-    }
-  } else {
-    const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
-    std::vector<std::map<PolicyImage, std::set<Signature>>> partials(num_shards);
-    CancelToken drain;
-    std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
-    try {
-      domain.ParallelForEach(
-          num_shards,
-          [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
-            (void)rank;
-            ShardMeter& meter = meters[shard];
-            if (meter.gate.ShouldStop()) {
-              return false;
-            }
-            ++meter.evaluated;
-            partials[shard][policy.Image(input)].insert(signature_of(mechanism.Run(input)));
-            return true;
-          },
-          threads, &drain);
-      MergeMeters(meters, &report.progress);
-    } catch (const std::exception& e) {
-      MergeMeters(meters, &report.progress);
-      AbortProgress(&report.progress, e.what());
-    } catch (...) {
-      MergeMeters(meters, &report.progress);
-      AbortProgress(&report.progress, "unknown error");
-    }
-    for (auto& shard : partials) {
-      for (auto& [image, signatures] : shard) {
-        classes[image].insert(signatures.begin(), signatures.end());
-      }
+
+  std::map<PolicyImage, std::set<Signature>> classes;
+  for (auto& shard : partials) {
+    for (auto& [image, signatures] : shard) {
+      classes[image].insert(signatures.begin(), signatures.end());
     }
   }
   report.policy_classes = classes.size();
@@ -106,6 +76,27 @@ LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolic
     report.max_leak_bits = std::log2(static_cast<double>(report.max_distinct_outcomes));
   }
   return report;
+}
+
+}  // namespace
+
+LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolicy& policy,
+                       const InputDomain& domain, Observability obs,
+                       const CheckOptions& options) {
+  return MeasureLeakImpl(domain, obs, options, [&](std::uint64_t, InputView input) {
+    // Braced initialization fixes the evaluation order: the policy image
+    // before the mechanism run, so an aborted run leaves the faulting
+    // point's class unrecorded under either order of the historical
+    // (indeterminately sequenced) formulation.
+    return LeakPoint{policy.Image(input), mechanism.Run(input)};
+  });
+}
+
+LeakReport MeasureLeak(const OutcomeTable& table, Observability obs,
+                       const CheckOptions& options) {
+  return MeasureLeakImpl(table.domain(), obs, options, [&](std::uint64_t rank, InputView) {
+    return LeakPoint{table.image(rank), table.outcome(rank)};
+  });
 }
 
 }  // namespace secpol

@@ -52,6 +52,14 @@ LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolic
                        const InputDomain& domain, Observability obs,
                        const CheckOptions& options = CheckOptions());
 
+class OutcomeTable;
+
+// The same measurement over a pre-built outcome table (complete, with
+// outcome and image columns). Byte-identical to the live overload on the
+// same grid.
+LeakReport MeasureLeak(const OutcomeTable& table, Observability obs,
+                       const CheckOptions& options = CheckOptions());
+
 }  // namespace secpol
 
 #endif  // SECPOL_SRC_CHANNELS_TIMING_H_

@@ -13,14 +13,21 @@ class Generator {
   SourceProgram Run(const std::string& name) {
     SourceProgram program;
     program.name = name;
+    // Built by append: GCC 12's -Wrestrict false-fires on the equivalent
+    // char* + std::string chains when inlined at -O3 (PR 105651).
+    auto numbered = [](const char* prefix, int i) {
+      std::string id = prefix;
+      id += std::to_string(i);
+      return id;
+    };
     for (int i = 0; i < config_.num_inputs; ++i) {
-      program.input_names.push_back("x" + std::to_string(i));
+      program.input_names.push_back(numbered("x", i));
     }
     for (int i = 0; i < config_.num_value_locals; ++i) {
-      program.local_names.push_back("r" + std::to_string(i));
+      program.local_names.push_back(numbered("r", i));
     }
     for (int i = 0; i < config_.num_counter_locals; ++i) {
-      program.local_names.push_back("c" + std::to_string(i));
+      program.local_names.push_back(numbered("c", i));
     }
     num_inputs_ = config_.num_inputs;
     first_counter_ = config_.num_inputs + config_.num_value_locals;

@@ -243,31 +243,61 @@ Expr Expr::MapVars(const std::function<int(int)>& remap) const {
 }
 
 std::string Expr::ToString(const std::function<std::string(int)>& var_name) const {
+  // Built by append throughout: GCC 12's -Wrestrict false-fires on
+  // char* + std::string chains when inlined at -O3 (PR 105651).
+  std::string out;
   switch (kind()) {
     case Kind::kConst:
       return std::to_string(node_->const_value);
     case Kind::kVar:
       return var_name(node_->var_id);
     case Kind::kUnary:
-      return UnaryOpName(node_->unary_op) + "(" + operand(0).ToString(var_name) + ")";
+      out = UnaryOpName(node_->unary_op);
+      out += "(";
+      out += operand(0).ToString(var_name);
+      out += ")";
+      return out;
     case Kind::kBinary: {
       const std::string op = BinaryOpName(node_->binary_op);
       if (node_->binary_op == BinaryOp::kMin || node_->binary_op == BinaryOp::kMax) {
-        return op + "(" + operand(0).ToString(var_name) + ", " + operand(1).ToString(var_name) +
-               ")";
+        out = op;
+        out += "(";
+        out += operand(0).ToString(var_name);
+        out += ", ";
+        out += operand(1).ToString(var_name);
+        out += ")";
+        return out;
       }
-      return "(" + operand(0).ToString(var_name) + " " + op + " " + operand(1).ToString(var_name) +
-             ")";
+      out = "(";
+      out += operand(0).ToString(var_name);
+      out += " ";
+      out += op;
+      out += " ";
+      out += operand(1).ToString(var_name);
+      out += ")";
+      return out;
     }
     case Kind::kSelect:
-      return "select(" + operand(0).ToString(var_name) + ", " + operand(1).ToString(var_name) +
-             ", " + operand(2).ToString(var_name) + ")";
+      out = "select(";
+      out += operand(0).ToString(var_name);
+      out += ", ";
+      out += operand(1).ToString(var_name);
+      out += ", ";
+      out += operand(2).ToString(var_name);
+      out += ")";
+      return out;
   }
   return "?";
 }
 
 std::string Expr::ToString() const {
-  return ToString([](int id) { return "v" + std::to_string(id); });
+  // Built by append: GCC 12's -Wrestrict false-fires on the equivalent
+  // char* + std::string chain when inlined at -O3 (PR 105651).
+  return ToString([](int id) {
+    std::string name = "v";
+    name += std::to_string(id);
+    return name;
+  });
 }
 
 void Expr::AppendFingerprint(Fingerprinter* fp) const {

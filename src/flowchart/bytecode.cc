@@ -257,41 +257,74 @@ ExecResult RunBytecode(const BytecodeProgram& bytecode, InputView input, StepCou
 }
 
 std::string BytecodeProgram::ToString() const {
-  std::string out = "bytecode (" + std::to_string(num_registers_) + " regs)\n";
+  // Built by append throughout: GCC 12's -Wrestrict false-fires on
+  // char* + std::string chains when inlined at -O3 (PR 105651).
+  std::string out = "bytecode (";
+  out += std::to_string(num_registers_);
+  out += " regs)\n";
   for (size_t i = 0; i < code_.size(); ++i) {
     const BcInst& inst = code_[i];
-    out += "  " + std::to_string(i) + ": ";
+    out += "  ";
+    out += std::to_string(i);
+    out += ": ";
     switch (inst.op) {
       case BcOp::kConst:
-        out += "r" + std::to_string(inst.dst) + " <- " + std::to_string(inst.imm);
+        out += "r";
+        out += std::to_string(inst.dst);
+        out += " <- ";
+        out += std::to_string(inst.imm);
         break;
       case BcOp::kMov:
-        out += "r" + std::to_string(inst.dst) + " <- r" + std::to_string(inst.a);
+        out += "r";
+        out += std::to_string(inst.dst);
+        out += " <- r";
+        out += std::to_string(inst.a);
         break;
       case BcOp::kUnary:
-        out += "r" + std::to_string(inst.dst) + " <- " + UnaryOpName(inst.unary_op) + " r" +
-               std::to_string(inst.a);
+        out += "r";
+        out += std::to_string(inst.dst);
+        out += " <- ";
+        out += UnaryOpName(inst.unary_op);
+        out += " r";
+        out += std::to_string(inst.a);
         break;
       case BcOp::kBinary:
-        out += "r" + std::to_string(inst.dst) + " <- r" + std::to_string(inst.a) + " " +
-               BinaryOpName(inst.binary_op) + " r" + std::to_string(inst.b);
+        out += "r";
+        out += std::to_string(inst.dst);
+        out += " <- r";
+        out += std::to_string(inst.a);
+        out += " ";
+        out += BinaryOpName(inst.binary_op);
+        out += " r";
+        out += std::to_string(inst.b);
         break;
       case BcOp::kSelect:
-        out += "r" + std::to_string(inst.dst) + " <- r" + std::to_string(inst.a) + " ? r" +
-               std::to_string(inst.b) + " : r" + std::to_string(inst.c);
+        out += "r";
+        out += std::to_string(inst.dst);
+        out += " <- r";
+        out += std::to_string(inst.a);
+        out += " ? r";
+        out += std::to_string(inst.b);
+        out += " : r";
+        out += std::to_string(inst.c);
         break;
       case BcOp::kJump:
-        out += "jump " + std::to_string(inst.target);
+        out += "jump ";
+        out += std::to_string(inst.target);
         break;
       case BcOp::kBranchZ:
-        out += "brz r" + std::to_string(inst.a) + ", " + std::to_string(inst.target);
+        out += "brz r";
+        out += std::to_string(inst.a);
+        out += ", ";
+        out += std::to_string(inst.target);
         break;
       case BcOp::kHalt:
         out += "halt";
         break;
     }
     if (inst.charges_step) {
-      out += "   ; box " + std::to_string(inst.source_box);
+      out += "   ; box ";
+      out += std::to_string(inst.source_box);
     }
     out += "\n";
   }

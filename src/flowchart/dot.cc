@@ -18,31 +18,65 @@ std::string EscapeLabel(const std::string& text) {
 }  // namespace
 
 std::string ProgramToDot(const Program& program) {
+  // Built by append throughout: GCC 12's -Wrestrict false-fires on
+  // char* + std::string chains when inlined at -O3 (PR 105651).
   auto name_of = [&program](int id) { return program.VarName(id); };
-  std::string out = "digraph \"" + EscapeLabel(program.name()) + "\" {\n";
+  std::string out = "digraph \"";
+  out += EscapeLabel(program.name());
+  out += "\" {\n";
   out += "  node [fontname=\"monospace\"];\n";
   for (int i = 0; i < program.num_boxes(); ++i) {
     const Box& box = program.box(i);
-    const std::string id = "b" + std::to_string(i);
+    std::string id = "b";
+    id += std::to_string(i);
     switch (box.kind) {
       case Box::Kind::kStart:
-        out += "  " + id + " [shape=oval, label=\"START\"];\n";
-        out += "  " + id + " -> b" + std::to_string(box.next) + ";\n";
+        out += "  ";
+        out += id;
+        out += " [shape=oval, label=\"START\"];\n";
+        out += "  ";
+        out += id;
+        out += " -> b";
+        out += std::to_string(box.next);
+        out += ";\n";
         break;
-      case Box::Kind::kAssign:
-        out += "  " + id + " [shape=box, label=\"" +
-               EscapeLabel(program.VarName(box.var) + " <- " + box.expr.ToString(name_of)) +
-               "\"];\n";
-        out += "  " + id + " -> b" + std::to_string(box.next) + ";\n";
+      case Box::Kind::kAssign: {
+        std::string label = program.VarName(box.var);
+        label += " <- ";
+        label += box.expr.ToString(name_of);
+        out += "  ";
+        out += id;
+        out += " [shape=box, label=\"";
+        out += EscapeLabel(label);
+        out += "\"];\n";
+        out += "  ";
+        out += id;
+        out += " -> b";
+        out += std::to_string(box.next);
+        out += ";\n";
         break;
+      }
       case Box::Kind::kDecision:
-        out += "  " + id + " [shape=diamond, label=\"" +
-               EscapeLabel(box.predicate.ToString(name_of)) + "\"];\n";
-        out += "  " + id + " -> b" + std::to_string(box.true_next) + " [label=\"T\"];\n";
-        out += "  " + id + " -> b" + std::to_string(box.false_next) + " [label=\"F\"];\n";
+        out += "  ";
+        out += id;
+        out += " [shape=diamond, label=\"";
+        out += EscapeLabel(box.predicate.ToString(name_of));
+        out += "\"];\n";
+        out += "  ";
+        out += id;
+        out += " -> b";
+        out += std::to_string(box.true_next);
+        out += " [label=\"T\"];\n";
+        out += "  ";
+        out += id;
+        out += " -> b";
+        out += std::to_string(box.false_next);
+        out += " [label=\"F\"];\n";
         break;
       case Box::Kind::kHalt:
-        out += "  " + id + " [shape=oval, label=\"HALT\"];\n";
+        out += "  ";
+        out += id;
+        out += " [shape=oval, label=\"HALT\"];\n";
         break;
     }
   }

@@ -43,9 +43,9 @@ std::string SourceProgram::VarName(int id) const {
   return "y";
 }
 
-int SourceProgram::FindVar(const std::string& name) const {
+int SourceProgram::FindVar(const std::string& var_name) const {
   for (int i = 0; i < num_vars(); ++i) {
-    if (VarName(i) == name) {
+    if (VarName(i) == var_name) {
       return i;
     }
   }

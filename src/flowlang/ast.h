@@ -67,7 +67,7 @@ struct SourceProgram {
   // Variable name by flowchart id.
   std::string VarName(int id) const;
   // Id of a named variable, or -1.
-  int FindVar(const std::string& name) const;
+  int FindVar(const std::string& var_name) const;
 
   // Pretty-prints back to flowlang source.
   std::string ToString() const;

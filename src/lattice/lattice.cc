@@ -106,11 +106,23 @@ std::vector<ClassId> ProductLattice::AllClasses() const {
 }
 
 std::string ProductLattice::ClassName(ClassId a) const {
-  return "(" + first_->ClassName(First(a)) + ", " + second_->ClassName(Second(a)) + ")";
+  // Built by append: GCC 12's -Wrestrict false-fires on the equivalent
+  // char* + std::string chain when inlined at -O3 (PR 105651).
+  std::string out = "(";
+  out += first_->ClassName(First(a));
+  out += ", ";
+  out += second_->ClassName(Second(a));
+  out += ")";
+  return out;
 }
 
 std::string ProductLattice::name() const {
-  return "product(" + first_->name() + ", " + second_->name() + ")";
+  std::string out = "product(";
+  out += first_->name();
+  out += ", ";
+  out += second_->name();
+  out += ")";
+  return out;
 }
 
 std::string CheckLatticeLaws(const SecurityLattice& lattice) {

@@ -1,10 +1,12 @@
 #include "src/mechanism/completeness.h"
 
 #include <cassert>
-#include <exception>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "src/mechanism/outcome_table.h"
+#include "src/mechanism/sweep.h"
 #include "src/util/strings.h"
 
 namespace secpol {
@@ -53,92 +55,41 @@ std::string CompletenessStats::ToString() const {
          " total=" + std::to_string(total) + "]";
 }
 
-CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
-                                      const ProtectionMechanism& m2,
-                                      const InputDomain& domain, const CheckOptions& options) {
-  assert(m1.num_inputs() == m2.num_inputs());
-  assert(m1.num_inputs() == domain.num_inputs());
+namespace {
 
-  const int threads = options.ResolvedThreads();
+struct CompletenessPoint {
+  bool v1 = false;
+  bool v2 = false;
+};
+
+// The completeness reducer: pure per-shard counters, merged by summation
+// (order-independent, so shard order needs no reconstruction).
+template <typename EvalFn>
+CompletenessStats CompareCompletenessImpl(const InputDomain& domain,
+                                          const CheckOptions& options, const EvalFn& eval) {
   const std::uint64_t grid = domain.size();
+  const SweepPlan plan = SweepPlan::For(options, grid);
+  std::vector<CompletenessStats> partials(plan.num_shards);
 
-  if (threads <= 1) {
-    CompletenessStats stats;
-    stats.progress.total = grid;
-    std::vector<ShardMeter> meters(1, ShardMeter(options));
-    ShardMeter& meter = meters.front();
-    try {
-      domain.ForEachRange(0, grid, [&](std::uint64_t rank, InputView input) {
-        (void)rank;
-        if (meter.gate.ShouldStop()) {
-          return false;
-        }
-        ++meter.evaluated;
-        ++stats.total;
-        const bool v1 = m1.Run(input).IsValue();
-        const bool v2 = m2.Run(input).IsValue();
-        if (v1 && v2) {
-          ++stats.both_value;
-        } else if (v1) {
-          ++stats.first_only;
-        } else if (v2) {
-          ++stats.second_only;
+  CompletenessStats stats;
+  stats.progress = SweepGrid(
+      domain, options, plan, [&](std::uint64_t shard, std::uint64_t rank, InputView input) {
+        CompletenessStats& partial = partials[shard];
+        ++partial.total;
+        const CompletenessPoint point = eval(rank, input);
+        if (point.v1 && point.v2) {
+          ++partial.both_value;
+        } else if (point.v1) {
+          ++partial.first_only;
+        } else if (point.v2) {
+          ++partial.second_only;
         } else {
-          ++stats.neither;
+          ++partial.neither;
         }
         return true;
       });
-      MergeMeters(meters, &stats.progress);
-    } catch (const std::exception& e) {
-      MergeMeters(meters, &stats.progress);
-      AbortProgress(&stats.progress, e.what());
-    } catch (...) {
-      MergeMeters(meters, &stats.progress);
-      AbortProgress(&stats.progress, "unknown error");
-    }
-    return stats;
-  }
-
-  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
-  std::vector<CompletenessStats> partials(num_shards);
-  CompletenessStats stats;
   stats.progress.total = grid;
-  CancelToken drain;
-  std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
-  try {
-    domain.ParallelForEach(
-        num_shards,
-        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
-          (void)rank;
-          ShardMeter& meter = meters[shard];
-          if (meter.gate.ShouldStop()) {
-            return false;
-          }
-          ++meter.evaluated;
-          CompletenessStats& partial = partials[shard];
-          ++partial.total;
-          const bool v1 = m1.Run(input).IsValue();
-          const bool v2 = m2.Run(input).IsValue();
-          if (v1 && v2) {
-            ++partial.both_value;
-          } else if (v1) {
-            ++partial.first_only;
-          } else if (v2) {
-            ++partial.second_only;
-          } else {
-            ++partial.neither;
-          }
-          return true;
-        },
-        threads, &drain);
-    MergeMeters(meters, &stats.progress);
-  } catch (const std::exception& e) {
-    MergeMeters(meters, &stats.progress);
-    AbortProgress(&stats.progress, e.what());
-  } catch (...) {
-    MergeMeters(meters, &stats.progress);
-    AbortProgress(&stats.progress, "unknown error");
-  }
+
   for (const CompletenessStats& partial : partials) {
     stats.total += partial.total;
     stats.both_value += partial.both_value;
@@ -147,6 +98,27 @@ CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
     stats.neither += partial.neither;
   }
   return stats;
+}
+
+}  // namespace
+
+CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
+                                      const ProtectionMechanism& m2,
+                                      const InputDomain& domain, const CheckOptions& options) {
+  assert(m1.num_inputs() == m2.num_inputs());
+  assert(m1.num_inputs() == domain.num_inputs());
+  return CompareCompletenessImpl(domain, options, [&](std::uint64_t, InputView input) {
+    // Braced initialization fixes the historical order: M1 before M2.
+    return CompletenessPoint{m1.Run(input).IsValue(), m2.Run(input).IsValue()};
+  });
+}
+
+CompletenessStats CompareCompleteness(const OutcomeTable& table, const CheckOptions& options) {
+  assert(table.complete());
+  assert(table.has_outcomes() && table.has_outcomes2());
+  return CompareCompletenessImpl(table.domain(), options, [&](std::uint64_t rank, InputView) {
+    return CompletenessPoint{table.outcome(rank).IsValue(), table.outcome2(rank).IsValue()};
+  });
 }
 
 double MeasureUtility(const ProtectionMechanism& m, const InputDomain& domain,

@@ -58,6 +58,14 @@ CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
                                       const InputDomain& domain,
                                       const CheckOptions& options = CheckOptions());
 
+class OutcomeTable;
+
+// The same comparison over a pre-built outcome table holding both mechanisms'
+// outcomes (complete, with outcome and outcome2 columns). Byte-identical to
+// the live overload on the same grid.
+CompletenessStats CompareCompleteness(const OutcomeTable& table,
+                                      const CheckOptions& options = CheckOptions());
+
 // Fraction of the domain on which `m` returns a real value (its usefulness;
 // the plug scores 0, the bare program scores 1). Ignores options.deadline —
 // a partial utility fraction would be misleading; a throwing mechanism

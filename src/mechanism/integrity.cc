@@ -1,15 +1,15 @@
 #include "src/mechanism/integrity.h"
 
-#include <atomic>
 #include <cassert>
-#include <exception>
+#include <cstdint>
 #include <map>
-#include <optional>
 #include <set>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "src/mechanism/outcome_table.h"
+#include "src/mechanism/sweep.h"
 #include "src/util/strings.h"
 
 namespace secpol {
@@ -46,187 +46,56 @@ Signature SignatureOf(const Outcome& outcome, Observability obs) {
                    obs == Observability::kValueAndTime ? outcome.steps : 0};
 }
 
-IntegrityReport CheckPreservationSerial(const ProtectionMechanism& mechanism,
-                                        const SecurityPolicy& required,
-                                        const InputDomain& domain, Observability obs,
-                                        const CheckOptions& options) {
-  IntegrityReport report;
-  report.preserved = true;
-  report.progress.total = domain.size();
-
-  std::vector<ShardMeter> meters(1, ShardMeter(options));
-  ShardMeter& meter = meters.front();
-
-  // First input observed per outcome signature, with its required image.
-  std::map<Signature, std::pair<Input, PolicyImage>> seen;
-  std::set<PolicyImage> classes;
-
-  try {
-    domain.ForEachRange(0, report.progress.total, [&](std::uint64_t rank, InputView input) {
-      (void)rank;
-      if (meter.gate.ShouldStop()) {
-        return false;
-      }
-      ++meter.evaluated;
-      ++report.inputs_checked;
-      PolicyImage image = required.Image(input);
-      classes.insert(image);
-      const Outcome outcome = mechanism.Run(input);
-      const Signature sig = SignatureOf(outcome, obs);
-      auto [it, inserted] =
-          seen.try_emplace(sig, Input(input.begin(), input.end()), image);
-      if (inserted) {
-        return true;
-      }
-      if (it->second.second != image) {
-        report.preserved = false;
-        IntegrityCounterexample cx;
-        cx.input_a = it->second.first;
-        cx.input_b = Input(input.begin(), input.end());
-        cx.outcome = outcome;
-        report.counterexample = std::move(cx);
-        return false;  // the serial scan stops at the first witness
-      }
-      return true;
-    });
-    MergeMeters(meters, &report.progress);
-  } catch (const std::exception& e) {
-    MergeMeters(meters, &report.progress);
-    AbortProgress(&report.progress, e.what());
-  } catch (...) {
-    MergeMeters(meters, &report.progress);
-    AbortProgress(&report.progress, "unknown error");
-  }
-
-  report.required_classes = classes.size();
-  if (!report.progress.complete() && !report.counterexample.has_value()) {
-    report.preserved = false;  // fail closed
-  }
-  return report;
-}
-
-// One occurrence of a signature: its global grid rank, the tuple, its
-// required image, and the concrete outcome (the report prints the witness's
-// own outcome, which may differ from the representative's in unobserved
-// fields such as the notice text).
-struct Occurrence {
-  std::uint64_t rank = 0;
-  Input input;
+// What the reducer keeps per signature occurrence: the required image (what
+// divergence is judged on) and the concrete outcome (the report prints the
+// witness's own outcome, which may differ from the representative's in
+// unobserved fields such as the notice text).
+struct IntegrityMark {
   PolicyImage image;
   Outcome outcome;
 };
 
-// Per shard, per signature: the first occurrence, and the first occurrence
-// whose required image differs from it. Image equality is an equivalence
-// relation, so these two suffice to find the first occurrence differing from
-// any reference image.
-struct SigPartial {
-  Occurrence first;
-  std::optional<Occurrence> divergent;
-};
-
-IntegrityReport CheckPreservationParallel(const ProtectionMechanism& mechanism,
-                                          const SecurityPolicy& required,
-                                          const InputDomain& domain, Observability obs,
-                                          int threads, const CheckOptions& options) {
+// The preservation reducer over the sweep kernel, grouping points by
+// observable signature and hunting the first occurrence whose required image
+// differs from its signature's representative. The image and the outcome are
+// evaluated by separate callables because the serial contract records the
+// point's required image (for required_classes) before the mechanism runs —
+// an aborted run still counts the faulting point's class.
+template <typename ImageFn, typename OutcomeFn>
+IntegrityReport CheckPreservationImpl(const InputDomain& domain, Observability obs,
+                                      const CheckOptions& options, const ImageFn& eval_image,
+                                      const OutcomeFn& eval_outcome) {
+  IntegrityReport report;
   const std::uint64_t grid = domain.size();
-  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
-  std::vector<std::map<Signature, SigPartial>> partials(num_shards);
+  const SweepPlan plan = SweepPlan::For(options, grid);
+  SweepClassShards<Signature, IntegrityMark> partials(plan.num_shards);
   // First rank at which each required image occurs, per shard (for the
   // required_classes count, which in the serial scan includes the witness's
   // own — possibly new — image).
-  std::vector<std::map<PolicyImage, std::uint64_t>> image_firsts(num_shards);
+  std::vector<std::map<PolicyImage, std::uint64_t>> image_firsts(plan.num_shards);
+  ConflictBound bound;
+  const auto diverges = [](const IntegrityMark& a, const IntegrityMark& b) {
+    return a.image != b.image;
+  };
 
-  IntegrityReport report;
-  report.progress.total = grid;
-
-  CancelToken drain;
-  std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
-
-  // As in the soundness checker: two different images under one signature at
-  // ranks i1 < i2 guarantee a counterexample at rank <= i2.
-  std::atomic<std::uint64_t> conflict_bound{UINT64_MAX};
-
-  const auto sweep = [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
-        ShardMeter& meter = meters[shard];
-        if (meter.gate.ShouldStop()) {
-          return false;
-        }
-        if (rank > conflict_bound.load(std::memory_order_relaxed)) {
-          return false;
-        }
-        ++meter.evaluated;
-        PolicyImage image = required.Image(input);
+  report.progress = SweepGrid(
+      domain, options, plan,
+      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+        PolicyImage image = eval_image(rank, input);
         image_firsts[shard].try_emplace(image, rank);
-        const Outcome outcome = mechanism.Run(input);
+        Outcome outcome = eval_outcome(rank, input);
         const Signature sig = SignatureOf(outcome, obs);
-        auto [it, inserted] = partials[shard].try_emplace(sig);
-        SigPartial& partial = it->second;
-        if (inserted) {
-          partial.first =
-              Occurrence{rank, Input(input.begin(), input.end()), std::move(image), outcome};
-          return true;
-        }
-        if (!partial.divergent.has_value() && partial.first.image != image) {
-          partial.divergent =
-              Occurrence{rank, Input(input.begin(), input.end()), std::move(image), outcome};
-          std::uint64_t prev = conflict_bound.load(std::memory_order_relaxed);
-          while (rank < prev &&
-                 !conflict_bound.compare_exchange_weak(prev, rank, std::memory_order_relaxed)) {
-          }
-        }
+        RecordOccurrence(partials[shard], bound, rank, input, sig,
+                        IntegrityMark{std::move(image), std::move(outcome)}, diverges);
         return true;
-      };
+      },
+      [&](std::uint64_t rank) { return bound.Excludes(rank); });
 
-  try {
-    domain.ParallelForEach(num_shards, sweep, threads, &drain);
-    MergeMeters(meters, &report.progress);
-  } catch (const std::exception& e) {
-    MergeMeters(meters, &report.progress);
-    AbortProgress(&report.progress, e.what());
-  } catch (...) {
-    MergeMeters(meters, &report.progress);
-    AbortProgress(&report.progress, "unknown error");
-  }
+  std::map<Signature, const SweepOccurrence<IntegrityMark>*> global_first;
+  const SweepWitness<IntegrityMark> witness =
+      MergeFirstWitness(partials, &global_first, diverges);
 
-  // Global representative per signature: its lowest-rank occurrence.
-  std::map<Signature, const Occurrence*> global_first;
-  for (const auto& shard : partials) {
-    for (const auto& [sig, partial] : shard) {
-      auto [it, inserted] = global_first.try_emplace(sig, &partial.first);
-      if (!inserted && partial.first.rank < it->second->rank) {
-        it->second = &partial.first;
-      }
-    }
-  }
-
-  // The serial counterexample is the minimum-rank occurrence whose image
-  // differs from its signature's representative image.
-  std::uint64_t best_rank = UINT64_MAX;
-  const Occurrence* best_rep = nullptr;
-  const Occurrence* best_witness = nullptr;
-  for (const auto& [sig, rep] : global_first) {
-    for (const auto& shard : partials) {
-      const auto it = shard.find(sig);
-      if (it == shard.end()) {
-        continue;
-      }
-      const SigPartial& partial = it->second;
-      const Occurrence* candidate = nullptr;
-      if (partial.first.rank != rep->rank && partial.first.image != rep->image) {
-        candidate = &partial.first;
-      } else if (partial.divergent.has_value() && partial.divergent->image != rep->image) {
-        candidate = &*partial.divergent;
-      }
-      if (candidate != nullptr && candidate->rank < best_rank) {
-        best_rank = candidate->rank;
-        best_rep = rep;
-        best_witness = candidate;
-      }
-    }
-  }
-
-  if (best_witness == nullptr) {
+  if (!witness.found()) {
     std::set<PolicyImage> classes;
     for (const auto& shard : image_firsts) {
       for (const auto& [image, rank] : shard) {
@@ -244,8 +113,9 @@ IntegrityReport CheckPreservationParallel(const ProtectionMechanism& mechanism,
     }
     return report;
   }
+
   report.preserved = false;
-  report.inputs_checked = best_rank + 1;
+  report.inputs_checked = witness.rank() + 1;
   std::map<PolicyImage, std::uint64_t> class_firsts;
   for (const auto& shard : image_firsts) {
     for (const auto& [image, rank] : shard) {
@@ -257,14 +127,14 @@ IntegrityReport CheckPreservationParallel(const ProtectionMechanism& mechanism,
   }
   for (const auto& [image, rank] : class_firsts) {
     (void)image;
-    if (rank <= best_rank) {
+    if (rank <= witness.rank()) {
       ++report.required_classes;
     }
   }
   IntegrityCounterexample cx;
-  cx.input_a = best_rep->input;
-  cx.input_b = best_witness->input;
-  cx.outcome = best_witness->outcome;
+  cx.input_a = witness.rep->input;
+  cx.input_b = witness.witness->input;
+  cx.outcome = witness.witness->payload.outcome;
   report.counterexample = std::move(cx);
   return report;
 }
@@ -277,11 +147,20 @@ IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanis
                                              const CheckOptions& options) {
   assert(mechanism.num_inputs() == required.num_inputs());
   assert(mechanism.num_inputs() == domain.num_inputs());
-  const int threads = options.ResolvedThreads();
-  if (threads <= 1) {
-    return CheckPreservationSerial(mechanism, required, domain, obs, options);
-  }
-  return CheckPreservationParallel(mechanism, required, domain, obs, threads, options);
+  return CheckPreservationImpl(
+      domain, obs, options,
+      [&](std::uint64_t, InputView input) { return required.Image(input); },
+      [&](std::uint64_t, InputView input) { return mechanism.Run(input); });
+}
+
+IntegrityReport CheckInformationPreservation(const OutcomeTable& table, Observability obs,
+                                             const CheckOptions& options) {
+  assert(table.complete());
+  assert(table.has_outcomes() && table.has_images());
+  return CheckPreservationImpl(
+      table.domain(), obs, options,
+      [&](std::uint64_t rank, InputView) { return table.image(rank); },
+      [&](std::uint64_t rank, InputView) { return table.outcome(rank); });
 }
 
 }  // namespace secpol

@@ -69,6 +69,14 @@ IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanis
                                              const InputDomain& domain, Observability obs,
                                              const CheckOptions& options = CheckOptions());
 
+class OutcomeTable;
+
+// The same check over a pre-built outcome table (complete, with outcome and
+// image columns; the table's primary policy plays the `required` role).
+// Byte-identical to the live overload on the same grid.
+IntegrityReport CheckInformationPreservation(const OutcomeTable& table, Observability obs,
+                                             const CheckOptions& options = CheckOptions());
+
 }  // namespace secpol
 
 #endif  // SECPOL_SRC_MECHANISM_INTEGRITY_H_

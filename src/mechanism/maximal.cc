@@ -1,112 +1,69 @@
 #include "src/mechanism/maximal.h"
 
 #include <cassert>
+#include <cstdint>
 #include <exception>
 #include <iterator>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "src/mechanism/outcome_table.h"
+#include "src/mechanism/sweep.h"
 
 namespace secpol {
 
 namespace {
 
+// A class member with the rank it was tabulated at; the rank lets the
+// table-backed synthesis replay outcomes without re-running Q.
+struct Member {
+  Input input;
+  std::uint64_t rank = 0;
+};
+
 struct ClassInfo {
-  std::vector<Input> members;
+  std::vector<Member> members;
   Outcome first_outcome;
   bool constant = true;
 };
 
-// Tabulates one shard. Shard ranges are contiguous and increasing, so
-// concatenating per-shard member lists in shard order reproduces the
-// lexicographic member order of the serial tabulation, and a class is
-// constant globally iff every shard is internally constant and every
-// shard's first outcome observably equals the class's global first.
-std::map<PolicyImage, ClassInfo> TabulateClasses(const ProtectionMechanism& q,
-                                                 const SecurityPolicy& policy,
-                                                 const InputDomain& domain, Observability obs,
-                                                 const CheckOptions& options,
-                                                 std::uint64_t* inputs,
-                                                 CheckProgress* progress) {
-  const int threads = options.ResolvedThreads();
-  const std::uint64_t grid = domain.size();
-  progress->total = grid;
+struct MaximalPoint {
+  Outcome outcome;
+  PolicyImage image;
+};
 
-  if (threads <= 1) {
-    std::map<PolicyImage, ClassInfo> classes;
-    std::vector<ShardMeter> meters(1, ShardMeter(options));
-    ShardMeter& meter = meters.front();
-    try {
-      domain.ForEachRange(0, grid, [&](std::uint64_t rank, InputView input) {
-        (void)rank;
-        if (meter.gate.ShouldStop()) {
-          return false;
-        }
-        ++meter.evaluated;
-        Outcome outcome = q.Run(input);
-        PolicyImage image = policy.Image(input);
-        auto [it, inserted] = classes.try_emplace(std::move(image));
+// The tabulation reducer over the sweep kernel. Shard ranges are contiguous
+// and increasing, so concatenating per-shard member lists in shard order
+// reproduces the lexicographic member order of the serial tabulation, and a
+// class is constant globally iff every shard is internally constant and
+// every shard's first outcome observably equals the class's global first.
+template <typename EvalFn>
+std::map<PolicyImage, ClassInfo> TabulateClasses(const InputDomain& domain, Observability obs,
+                                                 const CheckOptions& options,
+                                                 const EvalFn& eval, CheckProgress* progress) {
+  const std::uint64_t grid = domain.size();
+  const SweepPlan plan = SweepPlan::For(options, grid);
+  std::vector<std::map<PolicyImage, ClassInfo>> partials(plan.num_shards);
+
+  *progress = SweepGrid(
+      domain, options, plan, [&](std::uint64_t shard, std::uint64_t rank, InputView input) {
+        MaximalPoint point = eval(rank, input);
+        auto [it, inserted] = partials[shard].try_emplace(std::move(point.image));
         ClassInfo& info = it->second;
         if (inserted) {
-          info.first_outcome = outcome;
-        } else if (info.constant && !info.first_outcome.ObservablyEquals(outcome, obs)) {
+          info.first_outcome = std::move(point.outcome);
+        } else if (info.constant && !info.first_outcome.ObservablyEquals(point.outcome, obs)) {
           info.constant = false;
         }
-        info.members.emplace_back(input.begin(), input.end());
+        info.members.push_back(Member{Input(input.begin(), input.end()), rank});
         return true;
       });
-      MergeMeters(meters, progress);
-    } catch (const std::exception& e) {
-      MergeMeters(meters, progress);
-      AbortProgress(progress, e.what());
-    } catch (...) {
-      MergeMeters(meters, progress);
-      AbortProgress(progress, "unknown error");
-    }
-    *inputs += meter.evaluated;
-    return classes;
-  }
-
-  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
-  std::vector<std::map<PolicyImage, ClassInfo>> partials(num_shards);
-  CancelToken drain;
-  std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
-  try {
-    domain.ParallelForEach(
-        num_shards,
-        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
-          (void)rank;
-          ShardMeter& meter = meters[shard];
-          if (meter.gate.ShouldStop()) {
-            return false;
-          }
-          ++meter.evaluated;
-          Outcome outcome = q.Run(input);
-          PolicyImage image = policy.Image(input);
-          auto [it, inserted] = partials[shard].try_emplace(std::move(image));
-          ClassInfo& info = it->second;
-          if (inserted) {
-            info.first_outcome = outcome;
-          } else if (info.constant && !info.first_outcome.ObservablyEquals(outcome, obs)) {
-            info.constant = false;
-          }
-          info.members.emplace_back(input.begin(), input.end());
-          return true;
-        },
-        threads, &drain);
-    MergeMeters(meters, progress);
-  } catch (const std::exception& e) {
-    MergeMeters(meters, progress);
-    AbortProgress(progress, e.what());
-  } catch (...) {
-    MergeMeters(meters, progress);
-    AbortProgress(progress, "unknown error");
-  }
 
   std::map<PolicyImage, ClassInfo> classes;
-  for (std::uint64_t shard = 0; shard < num_shards; ++shard) {
-    *inputs += meters[shard].evaluated;
-    for (auto& [image, partial] : partials[shard]) {
+  for (auto& shard : partials) {
+    for (auto& [image, partial] : shard) {
       auto [it, inserted] = classes.try_emplace(image);
       ClassInfo& info = it->second;
       if (inserted) {
@@ -126,18 +83,16 @@ std::map<PolicyImage, ClassInfo> TabulateClasses(const ProtectionMechanism& q,
   return classes;
 }
 
-}  // namespace
-
-MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
-                                            const SecurityPolicy& policy,
-                                            const InputDomain& domain, Observability obs,
-                                            const CheckOptions& options) {
-  assert(q.num_inputs() == policy.num_inputs());
-  assert(q.num_inputs() == domain.num_inputs());
-
+// Shared synthesis tail: builds the table mechanism from a completed
+// tabulation, replaying each released member's outcome via `replay`.
+template <typename EvalFn, typename ReplayFn>
+MaximalSynthesis SynthesizeImpl(const InputDomain& domain, Observability obs,
+                                const CheckOptions& options, const std::string& q_name,
+                                int num_inputs, const EvalFn& eval, const ReplayFn& replay) {
   MaximalSynthesis result;
-  std::map<PolicyImage, ClassInfo> classes = TabulateClasses(
-      q, policy, domain, obs, options, &result.inputs, &result.progress);
+  std::map<PolicyImage, ClassInfo> classes =
+      TabulateClasses(domain, obs, options, eval, &result.progress);
+  result.inputs = result.progress.evaluated;
 
   result.policy_classes = classes.size();
   if (!result.progress.complete()) {
@@ -146,17 +101,17 @@ MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
     return result;
   }
 
-  auto table = std::make_shared<TableMechanism>("maximal(" + q.name() + ")", q.num_inputs());
+  auto table = std::make_shared<TableMechanism>("maximal(" + q_name + ")", num_inputs);
   try {
     for (auto& [image, info] : classes) {
       (void)image;
       if (info.constant) {
         ++result.released_classes;
       }
-      for (Input& member : info.members) {
+      for (Member& member : info.members) {
         // Replaying Q preserves both value and steps for the released class.
-        Outcome outcome = info.constant ? q.Run(member) : Outcome::Violation(0);
-        table->Set(std::move(member), std::move(outcome));
+        Outcome outcome = info.constant ? replay(member) : Outcome::Violation(0);
+        table->Set(std::move(member.input), std::move(outcome));
       }
     }
   } catch (const std::exception& e) {
@@ -170,6 +125,36 @@ MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
   }
   result.mechanism = std::move(table);
   return result;
+}
+
+}  // namespace
+
+MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
+                                            const SecurityPolicy& policy,
+                                            const InputDomain& domain, Observability obs,
+                                            const CheckOptions& options) {
+  assert(q.num_inputs() == policy.num_inputs());
+  assert(q.num_inputs() == domain.num_inputs());
+  return SynthesizeImpl(
+      domain, obs, options, q.name(), q.num_inputs(),
+      [&](std::uint64_t, InputView input) {
+        // Braced initialization fixes the historical order: Q's run before
+        // the policy image.
+        return MaximalPoint{q.Run(input), policy.Image(input)};
+      },
+      [&](const Member& member) { return q.Run(member.input); });
+}
+
+MaximalSynthesis SynthesizeMaximalMechanism(const OutcomeTable& table, Observability obs,
+                                            const CheckOptions& options) {
+  assert(table.complete());
+  assert(table.has_outcomes() && table.has_images());
+  return SynthesizeImpl(
+      table.domain(), obs, options, table.mechanism_name(), table.domain().num_inputs(),
+      [&](std::uint64_t rank, InputView) {
+        return MaximalPoint{table.outcome(rank), table.image(rank)};
+      },
+      [&](const Member& member) { return table.outcome(member.rank); });
 }
 
 }  // namespace secpol

@@ -51,6 +51,15 @@ MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
                                             const InputDomain& domain, Observability obs,
                                             const CheckOptions& options = CheckOptions());
 
+class OutcomeTable;
+
+// The same synthesis over a pre-built outcome table (complete, with outcome
+// and image columns): the tabulation reads the table, and released-class
+// outcomes replay from it by rank instead of re-running Q. Byte-identical to
+// the live overload on the same grid.
+MaximalSynthesis SynthesizeMaximalMechanism(const OutcomeTable& table, Observability obs,
+                                            const CheckOptions& options = CheckOptions());
+
 }  // namespace secpol
 
 #endif  // SECPOL_SRC_MECHANISM_MAXIMAL_H_

@@ -1,0 +1,75 @@
+#include "src/mechanism/outcome_table.h"
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/mechanism/sweep.h"
+
+namespace secpol {
+
+OutcomeTable BuildOutcomeTable(const OutcomeTableSources& sources, const InputDomain& domain,
+                               const CheckOptions& options) {
+  assert(sources.mechanism != nullptr);
+  OutcomeTable table(domain);
+  table.mechanism_name_ = sources.mechanism->name();
+  if (sources.mechanism2 != nullptr) {
+    table.mechanism2_name_ = sources.mechanism2->name();
+  }
+  if (sources.policy != nullptr) {
+    table.policy_name_ = sources.policy->name();
+  }
+  if (sources.policy2 != nullptr) {
+    table.policy2_name_ = sources.policy2->name();
+  }
+
+  const std::optional<std::uint64_t> grid = domain.CheckedSize();
+  if (!grid.has_value() || *grid > OutcomeTable::kMaxPoints) {
+    table.build_.total = domain.size();
+    AbortProgress(&table.build_, "grid too large to tabulate (cap " +
+                                     std::to_string(OutcomeTable::kMaxPoints) +
+                                     " points); fall back to live checkers");
+    return table;
+  }
+
+  const std::uint64_t points = *grid;
+  table.outcomes_.resize(points);
+  if (sources.mechanism2 != nullptr) {
+    table.outcomes2_.resize(points);
+  }
+  if (sources.policy != nullptr) {
+    table.images_.resize(points);
+  }
+  if (sources.policy2 != nullptr) {
+    table.images2_.resize(points);
+  }
+
+  const SweepPlan plan = SweepPlan::For(options, points);
+  table.build_ = SweepGrid(
+      domain, options, plan, [&](std::uint64_t shard, std::uint64_t rank, InputView input) {
+        (void)shard;
+        table.outcomes_[rank] = sources.mechanism->Run(input);
+        if (sources.mechanism2 != nullptr) {
+          table.outcomes2_[rank] = sources.mechanism2->Run(input);
+        }
+        if (sources.policy != nullptr) {
+          table.images_[rank] = sources.policy->Image(input);
+        }
+        if (sources.policy2 != nullptr) {
+          table.images2_[rank] = sources.policy2->Image(input);
+        }
+        return true;
+      });
+
+  if (!table.build_.complete()) {
+    // Release the partial columns: an incomplete table may not be consumed.
+    table.outcomes_.clear();
+    table.outcomes2_.clear();
+    table.images_.clear();
+    table.images2_.clear();
+  }
+  return table;
+}
+
+}  // namespace secpol

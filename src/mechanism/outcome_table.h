@@ -1,0 +1,104 @@
+// Shared, rank-indexed outcome tables — evaluate once, check many times.
+//
+// Every extensional checker consumes some subset of the same four per-point
+// functions: M(d), a second mechanism's M2(d), the policy image I(d), and a
+// second policy's image. An OutcomeTable tabulates the requested columns in
+// ONE kernel sweep over the grid and serves them back by rank, so an audit
+// running all six checks over one (mechanism, policy, grid) pays for each
+// mechanism evaluation exactly once instead of up to six times.
+//
+// Sharing preserves the determinism contracts: the table is keyed by the
+// grid's canonical lexicographic rank — the same order every checker's
+// serial scan uses — and a checker fed from a *complete* table performs the
+// identical reduction over identical per-point values, so its report is
+// byte-for-byte the one the live sweep produces. An incomplete build
+// (deadline, cancel, fault) is never consumed: consumers fail closed on the
+// build's CheckProgress instead, because a partial table cannot distinguish
+// "not evaluated" from "not reached".
+
+#ifndef SECPOL_SRC_MECHANISM_OUTCOME_TABLE_H_
+#define SECPOL_SRC_MECHANISM_OUTCOME_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mechanism/check_options.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/outcome.h"
+#include "src/policy/policy.h"
+
+namespace secpol {
+
+// Which per-point functions to tabulate. `mechanism` is required; the rest
+// are optional columns.
+struct OutcomeTableSources {
+  const ProtectionMechanism* mechanism = nullptr;
+  const ProtectionMechanism* mechanism2 = nullptr;
+  const SecurityPolicy* policy = nullptr;
+  const SecurityPolicy* policy2 = nullptr;
+};
+
+class OutcomeTable {
+ public:
+  // Largest grid a table will materialize. Beyond this the memory cost of
+  // the columns outweighs re-evaluation; builders refuse (status kAborted
+  // with an explanatory message) and callers fall back to live sweeps.
+  static constexpr std::uint64_t kMaxPoints = std::uint64_t{1} << 21;
+
+  const InputDomain& domain() const { return domain_; }
+
+  // How the building sweep ended. Column accessors may only be used when
+  // complete() — a partial table is only good for its progress.
+  const CheckProgress& build() const { return build_; }
+  bool complete() const { return build_.complete(); }
+
+  bool has_outcomes() const { return !outcomes_.empty(); }
+  bool has_outcomes2() const { return !outcomes2_.empty(); }
+  bool has_images() const { return !images_.empty(); }
+  bool has_images2() const { return !images2_.empty(); }
+
+  const Outcome& outcome(std::uint64_t rank) const { return outcomes_[rank]; }
+  const Outcome& outcome2(std::uint64_t rank) const { return outcomes2_[rank]; }
+  const PolicyImage& image(std::uint64_t rank) const { return images_[rank]; }
+  const PolicyImage& image2(std::uint64_t rank) const { return images2_[rank]; }
+
+  // Source names, captured at build time so table-backed reductions can
+  // label their results exactly as the live ones do.
+  const std::string& mechanism_name() const { return mechanism_name_; }
+  const std::string& mechanism2_name() const { return mechanism2_name_; }
+  const std::string& policy_name() const { return policy_name_; }
+  const std::string& policy2_name() const { return policy2_name_; }
+
+ private:
+  friend OutcomeTable BuildOutcomeTable(const OutcomeTableSources& sources,
+                                        const InputDomain& domain,
+                                        const CheckOptions& options);
+
+  explicit OutcomeTable(InputDomain domain) : domain_(std::move(domain)) {}
+
+  InputDomain domain_;
+  CheckProgress build_;
+  std::vector<Outcome> outcomes_;
+  std::vector<Outcome> outcomes2_;
+  std::vector<PolicyImage> images_;
+  std::vector<PolicyImage> images2_;
+  std::string mechanism_name_;
+  std::string mechanism2_name_;
+  std::string policy_name_;
+  std::string policy2_name_;
+};
+
+// Tabulates the requested columns in one kernel sweep under `options`
+// (threads, deadline, cancellation all honoured; a throwing source surfaces
+// as build().status == kAborted, exactly like a live checker). Per point the
+// evaluation order is fixed: mechanism, mechanism2, policy, policy2.
+// Rank-disjoint shards write disjoint column slots, so the parallel build
+// needs no synchronization beyond the kernel's own.
+OutcomeTable BuildOutcomeTable(const OutcomeTableSources& sources, const InputDomain& domain,
+                               const CheckOptions& options = CheckOptions());
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_OUTCOME_TABLE_H_

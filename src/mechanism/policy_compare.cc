@@ -2,9 +2,13 @@
 
 #include <atomic>
 #include <cassert>
-#include <exception>
+#include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
+
+#include "src/mechanism/outcome_table.h"
+#include "src/mechanism/sweep.h"
 
 namespace secpol {
 
@@ -18,88 +22,42 @@ std::string PolicyCompareReport::ToString() const {
   return "UNKNOWN [" + progress.ToString() + "]";
 }
 
-PolicyCompareReport ComparePolicyDisclosure(const SecurityPolicy& p, const SecurityPolicy& q,
-                                            const InputDomain& domain,
-                                            const CheckOptions& options) {
-  assert(p.num_inputs() == q.num_inputs());
-  assert(p.num_inputs() == domain.num_inputs());
+namespace {
 
+struct ComparePoint {
+  PolicyImage q_image;
+  PolicyImage p_image;
+};
+
+// The disclosure-order reducer: a functional-dependency check — each q-image
+// must map to a single p-image. An in-shard violation decides the verdict
+// immediately (every shard stops at the next poll of `functional`); a
+// cross-shard disagreement is caught by the merge.
+template <typename EvalFn>
+PolicyCompareReport ComparePolicyDisclosureImpl(const InputDomain& domain,
+                                                const CheckOptions& options,
+                                                const EvalFn& eval) {
   PolicyCompareReport report;
   const std::uint64_t grid = domain.size();
-  report.progress.total = grid;
+  const SweepPlan plan = SweepPlan::For(options, grid);
+  std::vector<std::map<PolicyImage, PolicyImage>> partials(plan.num_shards);
+  std::atomic<bool> functional{true};
 
-  const int threads = options.ResolvedThreads();
-  if (threads <= 1) {
-    // Functional dependency check: each q-image must map to a single p-image.
-    std::map<PolicyImage, PolicyImage> q_to_p;
-    bool functional = true;
-    std::vector<ShardMeter> meters(1, ShardMeter(options));
-    ShardMeter& meter = meters.front();
-    try {
-      domain.ForEachRange(0, grid, [&](std::uint64_t rank, InputView input) {
-        (void)rank;
-        if (meter.gate.ShouldStop()) {
-          return false;
-        }
-        ++meter.evaluated;
-        PolicyImage q_image = q.Image(input);
-        PolicyImage p_image = p.Image(input);
-        auto [it, inserted] = q_to_p.try_emplace(std::move(q_image), std::move(p_image));
-        if (!inserted && it->second != p.Image(input)) {
-          functional = false;
+  report.progress = SweepGrid(
+      domain, options, plan,
+      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+        ComparePoint point = eval(rank, input);
+        auto [it, inserted] = partials[shard].try_emplace(std::move(point.q_image),
+                                                          std::move(point.p_image));
+        // try_emplace leaves its arguments untouched when the key already
+        // exists, so point.p_image is still the point's own image here.
+        if (!inserted && it->second != point.p_image) {
+          functional.store(false, std::memory_order_relaxed);
           return false;  // first violation decides the verdict
         }
         return true;
-      });
-      MergeMeters(meters, &report.progress);
-    } catch (const std::exception& e) {
-      MergeMeters(meters, &report.progress);
-      AbortProgress(&report.progress, e.what());
-    } catch (...) {
-      MergeMeters(meters, &report.progress);
-      AbortProgress(&report.progress, "unknown error");
-    }
-    report.violation_found = !functional;
-    report.reveals_at_most = functional && report.progress.complete();
-    return report;
-  }
-
-  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
-  std::vector<std::map<PolicyImage, PolicyImage>> partials(num_shards);
-  std::atomic<bool> functional{true};
-  CancelToken drain;
-  std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
-  try {
-    domain.ParallelForEach(
-        num_shards,
-        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
-          (void)rank;
-          ShardMeter& meter = meters[shard];
-          if (meter.gate.ShouldStop()) {
-            return false;
-          }
-          if (!functional.load(std::memory_order_relaxed)) {
-            return false;
-          }
-          ++meter.evaluated;
-          PolicyImage q_image = q.Image(input);
-          PolicyImage p_image = p.Image(input);
-          auto [it, inserted] =
-              partials[shard].try_emplace(std::move(q_image), std::move(p_image));
-          if (!inserted && it->second != p.Image(input)) {
-            functional.store(false, std::memory_order_relaxed);
-          }
-          return true;
-        },
-        threads, &drain);
-    MergeMeters(meters, &report.progress);
-  } catch (const std::exception& e) {
-    MergeMeters(meters, &report.progress);
-    AbortProgress(&report.progress, e.what());
-  } catch (...) {
-    MergeMeters(meters, &report.progress);
-    AbortProgress(&report.progress, "unknown error");
-  }
+      },
+      [&](std::uint64_t) { return !functional.load(std::memory_order_relaxed); });
 
   if (!functional.load()) {
     report.violation_found = true;
@@ -121,6 +79,33 @@ PolicyCompareReport ComparePolicyDisclosure(const SecurityPolicy& p, const Secur
   }
   report.reveals_at_most = report.progress.complete();
   return report;
+}
+
+}  // namespace
+
+PolicyCompareReport ComparePolicyDisclosure(const SecurityPolicy& p, const SecurityPolicy& q,
+                                            const InputDomain& domain,
+                                            const CheckOptions& options) {
+  assert(p.num_inputs() == q.num_inputs());
+  assert(p.num_inputs() == domain.num_inputs());
+  return ComparePolicyDisclosureImpl(domain, options, [&](std::uint64_t, InputView input) {
+    // Braced initialization fixes the historical order: q's image before p's.
+    return ComparePoint{q.Image(input), p.Image(input)};
+  });
+}
+
+PolicyCompareReport ComparePolicyDisclosure(const OutcomeTable& table,
+                                            const CheckOptions& options) {
+  assert(table.complete());
+  assert(table.has_images() && table.has_images2());
+  // The table's primary policy column is p, the secondary is q: "p reveals
+  // at most q" asks whether the audited policy discloses no more than the
+  // reference policy2.
+  return ComparePolicyDisclosureImpl(table.domain(), options,
+                                     [&](std::uint64_t rank, InputView) {
+                                       return ComparePoint{table.image2(rank),
+                                                           table.image(rank)};
+                                     });
 }
 
 bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q,

@@ -43,6 +43,14 @@ PolicyCompareReport ComparePolicyDisclosure(const SecurityPolicy& p, const Secur
                                             const InputDomain& domain,
                                             const CheckOptions& options = CheckOptions());
 
+class OutcomeTable;
+
+// The same comparison over a pre-built outcome table (complete, with both
+// image columns): p is the table's primary policy, q its secondary one.
+// Byte-identical to the live overload on the same grid.
+PolicyCompareReport ComparePolicyDisclosure(const OutcomeTable& table,
+                                            const CheckOptions& options = CheckOptions());
+
 // Bare-bool convenience wrapper over ComparePolicyDisclosure. Fails closed:
 // returns true only when a *completed* sweep proved the dependency.
 bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q, const InputDomain& domain,

@@ -1,13 +1,12 @@
 #include "src/mechanism/soundness.h"
 
-#include <atomic>
 #include <cassert>
-#include <exception>
+#include <cstdint>
 #include <map>
-#include <optional>
 #include <utility>
-#include <vector>
 
+#include "src/mechanism/outcome_table.h"
+#include "src/mechanism/sweep.h"
 #include "src/util/strings.h"
 
 namespace secpol {
@@ -39,189 +38,36 @@ std::string SoundnessReport::ToString() const {
 
 namespace {
 
-// The reference implementation: one lexicographic scan, stopping at the
-// first input whose outcome observably differs from its class representative.
-SoundnessReport CheckSoundnessSerial(const ProtectionMechanism& mechanism,
-                                     const SecurityPolicy& policy, const InputDomain& domain,
-                                     Observability obs, const CheckOptions& options) {
+// The soundness reducer over the sweep kernel. `eval(rank, input)` produces
+// the point's (policy image, outcome) pair; the reduction groups points by
+// image and reconstructs the serial scan's first counterexample — the
+// minimum-rank member observably disagreeing with its class representative.
+template <typename EvalFn>
+SoundnessReport CheckSoundnessImpl(const InputDomain& domain, Observability obs,
+                                   const CheckOptions& options, const EvalFn& eval) {
   SoundnessReport report;
-  report.sound = true;
-  report.progress.total = domain.size();
-
-  std::vector<ShardMeter> meters(1, ShardMeter(options));
-  ShardMeter& meter = meters.front();
-
-  // First representative of each policy class, with its outcome.
-  std::map<PolicyImage, std::pair<Input, Outcome>> representatives;
-
-  try {
-    domain.ForEachRange(0, report.progress.total, [&](std::uint64_t rank, InputView input) {
-      (void)rank;
-      if (meter.gate.ShouldStop()) {
-        return false;
-      }
-      ++meter.evaluated;
-      ++report.inputs_checked;
-      PolicyImage image = policy.Image(input);
-      Outcome outcome = mechanism.Run(input);
-      auto [it, inserted] = representatives.try_emplace(
-          std::move(image), Input(input.begin(), input.end()), outcome);
-      if (inserted) {
-        return true;
-      }
-      const auto& [rep_input, rep_outcome] = it->second;
-      if (!rep_outcome.ObservablyEquals(outcome, obs)) {
-        report.sound = false;
-        SoundnessCounterexample cx;
-        cx.input_a = rep_input;
-        cx.input_b = Input(input.begin(), input.end());
-        cx.outcome_a = rep_outcome;
-        cx.outcome_b = outcome;
-        report.counterexample = std::move(cx);
-        return false;  // the serial scan stops at the first witness
-      }
-      return true;
-    });
-    MergeMeters(meters, &report.progress);
-  } catch (const std::exception& e) {
-    MergeMeters(meters, &report.progress);
-    AbortProgress(&report.progress, e.what());
-  } catch (...) {
-    MergeMeters(meters, &report.progress);
-    AbortProgress(&report.progress, "unknown error");
-  }
-
-  report.policy_classes = representatives.size();
-  if (!report.progress.complete() && !report.counterexample.has_value()) {
-    report.sound = false;  // fail closed: unknown, never "sound by timeout"
-  }
-  return report;
-}
-
-// One occurrence of a class member: its global grid rank, the tuple, and the
-// mechanism's outcome on it.
-struct Occurrence {
-  std::uint64_t rank = 0;
-  Input input;
-  Outcome outcome;
-};
-
-// What one shard records per policy class. Observable equality is an
-// equivalence relation, so to locate the first member that disagrees with
-// *any* reference outcome it suffices to keep the first member overall and
-// the first member observably different from it: at most one of the two can
-// agree with the reference.
-struct ClassPartial {
-  Occurrence first;
-  std::optional<Occurrence> divergent;
-};
-
-SoundnessReport CheckSoundnessParallel(const ProtectionMechanism& mechanism,
-                                       const SecurityPolicy& policy, const InputDomain& domain,
-                                       Observability obs, int threads,
-                                       const CheckOptions& options) {
   const std::uint64_t grid = domain.size();
-  const std::uint64_t num_shards = CheckOptions::ShardsFor(threads, grid);
-  std::vector<std::map<PolicyImage, ClassPartial>> partials(num_shards);
+  const SweepPlan plan = SweepPlan::For(options, grid);
+  SweepClassShards<PolicyImage, Outcome> partials(plan.num_shards);
+  ConflictBound bound;
+  const auto diverges = [obs](const Outcome& a, const Outcome& b) {
+    return !a.ObservablyEquals(b, obs);
+  };
 
-  SoundnessReport report;
-  report.progress.total = grid;
+  report.progress = SweepGrid(
+      domain, options, plan,
+      [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+        auto [image, outcome] = eval(rank, input);
+        RecordOccurrence(partials[shard], bound, rank, input, std::move(image), outcome,
+                        diverges);
+        return true;
+      },
+      [&](std::uint64_t rank) { return bound.Excludes(rank); });
 
-  // On a shard exception the pool cancels `drain`; sibling shards polling it
-  // wind down instead of sweeping their full ranges.
-  CancelToken drain;
-  std::vector<ShardMeter> meters(num_shards, ShardMeter(options, drain));
+  std::map<PolicyImage, const SweepOccurrence<Outcome>*> global_first;
+  const SweepWitness<Outcome> witness = MergeFirstWitness(partials, &global_first, diverges);
 
-  // Once some class holds two observably different outcomes at ranks
-  // i1 < i2, a counterexample exists at rank <= i2 whatever the global
-  // representative turns out to be, so ranks beyond the smallest such bound
-  // can never contribute the first witness and shards may skip them.
-  std::atomic<std::uint64_t> conflict_bound{UINT64_MAX};
-
-  try {
-    domain.ParallelForEach(
-        num_shards,
-        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
-          ShardMeter& meter = meters[shard];
-          if (meter.gate.ShouldStop()) {
-            return false;
-          }
-          if (rank > conflict_bound.load(std::memory_order_relaxed)) {
-            return false;
-          }
-          ++meter.evaluated;
-          auto& classes = partials[shard];
-          PolicyImage image = policy.Image(input);
-          Outcome outcome = mechanism.Run(input);
-          auto [it, inserted] = classes.try_emplace(std::move(image));
-          ClassPartial& partial = it->second;
-          if (inserted) {
-            partial.first = Occurrence{rank, Input(input.begin(), input.end()), outcome};
-            return true;
-          }
-          if (!partial.divergent.has_value() &&
-              !partial.first.outcome.ObservablyEquals(outcome, obs)) {
-            partial.divergent = Occurrence{rank, Input(input.begin(), input.end()), outcome};
-            std::uint64_t prev = conflict_bound.load(std::memory_order_relaxed);
-            while (rank < prev &&
-                   !conflict_bound.compare_exchange_weak(prev, rank,
-                                                         std::memory_order_relaxed)) {
-            }
-          }
-          return true;
-        },
-        threads, &drain);
-    MergeMeters(meters, &report.progress);
-  } catch (const std::exception& e) {
-    MergeMeters(meters, &report.progress);
-    AbortProgress(&report.progress, e.what());
-  } catch (...) {
-    MergeMeters(meters, &report.progress);
-    AbortProgress(&report.progress, "unknown error");
-  }
-
-  // Merge. The global representative of a class is its lowest-rank
-  // occurrence; shard ranges are disjoint and increasing, so that is the
-  // `first` of the earliest shard that saw the class.
-  std::map<PolicyImage, const Occurrence*> global_first;
-  for (const auto& shard : partials) {
-    for (const auto& [image, partial] : shard) {
-      auto [it, inserted] = global_first.try_emplace(image, &partial.first);
-      if (!inserted && partial.first.rank < it->second->rank) {
-        it->second = &partial.first;
-      }
-    }
-  }
-
-  // The serial counterexample is the minimum-rank member that observably
-  // disagrees with its class representative.
-  std::uint64_t best_rank = UINT64_MAX;
-  const Occurrence* best_rep = nullptr;
-  const Occurrence* best_witness = nullptr;
-  for (const auto& [image, rep] : global_first) {
-    for (const auto& shard : partials) {
-      const auto it = shard.find(image);
-      if (it == shard.end()) {
-        continue;
-      }
-      const ClassPartial& partial = it->second;
-      const Occurrence* candidate = nullptr;
-      if (partial.first.rank != rep->rank &&
-          !partial.first.outcome.ObservablyEquals(rep->outcome, obs)) {
-        candidate = &partial.first;
-      } else if (partial.divergent.has_value() &&
-                 !partial.divergent->outcome.ObservablyEquals(rep->outcome, obs)) {
-        candidate = &*partial.divergent;
-      }
-      if (candidate != nullptr && candidate->rank < best_rank) {
-        best_rank = candidate->rank;
-        best_rep = rep;
-        best_witness = candidate;
-      }
-    }
-  }
-
-  if (best_witness == nullptr) {
+  if (!witness.found()) {
     if (report.progress.complete()) {
       report.sound = true;
       report.inputs_checked = grid;
@@ -233,26 +79,32 @@ SoundnessReport CheckSoundnessParallel(const ProtectionMechanism& mechanism,
     report.policy_classes = global_first.size();
     return report;
   }
+
   report.sound = false;
-  // The serial scan stops at the witness: it has counted best_rank + 1
+  // The serial scan stops at the witness: it has counted witness.rank() + 1
   // inputs and seen exactly the classes that first occur at or before it.
   // (On an incomplete run this reconstruction is best-effort: the witness is
   // genuine but earlier unevaluated ranks might hold an earlier one.)
-  report.inputs_checked = best_rank + 1;
+  report.inputs_checked = witness.rank() + 1;
   for (const auto& [image, rep] : global_first) {
     (void)image;
-    if (rep->rank <= best_rank) {
+    if (rep->rank <= witness.rank()) {
       ++report.policy_classes;
     }
   }
   SoundnessCounterexample cx;
-  cx.input_a = best_rep->input;
-  cx.input_b = best_witness->input;
-  cx.outcome_a = best_rep->outcome;
-  cx.outcome_b = best_witness->outcome;
+  cx.input_a = witness.rep->input;
+  cx.input_b = witness.witness->input;
+  cx.outcome_a = witness.rep->payload;
+  cx.outcome_b = witness.witness->payload;
   report.counterexample = std::move(cx);
   return report;
 }
+
+struct SoundnessPoint {
+  PolicyImage image;
+  Outcome outcome;
+};
 
 }  // namespace
 
@@ -261,11 +113,20 @@ SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
                                Observability obs, const CheckOptions& options) {
   assert(mechanism.num_inputs() == policy.num_inputs());
   assert(mechanism.num_inputs() == domain.num_inputs());
-  const int threads = options.ResolvedThreads();
-  if (threads <= 1) {
-    return CheckSoundnessSerial(mechanism, policy, domain, obs, options);
-  }
-  return CheckSoundnessParallel(mechanism, policy, domain, obs, threads, options);
+  return CheckSoundnessImpl(domain, obs, options, [&](std::uint64_t, InputView input) {
+    // Braced initialization fixes the historical evaluation order: the
+    // policy image before the mechanism run.
+    return SoundnessPoint{policy.Image(input), mechanism.Run(input)};
+  });
+}
+
+SoundnessReport CheckSoundness(const OutcomeTable& table, Observability obs,
+                               const CheckOptions& options) {
+  assert(table.complete());
+  assert(table.has_outcomes() && table.has_images());
+  return CheckSoundnessImpl(table.domain(), obs, options, [&](std::uint64_t rank, InputView) {
+    return SoundnessPoint{table.image(rank), table.outcome(rank)};
+  });
 }
 
 }  // namespace secpol

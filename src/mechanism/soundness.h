@@ -65,6 +65,16 @@ SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
                                const SecurityPolicy& policy, const InputDomain& domain,
                                Observability obs, const CheckOptions& options = CheckOptions());
 
+class OutcomeTable;
+
+// The same check over a pre-built outcome table: the reduction reads the
+// tabulated (image, outcome) pairs instead of re-running the mechanism, so
+// an audit sharing one table across checkers pays for each evaluation once.
+// The table must be complete and carry outcomes and policy images; the
+// report is byte-identical to the live overload on the same grid.
+SoundnessReport CheckSoundness(const OutcomeTable& table, Observability obs,
+                               const CheckOptions& options = CheckOptions());
+
 }  // namespace secpol
 
 #endif  // SECPOL_SRC_MECHANISM_SOUNDNESS_H_

@@ -1,0 +1,14 @@
+#include "src/mechanism/sweep.h"
+
+namespace secpol {
+
+SweepPlan SweepPlan::For(const CheckOptions& options, std::uint64_t grid_size) {
+  SweepPlan plan;
+  plan.threads = options.ResolvedThreads();
+  // One shard is the serial reference scan: a single contiguous range
+  // evaluated inline, no pool, immediate exception propagation.
+  plan.num_shards = plan.threads <= 1 ? 1 : CheckOptions::ShardsFor(plan.threads, grid_size);
+  return plan;
+}
+
+}  // namespace secpol

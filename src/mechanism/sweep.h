@@ -1,0 +1,224 @@
+// The unified grid-sweep kernel under every extensional checker.
+//
+// Each check in the paper — soundness (Definition 2), the completeness order
+// (Theorem 1), information preservation, maximal synthesis (Theorem 2),
+// policy comparison, and leak measurement — is a fold over the same finite
+// input grid. The kernel owns everything those folds share: shard-count
+// selection, per-shard ShardMeter accounting, amortized deadline/cancel
+// polling, the drain-token exception barrier, and the final CheckProgress
+// merge. A checker reduces to (a) a per-shard visit body, (b) optionally a
+// prune predicate that skips ranks proven irrelevant to the first witness,
+// and (c) a merge of its per-shard partials.
+//
+// The serial reference scan is the kernel at one shard: a resolved thread
+// count of one turns the grid into a single contiguous range evaluated
+// inline, so every checker has exactly one sweep body and the serial ≡
+// parallel byte-identical-report contract holds by construction — the merge
+// of one shard's partials reconstructs precisely the serial report.
+
+#ifndef SECPOL_SRC_MECHANISM_SWEEP_H_
+#define SECPOL_SRC_MECHANISM_SWEEP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/mechanism/check_options.h"
+#include "src/mechanism/domain.h"
+#include "src/util/deadline.h"
+#include "src/util/value.h"
+
+namespace secpol {
+
+// How a sweep splits the grid: one shard for the serial reference scan, a
+// small multiple of the thread count otherwise (CheckOptions::ShardsFor).
+struct SweepPlan {
+  int threads = 1;
+  std::uint64_t num_shards = 1;
+
+  static SweepPlan For(const CheckOptions& options, std::uint64_t grid_size);
+};
+
+// A monotonically decreasing rank bound shared across shards. Once some
+// shard proves "a witness exists at rank <= r", ranks beyond r can never
+// contribute the *first* witness, so sibling shards skip them. Relaxed
+// ordering suffices: the bound only prunes work, never decides the report —
+// the merge re-derives the minimum-rank witness from the partials.
+class ConflictBound {
+ public:
+  bool Excludes(std::uint64_t rank) const {
+    return rank > bound_.load(std::memory_order_relaxed);
+  }
+
+  void LowerTo(std::uint64_t rank) {
+    std::uint64_t prev = bound_.load(std::memory_order_relaxed);
+    while (rank < prev &&
+           !bound_.compare_exchange_weak(prev, rank, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> bound_{UINT64_MAX};
+};
+
+// Evaluates `visit(shard, rank, input)` over the whole grid under `plan`,
+// owning the meters, the poll gates, the drain token, and the exception
+// barrier. `prune(rank)` is consulted after the gate and before the point
+// counts as evaluated; returning true stops the shard (the point is pruned,
+// not skipped-and-continued, because prune bounds are monotone in rank
+// within a contiguous shard). `visit` returning false stops its shard.
+// The returned progress carries the merged coverage and status; a throwing
+// visit surfaces as kAborted with the exception text, never as terminate.
+template <typename VisitFn, typename PruneFn>
+CheckProgress SweepGrid(const InputDomain& domain, const CheckOptions& options,
+                        const SweepPlan& plan, const VisitFn& visit, const PruneFn& prune) {
+  CheckProgress progress;
+  progress.total = domain.size();
+  // On a shard exception the pool cancels `drain`; sibling shards polling it
+  // wind down instead of sweeping their full ranges.
+  CancelToken drain;
+  std::vector<ShardMeter> meters(plan.num_shards, ShardMeter(options, drain));
+  try {
+    domain.ParallelForEach(
+        plan.num_shards,
+        [&](std::uint64_t shard, std::uint64_t rank, InputView input) -> bool {
+          ShardMeter& meter = meters[shard];
+          if (meter.gate.ShouldStop()) {
+            return false;
+          }
+          if (prune(rank)) {
+            return false;
+          }
+          ++meter.evaluated;
+          return visit(shard, rank, input);
+        },
+        plan.threads, &drain);
+    MergeMeters(meters, &progress);
+  } catch (const std::exception& e) {
+    MergeMeters(meters, &progress);
+    AbortProgress(&progress, e.what());
+  } catch (...) {
+    MergeMeters(meters, &progress);
+    AbortProgress(&progress, "unknown error");
+  }
+  return progress;
+}
+
+// Sweep without a prune predicate (counting reducers: completeness, leak,
+// maximal tabulation).
+template <typename VisitFn>
+CheckProgress SweepGrid(const InputDomain& domain, const CheckOptions& options,
+                        const SweepPlan& plan, const VisitFn& visit) {
+  return SweepGrid(domain, options, plan, visit, [](std::uint64_t) { return false; });
+}
+
+// ---------------------------------------------------------------------------
+// Rank-ordered first-witness merging, shared by the witness-style reducers
+// (soundness and integrity).
+
+// One occurrence of a key (a policy class, an outcome signature): its global
+// grid rank, the tuple, and the checker's payload for it.
+template <typename Payload>
+struct SweepOccurrence {
+  std::uint64_t rank = 0;
+  Input input;
+  Payload payload;
+};
+
+// What one shard records per key. Divergence must be the complement of an
+// equivalence relation on payloads, so to locate the first occurrence that
+// disagrees with *any* reference payload it suffices to keep the shard's
+// first occurrence and the first occurrence diverging from it: at most one
+// of the two can agree with the reference.
+template <typename Payload>
+struct SweepClassPartial {
+  SweepOccurrence<Payload> first;
+  std::optional<SweepOccurrence<Payload>> divergent;
+};
+
+template <typename Key, typename Payload>
+using SweepClassShards = std::vector<std::map<Key, SweepClassPartial<Payload>>>;
+
+// Visit-side recording: first occurrence per key, first divergent occurrence
+// per key, and the conflict bound (two diverging payloads under one key at
+// ranks i1 < i2 guarantee a witness at rank <= i2 whatever the global
+// representative turns out to be).
+template <typename Key, typename Payload, typename DivergesFn>
+void RecordOccurrence(std::map<Key, SweepClassPartial<Payload>>& classes, ConflictBound& bound,
+                      std::uint64_t rank, InputView input, Key key, const Payload& payload,
+                      const DivergesFn& diverges) {
+  auto [it, inserted] = classes.try_emplace(std::move(key));
+  SweepClassPartial<Payload>& partial = it->second;
+  if (inserted) {
+    partial.first = SweepOccurrence<Payload>{rank, Input(input.begin(), input.end()), payload};
+    return;
+  }
+  if (!partial.divergent.has_value() && diverges(partial.first.payload, payload)) {
+    partial.divergent =
+        SweepOccurrence<Payload>{rank, Input(input.begin(), input.end()), payload};
+    bound.LowerTo(rank);
+  }
+}
+
+// The reconstructed serial witness: the minimum-rank occurrence that
+// diverges from its key's global representative.
+template <typename Payload>
+struct SweepWitness {
+  const SweepOccurrence<Payload>* rep = nullptr;      // the class representative
+  const SweepOccurrence<Payload>* witness = nullptr;  // the diverging occurrence
+
+  bool found() const { return witness != nullptr; }
+  std::uint64_t rank() const { return witness->rank; }
+};
+
+// Merges per-shard partials. The global representative of a key is its
+// lowest-rank occurrence (shard ranges are disjoint and increasing, so that
+// is the `first` of the earliest shard that saw the key); `global_first` is
+// filled with it. The witness is the minimum-rank occurrence diverging from
+// its key's representative — exactly the pair the serial scan stops at.
+template <typename Key, typename Payload, typename DivergesFn>
+SweepWitness<Payload> MergeFirstWitness(
+    const SweepClassShards<Key, Payload>& shards,
+    std::map<Key, const SweepOccurrence<Payload>*>* global_first, const DivergesFn& diverges) {
+  for (const auto& shard : shards) {
+    for (const auto& [key, partial] : shard) {
+      auto [it, inserted] = global_first->try_emplace(key, &partial.first);
+      if (!inserted && partial.first.rank < it->second->rank) {
+        it->second = &partial.first;
+      }
+    }
+  }
+
+  SweepWitness<Payload> out;
+  std::uint64_t best_rank = UINT64_MAX;
+  for (const auto& [key, rep] : *global_first) {
+    for (const auto& shard : shards) {
+      const auto it = shard.find(key);
+      if (it == shard.end()) {
+        continue;
+      }
+      const SweepClassPartial<Payload>& partial = it->second;
+      const SweepOccurrence<Payload>* candidate = nullptr;
+      if (partial.first.rank != rep->rank && diverges(rep->payload, partial.first.payload)) {
+        candidate = &partial.first;
+      } else if (partial.divergent.has_value() &&
+                 diverges(rep->payload, partial.divergent->payload)) {
+        candidate = &*partial.divergent;
+      }
+      if (candidate != nullptr && candidate->rank < best_rank) {
+        best_rank = candidate->rank;
+        out.rep = rep;
+        out.witness = candidate;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_SWEEP_H_

@@ -23,7 +23,14 @@ PolicyImage ProductPolicy::Image(InputView input) const {
 }
 
 std::string ProductPolicy::name() const {
-  return "(" + p_->name() + " * " + q_->name() + ")";
+  // Built by append: GCC 12's -Wrestrict false-fires on the equivalent
+  // char* + std::string chain when inlined at -O3 (PR 105651).
+  std::string name = "(";
+  name += p_->name();
+  name += " * ";
+  name += q_->name();
+  name += ")";
+  return name;
 }
 
 void ProductPolicy::AppendFingerprint(Fingerprinter* fp) const {

@@ -1,0 +1,75 @@
+#include "src/service/audit.h"
+
+#include <optional>
+
+#include "src/mechanism/outcome_table.h"
+
+namespace secpol {
+
+std::uint64_t AuditReport::EvaluatedPoints() const {
+  if (shared) {
+    return tabulation.evaluated;
+  }
+  return soundness.progress.evaluated + integrity.progress.evaluated +
+         completeness.progress.evaluated + maximal.progress.evaluated +
+         policy_compare.progress.evaluated + leak.progress.evaluated;
+}
+
+AuditReport CheckAll(const ProtectionMechanism& mechanism,
+                     const ProtectionMechanism& mechanism2, const SecurityPolicy& policy,
+                     const SecurityPolicy& policy2, const InputDomain& domain,
+                     Observability obs, const CheckOptions& options) {
+  AuditReport report;
+
+  const std::optional<std::uint64_t> grid = domain.CheckedSize();
+  if (!grid.has_value() || *grid > OutcomeTable::kMaxPoints) {
+    // The table would not fit; run the six live sweeps back-to-back. Each
+    // sub-report is exactly the standalone checker's, so the audit loses the
+    // evaluate-once property but nothing else.
+    report.shared = false;
+    report.tabulation.total = domain.size();
+    report.soundness = CheckSoundness(mechanism, policy, domain, obs, options);
+    report.integrity = CheckInformationPreservation(mechanism, policy, domain, obs, options);
+    report.completeness = CompareCompleteness(mechanism, mechanism2, domain, options);
+    report.maximal = SynthesizeMaximalMechanism(mechanism, policy, domain, obs, options);
+    report.policy_compare = ComparePolicyDisclosure(policy, policy2, domain, options);
+    report.leak = MeasureLeak(mechanism, policy, domain, obs, options);
+    return report;
+  }
+
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+  sources.mechanism2 = &mechanism2;
+  sources.policy = &policy;
+  sources.policy2 = &policy2;
+  const OutcomeTable table = BuildOutcomeTable(sources, domain, options);
+  report.shared = true;
+  report.tabulation = table.build();
+
+  if (!table.complete()) {
+    // Fail closed everywhere: a partial table may not be consumed, so every
+    // sub-report carries the build's progress and the weakest verdict.
+    report.soundness.sound = false;
+    report.soundness.inputs_checked = report.tabulation.evaluated;
+    report.soundness.progress = report.tabulation;
+    report.integrity.preserved = false;
+    report.integrity.inputs_checked = report.tabulation.evaluated;
+    report.integrity.progress = report.tabulation;
+    report.completeness.progress = report.tabulation;
+    report.maximal.inputs = report.tabulation.evaluated;
+    report.maximal.progress = report.tabulation;
+    report.policy_compare.progress = report.tabulation;
+    report.leak.progress = report.tabulation;
+    return report;
+  }
+
+  report.soundness = CheckSoundness(table, obs, options);
+  report.integrity = CheckInformationPreservation(table, obs, options);
+  report.completeness = CompareCompleteness(table, options);
+  report.maximal = SynthesizeMaximalMechanism(table, obs, options);
+  report.policy_compare = ComparePolicyDisclosure(table, options);
+  report.leak = MeasureLeak(table, obs, options);
+  return report;
+}
+
+}  // namespace secpol

@@ -1,0 +1,64 @@
+// The multi-check audit: all six extensional checks over one shared
+// outcome table.
+//
+// Run standalone, the six checkers re-evaluate the mechanism (and policy
+// images) per grid point up to six times. CheckAll builds one OutcomeTable —
+// a single kernel sweep evaluating M(d), M2(d), I(d), I2(d) exactly once per
+// point — and feeds the six table-backed reducers from it. Because the table
+// is rank-indexed in the grid's canonical order and only complete tables are
+// consumed, every sub-report is byte-identical to its standalone checker's
+// (the differential contract tests/audit_test.cc locks).
+
+#ifndef SECPOL_SRC_SERVICE_AUDIT_H_
+#define SECPOL_SRC_SERVICE_AUDIT_H_
+
+#include <cstdint>
+
+#include "src/channels/timing.h"
+#include "src/mechanism/check_options.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/integrity.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/outcome.h"
+#include "src/mechanism/policy_compare.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+
+namespace secpol {
+
+struct AuditReport {
+  SoundnessReport soundness;         // mechanism sound for policy
+  IntegrityReport integrity;         // mechanism preserves policy
+  CompletenessStats completeness;    // mechanism vs mechanism2
+  MaximalSynthesis maximal;          // maximal mechanism for (mechanism, policy)
+  PolicyCompareReport policy_compare;  // policy reveals at most policy2
+  LeakReport leak;                   // channel capacity of mechanism
+
+  // How the shared tabulation ended. When it is incomplete every sub-report
+  // fails closed carrying this progress; when `shared` is false the audit
+  // fell back to live sweeps (grid beyond OutcomeTable::kMaxPoints) and this
+  // only records the grid size.
+  CheckProgress tabulation;
+  bool shared = false;
+
+  // Grid points actually evaluated: the tabulation's count when shared, the
+  // sum of the six live sweeps' counts otherwise.
+  std::uint64_t EvaluatedPoints() const;
+};
+
+// Runs all six checks for (mechanism, policy) over `domain`, with
+// `mechanism2` the completeness comparand and `policy2` the disclosure
+// reference. One shared table evaluates each source exactly once per grid
+// point; completed sub-reports are byte-identical to the standalone
+// checkers'. Honours options.deadline / options.cancel across the build and
+// every reduction (they share the absolute deadline).
+AuditReport CheckAll(const ProtectionMechanism& mechanism,
+                     const ProtectionMechanism& mechanism2, const SecurityPolicy& policy,
+                     const SecurityPolicy& policy2, const InputDomain& domain,
+                     Observability obs, const CheckOptions& options = CheckOptions());
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SERVICE_AUDIT_H_

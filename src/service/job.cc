@@ -1,5 +1,6 @@
 #include "src/service/job.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -13,6 +14,7 @@
 #include "src/mechanism/outcome.h"
 #include "src/mechanism/policy_compare.h"
 #include "src/mechanism/soundness.h"
+#include "src/service/audit.h"
 #include "src/staticflow/static_mechanisms.h"
 #include "src/surveillance/surveillance.h"
 
@@ -46,6 +48,44 @@ JobStatus StatusForProgress(const CheckProgress& progress) {
   return JobStatus::kAborted;
 }
 
+// The audit job's status and exit code are the worst of its six sections',
+// each section judged exactly as its standalone job would be.
+JobStatus WorstAuditStatus(const AuditReport& audit) {
+  JobStatus worst = JobStatus::kCompleted;
+  const auto fold = [&worst](const CheckProgress& progress) {
+    const JobStatus status = StatusForProgress(progress);
+    if (static_cast<int>(status) > static_cast<int>(worst)) {
+      worst = status;
+    }
+  };
+  fold(audit.soundness.progress);
+  fold(audit.integrity.progress);
+  fold(audit.completeness.progress);
+  fold(audit.maximal.progress);
+  fold(audit.policy_compare.progress);
+  fold(audit.leak.progress);
+  return worst;
+}
+
+int WorstAuditExit(const AuditReport& audit) {
+  const bool leaky = audit.leak.leaky_classes > 0;
+  int worst = 0;
+  for (const int code :
+       {ExitForProgress(audit.soundness.progress, audit.soundness.sound,
+                        audit.soundness.counterexample.has_value()),
+        ExitForProgress(audit.integrity.progress, audit.integrity.preserved,
+                        audit.integrity.counterexample.has_value()),
+        ExitForProgress(audit.completeness.progress, /*clean_verdict=*/true,
+                        /*witness=*/false),
+        ExitForProgress(audit.maximal.progress, /*clean_verdict=*/true, /*witness=*/false),
+        ExitForProgress(audit.policy_compare.progress, audit.policy_compare.reveals_at_most,
+                        audit.policy_compare.violation_found),
+        ExitForProgress(audit.leak.progress, !leaky, leaky)}) {
+    worst = std::max(worst, code);
+  }
+  return worst;
+}
+
 std::string Header(const std::string& subject, const std::string& relation,
                    const std::string& object, const InputDomain& domain,
                    std::optional<Observability> obs) {
@@ -73,6 +113,8 @@ std::string CheckerKindName(CheckerKind kind) {
       return "policy-compare";
     case CheckerKind::kLeak:
       return "leak";
+    case CheckerKind::kAudit:
+      return "audit";
   }
   return "unknown";
 }
@@ -80,7 +122,8 @@ std::string CheckerKindName(CheckerKind kind) {
 std::optional<CheckerKind> ParseCheckerKind(const std::string& name) {
   for (CheckerKind kind :
        {CheckerKind::kSoundness, CheckerKind::kIntegrity, CheckerKind::kCompleteness,
-        CheckerKind::kMaximal, CheckerKind::kPolicyCompare, CheckerKind::kLeak}) {
+        CheckerKind::kMaximal, CheckerKind::kPolicyCompare, CheckerKind::kLeak,
+        CheckerKind::kAudit}) {
     if (CheckerKindName(kind) == name) {
       return kind;
     }
@@ -181,7 +224,8 @@ Result<PreparedJob> PrepareJob(const CheckJobSpec& spec) {
   if (!spec.allow.SubsetOf(inputs)) {
     return Error{"allow: index out of range for " + std::to_string(num_inputs) + " inputs"};
   }
-  if (spec.checker == CheckerKind::kPolicyCompare && !spec.allow2.SubsetOf(inputs)) {
+  if ((spec.checker == CheckerKind::kPolicyCompare || spec.checker == CheckerKind::kAudit) &&
+      !spec.allow2.SubsetOf(inputs)) {
     return Error{"allow2: index out of range for " + std::to_string(num_inputs) + " inputs"};
   }
   if (spec.grid_lo > spec.grid_hi) {
@@ -206,7 +250,7 @@ Result<PreparedJob> PrepareJob(const CheckJobSpec& spec) {
   if (MakeMechanismKind(spec.mechanism, program, spec.allow, &mech_error) == nullptr) {
     return Error{"mechanism: " + mech_error};
   }
-  if (spec.checker == CheckerKind::kCompleteness) {
+  if (spec.checker == CheckerKind::kCompleteness || spec.checker == CheckerKind::kAudit) {
     mech_error.clear();
     if (MakeMechanismKind(spec.mechanism2, program, spec.allow, &mech_error) == nullptr) {
       return Error{"mechanism2: " + mech_error};
@@ -362,6 +406,41 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared) 
       const bool leaky = report.leaky_classes > 0;
       result.exit_code = ExitForProgress(report.progress, !leaky, leaky);
       result.evaluated = report.progress.evaluated;
+      break;
+    }
+    case CheckerKind::kAudit: {
+      std::shared_ptr<const ProtectionMechanism> second =
+          MakeMechanismKind(spec.mechanism2, prepared.program, spec.allow, &error);
+      if (second == nullptr) {
+        result.status = JobStatus::kInvalid;
+        result.error = error;
+        result.exit_code = 1;
+        return result;
+      }
+      second = wrap(std::move(second));
+      const AllowPolicy policy2(prepared.program.num_inputs(), spec.allow2);
+      const AuditReport audit =
+          CheckAll(*mechanism, *second, policy, policy2, prepared.domain, obs, options);
+      // Six sections, each rendered exactly as its standalone job would be —
+      // the differential contract is "audit report == the concatenation of
+      // the six standalone job reports".
+      result.report =
+          Header(mechanism->name(), "for", policy.name(), prepared.domain, obs) +
+          audit.soundness.ToString() + "\n" +
+          Header(mechanism->name(), "preserving", policy.name(), prepared.domain, obs) +
+          audit.integrity.ToString() + "\n" +
+          Header(mechanism->name(), "vs", second->name(), prepared.domain, std::nullopt) +
+          audit.completeness.ToString() + "\n" +
+          Header("maximal", "for", policy.name(), prepared.domain, obs) +
+          RenderMaximalReport(audit.maximal) + "\n" +
+          Header(policy.name(), "reveals-at-most", policy2.name(), prepared.domain,
+                 std::nullopt) +
+          audit.policy_compare.ToString() + "\n" +
+          Header(mechanism->name(), "for", policy.name(), prepared.domain, obs) +
+          audit.leak.ToString() + "\n";
+      result.status = WorstAuditStatus(audit);
+      result.exit_code = WorstAuditExit(audit);
+      result.evaluated = audit.EvaluatedPoints();
       break;
     }
   }

@@ -38,6 +38,7 @@ enum class CheckerKind {
   kMaximal,        // SynthesizeMaximalMechanism(bare program, allow-policy)
   kPolicyCompare,  // ComparePolicyDisclosure(allow-policy, allow2-policy)
   kLeak,           // MeasureLeak(mechanism, allow-policy)
+  kAudit,          // CheckAll: all six checks over one shared outcome table
 };
 
 std::string CheckerKindName(CheckerKind kind);
@@ -55,9 +56,9 @@ struct CheckJobSpec {
   // Checked mechanism kind: surveillance | mprime | highwater | bare |
   // static | residual (same vocabulary as `secpol check --mechanism`).
   std::string mechanism = "surveillance";
-  // kCompleteness only: the second mechanism of the comparison.
+  // kCompleteness / kAudit: the second mechanism of the comparison.
   std::string mechanism2 = "bare";
-  // kPolicyCompare only: the second policy allow(`allow2`).
+  // kPolicyCompare / kAudit: the second policy allow(`allow2`).
   VarSet allow2;
 
   // Grid: every input coordinate ranges over {grid_lo, ..., grid_hi}.

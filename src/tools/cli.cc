@@ -14,6 +14,7 @@
 #include "src/mechanism/fault.h"
 #include "src/mechanism/soundness.h"
 #include "src/policy/policy.h"
+#include "src/service/job.h"
 #include "src/service/manifest.h"
 #include "src/service/service.h"
 #include "src/staticflow/analysis.h"
@@ -94,10 +95,12 @@ std::optional<std::vector<Value>> ParseValueList(const std::string& text, std::s
   return out;
 }
 
-std::optional<VarSet> ParseAllowSet(const ParsedArgs& args, int num_inputs, std::string* err) {
-  const std::optional<std::string> value = FlagValue(args, "allow");
+std::optional<VarSet> ParseAllowSet(const ParsedArgs& args, int num_inputs, std::string* err,
+                                    const std::string& flag_name = "allow") {
+  const std::optional<std::string> value = FlagValue(args, flag_name);
   if (!value.has_value()) {
-    *err += "missing --allow=<comma-separated input indices> (empty string for allow())\n";
+    *err += "missing --" + flag_name +
+            "=<comma-separated input indices> (empty string for allow())\n";
     return std::nullopt;
   }
   VarSet allowed;
@@ -376,6 +379,98 @@ int CmdBatch(const ParsedArgs& args, std::string* out, std::string* err) {
   return report.ExitCode();
 }
 
+// `secpol audit <file.fl> --allow=... [--allow2=...] [--mechanism=...]
+// [--mechanism2=...]`: run all six exhaustive checks in one pass over a
+// shared outcome table (see src/service/audit.h). The report is the
+// concatenation of the six standalone check reports; the exit code is the
+// worst of the six sections'. Routed through ExecuteJob so the CLI, a batch
+// manifest, and the cache all render the identical bytes.
+int CmdAudit(const ParsedArgs& args, std::string* out, std::string* err) {
+  if (args.file.empty()) {
+    *err += "missing program file\n";
+    return 1;
+  }
+  std::ifstream stream(args.file);
+  if (!stream) {
+    *err += "cannot open '" + args.file + "'\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << stream.rdbuf();
+
+  CheckJobSpec spec;
+  spec.id = "audit";
+  spec.checker = CheckerKind::kAudit;
+  spec.program_text = buffer.str();
+
+  // Validate the allow sets against the parsed program up front, so flag
+  // errors read like the other verbs' instead of PrepareJob's.
+  Result<SourceProgram> parsed = ParseProgram(spec.program_text);
+  if (!parsed.ok()) {
+    *err += args.file + ":" + parsed.error().ToString() + "\n";
+    return 1;
+  }
+  const int num_inputs = parsed.value().num_inputs();
+  const auto allowed = ParseAllowSet(args, num_inputs, err);
+  if (!allowed.has_value()) {
+    return 1;
+  }
+  spec.allow = *allowed;
+  // Default disclosure reference: the policy itself (a trivially true
+  // reveals-at-most section) unless --allow2 names a different one.
+  spec.allow2 = *allowed;
+  if (FlagValue(args, "allow2").has_value()) {
+    const auto allowed2 = ParseAllowSet(args, num_inputs, err, "allow2");
+    if (!allowed2.has_value()) {
+      return 1;
+    }
+    spec.allow2 = *allowed2;
+  }
+
+  spec.mechanism = FlagValue(args, "mechanism").value_or("surveillance");
+  spec.mechanism2 = FlagValue(args, "mechanism2").value_or("bare");
+  spec.observe_time = HasFlag(args, "time");
+  if (const auto grid = FlagValue(args, "grid"); grid.has_value()) {
+    const size_t colon = grid->find(':');
+    if (colon != std::string::npos) {
+      try {
+        spec.grid_lo = std::stoll(grid->substr(0, colon));
+        spec.grid_hi = std::stoll(grid->substr(colon + 1));
+      } catch (...) {
+        *err += "bad --grid value '" + *grid + "'\n";
+        return 1;
+      }
+    }
+  }
+  const auto options = ParseCheckOptions(args, err);
+  if (!options.has_value()) {
+    return 1;
+  }
+  spec.num_threads = options->num_threads;
+  if (const auto deadline = FlagValue(args, "deadline-ms"); deadline.has_value()) {
+    spec.deadline_ms = std::stoll(*deadline);  // validated by ParseCheckOptions above
+  }
+  if (const auto fault_spec = FlagValue(args, "fault-spec"); fault_spec.has_value()) {
+    spec.fault_spec = *fault_spec;
+  }
+  if (const auto retries = FlagValue(args, "retries"); retries.has_value()) {
+    try {
+      spec.retries = static_cast<int>(std::stoll(*retries));
+    } catch (...) {
+      *err += "bad --retries value '" + *retries + "'\n";
+      return 1;
+    }
+  }
+
+  const JobResult result = ExecuteJob(spec);
+  if (result.status == JobStatus::kInvalid) {
+    *err += result.error + "\n";
+    return result.exit_code;
+  }
+  *out += result.report;
+  return result.exit_code;
+}
+
 int CmdAnalyze(const ParsedArgs& args, std::string* out, std::string* err) {
   const auto program = LoadProgram(args, err);
   if (!program.has_value()) {
@@ -509,6 +604,9 @@ int RunCli(const std::vector<std::string>& args, std::string* out, std::string* 
   if (parsed->command == "batch" || parsed->command == "--batch") {
     return CmdBatch(*parsed, out, err);
   }
+  if (parsed->command == "audit") {
+    return CmdAudit(*parsed, out, err);
+  }
   if (parsed->command == "analyze") {
     return CmdAnalyze(*parsed, out, err);
   }
@@ -531,7 +629,7 @@ int RunCli(const std::vector<std::string>& args, std::string* out, std::string* 
     return CmdBytecode(*parsed, out, err);
   }
   *err += "unknown command '" + parsed->command +
-          "' (expected run|monitor|check|batch|analyze|instrument|advise|optimize|decompile|dot|bytecode)\n";
+          "' (expected run|monitor|check|audit|batch|analyze|instrument|advise|optimize|decompile|dot|bytecode)\n";
   return 1;
 }
 

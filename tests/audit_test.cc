@@ -1,0 +1,266 @@
+// Tests for the multi-check audit (src/service/audit.h) and its service
+// integration.
+//
+// The two contracts under test:
+//   1. Differential: an audit job's report is byte-identical to the
+//      concatenation of the six standalone job reports with the same
+//      ingredients — at any thread count, cold or from the cache.
+//   2. Evaluate-once: on the shared-table path every mechanism Run and every
+//      policy Image is computed exactly once per grid point, however many of
+//      the six reducers consume it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mechanism/check_options.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/outcome_table.h"
+#include "src/policy/policy.h"
+#include "src/service/audit.h"
+#include "src/service/job.h"
+#include "src/service/service.h"
+#include "src/util/deadline.h"
+
+namespace secpol {
+namespace {
+
+constexpr const char* kProgram = "program p(pub, sec) { y = pub + sec; }";
+
+CheckJobSpec AuditSpec(int threads) {
+  CheckJobSpec spec;
+  spec.id = "audit";
+  spec.checker = CheckerKind::kAudit;
+  spec.program_text = kProgram;
+  spec.allow = VarSet{0};
+  spec.allow2 = VarSet{0, 1};
+  spec.mechanism = "surveillance";
+  spec.mechanism2 = "bare";
+  spec.num_threads = threads;
+  return spec;
+}
+
+// The six standalone jobs an audit bundles, in section order.
+std::vector<CheckJobSpec> StandaloneSpecs(const CheckJobSpec& audit) {
+  std::vector<CheckJobSpec> specs;
+  for (CheckerKind kind :
+       {CheckerKind::kSoundness, CheckerKind::kIntegrity, CheckerKind::kCompleteness,
+        CheckerKind::kMaximal, CheckerKind::kPolicyCompare, CheckerKind::kLeak}) {
+    CheckJobSpec spec = audit;
+    spec.id = CheckerKindName(kind);
+    spec.checker = kind;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+TEST(AuditDifferentialTest, ReportIsConcatenationOfStandaloneJobs) {
+  for (int threads : {1, 2, 7}) {
+    const CheckJobSpec audit = AuditSpec(threads);
+    const JobResult result = ExecuteJob(audit);
+    ASSERT_EQ(result.status, JobStatus::kCompleted) << threads;
+
+    std::string expected;
+    for (const CheckJobSpec& spec : StandaloneSpecs(audit)) {
+      const JobResult standalone = ExecuteJob(spec);
+      ASSERT_EQ(standalone.status, JobStatus::kCompleted) << spec.id << " " << threads;
+      expected += standalone.report;
+    }
+    EXPECT_EQ(result.report, expected) << threads;
+    // The audit evaluated the grid once; six standalone sweeps would have
+    // evaluated it six times.
+    EXPECT_EQ(result.evaluated, result.total) << threads;
+  }
+}
+
+TEST(AuditDifferentialTest, UnsoundMechanismYieldsWorstSectionExit) {
+  CheckJobSpec spec = AuditSpec(1);
+  spec.mechanism = "bare";  // leaks sec through y = pub + sec
+  const JobResult result = ExecuteJob(spec);
+  EXPECT_EQ(result.status, JobStatus::kCompleted);
+  EXPECT_EQ(result.exit_code, 2);  // soundness / integrity / leak sections fail
+  EXPECT_NE(result.report.find("UNSOUND"), std::string::npos);
+}
+
+TEST(AuditDifferentialTest, WarmCacheReplaysIdenticalBytes) {
+  ServiceConfig config;
+  CheckService service(config);
+  const CheckJobSpec spec = AuditSpec(2);
+
+  const BatchReport cold = service.RunBatch({spec});
+  ASSERT_EQ(cold.jobs.size(), 1u);
+  ASSERT_EQ(cold.jobs[0].status, JobStatus::kCompleted);
+  EXPECT_FALSE(cold.jobs[0].from_cache);
+
+  const BatchReport warm = service.RunBatch({spec});
+  ASSERT_EQ(warm.jobs.size(), 1u);
+  EXPECT_TRUE(warm.jobs[0].from_cache);
+  EXPECT_EQ(warm.jobs[0].report, cold.jobs[0].report);
+  EXPECT_EQ(warm.jobs[0].exit_code, cold.jobs[0].exit_code);
+  EXPECT_EQ(warm.jobs[0].cache_key, cold.jobs[0].cache_key);
+
+  // A different thread count is a cache *hit*: evaluation knobs are not part
+  // of the audit's identity.
+  CheckJobSpec retuned = spec;
+  retuned.num_threads = 7;
+  const BatchReport hit = service.RunBatch({retuned});
+  ASSERT_EQ(hit.jobs.size(), 1u);
+  EXPECT_TRUE(hit.jobs[0].from_cache);
+  EXPECT_EQ(hit.jobs[0].report, cold.jobs[0].report);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluate-once
+
+class CountingPolicy : public SecurityPolicy {
+ public:
+  CountingPolicy(std::string name, int num_inputs, std::atomic<std::uint64_t>* calls)
+      : name_(std::move(name)), num_inputs_(num_inputs), calls_(calls) {}
+
+  int num_inputs() const override { return num_inputs_; }
+  PolicyImage Image(InputView input) const override {
+    calls_->fetch_add(1, std::memory_order_relaxed);
+    return PolicyImage{input[0]};
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int num_inputs_;
+  std::atomic<std::uint64_t>* calls_;
+};
+
+TEST(AuditEvaluateOnceTest, EachSourceRunsExactlyOncePerGridPoint) {
+  const InputDomain domain = InputDomain::Range(2, 0, 3);  // 16 points
+  for (int threads : {1, 3}) {
+    std::atomic<std::uint64_t> m1_runs{0};
+    std::atomic<std::uint64_t> m2_runs{0};
+    std::atomic<std::uint64_t> p1_images{0};
+    std::atomic<std::uint64_t> p2_images{0};
+
+    const FunctionMechanism m1("m1", 2, [&](InputView input) {
+      m1_runs.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::Val(input[0], 1);
+    });
+    const FunctionMechanism m2("m2", 2, [&](InputView input) {
+      m2_runs.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::Val(input[0] + input[1], 1);
+    });
+    const CountingPolicy p1("p1", 2, &p1_images);
+    const CountingPolicy p2("p2", 2, &p2_images);
+
+    const AuditReport audit = CheckAll(m1, m2, p1, p2, domain, Observability::kValueOnly,
+                                       CheckOptions::Threads(threads));
+    EXPECT_TRUE(audit.shared) << threads;
+    EXPECT_TRUE(audit.tabulation.complete()) << threads;
+    EXPECT_EQ(audit.EvaluatedPoints(), domain.size()) << threads;
+    // Exactly once per point, despite six reducers consuming the results.
+    EXPECT_EQ(m1_runs.load(), domain.size()) << threads;
+    EXPECT_EQ(m2_runs.load(), domain.size()) << threads;
+    EXPECT_EQ(p1_images.load(), domain.size()) << threads;
+    EXPECT_EQ(p2_images.load(), domain.size()) << threads;
+
+    // And the verdicts are the live checkers': m1 = allow(0) projection is
+    // sound for p1; m2 mixes sec in, so m1 vs m2 diverge on values.
+    EXPECT_TRUE(audit.soundness.sound) << threads;
+    EXPECT_TRUE(audit.integrity.preserved) << threads;
+    EXPECT_TRUE(audit.policy_compare.reveals_at_most) << threads;
+    EXPECT_EQ(audit.leak.leaky_classes, 0u) << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fail-closed paths
+
+TEST(AuditFailClosedTest, DeadlineDuringTabulationFailsEverySectionClosed) {
+  const InputDomain domain = InputDomain::Range(2, 0, 99);  // 10000 points
+  const FunctionMechanism slow("slow", 2, [](InputView input) {
+    Value sink = 0;
+    for (int i = 0; i < 20000; ++i) {
+      sink += i ^ input[0];
+    }
+    return Outcome::Val(sink >= 0 ? input[0] : 0, 1);
+  });
+  const FunctionMechanism fast("fast", 2,
+                               [](InputView input) { return Outcome::Val(input[0], 1); });
+  const AllowPolicy policy(2, VarSet{0});
+  const AllowPolicy policy2 = AllowPolicy::AllowAll(2);
+
+  CheckOptions options = CheckOptions::Threads(2);
+  options.deadline = Deadline::AfterMillis(1);
+  const AuditReport audit =
+      CheckAll(slow, fast, policy, policy2, domain, Observability::kValueOnly, options);
+
+  EXPECT_TRUE(audit.shared);
+  EXPECT_EQ(audit.tabulation.status, CheckStatus::kDeadlineExceeded);
+  // No section may claim a verdict from a partial table.
+  EXPECT_FALSE(audit.soundness.sound);
+  EXPECT_FALSE(audit.integrity.preserved);
+  EXPECT_FALSE(audit.policy_compare.reveals_at_most);
+  EXPECT_EQ(audit.maximal.mechanism, nullptr);
+  for (const CheckProgress* progress :
+       {&audit.soundness.progress, &audit.integrity.progress, &audit.completeness.progress,
+        &audit.maximal.progress, &audit.policy_compare.progress, &audit.leak.progress}) {
+    EXPECT_EQ(progress->status, CheckStatus::kDeadlineExceeded);
+    EXPECT_EQ(progress->evaluated, audit.tabulation.evaluated);
+  }
+}
+
+TEST(AuditFailClosedTest, FaultedTabulationAbortsTheWholeJob) {
+  CheckJobSpec spec = AuditSpec(2);
+  spec.fault_spec = "throw@5";
+  const JobResult result = ExecuteJob(spec);
+  EXPECT_EQ(result.status, JobStatus::kAborted);
+  EXPECT_EQ(result.exit_code, 4);
+  EXPECT_NE(result.report.find("injected fault"), std::string::npos);
+}
+
+TEST(AuditFallbackTest, OversizedGridFallsBackToLiveCheckers) {
+  // 3 000 000 points exceed OutcomeTable::kMaxPoints, so the audit runs the
+  // six live sweeps instead; a 1ms deadline keeps the test fast while still
+  // exercising the fallback dispatch.
+  const InputDomain domain = InputDomain::Range(1, 0, 2999999);
+  ASSERT_GT(domain.size(), OutcomeTable::kMaxPoints);
+  const FunctionMechanism m("m", 1, [](InputView input) { return Outcome::Val(input[0], 1); });
+  const AllowPolicy policy = AllowPolicy::AllowAll(1);
+
+  CheckOptions options = CheckOptions::Threads(2);
+  options.deadline = Deadline::AfterMillis(1);
+  const AuditReport audit =
+      CheckAll(m, m, policy, policy, domain, Observability::kValueOnly, options);
+
+  EXPECT_FALSE(audit.shared);
+  EXPECT_EQ(audit.tabulation.total, domain.size());
+  // Fallback reports come from the live checkers themselves.
+  EXPECT_EQ(audit.soundness.progress.status, CheckStatus::kDeadlineExceeded);
+  EXPECT_FALSE(audit.soundness.sound);
+}
+
+// ---------------------------------------------------------------------------
+// Spec validation
+
+TEST(AuditSpecTest, ValidatesMechanism2AndAllow2) {
+  CheckJobSpec spec = AuditSpec(1);
+  spec.mechanism2 = "warp-drive";
+  const JobResult bad_mech = ExecuteJob(spec);
+  EXPECT_EQ(bad_mech.status, JobStatus::kInvalid);
+  EXPECT_NE(bad_mech.error.find("mechanism2"), std::string::npos);
+
+  spec = AuditSpec(1);
+  spec.allow2 = VarSet{5};  // out of range for two inputs
+  const JobResult bad_allow = ExecuteJob(spec);
+  EXPECT_EQ(bad_allow.status, JobStatus::kInvalid);
+  EXPECT_NE(bad_allow.error.find("allow2"), std::string::npos);
+}
+
+TEST(AuditSpecTest, CheckerKindRoundTrips) {
+  EXPECT_EQ(CheckerKindName(CheckerKind::kAudit), "audit");
+  EXPECT_EQ(ParseCheckerKind("audit"), CheckerKind::kAudit);
+}
+
+}  // namespace
+}  // namespace secpol

@@ -148,6 +148,29 @@ TEST_F(CliTest, CheckAllMechanismKinds) {
   }
 }
 
+TEST_F(CliTest, AuditRunsAllSixChecksInOnePass) {
+  const std::string path = WriteProgram("program p(pub, sec) { y = pub; }");
+  EXPECT_EQ(Run({"audit", path, "--allow=0"}), 0);
+  // One section per checker, in order.
+  for (const char* marker : {"SOUND", "PRESERVED", "M1 == M2", "maximal for",
+                             "reveals-at-most", "leak:"}) {
+    EXPECT_NE(out_.find(marker), std::string::npos) << marker;
+  }
+
+  // Worst section drives the exit code: the bare mechanism leaks sec.
+  const std::string leaky = WriteProgram("program p(pub, sec) { y = sec; }");
+  EXPECT_EQ(Run({"audit", leaky, "--allow=0", "--mechanism=bare"}), 2);
+  EXPECT_NE(out_.find("UNSOUND"), std::string::npos);
+
+  // Flag validation mirrors the other verbs.
+  EXPECT_EQ(Run({"audit", path}), 1);  // missing --allow
+  EXPECT_NE(err_.find("--allow"), std::string::npos);
+  EXPECT_EQ(Run({"audit", path, "--allow=0", "--allow2=9"}), 1);
+  EXPECT_NE(err_.find("allow index 9 out of range"), std::string::npos);
+  EXPECT_EQ(Run({"audit", path, "--allow=0", "--mechanism2=warp"}), 1);
+  EXPECT_NE(err_.find("mechanism2"), std::string::npos);
+}
+
 TEST_F(CliTest, AnalyzeReportsLabels) {
   const std::string path = WriteProgram(
       "program p(pub, sec) { if (sec > 0) { y = 1; } else { y = 2; } }");

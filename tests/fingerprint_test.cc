@@ -245,5 +245,19 @@ TEST(GoldenFingerprintTest, JobCacheKeys) {
   EXPECT_EQ(PrepareJob(spec).value().key.ToHex(), "a0153ba9c1735ae116f8026b9593bb4f");
 }
 
+TEST(GoldenFingerprintTest, AuditJobCacheKey) {
+  // The audit job reuses the existing key fields (mechanism2 and allow2 were
+  // already fingerprinted for completeness / policy-compare jobs), so adding
+  // kAudit must not perturb the other checkers' keys — the pins above — and
+  // the audit's own key is pinned here.
+  CheckJobSpec spec;
+  spec.checker = CheckerKind::kAudit;
+  spec.program_text = "program p(a, b) { y = a; }";
+  spec.allow = VarSet{0};
+  spec.allow2 = VarSet{0, 1};
+  spec.mechanism2 = "bare";
+  EXPECT_EQ(PrepareJob(spec).value().key.ToHex(), "64d4f1dc16bb4c337725fec1867d157d");
+}
+
 }  // namespace
 }  // namespace secpol

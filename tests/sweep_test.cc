@@ -1,0 +1,234 @@
+// Tests for the unified grid-sweep kernel (src/mechanism/sweep.h): plan
+// selection, conflict-bound pruning, progress accounting, and the two
+// robustness paths every checker inherits from it — a permanent fault
+// escaping an exhausted retry budget, and an external-thread cancellation
+// arriving mid-parallel-sweep.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/mechanism/check_options.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/fault.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/soundness.h"
+#include "src/mechanism/sweep.h"
+#include "src/policy/policy.h"
+
+namespace secpol {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SweepPlan
+
+TEST(SweepPlanTest, SerialIsOneShard) {
+  const SweepPlan plan = SweepPlan::For(CheckOptions::Serial(), /*grid_size=*/1000);
+  EXPECT_EQ(plan.threads, 1);
+  EXPECT_EQ(plan.num_shards, 1u);
+}
+
+TEST(SweepPlanTest, ParallelMatchesShardsFor) {
+  const SweepPlan plan = SweepPlan::For(CheckOptions::Threads(4), /*grid_size=*/1000);
+  EXPECT_EQ(plan.threads, 4);
+  EXPECT_EQ(plan.num_shards, CheckOptions::ShardsFor(4, 1000));
+  EXPECT_GT(plan.num_shards, 1u);
+}
+
+TEST(SweepPlanTest, TinyGridNeverGetsMoreShardsThanPoints) {
+  const SweepPlan plan = SweepPlan::For(CheckOptions::Threads(8), /*grid_size=*/3);
+  EXPECT_LE(plan.num_shards, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// ConflictBound
+
+TEST(ConflictBoundTest, LowersMonotonically) {
+  ConflictBound bound;
+  EXPECT_FALSE(bound.Excludes(UINT64_MAX - 1));
+  bound.LowerTo(100);
+  EXPECT_FALSE(bound.Excludes(100));
+  EXPECT_TRUE(bound.Excludes(101));
+  bound.LowerTo(500);  // raising is a no-op
+  EXPECT_TRUE(bound.Excludes(101));
+  bound.LowerTo(7);
+  EXPECT_TRUE(bound.Excludes(8));
+  EXPECT_FALSE(bound.Excludes(7));
+}
+
+// ---------------------------------------------------------------------------
+// SweepGrid accounting
+
+TEST(SweepGridTest, CountsEveryPointExactlyOnceAtAnyThreadCount) {
+  const InputDomain domain = InputDomain::Range(2, 0, 9);  // 100 points
+  for (int threads : {1, 2, 7}) {
+    const CheckOptions options = CheckOptions::Threads(threads);
+    const SweepPlan plan = SweepPlan::For(options, domain.size());
+    std::vector<std::atomic<int>> seen(domain.size());
+    const CheckProgress progress = SweepGrid(
+        domain, options, plan, [&](std::uint64_t, std::uint64_t rank, InputView) -> bool {
+          seen[rank].fetch_add(1, std::memory_order_relaxed);
+          return true;
+        });
+    EXPECT_EQ(progress.status, CheckStatus::kCompleted) << threads;
+    EXPECT_EQ(progress.evaluated, domain.size()) << threads;
+    EXPECT_EQ(progress.total, domain.size()) << threads;
+    for (std::uint64_t r = 0; r < domain.size(); ++r) {
+      EXPECT_EQ(seen[r].load(), 1) << "rank " << r << " threads " << threads;
+    }
+  }
+}
+
+TEST(SweepGridTest, SerialVisitsRanksInCanonicalOrder) {
+  const InputDomain domain = InputDomain::Range(2, -1, 2);
+  const CheckOptions options = CheckOptions::Serial();
+  std::vector<std::uint64_t> ranks;
+  const CheckProgress progress =
+      SweepGrid(domain, options, SweepPlan::For(options, domain.size()),
+                [&](std::uint64_t shard, std::uint64_t rank, InputView) -> bool {
+                  EXPECT_EQ(shard, 0u);
+                  ranks.push_back(rank);
+                  return true;
+                });
+  EXPECT_TRUE(progress.complete());
+  ASSERT_EQ(ranks.size(), domain.size());
+  for (std::uint64_t r = 0; r < ranks.size(); ++r) {
+    EXPECT_EQ(ranks[r], r);
+  }
+}
+
+TEST(SweepGridTest, PruneStopsShardWithoutCountingThePoint) {
+  const InputDomain domain = InputDomain::Range(1, 0, 99);
+  const CheckOptions options = CheckOptions::Serial();
+  ConflictBound bound;
+  bound.LowerTo(9);  // ranks 10.. are excluded
+  const CheckProgress progress = SweepGrid(
+      domain, options, SweepPlan::For(options, domain.size()),
+      [&](std::uint64_t, std::uint64_t, InputView) -> bool { return true; },
+      [&](std::uint64_t rank) { return bound.Excludes(rank); });
+  EXPECT_TRUE(progress.complete());  // pruned shards still "completed"
+  EXPECT_EQ(progress.evaluated, 10u);
+}
+
+TEST(SweepGridTest, ThrowingVisitAbortsWithMessage) {
+  const InputDomain domain = InputDomain::Range(1, 0, 99);
+  for (int threads : {1, 2, 7}) {
+    const CheckOptions options = CheckOptions::Threads(threads);
+    const CheckProgress progress =
+        SweepGrid(domain, options, SweepPlan::For(options, domain.size()),
+                  [&](std::uint64_t, std::uint64_t rank, InputView) -> bool {
+                    if (rank == 42) {
+                      throw std::runtime_error("boom at 42");
+                    }
+                    return true;
+                  });
+    EXPECT_EQ(progress.status, CheckStatus::kAborted) << threads;
+    EXPECT_EQ(progress.message, "boom at 42") << threads;
+    EXPECT_LT(progress.evaluated, domain.size()) << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Retry budget exhaustion through the kernel
+//
+// A permanent fault is never absorbed by RetryingMechanism, so however large
+// the retry budget, the checker built on the kernel must surface it as a
+// structured kAborted report carrying the fault text — at any thread count.
+
+TEST(SweepRetryTest, PermanentFaultEscapesRetryBudgetAsAbort) {
+  const InputDomain domain = InputDomain::Range(2, 0, 9);
+  const AllowPolicy policy = AllowPolicy::AllowAll(2);
+  for (int threads : {1, 2, 7}) {
+    auto inner = std::make_shared<FunctionMechanism>(
+        "inner", 2, [](InputView input) { return Outcome::Val(input[0] + input[1], 1); });
+    auto specs = ParseFaultSpecs("throw@37");
+    ASSERT_TRUE(specs.ok());
+    auto faulty = std::make_shared<FaultInjectingMechanism>(inner, domain, specs.value());
+    const RetryingMechanism retrying(faulty, /*max_retries=*/5);
+
+    const SoundnessReport report =
+        CheckSoundness(retrying, policy, domain, Observability::kValueOnly,
+                       CheckOptions::Threads(threads));
+    EXPECT_EQ(report.progress.status, CheckStatus::kAborted) << threads;
+    EXPECT_EQ(report.progress.message, "injected fault at rank 37") << threads;
+    EXPECT_FALSE(report.sound) << threads;
+    // Permanent faults bypass the retry loop entirely: one firing, no retries.
+    EXPECT_EQ(faulty->faults_fired(), 1u) << threads;
+    EXPECT_EQ(retrying.retries_used(), 0u) << threads;
+  }
+}
+
+TEST(SweepRetryTest, TransientFaultBeyondBudgetEscapesAsAbort) {
+  const InputDomain domain = InputDomain::Range(2, 0, 9);
+  const AllowPolicy policy = AllowPolicy::AllowAll(2);
+  for (int threads : {1, 2, 7}) {
+    auto inner = std::make_shared<FunctionMechanism>(
+        "inner", 2, [](InputView input) { return Outcome::Val(input[0], 1); });
+    // Fires on the first three attempts at rank 37; one retry is not enough.
+    auto specs = ParseFaultSpecs("throw!@37x3");
+    ASSERT_TRUE(specs.ok());
+    auto faulty = std::make_shared<FaultInjectingMechanism>(inner, domain, specs.value());
+    const RetryingMechanism retrying(faulty, /*max_retries=*/1);
+
+    const SoundnessReport report =
+        CheckSoundness(retrying, policy, domain, Observability::kValueOnly,
+                       CheckOptions::Threads(threads));
+    EXPECT_EQ(report.progress.status, CheckStatus::kAborted) << threads;
+    EXPECT_EQ(report.progress.message, "transient fault at rank 37") << threads;
+    EXPECT_EQ(retrying.retries_used(), 1u) << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// External-thread cancellation mid-parallel-sweep
+//
+// Deterministic rendezvous: from the 25th evaluation onward the mechanism
+// blocks until the cancel token is raised, and the external thread raises it
+// only after watching the evaluation counter reach 25. So cancellation is
+// guaranteed to arrive while worker threads are inside visit bodies, and the
+// sweep is guaranteed not to complete first. The grid is sized so every
+// blocked shard still has a poll ahead of it (PollGate polls on the first
+// call and every 64th after; a shard can only block within its first ~32
+// evaluations because the global counter plateaus once evaluations block).
+
+TEST(SweepCancelTest, ExternalThreadCancelStopsParallelSweep) {
+  const InputDomain domain = InputDomain::Range(1, 0, 9999);  // 10000 points
+  const AllowPolicy policy = AllowPolicy::AllowAll(1);
+
+  CheckOptions options = CheckOptions::Threads(7);
+  CancelToken cancel = options.cancel;  // shared flag
+
+  std::atomic<std::uint64_t> evaluations{0};
+  const FunctionMechanism mechanism("blocker", 1, [&](InputView input) {
+    if (evaluations.fetch_add(1, std::memory_order_relaxed) + 1 >= 25) {
+      while (!cancel.Cancelled()) {
+        std::this_thread::yield();
+      }
+    }
+    return Outcome::Val(input[0], 1);
+  });
+
+  std::thread canceller([&] {
+    while (evaluations.load(std::memory_order_relaxed) < 25) {
+      std::this_thread::yield();
+    }
+    cancel.RequestCancel();
+  });
+
+  const SoundnessReport report =
+      CheckSoundness(mechanism, policy, domain, Observability::kValueOnly, options);
+  canceller.join();
+
+  EXPECT_EQ(report.progress.status, CheckStatus::kAborted);
+  EXPECT_EQ(report.progress.message, "cancelled");
+  EXPECT_GE(report.progress.evaluated, 25u);
+  EXPECT_LT(report.progress.evaluated, domain.size());
+  EXPECT_FALSE(report.sound);  // fail closed: no verdict from a partial sweep
+}
+
+}  // namespace
+}  // namespace secpol
