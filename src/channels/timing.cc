@@ -83,20 +83,27 @@ LeakReport MeasureLeakImpl(const InputDomain& domain, Observability obs,
 LeakReport MeasureLeak(const ProtectionMechanism& mechanism, const SecurityPolicy& policy,
                        const InputDomain& domain, Observability obs,
                        const CheckOptions& options) {
-  return MeasureLeakImpl(domain, obs, options, [&](std::uint64_t, InputView input) {
+  CheckScope scope(options.obs, "leak");
+  LeakReport report = MeasureLeakImpl(domain, obs, options, [&](std::uint64_t, InputView input) {
     // Braced initialization fixes the evaluation order: the policy image
     // before the mechanism run, so an aborted run leaves the faulting
     // point's class unrecorded under either order of the historical
     // (indeterminately sequenced) formulation.
     return LeakPoint{policy.Image(input), mechanism.Run(input)};
   });
+  scope.SetPoints(report.progress.evaluated);
+  return report;
 }
 
 LeakReport MeasureLeak(const OutcomeTable& table, Observability obs,
                        const CheckOptions& options) {
-  return MeasureLeakImpl(table.domain(), obs, options, [&](std::uint64_t rank, InputView) {
-    return LeakPoint{table.image(rank), table.outcome(rank)};
-  });
+  CheckScope scope(options.obs, "leak");
+  LeakReport report =
+      MeasureLeakImpl(table.domain(), obs, options, [&](std::uint64_t rank, InputView) {
+        return LeakPoint{table.image(rank), table.outcome(rank)};
+      });
+  scope.SetPoints(report.progress.evaluated);
+  return report;
 }
 
 }  // namespace secpol

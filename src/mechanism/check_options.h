@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/util/deadline.h"
 #include "src/util/result.h"
 
@@ -41,6 +42,10 @@ struct CheckOptions {
   // Cooperative cancellation: share a copy of this token and call
   // RequestCancel() from any thread; the checker reports kAborted.
   CancelToken cancel;
+
+  // Observability sinks (metrics registry / trace recorder). Both default to
+  // null — the disabled mode — and never influence verdicts or report bytes.
+  ObsContext obs;
 
   static CheckOptions Serial() { return Threads(1); }
   static CheckOptions Threads(int n) {
@@ -108,6 +113,9 @@ struct CheckProgress {
 // counters and poll gates never contend. Serial paths use a single meter.
 struct alignas(64) ShardMeter {
   std::uint64_t evaluated = 0;
+  std::uint64_t pruned = 0;        // 1 if this shard stopped on a prune bound
+  std::int64_t first_visit_us = -1;  // trace timebase; -1 = never visited
+  std::int64_t last_visit_us = -1;   // (only maintained while tracing)
   PollGate gate;
 
   explicit ShardMeter(const CheckOptions& options, CancelToken drain = CancelToken())

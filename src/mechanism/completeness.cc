@@ -107,18 +107,27 @@ CompletenessStats CompareCompleteness(const ProtectionMechanism& m1,
                                       const InputDomain& domain, const CheckOptions& options) {
   assert(m1.num_inputs() == m2.num_inputs());
   assert(m1.num_inputs() == domain.num_inputs());
-  return CompareCompletenessImpl(domain, options, [&](std::uint64_t, InputView input) {
-    // Braced initialization fixes the historical order: M1 before M2.
-    return CompletenessPoint{m1.Run(input).IsValue(), m2.Run(input).IsValue()};
-  });
+  CheckScope scope(options.obs, "completeness");
+  CompletenessStats stats =
+      CompareCompletenessImpl(domain, options, [&](std::uint64_t, InputView input) {
+        // Braced initialization fixes the historical order: M1 before M2.
+        return CompletenessPoint{m1.Run(input).IsValue(), m2.Run(input).IsValue()};
+      });
+  scope.SetPoints(stats.progress.evaluated);
+  return stats;
 }
 
 CompletenessStats CompareCompleteness(const OutcomeTable& table, const CheckOptions& options) {
   assert(table.complete());
   assert(table.has_outcomes() && table.has_outcomes2());
-  return CompareCompletenessImpl(table.domain(), options, [&](std::uint64_t rank, InputView) {
-    return CompletenessPoint{table.outcome(rank).IsValue(), table.outcome2(rank).IsValue()};
-  });
+  CheckScope scope(options.obs, "completeness");
+  CompletenessStats stats =
+      CompareCompletenessImpl(table.domain(), options, [&](std::uint64_t rank, InputView) {
+        return CompletenessPoint{table.outcome(rank).IsValue(),
+                                 table.outcome2(rank).IsValue()};
+      });
+  scope.SetPoints(stats.progress.evaluated);
+  return stats;
 }
 
 double MeasureUtility(const ProtectionMechanism& m, const InputDomain& domain,

@@ -147,20 +147,26 @@ IntegrityReport CheckInformationPreservation(const ProtectionMechanism& mechanis
                                              const CheckOptions& options) {
   assert(mechanism.num_inputs() == required.num_inputs());
   assert(mechanism.num_inputs() == domain.num_inputs());
-  return CheckPreservationImpl(
+  CheckScope scope(options.obs, "integrity");
+  IntegrityReport report = CheckPreservationImpl(
       domain, obs, options,
       [&](std::uint64_t, InputView input) { return required.Image(input); },
       [&](std::uint64_t, InputView input) { return mechanism.Run(input); });
+  scope.SetPoints(report.progress.evaluated);
+  return report;
 }
 
 IntegrityReport CheckInformationPreservation(const OutcomeTable& table, Observability obs,
                                              const CheckOptions& options) {
   assert(table.complete());
   assert(table.has_outcomes() && table.has_images());
-  return CheckPreservationImpl(
+  CheckScope scope(options.obs, "integrity");
+  IntegrityReport report = CheckPreservationImpl(
       table.domain(), obs, options,
       [&](std::uint64_t rank, InputView) { return table.image(rank); },
       [&](std::uint64_t rank, InputView) { return table.outcome(rank); });
+  scope.SetPoints(report.progress.evaluated);
+  return report;
 }
 
 }  // namespace secpol

@@ -135,7 +135,8 @@ MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
                                             const CheckOptions& options) {
   assert(q.num_inputs() == policy.num_inputs());
   assert(q.num_inputs() == domain.num_inputs());
-  return SynthesizeImpl(
+  CheckScope scope(options.obs, "maximal");
+  MaximalSynthesis result = SynthesizeImpl(
       domain, obs, options, q.name(), q.num_inputs(),
       [&](std::uint64_t, InputView input) {
         // Braced initialization fixes the historical order: Q's run before
@@ -143,18 +144,23 @@ MaximalSynthesis SynthesizeMaximalMechanism(const ProtectionMechanism& q,
         return MaximalPoint{q.Run(input), policy.Image(input)};
       },
       [&](const Member& member) { return q.Run(member.input); });
+  scope.SetPoints(result.progress.evaluated);
+  return result;
 }
 
 MaximalSynthesis SynthesizeMaximalMechanism(const OutcomeTable& table, Observability obs,
                                             const CheckOptions& options) {
   assert(table.complete());
   assert(table.has_outcomes() && table.has_images());
-  return SynthesizeImpl(
+  CheckScope scope(options.obs, "maximal");
+  MaximalSynthesis result = SynthesizeImpl(
       table.domain(), obs, options, table.mechanism_name(), table.domain().num_inputs(),
       [&](std::uint64_t rank, InputView) {
         return MaximalPoint{table.outcome(rank), table.image(rank)};
       },
       [&](const Member& member) { return table.outcome(member.rank); });
+  scope.SetPoints(result.progress.evaluated);
+  return result;
 }
 
 }  // namespace secpol

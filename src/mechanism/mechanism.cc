@@ -1,8 +1,6 @@
 #include "src/mechanism/mechanism.h"
 
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
 
 namespace secpol {
 
@@ -42,8 +40,7 @@ void TableMechanism::Set(Input input, Outcome outcome) {
 Outcome TableMechanism::Run(InputView input) const {
   const auto it = table_.find(Input(input.begin(), input.end()));
   if (it == table_.end()) {
-    std::fprintf(stderr, "TableMechanism '%s': input outside tabulated domain\n", name_.c_str());
-    std::abort();
+    throw OutOfDomainError("TableMechanism '" + name_ + "': input outside tabulated domain");
   }
   return it->second;
 }

@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,16 @@
 #include "src/util/value.h"
 
 namespace secpol {
+
+// Thrown when a mechanism is run on an input it has no defined outcome for
+// (e.g. a TableMechanism queried outside its tabulated domain). The sweep
+// kernel catches it like any worker exception and fails that run closed
+// (kAborted) — a bad mechanism must never take down the whole process or
+// the sibling jobs of a batch.
+class OutOfDomainError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class ProtectionMechanism {
  public:
@@ -84,7 +95,7 @@ class FunctionMechanism : public ProtectionMechanism {
 };
 
 // A finite, fully tabulated mechanism over an enumerated input domain.
-// Running it on an input outside the table is a programming error.
+// Running it on an input outside the table throws OutOfDomainError.
 class TableMechanism : public ProtectionMechanism {
  public:
   TableMechanism(std::string name, int num_inputs);

@@ -12,6 +12,7 @@ namespace secpol {
 OutcomeTable BuildOutcomeTable(const OutcomeTableSources& sources, const InputDomain& domain,
                                const CheckOptions& options) {
   assert(sources.mechanism != nullptr);
+  CheckScope scope(options.obs, "tabulate");
   OutcomeTable table(domain);
   table.mechanism_name_ = sources.mechanism->name();
   if (sources.mechanism2 != nullptr) {
@@ -69,6 +70,7 @@ OutcomeTable BuildOutcomeTable(const OutcomeTableSources& sources, const InputDo
     table.images_.clear();
     table.images2_.clear();
   }
+  scope.SetPoints(table.build_.evaluated);
   return table;
 }
 

@@ -88,24 +88,33 @@ PolicyCompareReport ComparePolicyDisclosure(const SecurityPolicy& p, const Secur
                                             const CheckOptions& options) {
   assert(p.num_inputs() == q.num_inputs());
   assert(p.num_inputs() == domain.num_inputs());
-  return ComparePolicyDisclosureImpl(domain, options, [&](std::uint64_t, InputView input) {
-    // Braced initialization fixes the historical order: q's image before p's.
-    return ComparePoint{q.Image(input), p.Image(input)};
-  });
+  CheckScope scope(options.obs, "policy_compare");
+  PolicyCompareReport report =
+      ComparePolicyDisclosureImpl(domain, options, [&](std::uint64_t, InputView input) {
+        // Braced initialization fixes the historical order: q's image before
+        // p's.
+        return ComparePoint{q.Image(input), p.Image(input)};
+      });
+  scope.SetPoints(report.progress.evaluated);
+  return report;
 }
 
 PolicyCompareReport ComparePolicyDisclosure(const OutcomeTable& table,
                                             const CheckOptions& options) {
   assert(table.complete());
   assert(table.has_images() && table.has_images2());
+  CheckScope scope(options.obs, "policy_compare");
   // The table's primary policy column is p, the secondary is q: "p reveals
   // at most q" asks whether the audited policy discloses no more than the
   // reference policy2.
-  return ComparePolicyDisclosureImpl(table.domain(), options,
-                                     [&](std::uint64_t rank, InputView) {
-                                       return ComparePoint{table.image2(rank),
-                                                           table.image(rank)};
-                                     });
+  PolicyCompareReport report =
+      ComparePolicyDisclosureImpl(table.domain(), options,
+                                  [&](std::uint64_t rank, InputView) {
+                                    return ComparePoint{table.image2(rank),
+                                                        table.image(rank)};
+                                  });
+  scope.SetPoints(report.progress.evaluated);
+  return report;
 }
 
 bool RevealsAtMost(const SecurityPolicy& p, const SecurityPolicy& q,

@@ -113,20 +113,28 @@ SoundnessReport CheckSoundness(const ProtectionMechanism& mechanism,
                                Observability obs, const CheckOptions& options) {
   assert(mechanism.num_inputs() == policy.num_inputs());
   assert(mechanism.num_inputs() == domain.num_inputs());
-  return CheckSoundnessImpl(domain, obs, options, [&](std::uint64_t, InputView input) {
-    // Braced initialization fixes the historical evaluation order: the
-    // policy image before the mechanism run.
-    return SoundnessPoint{policy.Image(input), mechanism.Run(input)};
-  });
+  CheckScope scope(options.obs, "soundness");
+  SoundnessReport report =
+      CheckSoundnessImpl(domain, obs, options, [&](std::uint64_t, InputView input) {
+        // Braced initialization fixes the historical evaluation order: the
+        // policy image before the mechanism run.
+        return SoundnessPoint{policy.Image(input), mechanism.Run(input)};
+      });
+  scope.SetPoints(report.progress.evaluated);
+  return report;
 }
 
 SoundnessReport CheckSoundness(const OutcomeTable& table, Observability obs,
                                const CheckOptions& options) {
   assert(table.complete());
   assert(table.has_outcomes() && table.has_images());
-  return CheckSoundnessImpl(table.domain(), obs, options, [&](std::uint64_t rank, InputView) {
-    return SoundnessPoint{table.image(rank), table.outcome(rank)};
-  });
+  CheckScope scope(options.obs, "soundness");
+  SoundnessReport report =
+      CheckSoundnessImpl(table.domain(), obs, options, [&](std::uint64_t rank, InputView) {
+        return SoundnessPoint{table.image(rank), table.outcome(rank)};
+      });
+  scope.SetPoints(report.progress.evaluated);
+  return report;
 }
 
 }  // namespace secpol

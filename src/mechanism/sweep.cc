@@ -11,4 +11,65 @@ SweepPlan SweepPlan::For(const CheckOptions& options, std::uint64_t grid_size) {
   return plan;
 }
 
+void RecordSweepMetrics(const ObsContext& obs, const std::vector<ShardMeter>& meters,
+                        const CheckProgress& progress, bool exception, bool out_of_domain) {
+  if (!obs.enabled()) {
+    return;
+  }
+  std::uint64_t polls = 0;
+  std::uint64_t pruned_shards = 0;
+  for (const ShardMeter& meter : meters) {
+    polls += meter.gate.polls();
+    pruned_shards += meter.pruned;
+  }
+  if (obs.metrics != nullptr) {
+    MetricsRegistry& m = *obs.metrics;
+    m.GetCounter("sweep.sweeps")->Add(1);
+    m.GetCounter("sweep.points")->Add(progress.evaluated);
+    m.GetCounter("sweep.shards")->Add(meters.size());
+    m.GetCounter("sweep.polls")->Add(polls);
+    m.GetCounter("sweep.pruned_shards")->Add(pruned_shards);
+    if (progress.status == CheckStatus::kDeadlineExceeded) {
+      m.GetCounter("sweep.deadline_stops")->Add(1);
+    }
+    if (progress.status == CheckStatus::kAborted && !exception) {
+      m.GetCounter("sweep.cancel_stops")->Add(1);
+    }
+    if (exception) {
+      m.GetCounter("sweep.exceptions")->Add(1);
+    }
+    if (out_of_domain) {
+      m.GetCounter("sweep.out_of_domain")->Add(1);
+    }
+    Histogram* const shard_points = m.GetHistogram("sweep.shard_points");
+    for (const ShardMeter& meter : meters) {
+      shard_points->Record(meter.evaluated);
+    }
+  }
+  if (obs.trace != nullptr) {
+    for (std::size_t i = 0; i < meters.size(); ++i) {
+      const ShardMeter& meter = meters[i];
+      if (meter.first_visit_us < 0) {
+        continue;
+      }
+      Json args = Json::MakeObject();
+      args.Set("shard", Json::MakeInt(static_cast<std::int64_t>(i)));
+      args.Set("points", Json::MakeInt(static_cast<std::int64_t>(meter.evaluated)));
+      if (meter.pruned != 0) {
+        args.Set("pruned", Json::MakeBool(true));
+      }
+      obs.trace->AddComplete("shard " + std::to_string(i), "sweep", meter.first_visit_us,
+                             meter.last_visit_us - meter.first_visit_us, std::move(args));
+    }
+    if (progress.status == CheckStatus::kDeadlineExceeded) {
+      obs.trace->AddInstant("deadline exceeded", "sweep");
+    } else if (progress.status == CheckStatus::kAborted) {
+      Json args = Json::MakeObject();
+      args.Set("message", Json::MakeString(progress.message));
+      obs.trace->AddInstant(exception ? "sweep exception" : "sweep cancelled", "sweep",
+                            std::move(args));
+    }
+  }
+}
+
 }  // namespace secpol

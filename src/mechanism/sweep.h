@@ -29,6 +29,8 @@
 
 #include "src/mechanism/check_options.h"
 #include "src/mechanism/domain.h"
+#include "src/mechanism/mechanism.h"
+#include "src/obs/obs.h"
 #include "src/util/deadline.h"
 #include "src/util/value.h"
 
@@ -42,6 +44,13 @@ struct SweepPlan {
 
   static SweepPlan For(const CheckOptions& options, std::uint64_t grid_size);
 };
+
+// Folds one finished sweep into the attached sinks: "sweep.*" counters, the
+// per-shard point histogram, per-shard trace spans, and stop-event instants.
+// A disabled ObsContext makes this a no-op. Defined in sweep.cc; called by
+// SweepGrid after the meters are merged.
+void RecordSweepMetrics(const ObsContext& obs, const std::vector<ShardMeter>& meters,
+                        const CheckProgress& progress, bool exception, bool out_of_domain);
 
 // A monotonically decreasing rank bound shared across shards. Once some
 // shard proves "a witness exists at rank <= r", ranks beyond r can never
@@ -82,6 +91,14 @@ CheckProgress SweepGrid(const InputDomain& domain, const CheckOptions& options,
   // wind down instead of sweeping their full ranges.
   CancelToken drain;
   std::vector<ShardMeter> meters(plan.num_shards, ShardMeter(options, drain));
+  // When tracing, each shard tracks its [first, last] visit window for the
+  // per-shard trace span. The first visit reads the clock; after that the
+  // window end is resampled every 64 points, so a span's end is approximate
+  // by at most 63 points of work but the hot loop pays a clock read on only
+  // 1/64 of the grid. Disabled obs costs a single predictable null check.
+  TraceRecorder* const trace = options.obs.trace;
+  bool exception = false;
+  bool out_of_domain = false;
   try {
     domain.ParallelForEach(
         plan.num_shards,
@@ -91,20 +108,37 @@ CheckProgress SweepGrid(const InputDomain& domain, const CheckOptions& options,
             return false;
           }
           if (prune(rank)) {
+            meter.pruned = 1;
             return false;
           }
           ++meter.evaluated;
+          if (trace != nullptr) {
+            if (meter.first_visit_us < 0) {
+              meter.first_visit_us = trace->NowMicros();
+              meter.last_visit_us = meter.first_visit_us;
+            } else if ((meter.evaluated & 63) == 0) {
+              meter.last_visit_us = trace->NowMicros();
+            }
+          }
           return visit(shard, rank, input);
         },
         plan.threads, &drain);
     MergeMeters(meters, &progress);
+  } catch (const OutOfDomainError& e) {
+    exception = true;
+    out_of_domain = true;
+    MergeMeters(meters, &progress);
+    AbortProgress(&progress, e.what());
   } catch (const std::exception& e) {
+    exception = true;
     MergeMeters(meters, &progress);
     AbortProgress(&progress, e.what());
   } catch (...) {
+    exception = true;
     MergeMeters(meters, &progress);
     AbortProgress(&progress, "unknown error");
   }
+  RecordSweepMetrics(options.obs, meters, progress, exception, out_of_domain);
   return progress;
 }
 

@@ -1,0 +1,133 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace secpol {
+
+namespace {
+
+// Bit width of `v`: 0 for 0, otherwise 1 + floor(log2 v). Kept hand-rolled
+// so the header does not need <bit> (and the value is needed at runtime
+// only, on the sampling path).
+std::size_t BitWidth(std::uint64_t v) {
+  std::size_t width = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++width;
+  }
+  return width;
+}
+
+}  // namespace
+
+std::size_t Counter::LaneIndex() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t lane =
+      next.fetch_add(1, std::memory_order_relaxed) % kLanes;
+  return lane;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  buckets_[BitWidth(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Json Histogram::ToJson() const {
+  const std::uint64_t count = Count();
+  Json out = Json::MakeObject();
+  out.Set("count", Json::MakeInt(static_cast<std::int64_t>(count)));
+  out.Set("sum", Json::MakeInt(static_cast<std::int64_t>(Sum())));
+  if (count > 0) {
+    out.Set("min", Json::MakeInt(static_cast<std::int64_t>(Min())));
+    out.Set("max", Json::MakeInt(static_cast<std::int64_t>(Max())));
+    out.Set("mean", Json::MakeDouble(static_cast<double>(Sum()) / static_cast<double>(count)));
+  }
+  Json buckets = Json::MakeArray();
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = BucketCount(i);
+    if (in_bucket == 0) {
+      continue;
+    }
+    // Inclusive upper bound of bucket i (values of bit width i), clamped to
+    // int64 so the JSON integer stays exact.
+    const std::uint64_t le = i >= 64 ? UINT64_MAX : (std::uint64_t{1} << i) - 1;
+    Json bucket = Json::MakeObject();
+    bucket.Set("le", Json::MakeInt(static_cast<std::int64_t>(
+                         std::min<std::uint64_t>(le, INT64_MAX))));
+    bucket.Set("count", Json::MakeInt(static_cast<std::int64_t>(in_bucket)));
+    buckets.Append(std::move(bucket));
+  }
+  out.Set("buckets", std::move(buckets));
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) {
+    it->second = std::make_unique<Counter>();
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) {
+    it->second = std::make_unique<Gauge>();
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) {
+    it->second = std::make_unique<Histogram>();
+  }
+  return it->second.get();
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+Json MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::MakeObject();
+  for (const auto& [name, counter] : counters_) {
+    counters.Set(name, Json::MakeInt(static_cast<std::int64_t>(counter->Value())));
+  }
+  Json gauges = Json::MakeObject();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Set(name, Json::MakeInt(gauge->Value()));
+  }
+  Json histograms = Json::MakeObject();
+  for (const auto& [name, histogram] : histograms_) {
+    histograms.Set(name, histogram->ToJson());
+  }
+  Json out = Json::MakeObject();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace secpol

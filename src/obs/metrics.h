@@ -1,0 +1,141 @@
+// A self-contained metrics layer for the checking runtime.
+//
+// The paper's Observability Postulate makes the point that *everything an
+// observer can see* — values, running time — is part of the output. Our own
+// runtime should hold itself to the same standard: a production checking
+// service under load is only debuggable if its hot layers (sweep kernel,
+// checkers, scheduler, cache) account for what they did. A MetricsRegistry
+// is a named bag of three instrument kinds:
+//
+//   Counter    — monotonic u64, sharded across cache-line-padded atomic
+//                lanes so concurrent shards never contend on one line.
+//   Gauge      — a single settable i64 (last-write-wins).
+//   Histogram  — u64 samples bucketed by power of two, plus exact
+//                count / sum / min / max, all lock-free.
+//
+// Everything is opt-in and pointer-gated: code paths hold a MetricsRegistry*
+// that is null by default, so a disabled build does no atomic work at all —
+// the byte-identity contracts of the report pipeline are untouched and the
+// hot loops pay at most a predictable branch (bench/bench_obs, E20).
+//
+// Snapshot() renders the whole registry as one JSON object with name-sorted
+// keys, so snapshots are deterministic given deterministic instrument
+// values.
+
+#ifndef SECPOL_SRC_OBS_METRICS_H_
+#define SECPOL_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/util/json.h"
+
+namespace secpol {
+
+// A monotonic counter. Add() touches one of kLanes cache-line-padded atomic
+// lanes (assigned to threads round-robin), Value() folds them.
+class Counter {
+ public:
+  static constexpr std::size_t kLanes = 8;
+
+  void Add(std::uint64_t delta = 1) {
+    lanes_[LaneIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Lane& lane : lanes_) {
+      total += lane.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Lane {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  // Each thread keeps one lane for its whole lifetime; the assignment is
+  // process-wide round-robin so any kLanes concurrent threads spread out.
+  static std::size_t LaneIndex();
+
+  Lane lanes_[kLanes];
+};
+
+// A last-write-wins signed value (queue depths, cache entry counts).
+class Gauge {
+ public:
+  void Set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// A lock-free histogram of u64 samples: power-of-two buckets (bucket i holds
+// values of bit width i, i.e. [2^(i-1), 2^i - 1]) plus exact count, sum, min
+// and max. Merging across recording threads is just the commutativity of
+// relaxed fetch_add / CAS-min / CAS-max, which tests/obs_test.cc locks under
+// TSan.
+class Histogram {
+ public:
+  // 0 has bit width 0; 64 is the widest width — 65 buckets total.
+  static constexpr std::size_t kBuckets = 65;
+
+  void Record(std::uint64_t value);
+
+  std::uint64_t Count() const;
+  std::uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Min()/Max() are meaningful only when Count() > 0.
+  std::uint64_t Min() const { return min_.load(std::memory_order_relaxed); }
+  std::uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t BucketCount(std::size_t bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"buckets":[{"le":..,
+  // "count":..}, ...]} with empty buckets omitted.
+  Json ToJson() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// The named instrument registry. Get*() registers on first use and returns a
+// stable pointer — hot paths resolve the pointer once and keep it; the mutex
+// guards only the name maps, never a recording.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // True iff no instrument has ever been registered (the disabled-mode
+  // "emits nothing" assertion).
+  bool empty() const;
+
+  // {"counters":{...},"gauges":{...},"histograms":{...}}, keys name-sorted.
+  Json Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_OBS_METRICS_H_

@@ -1,0 +1,37 @@
+#include "src/obs/obs.h"
+
+namespace secpol {
+
+CheckScope::CheckScope(const ObsContext& obs, const char* name) : obs_(obs), name_(name) {
+  if (obs_.enabled()) {
+    start_ = std::chrono::steady_clock::now();
+    if (obs_.trace != nullptr) {
+      start_us_ = obs_.trace->NowMicros();
+    }
+  }
+}
+
+CheckScope::~CheckScope() {
+  if (!obs_.enabled()) {
+    return;
+  }
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                          .count();
+  if (obs_.trace != nullptr) {
+    Json args = Json::MakeObject();
+    args.Set("points", Json::MakeInt(static_cast<std::int64_t>(points_)));
+    obs_.trace->AddComplete(name_, "check", start_us_,
+                            static_cast<std::int64_t>(secs * 1e6), std::move(args));
+  }
+  if (obs_.metrics != nullptr) {
+    const std::string prefix = std::string("check.") + name_;
+    obs_.metrics->GetCounter(prefix + ".runs")->Add(1);
+    obs_.metrics->GetCounter(prefix + ".points")->Add(points_);
+    if (secs > 0 && points_ > 0) {
+      obs_.metrics->GetHistogram(prefix + ".points_per_sec")
+          ->Record(static_cast<std::uint64_t>(static_cast<double>(points_) / secs));
+    }
+  }
+}
+
+}  // namespace secpol

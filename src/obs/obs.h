@@ -1,0 +1,88 @@
+// The observability context threaded through the checking runtime.
+//
+// An ObsContext is two nullable pointers — a MetricsRegistry and a
+// TraceRecorder — carried by CheckOptions (sweeps, checkers) and
+// ServiceConfig (scheduler, cache). Both default to null, which *is* the
+// disabled mode: no allocation, no atomics, no clock reads; instrumented
+// code pays one predictable branch per coarse-grained site. Attaching either
+// pointer turns the corresponding instrument on independently.
+//
+// CheckScope is the shared per-checker instrumentation: it wraps one checker
+// run in a trace span and, on destruction, records run/point counters and a
+// points-per-second histogram under "check.<name>.*".
+
+#ifndef SECPOL_SRC_OBS_OBS_H_
+#define SECPOL_SRC_OBS_OBS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace secpol {
+
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+
+  bool enabled() const { return metrics != nullptr || trace != nullptr; }
+};
+
+// RAII trace span: opens at construction, emits one complete event at
+// destruction. A null recorder makes every member a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string name, std::string category)
+      : recorder_(recorder),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        start_us_(recorder != nullptr ? recorder->NowMicros() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attributes attached to the span's "args" object (last call wins).
+  void SetArgs(Json args) { args_ = std::move(args); }
+
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->AddComplete(std::move(name_), std::move(category_), start_us_,
+                             recorder_->NowMicros() - start_us_, std::move(args_));
+    }
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::string category_;
+  std::int64_t start_us_;
+  Json args_;
+};
+
+// One checker run: a "check"-category trace span plus, when metrics are
+// attached, counters check.<name>.runs / check.<name>.points and a
+// check.<name>.points_per_sec histogram. The caller reports the evaluated
+// point count via SetPoints before scope exit.
+class CheckScope {
+ public:
+  CheckScope(const ObsContext& obs, const char* name);
+  CheckScope(const CheckScope&) = delete;
+  CheckScope& operator=(const CheckScope&) = delete;
+  ~CheckScope();
+
+  void SetPoints(std::uint64_t points) { points_ = points; }
+
+ private:
+  ObsContext obs_;
+  const char* name_;
+  std::uint64_t points_ = 0;
+  std::int64_t start_us_ = 0;                         // trace timebase
+  std::chrono::steady_clock::time_point start_{};     // metrics timebase
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_OBS_OBS_H_

@@ -1,0 +1,58 @@
+#include "src/obs/trace.h"
+
+namespace secpol {
+
+int TraceRecorder::TidLocked() {
+  const auto [it, inserted] = tids_.try_emplace(std::this_thread::get_id(),
+                                                static_cast<int>(tids_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+void TraceRecorder::AddComplete(std::string name, std::string category, std::int64_t ts_us,
+                                std::int64_t dur_us, Json args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::move(name), std::move(category), 'X', ts_us, dur_us,
+                          TidLocked(), std::move(args)});
+}
+
+void TraceRecorder::AddInstant(std::string name, std::string category, Json args) {
+  const std::int64_t now_us = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      Event{std::move(name), std::move(category), 'i', now_us, 0, TidLocked(), std::move(args)});
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+Json TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json events = Json::MakeArray();
+  for (const Event& event : events_) {
+    Json entry = Json::MakeObject();
+    entry.Set("name", Json::MakeString(event.name));
+    entry.Set("cat", Json::MakeString(event.category));
+    entry.Set("ph", Json::MakeString(std::string(1, event.phase)));
+    entry.Set("ts", Json::MakeInt(event.ts_us));
+    if (event.phase == 'X') {
+      entry.Set("dur", Json::MakeInt(event.dur_us));
+    } else {
+      entry.Set("s", Json::MakeString("t"));  // thread-scoped instant
+    }
+    entry.Set("pid", Json::MakeInt(1));
+    entry.Set("tid", Json::MakeInt(event.tid));
+    if (event.args.is_object()) {
+      entry.Set("args", event.args);
+    }
+    events.Append(std::move(entry));
+  }
+  Json out = Json::MakeObject();
+  out.Set("displayTimeUnit", Json::MakeString("ms"));
+  out.Set("traceEvents", std::move(events));
+  return out;
+}
+
+}  // namespace secpol

@@ -1,0 +1,78 @@
+// Trace spans for the checking runtime, emitted as Chrome trace-event JSON.
+//
+// A TraceRecorder collects timestamped events — complete spans ("ph":"X")
+// and instants ("ph":"i") — on a steady_clock timebase anchored at the
+// recorder's construction, and serializes them in the Chrome trace-event
+// format (load the file in chrome://tracing or Perfetto). Thread ids are
+// remapped to small sequential integers in first-seen order so traces from
+// identical serial runs are byte-stable.
+//
+// Like the metrics layer, recording is pointer-gated: instrumented code
+// holds a TraceRecorder* that defaults to null, and a null recorder costs
+// the hot paths at most one predictable branch.
+
+#ifndef SECPOL_SRC_OBS_TRACE_H_
+#define SECPOL_SRC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace secpol {
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Microseconds since this recorder's construction (the trace timebase).
+  std::int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  // A complete span: [ts_us, ts_us + dur_us], attributed to the calling
+  // thread. `args` may be a JSON object of span attributes (or null).
+  void AddComplete(std::string name, std::string category, std::int64_t ts_us,
+                   std::int64_t dur_us, Json args = Json());
+
+  // A zero-duration marker at now, attributed to the calling thread.
+  void AddInstant(std::string name, std::string category, Json args = Json());
+
+  std::size_t size() const;
+
+  // {"displayTimeUnit":"ms","traceEvents":[...]} — the Chrome trace format.
+  Json ToJson() const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase;  // 'X' complete, 'i' instant
+    std::int64_t ts_us;
+    std::int64_t dur_us;
+    int tid;
+    Json args;
+  };
+
+  // Small sequential id for the calling thread; callers hold mu_.
+  int TidLocked();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::thread::id, int> tids_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_OBS_TRACE_H_

@@ -19,6 +19,9 @@ AuditReport CheckAll(const ProtectionMechanism& mechanism,
                      const ProtectionMechanism& mechanism2, const SecurityPolicy& policy,
                      const SecurityPolicy& policy2, const InputDomain& domain,
                      Observability obs, const CheckOptions& options) {
+  // The audit span brackets all six checks (plus the tabulation when the
+  // grid fits); each nested CheckScope contributes its own "check" span.
+  ScopedSpan span(options.obs.trace, "audit", "audit");
   AuditReport report;
 
   const std::optional<std::uint64_t> grid = domain.CheckedSize();

@@ -171,6 +171,27 @@ std::unique_ptr<ProtectionMechanism> MakeMechanismKind(const std::string& kind,
   if (kind == "residual") {
     return std::make_unique<ResidualGuardMechanism>(Program(program), allowed);
   }
+  if (kind == "table") {
+    // The surveillance mechanism tabulated over the canonical {-1..2}^k
+    // grid. Checking it on a wider grid runs it outside the table and must
+    // fail closed (OutOfDomainError -> kAborted), not kill the process.
+    const InputDomain canonical = InputDomain::Range(program.num_inputs(), -1, 2);
+    const std::optional<std::uint64_t> points = canonical.CheckedSize();
+    constexpr std::uint64_t kMaxTablePoints = std::uint64_t{1} << 16;
+    if (!points.has_value() || *points > kMaxTablePoints) {
+      if (error != nullptr) {
+        *error += "table mechanism: canonical grid too large to tabulate";
+      }
+      return nullptr;
+    }
+    const SurveillanceMechanism live(Program(program), allowed);
+    auto table = std::make_unique<TableMechanism>("table(" + program.name() + ")",
+                                                  program.num_inputs());
+    canonical.ForEach([&](InputView input) {
+      table->Set(Input(input.begin(), input.end()), live.Run(input));
+    });
+    return table;
+  }
   if (error != nullptr) {
     *error += "unknown mechanism kind '" + kind + "'";
   }
@@ -282,7 +303,8 @@ std::string RenderMaximalReport(const MaximalSynthesis& synthesis) {
   return out;
 }
 
-JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared) {
+JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
+                         const ObsContext& obs_ctx) {
   JobResult result;
   result.id = spec.id;
   result.cache_key = prepared.key.ToHex();
@@ -290,6 +312,7 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared) 
 
   CheckOptions options;
   options.num_threads = spec.num_threads;
+  options.obs = obs_ctx;
   if (spec.deadline_ms > 0) {
     options.deadline = Deadline::AfterMillis(spec.deadline_ms);
   }
@@ -450,7 +473,7 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared) 
   return result;
 }
 
-JobResult ExecuteJob(const CheckJobSpec& spec) {
+JobResult ExecuteJob(const CheckJobSpec& spec, const ObsContext& obs) {
   Result<PreparedJob> prepared = PrepareJob(spec);
   if (!prepared.ok()) {
     JobResult result;
@@ -460,7 +483,7 @@ JobResult ExecuteJob(const CheckJobSpec& spec) {
     result.exit_code = 1;
     return result;
   }
-  return RunPreparedJob(spec, prepared.value());
+  return RunPreparedJob(spec, prepared.value(), obs);
 }
 
 }  // namespace secpol

@@ -23,6 +23,7 @@
 #include "src/mechanism/domain.h"
 #include "src/mechanism/maximal.h"
 #include "src/mechanism/mechanism.h"
+#include "src/obs/obs.h"
 #include "src/util/fingerprint.h"
 #include "src/util/result.h"
 #include "src/util/value.h"
@@ -54,7 +55,10 @@ struct CheckJobSpec {
   // Primary policy: allow(`allow`) over the program's inputs.
   VarSet allow;
   // Checked mechanism kind: surveillance | mprime | highwater | bare |
-  // static | residual (same vocabulary as `secpol check --mechanism`).
+  // static | residual | table (same vocabulary as `secpol check
+  // --mechanism`). "table" tabulates the surveillance mechanism over the
+  // canonical grid {-1..2}^k, so a job whose grid reaches outside that range
+  // exercises the out-of-domain fail-closed path.
   std::string mechanism = "surveillance";
   // kCompleteness / kAudit: the second mechanism of the comparison.
   std::string mechanism2 = "bare";
@@ -131,11 +135,14 @@ Fingerprint JobCacheKey(const CheckJobSpec& spec, const Program& program,
                         const InputDomain& domain);
 
 // Runs the checker for an already-prepared job (no cache, no scheduler).
-// The result's wall_ms covers the checker run only.
-JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared);
+// The result's wall_ms covers the checker run only. `obs` (disabled by
+// default) is forwarded to the checker's CheckOptions; it never changes the
+// report bytes.
+JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
+                         const ObsContext& obs = ObsContext());
 
 // PrepareJob + RunPreparedJob; invalid specs yield a kInvalid result.
-JobResult ExecuteJob(const CheckJobSpec& spec);
+JobResult ExecuteJob(const CheckJobSpec& spec, const ObsContext& obs = ObsContext());
 
 // Builds one of the named mechanism kinds over `program` (the vocabulary of
 // `secpol check --mechanism` and CheckJobSpec::mechanism). Returns nullptr

@@ -191,7 +191,7 @@ Result<BatchManifest> ParseBatchManifest(const std::string& text) {
     }
     for (const auto& [key, value] : service->Members()) {
       if (key != "concurrency" && key != "max_pending" && key != "cache_capacity" &&
-          key != "cache_shards" && key != "cache_file") {
+          key != "cache_shards" && key != "cache_file" && key != "metrics") {
         return Error{"manifest.service: unknown key '" + key + "'"};
       }
     }
@@ -232,6 +232,13 @@ Result<BatchManifest> ParseBatchManifest(const std::string& text) {
                                                  manifest.service.cache_file);
     if (!cache_file.ok()) return cache_file.error();
     manifest.service.cache_file = std::move(cache_file).value();
+
+    // Opt-in metrics block in the batch report. Default off: the report's
+    // JSON shape (and byte content with a pinned cache) predates this flag.
+    Result<bool> metrics = BoolField(*service, "metrics", "manifest.service",
+                                     manifest.service.report_metrics);
+    if (!metrics.ok()) return metrics.error();
+    manifest.service.report_metrics = metrics.value();
   }
 
   CheckJobSpec defaults;
@@ -311,6 +318,9 @@ Json BatchReportToJson(const BatchReport& report) {
   doc.Set("jobs", std::move(jobs));
   doc.Set("scheduler", std::move(scheduler));
   doc.Set("cache", std::move(cache));
+  if (report.metrics.is_object()) {
+    doc.Set("metrics", report.metrics);
+  }
   doc.Set("exit_code", Json::MakeInt(report.ExitCode()));
   return doc;
 }

@@ -6,7 +6,8 @@
 //     "service": {                      // optional; ServiceConfig knobs
 //       "concurrency": 2, "max_pending": 64,
 //       "cache_capacity": 1024, "cache_shards": 8,
-//       "cache_file": "secpol_cache.json"
+//       "cache_file": "secpol_cache.json",
+//       "metrics": true                 // opt-in "metrics" report block
 //     },
 //     "defaults": { ... },              // optional; any per-job field
 //     "jobs": [

@@ -1,6 +1,9 @@
 #include "src/service/result_cache.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -12,6 +15,12 @@ namespace secpol {
 namespace {
 
 constexpr int kPersistVersion = 1;
+
+void Bump(Counter* counter, std::uint64_t delta = 1) {
+  if (counter != nullptr && delta != 0) {
+    counter->Add(delta);
+  }
+}
 
 }  // namespace
 
@@ -27,6 +36,21 @@ ResultCache::ResultCache(std::size_t capacity, int num_shards) : capacity_(std::
   }
 }
 
+void ResultCache::AttachObs(const ObsContext& obs) {
+  if (obs.metrics == nullptr) {
+    return;
+  }
+  MetricsRegistry& m = *obs.metrics;
+  obs_hits_ = m.GetCounter("cache.hits");
+  obs_misses_ = m.GetCounter("cache.misses");
+  obs_insertions_ = m.GetCounter("cache.insertions");
+  obs_evictions_ = m.GetCounter("cache.evictions");
+  obs_persist_attempts_ = m.GetCounter("cache.persist_attempts");
+  obs_persist_failures_ = m.GetCounter("cache.persist_failures");
+  obs_persisted_entries_ = m.GetCounter("cache.persisted_entries");
+  obs_loaded_entries_ = m.GetCounter("cache.loaded_entries");
+}
+
 ResultCache::Shard& ResultCache::ShardFor(const Fingerprint& key) {
   // hi is already a murmur-mixed lane; any byte of it spreads uniformly.
   return *shards_[key.hi % shards_.size()];
@@ -38,9 +62,11 @@ std::optional<CachedResult> ResultCache::Lookup(const Fingerprint& key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
+    Bump(obs_misses_);
     return std::nullopt;
   }
   ++shard.stats.hits;
+  Bump(obs_hits_);
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->second;
 }
@@ -55,10 +81,12 @@ void ResultCache::InsertLocked(Shard& shard, const Fingerprint& key, CachedResul
   shard.lru.emplace_front(key, std::move(value));
   shard.index.emplace(key, shard.lru.begin());
   ++shard.stats.insertions;
+  Bump(obs_insertions_);
   while (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.stats.evictions;
+    Bump(obs_evictions_);
   }
 }
 
@@ -132,6 +160,7 @@ Result<int> ResultCache::LoadFromFile(const std::string& path) {
     Insert(*fp, std::move(value));
     ++loaded;
   }
+  Bump(obs_loaded_entries_, static_cast<std::uint64_t>(loaded));
   return loaded;
 }
 
@@ -155,23 +184,35 @@ Result<int> ResultCache::SaveToFile(const std::string& path) const {
   doc.Set("version", Json::MakeInt(kPersistVersion));
   doc.Set("entries", std::move(entries));
 
-  const std::string tmp = path + ".tmp";
+  Bump(obs_persist_attempts_);
+  // The temp name must be unique per writer: two caches saving to the same
+  // path concurrently (or two processes) would otherwise interleave writes
+  // into one ".tmp" file and rename a torn mixture into place. pid + a
+  // process-wide sequence number keeps every writer on its own file; the
+  // rename then atomically publishes whichever finished last, intact.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
+      Bump(obs_persist_failures_);
       return Error{"cannot write cache file '" + tmp + "'"};
     }
     out << doc.Serialize() << "\n";
     out.flush();
     if (!out) {
       std::remove(tmp.c_str());
+      Bump(obs_persist_failures_);
       return Error{"write to cache file '" + tmp + "' failed"};
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
+    Bump(obs_persist_failures_);
     return Error{"cannot rename cache file into place at '" + path + "'"};
   }
+  Bump(obs_persisted_entries_, static_cast<std::uint64_t>(count));
   return count;
 }
 

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/util/fingerprint.h"
 #include "src/util/result.h"
 
@@ -69,6 +70,11 @@ class ResultCache {
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
+
+  // Mirrors cache traffic into "cache.*" counters of the attached registry
+  // (no-op for a disabled context). Resolve-once: the counter pointers are
+  // cached here so the hot paths never take the registry lock.
+  void AttachObs(const ObsContext& obs);
 
   // Returns the cached result and freshens its LRU position, or nullopt
   // (counted as a miss).
@@ -111,6 +117,16 @@ class ResultCache {
   std::size_t capacity_;
   std::size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Null when no registry is attached.
+  Counter* obs_hits_ = nullptr;
+  Counter* obs_misses_ = nullptr;
+  Counter* obs_insertions_ = nullptr;
+  Counter* obs_evictions_ = nullptr;
+  Counter* obs_persist_attempts_ = nullptr;
+  Counter* obs_persist_failures_ = nullptr;
+  Counter* obs_persisted_entries_ = nullptr;
+  Counter* obs_loaded_entries_ = nullptr;
 };
 
 }  // namespace secpol

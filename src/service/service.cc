@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <numeric>
 #include <utility>
 
@@ -20,6 +21,12 @@ int BatchReport::ExitCode() const {
 CheckService::CheckService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cache_capacity, config_.cache_shards) {
+  obs_ = config_.obs;
+  if (config_.report_metrics && obs_.metrics == nullptr) {
+    own_metrics_ = std::make_unique<MetricsRegistry>();
+    obs_.metrics = own_metrics_.get();
+  }
+  cache_.AttachObs(obs_);
   if (!config_.cache_file.empty()) {
     Result<int> loaded = cache_.LoadFromFile(config_.cache_file);
     if (loaded.ok()) {
@@ -34,7 +41,14 @@ CheckService::CheckService(ServiceConfig config)
 
 CheckService::~CheckService() {
   if (!config_.cache_file.empty()) {
-    (void)cache_.SaveToFile(config_.cache_file);  // best effort on shutdown
+    // Best effort on shutdown — but a failure is never silent: it shows up
+    // on stderr and in the cache.persist_failures counter (bumped inside
+    // SaveToFile), so a cache that quietly stays cold is diagnosable.
+    Result<int> saved = cache_.SaveToFile(config_.cache_file);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "secpol: failed to persist result cache to '%s': %s\n",
+                   config_.cache_file.c_str(), saved.error().message.c_str());
+    }
   }
 }
 
@@ -47,6 +61,13 @@ Result<int> CheckService::PersistCache() const {
 
 BatchReport CheckService::RunBatch(const std::vector<CheckJobSpec>& specs) {
   const auto batch_start = std::chrono::steady_clock::now();
+  ScopedSpan batch_span(obs_.trace, "batch", "service");
+  // Resolve the per-job histograms once; run_one must never take the
+  // registry lock from inside the worker pool.
+  Histogram* const queue_wait_us =
+      obs_.metrics != nullptr ? obs_.metrics->GetHistogram("service.queue_wait_us") : nullptr;
+  Histogram* const job_wall_us =
+      obs_.metrics != nullptr ? obs_.metrics->GetHistogram("service.job_wall_us") : nullptr;
   BatchReport report;
   report.stats.submitted = static_cast<int>(specs.size());
   report.stats.cache_preloaded = cache_preloaded_;
@@ -105,6 +126,15 @@ BatchReport CheckService::RunBatch(const std::vector<CheckJobSpec>& specs) {
     const CheckJobSpec& spec = specs[i];
     const PreparedJob& job = *prepared[i];
     JobResult& slot = report.jobs[i];
+    // Queue wait: dispatch-to-start, i.e. how long the job sat behind the
+    // batch's other work before a worker picked it up.
+    const auto job_start = std::chrono::steady_clock::now();
+    if (queue_wait_us != nullptr) {
+      queue_wait_us->Record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(job_start - batch_start)
+              .count()));
+    }
+    const std::int64_t trace_start_us = obs_.trace != nullptr ? obs_.trace->NowMicros() : 0;
     if (std::optional<CachedResult> hit = cache_.Lookup(job.key); hit.has_value()) {
       slot.id = spec.id;
       slot.status = JobStatus::kCompleted;
@@ -114,16 +144,30 @@ BatchReport CheckService::RunBatch(const std::vector<CheckJobSpec>& specs) {
       slot.evaluated = hit->evaluated;
       slot.total = hit->total;
       slot.cache_key = job.key.ToHex();
-      return;
+    } else {
+      slot = RunPreparedJob(spec, job, obs_);
+      if (slot.status == JobStatus::kCompleted) {
+        CachedResult value;
+        value.report = slot.report;
+        value.exit_code = slot.exit_code;
+        value.evaluated = slot.evaluated;
+        value.total = slot.total;
+        cache_.Insert(job.key, std::move(value));
+      }
     }
-    slot = RunPreparedJob(spec, job);
-    if (slot.status == JobStatus::kCompleted) {
-      CachedResult value;
-      value.report = slot.report;
-      value.exit_code = slot.exit_code;
-      value.evaluated = slot.evaluated;
-      value.total = slot.total;
-      cache_.Insert(job.key, std::move(value));
+    if (job_wall_us != nullptr) {
+      job_wall_us->Record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - job_start)
+              .count()));
+    }
+    if (obs_.trace != nullptr) {
+      Json args = Json::MakeObject();
+      args.Set("id", Json::MakeString(slot.id));
+      args.Set("status", Json::MakeString(JobStatusName(slot.status)));
+      args.Set("from_cache", Json::MakeBool(slot.from_cache));
+      obs_.trace->AddComplete("job " + slot.id, "service", trace_start_us,
+                              obs_.trace->NowMicros() - trace_start_us, std::move(args));
     }
   };
 
@@ -167,6 +211,27 @@ BatchReport CheckService::RunBatch(const std::vector<CheckJobSpec>& specs) {
   report.stats.wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - batch_start)
                              .count();
+  if (obs_.metrics != nullptr) {
+    MetricsRegistry& m = *obs_.metrics;
+    const auto add = [&m](const char* name, int count) {
+      if (count > 0) {
+        m.GetCounter(name)->Add(static_cast<std::uint64_t>(count));
+      }
+    };
+    m.GetCounter("service.batches")->Add(1);
+    add("service.submitted", report.stats.submitted);
+    add("service.admitted", report.stats.admitted);
+    add("service.rejected", report.stats.rejected);
+    add("service.invalid", report.stats.invalid);
+    add("service.executed", report.stats.executed);
+    add("service.cache_hits", report.stats.cache_hits);
+    add("service.completed", report.stats.completed);
+    add("service.deadline_exceeded", report.stats.deadline_exceeded);
+    add("service.aborted", report.stats.aborted);
+    if (config_.report_metrics) {
+      report.metrics = m.Snapshot();
+    }
+  }
   return report;
 }
 

@@ -18,11 +18,14 @@
 #define SECPOL_SRC_SERVICE_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/service/job.h"
 #include "src/service/result_cache.h"
+#include "src/util/json.h"
 
 namespace secpol {
 
@@ -39,6 +42,15 @@ struct ServiceConfig {
   // Optional persistence: loaded on construction, atomically written on
   // destruction (and on demand via PersistCache).
   std::string cache_file;
+
+  // Observability sinks, forwarded to every job's checker and mirrored by
+  // the cache. Disabled (null) by default; never affects report bytes.
+  ObsContext obs;
+  // Opt-in: attach a metrics snapshot to the batch report (and to its JSON
+  // rendering). Off by default so batch report bytes — and the golden JSON
+  // fixtures locked by earlier PRs — are untouched unless asked for. When on
+  // with no registry in `obs`, the service owns a private registry.
+  bool report_metrics = false;
 };
 
 struct BatchStats {
@@ -63,6 +75,11 @@ struct BatchStats {
 struct BatchReport {
   std::vector<JobResult> jobs;  // submission order, one per submitted spec
   BatchStats stats;
+
+  // MetricsRegistry::Snapshot() taken at the end of the batch when
+  // ServiceConfig::report_metrics is set; JSON null otherwise (and then
+  // absent from the report's JSON rendering).
+  Json metrics;
 
   // Exit code for the whole batch: the most severe per-job code (codes are
   // ordered so that higher = worse: 0 ok < 1 invalid < 2 verdict < 3
@@ -91,6 +108,9 @@ class CheckService {
 
  private:
   ServiceConfig config_;
+  // Allocated only for report_metrics with no caller-supplied registry.
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  ObsContext obs_;
   ResultCache cache_;
   int cache_preloaded_ = 0;
   std::string cache_load_error_;

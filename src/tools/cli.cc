@@ -13,6 +13,7 @@
 #include "src/flowlang/parser.h"
 #include "src/mechanism/fault.h"
 #include "src/mechanism/soundness.h"
+#include "src/obs/obs.h"
 #include "src/policy/policy.h"
 #include "src/service/job.h"
 #include "src/service/manifest.h"
@@ -173,6 +174,74 @@ std::optional<CheckOptions> ParseCheckOptions(const ParsedArgs& args, std::strin
   return options;
 }
 
+// Observability sinks for the checking verbs (check | batch | audit):
+// --metrics-out=<file> collects a metrics snapshot, --trace-out=<file> a
+// Chrome trace (chrome://tracing / Perfetto). Neither flag changes the
+// verb's stdout or exit code for a successful write; omitting both keeps
+// the instrumentation disabled (null context).
+struct ObsSinks {
+  std::unique_ptr<MetricsRegistry> metrics;
+  std::unique_ptr<TraceRecorder> trace;
+  std::string metrics_path;
+  std::string trace_path;
+
+  ObsContext Context() const { return ObsContext{metrics.get(), trace.get()}; }
+
+  // Writes whichever sinks are active. Returns false (with *err set) when a
+  // file cannot be written.
+  bool Write(std::string* err) const {
+    if (metrics != nullptr) {
+      std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
+      out << metrics->Snapshot().Pretty() << "\n";
+      out.flush();
+      if (!out) {
+        *err += "cannot write metrics file '" + metrics_path + "'\n";
+        return false;
+      }
+    }
+    if (trace != nullptr) {
+      std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+      out << trace->ToJson().Serialize() << "\n";
+      out.flush();
+      if (!out) {
+        *err += "cannot write trace file '" + trace_path + "'\n";
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+std::optional<ObsSinks> MakeObsSinks(const ParsedArgs& args, std::string* err) {
+  ObsSinks sinks;
+  if (const auto path = FlagValue(args, "metrics-out"); path.has_value()) {
+    if (path->empty()) {
+      *err += "missing value for --metrics-out=<file>\n";
+      return std::nullopt;
+    }
+    sinks.metrics_path = *path;
+    sinks.metrics = std::make_unique<MetricsRegistry>();
+  }
+  if (const auto path = FlagValue(args, "trace-out"); path.has_value()) {
+    if (path->empty()) {
+      *err += "missing value for --trace-out=<file>\n";
+      return std::nullopt;
+    }
+    sinks.trace_path = *path;
+    sinks.trace = std::make_unique<TraceRecorder>();
+  }
+  return sinks;
+}
+
+// Folds a failed sink write into a verb's exit code: a clean run becomes
+// exit 1, a failing verdict keeps its (more severe) code.
+int FoldWrite(int code, const ObsSinks& sinks, std::string* err) {
+  if (!sinks.Write(err) && code == 0) {
+    return 1;
+  }
+  return code;
+}
+
 std::optional<Program> LoadProgram(const ParsedArgs& args, std::string* err) {
   if (args.file.empty()) {
     *err += "missing program file\n";
@@ -331,22 +400,34 @@ int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
     mechanism = std::make_shared<RetryingMechanism>(std::move(mechanism), validated.value());
   }
 
+  const auto sinks = MakeObsSinks(args, err);
+  if (!sinks.has_value()) {
+    return 1;
+  }
+  CheckOptions check_options = *options;
+  check_options.obs = sinks->Context();
+
   const Observability obs =
       HasFlag(args, "time") ? Observability::kValueAndTime : Observability::kValueOnly;
-  const SoundnessReport report = CheckSoundness(*mechanism, policy, domain, obs, *options);
+  const SoundnessReport report =
+      CheckSoundness(*mechanism, policy, domain, obs, check_options);
   *out += mechanism->name() + " for " + policy.name() + " over " + domain.ToString() + " [" +
           ObservabilityName(obs) + "]:\n" + report.ToString() + "\n";
   // Exit codes mirror the structured status: a bounded or aborted run is
   // neither "sound" (0) nor "proved unsound" (2) unless a witness was found.
+  int code = 4;
   switch (report.progress.status) {
     case CheckStatus::kCompleted:
-      return report.sound ? 0 : 2;
+      code = report.sound ? 0 : 2;
+      break;
     case CheckStatus::kDeadlineExceeded:
-      return report.counterexample.has_value() ? 2 : 3;
+      code = report.counterexample.has_value() ? 2 : 3;
+      break;
     case CheckStatus::kAborted:
-      return 4;
+      code = 4;
+      break;
   }
-  return 4;
+  return FoldWrite(code, *sinks, err);
 }
 
 // `secpol batch <manifest.json>`: run a whole manifest of check jobs
@@ -371,12 +452,18 @@ int CmdBatch(const ParsedArgs& args, std::string* out, std::string* err) {
     *err += args.file + ": " + manifest.error().ToString() + "\n";
     return 1;
   }
-  CheckService service(manifest.value().service);
+  const auto sinks = MakeObsSinks(args, err);
+  if (!sinks.has_value()) {
+    return 1;
+  }
+  ServiceConfig config = manifest.value().service;
+  config.obs = sinks->Context();
+  CheckService service(std::move(config));
   const BatchReport report = service.RunBatch(manifest.value().jobs);
   const Json rendered = BatchReportToJson(report);
   *out += HasFlag(args, "pretty") ? rendered.Pretty() : rendered.Serialize();
   *out += "\n";
-  return report.ExitCode();
+  return FoldWrite(report.ExitCode(), *sinks, err);
 }
 
 // `secpol audit <file.fl> --allow=... [--allow2=...] [--mechanism=...]
@@ -462,13 +549,17 @@ int CmdAudit(const ParsedArgs& args, std::string* out, std::string* err) {
     }
   }
 
-  const JobResult result = ExecuteJob(spec);
+  const auto sinks = MakeObsSinks(args, err);
+  if (!sinks.has_value()) {
+    return 1;
+  }
+  const JobResult result = ExecuteJob(spec, sinks->Context());
   if (result.status == JobStatus::kInvalid) {
     *err += result.error + "\n";
     return result.exit_code;
   }
   *out += result.report;
-  return result.exit_code;
+  return FoldWrite(result.exit_code, *sinks, err);
 }
 
 int CmdAnalyze(const ParsedArgs& args, std::string* out, std::string* err) {

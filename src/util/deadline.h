@@ -102,6 +102,7 @@ class PollGate {
   // once stopped so every subsequent ShouldStop() re-enters this slow path
   // and sees the sticky reason.
   bool Poll() {
+    ++polls_;
     if (reason_ != StopReason::kNone) {
       until_poll_ = 0;
       return true;
@@ -121,6 +122,9 @@ class PollGate {
 
   StopReason reason() const { return reason_; }
 
+  // Unamortized polls actually performed (clock/token reads), for metrics.
+  std::uint64_t polls() const { return polls_; }
+
  private:
   Deadline deadline_;
   CancelToken primary_;
@@ -128,6 +132,7 @@ class PollGate {
   std::uint32_t stride_;
   std::int32_t until_poll_ = 1;  // poll on the first call
   StopReason reason_ = StopReason::kNone;
+  std::uint64_t polls_ = 0;
 };
 
 }  // namespace secpol

@@ -4,8 +4,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "src/tools/cli.h"
+#include "src/util/json.h"
 
 namespace secpol {
 namespace {
@@ -31,6 +33,13 @@ class CliTest : public ::testing::Test {
     for (const std::string& path : paths_) {
       std::remove(path.c_str());
     }
+  }
+
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
   }
 
   // Runs the CLI, returning the exit code; stdout/stderr captured.
@@ -294,6 +303,86 @@ TEST_F(CliTest, BatchInvalidJobSpecExitsOneWithStructuredReport) {
   EXPECT_EQ(Run({"batch", manifest}), 1);
   EXPECT_NE(out_.find("\"status\": \"invalid\""), std::string::npos);
   EXPECT_NE(out_.find("allow:"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckEmitsMetricsAndTraceFilesWithoutChangingStdout) {
+  const std::string path = WriteProgram("program p(pub, sec) { y = pub; }");
+  EXPECT_EQ(Run({"check", path, "--allow=0"}), 0);
+  const std::string plain_stdout = out_;
+
+  const std::string metrics_path = WriteProgram("");  // unique, auto-removed
+  const std::string trace_path = WriteProgram("");
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--metrics-out=" + metrics_path,
+                 "--trace-out=" + trace_path}),
+            0);
+  // Observability is a side channel: the human-facing report is unchanged.
+  EXPECT_EQ(out_, plain_stdout);
+
+  const Result<Json> metrics = Json::Parse(Slurp(metrics_path));
+  ASSERT_TRUE(metrics.ok()) << metrics.error().ToString();
+  const Json* counters = metrics.value().Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("check.soundness.runs"), nullptr);
+  EXPECT_EQ(counters->Find("check.soundness.runs")->AsInt(), 1);
+  EXPECT_GE(counters->Find("sweep.points")->AsInt(), 1);
+
+  const Result<Json> trace = Json::Parse(Slurp(trace_path));
+  ASSERT_TRUE(trace.ok()) << trace.error().ToString();
+  const Json* events = trace.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->Items().empty());
+}
+
+TEST_F(CliTest, AuditAndBatchEmitObsFiles) {
+  const std::string program = WriteProgram("program p(pub, sec) { y = pub; }");
+  const std::string metrics_path = WriteProgram("");
+  const std::string trace_path = WriteProgram("");
+  EXPECT_EQ(Run({"audit", program, "--allow=0", "--metrics-out=" + metrics_path,
+                 "--trace-out=" + trace_path}),
+            0);
+  const Result<Json> metrics = Json::Parse(Slurp(metrics_path));
+  ASSERT_TRUE(metrics.ok());
+  // The audit runs every checker once over the shared table.
+  for (const char* name : {"check.soundness.runs", "check.integrity.runs",
+                           "check.completeness.runs", "check.maximal.runs",
+                           "check.policy_compare.runs", "check.leak.runs",
+                           "check.tabulate.runs"}) {
+    ASSERT_NE(metrics.value().Find("counters")->Find(name), nullptr) << name;
+    EXPECT_EQ(metrics.value().Find("counters")->Find(name)->AsInt(), 1) << name;
+  }
+  const Result<Json> trace = Json::Parse(Slurp(trace_path));
+  ASSERT_TRUE(trace.ok());
+  bool saw_audit_span = false;
+  for (const Json& event : trace.value().Find("traceEvents")->Items()) {
+    saw_audit_span = saw_audit_span || event.Find("name")->AsString() == "audit";
+  }
+  EXPECT_TRUE(saw_audit_span);
+
+  const std::string manifest = WriteProgram(
+      R"({"jobs": [{"program": "program p(pub, sec) { y = pub; }", "allow": [0]}]})");
+  EXPECT_EQ(Run({"batch", manifest, "--metrics-out=" + metrics_path}), 0);
+  const Result<Json> batch_metrics = Json::Parse(Slurp(metrics_path));
+  ASSERT_TRUE(batch_metrics.ok());
+  EXPECT_EQ(batch_metrics.value().Find("counters")->Find("service.batches")->AsInt(), 1);
+  // The batch report on stdout stays metrics-free unless the manifest opts in.
+  EXPECT_EQ(out_.find("\"metrics\""), std::string::npos);
+}
+
+TEST_F(CliTest, ObsFlagErrorsAndWriteFailures) {
+  const std::string path = WriteProgram("program p(a) { y = a; }");
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--metrics-out="}), 1);
+  EXPECT_NE(err_.find("--metrics-out"), std::string::npos);
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--trace-out="}), 1);
+
+  // An unwritable sink upgrades a clean exit to 1 and says why...
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--metrics-out=/nonexistent/dir/m.json"}), 1);
+  EXPECT_NE(err_.find("cannot write"), std::string::npos);
+
+  // ...but never masks a worse verdict code: the unsound verdict's 2 wins.
+  const std::string leaky = WriteProgram("program p(pub, sec) { y = sec; }");
+  EXPECT_EQ(Run({"check", leaky, "--allow=0", "--mechanism=bare",
+                 "--metrics-out=/nonexistent/dir/m.json"}),
+            2);
 }
 
 TEST_F(CliTest, ParserErrorsCarryLocation) {

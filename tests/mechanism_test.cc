@@ -409,6 +409,27 @@ TEST(TableMechanismTest, StoresAndReplaysOutcomes) {
   EXPECT_TRUE(table.Run(Input{1}).IsViolation());
 }
 
+// An input outside the tabulated domain must fail closed as a *typed*
+// exception the sweep's abort barrier can catch — never by killing the
+// process, which would take every sibling job in a batch down with it.
+TEST(TableMechanismTest, OutOfDomainInputThrowsTypedError) {
+  TableMechanism table("t", 1);
+  table.Set(Input{0}, Outcome::Val(5, 1));
+  EXPECT_THROW(table.Run(Input{7}), OutOfDomainError);
+  try {
+    table.Run(Input{7});
+    FAIL() << "expected OutOfDomainError";
+  } catch (const OutOfDomainError& e) {
+    // The message names the mechanism, so a batch report's abort reason is
+    // actionable. OutOfDomainError is-a runtime_error, so generic barriers
+    // still catch it.
+    EXPECT_NE(std::string(e.what()).find("'t'"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("domain"), std::string::npos);
+  }
+  // The table itself is intact after the throw.
+  EXPECT_TRUE(table.Run(Input{0}).IsValue());
+}
+
 TEST(ProgramAsMechanismTest, FuelExhaustionBecomesViolation) {
   const Program loop = MustCompile(
       "program diverge(x) { locals c; c = 0 - 1; while (c != 0) { c = c - 1; } }");

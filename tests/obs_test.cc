@@ -1,0 +1,361 @@
+// Tests for the observability layer: concurrent counter/histogram merging
+// (run under TSan in CI), deterministic registry snapshots, well-formed
+// Chrome trace JSON, the zero-cost disabled mode, and the contract that
+// attaching sinks never changes a checker's or a batch's report bytes.
+
+#include "src/obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/mechanism.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/service/manifest.h"
+#include "src/service/service.h"
+#include "src/util/json.h"
+
+namespace secpol {
+namespace {
+
+constexpr int kThreads = 7;
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, MergesAcrossThreads) {
+  Counter counter;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.Value(), kPerThread * kThreads);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+}
+
+TEST(HistogramTest, ExactStatsAndBuckets) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Count(), 0u);
+  for (std::uint64_t v : {0u, 1u, 2u, 3u, 1000u}) {
+    histogram.Record(v);
+  }
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_EQ(histogram.Sum(), 1006u);
+  EXPECT_EQ(histogram.Min(), 0u);
+  EXPECT_EQ(histogram.Max(), 1000u);
+  // Bucket i holds values of bit width i: 0 -> bucket 0, 1 -> bucket 1,
+  // {2, 3} -> bucket 2, 1000 (10 bits) -> bucket 10.
+  EXPECT_EQ(histogram.BucketCount(0), 1u);
+  EXPECT_EQ(histogram.BucketCount(1), 1u);
+  EXPECT_EQ(histogram.BucketCount(2), 2u);
+  EXPECT_EQ(histogram.BucketCount(10), 1u);
+}
+
+TEST(HistogramTest, MergesAcrossThreads) {
+  Histogram histogram;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const std::uint64_t n = kPerThread * kThreads;
+  EXPECT_EQ(histogram.Count(), n);
+  EXPECT_EQ(histogram.Sum(), n * (n - 1) / 2);
+  EXPECT_EQ(histogram.Min(), 0u);
+  EXPECT_EQ(histogram.Max(), n - 1);
+}
+
+TEST(HistogramTest, ToJsonOmitsEmptyBucketsAndReportsMean) {
+  Histogram histogram;
+  histogram.Record(4);
+  histogram.Record(6);
+  const Json json = histogram.ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_EQ(json.Find("count")->AsInt(), 2);
+  EXPECT_EQ(json.Find("sum")->AsInt(), 10);
+  EXPECT_EQ(json.Find("min")->AsInt(), 4);
+  EXPECT_EQ(json.Find("max")->AsInt(), 6);
+  EXPECT_DOUBLE_EQ(json.Find("mean")->AsDouble(), 5.0);
+  // Both samples have bit width 3, so exactly one bucket survives.
+  ASSERT_TRUE(json.Find("buckets")->is_array());
+  EXPECT_EQ(json.Find("buckets")->Items().size(), 1u);
+  EXPECT_EQ(json.Find("buckets")->Items()[0].Find("le")->AsInt(), 7);
+  EXPECT_EQ(json.Find("buckets")->Items()[0].Find("count")->AsInt(), 2);
+}
+
+TEST(RegistryTest, GetReturnsStablePointersAndRegistersOnce) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  Counter* counter = registry.GetCounter("a.count");
+  EXPECT_EQ(counter, registry.GetCounter("a.count"));
+  EXPECT_NE(counter, registry.GetCounter("b.count"));
+  EXPECT_EQ(registry.GetGauge("a.gauge"), registry.GetGauge("a.gauge"));
+  EXPECT_EQ(registry.GetHistogram("a.hist"), registry.GetHistogram("a.hist"));
+  EXPECT_FALSE(registry.empty());
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndRecordingIsSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared.count")->Add(1);
+        registry.GetHistogram("shared.hist")->Record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.GetCounter("shared.count")->Value(), 7000u);
+  EXPECT_EQ(registry.GetHistogram("shared.hist")->Count(), 7000u);
+}
+
+TEST(RegistryTest, SnapshotIsNameSortedAndDeterministic) {
+  MetricsRegistry registry;
+  // Registered out of order; the snapshot must not care.
+  registry.GetCounter("zebra")->Add(1);
+  registry.GetCounter("alpha")->Add(2);
+  registry.GetGauge("middle")->Set(-5);
+  const Json snapshot = registry.Snapshot();
+  ASSERT_TRUE(snapshot.is_object());
+  const Json* counters = snapshot.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->Members().size(), 2u);
+  EXPECT_EQ(counters->Members()[0].first, "alpha");
+  EXPECT_EQ(counters->Members()[1].first, "zebra");
+  EXPECT_EQ(counters->Find("alpha")->AsInt(), 2);
+  EXPECT_EQ(snapshot.Find("gauges")->Find("middle")->AsInt(), -5);
+  EXPECT_EQ(registry.Snapshot().Serialize(), snapshot.Serialize());
+  // The snapshot text itself must re-parse with our own parser.
+  EXPECT_TRUE(Json::Parse(snapshot.Pretty()).ok());
+}
+
+TEST(TraceTest, EmitsWellFormedChromeTraceJson) {
+  TraceRecorder recorder;
+  {
+    ScopedSpan span(&recorder, "outer", "test");
+    Json args = Json::MakeObject();
+    args.Set("points", Json::MakeInt(9));
+    span.SetArgs(std::move(args));
+  }
+  recorder.AddInstant("marker", "test");
+  EXPECT_EQ(recorder.size(), 2u);
+
+  const std::string text = recorder.ToJson().Serialize();
+  Result<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  const Json* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->Items().size(), 2u);
+  const Json& span_event = events->Items()[0];
+  EXPECT_EQ(span_event.Find("name")->AsString(), "outer");
+  EXPECT_EQ(span_event.Find("ph")->AsString(), "X");
+  EXPECT_GE(span_event.Find("dur")->AsInt(), 0);
+  EXPECT_EQ(span_event.Find("args")->Find("points")->AsInt(), 9);
+  const Json& instant = events->Items()[1];
+  EXPECT_EQ(instant.Find("ph")->AsString(), "i");
+  // Same thread -> same small sequential tid.
+  EXPECT_EQ(span_event.Find("tid")->AsInt(), instant.Find("tid")->AsInt());
+}
+
+TEST(TraceTest, ConcurrentRecordingAssignsSequentialTids) {
+  TraceRecorder recorder;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < 50; ++i) {
+        recorder.AddInstant("tick", "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(recorder.size(), static_cast<std::size_t>(kThreads) * 50);
+  const Json json = recorder.ToJson();
+  for (const Json& event : json.Find("traceEvents")->Items()) {
+    const std::int64_t tid = event.Find("tid")->AsInt();
+    EXPECT_GE(tid, 0);
+    EXPECT_LT(tid, kThreads);
+  }
+}
+
+TEST(ScopedSpanTest, NullRecorderIsANoOp) {
+  ScopedSpan span(nullptr, "nothing", "test");
+  span.SetArgs(Json::MakeObject());
+  // Destructor must not touch anything; reaching the end is the assertion.
+}
+
+// --- End-to-end: a checker run against attached vs. disabled sinks. ---
+
+struct Checked {
+  SoundnessReport report;
+};
+
+Checked RunSoundness(const ObsContext& obs) {
+  Result<SourceProgram> parsed =
+      ParseProgram("program p(a, b) { if (b > 0) { y = a + 1; } else { y = a; } }");
+  EXPECT_TRUE(parsed.ok());
+  const Program program = Lower(parsed.value());
+  const ProgramAsMechanism mechanism{Program(program)};
+  const AllowPolicy policy(program.num_inputs(), VarSet{0});
+  const InputDomain domain = InputDomain::Range(program.num_inputs(), -1, 2);
+  CheckOptions options = CheckOptions::Serial();
+  options.obs = obs;
+  return Checked{CheckSoundness(mechanism, policy, domain,
+                                Observability::kValueOnly, options)};
+}
+
+TEST(ObsContextTest, DisabledContextReportsDisabled) {
+  ObsContext disabled;
+  EXPECT_FALSE(disabled.enabled());
+  MetricsRegistry registry;
+  EXPECT_TRUE((ObsContext{&registry, nullptr}.enabled()));
+  TraceRecorder recorder;
+  EXPECT_TRUE((ObsContext{nullptr, &recorder}.enabled()));
+}
+
+TEST(ObsContextTest, CheckerPopulatesAttachedSinks) {
+  MetricsRegistry registry;
+  TraceRecorder recorder;
+  const Checked checked = RunSoundness(ObsContext{&registry, &recorder});
+  EXPECT_EQ(registry.GetCounter("check.soundness.runs")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("check.soundness.points")->Value(),
+            checked.report.progress.evaluated);
+  EXPECT_EQ(registry.GetCounter("sweep.sweeps")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("sweep.points")->Value(), checked.report.progress.evaluated);
+  // One serial shard span plus the check span, at minimum.
+  EXPECT_GE(recorder.size(), 2u);
+  bool saw_check_span = false;
+  const Json trace_json = recorder.ToJson();
+  for (const Json& event : trace_json.Find("traceEvents")->Items()) {
+    if (event.Find("name")->AsString() == "soundness" &&
+        event.Find("cat")->AsString() == "check") {
+      saw_check_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_check_span);
+}
+
+TEST(ObsContextTest, DisabledModeLeavesReportBitsAndSinksUntouched) {
+  const Checked with_obs = [&] {
+    MetricsRegistry registry;
+    TraceRecorder recorder;
+    return RunSoundness(ObsContext{&registry, &recorder});
+  }();
+  const Checked without = RunSoundness(ObsContext());
+  // Attaching sinks must not perturb the report in any way.
+  EXPECT_EQ(with_obs.report.ToString(), without.report.ToString());
+  EXPECT_EQ(with_obs.report.sound, without.report.sound);
+  EXPECT_EQ(with_obs.report.progress.evaluated, without.report.progress.evaluated);
+}
+
+// --- Batch report: the "metrics" block is strictly opt-in. ---
+
+std::vector<CheckJobSpec> TwoJobs() {
+  std::vector<CheckJobSpec> jobs(2);
+  jobs[0].id = "a";
+  jobs[0].program_text = "program p(a, b) { y = a; }";
+  jobs[0].allow = VarSet{0};
+  jobs[1] = jobs[0];
+  jobs[1].id = "b";
+  jobs[1].checker = CheckerKind::kLeak;
+  return jobs;
+}
+
+TEST(BatchObsTest, ReportBytesIdenticalWithMetricsOff) {
+  // Default config: no sinks, no metrics block.
+  const BatchReport plain = CheckService(ServiceConfig()).RunBatch(TwoJobs());
+
+  // Sinks attached but report_metrics left off: every deterministic byte of
+  // the report must be identical, and the JSON must not grow a metrics key.
+  MetricsRegistry registry;
+  TraceRecorder recorder;
+  ServiceConfig config;
+  config.obs = ObsContext{&registry, &recorder};
+  const BatchReport observed = CheckService(std::move(config)).RunBatch(TwoJobs());
+
+  ASSERT_EQ(observed.jobs.size(), plain.jobs.size());
+  for (std::size_t i = 0; i < plain.jobs.size(); ++i) {
+    EXPECT_EQ(observed.jobs[i].report, plain.jobs[i].report);
+    EXPECT_EQ(observed.jobs[i].exit_code, plain.jobs[i].exit_code);
+    EXPECT_EQ(observed.jobs[i].cache_key, plain.jobs[i].cache_key);
+  }
+  EXPECT_FALSE(plain.metrics.is_object());
+  EXPECT_FALSE(observed.metrics.is_object());
+  EXPECT_EQ(BatchReportToJson(plain).Find("metrics"), nullptr);
+  EXPECT_EQ(BatchReportToJson(observed).Find("metrics"), nullptr);
+  // The sinks did observe the batch even though the report ignores them.
+  EXPECT_GE(registry.GetCounter("service.batches")->Value(), 1u);
+  EXPECT_GE(recorder.size(), 1u);
+}
+
+TEST(BatchObsTest, ReportMetricsOptInAddsSnapshotBlock) {
+  ServiceConfig config;
+  config.report_metrics = true;  // no registry given: the service owns one
+  const BatchReport report = CheckService(std::move(config)).RunBatch(TwoJobs());
+  ASSERT_TRUE(report.metrics.is_object());
+  const Json* counters = report.metrics.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("service.batches"), nullptr);
+  EXPECT_EQ(counters->Find("service.batches")->AsInt(), 1);
+  EXPECT_EQ(counters->Find("service.submitted")->AsInt(), 2);
+  const Json rendered = BatchReportToJson(report);
+  ASSERT_NE(rendered.Find("metrics"), nullptr);
+  EXPECT_TRUE(Json::Parse(rendered.Serialize()).ok());
+}
+
+TEST(BatchObsTest, ManifestMetricsFlagRoundTrips) {
+  const char* manifest_text = R"({
+    "service": {"metrics": true},
+    "jobs": [{"id": "j", "program": "program p(a) { y = a; }", "allow": [0]}]
+  })";
+  Result<BatchManifest> manifest = ParseBatchManifest(manifest_text);
+  ASSERT_TRUE(manifest.ok()) << manifest.error().ToString();
+  EXPECT_TRUE(manifest.value().service.report_metrics);
+  // Default stays off.
+  Result<BatchManifest> plain = ParseBatchManifest(
+      R"({"jobs": [{"id": "j", "program": "program p(a) { y = a; }", "allow": [0]}]})");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value().service.report_metrics);
+}
+
+}  // namespace
+}  // namespace secpol

@@ -590,6 +590,141 @@ TEST(ResultCacheTest, ServiceWarmStartsFromPersistedCache) {
   std::remove(path.c_str());
 }
 
+// Regression for the racy persistence path: SaveToFile used to stage through
+// one fixed "<path>.tmp", so two concurrent writers interleaved into the
+// same temporary and could rename a torn file into place. With per-writer
+// temporaries every rename publishes a complete snapshot — whichever save
+// wins, the file on disk always loads.
+TEST(ResultCacheTest, ConcurrentSavesToOnePathNeverPublishATornFile) {
+  const std::string path = TempPath("contended.json");
+  ResultCache cache(64, 4);
+  for (char tag = 'a'; tag <= 'p'; ++tag) {
+    cache.Insert(KeyOf(tag), ValueOf(std::string(200, tag)));
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        if (!cache.SaveToFile(path).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  ResultCache restored(64, 4);
+  const Result<int> loaded = restored.LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  EXPECT_EQ(loaded.value(), 16);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, PersistFailureBumpsCounterAndAttemptIsCounted) {
+  MetricsRegistry registry;
+  ResultCache cache(8, 2);
+  cache.AttachObs(ObsContext{&registry, nullptr});
+  cache.Insert(KeyOf('a'), ValueOf("A"));
+  // A path inside a directory that does not exist: open fails immediately.
+  const std::string bad_path = TempPath("no_such_dir") + "/cache.json";
+  EXPECT_FALSE(cache.SaveToFile(bad_path).ok());
+  EXPECT_EQ(registry.GetCounter("cache.persist_attempts")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("cache.persist_failures")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("cache.persisted_entries")->Value(), 0u);
+  // A good save afterwards counts entries and adds no failure.
+  const std::string good_path = TempPath("good.json");
+  EXPECT_TRUE(cache.SaveToFile(good_path).ok());
+  EXPECT_EQ(registry.GetCounter("cache.persist_attempts")->Value(), 2u);
+  EXPECT_EQ(registry.GetCounter("cache.persist_failures")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("cache.persisted_entries")->Value(), 1u);
+  std::remove(good_path.c_str());
+}
+
+// Regression for the silently-discarded shutdown persist: ~CheckService used
+// to ignore SaveToFile's Result entirely, so an unwritable cache_file left
+// the next run cold with no evidence why. Now the failure is one stderr line
+// plus a cache.persist_failures bump.
+TEST(ResultCacheTest, ServiceShutdownPersistFailureIsLoudNotSilent) {
+  MetricsRegistry registry;
+  ServiceConfig config;
+  config.cache_file = TempPath("absent_dir") + "/cache.json";
+  config.obs.metrics = &registry;
+  ::testing::internal::CaptureStderr();
+  {
+    CheckService service(std::move(config));
+    const BatchReport report =
+        service.RunBatch({BaseSpec(kCleanProgram, CheckerKind::kSoundness)});
+    EXPECT_EQ(report.jobs[0].status, JobStatus::kCompleted);
+  }  // destructor attempts (and fails) the persist
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("failed to persist result cache"), std::string::npos) << err;
+  EXPECT_EQ(registry.GetCounter("cache.persist_failures")->Value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The "table" mechanism kind and the out-of-domain fail-closed path.
+
+// Within the canonical tabulation range {-1..2}^k, a "table" job replays the
+// surveillance mechanism exactly, so the two reports agree byte for byte.
+TEST(TableKindTest, TableJobMatchesSurveillanceInsideCanonicalDomain) {
+  CheckJobSpec surveillance = BaseSpec(kLeakyProgram, CheckerKind::kSoundness);
+  CheckJobSpec table = surveillance;
+  table.mechanism = "table";
+  const JobResult live = ExecuteJob(surveillance);
+  const JobResult replayed = ExecuteJob(table);
+  ASSERT_EQ(live.status, JobStatus::kCompleted);
+  ASSERT_EQ(replayed.status, JobStatus::kCompleted);
+  // The report header names the mechanism ("table(leaky)" vs
+  // "surveillance[M](leaky)"); everything after it — the verdict, the counts,
+  // the witness if any — must agree byte for byte.
+  EXPECT_NE(replayed.report.find("table(leaky)"), std::string::npos);
+  const auto body = [](const std::string& report) {
+    return report.substr(report.find('\n'));
+  };
+  EXPECT_EQ(body(replayed.report), body(live.report));
+  EXPECT_EQ(replayed.exit_code, live.exit_code);
+  // Distinct mechanism recipes must never share a cache identity.
+  EXPECT_NE(replayed.cache_key, live.cache_key);
+}
+
+// Regression for the process-killing abort: TableMechanism used to fprintf
+// and abort() on an out-of-domain input, so one misconfigured job killed the
+// whole batch. Now the typed OutOfDomainError fails that job closed
+// (kAborted, exit 4) while sibling jobs complete untouched.
+TEST(ServiceDifferentialTest, OutOfDomainJobAbortsWithoutKillingSiblings) {
+  CheckJobSpec good = BaseSpec(kLeakyProgram, CheckerKind::kSoundness);
+  good.id = "good";
+  CheckJobSpec oob = BaseSpec(kLeakyProgram, CheckerKind::kSoundness);
+  oob.id = "oob";
+  oob.mechanism = "table";
+  oob.grid_lo = -1;
+  oob.grid_hi = 3;  // 3 is outside the canonical {-1..2} tabulation
+  CheckJobSpec trailing = BaseSpec(kCleanProgram, CheckerKind::kLeak);
+  trailing.id = "trailing";
+
+  MetricsRegistry registry;
+  ServiceConfig config;
+  config.obs.metrics = &registry;
+  CheckService service(std::move(config));
+  const BatchReport report = service.RunBatch({good, oob, trailing});
+
+  ASSERT_EQ(report.jobs.size(), 3u);
+  EXPECT_EQ(report.jobs[0].status, JobStatus::kCompleted);
+  EXPECT_EQ(report.jobs[0].report, ExpectedReport(good, 1));
+  EXPECT_EQ(report.jobs[1].status, JobStatus::kAborted);
+  EXPECT_EQ(report.jobs[1].exit_code, 4);
+  EXPECT_EQ(report.jobs[2].status, JobStatus::kCompleted);
+  EXPECT_EQ(report.jobs[2].report, ExpectedReport(trailing, 1));
+  EXPECT_EQ(report.stats.aborted, 1);
+  EXPECT_EQ(report.stats.completed, 2);
+  EXPECT_EQ(report.ExitCode(), 4);
+  EXPECT_EQ(registry.GetCounter("sweep.out_of_domain")->Value(), 1u);
+  EXPECT_GE(registry.GetCounter("sweep.exceptions")->Value(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Manifest boundary.
 
