@@ -1,0 +1,164 @@
+// E21 — generated differential coverage: what the scenario matrix and the
+// disagreement fuzzer cost, and what they buy.
+//
+// The matrix crosses 7 named axes into 5184 scenarios; every clean scenario
+// runs the full differential battery (parallel = serial bytes, audit =
+// concatenated sections, table-backed = live, cold = warm cache) and every
+// degraded one checks its structured-failure contract. The fuzzer searches
+// the same oracle space from a seeded corpus with counter-derived coverage
+// feedback, then delta-minimizes what it finds into self-contained witness
+// files.
+//
+// This bench quantifies the economics: scenario generation is effectively
+// free (name construction only), a clean-battery scenario costs a few
+// hundred microseconds — so the whole 5184-scenario matrix stays inside a
+// single-digit-second CI budget — and the fuzzer sustains hundreds of
+// oracle-pair iterations per second, with witness minimization reducing raw
+// findings by an order of magnitude for a few hundred predicate calls.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/flowlang/parser.h"
+#include "src/scenario/fuzzer.h"
+#include "src/scenario/minimize.h"
+#include "src/scenario/runner.h"
+#include "src/scenario/scenario.h"
+
+namespace secpol {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// A statement-heavy program with one load-bearing loop: the minimizer has to
+// strip everything else while keeping the loop alive.
+SourceProgram MinimizeFixture() {
+  return ParseProgram(
+             "program p(a, b) { locals v, c; v = a + b; y = v * 2; v = v - a; "
+             "y = y + v; c = 2; while (c != 0) { y = y + 1; c = c - 1; } "
+             "y = y - b; y = y * 1; }")
+      .value();
+}
+
+const WitnessPredicate kHasLoop = [](const SourceProgram& candidate) {
+  return candidate.ToString().find("while") != std::string::npos;
+};
+
+void PrintReproduction() {
+  PrintHeader("E21: scenario matrix — 7 axes crossed into one differential battery");
+  const std::vector<Scenario> scenarios = MakeScenarios(DefaultAxes());
+  {
+    auto start = std::chrono::steady_clock::now();
+    ScenarioRunner runner;
+    const ScenarioSummary summary = runner.RunAll(scenarios);
+    const double ms = MillisSince(start);
+    PrintRow({"scenarios", "checks", "violations", "wall ms", "scenarios/s"},
+             {12, 10, 12, 10, 12});
+    PrintRow({std::to_string(summary.scenarios), std::to_string(summary.checks),
+              std::to_string(summary.violations.size()), std::to_string(ms),
+              std::to_string(summary.scenarios / (ms / 1000.0))},
+             {12, 10, 12, 10, 12});
+    std::printf("  first %s / last %s — names are golden-pinned\n",
+                scenarios.front().name.c_str(), scenarios.back().name.c_str());
+  }
+
+  PrintHeader("E21: disagreement fuzzer — 200 seeded iterations of the oracle battery");
+  {
+    FuzzerConfig config;
+    config.seed = 20260809;
+    config.iterations = 200;
+    config.threads = 7;
+    auto start = std::chrono::steady_clock::now();
+    DisagreementFuzzer fuzzer(config);
+    const FuzzReport report = fuzzer.Run();
+    const double ms = MillisSince(start);
+    PrintRow({"iterations", "iters/s", "features", "novel", "disagree", "expected"},
+             {12, 10, 10, 8, 10, 10});
+    PrintRow({std::to_string(report.stats.iterations),
+              std::to_string(report.stats.iterations / (ms / 1000.0)),
+              std::to_string(report.stats.features), std::to_string(report.stats.novel_inputs),
+              std::to_string(report.stats.disagreements),
+              std::to_string(report.stats.expected_findings)},
+             {12, 10, 10, 8, 10, 10});
+    for (const FuzzFinding& finding : report.findings) {
+      std::printf("  [%s] %s\n", FindingKindName(finding.kind).c_str(),
+                  finding.detail.c_str());
+    }
+  }
+
+  PrintHeader("E21: witness minimization — structure-aware greedy shrink");
+  {
+    const SourceProgram fixture = MinimizeFixture();
+    MinimizeStats stats;
+    (void)MinimizeWitness(fixture, kHasLoop, MinimizeOptions(), &stats);
+    PrintRow({"initial size", "final size", "shrink", "candidates", "accepted"},
+             {14, 12, 8, 12, 10});
+    PrintRow({std::to_string(stats.initial_size), std::to_string(stats.final_size),
+              std::to_string(static_cast<double>(stats.initial_size) / stats.final_size),
+              std::to_string(stats.candidates_tried),
+              std::to_string(stats.candidates_accepted)},
+             {14, 12, 8, 12, 10});
+  }
+}
+
+void BM_MatrixGeneration(benchmark::State& state) {
+  // Names and configs only — no job runs. This is the price of *having* the
+  // 5184-scenario matrix at all.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeScenarios(DefaultAxes()).size());
+  }
+  state.counters["scenarios"] = 5184;
+}
+BENCHMARK(BM_MatrixGeneration);
+
+void BM_ScenarioCleanBattery(benchmark::State& state) {
+  // One clean serial scenario, full battery: reference run, parallel replay,
+  // audit-vs-sections, table-vs-live, cold-vs-warm cache.
+  const std::vector<Scenario> scenarios = MakeScenarios(DefaultAxes());
+  ScenarioRunner runner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(scenarios.front()).checks);
+  }
+}
+BENCHMARK(BM_ScenarioCleanBattery);
+
+void BM_FuzzerIterations(benchmark::State& state) {
+  // A fresh fixed-seed fuzzer per measurement, `range(0)` oracle iterations
+  // each (minimization off so the cost is the iteration itself, not witness
+  // post-processing).
+  const std::uint64_t iterations = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    FuzzerConfig config;
+    config.seed = seed++;
+    config.iterations = iterations;
+    config.minimize = false;
+    DisagreementFuzzer fuzzer(config);
+    benchmark::DoNotOptimize(fuzzer.Run().stats.iterations);
+  }
+  state.counters["iters/s"] = benchmark::Counter(
+      static_cast<double>(iterations * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FuzzerIterations)->Arg(16);
+
+void BM_MinimizeWitness(benchmark::State& state) {
+  const SourceProgram fixture = MinimizeFixture();
+  for (auto _ : state) {
+    MinimizeStats stats;
+    (void)MinimizeWitness(fixture, kHasLoop, MinimizeOptions(), &stats);
+    benchmark::DoNotOptimize(stats.final_size);
+  }
+}
+BENCHMARK(BM_MinimizeWitness);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

@@ -143,6 +143,31 @@ SourceProgram GenerateProgram(const CorpusConfig& config, std::uint64_t seed,
   return generator.Run(name);
 }
 
+VarSet GenerateAllowSet(int num_inputs, std::uint64_t seed) {
+  // A distinct stream from the program generator's: the same seed must not
+  // correlate a program's shape with its policy.
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  VarSet allowed;
+  for (int i = 0; i < num_inputs; ++i) {
+    if (rng.Chance(1, 2)) {
+      allowed.Insert(i);
+    }
+  }
+  return allowed;
+}
+
+TransformPlan GenerateTransformPlan(std::uint64_t seed) {
+  Rng rng(seed ^ 0xbf58476d1ce4e5b9ULL);
+  TransformPlan plan;
+  plan.if_to_select = rng.Chance(1, 2);
+  plan.simplify_equal_arms = !plan.if_to_select || rng.Chance(3, 4);
+  if (rng.Chance(1, 2)) {
+    plan.unroll_factor = rng.NextInRange(1, 4);
+  }
+  plan.tail_duplicate = rng.Chance(1, 3);
+  return plan;
+}
+
 std::vector<SourceProgram> MakeCorpus(const CorpusConfig& config, int count, std::uint64_t seed) {
   std::vector<SourceProgram> out;
   out.reserve(static_cast<size_t>(count));

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "src/flowlang/ast.h"
+#include "src/transforms/transforms.h"
 #include "src/util/rng.h"
+#include "src/util/var_set.h"
 
 namespace secpol {
 
@@ -45,6 +47,25 @@ SourceProgram GenerateProgram(const CorpusConfig& config, std::uint64_t seed,
 // Generates `count` programs seeded seed, seed+1, ...
 std::vector<SourceProgram> MakeCorpus(const CorpusConfig& config, int count,
                                       std::uint64_t seed);
+
+// --- Seeded policy generation ---
+//
+// The fuzzer and the scenario engine need random allow(J) policies with the
+// same reproducibility contract as the programs: deterministic in
+// (num_inputs, seed), portable across platforms (the Rng is fixed-algorithm
+// by design). Each input index is included with probability 1/2; the
+// all-empty and all-full sets are real outcomes, not excluded — the paper's
+// extreme policies (allow nothing / allow everything) are exactly the ones
+// hand-curation under-samples.
+VarSet GenerateAllowSet(int num_inputs, std::uint64_t seed);
+
+// --- Seeded transform-plan generation ---
+//
+// Draws one TransformPlan (src/transforms): each member transform is
+// enabled independently, unroll factors are drawn from [1, 4], and the
+// equal-arm simplification is occasionally disabled so both select shapes
+// (Example 7 with and without the collapse) appear. Deterministic in seed.
+TransformPlan GenerateTransformPlan(std::uint64_t seed);
 
 }  // namespace secpol
 

@@ -1,0 +1,649 @@
+#include "src/scenario/fuzzer.h"
+
+#include <bit>
+#include <iterator>
+#include <utility>
+
+#include "src/channels/timing.h"
+#include "src/flowchart/interpreter.h"
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/outcome_table.h"
+#include "src/mechanism/soundness.h"
+#include "src/obs/metrics.h"
+#include "src/policy/policy.h"
+#include "src/scenario/minimize.h"
+#include "src/service/service.h"
+#include "src/staticflow/static_mechanisms.h"
+#include "src/surveillance/surveillance.h"
+
+namespace secpol {
+
+namespace {
+
+struct KindName {
+  FindingKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FindingKind::kParallelMismatch, "parallel-mismatch"},
+    {FindingKind::kAuditMismatch, "audit-mismatch"},
+    {FindingKind::kCacheMismatch, "cache-mismatch"},
+    {FindingKind::kTableMismatch, "table-mismatch"},
+    {FindingKind::kSurveillanceUnsound, "surveillance-unsound"},
+    {FindingKind::kStaticCertifiedUnsound, "static-certified-unsound"},
+    {FindingKind::kTransformChangedMeaning, "transform-changed-meaning"},
+    {FindingKind::kTimingLeakWitness, "timing-leak-witness"},
+    {FindingKind::kTransformCompletenessFlip, "transform-completeness-flip"},
+    {FindingKind::kStaticDynamicGap, "static-dynamic-gap"},
+};
+
+// The grids the fuzzer samples: every coordinate ranges over [lo, hi].
+struct GridRange {
+  Value lo;
+  Value hi;
+};
+constexpr GridRange kGrids[] = {{0, 1}, {-1, 1}, {-1, 2}, {-2, 2}};
+constexpr int kNumGrids = static_cast<int>(std::size(kGrids));
+
+std::vector<Value> GridValues(Value lo, Value hi) {
+  std::vector<Value> values;
+  for (Value v = lo; v <= hi; ++v) {
+    values.push_back(v);
+  }
+  return values;
+}
+
+bool TotalOnDomain(const Program& program, const InputDomain& domain) {
+  bool total = true;
+  domain.ForEach([&](InputView input) {
+    if (!RunProgram(program, input).halted) {
+      total = false;
+    }
+  });
+  return total;
+}
+
+// The batch-job spec the job-level oracles (audit / cache / table) compare
+// against; serial so the jobs themselves are reference runs.
+CheckJobSpec OracleSpec(const SourceProgram& source, VarSet allow, Value lo, Value hi) {
+  CheckJobSpec spec;
+  spec.id = "fuzz";
+  spec.checker = CheckerKind::kSoundness;
+  spec.program_text = source.ToString();
+  spec.allow = allow;
+  spec.allow2 = VarSet::FirstN(source.num_inputs());
+  spec.mechanism = "surveillance";
+  spec.mechanism2 = "bare";
+  spec.grid_lo = lo;
+  spec.grid_hi = hi;
+  spec.num_threads = 1;
+  return spec;
+}
+
+bool AuditMismatch(const CheckJobSpec& base) {
+  CheckJobSpec audit_spec = base;
+  audit_spec.checker = CheckerKind::kAudit;
+  const JobResult audit = ExecuteJob(audit_spec);
+  if (audit.status != JobStatus::kCompleted) {
+    return false;  // not an audit disagreement (abort paths have own tests)
+  }
+  std::string expected;
+  for (const CheckJobSpec& section : AuditSectionSpecs(audit_spec)) {
+    const JobResult standalone = ExecuteJob(section);
+    if (standalone.status != JobStatus::kCompleted) {
+      return false;
+    }
+    expected += standalone.report;
+  }
+  return audit.report != expected;
+}
+
+bool CacheMismatch(const CheckJobSpec& base) {
+  ServiceConfig config;
+  config.concurrency = 1;
+  CheckService service(config);
+  const BatchReport cold = service.RunBatch({base});
+  const BatchReport warm = service.RunBatch({base});
+  if (cold.jobs.size() != 1 || warm.jobs.size() != 1 ||
+      cold.jobs[0].status != JobStatus::kCompleted) {
+    return false;
+  }
+  return !warm.jobs[0].from_cache || warm.jobs[0].report != cold.jobs[0].report;
+}
+
+bool TableMismatch(const Program& program, VarSet allow, const InputDomain& domain) {
+  const AllowPolicy policy(program.num_inputs(), allow);
+  const SurveillanceMechanism mechanism(program, allow);
+  const CheckOptions serial = CheckOptions::Serial();
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+  sources.policy = &policy;
+  const OutcomeTable table = BuildOutcomeTable(sources, domain, serial);
+  if (!table.complete()) {
+    return false;
+  }
+  const Observability obs = Observability::kValueOnly;
+  return CheckSoundness(table, obs, serial).ToString() !=
+             CheckSoundness(mechanism, policy, domain, obs, serial).ToString() ||
+         MeasureLeak(table, obs, serial).ToString() !=
+             MeasureLeak(mechanism, policy, domain, obs, serial).ToString();
+}
+
+// The kind-specific oracle pair, evaluated from scratch. Shared by the
+// minimizer predicate and ReplayFinding so a shrunk witness proves exactly
+// what the original did.
+bool WitnessReproduces(const FuzzFinding& finding, const SourceProgram& source, int threads) {
+  const int n = source.num_inputs();
+  if (n <= 0) {
+    return false;
+  }
+  const Program program = Lower(source);
+  const InputDomain domain = InputDomain::Range(n, finding.grid_lo, finding.grid_hi);
+  if (!TotalOnDomain(program, domain)) {
+    return false;  // witnesses live in the total fragment
+  }
+  const VarSet allow = VarSet::FromBits(finding.allow_bits);
+  const AllowPolicy policy(n, allow);
+  const CheckOptions serial = CheckOptions::Serial();
+  const Observability value_only = Observability::kValueOnly;
+
+  switch (finding.kind) {
+    case FindingKind::kSurveillanceUnsound: {
+      const SurveillanceMechanism surv(program, allow);
+      return !CheckSoundness(surv, policy, domain, value_only, serial).sound;
+    }
+    case FindingKind::kParallelMismatch: {
+      const SurveillanceMechanism surv(program, allow);
+      const std::string serial_report =
+          CheckSoundness(surv, policy, domain, value_only, serial).ToString();
+      const std::string parallel_report =
+          CheckSoundness(surv, policy, domain, value_only, CheckOptions::Threads(threads))
+              .ToString();
+      return serial_report != parallel_report;
+    }
+    case FindingKind::kAuditMismatch:
+      return AuditMismatch(OracleSpec(source, allow, finding.grid_lo, finding.grid_hi));
+    case FindingKind::kCacheMismatch:
+      return CacheMismatch(OracleSpec(source, allow, finding.grid_lo, finding.grid_hi));
+    case FindingKind::kTableMismatch:
+      return TableMismatch(program, allow, domain);
+    case FindingKind::kStaticCertifiedUnsound: {
+      const StaticCertifiedMechanism cert(program, allow);
+      return cert.certified() &&
+             !CheckSoundness(cert, policy, domain, value_only, serial).sound;
+    }
+    case FindingKind::kStaticDynamicGap: {
+      const StaticCertifiedMechanism cert(program, allow);
+      if (cert.certified()) {
+        return false;
+      }
+      const ProgramAsMechanism bare(program);
+      return CheckSoundness(bare, policy, domain, value_only, serial).sound;
+    }
+    case FindingKind::kTransformChangedMeaning: {
+      if (!finding.has_plan) {
+        return false;
+      }
+      bool changed = false;
+      const SourceProgram transformed = ApplyTransformPlan(source, finding.plan, &changed);
+      if (!changed) {
+        return false;
+      }
+      return !FunctionallyEquivalentOnGrid(program, Lower(transformed),
+                                           GridValues(finding.grid_lo, finding.grid_hi));
+    }
+    case FindingKind::kTransformCompletenessFlip: {
+      if (!finding.has_plan) {
+        return false;
+      }
+      bool changed = false;
+      const SourceProgram transformed = ApplyTransformPlan(source, finding.plan, &changed);
+      if (!changed) {
+        return false;
+      }
+      const SurveillanceMechanism surv_orig(program, allow);
+      const SurveillanceMechanism surv_trans(Lower(transformed), allow);
+      return CompareCompleteness(surv_orig, surv_trans, domain, serial).Relation() !=
+             CompletenessRelation::kEquivalent;
+    }
+    case FindingKind::kTimingLeakWitness: {
+      const SurveillanceMechanism surv(program, allow);
+      if (!CheckSoundness(surv, policy, domain, value_only, serial).sound) {
+        return false;
+      }
+      return MeasureLeak(surv, policy, domain, Observability::kValueAndTime, serial)
+                 .leaky_classes > 0;
+    }
+  }
+  return false;
+}
+
+// FNV-1a over a string plus a small salt; the stable in-binary hash behind
+// coverage features (std::hash is implementation-defined, this is not).
+std::uint64_t HashFeature(const std::string& path, std::uint64_t salt) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : path) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return h ^ (salt * 0x9e3779b97f4a7c15ULL);
+}
+
+// Folds every integer leaf of a metrics snapshot into (path, bit-width)
+// features. Bit-width bucketing makes the feature space finite: a counter
+// counts as novel when it crosses a power of two, not on every tick.
+void CollectFeatures(const Json& node, const std::string& path,
+                     std::vector<std::uint64_t>* out) {
+  if (node.is_int()) {
+    const std::int64_t value = node.AsInt();
+    const std::uint64_t magnitude = value >= 0 ? static_cast<std::uint64_t>(value) : 0;
+    out->push_back(HashFeature(path, static_cast<std::uint64_t>(std::bit_width(magnitude))));
+    return;
+  }
+  if (node.is_object()) {
+    for (const auto& [key, value] : node.Members()) {
+      CollectFeatures(value, path + "." + key, out);
+    }
+    return;
+  }
+  if (node.is_array()) {
+    // Histogram bucket arrays: position is meaning, fold the index in.
+    int index = 0;
+    for (const Json& item : node.Items()) {
+      CollectFeatures(item, path + "[" + std::to_string(index++) + "]", out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string FindingKindName(FindingKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
+  }
+  return "?";
+}
+
+std::optional<FindingKind> ParseFindingKind(const std::string& name) {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) {
+      return entry.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsDisagreement(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kParallelMismatch:
+    case FindingKind::kAuditMismatch:
+    case FindingKind::kCacheMismatch:
+    case FindingKind::kTableMismatch:
+    case FindingKind::kSurveillanceUnsound:
+    case FindingKind::kStaticCertifiedUnsound:
+    case FindingKind::kTransformChangedMeaning:
+      return true;
+    case FindingKind::kTimingLeakWitness:
+    case FindingKind::kTransformCompletenessFlip:
+    case FindingKind::kStaticDynamicGap:
+      return false;
+  }
+  return false;
+}
+
+Json FuzzFinding::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("kind", Json::MakeString(FindingKindName(kind)));
+  out.Set("detail", Json::MakeString(detail));
+  out.Set("program", Json::MakeString(program_text));
+  out.Set("allow_bits", Json::MakeInt(static_cast<std::int64_t>(allow_bits)));
+  out.Set("grid_lo", Json::MakeInt(grid_lo));
+  out.Set("grid_hi", Json::MakeInt(grid_hi));
+  out.Set("iteration", Json::MakeInt(static_cast<std::int64_t>(iteration)));
+  if (has_plan) {
+    Json plan_json = Json::MakeObject();
+    plan_json.Set("if_to_select", Json::MakeBool(plan.if_to_select));
+    plan_json.Set("simplify_equal_arms", Json::MakeBool(plan.simplify_equal_arms));
+    plan_json.Set("unroll_factor", Json::MakeInt(plan.unroll_factor));
+    plan_json.Set("tail_duplicate", Json::MakeBool(plan.tail_duplicate));
+    out.Set("transform_plan", plan_json);
+  }
+  return out;
+}
+
+Result<FuzzFinding> FindingFromJson(const Json& witness) {
+  if (!witness.is_object()) {
+    return Error{"witness must be a JSON object"};
+  }
+  FuzzFinding finding;
+  const Json* kind = witness.Find("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    return Error{"witness is missing its \"kind\""};
+  }
+  const std::optional<FindingKind> parsed = ParseFindingKind(kind->AsString());
+  if (!parsed.has_value()) {
+    return Error{"unknown finding kind: " + kind->AsString()};
+  }
+  finding.kind = *parsed;
+  const Json* program = witness.Find("program");
+  if (program == nullptr || !program->is_string()) {
+    return Error{"witness is missing its \"program\""};
+  }
+  finding.program_text = program->AsString();
+  const Json* detail = witness.Find("detail");
+  if (detail != nullptr && detail->is_string()) {
+    finding.detail = detail->AsString();
+  }
+  const Json* allow_bits = witness.Find("allow_bits");
+  if (allow_bits == nullptr || !allow_bits->is_int()) {
+    return Error{"witness is missing its \"allow_bits\""};
+  }
+  finding.allow_bits = static_cast<std::uint64_t>(allow_bits->AsInt());
+  const Json* lo = witness.Find("grid_lo");
+  const Json* hi = witness.Find("grid_hi");
+  if (lo == nullptr || hi == nullptr || !lo->is_int() || !hi->is_int()) {
+    return Error{"witness is missing its grid bounds"};
+  }
+  finding.grid_lo = lo->AsInt();
+  finding.grid_hi = hi->AsInt();
+  if (finding.grid_lo > finding.grid_hi) {
+    return Error{"witness grid is empty"};
+  }
+  const Json* iteration = witness.Find("iteration");
+  if (iteration != nullptr && iteration->is_int()) {
+    finding.iteration = static_cast<std::uint64_t>(iteration->AsInt());
+  }
+  const Json* plan = witness.Find("transform_plan");
+  if (plan != nullptr && !plan->is_null()) {
+    if (!plan->is_object()) {
+      return Error{"transform_plan must be an object"};
+    }
+    finding.has_plan = true;
+    const Json* field = plan->Find("if_to_select");
+    finding.plan.if_to_select = field != nullptr && field->is_bool() && field->AsBool();
+    field = plan->Find("simplify_equal_arms");
+    finding.plan.simplify_equal_arms =
+        field == nullptr || !field->is_bool() || field->AsBool();
+    field = plan->Find("unroll_factor");
+    finding.plan.unroll_factor = field != nullptr && field->is_int() ? field->AsInt() : 0;
+    field = plan->Find("tail_duplicate");
+    finding.plan.tail_duplicate = field != nullptr && field->is_bool() && field->AsBool();
+  }
+  return finding;
+}
+
+Result<bool> ReplayFinding(const FuzzFinding& finding) {
+  Result<SourceProgram> source = ParseProgram(finding.program_text);
+  if (!source.ok()) {
+    return Error{"witness program does not parse: " + source.error().ToString()};
+  }
+  return WitnessReproduces(finding, source.value(), /*threads=*/7);
+}
+
+bool FuzzReport::clean() const {
+  for (const FuzzFinding& finding : findings) {
+    if (IsDisagreement(finding.kind)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FuzzReport::ToString() const {
+  std::string out = "fuzz: " + std::to_string(stats.iterations) + " iterations, " +
+                    std::to_string(stats.features) + " features, " +
+                    std::to_string(stats.disagreements) + " disagreements, " +
+                    std::to_string(stats.expected_findings) + " expected findings";
+  for (const FuzzFinding& finding : findings) {
+    out += "\n  [" + std::string(IsDisagreement(finding.kind) ? "DISAGREE" : "expected") +
+           "] " + FindingKindName(finding.kind) + ": " + finding.detail;
+  }
+  return out;
+}
+
+DisagreementFuzzer::DisagreementFuzzer(FuzzerConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+DisagreementFuzzer::FuzzInput DisagreementFuzzer::NextInput() {
+  if (pool_.empty() || rng_.Chance(1, 4)) {
+    // Fresh random input: keeps the search from collapsing onto one basin.
+    FuzzInput input;
+    input.program_seed = rng_.Next();
+    input.policy_seed = rng_.Next();
+    input.transform_seed = rng_.Next();
+    input.grid_index = static_cast<int>(rng_.NextBelow(kNumGrids));
+    return input;
+  }
+  // Mutate a pool member: rerandomize one coordinate of the tuple.
+  FuzzInput input = pool_[rng_.NextBelow(pool_.size())];
+  switch (rng_.NextBelow(4)) {
+    case 0:
+      input.program_seed = rng_.Next();
+      break;
+    case 1:
+      input.policy_seed = rng_.Next();
+      break;
+    case 2:
+      input.transform_seed = rng_.Next();
+      break;
+    default:
+      input.grid_index = static_cast<int>(rng_.NextBelow(kNumGrids));
+      break;
+  }
+  return input;
+}
+
+bool DisagreementFuzzer::AbsorbCoverage(const Json& snapshot) {
+  // Only the counters section feeds coverage: counters are deterministic
+  // functions of the work performed, while the histograms fold in wall-clock
+  // throughput (points_per_sec and friends) — hashing those would make the
+  // feature set, and with it the whole fuzz log, nondeterministic.
+  const Json* counters = snapshot.Find("counters");
+  if (counters == nullptr) {
+    return false;
+  }
+  std::vector<std::uint64_t> features;
+  CollectFeatures(*counters, "", &features);
+  bool novel = false;
+  for (const std::uint64_t feature : features) {
+    if (features_.insert(feature).second) {
+      novel = true;
+    }
+  }
+  return novel;
+}
+
+void DisagreementFuzzer::Record(FindingKind kind, std::string detail,
+                                const SourceProgram& source, const FuzzInput& input,
+                                bool with_plan, const TransformPlan& plan,
+                                std::uint64_t iteration, FuzzReport* report) {
+  if (!IsDisagreement(kind)) {
+    // Expected phenomena recur constantly; one witness per kind is the
+    // useful exhibit, the rest is noise.
+    if (!seen_expected_.insert(static_cast<int>(kind)).second) {
+      return;
+    }
+  }
+
+  FuzzFinding finding;
+  finding.kind = kind;
+  finding.detail = std::move(detail);
+  finding.program_text = source.ToString();
+  finding.allow_bits = GenerateAllowSet(source.num_inputs(), input.policy_seed).bits();
+  finding.grid_lo = kGrids[input.grid_index].lo;
+  finding.grid_hi = kGrids[input.grid_index].hi;
+  finding.has_plan = with_plan;
+  finding.plan = plan;
+  finding.iteration = iteration;
+
+  if (config_.minimize) {
+    const int threads = config_.threads;
+    const WitnessPredicate predicate = [&finding, threads](const SourceProgram& candidate) {
+      return WitnessReproduces(finding, candidate, threads);
+    };
+    // Only shrink when the finding replays deterministically from scratch;
+    // a non-reproducing disagreement is recorded as-is (its detail string
+    // and full program are then the entire evidence).
+    if (predicate(source)) {
+      MinimizeOptions options;
+      options.max_candidates = config_.minimize_budget;
+      MinimizeStats stats;
+      const SourceProgram minimized = MinimizeWitness(source, predicate, options, &stats);
+      finding.program_text = minimized.ToString();
+      finding.detail += " (minimized " + std::to_string(stats.initial_size) + " -> " +
+                        std::to_string(stats.final_size) + " nodes)";
+    } else {
+      finding.detail += " (not deterministically reproducible; kept unminimized)";
+    }
+  }
+
+  if (IsDisagreement(kind)) {
+    ++report->stats.disagreements;
+  } else {
+    ++report->stats.expected_findings;
+  }
+  report->findings.push_back(std::move(finding));
+}
+
+void DisagreementFuzzer::Iterate(const FuzzInput& input, std::uint64_t iteration,
+                                 FuzzReport* report) {
+  const SourceProgram source = GenerateProgram(
+      config_.corpus, input.program_seed, "fz_" + std::to_string(input.program_seed));
+  const Program program = Lower(source);
+  const int n = source.num_inputs();
+  const VarSet allow = GenerateAllowSet(n, input.policy_seed);
+  const GridRange grid = kGrids[input.grid_index];
+  const InputDomain domain = InputDomain::Range(n, grid.lo, grid.hi);
+  const AllowPolicy policy(n, allow);
+  const TransformPlan plan = GenerateTransformPlan(input.transform_seed);
+  const TransformPlan no_plan;
+
+  MetricsRegistry metrics;
+  CheckOptions serial = CheckOptions::Serial();
+  serial.obs.metrics = &metrics;
+  const Observability value_only = Observability::kValueOnly;
+
+  // --- Theorem 3: the surveillance mechanism is sound for allow(J) ---
+  const SurveillanceMechanism surv(program, allow);
+  const SoundnessReport sound = CheckSoundness(surv, policy, domain, value_only, serial);
+  if (!sound.sound) {
+    Record(FindingKind::kSurveillanceUnsound,
+           sound.counterexample.has_value() ? sound.counterexample->ToString()
+                                           : "unsound without counterexample",
+           source, input, false, no_plan, iteration, report);
+  }
+
+  // --- Serial = parallel byte identity ---
+  CheckOptions parallel = CheckOptions::Threads(config_.threads);
+  parallel.obs.metrics = &metrics;
+  const SoundnessReport sound_parallel =
+      CheckSoundness(surv, policy, domain, value_only, parallel);
+  if (sound_parallel.ToString() != sound.ToString()) {
+    Record(FindingKind::kParallelMismatch,
+           "soundness report differs at " + std::to_string(config_.threads) + " threads",
+           source, input, false, no_plan, iteration, report);
+  }
+
+  // --- Static certification vs the dynamic ground truth ---
+  const StaticCertifiedMechanism cert(program, allow);
+  if (cert.certified()) {
+    if (!CheckSoundness(cert, policy, domain, value_only, serial).sound) {
+      Record(FindingKind::kStaticCertifiedUnsound,
+             "certifier accepted a dynamically unsound program", source, input, false,
+             no_plan, iteration, report);
+    }
+  } else {
+    const ProgramAsMechanism bare(program);
+    if (CheckSoundness(bare, policy, domain, value_only, serial).sound) {
+      Record(FindingKind::kStaticDynamicGap,
+             "certification refused though the bare program is sound", source, input, false,
+             no_plan, iteration, report);
+    }
+  }
+
+  // --- Transforms preserve meaning; their completeness effect is free ---
+  bool changed = false;
+  const SourceProgram transformed = ApplyTransformPlan(source, plan, &changed);
+  if (changed) {
+    const Program transformed_program = Lower(transformed);
+    if (!FunctionallyEquivalentOnGrid(program, transformed_program,
+                                      GridValues(grid.lo, grid.hi))) {
+      Record(FindingKind::kTransformChangedMeaning,
+             "plan " + plan.Name() + " changed the computed function", source, input, true,
+             plan, iteration, report);
+    } else {
+      const SurveillanceMechanism surv_transformed(transformed_program, allow);
+      const CompletenessStats completeness =
+          CompareCompleteness(surv, surv_transformed, domain, serial);
+      if (completeness.Relation() != CompletenessRelation::kEquivalent) {
+        Record(FindingKind::kTransformCompletenessFlip,
+               "plan " + plan.Name() + ": " +
+                   CompletenessRelationName(completeness.Relation()),
+               source, input, true, plan, iteration, report);
+      }
+    }
+  }
+
+  // --- The Theorem 3 / Theorem 3' gap: value-sound but timing-leaky ---
+  if (sound.sound) {
+    const LeakReport leak =
+        MeasureLeak(surv, policy, domain, Observability::kValueAndTime, serial);
+    if (leak.leaky_classes > 0) {
+      Record(FindingKind::kTimingLeakWitness,
+             std::to_string(leak.leaky_classes) + " leaky classes, max " +
+                 std::to_string(leak.max_distinct_outcomes) + " outcomes per class",
+             source, input, false, no_plan, iteration, report);
+    }
+  }
+
+  // --- Job-level oracles: audit concat, cache replay, table-backed ---
+  if (config_.audit_every > 0 && iteration % static_cast<std::uint64_t>(config_.audit_every) == 0) {
+    const CheckJobSpec spec = OracleSpec(source, allow, grid.lo, grid.hi);
+    if (AuditMismatch(spec)) {
+      Record(FindingKind::kAuditMismatch,
+             "audit report is not the concatenation of its sections", source, input, false,
+             no_plan, iteration, report);
+    }
+    if (CacheMismatch(spec)) {
+      Record(FindingKind::kCacheMismatch, "cached replay bytes differ", source, input, false,
+             no_plan, iteration, report);
+    }
+    if (TableMismatch(program, allow, domain)) {
+      Record(FindingKind::kTableMismatch,
+             "table-backed reduction differs from the live sweep", source, input, false,
+             no_plan, iteration, report);
+    }
+  }
+
+  // --- Coverage feedback ---
+  if (AbsorbCoverage(metrics.Snapshot())) {
+    ++report->stats.novel_inputs;
+    constexpr std::size_t kPoolCap = 64;
+    if (pool_.size() < kPoolCap) {
+      pool_.push_back(input);
+    } else {
+      pool_[rng_.NextBelow(kPoolCap)] = input;
+    }
+  }
+}
+
+FuzzReport DisagreementFuzzer::Run() {
+  FuzzReport report;
+  const Deadline deadline = config_.budget_ms > 0 ? Deadline::AfterMillis(config_.budget_ms)
+                                                  : Deadline::Never();
+  std::uint64_t iteration = 0;
+  while ((config_.iterations == 0 || iteration < config_.iterations) && !deadline.Expired() &&
+         report.findings.size() < static_cast<std::size_t>(config_.max_findings)) {
+    Iterate(NextInput(), iteration, &report);
+    ++iteration;
+  }
+  report.stats.iterations = iteration;
+  report.stats.features = features_.size();
+  return report;
+}
+
+}  // namespace secpol

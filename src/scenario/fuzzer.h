@@ -1,0 +1,170 @@
+// The coverage-guided disagreement fuzzer.
+//
+// The scenario matrix (scenario.h) checks fixed configurations; the fuzzer
+// searches. It draws random (program, policy, transform, grid) tuples from
+// the seeded corpus generators, runs a battery of *oracle pairs* — two
+// independent paths that the theory says must agree — and hunts for
+// disagreements:
+//
+//   true disagreements (any one fails the zero-disagreement CI gate):
+//     * a parallel checker report differing from the serial bytes;
+//     * an audit report that is not the concatenation of its sections;
+//     * a cached replay with different bytes;
+//     * an OutcomeTable-backed reduction differing from the live sweep;
+//     * a surveillance mechanism unsound under value-only observation
+//       (a Theorem 3 violation);
+//     * a statically certified program the dynamic checker refutes;
+//     * an "equivalence-preserving" transform that changed the function.
+//
+//   expected findings (the phenomena the paper predicts; recorded and
+//   promoted to corpus regressions, but not failures):
+//     * a timing-leak witness: sound for values, leaky once running time is
+//       observable (the Theorem 3 / Theorem 3' gap);
+//     * a transform that changed surveillance completeness (Examples 7/8 —
+//       the non-automatable judgment of Theorem 4);
+//     * a static-dynamic gap: certification refused although the bare run
+//       is extensionally sound (conservatism of the static analysis).
+//
+// Coverage feedback: each iteration runs its checkers with a private
+// MetricsRegistry (PR 5) attached; the snapshot's counters section — and
+// only it, the histograms fold in wall-clock throughput — is hashed into
+// (metric path, value bit-width) features, and inputs that light up a new
+// feature join the mutation pool. The fuzzer is deterministic in
+// FuzzerConfig::seed given a fixed iteration count.
+//
+// Witnesses are self-contained: FuzzFinding::ToJson embeds the (minimized)
+// program text, policy bits, grid and transform plan, so a witness file in
+// tests/regressions/ replays with ReplayFinding years later with no
+// reference to the fuzzer run that found it.
+
+#ifndef SECPOL_SRC_SCENARIO_FUZZER_H_
+#define SECPOL_SRC_SCENARIO_FUZZER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/corpus/generator.h"
+#include "src/transforms/transforms.h"
+#include "src/util/json.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/util/value.h"
+
+namespace secpol {
+
+enum class FindingKind {
+  // --- True disagreements ---
+  kParallelMismatch,
+  kAuditMismatch,
+  kCacheMismatch,
+  kTableMismatch,
+  kSurveillanceUnsound,
+  kStaticCertifiedUnsound,
+  kTransformChangedMeaning,
+  // --- Expected findings ---
+  kTimingLeakWitness,
+  kTransformCompletenessFlip,
+  kStaticDynamicGap,
+};
+
+std::string FindingKindName(FindingKind kind);
+std::optional<FindingKind> ParseFindingKind(const std::string& name);
+
+// True for the kinds that fail the zero-disagreement gate.
+bool IsDisagreement(FindingKind kind);
+
+// One witness: everything needed to replay the finding stand-alone.
+struct FuzzFinding {
+  FindingKind kind = FindingKind::kTimingLeakWitness;
+  std::string detail;        // deterministic one-liner for humans
+  std::string program_text;  // flowlang source (minimized when enabled)
+  std::uint64_t allow_bits = 0;
+  Value grid_lo = -1;
+  Value grid_hi = 1;
+  bool has_plan = false;     // whether a transform plan is part of the witness
+  TransformPlan plan;
+  std::uint64_t iteration = 0;
+
+  Json ToJson() const;
+};
+
+Result<FuzzFinding> FindingFromJson(const Json& witness);
+
+// Re-evaluates the finding's oracle pair from scratch. Returns true iff the
+// phenomenon still reproduces. The regression suite asserts `true` for
+// expected kinds (the witness is a permanent exhibit) and `false` for
+// disagreement kinds (the bug it caught must stay fixed).
+Result<bool> ReplayFinding(const FuzzFinding& finding);
+
+struct FuzzerConfig {
+  std::uint64_t seed = 1;
+  // Iteration bound; 0 = unbounded (then budget_ms must bound the run).
+  std::uint64_t iterations = 200;
+  // Wall-clock bound in milliseconds; 0 = unbounded.
+  std::int64_t budget_ms = 0;
+  CorpusConfig corpus;
+  // Thread count for the parallel-vs-serial oracle.
+  int threads = 7;
+  // Run the job-level oracles (audit / cache / table) every Nth iteration;
+  // 0 disables them.
+  int audit_every = 8;
+  bool minimize = true;
+  int minimize_budget = 2048;  // candidate evaluations per witness
+  int max_findings = 16;       // stop early once this many are recorded
+};
+
+struct FuzzStats {
+  std::uint64_t iterations = 0;
+  std::uint64_t features = 0;      // distinct coverage features seen
+  std::uint64_t novel_inputs = 0;  // inputs that uncovered a new feature
+  std::uint64_t disagreements = 0;
+  std::uint64_t expected_findings = 0;
+};
+
+struct FuzzReport {
+  std::vector<FuzzFinding> findings;
+  FuzzStats stats;
+
+  // No true disagreements (expected findings are fine).
+  bool clean() const;
+  std::string ToString() const;
+};
+
+class DisagreementFuzzer {
+ public:
+  explicit DisagreementFuzzer(FuzzerConfig config);
+
+  // Runs to the iteration/budget/finding bound. Deterministic in the seed
+  // for fixed iteration counts (a wall-clock budget cut is the one
+  // nondeterministic stop).
+  FuzzReport Run();
+
+ private:
+  struct FuzzInput {
+    std::uint64_t program_seed = 0;
+    std::uint64_t policy_seed = 0;
+    std::uint64_t transform_seed = 0;
+    int grid_index = 0;
+  };
+
+  FuzzInput NextInput();
+  void Iterate(const FuzzInput& input, std::uint64_t iteration, FuzzReport* report);
+  void Record(FindingKind kind, std::string detail, const SourceProgram& source,
+              const FuzzInput& input, bool with_plan, const TransformPlan& plan,
+              std::uint64_t iteration, FuzzReport* report);
+  // Folds a metrics snapshot into the feature set; true if anything was new.
+  bool AbsorbCoverage(const Json& snapshot);
+
+  FuzzerConfig config_;
+  Rng rng_;
+  std::vector<FuzzInput> pool_;
+  std::unordered_set<std::uint64_t> features_;
+  std::unordered_set<int> seen_expected_;  // FindingKind as int, first-witness-only
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SCENARIO_FUZZER_H_

@@ -1,0 +1,62 @@
+// Delta-minimization of fuzzer witnesses.
+//
+// A raw disagreement witness from the fuzzer is a whole generated program —
+// dozens of statements, most irrelevant to the disagreement. MinimizeWitness
+// greedily shrinks the program while a caller-supplied predicate ("the
+// disagreement still reproduces") keeps holding, using structure-aware
+// edits on the flowlang AST rather than textual ddmin:
+//
+//   * delete a statement;
+//   * replace an if (or a while) by one of its arms, spliced in place;
+//   * replace an assignment's expression by one of its operands or by 0;
+//   * replace an if/while condition by 0.
+//
+// Every edit strictly shrinks the (statement, expression-node) size, so the
+// greedy fixpoint terminates; the candidate budget bounds worst-case cost.
+// The predicate is the sole judge of semantic validity — fuzzer predicates
+// bundle totality and reproduction checks — and the minimizer guarantees the
+// structural validity (declared variables, well-formed AST) of every
+// candidate by construction.
+
+#ifndef SECPOL_SRC_SCENARIO_MINIMIZE_H_
+#define SECPOL_SRC_SCENARIO_MINIMIZE_H_
+
+#include <functional>
+
+#include "src/flowlang/ast.h"
+
+namespace secpol {
+
+// True iff the candidate still exhibits the property being minimized.
+using WitnessPredicate = std::function<bool(const SourceProgram&)>;
+
+struct MinimizeOptions {
+  // Total predicate evaluations allowed; the minimizer stops (keeping its
+  // best program so far) when the budget runs out.
+  int max_candidates = 4096;
+};
+
+struct MinimizeStats {
+  int candidates_tried = 0;
+  int candidates_accepted = 0;
+  int initial_size = 0;  // CountStmts + expression nodes, before
+  int final_size = 0;    // and after
+};
+
+// Statements in the program, recursively.
+int CountStmts(const SourceProgram& program);
+
+// Statements plus expression nodes: the size measure every edit strictly
+// decreases.
+int ProgramSize(const SourceProgram& program);
+
+// Requires predicate(program) — minimizing a non-witness is a caller bug —
+// and returns a (possibly identical) program on which the predicate still
+// holds and no single remaining edit can shrink further within budget.
+SourceProgram MinimizeWitness(const SourceProgram& program, const WitnessPredicate& predicate,
+                              const MinimizeOptions& options = MinimizeOptions(),
+                              MinimizeStats* stats = nullptr);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SCENARIO_MINIMIZE_H_

@@ -1,0 +1,233 @@
+#include "src/scenario/runner.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/channels/timing.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/outcome_table.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+
+namespace secpol {
+
+void ScenarioSummary::Absorb(const ScenarioResult& result) {
+  ++scenarios;
+  checks += result.checks;
+  for (const std::string& violation : result.violations) {
+    violations.push_back(result.name + ": " + violation);
+  }
+}
+
+std::string ScenarioSummary::ToString() const {
+  std::string out = std::to_string(scenarios) + " scenarios, " + std::to_string(checks) +
+                    " checks, " + std::to_string(violations.size()) + " violations";
+  for (const std::string& violation : violations) {
+    out += "\n  " + violation;
+  }
+  return out;
+}
+
+namespace {
+
+ServiceConfig RunnerServiceConfig() {
+  ServiceConfig config;
+  config.concurrency = 1;
+  // Every clean scenario adds one entry; keep them all so warm-cache checks
+  // never evict each other mid-sweep.
+  config.cache_capacity = 8192;
+  return config;
+}
+
+// The scenario spec with all degradation knobs removed: the fault-free,
+// unbounded, serial run whose bytes every completed run must reproduce.
+CheckJobSpec ReferenceSpec(const CheckJobSpec& spec) {
+  CheckJobSpec reference = spec;
+  reference.fault_spec.clear();
+  reference.retries = -1;
+  reference.deadline_ms = 0;
+  reference.num_threads = 1;
+  return reference;
+}
+
+// Everything after the report's header line. The header names the mechanism,
+// and fault injection decorates that name (retry(faulty(...))), so a
+// faulted-but-absorbed run legitimately differs from the fault-free
+// reference in the header alone; the body — verdict, counterexample,
+// counts — is where byte-identity binds.
+std::string ReportBody(const std::string& report) {
+  const std::size_t newline = report.find('\n');
+  return newline == std::string::npos ? report : report.substr(newline + 1);
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner() : service_(RunnerServiceConfig()) {}
+
+void ScenarioRunner::Expect(bool condition, const std::string& what, ScenarioResult* out) {
+  ++out->checks;
+  if (!condition) {
+    out->violations.push_back(what);
+  }
+}
+
+ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
+  ScenarioResult result;
+  result.name = scenario.name;
+
+  const CheckJobSpec spec = BuildJobSpec(scenario);
+  const JobResult reference = ExecuteJob(ReferenceSpec(spec));
+  Expect(reference.status == JobStatus::kCompleted,
+         "reference run did not complete: " + JobStatusName(reference.status) +
+             (reference.error.empty() ? "" : " (" + reference.error + ")"),
+         &result);
+  if (reference.status != JobStatus::kCompleted) {
+    return result;
+  }
+
+  const JobResult run = ExecuteJob(spec);
+
+  if (scenario.config.fault == ScenarioFault::kAbort) {
+    // The persistent fault must surface as a structured abort — or, when a
+    // deadline is also armed, the deadline may win the race. Either way the
+    // run fails closed with partial coverage, never a crash.
+    const bool failed_closed =
+        run.status == JobStatus::kAborted ||
+        (spec.deadline_ms > 0 && run.status == JobStatus::kDeadlineExceeded);
+    Expect(failed_closed, "fatal fault did not fail closed: " + JobStatusName(run.status),
+           &result);
+    Expect(run.exit_code >= 2 && run.exit_code <= 4,
+           "fail-closed exit code out of range: " + std::to_string(run.exit_code), &result);
+    Expect(run.evaluated <= run.total, "evaluated exceeds grid size", &result);
+    return result;
+  }
+
+  if (spec.deadline_ms > 0 && run.status == JobStatus::kDeadlineExceeded) {
+    // The deadline fired mid-sweep: coverage must be partial-or-full and the
+    // exit code the fail-closed one (2 with a genuine witness, else 3).
+    Expect(run.exit_code == 2 || run.exit_code == 3,
+           "deadline exit code out of range: " + std::to_string(run.exit_code), &result);
+    Expect(run.evaluated <= run.total, "evaluated exceeds grid size", &result);
+    return result;
+  }
+
+  // Completed (clean or transient-absorbed) runs reproduce the reference
+  // bytes at any thread count — the central determinism contract.
+  Expect(run.status == JobStatus::kCompleted,
+         "run did not complete: " + JobStatusName(run.status) +
+             (run.error.empty() ? "" : " (" + run.error + ")"),
+         &result);
+  if (run.status == JobStatus::kCompleted) {
+    if (scenario.config.fault == ScenarioFault::kTransient) {
+      Expect(ReportBody(run.report) == ReportBody(reference.report),
+             "report body differs from serial fault-free reference", &result);
+    } else {
+      Expect(run.report == reference.report,
+             "report differs from serial fault-free reference", &result);
+    }
+    Expect(run.exit_code == reference.exit_code, "exit code differs from reference", &result);
+    Expect(run.evaluated == run.total, "completed run did not cover the grid", &result);
+  }
+
+  if (scenario.config.fault == ScenarioFault::kNone && spec.deadline_ms == 0) {
+    RunCleanBattery(scenario, spec, reference.report, &result);
+  }
+  return result;
+}
+
+void ScenarioRunner::RunCleanBattery(const Scenario& scenario, const CheckJobSpec& spec,
+                                     const std::string& reference_report,
+                                     ScenarioResult* out) {
+  // --- Audit = concatenation of its six standalone section jobs ---
+  CheckJobSpec audit_spec = spec;
+  audit_spec.checker = CheckerKind::kAudit;
+  const JobResult audit = ExecuteJob(audit_spec);
+  Expect(audit.status == JobStatus::kCompleted,
+         "audit did not complete: " + JobStatusName(audit.status), out);
+  if (audit.status == JobStatus::kCompleted) {
+    std::string expected;
+    bool sections_ok = true;
+    for (const CheckJobSpec& section : AuditSectionSpecs(audit_spec)) {
+      const JobResult standalone = ExecuteJob(section);
+      if (standalone.status != JobStatus::kCompleted) {
+        Expect(false, "standalone section did not complete: " + section.id, out);
+        sections_ok = false;
+        break;
+      }
+      expected += standalone.report;
+    }
+    if (sections_ok) {
+      Expect(audit.report == expected,
+             "audit report is not the concatenation of its standalone sections", out);
+    }
+  }
+
+  // --- OutcomeTable-backed reductions = live sweeps, byte for byte ---
+  const Result<PreparedJob> prepared = PrepareJob(spec);
+  Expect(prepared.ok(), "spec failed to prepare for the table battery", out);
+  if (prepared.ok()) {
+    std::string error;
+    const std::unique_ptr<ProtectionMechanism> mechanism =
+        MakeMechanismKind(spec.mechanism, prepared.value().program, spec.allow, &error);
+    const std::unique_ptr<ProtectionMechanism> mechanism2 =
+        MakeMechanismKind(spec.mechanism2, prepared.value().program, spec.allow, &error);
+    Expect(mechanism != nullptr && mechanism2 != nullptr,
+           "mechanism construction failed: " + error, out);
+    if (mechanism != nullptr && mechanism2 != nullptr) {
+      const AllowPolicy policy(prepared.value().program.num_inputs(), spec.allow);
+      const InputDomain& domain = prepared.value().domain;
+      const Observability obs =
+          spec.observe_time ? Observability::kValueAndTime : Observability::kValueOnly;
+      const CheckOptions serial = CheckOptions::Serial();
+
+      OutcomeTableSources sources;
+      sources.mechanism = mechanism.get();
+      sources.mechanism2 = mechanism2.get();
+      sources.policy = &policy;
+      const OutcomeTable table = BuildOutcomeTable(sources, domain, serial);
+      Expect(table.complete(), "outcome table build did not complete", out);
+      if (table.complete()) {
+        Expect(CheckSoundness(table, obs, serial).ToString() ==
+                   CheckSoundness(*mechanism, policy, domain, obs, serial).ToString(),
+               "table-backed soundness differs from live", out);
+        Expect(CompareCompleteness(table, serial).ToString() ==
+                   CompareCompleteness(*mechanism, *mechanism2, domain, serial).ToString(),
+               "table-backed completeness differs from live", out);
+        Expect(MeasureLeak(table, obs, serial).ToString() ==
+                   MeasureLeak(*mechanism, policy, domain, obs, serial).ToString(),
+               "table-backed leak differs from live", out);
+      }
+    }
+  }
+
+  // --- Cold = warm: the shared service replays identical bytes ---
+  // The first batch may itself be warm (thread count is excluded from the
+  // cache key, so a sibling scenario can have populated the entry) — either
+  // way its bytes must match the reference, and the second batch must be a
+  // cache hit with the same bytes.
+  const BatchReport cold = service_.RunBatch({spec});
+  Expect(cold.jobs.size() == 1 && cold.jobs[0].status == JobStatus::kCompleted,
+         "service run did not complete", out);
+  if (cold.jobs.size() == 1 && cold.jobs[0].status == JobStatus::kCompleted) {
+    Expect(cold.jobs[0].report == reference_report, "service report differs from reference",
+           out);
+    const BatchReport warm = service_.RunBatch({spec});
+    Expect(warm.jobs.size() == 1 && warm.jobs[0].from_cache, "second service run missed cache",
+           out);
+    if (warm.jobs.size() == 1) {
+      Expect(warm.jobs[0].report == reference_report,
+             "cached replay differs from reference bytes", out);
+    }
+  }
+  (void)scenario;
+}
+
+ScenarioSummary ScenarioRunner::RunAll(const std::vector<Scenario>& scenarios) {
+  ScenarioSummary summary;
+  for (const Scenario& scenario : scenarios) {
+    summary.Absorb(Run(scenario));
+  }
+  return summary;
+}
+
+}  // namespace secpol

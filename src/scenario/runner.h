@@ -1,0 +1,88 @@
+// Executes one generated scenario against the engine's established
+// differential invariants.
+//
+// The runner is the judge half of the scenario engine: scenario.h enumerates
+// configurations, this class decides — per configuration — which contracts
+// apply and asserts them:
+//
+//   always          the fault-free serial single-thread reference run
+//                   completes;
+//   fault = fok     the scenario run's report is byte-identical to the
+//     (clean)       reference at the scenario's thread count; the audit
+//                   report equals the concatenation of its six standalone
+//                   section jobs; the OutcomeTable-backed soundness /
+//                   completeness / leak reductions are byte-identical to the
+//                   live sweeps; and a shared CheckService replays the job
+//                   from cache with identical bytes (cold = warm);
+//   fault = ftrans  transient throws plus the retry budget are absorbed: a
+//                   completed run's report equals the fault-free reference;
+//   fault = fabort  the persistent fault fails closed: JobStatus::kAborted
+//                   (exit 4), never a crash or a hang;
+//   deadline = d1ms a run either completes — and then all byte-identity
+//                   contracts above still bind — or reports
+//                   kDeadlineExceeded with partial coverage (fail closed).
+//
+// Violations are collected as strings rather than asserted, so one test can
+// sweep thousands of scenarios and report every failure with its scenario
+// name (the name alone replays the case).
+
+#ifndef SECPOL_SRC_SCENARIO_RUNNER_H_
+#define SECPOL_SRC_SCENARIO_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+#include "src/service/service.h"
+
+namespace secpol {
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t checks = 0;  // invariant assertions evaluated
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Aggregate over a scenario sweep.
+struct ScenarioSummary {
+  std::uint64_t scenarios = 0;
+  std::uint64_t checks = 0;
+  std::vector<std::string> violations;  // "<scenario>: <violation>" lines
+
+  void Absorb(const ScenarioResult& result);
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+class ScenarioRunner {
+ public:
+  ScenarioRunner();
+
+  // Runs one scenario's battery. Never throws for scenario-level failures —
+  // they land in the result's violations.
+  ScenarioResult Run(const Scenario& scenario);
+
+  // Runs every scenario, aggregating.
+  ScenarioSummary RunAll(const std::vector<Scenario>& scenarios);
+
+ private:
+  void Expect(bool condition, const std::string& what, ScenarioResult* out);
+
+  // The clean-scenario extras: audit concatenation, table-backed vs live,
+  // cold vs warm cache.
+  void RunCleanBattery(const Scenario& scenario, const CheckJobSpec& spec,
+                       const std::string& reference_report, ScenarioResult* out);
+
+  // Shared across scenarios on purpose: the cache replay check then also
+  // covers cross-scenario key collisions (thread count and deadline are
+  // excluded from the cache key by design, so sibling scenarios may
+  // legitimately warm each other — the bytes must still match).
+  CheckService service_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SCENARIO_RUNNER_H_

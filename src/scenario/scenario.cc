@@ -1,0 +1,193 @@
+#include "src/scenario/scenario.h"
+
+#include <cassert>
+
+namespace secpol {
+
+std::string PolicyShapeName(PolicyShape shape) {
+  switch (shape) {
+    case PolicyShape::kAllowNone:
+      return "pnone";
+    case PolicyShape::kAllowFirst:
+      return "pfirst";
+    case PolicyShape::kAllowHalf:
+      return "phalf";
+    case PolicyShape::kAllowAll:
+      return "pall";
+  }
+  return "?";
+}
+
+VarSet MakePolicyShape(PolicyShape shape, int num_inputs) {
+  switch (shape) {
+    case PolicyShape::kAllowNone:
+      return VarSet::Empty();
+    case PolicyShape::kAllowFirst:
+      return num_inputs > 0 ? VarSet::Singleton(0) : VarSet::Empty();
+    case PolicyShape::kAllowHalf:
+      return VarSet::FirstN((num_inputs + 1) / 2);
+    case PolicyShape::kAllowAll:
+      return VarSet::FirstN(num_inputs);
+  }
+  return VarSet::Empty();
+}
+
+std::string ScenarioFaultName(ScenarioFault fault) {
+  switch (fault) {
+    case ScenarioFault::kNone:
+      return "fok";
+    case ScenarioFault::kTransient:
+      return "ftrans";
+    case ScenarioFault::kAbort:
+      return "fabort";
+  }
+  return "?";
+}
+
+std::vector<Scenario> MakeScenarios(const std::vector<ScenarioAxis>& axes) {
+  std::vector<Scenario> out;
+  if (axes.empty()) {
+    return out;
+  }
+  std::uint64_t count = 1;
+  for (const ScenarioAxis& axis : axes) {
+    assert(!axis.values.empty());
+    count *= axis.values.size();
+  }
+  out.reserve(count);
+  // Odometer over axis value indices, first axis most significant, so the
+  // output order is lexicographic in the axes.
+  std::vector<std::size_t> pick(axes.size(), 0);
+  for (std::uint64_t n = 0; n < count; ++n) {
+    Scenario scenario;
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+      const AxisValue& value = axes[i].values[pick[i]];
+      if (i != 0) {
+        scenario.name += '.';
+      }
+      scenario.name += value.name;
+      value.apply(&scenario.config);
+    }
+    out.push_back(std::move(scenario));
+    for (std::size_t i = axes.size(); i-- > 0;) {
+      if (++pick[i] < axes[i].values.size()) {
+        break;
+      }
+      pick[i] = 0;
+    }
+  }
+  return out;
+}
+
+std::vector<ScenarioAxis> DefaultAxes() {
+  std::vector<ScenarioAxis> axes;
+
+  ScenarioAxis programs;
+  programs.label = "program";
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t seed = kDefaultProgramSeedBase + static_cast<std::uint64_t>(i);
+    programs.values.push_back(
+        {"s" + std::to_string(i), [seed](ScenarioConfig* c) { c->program_seed = seed; }});
+  }
+  axes.push_back(std::move(programs));
+
+  ScenarioAxis policies;
+  policies.label = "policy";
+  for (PolicyShape shape : {PolicyShape::kAllowNone, PolicyShape::kAllowFirst,
+                            PolicyShape::kAllowHalf, PolicyShape::kAllowAll}) {
+    policies.values.push_back(
+        {PolicyShapeName(shape), [shape](ScenarioConfig* c) { c->policy = shape; }});
+  }
+  axes.push_back(std::move(policies));
+
+  ScenarioAxis mechanisms;
+  mechanisms.label = "mechanism";
+  for (const char* kind : {"surveillance", "highwater", "table", "static"}) {
+    // Short axis names, full MakeMechanismKind vocabulary in the config.
+    const std::string name = std::string(kind) == "surveillance" ? "surv"
+                             : std::string(kind) == "highwater"  ? "hw"
+                                                                 : kind;
+    mechanisms.values.push_back(
+        {name, [kind](ScenarioConfig* c) { c->mechanism = kind; }});
+  }
+  axes.push_back(std::move(mechanisms));
+
+  ScenarioAxis grids;
+  grids.label = "grid";
+  // g2 stays inside {0,1}; g4 is the canonical table domain {-1..2}; g3 sits
+  // between. (A grid outside {-1..2} would drive the "table" mechanism kind
+  // out of domain — that fail-closed path has its own directed tests.)
+  grids.values.push_back({"g2", [](ScenarioConfig* c) { c->grid_lo = 0; c->grid_hi = 1; }});
+  grids.values.push_back({"g3", [](ScenarioConfig* c) { c->grid_lo = -1; c->grid_hi = 1; }});
+  grids.values.push_back({"g4", [](ScenarioConfig* c) { c->grid_lo = -1; c->grid_hi = 2; }});
+  axes.push_back(std::move(grids));
+
+  ScenarioAxis faults;
+  faults.label = "fault";
+  for (ScenarioFault fault :
+       {ScenarioFault::kNone, ScenarioFault::kTransient, ScenarioFault::kAbort}) {
+    faults.values.push_back(
+        {ScenarioFaultName(fault), [fault](ScenarioConfig* c) { c->fault = fault; }});
+  }
+  axes.push_back(std::move(faults));
+
+  ScenarioAxis threads;
+  threads.label = "threads";
+  for (int n : {1, 2, 7}) {
+    threads.values.push_back(
+        {"t" + std::to_string(n), [n](ScenarioConfig* c) { c->threads = n; }});
+  }
+  axes.push_back(std::move(threads));
+
+  ScenarioAxis deadlines;
+  deadlines.label = "deadline";
+  deadlines.values.push_back({"dfull", [](ScenarioConfig* c) { c->deadline_ms = 0; }});
+  deadlines.values.push_back({"d1ms", [](ScenarioConfig* c) { c->deadline_ms = 1; }});
+  axes.push_back(std::move(deadlines));
+
+  return axes;
+}
+
+std::string ScenarioProgramText(const ScenarioConfig& config) {
+  return GenerateProgram(config.corpus, config.program_seed,
+                         "scn_" + std::to_string(config.program_seed))
+      .ToString();
+}
+
+CheckJobSpec BuildJobSpec(const Scenario& scenario) {
+  const ScenarioConfig& config = scenario.config;
+  CheckJobSpec spec;
+  spec.id = scenario.name;
+  spec.checker = CheckerKind::kSoundness;
+  spec.program_text = ScenarioProgramText(config);
+  spec.allow = MakePolicyShape(config.policy, config.corpus.num_inputs);
+  // The second policy/mechanism only matter for the comparison checkers the
+  // runner swaps in (completeness, policy-compare, audit); fixing them keeps
+  // every checker of one scenario on the same ingredients.
+  spec.allow2 = VarSet::FirstN(config.corpus.num_inputs);
+  spec.mechanism = config.mechanism;
+  spec.mechanism2 = "bare";
+  spec.grid_lo = config.grid_lo;
+  spec.grid_hi = config.grid_hi;
+  spec.num_threads = config.threads;
+  spec.deadline_ms = config.deadline_ms;
+  switch (config.fault) {
+    case ScenarioFault::kNone:
+      break;
+    case ScenarioFault::kTransient:
+      // Transient throws at ~1/3 of grid ranks; one fire per rank ('!'
+      // defaults fires_per_rank to 1), absorbed by a 2-retry budget, so the
+      // completed report must equal the fault-free bytes.
+      spec.fault_spec = "throw~1/3:11!";
+      spec.retries = 2;
+      break;
+    case ScenarioFault::kAbort:
+      // A persistent throw at rank 1 (every grid here has >= 2 points): the
+      // sweep must fail closed with JobStatus::kAborted, never crash.
+      spec.fault_spec = "throw@1";
+      break;
+  }
+  return spec;
+}
+
+}  // namespace secpol

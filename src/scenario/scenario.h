@@ -1,0 +1,119 @@
+// The combinatorial scenario engine: named axes crossed into thousands of
+// generated differential scenarios.
+//
+// Hand-written differential tests cover hand-picked points of a huge
+// configuration space: program shape x policy x mechanism kind x grid x
+// fault mode x thread count x deadline. The scenario engine enumerates a
+// *cross product* of named axis values instead (the WiredTiger test-format
+// idea): every combination becomes one Scenario with a golden-stable,
+// dot-joined name like
+//
+//   s3.phalf.table.g3.ftrans.t7.dfull
+//
+// and a ScenarioConfig the runner (runner.h) turns into the full battery of
+// established invariants — parallel = serial byte-identity, audit =
+// concatenation of standalone reports, table-backed = live, cold = warm
+// cache, transient faults absorbed, fatal faults fail closed.
+//
+// Names are contractual: they are derived only from axis value names and the
+// axis order, never from pointers, timestamps or platform properties, so a
+// scenario name in a bug report or a CI log replays forever. The golden test
+// (tests/scenario_test.cc) pins a fingerprint of the full name list.
+
+#ifndef SECPOL_SRC_SCENARIO_SCENARIO_H_
+#define SECPOL_SRC_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/corpus/generator.h"
+#include "src/service/job.h"
+#include "src/util/value.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+// Which allow-policy shape a scenario applies. A shape rather than a
+// concrete set so the axis scales with the corpus' input arity.
+enum class PolicyShape {
+  kAllowNone,   // allow()            — the user may learn nothing
+  kAllowFirst,  // allow(0)           — one coordinate
+  kAllowHalf,   // allow(0..k/2)      — first ceil(k/2) coordinates
+  kAllowAll,    // allow(0..k-1)      — everything
+};
+
+std::string PolicyShapeName(PolicyShape shape);
+VarSet MakePolicyShape(PolicyShape shape, int num_inputs);
+
+// The fault-injection mode of a scenario, mapped onto the ParseFaultSpecs
+// grammar by BuildJobSpec.
+enum class ScenarioFault {
+  kNone,       // no injection: the clean differential battery applies
+  kTransient,  // transient throws + retry budget: report == fault-free bytes
+  kAbort,      // persistent throw at a fixed rank: fail closed (kAborted)
+};
+
+std::string ScenarioFaultName(ScenarioFault fault);
+
+// Everything one scenario varies. Defaults are the axes' identity choices;
+// each AxisValue edits one knob.
+struct ScenarioConfig {
+  CorpusConfig corpus;
+  std::uint64_t program_seed = 0;
+  PolicyShape policy = PolicyShape::kAllowFirst;
+  std::string mechanism = "surveillance";
+  Value grid_lo = -1;
+  Value grid_hi = 2;
+  ScenarioFault fault = ScenarioFault::kNone;
+  int threads = 1;
+  std::int64_t deadline_ms = 0;  // 0 = unbounded
+};
+
+// One generated scenario: a byte-stable name plus the config it denotes.
+struct Scenario {
+  std::string name;
+  ScenarioConfig config;
+};
+
+// One value of one axis: a stable short name (no dots — they join the name)
+// and the config edit it applies.
+struct AxisValue {
+  std::string name;
+  std::function<void(ScenarioConfig*)> apply;
+};
+
+// A named axis. The label documents the dimension; only value names enter
+// scenario names.
+struct ScenarioAxis {
+  std::string label;
+  std::vector<AxisValue> values;
+};
+
+// The full cross product of `axes`, in lexicographic order with the first
+// axis varying slowest. Scenario names are the axis value names joined with
+// '.'; the order and the names are deterministic functions of the axes
+// alone.
+std::vector<Scenario> MakeScenarios(const std::vector<ScenarioAxis>& axes);
+
+// The shipped matrix: 6 programs x 4 policy shapes x 4 mechanism kinds x
+// 3 grids x 3 fault modes x 3 thread counts x 2 deadlines = 5184 scenarios.
+// The program axis draws seeds kDefaultProgramSeedBase + i.
+std::vector<ScenarioAxis> DefaultAxes();
+
+inline constexpr std::uint64_t kDefaultProgramSeedBase = 9000;
+
+// The flowlang source of a scenario's generated program (deterministic in
+// config.corpus and config.program_seed; round-trips through the parser).
+std::string ScenarioProgramText(const ScenarioConfig& config);
+
+// Maps a scenario onto the batch-job vocabulary: the job's id is the
+// scenario name, the checker defaults to soundness (the runner swaps in the
+// other checkers), and the fault mode expands to a concrete
+// fault_spec/retries pair.
+CheckJobSpec BuildJobSpec(const Scenario& scenario);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SCENARIO_SCENARIO_H_

@@ -486,4 +486,17 @@ JobResult ExecuteJob(const CheckJobSpec& spec, const ObsContext& obs) {
   return RunPreparedJob(spec, prepared.value(), obs);
 }
 
+std::vector<CheckJobSpec> AuditSectionSpecs(const CheckJobSpec& audit) {
+  std::vector<CheckJobSpec> specs;
+  for (CheckerKind kind :
+       {CheckerKind::kSoundness, CheckerKind::kIntegrity, CheckerKind::kCompleteness,
+        CheckerKind::kMaximal, CheckerKind::kPolicyCompare, CheckerKind::kLeak}) {
+    CheckJobSpec spec = audit;
+    spec.id = CheckerKindName(kind);
+    spec.checker = kind;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
 }  // namespace secpol

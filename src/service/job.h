@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/flowchart/program.h"
 #include "src/mechanism/domain.h"
@@ -143,6 +144,14 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
 
 // PrepareJob + RunPreparedJob; invalid specs yield a kInvalid result.
 JobResult ExecuteJob(const CheckJobSpec& spec, const ObsContext& obs = ObsContext());
+
+// The six standalone jobs an audit job bundles, in section order (soundness,
+// integrity, completeness, maximal, policy-compare, leak). Each spec keeps
+// every ingredient of `audit` and takes its checker's name as id. The audit
+// differential contract — locked by tests/audit_test.cc and re-asserted per
+// generated scenario by src/scenario — is that the audit job's report is the
+// byte-concatenation of these six jobs' reports.
+std::vector<CheckJobSpec> AuditSectionSpecs(const CheckJobSpec& audit);
 
 // Builds one of the named mechanism kinds over `program` (the vocabulary of
 // `secpol check --mechanism` and CheckJobSpec::mechanism). Returns nullptr

@@ -15,6 +15,7 @@
 #include "src/mechanism/soundness.h"
 #include "src/obs/obs.h"
 #include "src/policy/policy.h"
+#include "src/scenario/fuzzer.h"
 #include "src/service/job.h"
 #include "src/service/manifest.h"
 #include "src/service/service.h"
@@ -562,6 +563,116 @@ int CmdAudit(const ParsedArgs& args, std::string* out, std::string* err) {
   return FoldWrite(result.exit_code, *sinks, err);
 }
 
+// `secpol fuzz [--seed=N] [--iterations=N] [--budget-ms=N] [--threads=N]
+// [--out-dir=DIR] [--replay=<witness.json>]`: run the coverage-guided
+// disagreement fuzzer over the seeded corpus. Exit 0 for a clean run
+// (expected findings are fine), 2 when a true disagreement was found,
+// 1 for flag errors. --out-dir writes each finding's self-contained
+// witness JSON into DIR (which must exist) as <kind>-<iteration>.json.
+//
+// With --replay=<witness.json> no fuzzing happens: the witness's oracle
+// pair is re-evaluated from scratch. Exit 0 when the phenomenon still
+// reproduces, 2 when it does not, 1 for an unreadable witness.
+int CmdFuzz(const ParsedArgs& args, std::string* out, std::string* err) {
+  if (const auto witness_path = FlagValue(args, "replay"); witness_path.has_value()) {
+    std::ifstream stream(*witness_path);
+    if (!stream) {
+      *err += "cannot open '" + *witness_path + "'\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << stream.rdbuf();
+    const Result<Json> witness = Json::Parse(buffer.str());
+    if (!witness.ok()) {
+      *err += *witness_path + ": " + witness.error().ToString() + "\n";
+      return 1;
+    }
+    const Result<FuzzFinding> finding = FindingFromJson(witness.value());
+    if (!finding.ok()) {
+      *err += *witness_path + ": " + finding.error().ToString() + "\n";
+      return 1;
+    }
+    const Result<bool> replayed = ReplayFinding(finding.value());
+    if (!replayed.ok()) {
+      *err += *witness_path + ": " + replayed.error().ToString() + "\n";
+      return 1;
+    }
+    *out += FindingKindName(finding.value().kind) +
+            (replayed.value() ? ": reproduces\n" : ": does not reproduce\n");
+    return replayed.value() ? 0 : 2;
+  }
+
+  FuzzerConfig config;
+  const auto int_flag = [&](const std::string& name, long long* value) {
+    const std::optional<std::string> text = FlagValue(args, name);
+    if (!text.has_value()) {
+      return true;
+    }
+    try {
+      *value = std::stoll(*text);
+    } catch (...) {
+      *err += "bad --" + name + " value '" + *text + "'\n";
+      return false;
+    }
+    if (*value < 0) {
+      *err += "--" + name + " must be non-negative\n";
+      return false;
+    }
+    return true;
+  };
+  long long seed = static_cast<long long>(config.seed);
+  long long iterations = static_cast<long long>(config.iterations);
+  long long budget_ms = config.budget_ms;
+  long long threads = config.threads;
+  if (!int_flag("seed", &seed) || !int_flag("iterations", &iterations) ||
+      !int_flag("budget-ms", &budget_ms) || !int_flag("threads", &threads)) {
+    return 1;
+  }
+  if (iterations == 0 && budget_ms == 0) {
+    *err += "--iterations=0 needs --budget-ms to bound the run\n";
+    return 1;
+  }
+  config.seed = static_cast<std::uint64_t>(seed);
+  config.iterations = static_cast<std::uint64_t>(iterations);
+  config.budget_ms = budget_ms;
+  const Result<int> validated_threads = ValidateThreads(threads);
+  if (!validated_threads.ok()) {
+    *err += "bad --threads value: " + validated_threads.error().message + "\n";
+    return 1;
+  }
+  // threads=0 means "hardware concurrency" for the check verbs; the fuzzer's
+  // parallel-vs-serial oracle wants an explicit worker count, so resolve it.
+  config.threads = validated_threads.value() == 0 ? 7 : validated_threads.value();
+
+  DisagreementFuzzer fuzzer(config);
+  const FuzzReport report = fuzzer.Run();
+  *out += report.ToString() + "\n";
+
+  int code = report.clean() ? 0 : 2;
+  if (const auto out_dir = FlagValue(args, "out-dir"); out_dir.has_value()) {
+    if (out_dir->empty()) {
+      *err += "missing value for --out-dir=<directory>\n";
+      return 1;
+    }
+    for (const FuzzFinding& finding : report.findings) {
+      const std::string path = *out_dir + "/" + FindingKindName(finding.kind) + "-" +
+                               std::to_string(finding.iteration) + ".json";
+      std::ofstream witness_out(path, std::ios::binary | std::ios::trunc);
+      witness_out << finding.ToJson().Serialize() << "\n";
+      witness_out.flush();
+      if (!witness_out) {
+        *err += "cannot write witness file '" + path + "'\n";
+        if (code == 0) {
+          code = 1;
+        }
+        break;
+      }
+      *out += "wrote " + path + "\n";
+    }
+  }
+  return code;
+}
+
 int CmdAnalyze(const ParsedArgs& args, std::string* out, std::string* err) {
   const auto program = LoadProgram(args, err);
   if (!program.has_value()) {
@@ -698,6 +809,9 @@ int RunCli(const std::vector<std::string>& args, std::string* out, std::string* 
   if (parsed->command == "audit") {
     return CmdAudit(*parsed, out, err);
   }
+  if (parsed->command == "fuzz") {
+    return CmdFuzz(*parsed, out, err);
+  }
   if (parsed->command == "analyze") {
     return CmdAnalyze(*parsed, out, err);
   }
@@ -720,7 +834,7 @@ int RunCli(const std::vector<std::string>& args, std::string* out, std::string* 
     return CmdBytecode(*parsed, out, err);
   }
   *err += "unknown command '" + parsed->command +
-          "' (expected run|monitor|check|audit|batch|analyze|instrument|advise|optimize|decompile|dot|bytecode)\n";
+          "' (expected run|monitor|check|audit|batch|fuzz|analyze|instrument|advise|optimize|decompile|dot|bytecode)\n";
   return 1;
 }
 

@@ -12,6 +12,12 @@
 //       bare, static, residual}. --threads=N evaluates the grid on N worker
 //       threads (0 = one per hardware thread, 1 = serial); the verdict and
 //       counterexample are identical at every thread count.
+//   secpol fuzz [--seed=N] [--iterations=N] [--budget-ms=N] [--threads=N]
+//               [--out-dir=DIR] [--replay=witness.json]
+//       Coverage-guided disagreement fuzzer over the seeded corpus. Exit 0
+//       for a clean run, 2 when a true disagreement was found; --out-dir
+//       writes self-contained witness JSONs; --replay re-evaluates one
+//       witness file instead of fuzzing.
 //   secpol analyze <file.fl> --allow=0,2 [--monotone]
 //       Static information-flow report (per-halt release labels).
 //   secpol instrument <file.fl> --allow=0,2

@@ -316,7 +316,19 @@ namespace {
 
 // Rewrites `block` (a block that ends by falling through to program exit)
 // so that every top-level If absorbs its continuation into both arms.
-std::vector<Stmt> TailDuplicate(const std::vector<Stmt>& block, bool* changed) {
+// `budget` counts output statements still allowed; once it runs dry,
+// `overflow` latches and every caller unwinds without building more — the
+// exponential case costs O(budget) work, not O(2^ifs).
+std::vector<Stmt> TailDuplicate(const std::vector<Stmt>& block, bool* changed,
+                                long long* budget, bool* overflow) {
+  if (*overflow) {
+    return block;
+  }
+  *budget -= static_cast<long long>(block.size());
+  if (*budget < 0) {
+    *overflow = true;
+    return block;
+  }
   for (size_t i = 0; i < block.size(); ++i) {
     const Stmt& stmt = block[i];
     if (stmt.kind != Stmt::Kind::kIf) {
@@ -334,10 +346,13 @@ std::vector<Stmt> TailDuplicate(const std::vector<Stmt>& block, bool* changed) {
       if (arm.empty() || arm.back().kind != Stmt::Kind::kHalt) {
         arm.push_back(Stmt::Halt());
       }
-      return TailDuplicate(arm, changed);
+      return TailDuplicate(arm, changed, budget, overflow);
     };
     rewritten.then_body = extend(rewritten.then_body);
     rewritten.else_body = extend(rewritten.else_body);
+    if (*overflow) {
+      return block;
+    }
     std::vector<Stmt> out(block.begin(), block.begin() + static_cast<long>(i));
     out.push_back(std::move(rewritten));
     return out;
@@ -347,12 +362,69 @@ std::vector<Stmt> TailDuplicate(const std::vector<Stmt>& block, bool* changed) {
 
 }  // namespace
 
-SourceProgram ApplyTailDuplication(const SourceProgram& program, bool* changed) {
+SourceProgram ApplyTailDuplication(const SourceProgram& program, bool* changed,
+                                   long long max_stmts) {
   bool local_changed = false;
+  bool overflow = false;
+  long long budget = max_stmts;
   SourceProgram out = program;
-  out.body = TailDuplicate(program.body, &local_changed);
+  out.body = TailDuplicate(program.body, &local_changed, &budget, &overflow);
+  if (overflow) {
+    // The duplicated form would exceed the budget: keep the input intact
+    // rather than emit a truncated (semantics-changing) rewrite.
+    out.body = program.body;
+    local_changed = false;
+  }
   if (changed != nullptr) {
     *changed = local_changed;
+  }
+  return out;
+}
+
+std::string TransformPlan::Name() const {
+  if (IsIdentity()) {
+    return "id";
+  }
+  std::string name;
+  auto append = [&name](const std::string& part) {
+    if (!name.empty()) {
+      name += "+";
+    }
+    name += part;
+  };
+  if (unroll_factor > 0) {
+    append("unroll" + std::to_string(unroll_factor));
+  }
+  if (if_to_select) {
+    append(simplify_equal_arms ? "sel" : "sel-noeq");
+  }
+  if (tail_duplicate) {
+    append("tail");
+  }
+  return name;
+}
+
+SourceProgram ApplyTransformPlan(const SourceProgram& program, const TransformPlan& plan,
+                                 bool* changed) {
+  SourceProgram out = program;
+  bool any = false;
+  bool step = false;
+  if (plan.unroll_factor > 0) {
+    out = ApplyLoopUnroll(out, plan.unroll_factor, &step);
+    any = any || step;
+  }
+  if (plan.if_to_select) {
+    IfToSelectOptions options;
+    options.simplify_equal_arms = plan.simplify_equal_arms;
+    out = ApplyIfToSelect(out, options, &step);
+    any = any || step;
+  }
+  if (plan.tail_duplicate) {
+    out = ApplyTailDuplication(out, &step);
+    any = any || step;
+  }
+  if (changed != nullptr) {
+    *changed = any;
   }
   return out;
 }

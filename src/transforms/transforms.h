@@ -75,9 +75,47 @@ SourceProgram ApplyLoopUnroll(const SourceProgram& program, long long max_factor
 
 // --- Tail duplication ---
 
+// Tail duplication is worst-case exponential in the number of sequential
+// Ifs (each one copies its tail into both arms, recursively), so the rewrite
+// carries an output budget in emitted statements. When the duplicated form
+// would exceed the budget the program is returned unchanged and *changed
+// stays false — on such programs the transform is a no-op, not a hang.
+inline constexpr long long kDefaultTailDuplicationBudget = 10000;
+
 // Duplicates the statements following each top-level If (plus the implicit
 // program exit) into both arms, ending each arm with an explicit halt.
-SourceProgram ApplyTailDuplication(const SourceProgram& program, bool* changed = nullptr);
+SourceProgram ApplyTailDuplication(const SourceProgram& program, bool* changed = nullptr,
+                                   long long max_stmts = kDefaultTailDuplicationBudget);
+
+// --- Transform plans ---
+//
+// A TransformPlan bundles the three transforms into one declarative recipe,
+// so a transform chain can be generated from a seed (src/corpus/generator),
+// named stably (scenario axes), and replayed from a witness file. Applying a
+// plan preserves functional equivalence exactly when its member transforms
+// do — which is the invariant the disagreement fuzzer hunts violations of.
+
+struct TransformPlan {
+  bool if_to_select = false;
+  bool simplify_equal_arms = true;  // IfToSelectOptions knob (if_to_select only)
+  long long unroll_factor = 0;      // 0 = no unrolling
+  bool tail_duplicate = false;
+
+  bool IsIdentity() const {
+    return !if_to_select && unroll_factor <= 0 && !tail_duplicate;
+  }
+
+  // Stable short name for scenario axes and witness files, e.g. "id",
+  // "sel", "sel-noeq+unroll3", "unroll2+tail".
+  std::string Name() const;
+};
+
+// Applies the plan's transforms in a fixed order: loop unrolling first (it
+// creates the nested ifs the select transform feeds on), then if-to-select,
+// then tail duplication. Sets *changed if any member transform rewrote
+// anything.
+SourceProgram ApplyTransformPlan(const SourceProgram& program, const TransformPlan& plan,
+                                 bool* changed = nullptr);
 
 }  // namespace secpol
 

@@ -44,20 +44,6 @@ CheckJobSpec AuditSpec(int threads) {
   return spec;
 }
 
-// The six standalone jobs an audit bundles, in section order.
-std::vector<CheckJobSpec> StandaloneSpecs(const CheckJobSpec& audit) {
-  std::vector<CheckJobSpec> specs;
-  for (CheckerKind kind :
-       {CheckerKind::kSoundness, CheckerKind::kIntegrity, CheckerKind::kCompleteness,
-        CheckerKind::kMaximal, CheckerKind::kPolicyCompare, CheckerKind::kLeak}) {
-    CheckJobSpec spec = audit;
-    spec.id = CheckerKindName(kind);
-    spec.checker = kind;
-    specs.push_back(spec);
-  }
-  return specs;
-}
-
 TEST(AuditDifferentialTest, ReportIsConcatenationOfStandaloneJobs) {
   for (int threads : {1, 2, 7}) {
     const CheckJobSpec audit = AuditSpec(threads);
@@ -65,7 +51,7 @@ TEST(AuditDifferentialTest, ReportIsConcatenationOfStandaloneJobs) {
     ASSERT_EQ(result.status, JobStatus::kCompleted) << threads;
 
     std::string expected;
-    for (const CheckJobSpec& spec : StandaloneSpecs(audit)) {
+    for (const CheckJobSpec& spec : AuditSectionSpecs(audit)) {
       const JobResult standalone = ExecuteJob(spec);
       ASSERT_EQ(standalone.status, JobStatus::kCompleted) << spec.id << " " << threads;
       expected += standalone.report;

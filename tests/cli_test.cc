@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -233,6 +234,47 @@ TEST_F(CliTest, BytecodeListsInstructions) {
   const std::string path = WriteProgram("program p(a) { y = a + 1; }");
   EXPECT_EQ(Run({"bytecode", path}), 0);
   EXPECT_NE(out_.find("halt"), std::string::npos);
+}
+
+TEST_F(CliTest, FuzzSmokeRunIsCleanAndWitnessesReplay) {
+  const std::string dir = ::testing::TempDir() + "cli_fuzz_witnesses";
+  std::filesystem::create_directories(dir);
+  EXPECT_EQ(Run({"fuzz", "--seed=20260809", "--iterations=30", "--threads=7",
+                 "--out-dir=" + dir}),
+            0);
+  EXPECT_NE(out_.find("30 iterations"), std::string::npos);
+  EXPECT_NE(out_.find("0 disagreements"), std::string::npos);
+  ASSERT_NE(out_.find("wrote "), std::string::npos) << out_;
+
+  // Replay one of the witnesses it just wrote: expected findings are
+  // permanent exhibits, so the phenomenon must still reproduce (exit 0).
+  const size_t at = out_.find("wrote ") + 6;
+  const std::string witness = out_.substr(at, out_.find('\n', at) - at);
+  EXPECT_EQ(Run({"fuzz", "--replay=" + witness}), 0) << err_;
+  EXPECT_NE(out_.find(": reproduces"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliTest, FuzzReplayReportsNonReproducingWitness) {
+  // A hand-written timing-leak witness over a program with no leak at all:
+  // the replay must run cleanly and report that nothing reproduces (exit 2).
+  const std::string witness = WriteProgram(
+      "{\"kind\": \"timing-leak-witness\", \"program\": \"program p(a) { y = a; }\", "
+      "\"allow_bits\": 1, \"grid_lo\": -1, \"grid_hi\": 1}");
+  EXPECT_EQ(Run({"fuzz", "--replay=" + witness}), 2) << err_;
+  EXPECT_NE(out_.find("does not reproduce"), std::string::npos);
+}
+
+TEST_F(CliTest, FuzzRejectsBadFlags) {
+  EXPECT_EQ(Run({"fuzz", "--seed=banana"}), 1);
+  EXPECT_NE(err_.find("bad --seed"), std::string::npos);
+  EXPECT_EQ(Run({"fuzz", "--iterations=0"}), 1);  // unbounded without a budget
+  EXPECT_NE(err_.find("--budget-ms"), std::string::npos);
+  EXPECT_EQ(Run({"fuzz", "--iterations=5", "--threads=-2"}), 1);
+  EXPECT_EQ(Run({"fuzz", "--replay=/nonexistent/witness.json"}), 1);
+  EXPECT_NE(err_.find("cannot open"), std::string::npos);
+  const std::string junk = WriteProgram("not json");
+  EXPECT_EQ(Run({"fuzz", "--replay=" + junk}), 1);
 }
 
 TEST_F(CliTest, ErrorsAreReported) {

@@ -1,0 +1,376 @@
+// Tests for the scenario engine itself (src/scenario): cross-product
+// semantics, golden-stable names, job-spec validity, the runner's clean
+// battery, the witness minimizer, and a seeded fuzzer smoke run with
+// end-to-end witness replay.
+//
+// The full 5184-scenario differential sweep lives in scenario_matrix_test.cc
+// under the `scenario` ctest label; this file is tier-1 and keeps to samples.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/corpus/generator.h"
+#include "src/flowlang/parser.h"
+#include "src/scenario/fuzzer.h"
+#include "src/scenario/minimize.h"
+#include "src/scenario/runner.h"
+#include "src/scenario/scenario.h"
+#include "src/service/job.h"
+#include "src/util/fingerprint.h"
+#include "src/util/json.h"
+
+namespace secpol {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cross-product semantics.
+
+TEST(ScenarioEngineTest, CrossProductOrderAndNamesOnTinyAxes) {
+  std::vector<ScenarioAxis> axes;
+  axes.push_back({"letter",
+                  {{"a0", [](ScenarioConfig* c) { c->threads = 1; }},
+                   {"a1", [](ScenarioConfig* c) { c->threads = 2; }}}});
+  axes.push_back({"digit",
+                  {{"b0", [](ScenarioConfig* c) { c->grid_hi = 0; }},
+                   {"b1", [](ScenarioConfig* c) { c->grid_hi = 1; }},
+                   {"b2", [](ScenarioConfig* c) { c->grid_hi = 2; }}}});
+
+  const std::vector<Scenario> scenarios = MakeScenarios(axes);
+  ASSERT_EQ(scenarios.size(), 6u);
+  const char* expected[] = {"a0.b0", "a0.b1", "a0.b2", "a1.b0", "a1.b1", "a1.b2"};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(scenarios[i].name, expected[i]);
+  }
+  // Both axes' edits applied: the last scenario carries a1's and b2's knobs.
+  EXPECT_EQ(scenarios.back().config.threads, 2);
+  EXPECT_EQ(scenarios.back().config.grid_hi, 2);
+  EXPECT_TRUE(MakeScenarios({}).empty());
+}
+
+TEST(ScenarioEngineTest, DefaultMatrixShapeAndUniqueNames) {
+  const std::vector<Scenario> scenarios = MakeScenarios(DefaultAxes());
+  // 6 programs x 4 policies x 4 mechanisms x 3 grids x 3 faults x 3 thread
+  // counts x 2 deadlines. The >= 1000 bound is the acceptance criterion; the
+  // exact count pins the shipped axes.
+  EXPECT_EQ(scenarios.size(), 5184u);
+  EXPECT_GE(scenarios.size(), 1000u);
+
+  std::set<std::string> names;
+  for (const Scenario& scenario : scenarios) {
+    EXPECT_TRUE(names.insert(scenario.name).second) << "duplicate " << scenario.name;
+  }
+}
+
+TEST(ScenarioEngineTest, DeterministicOrderingAcrossCalls) {
+  const std::vector<Scenario> first = MakeScenarios(DefaultAxes());
+  const std::vector<Scenario> second = MakeScenarios(DefaultAxes());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].name, second[i].name) << "index " << i;
+  }
+  EXPECT_EQ(first.front().name, "s0.pnone.surv.g2.fok.t1.dfull");
+  EXPECT_EQ(first.back().name, "s5.pall.static.g4.fabort.t7.d1ms");
+}
+
+// The golden name fingerprint: scenario names appear in CI logs and bug
+// reports, and a name must denote the same configuration forever. Renaming
+// an axis value, reordering axes, or resizing the matrix all land here. If
+// the change is intentional, update the pin (and expect old scenario names
+// in bug reports to stop replaying).
+TEST(ScenarioEngineTest, NameListMatchesGoldenFingerprint) {
+  Fingerprinter fp;
+  fp.Tag("scenario-names");
+  const std::vector<Scenario> scenarios = MakeScenarios(DefaultAxes());
+  fp.U64(scenarios.size());
+  for (const Scenario& scenario : scenarios) {
+    fp.Str(scenario.name);
+  }
+  EXPECT_EQ(fp.Digest().ToHex(), "6ee5a8250f614dd360fab8598213d99a");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario -> job mapping.
+
+TEST(ScenarioEngineTest, EveryScenarioBuildsAPreparableJob) {
+  for (const Scenario& scenario : MakeScenarios(DefaultAxes())) {
+    const CheckJobSpec spec = BuildJobSpec(scenario);
+    EXPECT_EQ(spec.id, scenario.name);
+    const Result<PreparedJob> prepared = PrepareJob(spec);
+    ASSERT_TRUE(prepared.ok()) << scenario.name << ": " << prepared.error().ToString();
+  }
+}
+
+TEST(ScenarioEngineTest, ProgramTextIsDeterministicAndParses) {
+  const ScenarioConfig config;
+  for (int i = 0; i < 6; ++i) {
+    ScenarioConfig c = config;
+    c.program_seed = kDefaultProgramSeedBase + static_cast<std::uint64_t>(i);
+    const std::string text = ScenarioProgramText(c);
+    EXPECT_EQ(text, ScenarioProgramText(c));
+    EXPECT_TRUE(ParseProgram(text).ok()) << text;
+  }
+}
+
+TEST(ScenarioEngineTest, FaultAxisExpandsToFaultSpecs) {
+  Scenario scenario;
+  scenario.name = "probe";
+  scenario.config.fault = ScenarioFault::kNone;
+  EXPECT_EQ(BuildJobSpec(scenario).fault_spec, "");
+  scenario.config.fault = ScenarioFault::kTransient;
+  const CheckJobSpec transient = BuildJobSpec(scenario);
+  EXPECT_FALSE(transient.fault_spec.empty());
+  EXPECT_GE(transient.retries, 1);
+  scenario.config.fault = ScenarioFault::kAbort;
+  EXPECT_FALSE(BuildJobSpec(scenario).fault_spec.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The runner: a stratified sample covering every fault mode, every mechanism
+// kind and a deadline, cheap enough for tier-1. (The full matrix is the
+// labeled scenario_matrix_test.)
+
+TEST(ScenarioRunnerTest, SampledScenariosHoldTheirInvariants) {
+  const std::vector<Scenario> all = MakeScenarios(DefaultAxes());
+  std::vector<Scenario> sample;
+  // One scenario per (mechanism, fault) cell plus one d1ms case, drawn
+  // deterministically: first match wins.
+  for (const char* mech : {"surv", "hw", "table", "static"}) {
+    for (const char* fault : {"fok", "ftrans", "fabort"}) {
+      const std::string want = std::string(".") + mech + ".";
+      const std::string want_fault = std::string(".") + fault + ".";
+      const auto it = std::find_if(all.begin(), all.end(), [&](const Scenario& s) {
+        return s.name.find(want) != std::string::npos &&
+               s.name.find(want_fault) != std::string::npos &&
+               s.name.find(".dfull") != std::string::npos;
+      });
+      ASSERT_NE(it, all.end());
+      sample.push_back(*it);
+    }
+  }
+  const auto deadline_it = std::find_if(all.begin(), all.end(), [](const Scenario& s) {
+    return s.name.find(".d1ms") != std::string::npos;
+  });
+  ASSERT_NE(deadline_it, all.end());
+  sample.push_back(*deadline_it);
+
+  ScenarioRunner runner;
+  const ScenarioSummary summary = runner.RunAll(sample);
+  EXPECT_EQ(summary.scenarios, sample.size());
+  EXPECT_GT(summary.checks, 0u);
+  EXPECT_TRUE(summary.ok()) << summary.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// The witness minimizer.
+
+TEST(MinimizeTest, SizeMeasuresCountStatementsAndExprNodes) {
+  const SourceProgram p =
+      MustParseProgram("program p(a) { y = a + 1; if (a > 0) { y = 0; } }");
+  // Statements: y=, if, y= (inner). Exprs: (a+1: 3 nodes), (a>0: 3), (0: 1).
+  EXPECT_EQ(CountStmts(p), 3);
+  EXPECT_EQ(ProgramSize(p), 3 + 7);
+}
+
+TEST(MinimizeTest, ShrinksToTheStatementsThePredicateNeeds) {
+  // The predicate wants a while loop; everything else is noise to delete.
+  const SourceProgram p = MustParseProgram(
+      "program p(a, b) { locals v, c; v = a + b; y = v * 2; c = 2; "
+      "while (c != 0) { y = y + 1; c = c - 1; } y = y - b; }");
+  const WitnessPredicate has_loop = [](const SourceProgram& candidate) {
+    return candidate.ToString().find("while") != std::string::npos;
+  };
+  ASSERT_TRUE(has_loop(p));
+  MinimizeStats stats;
+  const SourceProgram minimized = MinimizeWitness(p, has_loop, MinimizeOptions(), &stats);
+  EXPECT_TRUE(has_loop(minimized));
+  EXPECT_LT(ProgramSize(minimized), ProgramSize(p));
+  EXPECT_EQ(stats.initial_size, ProgramSize(p));
+  EXPECT_EQ(stats.final_size, ProgramSize(minimized));
+  EXPECT_GT(stats.candidates_accepted, 0);
+  // Nothing but the loop scaffold should survive: the while statement and
+  // at most its body/counter support.
+  EXPECT_LE(CountStmts(minimized), 3);
+}
+
+TEST(MinimizeTest, AlreadyMinimalProgramIsAFixpoint) {
+  const SourceProgram p = MustParseProgram("program p(a) { y = a; }");
+  const WitnessPredicate always = [](const SourceProgram&) { return true; };
+  MinimizeStats stats;
+  const SourceProgram minimized = MinimizeWitness(p, always, MinimizeOptions(), &stats);
+  // `always` lets every edit through, so it shrinks to the empty body — and
+  // then no edit applies.
+  EXPECT_EQ(CountStmts(minimized), 0);
+  const SourceProgram again = MinimizeWitness(minimized, always);
+  EXPECT_EQ(again.ToString(), minimized.ToString());
+}
+
+TEST(MinimizeTest, BudgetBoundsPredicateEvaluations) {
+  const SourceProgram p = MustParseProgram(
+      "program p(a, b) { y = a; y = y + b; y = y * 2; y = y - a; y = y + 1; }");
+  int calls = 0;
+  const WitnessPredicate counting = [&calls](const SourceProgram&) {
+    ++calls;
+    return true;
+  };
+  MinimizeOptions options;
+  options.max_candidates = 3;
+  MinimizeStats stats;
+  MinimizeWitness(p, counting, options, &stats);
+  EXPECT_LE(stats.candidates_tried, 3);
+  EXPECT_LE(calls, 3 + 1);  // + the caller-contract check on entry
+}
+
+// ---------------------------------------------------------------------------
+// The fuzzer: a fixed-seed smoke run. Zero true disagreements is the same
+// gate CI enforces; determinism in the seed is what makes any future failure
+// reproducible from the log line alone.
+
+FuzzerConfig SmokeConfig() {
+  FuzzerConfig config;
+  config.seed = 20260809;
+  config.iterations = 30;
+  config.threads = 7;
+  config.minimize_budget = 512;
+  return config;
+}
+
+TEST(FuzzerTest, FixedSeedSmokeRunIsCleanAndDeterministic) {
+  DisagreementFuzzer fuzzer(SmokeConfig());
+  const FuzzReport report = fuzzer.Run();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_EQ(report.stats.disagreements, 0u);
+  EXPECT_EQ(report.stats.iterations, 30u);
+  EXPECT_GT(report.stats.features, 0u);
+  EXPECT_GT(report.stats.novel_inputs, 0u);
+
+  DisagreementFuzzer replay(SmokeConfig());
+  const FuzzReport second = replay.Run();
+  EXPECT_EQ(second.ToString(), report.ToString());
+  ASSERT_EQ(second.findings.size(), report.findings.size());
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    EXPECT_EQ(second.findings[i].program_text, report.findings[i].program_text);
+    EXPECT_EQ(second.findings[i].kind, report.findings[i].kind);
+  }
+}
+
+TEST(FuzzerTest, ExpectedFindingsSurfaceAndReplay) {
+  // The paper predicts timing leaks and static-dynamic gaps in any
+  // sufficiently varied corpus; the smoke budget is enough to meet at least
+  // one expected phenomenon, and its (minimized) witness must replay from
+  // its serialized form alone.
+  FuzzerConfig config = SmokeConfig();
+  config.iterations = 60;
+  DisagreementFuzzer fuzzer(config);
+  const FuzzReport report = fuzzer.Run();
+  ASSERT_TRUE(report.clean()) << report.ToString();
+  ASSERT_GT(report.stats.expected_findings, 0u) << report.ToString();
+  for (const FuzzFinding& finding : report.findings) {
+    const Result<FuzzFinding> round_tripped = FindingFromJson(finding.ToJson());
+    ASSERT_TRUE(round_tripped.ok()) << round_tripped.error().ToString();
+    const Result<bool> replayed = ReplayFinding(round_tripped.value());
+    ASSERT_TRUE(replayed.ok()) << replayed.error().ToString();
+    EXPECT_TRUE(replayed.value())
+        << FindingKindName(finding.kind) << " witness did not reproduce:\n"
+        << finding.program_text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Witness serialization and replay, independent of any fuzzer run.
+
+TEST(WitnessTest, HandWrittenTimingLeakWitnessReplays) {
+  // Sound for values (y == pub on every input) but the then-arm runs longer,
+  // so observing time splits the allow(0) classes: the Theorem 3 / 3' gap.
+  FuzzFinding finding;
+  finding.kind = FindingKind::kTimingLeakWitness;
+  finding.program_text =
+      "program p(pub, sec) { if (sec > 0) { y = pub; y = y; } else { y = pub; } }";
+  finding.allow_bits = 1;  // allow(0) = {pub}
+  finding.grid_lo = -1;
+  finding.grid_hi = 1;
+  const Result<bool> replayed = ReplayFinding(finding);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().ToString();
+  EXPECT_TRUE(replayed.value());
+
+  // The same program is NOT a surveillance-unsound witness: the monitor
+  // masks nothing here (y never reads sec), so that kind must not reproduce.
+  finding.kind = FindingKind::kSurveillanceUnsound;
+  const Result<bool> unsound = ReplayFinding(finding);
+  ASSERT_TRUE(unsound.ok());
+  EXPECT_FALSE(unsound.value());
+}
+
+TEST(WitnessTest, SerializationRejectsMalformedWitnesses) {
+  EXPECT_FALSE(FindingFromJson(Json::MakeArray()).ok());
+  Json no_kind = Json::MakeObject();
+  no_kind.Set("program", Json::MakeString("program p(a) { y = a; }"));
+  EXPECT_FALSE(FindingFromJson(no_kind).ok());
+  Json bad_kind = Json::MakeObject();
+  bad_kind.Set("kind", Json::MakeString("warp-drive"));
+  bad_kind.Set("program", Json::MakeString("program p(a) { y = a; }"));
+  bad_kind.Set("allow_bits", Json::MakeInt(1));
+  EXPECT_FALSE(FindingFromJson(bad_kind).ok());
+  FuzzFinding unparsable;
+  unparsable.kind = FindingKind::kTimingLeakWitness;
+  unparsable.program_text = "not a program";
+  EXPECT_FALSE(ReplayFinding(unparsable).ok());
+}
+
+TEST(WitnessTest, KindNamesRoundTrip) {
+  for (FindingKind kind :
+       {FindingKind::kParallelMismatch, FindingKind::kAuditMismatch,
+        FindingKind::kCacheMismatch, FindingKind::kTableMismatch,
+        FindingKind::kSurveillanceUnsound, FindingKind::kStaticCertifiedUnsound,
+        FindingKind::kTransformChangedMeaning, FindingKind::kTimingLeakWitness,
+        FindingKind::kTransformCompletenessFlip, FindingKind::kStaticDynamicGap}) {
+    const std::string name = FindingKindName(kind);
+    EXPECT_NE(name, "?");
+    ASSERT_TRUE(ParseFindingKind(name).has_value()) << name;
+    EXPECT_EQ(*ParseFindingKind(name), kind);
+  }
+  EXPECT_FALSE(ParseFindingKind("?").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// The checked-in regression corpus: every witness file the fuzzer ever
+// promoted must keep replaying. Expected-kind witnesses are permanent
+// exhibits (must still reproduce); disagreement-kind witnesses are fixed
+// bugs (must NOT reproduce — if one does, the bug is back).
+
+TEST(WitnessTest, CheckedInRegressionWitnessesReplay) {
+  const std::filesystem::path dir = SECPOL_REGRESSION_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int witnesses = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") {
+      continue;
+    }
+    ++witnesses;
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const Result<Json> parsed = Json::Parse(buffer.str());
+    ASSERT_TRUE(parsed.ok()) << entry.path() << ": " << parsed.error().ToString();
+    const Result<FuzzFinding> finding = FindingFromJson(parsed.value());
+    ASSERT_TRUE(finding.ok()) << entry.path() << ": " << finding.error().ToString();
+    const Result<bool> replayed = ReplayFinding(finding.value());
+    ASSERT_TRUE(replayed.ok()) << entry.path() << ": " << replayed.error().ToString();
+    if (IsDisagreement(finding.value().kind)) {
+      EXPECT_FALSE(replayed.value())
+          << entry.path() << ": fixed disagreement reproduces again";
+    } else {
+      EXPECT_TRUE(replayed.value()) << entry.path() << ": exhibit no longer reproduces";
+    }
+  }
+  EXPECT_GT(witnesses, 0) << "no witness files in " << dir;
+}
+
+}  // namespace
+}  // namespace secpol

@@ -29,9 +29,12 @@
 #include "src/policy/policy.h"
 #include "src/service/manifest.h"
 #include "src/service/result_cache.h"
+#include "tests/testlib.h"
 
 namespace secpol {
 namespace {
+
+using testlib::MustLower;
 
 // A program leaky enough that soundness/leak verdicts are interesting, with
 // loops and branches so structural hashing has something to chew on.
@@ -49,12 +52,6 @@ CheckJobSpec BaseSpec(const std::string& program, CheckerKind checker) {
   spec.grid_lo = -1;
   spec.grid_hi = 1;
   return spec;
-}
-
-Program MustLower(const std::string& text) {
-  Result<SourceProgram> parsed = ParseProgram(text);
-  EXPECT_TRUE(parsed.ok());
-  return Lower(parsed.value());
 }
 
 // Renders the expected report for `spec` by calling the underlying checker
@@ -144,9 +141,7 @@ CachedResult ValueOf(const std::string& report) {
 }
 
 std::string TempPath(const std::string& stem) {
-  const std::string test_name =
-      ::testing::UnitTest::GetInstance()->current_test_info()->name();
-  return ::testing::TempDir() + "service_test_" + test_name + "_" + stem;
+  return testlib::TempPath("service_test", stem);
 }
 
 // ---------------------------------------------------------------------------

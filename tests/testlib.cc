@@ -1,0 +1,99 @@
+#include "tests/testlib.h"
+
+#include <gtest/gtest.h>
+
+#include "src/flowlang/lower.h"
+#include "src/flowlang/parser.h"
+#include "src/util/result.h"
+
+namespace secpol {
+namespace testlib {
+
+void ExpectSameSoundness(const SoundnessReport& serial, const SoundnessReport& parallel,
+                         int threads) {
+  EXPECT_EQ(serial.sound, parallel.sound) << threads << " threads";
+  EXPECT_EQ(serial.inputs_checked, parallel.inputs_checked) << threads << " threads";
+  EXPECT_EQ(serial.policy_classes, parallel.policy_classes) << threads << " threads";
+  ASSERT_EQ(serial.counterexample.has_value(), parallel.counterexample.has_value())
+      << threads << " threads";
+  if (serial.counterexample.has_value()) {
+    EXPECT_EQ(serial.counterexample->input_a, parallel.counterexample->input_a);
+    EXPECT_EQ(serial.counterexample->input_b, parallel.counterexample->input_b);
+    EXPECT_EQ(serial.counterexample->outcome_a.ToString(),
+              parallel.counterexample->outcome_a.ToString());
+    EXPECT_EQ(serial.counterexample->outcome_b.ToString(),
+              parallel.counterexample->outcome_b.ToString());
+  }
+  // Belt and braces: the rendered reports must be byte-identical.
+  EXPECT_EQ(serial.ToString(), parallel.ToString()) << threads << " threads";
+}
+
+void ExpectSameIntegrity(const IntegrityReport& serial, const IntegrityReport& parallel,
+                         int threads) {
+  EXPECT_EQ(serial.preserved, parallel.preserved) << threads << " threads";
+  EXPECT_EQ(serial.inputs_checked, parallel.inputs_checked) << threads << " threads";
+  EXPECT_EQ(serial.required_classes, parallel.required_classes) << threads << " threads";
+  ASSERT_EQ(serial.counterexample.has_value(), parallel.counterexample.has_value())
+      << threads << " threads";
+  if (serial.counterexample.has_value()) {
+    EXPECT_EQ(serial.counterexample->input_a, parallel.counterexample->input_a);
+    EXPECT_EQ(serial.counterexample->input_b, parallel.counterexample->input_b);
+    EXPECT_EQ(serial.counterexample->outcome.ToString(),
+              parallel.counterexample->outcome.ToString());
+  }
+  EXPECT_EQ(serial.ToString(), parallel.ToString()) << threads << " threads";
+}
+
+void ExpectSameCompleteness(const CompletenessStats& serial, const CompletenessStats& parallel,
+                            int threads) {
+  EXPECT_EQ(serial.total, parallel.total) << threads << " threads";
+  EXPECT_EQ(serial.both_value, parallel.both_value) << threads << " threads";
+  EXPECT_EQ(serial.first_only, parallel.first_only) << threads << " threads";
+  EXPECT_EQ(serial.second_only, parallel.second_only) << threads << " threads";
+  EXPECT_EQ(serial.neither, parallel.neither) << threads << " threads";
+}
+
+void ExpectSameMaximal(const MaximalSynthesis& serial, const MaximalSynthesis& parallel,
+                       const InputDomain& domain, int threads) {
+  EXPECT_EQ(serial.inputs, parallel.inputs) << threads << " threads";
+  EXPECT_EQ(serial.policy_classes, parallel.policy_classes) << threads << " threads";
+  EXPECT_EQ(serial.released_classes, parallel.released_classes) << threads << " threads";
+  ASSERT_EQ(serial.mechanism->table_size(), parallel.mechanism->table_size())
+      << threads << " threads";
+  domain.ForEach([&](InputView input) {
+    EXPECT_EQ(serial.mechanism->Run(input).ToString(), parallel.mechanism->Run(input).ToString());
+  });
+}
+
+void ExpectSameLeak(const LeakReport& serial, const LeakReport& parallel, int threads) {
+  EXPECT_EQ(serial.max_distinct_outcomes, parallel.max_distinct_outcomes)
+      << threads << " threads";
+  EXPECT_DOUBLE_EQ(serial.max_leak_bits, parallel.max_leak_bits) << threads << " threads";
+  EXPECT_EQ(serial.leaky_classes, parallel.leaky_classes) << threads << " threads";
+  EXPECT_EQ(serial.policy_classes, parallel.policy_classes) << threads << " threads";
+}
+
+VarSet RandomAllowSet(int num_inputs, Rng* rng) {
+  VarSet allowed;
+  for (int i = 0; i < num_inputs; ++i) {
+    if (rng->Chance(1, 2)) {
+      allowed.Insert(i);
+    }
+  }
+  return allowed;
+}
+
+Program MustLower(const std::string& text) {
+  Result<SourceProgram> parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok());
+  return Lower(parsed.value());
+}
+
+std::string TempPath(const std::string& prefix, const std::string& stem) {
+  const std::string test_name =
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  return ::testing::TempDir() + prefix + "_" + test_name + "_" + stem;
+}
+
+}  // namespace testlib
+}  // namespace secpol

@@ -1,0 +1,66 @@
+// Shared helpers for the differential test suites.
+//
+// The parallel-engine, audit, service and scenario suites all compare
+// checker reports field by field and byte by byte; before this library each
+// suite carried its own copy of the comparators (and its own ad-hoc random
+// policy loop). One definition here keeps "what does report equality mean"
+// in one place — a new report field added to a checker needs exactly one
+// comparator update to be locked by every differential suite at once.
+//
+// Everything lives in namespace secpol::testlib and uses gtest's EXPECT/
+// ASSERT macros, so it links only into test binaries (the secpol_testlib
+// static library in tests/CMakeLists.txt), never into src/.
+
+#ifndef SECPOL_TESTS_TESTLIB_H_
+#define SECPOL_TESTS_TESTLIB_H_
+
+#include <string>
+
+#include "src/channels/timing.h"
+#include "src/flowchart/program.h"
+#include "src/mechanism/completeness.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/integrity.h"
+#include "src/mechanism/maximal.h"
+#include "src/mechanism/soundness.h"
+#include "src/util/rng.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+namespace testlib {
+
+// The thread counts every differential suite sweeps: serial reference, the
+// smallest parallel case, an odd count that misaligns shard boundaries, and
+// one above the grid-shard multiple.
+inline constexpr int kThreadCounts[] = {1, 2, 3, 7};
+
+// Field-for-field (and byte-for-byte via ToString) equality of two checker
+// reports, with the thread count in every failure message. `serial` is the
+// reference; `parallel` the run under test.
+void ExpectSameSoundness(const SoundnessReport& serial, const SoundnessReport& parallel,
+                         int threads);
+void ExpectSameIntegrity(const IntegrityReport& serial, const IntegrityReport& parallel,
+                         int threads);
+void ExpectSameCompleteness(const CompletenessStats& serial, const CompletenessStats& parallel,
+                            int threads);
+// Maximal synthesis has no ToString; equality additionally re-runs both
+// synthesized table mechanisms over the whole domain.
+void ExpectSameMaximal(const MaximalSynthesis& serial, const MaximalSynthesis& parallel,
+                       const InputDomain& domain, int threads);
+void ExpectSameLeak(const LeakReport& serial, const LeakReport& parallel, int threads);
+
+// A random allow(J): each of the first `num_inputs` coordinates is included
+// with probability 1/2, drawing exactly `num_inputs` times from `rng`.
+VarSet RandomAllowSet(int num_inputs, Rng* rng);
+
+// Parse + lower a flowlang source, EXPECTing the parse to succeed.
+Program MustLower(const std::string& text);
+
+// A temp-file path unique to the currently running gtest test:
+// <TempDir>/<prefix>_<test name>_<stem>.
+std::string TempPath(const std::string& prefix, const std::string& stem);
+
+}  // namespace testlib
+}  // namespace secpol
+
+#endif  // SECPOL_TESTS_TESTLIB_H_

@@ -287,6 +287,30 @@ TEST(Example9, TailDuplicationPreservesSemantics) {
   EXPECT_NE(text.find("halt;"), std::string::npos);
 }
 
+TEST(Example9, TailDuplicationBudgetMakesBlowupANoOp) {
+  // Tail duplication is worst-case exponential in sequential ifs: each one
+  // copies everything after it into both arms. Past the output budget the
+  // transform must decline (original bytes back, *changed false) instead of
+  // materializing the blowup.
+  std::string body;
+  for (int i = 0; i < 40; ++i) {
+    body += "if (x1 == " + std::to_string(i) + ") { r = " + std::to_string(i) + "; } ";
+  }
+  const SourceProgram chain =
+      MustParseProgram("program blowup(x1) { locals r; " + body + "y = r; }");
+
+  bool changed = true;
+  const SourceProgram dup = ApplyTailDuplication(chain, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(dup.ToString(), chain.ToString());
+
+  // A generous explicit budget admits the same program.
+  changed = false;
+  const SourceProgram small = ApplyTailDuplication(Example9Program(), &changed, 1 << 20);
+  EXPECT_TRUE(changed);
+  EXPECT_TRUE(Equivalent(Example9Program(), small));
+}
+
 TEST(Example9, IfToSelectWouldAlwaysViolate) {
   bool changed = false;
   const SourceProgram selected = ApplyIfToSelect(Example9Program(), {}, &changed);
