@@ -1,0 +1,225 @@
+// E22 — the serve daemon: round-trip request throughput and latency over a
+// real unix socket, and the cross-connection warm-cache economics.
+//
+// `secpol serve` keeps one content-addressed result cache hot across client
+// connections, so the steady-state cost of a repeated check is one framed
+// round trip plus a fingerprint — not a sweep. This bench measures the
+// daemon's transport tax directly against the in-process batch service:
+// (1) cold vs warm submission throughput over one connection, (2) the
+// latency distribution (p50/p99) of warm submits and bare pings, and
+// (3) the cross-connection warm hit rate — every job submitted on a fresh
+// connection after a cold pass must come back from_cache with identical
+// deterministic bytes.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/server/socket.h"
+#include "src/service/manifest.h"
+#include "src/service/service.h"
+#include "src/util/strings.h"
+#include "src/util/thread_pool.h"
+
+namespace secpol {
+namespace {
+
+// Same workload shape as bench_service (E18): distinct loop-bearing
+// programs so cold sweeps are honest work and every job has its own cache
+// key. Serve-vs-batch numbers are then directly comparable.
+std::string ProgramText(int variant) {
+  return "program p(a, b, c) { locals i; i = " + std::to_string(20 + variant) +
+         "; while (i != 0) { i = i - 1; } y = a + b * c; }";
+}
+
+CheckJobSpec JobFor(int variant) {
+  CheckJobSpec spec;
+  spec.id = "job-" + std::to_string(variant);
+  spec.program_text = ProgramText(variant);
+  spec.allow = VarSet{0};
+  spec.grid_lo = 0;
+  spec.grid_hi = 4;  // 5^3 = 125 surveilled evaluations per cold job
+  return spec;
+}
+
+struct ServeFixture {
+  std::unique_ptr<CheckServer> server;
+
+  ServeFixture() {
+    ServerConfig config;
+    config.unix_path = UniqueSocketPath("bench_serve");
+    config.concurrency = 1;
+    config.cache_capacity = 1024;
+    server = std::make_unique<CheckServer>(config);
+    if (!server->Start().ok()) {
+      std::fprintf(stderr, "bench_serve: daemon failed to start\n");
+      server.reset();
+    }
+  }
+
+  ServeClient Connect() const {
+    Result<ServeClient> client = ServeClient::ConnectUnixPath(server->unix_path());
+    return client.ok() ? std::move(client).value() : ServeClient();
+  }
+};
+
+double SubmitBatchMillis(ServeClient& client, const std::vector<CheckJobSpec>& jobs,
+                         int* from_cache_count) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const CheckJobSpec& spec : jobs) {
+    const Result<Json> terminal = client.SubmitJob(CheckJobSpecToJson(spec));
+    if (terminal.ok()) {
+      if (const Json* job = terminal.value().Find("job"); job != nullptr) {
+        const Json* from_cache = job->Find("from_cache");
+        if (from_cache_count != nullptr && from_cache != nullptr && from_cache->is_bool() &&
+            from_cache->AsBool()) {
+          ++*from_cache_count;
+        }
+      }
+      benchmark::DoNotOptimize(terminal.value().kind());
+    }
+  }
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t index = static_cast<std::size_t>(p * (samples.size() - 1));
+  return samples[index];
+}
+
+void PrintReproduction() {
+  PrintHeader("E22: serve daemon — socket round-trip throughput, latency, warm economics");
+  std::printf("  host hardware threads: %d\n\n", ThreadPool::HardwareThreads());
+
+  ServeFixture fixture;
+  if (fixture.server == nullptr) {
+    return;
+  }
+  const int kJobs = 64;
+  std::vector<CheckJobSpec> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    jobs.push_back(JobFor(i));
+  }
+
+  // (1) Cold vs warm over one connection, then warm again on a *fresh*
+  // connection — the cache, not the connection, is what holds the state.
+  {
+    ServeClient client = fixture.Connect();
+    const double cold_ms = SubmitBatchMillis(client, jobs, nullptr);
+    int warm_hits = 0;
+    double warm_ms = SubmitBatchMillis(client, jobs, &warm_hits);
+    for (int trial = 0; trial < 5; ++trial) {
+      int ignored = 0;
+      warm_ms = std::min(warm_ms, SubmitBatchMillis(client, jobs, &ignored));
+    }
+    ServeClient fresh = fixture.Connect();
+    int fresh_hits = 0;
+    const double fresh_ms = SubmitBatchMillis(fresh, jobs, &fresh_hits);
+
+    PrintRow({"batch", "jobs", "wall ms", "jobs/s", "from_cache"}, {16, 6, 12, 12, 10});
+    PrintRow({"cold", std::to_string(kJobs), FormatDouble(cold_ms, 2),
+              FormatDouble(kJobs / (cold_ms / 1000.0), 0), "0"},
+             {16, 6, 12, 12, 10});
+    PrintRow({"warm same conn", std::to_string(kJobs), FormatDouble(warm_ms, 3),
+              FormatDouble(kJobs / (warm_ms / 1000.0), 0), std::to_string(warm_hits)},
+             {16, 6, 12, 12, 10});
+    PrintRow({"warm fresh conn", std::to_string(kJobs), FormatDouble(fresh_ms, 3),
+              FormatDouble(kJobs / (fresh_ms / 1000.0), 0), std::to_string(fresh_hits)},
+             {16, 6, 12, 12, 10});
+    std::printf("  warm/cold speedup: %sx; cross-connection hit rate: %d/%d\n\n",
+                FormatDouble(warm_ms > 0 ? cold_ms / warm_ms : 0.0, 1).c_str(), fresh_hits,
+                kJobs);
+  }
+
+  // (2) Request latency distributions: warm submits (fingerprint + cache
+  // hit + two frames each way) and bare pings (the transport floor).
+  {
+    ServeClient client = fixture.Connect();
+    const Json warm_job = CheckJobSpecToJson(JobFor(0));
+    std::vector<double> submit_us;
+    for (int i = 0; i < 400; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(client.SubmitJob(warm_job).ok());
+      submit_us.push_back(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+    }
+    std::vector<double> ping_us;
+    for (int i = 0; i < 400; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(client.Ping().ok());
+      ping_us.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+    }
+    PrintRow({"request", "p50 us", "p99 us"}, {16, 10, 10});
+    PrintRow({"submit (warm)", FormatDouble(Percentile(submit_us, 0.5), 1),
+              FormatDouble(Percentile(submit_us, 0.99), 1)},
+             {16, 10, 10});
+    PrintRow({"ping", FormatDouble(Percentile(ping_us, 0.5), 1),
+              FormatDouble(Percentile(ping_us, 0.99), 1)},
+             {16, 10, 10});
+
+    // The in-process comparison point: the same warm job through a local
+    // CheckService, no socket — the daemon's transport tax is the delta.
+    ServiceConfig config;
+    config.concurrency = 1;
+    CheckService service(config);
+    (void)service.RunBatch({JobFor(0)});
+    std::vector<double> local_us;
+    for (int i = 0; i < 400; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(service.RunBatch({JobFor(0)}).stats.cache_hits);
+      local_us.push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+    }
+    PrintRow({"in-process warm", FormatDouble(Percentile(local_us, 0.5), 1),
+              FormatDouble(Percentile(local_us, 0.99), 1)},
+             {16, 10, 10});
+    std::printf("\n");
+  }
+}
+
+void BM_WarmSubmitRoundTrip(benchmark::State& state) {
+  ServeFixture fixture;
+  if (fixture.server == nullptr) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+  ServeClient client = fixture.Connect();
+  const Json job = CheckJobSpecToJson(JobFor(0));
+  (void)client.SubmitJob(job);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.SubmitJob(job).ok());
+  }
+}
+BENCHMARK(BM_WarmSubmitRoundTrip);
+
+void BM_PingRoundTrip(benchmark::State& state) {
+  ServeFixture fixture;
+  if (fixture.server == nullptr) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+  ServeClient client = fixture.Connect();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Ping().ok());
+  }
+}
+BENCHMARK(BM_PingRoundTrip);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <iterator>
+#include <memory>
 #include <utility>
 
 #include "src/channels/timing.h"
@@ -14,6 +15,10 @@
 #include "src/obs/metrics.h"
 #include "src/policy/policy.h"
 #include "src/scenario/minimize.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/server/socket.h"
+#include "src/service/manifest.h"
 #include "src/service/service.h"
 #include "src/staticflow/static_mechanisms.h"
 #include "src/surveillance/surveillance.h"
@@ -32,6 +37,7 @@ constexpr KindName kKindNames[] = {
     {FindingKind::kAuditMismatch, "audit-mismatch"},
     {FindingKind::kCacheMismatch, "cache-mismatch"},
     {FindingKind::kTableMismatch, "table-mismatch"},
+    {FindingKind::kServeMismatch, "serve-mismatch"},
     {FindingKind::kSurveillanceUnsound, "surveillance-unsound"},
     {FindingKind::kStaticCertifiedUnsound, "static-certified-unsound"},
     {FindingKind::kTransformChangedMeaning, "transform-changed-meaning"},
@@ -132,6 +138,76 @@ bool TableMismatch(const Program& program, VarSet allow, const InputDomain& doma
              MeasureLeak(mechanism, policy, domain, obs, serial).ToString();
 }
 
+// The serve-oracle endpoint: one in-process daemon on a unix socket plus a
+// persistent client connection, started lazily on the first serve-oracle
+// evaluation and shared for the rest of the process. Sharing is sound
+// because results are content-addressed — the comparison below is
+// independent of the daemon's cache state — and it keeps the oracle from
+// paying a listener bind per iteration. The daemon owns a private
+// MetricsRegistry, which is never folded into coverage features (the
+// iteration's own registry is), so the fuzz log stays deterministic.
+struct ServeEndpoint {
+  std::unique_ptr<CheckServer> server;
+  std::unique_ptr<ServeClient> client;
+  bool ok = false;
+};
+
+ServeEndpoint& ServeOracleEndpoint() {
+  static ServeEndpoint& endpoint = *[] {
+    auto* ep = new ServeEndpoint;  // leaked: outlives any static teardown order
+    ServerConfig config;
+    config.unix_path = UniqueSocketPath("fuzz_oracle");
+    config.concurrency = 1;
+    config.cache_capacity = 4096;
+    ep->server = std::make_unique<CheckServer>(config);
+    if (ep->server->Start().ok()) {
+      Result<ServeClient> client = ServeClient::ConnectUnixPath(config.unix_path);
+      if (client.ok()) {
+        ep->client = std::make_unique<ServeClient>(std::move(client.value()));
+        ep->ok = true;
+      }
+    }
+    if (!ep->ok) {
+      ep->server.reset();
+    }
+    return ep;
+  }();
+  return endpoint;
+}
+
+// True when the daemon's result frame for the job disagrees with the
+// in-process run on any deterministic field (report bytes, exit code,
+// status). An environment with no working sockets leaves the oracle inert
+// rather than reporting phantom disagreements.
+bool ServeMismatch(const CheckJobSpec& base) {
+  ServeEndpoint& endpoint = ServeOracleEndpoint();
+  if (!endpoint.ok) {
+    return false;
+  }
+  const JobResult reference = ExecuteJob(base);
+  if (reference.status != JobStatus::kCompleted) {
+    return false;  // abort paths have their own oracles
+  }
+  const Result<Json> terminal = endpoint.client->SubmitJob(CheckJobSpecToJson(base));
+  if (!terminal.ok()) {
+    return true;  // a transport failure on a valid job is a disagreement
+  }
+  const Json* type = terminal.value().Find("type");
+  const Json* job = terminal.value().Find("job");
+  if (type == nullptr || !type->is_string() || type->AsString() != "result" ||
+      job == nullptr || !job->is_object()) {
+    return true;
+  }
+  const Json* report = job->Find("report");
+  const Json* exit_code = job->Find("exit_code");
+  const Json* status = job->Find("status");
+  return report == nullptr || !report->is_string() ||
+         report->AsString() != reference.report || exit_code == nullptr ||
+         !exit_code->is_int() || exit_code->AsInt() != reference.exit_code ||
+         status == nullptr || !status->is_string() ||
+         status->AsString() != JobStatusName(reference.status);
+}
+
 // The kind-specific oracle pair, evaluated from scratch. Shared by the
 // minimizer predicate and ReplayFinding so a shrunk witness proves exactly
 // what the original did.
@@ -170,6 +246,8 @@ bool WitnessReproduces(const FuzzFinding& finding, const SourceProgram& source, 
       return CacheMismatch(OracleSpec(source, allow, finding.grid_lo, finding.grid_hi));
     case FindingKind::kTableMismatch:
       return TableMismatch(program, allow, domain);
+    case FindingKind::kServeMismatch:
+      return ServeMismatch(OracleSpec(source, allow, finding.grid_lo, finding.grid_hi));
     case FindingKind::kStaticCertifiedUnsound: {
       const StaticCertifiedMechanism cert(program, allow);
       return cert.certified() &&
@@ -283,6 +361,7 @@ bool IsDisagreement(FindingKind kind) {
     case FindingKind::kAuditMismatch:
     case FindingKind::kCacheMismatch:
     case FindingKind::kTableMismatch:
+    case FindingKind::kServeMismatch:
     case FindingKind::kSurveillanceUnsound:
     case FindingKind::kStaticCertifiedUnsound:
     case FindingKind::kTransformChangedMeaning:
@@ -615,6 +694,11 @@ void DisagreementFuzzer::Iterate(const FuzzInput& input, std::uint64_t iteration
     if (TableMismatch(program, allow, domain)) {
       Record(FindingKind::kTableMismatch,
              "table-backed reduction differs from the live sweep", source, input, false,
+             no_plan, iteration, report);
+    }
+    if (ServeMismatch(spec)) {
+      Record(FindingKind::kServeMismatch,
+             "daemon result frame differs from the in-process run", source, input, false,
              no_plan, iteration, report);
     }
   }

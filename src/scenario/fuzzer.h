@@ -11,6 +11,8 @@
 //     * an audit report that is not the concatenation of its sections;
 //     * a cached replay with different bytes;
 //     * an OutcomeTable-backed reduction differing from the live sweep;
+//     * a serve-daemon result frame differing from the in-process run
+//       (the job goes over a real unix socket and back);
 //     * a surveillance mechanism unsound under value-only observation
 //       (a Theorem 3 violation);
 //     * a statically certified program the dynamic checker refutes;
@@ -61,6 +63,7 @@ enum class FindingKind {
   kAuditMismatch,
   kCacheMismatch,
   kTableMismatch,
+  kServeMismatch,
   kSurveillanceUnsound,
   kStaticCertifiedUnsound,
   kTransformChangedMeaning,

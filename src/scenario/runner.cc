@@ -8,6 +8,8 @@
 #include "src/mechanism/outcome_table.h"
 #include "src/mechanism/soundness.h"
 #include "src/policy/policy.h"
+#include "src/server/socket.h"
+#include "src/service/manifest.h"
 
 namespace secpol {
 
@@ -58,6 +60,23 @@ CheckJobSpec ReferenceSpec(const CheckJobSpec& spec) {
 std::string ReportBody(const std::string& report) {
   const std::size_t newline = report.find('\n');
   return newline == std::string::npos ? report : report.substr(newline + 1);
+}
+
+// The deterministic slice of a result frame's job object, re-serialized in
+// a fixed field order so serve-path and batch-path renderings compare as
+// bytes. wall_ms (timing) and from_cache (cache state) are excluded by
+// contract; everything else must match.
+std::string DeterministicJobFields(const Json& job) {
+  static constexpr const char* kFields[] = {"id",        "status", "exit_code", "cache_key",
+                                            "evaluated", "total",  "error",     "report"};
+  Json out = Json::MakeObject();
+  for (const char* field : kFields) {
+    const Json* value = job.Find(field);
+    if (value != nullptr) {
+      out.Set(field, *value);
+    }
+  }
+  return out.Serialize();
 }
 
 }  // namespace
@@ -219,7 +238,83 @@ void ScenarioRunner::RunCleanBattery(const Scenario& scenario, const CheckJobSpe
              "cached replay differs from reference bytes", out);
     }
   }
+
+  // --- Serve = batch: the daemon round trip carries the same bytes ---
+  RunServeOracle(spec, out);
   (void)scenario;
+}
+
+bool ScenarioRunner::EnsureServer() {
+  if (serve_attempted_) {
+    return serve_error_.empty();
+  }
+  serve_attempted_ = true;
+  ServerConfig config;
+  config.unix_path = UniqueSocketPath("scenario_oracle");
+  config.concurrency = 1;
+  config.cache_capacity = 8192;  // mirror service_: no mid-sweep eviction
+  server_ = std::make_unique<CheckServer>(config);
+  const Result<bool> started = server_->Start();
+  if (!started.ok()) {
+    serve_error_ = started.error().message;
+    server_.reset();
+    return false;
+  }
+  Result<ServeClient> client = ServeClient::ConnectUnixPath(config.unix_path);
+  if (!client.ok()) {
+    serve_error_ = client.error().message;
+    server_.reset();
+    return false;
+  }
+  serve_client_ = std::make_unique<ServeClient>(std::move(client.value()));
+  return true;
+}
+
+void ScenarioRunner::RunServeOracle(const CheckJobSpec& spec, ScenarioResult* out) {
+  Expect(EnsureServer(), "serve daemon unavailable: " + serve_error_, out);
+  if (serve_client_ == nullptr) {
+    return;
+  }
+
+  // The batch-path rendering of the same job. service_ completed this spec
+  // moments ago in the cache battery, so this is a cache hit, and the
+  // rendering carries exactly the bytes the daemon's result frame must.
+  const BatchReport batch = service_.RunBatch({spec});
+  if (batch.jobs.size() != 1 || batch.jobs[0].status != JobStatus::kCompleted) {
+    return;  // already reported by the cache battery
+  }
+  const std::string expected = DeterministicJobFields(JobResultToJson(batch.jobs[0]));
+
+  const Result<Json> terminal = serve_client_->SubmitJob(CheckJobSpecToJson(spec));
+  Expect(terminal.ok(),
+         "serve submission failed: " + (terminal.ok() ? "" : terminal.error().message), out);
+  if (!terminal.ok()) {
+    return;
+  }
+  const Json* type = terminal.value().Find("type");
+  const Json* job = terminal.value().Find("job");
+  const bool is_result = type != nullptr && type->is_string() &&
+                         type->AsString() == "result" && job != nullptr && job->is_object();
+  Expect(is_result, "serve submission did not produce a result frame", out);
+  if (!is_result) {
+    return;
+  }
+  Expect(DeterministicJobFields(*job) == expected,
+         "serve result frame differs from the batch rendering", out);
+
+  // Warm replay over the same persistent connection: the daemon's
+  // content-addressed cache must serve the identical bytes back.
+  const Result<Json> replay = serve_client_->SubmitJob(CheckJobSpecToJson(spec));
+  const Json* replay_job =
+      replay.ok() ? replay.value().Find("job") : nullptr;
+  Expect(replay_job != nullptr && replay_job->is_object() &&
+             DeterministicJobFields(*replay_job) == expected,
+         "serve cached replay differs from the batch rendering", out);
+  if (replay_job != nullptr && replay_job->is_object()) {
+    const Json* from_cache = replay_job->Find("from_cache");
+    Expect(from_cache != nullptr && from_cache->is_bool() && from_cache->AsBool(),
+           "serve replay missed the daemon cache", out);
+  }
 }
 
 ScenarioSummary ScenarioRunner::RunAll(const std::vector<Scenario>& scenarios) {

@@ -12,8 +12,11 @@
 //                   report equals the concatenation of its six standalone
 //                   section jobs; the OutcomeTable-backed soundness /
 //                   completeness / leak reductions are byte-identical to the
-//                   live sweeps; and a shared CheckService replays the job
-//                   from cache with identical bytes (cold = warm);
+//                   live sweeps; a shared CheckService replays the job from
+//                   cache with identical bytes (cold = warm); and a shared
+//                   in-process serve daemon returns a result frame whose
+//                   deterministic fields are byte-identical to the batch
+//                   path, with the replay a cache hit (serve = batch);
 //   fault = ftrans  transient throws plus the retry budget are absorbed: a
 //                   completed run's report equals the fault-free reference;
 //   fault = fabort  the persistent fault fails closed: JobStatus::kAborted
@@ -30,10 +33,13 @@
 #define SECPOL_SRC_SCENARIO_RUNNER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/scenario/scenario.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 #include "src/service/service.h"
 
 namespace secpol {
@@ -72,15 +78,35 @@ class ScenarioRunner {
   void Expect(bool condition, const std::string& what, ScenarioResult* out);
 
   // The clean-scenario extras: audit concatenation, table-backed vs live,
-  // cold vs warm cache.
+  // cold vs warm cache, and the daemon round trip.
   void RunCleanBattery(const Scenario& scenario, const CheckJobSpec& spec,
                        const std::string& reference_report, ScenarioResult* out);
+
+  // The serve ≡ batch oracle: submits the spec to the shared in-process
+  // daemon over a real unix socket and asserts the result frame's
+  // deterministic fields are byte-identical to the batch path, then that an
+  // immediate replay is a cache hit with the same bytes.
+  void RunServeOracle(const CheckJobSpec& spec, ScenarioResult* out);
+
+  // Starts the in-process daemon on first use (first clean scenario).
+  // Returns false — with serve_error_ set — when the environment has no
+  // working sockets; the failure is asserted once per sweep, not retried.
+  bool EnsureServer();
 
   // Shared across scenarios on purpose: the cache replay check then also
   // covers cross-scenario key collisions (thread count and deadline are
   // excluded from the cache key by design, so sibling scenarios may
   // legitimately warm each other — the bytes must still match).
   CheckService service_;
+
+  // The daemon half of the serve ≡ batch oracle, equally shared: one
+  // listener, one persistent client connection, one hot cache for the
+  // whole sweep. serve_client_ is declared after server_ so it is
+  // destroyed first — the client's fd closes before the server shuts down.
+  std::unique_ptr<CheckServer> server_;
+  std::unique_ptr<ServeClient> serve_client_;
+  std::string serve_error_;
+  bool serve_attempted_ = false;
 };
 
 }  // namespace secpol

@@ -1,0 +1,131 @@
+#include "src/server/client.h"
+
+namespace secpol {
+
+Result<ServeClient> ServeClient::ConnectUnixPath(const std::string& path) {
+  Result<Fd> fd = ConnectUnix(path);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  return ServeClient(std::move(fd).value());
+}
+
+Result<ServeClient> ServeClient::ConnectTcpPort(int port) {
+  Result<Fd> fd = ConnectTcp(port);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  return ServeClient(std::move(fd).value());
+}
+
+Result<bool> ServeClient::Send(const Json& frame) {
+  std::string error;
+  if (!WriteFrame(fd_.get(), frame, &error)) {
+    return Error{"send: " + error};
+  }
+  return true;
+}
+
+Result<Json> ServeClient::Read() {
+  std::string payload;
+  std::string error;
+  switch (ReadFrameText(fd_.get(), kFrameAbsoluteMaxBytes, &payload, &error)) {
+    case FrameReadStatus::kFrame:
+      break;
+    case FrameReadStatus::kEof:
+      return Error{"connection closed by server"};
+    case FrameReadStatus::kMalformed:
+    case FrameReadStatus::kOversized:
+    case FrameReadStatus::kTransport:
+      return Error{"read: " + (error.empty() ? std::string("frame error") : error)};
+  }
+  Result<Json> frame = Json::Parse(payload);
+  if (!frame.ok()) {
+    return Error{"server sent unparseable frame: " + frame.error().ToString()};
+  }
+  return frame;
+}
+
+Result<Json> ServeClient::Call(const Json& request) {
+  Result<bool> sent = Send(request);
+  if (!sent.ok()) {
+    return sent.error();
+  }
+  return Read();
+}
+
+Result<Json> ServeClient::SubmitJob(const Json& job) {
+  Json request = Json::MakeObject();
+  request.Set("type", Json::MakeString("submit"));
+  request.Set("job", job);
+  Result<bool> sent = Send(request);
+  if (!sent.ok()) {
+    return sent.error();
+  }
+  while (true) {
+    Result<Json> frame = Read();
+    if (!frame.ok()) {
+      return frame.error();
+    }
+    const Json* type = frame.value().Find("type");
+    if (type == nullptr || !type->is_string()) {
+      return Error{"server sent a frame without a type"};
+    }
+    if (type->AsString() == "accepted") {
+      continue;  // progress, not the terminal frame
+    }
+    if (type->AsString() == "result" || type->AsString() == "error") {
+      return frame;
+    }
+    return Error{"unexpected frame type '" + type->AsString() + "' for a submission"};
+  }
+}
+
+Result<Json> ServeClient::Stats() {
+  Json request = Json::MakeObject();
+  request.Set("type", Json::MakeString("stats"));
+  return Call(request);
+}
+
+Result<Json> ServeClient::Ping() {
+  Json request = Json::MakeObject();
+  request.Set("type", Json::MakeString("ping"));
+  return Call(request);
+}
+
+Result<Json> ServeClient::Reload(const Json& defaults_patch, const Json& quotas_patch) {
+  Json request = Json::MakeObject();
+  request.Set("type", Json::MakeString("reload"));
+  if (defaults_patch.is_object()) {
+    request.Set("defaults", defaults_patch);
+  }
+  if (quotas_patch.is_object()) {
+    request.Set("quotas", quotas_patch);
+  }
+  return Call(request);
+}
+
+int ServeClient::ExitCodeFor(const Json& terminal_frame) {
+  const Json* type = terminal_frame.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return kServeProtocolExitCode;
+  }
+  if (type->AsString() == "result") {
+    const Json* job = terminal_frame.Find("job");
+    const Json* exit_code = job != nullptr ? job->Find("exit_code") : nullptr;
+    return exit_code != nullptr && exit_code->is_int() ? static_cast<int>(exit_code->AsInt())
+                                                       : kServeProtocolExitCode;
+  }
+  if (type->AsString() == "error") {
+    const Json* code = terminal_frame.Find("code");
+    if (code != nullptr && code->is_string()) {
+      if (const std::optional<ServeErrorCode> parsed = ParseServeErrorCode(code->AsString());
+          parsed.has_value()) {
+        return ServeErrorExitCode(*parsed);
+      }
+    }
+  }
+  return kServeProtocolExitCode;
+}
+
+}  // namespace secpol

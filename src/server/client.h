@@ -1,0 +1,58 @@
+// ServeClient: the client half of the serve protocol, shared by
+// `secpol submit`, the scenario runner's daemon oracle, the fuzzer, and the
+// tests. One blocking connection; requests go out as frames, responses come
+// back as parsed JSON.
+
+#ifndef SECPOL_SRC_SERVER_CLIENT_H_
+#define SECPOL_SRC_SERVER_CLIENT_H_
+
+#include <string>
+#include <utility>
+
+#include "src/server/protocol.h"
+#include "src/server/socket.h"
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace secpol {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  explicit ServeClient(Fd fd) : fd_(std::move(fd)) {}
+
+  static Result<ServeClient> ConnectUnixPath(const std::string& path);
+  static Result<ServeClient> ConnectTcpPort(int port);
+
+  bool valid() const { return fd_.valid(); }
+  Fd& fd() { return fd_; }
+
+  // One frame out / one frame in. Errors are transport-level ("connection
+  // closed" when the server hung up); protocol error *frames* come back as
+  // ordinary values — the caller inspects "type".
+  Result<bool> Send(const Json& frame);
+  Result<Json> Read();
+  Result<Json> Call(const Json& request);
+
+  // Submits one manifest-vocabulary job object and returns its terminal
+  // frame: the "result" frame on success (skipping the "accepted" frame),
+  // or the "error" frame the submission was refused with.
+  Result<Json> SubmitJob(const Json& job);
+
+  // Convenience wrappers over Call().
+  Result<Json> Stats();
+  Result<Json> Ping();
+  Result<Json> Reload(const Json& defaults_patch, const Json& quotas_patch);
+
+  // Maps a terminal frame to the `secpol submit` exit code: a result
+  // frame's job exit_code, an error frame's ServeErrorExitCode, and the
+  // protocol exit code for anything unrecognized.
+  static int ExitCodeFor(const Json& terminal_frame);
+
+ private:
+  Fd fd_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SERVER_CLIENT_H_

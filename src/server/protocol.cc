@@ -1,0 +1,263 @@
+#include "src/server/protocol.h"
+
+#include <utility>
+
+#include "src/server/socket.h"
+
+namespace secpol {
+
+namespace {
+
+struct CodeName {
+  ServeErrorCode code;
+  const char* name;
+};
+
+constexpr CodeName kCodeNames[] = {
+    {ServeErrorCode::kMalformedFrame, "malformed-frame"},
+    {ServeErrorCode::kOversizedFrame, "oversized-frame"},
+    {ServeErrorCode::kBadJson, "bad-json"},
+    {ServeErrorCode::kTooDeep, "too-deep"},
+    {ServeErrorCode::kBadRequest, "bad-request"},
+    {ServeErrorCode::kOverQuota, "over-quota"},
+    {ServeErrorCode::kShuttingDown, "shutting-down"},
+};
+
+}  // namespace
+
+std::string ServeErrorCodeName(ServeErrorCode code) {
+  for (const CodeName& entry : kCodeNames) {
+    if (entry.code == code) {
+      return entry.name;
+    }
+  }
+  return "?";
+}
+
+std::optional<ServeErrorCode> ParseServeErrorCode(const std::string& name) {
+  for (const CodeName& entry : kCodeNames) {
+    if (name == entry.name) {
+      return entry.code;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ServeErrorClosesConnection(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kMalformedFrame:
+    case ServeErrorCode::kOversizedFrame:
+    case ServeErrorCode::kBadJson:
+    case ServeErrorCode::kTooDeep:
+      return true;
+    case ServeErrorCode::kBadRequest:
+    case ServeErrorCode::kOverQuota:
+    case ServeErrorCode::kShuttingDown:
+      return false;
+  }
+  return true;
+}
+
+int ServeErrorExitCode(ServeErrorCode code) {
+  switch (code) {
+    // Admission-class rejections share batch's "rejected" code: the job was
+    // understood and refused, exactly like an over-bound batch submission.
+    case ServeErrorCode::kOverQuota:
+    case ServeErrorCode::kShuttingDown:
+      return 5;
+    case ServeErrorCode::kMalformedFrame:
+    case ServeErrorCode::kOversizedFrame:
+    case ServeErrorCode::kBadJson:
+    case ServeErrorCode::kTooDeep:
+    case ServeErrorCode::kBadRequest:
+      return kServeProtocolExitCode;
+  }
+  return kServeProtocolExitCode;
+}
+
+std::string EncodeFrameText(const std::string& payload_text) {
+  const std::size_t size = payload_text.size();
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + size);
+  frame.push_back(static_cast<char>((size >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((size >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((size >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(size & 0xFF));
+  frame += payload_text;
+  return frame;
+}
+
+std::string EncodeFrame(const Json& payload) { return EncodeFrameText(payload.Serialize()); }
+
+FrameReadStatus ReadFrameText(int fd, std::size_t max_payload_bytes, std::string* payload,
+                              std::string* error) {
+  unsigned char header[kFrameHeaderBytes];
+  switch (RecvExact(fd, header, sizeof(header), error)) {
+    case IoStatus::kOk:
+      break;
+    case IoStatus::kEof:
+      return FrameReadStatus::kEof;
+    case IoStatus::kError:
+      // A partial header is a framing violation, not a transport glitch.
+      return error != nullptr && error->rfind("peer closed mid-frame", 0) == 0
+                 ? FrameReadStatus::kMalformed
+                 : FrameReadStatus::kTransport;
+  }
+  const std::size_t size = (static_cast<std::size_t>(header[0]) << 24) |
+                           (static_cast<std::size_t>(header[1]) << 16) |
+                           (static_cast<std::size_t>(header[2]) << 8) |
+                           static_cast<std::size_t>(header[3]);
+  if (size == 0) {
+    if (error != nullptr) {
+      *error = "zero-length frame";
+    }
+    return FrameReadStatus::kMalformed;
+  }
+  if (size > max_payload_bytes || size > kFrameAbsoluteMaxBytes) {
+    if (error != nullptr) {
+      *error = "declared frame length " + std::to_string(size) + " exceeds the " +
+               std::to_string(max_payload_bytes) + "-byte cap";
+    }
+    return FrameReadStatus::kOversized;
+  }
+  payload->resize(size);
+  switch (RecvExact(fd, payload->data(), size, error)) {
+    case IoStatus::kOk:
+      return FrameReadStatus::kFrame;
+    case IoStatus::kEof:
+    case IoStatus::kError:
+      if (error != nullptr && error->empty()) {
+        *error = "payload truncated";
+      }
+      return FrameReadStatus::kMalformed;
+  }
+  return FrameReadStatus::kTransport;
+}
+
+bool WriteFrame(int fd, const Json& payload, std::string* error) {
+  const std::string frame = EncodeFrame(payload);
+  return SendAll(fd, frame.data(), frame.size(), error);
+}
+
+Result<ServeRequest> ParseServeRequest(const Json& payload) {
+  if (!payload.is_object()) {
+    return Error{"request must be a JSON object"};
+  }
+  const Json* type = payload.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return Error{"request.type: expected a string"};
+  }
+  ServeRequest request;
+  const std::string& kind = type->AsString();
+  if (kind == "submit") {
+    request.kind = ServeRequestKind::kSubmit;
+    for (const auto& [key, value] : payload.Members()) {
+      if (key != "type" && key != "job") {
+        return Error{"submit: unknown member '" + key + "'"};
+      }
+    }
+    const Json* job = payload.Find("job");
+    if (job == nullptr || !job->is_object()) {
+      return Error{"submit.job: expected a job object"};
+    }
+    request.job = *job;
+    return request;
+  }
+  if (kind == "stats") {
+    request.kind = ServeRequestKind::kStats;
+    for (const auto& [key, value] : payload.Members()) {
+      if (key != "type") {
+        return Error{"stats: unknown member '" + key + "'"};
+      }
+    }
+    return request;
+  }
+  if (kind == "reload") {
+    request.kind = ServeRequestKind::kReload;
+    for (const auto& [key, value] : payload.Members()) {
+      if (key != "type" && key != "defaults" && key != "quotas") {
+        return Error{"reload: unknown member '" + key + "'"};
+      }
+    }
+    if (const Json* defaults = payload.Find("defaults"); defaults != nullptr) {
+      if (!defaults->is_object()) {
+        return Error{"reload.defaults: expected an object"};
+      }
+      request.defaults = *defaults;
+    }
+    if (const Json* quotas = payload.Find("quotas"); quotas != nullptr) {
+      if (!quotas->is_object()) {
+        return Error{"reload.quotas: expected an object"};
+      }
+      request.quotas = *quotas;
+    }
+    if (request.defaults.is_null() && request.quotas.is_null()) {
+      return Error{"reload: needs \"defaults\" and/or \"quotas\""};
+    }
+    return request;
+  }
+  if (kind == "ping") {
+    request.kind = ServeRequestKind::kPing;
+    for (const auto& [key, value] : payload.Members()) {
+      if (key != "type") {
+        return Error{"ping: unknown member '" + key + "'"};
+      }
+    }
+    return request;
+  }
+  return Error{"unknown request type '" + kind + "'"};
+}
+
+Json MakeErrorFrame(ServeErrorCode code, const std::string& message, const std::string& id) {
+  Json frame = Json::MakeObject();
+  frame.Set("type", Json::MakeString("error"));
+  frame.Set("code", Json::MakeString(ServeErrorCodeName(code)));
+  frame.Set("message", Json::MakeString(message));
+  if (!id.empty()) {
+    frame.Set("id", Json::MakeString(id));
+  }
+  return frame;
+}
+
+Json MakeAcceptedFrame(const std::string& id, std::uint64_t seq, std::uint64_t epoch) {
+  Json frame = Json::MakeObject();
+  frame.Set("type", Json::MakeString("accepted"));
+  frame.Set("id", Json::MakeString(id));
+  frame.Set("seq", Json::MakeInt(static_cast<std::int64_t>(seq)));
+  frame.Set("epoch", Json::MakeInt(static_cast<std::int64_t>(epoch)));
+  return frame;
+}
+
+Json MakeResultFrame(const std::string& id, std::uint64_t seq, std::uint64_t epoch, Json job) {
+  Json frame = Json::MakeObject();
+  frame.Set("type", Json::MakeString("result"));
+  frame.Set("id", Json::MakeString(id));
+  frame.Set("seq", Json::MakeInt(static_cast<std::int64_t>(seq)));
+  frame.Set("epoch", Json::MakeInt(static_cast<std::int64_t>(epoch)));
+  frame.Set("job", std::move(job));
+  return frame;
+}
+
+Json MakePongFrame(std::uint64_t epoch) {
+  Json frame = Json::MakeObject();
+  frame.Set("type", Json::MakeString("pong"));
+  frame.Set("epoch", Json::MakeInt(static_cast<std::int64_t>(epoch)));
+  return frame;
+}
+
+Json MakeReloadOkFrame(std::uint64_t epoch) {
+  Json frame = Json::MakeObject();
+  frame.Set("type", Json::MakeString("reload-ok"));
+  frame.Set("epoch", Json::MakeInt(static_cast<std::int64_t>(epoch)));
+  return frame;
+}
+
+Json MakeStatsFrame(Json server, Json metrics) {
+  Json frame = Json::MakeObject();
+  frame.Set("type", Json::MakeString("stats"));
+  frame.Set("server", std::move(server));
+  frame.Set("metrics", std::move(metrics));
+  return frame;
+}
+
+}  // namespace secpol

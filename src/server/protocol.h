@@ -1,0 +1,121 @@
+// The serve daemon's wire protocol: length-prefixed JSON frames.
+//
+// Every frame is a 4-byte big-endian payload length followed by exactly that
+// many bytes of UTF-8 JSON (one object per frame). Requests and responses
+// share the framing; the "type" member names the frame kind:
+//
+//   client -> server                  server -> client
+//   {"type":"submit","job":{...}}     {"type":"accepted","id":...,"seq":N,"epoch":E}
+//   {"type":"stats"}                  {"type":"result","id":...,"seq":N,"epoch":E,"job":{...}}
+//   {"type":"reload","defaults":{..}, {"type":"stats","server":{...},"metrics":{...}}
+//            "quotas":{...}}          {"type":"reload-ok","epoch":E}
+//   {"type":"ping"}                   {"type":"pong","epoch":E}
+//                                     {"type":"error","code":"...","message":"..."[,"id":...]}
+//
+// Submission payloads are untrusted input crossing a trust boundary (the
+// paper's adversary supplies the computation); parsing is therefore strict
+// and resource-bounded: a declared length over the frame cap, a JSON
+// document over the nesting-depth cap, a syntax error, or an unknown /
+// ill-typed request all fail closed with a typed error frame carrying a
+// distinct ServeErrorCode — and framing-level failures additionally close
+// the connection, because a stream whose framing lied cannot be resynced.
+// Sibling connections are never affected.
+//
+// The "job" object of submit frames speaks the exact batch-manifest job
+// vocabulary (src/service/manifest.h), so a manifest job, a CLI submit and
+// a fuzzer-generated job all validate through one code path.
+
+#ifndef SECPOL_SRC_SERVER_PROTOCOL_H_
+#define SECPOL_SRC_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace secpol {
+
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+// Hard ceiling on the configurable per-frame payload cap (the config default
+// is much smaller). Keeps a hostile 4-GiB length prefix from ever turning
+// into an allocation.
+inline constexpr std::size_t kFrameAbsoluteMaxBytes = 64u << 20;
+
+// Typed protocol failures. Names (ServeErrorCodeName) are wire-contractual:
+// they appear in error frames' "code" member and in client exit paths.
+enum class ServeErrorCode {
+  kMalformedFrame,  // framing broken: zero length, or a truncated payload
+  kOversizedFrame,  // declared payload length exceeds the frame cap
+  kBadJson,         // payload is not syntactically valid JSON
+  kTooDeep,         // payload exceeds the JSON nesting-depth cap
+  kBadRequest,      // valid JSON but not a valid request object
+  kOverQuota,       // the client's admission quota is exhausted
+  kShuttingDown,    // the daemon is draining; no new admissions
+};
+
+std::string ServeErrorCodeName(ServeErrorCode code);
+std::optional<ServeErrorCode> ParseServeErrorCode(const std::string& name);
+
+// Whether the connection is closed after answering with this error. Framing
+// and parse-level failures are fatal to the stream; request-level ones
+// (quota, drain, bad request object) leave it usable.
+bool ServeErrorClosesConnection(ServeErrorCode code);
+
+// The `secpol submit` exit-code vocabulary extends batch's per-job codes
+// (0 ok .. 5 rejected) with one value for transport/protocol failures.
+inline constexpr int kServeProtocolExitCode = 6;
+int ServeErrorExitCode(ServeErrorCode code);
+
+// --- Framing ---
+
+// Serializes `payload` as one frame (header + compact JSON).
+std::string EncodeFrame(const Json& payload);
+std::string EncodeFrameText(const std::string& payload_text);
+
+enum class FrameReadStatus {
+  kFrame,      // *payload holds one complete payload
+  kEof,        // peer closed cleanly at a frame boundary
+  kMalformed,  // zero-length frame or payload truncated mid-frame
+  kOversized,  // declared length exceeds max_payload_bytes
+  kTransport,  // socket error
+};
+
+// Blocking read of one frame's payload bytes from `fd`.
+FrameReadStatus ReadFrameText(int fd, std::size_t max_payload_bytes, std::string* payload,
+                              std::string* error);
+
+// Blocking write of one frame. False on transport failure.
+bool WriteFrame(int fd, const Json& payload, std::string* error);
+
+// --- Requests ---
+
+enum class ServeRequestKind { kSubmit, kStats, kReload, kPing };
+
+struct ServeRequest {
+  ServeRequestKind kind = ServeRequestKind::kPing;
+  Json job;       // kSubmit: the manifest-vocabulary job object
+  Json defaults;  // kReload: job-field defaults patch (may be null)
+  Json quotas;    // kReload: quota patch (may be null)
+};
+
+// Strictly validates a parsed frame payload as a request: top-level object,
+// known "type", no unknown members, correctly typed fields. Failures are
+// kBadRequest-grade errors with messages naming the offending member.
+Result<ServeRequest> ParseServeRequest(const Json& payload);
+
+// --- Response builders (the server side of the vocabulary) ---
+
+Json MakeErrorFrame(ServeErrorCode code, const std::string& message, const std::string& id = "");
+Json MakeAcceptedFrame(const std::string& id, std::uint64_t seq, std::uint64_t epoch);
+Json MakeResultFrame(const std::string& id, std::uint64_t seq, std::uint64_t epoch, Json job);
+Json MakePongFrame(std::uint64_t epoch);
+Json MakeReloadOkFrame(std::uint64_t epoch);
+Json MakeStatsFrame(Json server, Json metrics);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SERVER_PROTOCOL_H_

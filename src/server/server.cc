@@ -1,0 +1,572 @@
+#include "src/server/server.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/service/manifest.h"
+#include "src/util/thread_pool.h"
+
+namespace secpol {
+
+// One client connection: its descriptor, its reader thread, and the state
+// the admission layer charges against it. The write mutex serializes result
+// frames (from workers) with control responses (from the reader thread).
+struct CheckServer::Session {
+  Fd fd;
+  std::uint64_t id = 0;
+  std::thread thread;
+
+  std::mutex write_mu;
+  bool write_broken = false;
+
+  // Queued + running submissions charged to this connection.
+  std::atomic<int> inflight{0};
+  // Per-client submission index; the fairness comparator's second key.
+  std::uint64_t client_seq = 0;  // touched only by the reader thread
+  std::atomic<bool> open{true};
+
+  bool SendFrame(const Json& frame) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (write_broken) {
+      return false;
+    }
+    std::string error;
+    if (!WriteFrame(fd.get(), frame, &error)) {
+      // A dead peer is not an event worth more than remembering: its queued
+      // results are dropped (the cache already kept the work) and the
+      // reader thread will see EOF on its own.
+      write_broken = true;
+      return false;
+    }
+    return true;
+  }
+};
+
+struct CheckServer::QueuedJob {
+  CheckJobSpec spec;
+  // The policy snapshot the job was admitted under. Reload swaps the
+  // server's pointer, never this one — that is the whole no-re-policy
+  // guarantee.
+  std::shared_ptr<const ServerPolicy> policy;
+  std::weak_ptr<Session> session;
+  std::uint64_t seq = 0;
+  std::uint64_t client_seq = 0;
+  int priority = 0;
+};
+
+namespace {
+
+// Heap precedence: priority desc, then per-client seq asc (clients at equal
+// priority interleave round-robin-ish), then global arrival asc. Total
+// order (seq is unique), so dispatch is deterministic given arrival order.
+bool LowerPrecedence(const std::unique_ptr<CheckServer::QueuedJob>& a,
+                     const std::unique_ptr<CheckServer::QueuedJob>& b) {
+  if (a->priority != b->priority) {
+    return a->priority < b->priority;
+  }
+  if (a->client_seq != b->client_seq) {
+    return a->client_seq > b->client_seq;
+  }
+  return a->seq > b->seq;
+}
+
+std::string JobIdOf(const Json& job) {
+  const Json* id = job.Find("id");
+  return id != nullptr && id->is_string() ? id->AsString() : "";
+}
+
+}  // namespace
+
+CheckServer::CheckServer(ServerConfig config)
+    : config_(std::move(config)), cache_(config_.cache_capacity, config_.cache_shards) {
+  obs_ = config_.obs;
+  if (obs_.metrics == nullptr) {
+    own_metrics_ = std::make_unique<MetricsRegistry>();
+    obs_.metrics = own_metrics_.get();
+  }
+  cache_.AttachObs(obs_);
+  job_wall_us_ = obs_.metrics->GetHistogram("server.job_wall_us");
+
+  auto policy = std::make_shared<ServerPolicy>();
+  policy->epoch = 1;
+  policy->defaults = config_.defaults;
+  policy->quotas = config_.quotas;
+  policy->quotas.max_frame_bytes =
+      std::min(policy->quotas.max_frame_bytes, kFrameAbsoluteMaxBytes);
+  policy_ = std::move(policy);
+}
+
+CheckServer::~CheckServer() { Shutdown(); }
+
+Result<bool> CheckServer::Start() {
+  if (started_.exchange(true)) {
+    return Error{"server already started"};
+  }
+  if (config_.unix_path.empty() && config_.tcp_port < 0) {
+    return Error{"serve: no listener configured (need a unix path and/or a tcp port)"};
+  }
+  if (!config_.unix_path.empty()) {
+    Result<Fd> listener = ListenUnix(config_.unix_path);
+    if (!listener.ok()) {
+      return listener.error();
+    }
+    unix_listener_ = std::move(listener).value();
+  }
+  if (config_.tcp_port >= 0) {
+    Result<Fd> listener = ListenTcp(config_.tcp_port, &bound_tcp_port_);
+    if (!listener.ok()) {
+      return listener.error();
+    }
+    tcp_listener_ = std::move(listener).value();
+  }
+
+  const int workers = config_.concurrency == 0 ? ThreadPool::HardwareThreads()
+                                               : std::max(config_.concurrency, 1);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (unix_listener_.valid()) {
+    accept_threads_.emplace_back([this] { AcceptLoop(unix_listener_); });
+  }
+  if (tcp_listener_.valid()) {
+    accept_threads_.emplace_back([this] { AcceptLoop(tcp_listener_); });
+  }
+  return true;
+}
+
+void CheckServer::RequestDrain() { draining_.store(true, std::memory_order_relaxed); }
+
+void CheckServer::Shutdown() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  RequestDrain();
+
+  // Wake the accept threads; no new connections from here on.
+  unix_listener_.ShutdownBoth();
+  tcp_listener_.ShutdownBoth();
+  for (std::thread& thread : accept_threads_) {
+    thread.join();
+  }
+  accept_threads_.clear();
+
+  // Drain barrier: every reserved/queued/running job completes and its
+  // result frame is sent (or its client found dead) before workers stop.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drained_cv_.wait(lock, [this] { return active_jobs_ == 0; });
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& thread : workers_) {
+    thread.join();
+  }
+  workers_.clear();
+
+  // Wake any reader blocked in recv, then join the session threads.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (const std::shared_ptr<Session>& session : sessions) {
+    session->fd.ShutdownBoth();
+  }
+  for (const std::shared_ptr<Session>& session : sessions) {
+    if (session->thread.joinable()) {
+      session->thread.join();
+    }
+  }
+
+  unix_listener_.Reset();
+  tcp_listener_.Reset();
+  if (!config_.unix_path.empty()) {
+    ::unlink(config_.unix_path.c_str());
+  }
+}
+
+std::shared_ptr<const ServerPolicy> CheckServer::policy() const {
+  std::lock_guard<std::mutex> lock(policy_mu_);
+  return policy_;
+}
+
+Result<std::uint64_t> CheckServer::Reload(const Json& defaults_patch, const Json& quotas_patch) {
+  std::lock_guard<std::mutex> lock(policy_mu_);
+  ServerPolicy next = *policy_;
+  if (defaults_patch.is_object()) {
+    Result<bool> applied =
+        ApplyManifestJobFields(defaults_patch, "reload.defaults", &next.defaults);
+    if (!applied.ok()) {
+      return applied.error();
+    }
+  }
+  if (quotas_patch.is_object()) {
+    for (const auto& [key, value] : quotas_patch.Members()) {
+      if (key != "max_inflight_per_client" && key != "max_frame_bytes" &&
+          key != "max_json_depth") {
+        return Error{"reload.quotas: unknown key '" + key + "'"};
+      }
+      if (!value.is_int()) {
+        return Error{"reload.quotas." + key + ": expected an integer"};
+      }
+    }
+    if (const Json* inflight = quotas_patch.Find("max_inflight_per_client");
+        inflight != nullptr) {
+      if (inflight->AsInt() < 1) {
+        return Error{"reload.quotas.max_inflight_per_client: must be >= 1"};
+      }
+      next.quotas.max_inflight_per_client = static_cast<int>(inflight->AsInt());
+    }
+    if (const Json* bytes = quotas_patch.Find("max_frame_bytes"); bytes != nullptr) {
+      if (bytes->AsInt() < 1 ||
+          static_cast<std::size_t>(bytes->AsInt()) > kFrameAbsoluteMaxBytes) {
+        return Error{"reload.quotas.max_frame_bytes: must be in [1, " +
+                     std::to_string(kFrameAbsoluteMaxBytes) + "]"};
+      }
+      next.quotas.max_frame_bytes = static_cast<std::size_t>(bytes->AsInt());
+    }
+    if (const Json* depth = quotas_patch.Find("max_json_depth"); depth != nullptr) {
+      if (depth->AsInt() < 0) {
+        return Error{"reload.quotas.max_json_depth: must be >= 0 (0 = unlimited)"};
+      }
+      next.quotas.max_json_depth = static_cast<int>(depth->AsInt());
+    }
+  }
+  next.epoch = policy_->epoch + 1;
+  policy_ = std::make_shared<const ServerPolicy>(std::move(next));
+  counters_.reloads.fetch_add(1, std::memory_order_relaxed);
+  return policy_->epoch;
+}
+
+Json CheckServer::StatsJson() const {
+  const auto load = [](const std::atomic<std::uint64_t>& counter) {
+    return Json::MakeInt(static_cast<std::int64_t>(counter.load(std::memory_order_relaxed)));
+  };
+  Json server = Json::MakeObject();
+  {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    server.Set("epoch", Json::MakeInt(static_cast<std::int64_t>(policy_->epoch)));
+  }
+  server.Set("draining", Json::MakeBool(draining()));
+
+  Json connections = Json::MakeObject();
+  connections.Set("accepted", load(counters_.connections_accepted));
+  connections.Set("active", load(counters_.connections_active));
+  server.Set("connections", std::move(connections));
+
+  Json jobs = Json::MakeObject();
+  jobs.Set("submitted", load(counters_.submitted));
+  jobs.Set("admitted", load(counters_.admitted));
+  jobs.Set("completed", load(counters_.completed));
+  jobs.Set("invalid", load(counters_.invalid));
+  jobs.Set("deadline_exceeded", load(counters_.deadline_exceeded));
+  jobs.Set("aborted", load(counters_.aborted));
+  jobs.Set("cache_hits", load(counters_.cache_hits));
+  jobs.Set("executed", load(counters_.executed));
+  jobs.Set("rejected_quota", load(counters_.rejected_quota));
+  jobs.Set("rejected_draining", load(counters_.rejected_draining));
+  jobs.Set("protocol_errors", load(counters_.protocol_errors));
+  server.Set("jobs", std::move(jobs));
+
+  const CacheStats cache_stats = cache_.Stats();
+  Json cache = Json::MakeObject();
+  cache.Set("hits", Json::MakeInt(static_cast<std::int64_t>(cache_stats.hits)));
+  cache.Set("misses", Json::MakeInt(static_cast<std::int64_t>(cache_stats.misses)));
+  cache.Set("insertions", Json::MakeInt(static_cast<std::int64_t>(cache_stats.insertions)));
+  cache.Set("evictions", Json::MakeInt(static_cast<std::int64_t>(cache_stats.evictions)));
+  cache.Set("entries", Json::MakeInt(static_cast<std::int64_t>(cache_stats.entries)));
+  server.Set("cache", std::move(cache));
+
+  server.Set("reloads", load(counters_.reloads));
+  return server;
+}
+
+Json CheckServer::MetricsJson() const { return obs_.metrics->Snapshot(); }
+
+void CheckServer::AcceptLoop(const Fd& listener) {
+  while (true) {
+    Fd connection;
+    std::string error;
+    const IoStatus status = Accept(listener, &connection, &error);
+    if (status == IoStatus::kEof) {
+      return;  // listener shut down
+    }
+    if (status == IoStatus::kError) {
+      if (stopped_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      continue;  // one failed accept must not kill the daemon
+    }
+    auto session = std::make_shared<Session>();
+    session->fd = std::move(connection);
+    session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      ReapClosedSessionsLocked();
+      sessions_.push_back(session);
+    }
+    session->thread = std::thread([this, session] { ServeSession(session); });
+  }
+}
+
+void CheckServer::ReapClosedSessionsLocked() {
+  auto end = sessions_.end();
+  for (auto it = sessions_.begin(); it != end;) {
+    if (!(*it)->open.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) {
+        (*it)->thread.join();
+      }
+      --end;
+      std::iter_swap(it, end);
+    } else {
+      ++it;
+    }
+  }
+  sessions_.erase(end, sessions_.end());
+}
+
+void CheckServer::ServeSession(const std::shared_ptr<Session>& session) {
+  while (true) {
+    const std::shared_ptr<const ServerPolicy> policy = this->policy();
+    std::string payload;
+    std::string error;
+    const FrameReadStatus status =
+        ReadFrameText(session->fd.get(), policy->quotas.max_frame_bytes, &payload, &error);
+    if (status == FrameReadStatus::kEof || status == FrameReadStatus::kTransport) {
+      break;
+    }
+    if (status == FrameReadStatus::kMalformed) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      session->SendFrame(MakeErrorFrame(ServeErrorCode::kMalformedFrame, error));
+      break;
+    }
+    if (status == FrameReadStatus::kOversized) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      session->SendFrame(MakeErrorFrame(ServeErrorCode::kOversizedFrame, error));
+      break;
+    }
+
+    Json::Limits limits;
+    limits.max_depth = policy->quotas.max_json_depth;
+    limits.max_bytes = 0;  // framing already bounded the byte count
+    Result<Json> document = Json::Parse(payload, limits);
+    if (!document.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      const ServeErrorCode code = ClassifyJsonLimit(document.error()) == JsonLimitViolation::kTooDeep
+                                      ? ServeErrorCode::kTooDeep
+                                      : ServeErrorCode::kBadJson;
+      session->SendFrame(MakeErrorFrame(code, document.error().ToString()));
+      break;
+    }
+
+    Result<ServeRequest> request = ParseServeRequest(document.value());
+    if (!request.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      session->SendFrame(
+          MakeErrorFrame(ServeErrorCode::kBadRequest, request.error().message));
+      continue;  // the stream is intact; only this request was bad
+    }
+
+    switch (request.value().kind) {
+      case ServeRequestKind::kPing:
+        session->SendFrame(MakePongFrame(policy->epoch));
+        break;
+      case ServeRequestKind::kStats:
+        session->SendFrame(MakeStatsFrame(StatsJson(), MetricsJson()));
+        break;
+      case ServeRequestKind::kReload: {
+        Result<std::uint64_t> epoch =
+            Reload(request.value().defaults, request.value().quotas);
+        if (!epoch.ok()) {
+          counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          session->SendFrame(
+              MakeErrorFrame(ServeErrorCode::kBadRequest, epoch.error().message));
+        } else {
+          session->SendFrame(MakeReloadOkFrame(epoch.value()));
+        }
+        break;
+      }
+      case ServeRequestKind::kSubmit:
+        HandleSubmit(session, policy, request.value().job);
+        break;
+    }
+  }
+
+  session->fd.ShutdownBoth();
+  counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  session->open.store(false, std::memory_order_release);
+}
+
+void CheckServer::HandleSubmit(const std::shared_ptr<Session>& session,
+                               const std::shared_ptr<const ServerPolicy>& policy,
+                               const Json& job) {
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  const std::string frame_id = JobIdOf(job);
+
+  // Quota first: a greedy client is told "over quota" even while the daemon
+  // drains, because that is the error it can act on.
+  if (session->inflight.load(std::memory_order_relaxed) >=
+      policy->quotas.max_inflight_per_client) {
+    counters_.rejected_quota.fetch_add(1, std::memory_order_relaxed);
+    session->SendFrame(MakeErrorFrame(
+        ServeErrorCode::kOverQuota,
+        "client has " + std::to_string(session->inflight.load(std::memory_order_relaxed)) +
+            " submissions in flight (quota " +
+            std::to_string(policy->quotas.max_inflight_per_client) + ")",
+        frame_id));
+    return;
+  }
+
+  // Reserve an admission slot atomically with the drain check: once the
+  // drain barrier observed active_jobs_ == 0, no submission can slip in.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining()) {
+      counters_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+      session->SendFrame(MakeErrorFrame(ServeErrorCode::kShuttingDown,
+                                        "daemon is draining; no new submissions", frame_id));
+      return;
+    }
+    ++active_jobs_;
+  }
+  session->inflight.fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t client_seq = ++session->client_seq;
+
+  CheckJobSpec spec = policy->defaults;
+  Result<bool> applied = ApplyManifestJobFields(job, "submit.job", &spec);
+  if (spec.id.empty()) {
+    spec.id = "job-" + std::to_string(seq);
+  }
+  session->SendFrame(MakeAcceptedFrame(spec.id, seq, policy->epoch));
+
+  if (!applied.ok()) {
+    // Manifest-grade strictness, batch-grade shape: a job whose fields do
+    // not validate is answered with the same kInvalid result object a batch
+    // report would carry, not a protocol error.
+    counters_.invalid.fetch_add(1, std::memory_order_relaxed);
+    JobResult invalid;
+    invalid.id = spec.id;
+    invalid.status = JobStatus::kInvalid;
+    invalid.exit_code = 1;
+    invalid.error = applied.error().message;
+    session->SendFrame(MakeResultFrame(spec.id, seq, policy->epoch, JobResultToJson(invalid)));
+    session->inflight.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (--active_jobs_ == 0) {
+      drained_cv_.notify_all();
+    }
+    return;
+  }
+
+  counters_.admitted.fetch_add(1, std::memory_order_relaxed);
+  auto queued = std::make_unique<QueuedJob>();
+  queued->spec = std::move(spec);
+  queued->policy = policy;
+  queued->session = session;
+  queued->seq = seq;
+  queued->client_seq = client_seq;
+  queued->priority = queued->spec.priority;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(queued));
+    std::push_heap(queue_.begin(), queue_.end(), LowerPrecedence);
+  }
+  queue_cv_.notify_one();
+}
+
+void CheckServer::WorkerLoop() {
+  while (true) {
+    std::unique_ptr<QueuedJob> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return queue_closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // closed and drained
+      }
+      std::pop_heap(queue_.begin(), queue_.end(), LowerPrecedence);
+      job = std::move(queue_.back());
+      queue_.pop_back();
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const JobResult result = RunServerJob(job->spec);
+    job_wall_us_->Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+
+    if (const std::shared_ptr<Session> session = job->session.lock()) {
+      session->SendFrame(
+          MakeResultFrame(result.id, job->seq, job->policy->epoch, JobResultToJson(result)));
+      session->inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (--active_jobs_ == 0) {
+        drained_cv_.notify_all();
+      }
+    }
+  }
+}
+
+JobResult CheckServer::RunServerJob(const CheckJobSpec& spec) {
+  Result<PreparedJob> prepared = PrepareJob(spec);
+  if (!prepared.ok()) {
+    counters_.invalid.fetch_add(1, std::memory_order_relaxed);
+    JobResult invalid;
+    invalid.id = spec.id;
+    invalid.status = JobStatus::kInvalid;
+    invalid.exit_code = 1;
+    invalid.error = prepared.error().message;
+    return invalid;
+  }
+  const PreparedJob& job = prepared.value();
+  JobResult slot;
+  if (std::optional<CachedResult> hit = cache_.Lookup(job.key); hit.has_value()) {
+    counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    slot.id = spec.id;
+    slot.status = JobStatus::kCompleted;
+    slot.from_cache = true;
+    slot.report = std::move(hit->report);
+    slot.exit_code = hit->exit_code;
+    slot.evaluated = hit->evaluated;
+    slot.total = hit->total;
+    slot.cache_key = job.key.ToHex();
+  } else {
+    slot = RunPreparedJob(spec, job, obs_);
+    counters_.executed.fetch_add(1, std::memory_order_relaxed);
+    if (slot.status == JobStatus::kCompleted) {
+      CachedResult value;
+      value.report = slot.report;
+      value.exit_code = slot.exit_code;
+      value.evaluated = slot.evaluated;
+      value.total = slot.total;
+      cache_.Insert(job.key, std::move(value));
+    }
+  }
+  switch (slot.status) {
+    case JobStatus::kCompleted:
+      counters_.completed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::kDeadlineExceeded:
+      counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::kAborted:
+      counters_.aborted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::kRejected:
+    case JobStatus::kInvalid:
+      break;
+  }
+  return slot;
+}
+
+}  // namespace secpol

@@ -1,0 +1,207 @@
+// CheckServer: the persistent multi-tenant checking daemon behind
+// `secpol serve`.
+//
+// Where CheckService runs one batch and exits, CheckServer keeps one
+// content-addressed ResultCache and one MetricsRegistry hot across client
+// connections: a job submitted over connection A warms the cache for the
+// identical job over connection B, which is the paper's "checked once,
+// reused by millions" economics made literal. The layering:
+//
+//   socket.h    — listeners (unix + loopback TCP), blocking IO
+//   protocol.h  — frames, typed error codes, request validation
+//   server.h    — sessions, admission quotas, fair queue, policy epochs
+//
+// Three contracts the tests lock:
+//
+//   Byte identity.  A job's result frame carries exactly the JSON object
+//   that `secpol batch` would put in its report's "jobs" array for the same
+//   spec (JobResultToJson — one renderer, two transports). Deterministic
+//   fields (report, exit_code, status, evaluated, total, cache_key) are
+//   byte-identical; wall_ms and from_cache depend on timing/cache state by
+//   design.
+//
+//   Fail-closed isolation.  Every malformed frame, over-limit document or
+//   over-quota submission is answered with a typed error frame; sibling
+//   connections proceed untouched. A session can never wedge the daemon.
+//
+//   Epoch pinning.  The active policy (job-field defaults + quotas) is an
+//   immutable snapshot swapped atomically by reload. A job is pinned to the
+//   snapshot it was admitted under, so a reload never re-policies in-flight
+//   work; the epoch number in accepted/result frames makes the pinning
+//   observable. Graceful drain works the same way: admitted jobs complete,
+//   new submissions get a typed shutting-down rejection.
+
+#ifndef SECPOL_SRC_SERVER_SERVER_H_
+#define SECPOL_SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/obs.h"
+#include "src/server/protocol.h"
+#include "src/server/socket.h"
+#include "src/service/job.h"
+#include "src/service/result_cache.h"
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace secpol {
+
+// Per-client admission and resource quotas. Part of the reloadable policy.
+struct ServerQuotas {
+  // Submissions a single connection may have queued or running at once;
+  // the next one is answered with an over-quota error frame.
+  int max_inflight_per_client = 8;
+  // Per-frame payload cap (bytes). Clamped to kFrameAbsoluteMaxBytes.
+  std::size_t max_frame_bytes = 1 << 20;
+  // JSON nesting-depth cap for submitted documents.
+  int max_json_depth = 64;
+};
+
+// The immutable, atomically-swapped unit of reload. Sessions read the
+// current snapshot per request; submissions pin the snapshot they were
+// admitted under for their whole lifetime.
+struct ServerPolicy {
+  std::uint64_t epoch = 1;
+  CheckJobSpec defaults;  // base spec each submit's fields apply over
+  ServerQuotas quotas;
+};
+
+struct ServerConfig {
+  // Listeners: a unix-domain socket path, a loopback TCP port (0 picks an
+  // ephemeral port), or both. At least one must be configured.
+  std::string unix_path;
+  int tcp_port = -1;  // -1 = no TCP listener
+
+  int concurrency = 1;  // job worker threads (0 = hardware threads)
+  std::size_t cache_capacity = 1024;
+  int cache_shards = 8;
+
+  CheckJobSpec defaults;
+  ServerQuotas quotas;
+
+  // Forwarded to every job's checker and the cache. When obs.metrics is
+  // null the server owns a private registry (stats frames always have one).
+  ObsContext obs;
+};
+
+class CheckServer {
+ public:
+  // Implementation types, public so file-local helpers (the queue
+  // comparator) can name them; not part of the API surface.
+  struct Session;
+  struct QueuedJob;
+
+  explicit CheckServer(ServerConfig config);
+  ~CheckServer();  // implies Shutdown()
+
+  CheckServer(const CheckServer&) = delete;
+  CheckServer& operator=(const CheckServer&) = delete;
+
+  // Binds the configured listeners and spawns accept + worker threads.
+  Result<bool> Start();
+
+  // Stops admitting new submissions (typed shutting-down rejections);
+  // everything already admitted keeps running. Idempotent.
+  void RequestDrain();
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  // Graceful stop: drain, wait for every admitted job to complete and its
+  // result frame to be sent, then close listeners, sessions and workers.
+  // Idempotent; the destructor calls it.
+  void Shutdown();
+
+  // The bound TCP port (meaningful after Start() with tcp_port >= 0).
+  int tcp_port() const { return bound_tcp_port_; }
+  const std::string& unix_path() const { return config_.unix_path; }
+
+  // Current policy snapshot (what the next submission would be admitted
+  // under).
+  std::shared_ptr<const ServerPolicy> policy() const;
+
+  // Atomically installs a new policy: current snapshot + defaults patch
+  // (manifest job vocabulary) + quotas patch, epoch incremented. In-flight
+  // jobs are untouched. Returns the new epoch.
+  Result<std::uint64_t> Reload(const Json& defaults_patch, const Json& quotas_patch);
+
+  // The "server" object of stats frames: epoch, connection and job
+  // counters, cache stats, drain state.
+  Json StatsJson() const;
+  // MetricsRegistry::Snapshot() of the attached (or owned) registry.
+  Json MetricsJson() const;
+
+  ResultCache& cache() { return cache_; }
+  MetricsRegistry& metrics() { return *obs_.metrics; }
+
+ private:
+  void AcceptLoop(const Fd& listener);
+  void ServeSession(const std::shared_ptr<Session>& session);
+  void HandleSubmit(const std::shared_ptr<Session>& session,
+                    const std::shared_ptr<const ServerPolicy>& policy, const Json& job);
+  void WorkerLoop();
+  JobResult RunServerJob(const CheckJobSpec& spec);
+  void ReapClosedSessionsLocked();
+
+  ServerConfig config_;
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  ObsContext obs_;
+  ResultCache cache_;
+
+  mutable std::mutex policy_mu_;
+  std::shared_ptr<const ServerPolicy> policy_;
+
+  Fd unix_listener_;
+  Fd tcp_listener_;
+  int bound_tcp_port_ = -1;
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::atomic<std::uint64_t> next_session_id_{0};
+
+  // Fair job queue: ordered by (priority desc, per-client seq asc, global
+  // arrival asc), so equal-priority clients interleave instead of the first
+  // submitter monopolizing the workers.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::vector<std::unique_ptr<QueuedJob>> queue_;
+  bool queue_closed_ = false;
+  int active_jobs_ = 0;  // reserved + queued + running (drain barrier)
+  std::atomic<std::uint64_t> next_seq_{0};
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  // Daemon-lifetime counters surfaced by StatsJson().
+  struct Counters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_active{0};
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> invalid{0};
+    std::atomic<std::uint64_t> deadline_exceeded{0};
+    std::atomic<std::uint64_t> aborted{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> rejected_quota{0};
+    std::atomic<std::uint64_t> rejected_draining{0};
+    std::atomic<std::uint64_t> protocol_errors{0};  // framing/json/bad-request
+    std::atomic<std::uint64_t> reloads{0};
+  };
+  Counters counters_;
+  Histogram* job_wall_us_ = nullptr;  // resolved once at construction
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SERVER_SERVER_H_

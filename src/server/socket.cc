@@ -1,0 +1,206 @@
+#include "src/server/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace secpol {
+
+namespace {
+
+std::string Errno(const std::string& what) { return what + ": " + std::strerror(errno); }
+
+}  // namespace
+
+void Fd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Fd::ShutdownBoth() const {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+Result<Fd> ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Error{"unix socket path must be 1.." + std::to_string(sizeof(addr.sun_path) - 1) +
+                 " bytes, got " + std::to_string(path.size())};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Error{Errno("socket(AF_UNIX)")};
+  }
+  ::unlink(path.c_str());  // a stale socket file from a dead daemon
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Error{Errno("bind('" + path + "')")};
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    return Error{Errno("listen('" + path + "')")};
+  }
+  return fd;
+}
+
+Result<Fd> ListenTcp(int port, int* bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Error{Errno("socket(AF_INET)")};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Error{Errno("bind(127.0.0.1:" + std::to_string(port) + ")")};
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    return Error{Errno("listen(tcp)")};
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return Error{Errno("getsockname")};
+  }
+  if (bound_port != nullptr) {
+    *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  return fd;
+}
+
+Result<Fd> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Error{"unix socket path too long: " + path};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Error{Errno("socket(AF_UNIX)")};
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Error{Errno("connect('" + path + "')")};
+  }
+  return fd;
+}
+
+Result<Fd> ConnectTcp(int port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Error{Errno("socket(AF_INET)")};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Error{Errno("connect(127.0.0.1:" + std::to_string(port) + ")")};
+  }
+  return fd;
+}
+
+IoStatus Accept(const Fd& listener, Fd* connection, std::string* error) {
+  while (true) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      *connection = Fd(fd);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // EINVAL / EBADF: the listener was shut down or closed — a clean stop.
+    if (errno == EINVAL || errno == EBADF) {
+      return IoStatus::kEof;
+    }
+    if (error != nullptr) {
+      *error = Errno("accept");
+    }
+    return IoStatus::kError;
+  }
+}
+
+bool SendAll(int fd, const void* data, std::size_t size, std::string* error) {
+  const char* cursor = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t sent = ::send(fd, cursor, remaining, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (error != nullptr) {
+        *error = Errno("send");
+      }
+      return false;
+    }
+    cursor += sent;
+    remaining -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+IoStatus RecvExact(int fd, void* data, std::size_t size, std::string* error) {
+  char* cursor = static_cast<char*>(data);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t got = ::recv(fd, cursor + received, size - received, 0);
+    if (got > 0) {
+      received += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      if (received == 0) {
+        return IoStatus::kEof;  // clean close at a frame boundary
+      }
+      if (error != nullptr) {
+        *error = "peer closed mid-frame (" + std::to_string(received) + "/" +
+                 std::to_string(size) + " bytes)";
+      }
+      return IoStatus::kError;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (error != nullptr) {
+      *error = Errno("recv");
+    }
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+std::string UniqueSocketPath(const std::string& stem) {
+  static std::atomic<std::uint64_t> counter{0};
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = tmp != nullptr && *tmp != '\0' ? tmp : "/tmp";
+  if (!dir.empty() && dir.back() == '/') {
+    dir.pop_back();
+  }
+  std::string path = dir + "/secpol_" + stem + "_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter.fetch_add(1)) + ".sock";
+  // sun_path caps at ~107 bytes; an exotic TMPDIR falls back to /tmp.
+  if (path.size() >= 100) {
+    path = "/tmp/secpol_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".sock";
+  }
+  return path;
+}
+
+}  // namespace secpol

@@ -1,0 +1,81 @@
+// Thin POSIX socket layer for the serve daemon: RAII descriptors, unix /
+// loopback-TCP listeners and connectors, exact-count blocking IO, and a
+// wakeable poll so blocking reader threads can be drained without signals.
+//
+// Scope is deliberately small and Linux-flavored (the container target):
+// everything the protocol and server layers need, nothing more. All calls
+// are blocking; shutdown is cooperative via WakePipe + ::shutdown() on the
+// descriptor, never via thread cancellation.
+
+#ifndef SECPOL_SRC_SERVER_SOCKET_H_
+#define SECPOL_SRC_SERVER_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/util/result.h"
+
+namespace secpol {
+
+// RAII file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Reset();
+
+  // Half-close both directions: wakes any thread blocked in read()/accept()
+  // on this descriptor without racing the eventual close().
+  void ShutdownBoth() const;
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds + listens on a unix-domain socket at `path` (unlinking a stale
+// file first). Fails if `path` exceeds the sun_path limit (~107 bytes).
+Result<Fd> ListenUnix(const std::string& path);
+
+// Binds + listens on loopback TCP. `port` 0 picks an ephemeral port; the
+// bound port is written to *bound_port either way.
+Result<Fd> ListenTcp(int port, int* bound_port);
+
+Result<Fd> ConnectUnix(const std::string& path);
+Result<Fd> ConnectTcp(int port);
+
+// Accepts one connection; blocks. kEof means the listener was shut down.
+enum class IoStatus { kOk, kEof, kError };
+IoStatus Accept(const Fd& listener, Fd* connection, std::string* error);
+
+// Writes exactly `size` bytes (handles partial writes, suppresses SIGPIPE).
+bool SendAll(int fd, const void* data, std::size_t size, std::string* error);
+
+// Reads exactly `size` bytes. kEof only when the peer closed cleanly before
+// the *first* byte; a mid-buffer close is kError (a truncated frame).
+IoStatus RecvExact(int fd, void* data, std::size_t size, std::string* error);
+
+// A short, collision-free socket path in the system temp directory:
+// "<tmp>/secpol_<stem>_<pid>_<counter>.sock". sun_path caps at ~107 bytes,
+// so long test-temp directories are unsafe for sockets; this helper is what
+// tests and the scenario runner use instead.
+std::string UniqueSocketPath(const std::string& stem);
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SERVER_SOCKET_H_

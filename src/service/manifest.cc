@@ -68,9 +68,12 @@ Result<VarSet> VarSetField(const Json& object, const std::string& key,
   return out;
 }
 
-// Applies one job object's fields over `spec` (used for both "defaults" and
-// each entry of "jobs").
-Result<bool> ApplyJobFields(const Json& object, const std::string& where, CheckJobSpec* spec) {
+}  // namespace
+
+// Applies one job object's fields over `spec` (used for "defaults", each
+// entry of "jobs", and serve-daemon submit frames).
+Result<bool> ApplyManifestJobFields(const Json& object, const std::string& where,
+                                    CheckJobSpec* spec) {
   static const char* const kKnownKeys[] = {
       "id",        "checker",    "program",  "program_file", "allow",
       "allow2",    "mechanism",  "mechanism2", "grid",       "observe_time",
@@ -173,8 +176,6 @@ Result<bool> ApplyJobFields(const Json& object, const std::string& where, CheckJ
   return true;
 }
 
-}  // namespace
-
 Result<BatchManifest> ParseBatchManifest(const std::string& text) {
   Result<Json> doc = Json::Parse(text);
   if (!doc.ok()) {
@@ -246,7 +247,7 @@ Result<BatchManifest> ParseBatchManifest(const std::string& text) {
     if (!default_fields->is_object()) {
       return Error{"manifest.defaults: expected an object"};
     }
-    Result<bool> applied = ApplyJobFields(*default_fields, "manifest.defaults", &defaults);
+    Result<bool> applied = ApplyManifestJobFields(*default_fields, "manifest.defaults", &defaults);
     if (!applied.ok()) return applied.error();
   }
 
@@ -261,7 +262,7 @@ Result<BatchManifest> ParseBatchManifest(const std::string& text) {
       return Error{where + ": expected an object"};
     }
     CheckJobSpec spec = defaults;
-    Result<bool> applied = ApplyJobFields(entry, where, &spec);
+    Result<bool> applied = ApplyManifestJobFields(entry, where, &spec);
     if (!applied.ok()) return applied.error();
     if (spec.id.empty()) {
       spec.id = "job-" + std::to_string(i);
@@ -271,23 +272,56 @@ Result<BatchManifest> ParseBatchManifest(const std::string& text) {
   return manifest;
 }
 
+Json JobResultToJson(const JobResult& job) {
+  Json entry = Json::MakeObject();
+  entry.Set("id", Json::MakeString(job.id));
+  entry.Set("status", Json::MakeString(JobStatusName(job.status)));
+  entry.Set("exit_code", Json::MakeInt(job.exit_code));
+  entry.Set("from_cache", Json::MakeBool(job.from_cache));
+  entry.Set("cache_key", Json::MakeString(job.cache_key));
+  entry.Set("evaluated", Json::MakeInt(static_cast<std::int64_t>(job.evaluated)));
+  entry.Set("total", Json::MakeInt(static_cast<std::int64_t>(job.total)));
+  entry.Set("wall_ms", Json::MakeDouble(job.wall_ms));
+  if (!job.error.empty()) {
+    entry.Set("error", Json::MakeString(job.error));
+  }
+  entry.Set("report", Json::MakeString(job.report));
+  return entry;
+}
+
+Json CheckJobSpecToJson(const CheckJobSpec& spec) {
+  Json object = Json::MakeObject();
+  if (!spec.id.empty()) {
+    object.Set("id", Json::MakeString(spec.id));
+  }
+  object.Set("checker", Json::MakeString(CheckerKindName(spec.checker)));
+  object.Set("program", Json::MakeString(spec.program_text));
+  const auto var_set_array = [](const VarSet& set) {
+    Json array = Json::MakeArray();
+    set.ForEachIndex([&array](int index) { array.Append(Json::MakeInt(index)); });
+    return array;
+  };
+  object.Set("allow", var_set_array(spec.allow));
+  object.Set("allow2", var_set_array(spec.allow2));
+  object.Set("mechanism", Json::MakeString(spec.mechanism));
+  object.Set("mechanism2", Json::MakeString(spec.mechanism2));
+  Json grid = Json::MakeObject();
+  grid.Set("lo", Json::MakeInt(spec.grid_lo));
+  grid.Set("hi", Json::MakeInt(spec.grid_hi));
+  object.Set("grid", std::move(grid));
+  object.Set("observe_time", Json::MakeBool(spec.observe_time));
+  object.Set("threads", Json::MakeInt(spec.num_threads));
+  object.Set("deadline_ms", Json::MakeInt(spec.deadline_ms));
+  object.Set("priority", Json::MakeInt(spec.priority));
+  object.Set("fault_spec", Json::MakeString(spec.fault_spec));
+  object.Set("retries", Json::MakeInt(spec.retries));
+  return object;
+}
+
 Json BatchReportToJson(const BatchReport& report) {
   Json jobs = Json::MakeArray();
   for (const JobResult& job : report.jobs) {
-    Json entry = Json::MakeObject();
-    entry.Set("id", Json::MakeString(job.id));
-    entry.Set("status", Json::MakeString(JobStatusName(job.status)));
-    entry.Set("exit_code", Json::MakeInt(job.exit_code));
-    entry.Set("from_cache", Json::MakeBool(job.from_cache));
-    entry.Set("cache_key", Json::MakeString(job.cache_key));
-    entry.Set("evaluated", Json::MakeInt(static_cast<std::int64_t>(job.evaluated)));
-    entry.Set("total", Json::MakeInt(static_cast<std::int64_t>(job.total)));
-    entry.Set("wall_ms", Json::MakeDouble(job.wall_ms));
-    if (!job.error.empty()) {
-      entry.Set("error", Json::MakeString(job.error));
-    }
-    entry.Set("report", Json::MakeString(job.report));
-    jobs.Append(std::move(entry));
+    jobs.Append(JobResultToJson(job));
   }
 
   const BatchStats& stats = report.stats;

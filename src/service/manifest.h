@@ -54,6 +54,25 @@ struct BatchManifest {
 // Parses a manifest document. `text` is the raw JSON.
 Result<BatchManifest> ParseBatchManifest(const std::string& text);
 
+// Applies one job object's fields over `spec` with manifest-grade strictness
+// (unknown keys, wrong types and out-of-range values are errors naming
+// `where`). This is the single job-vocabulary entry point: manifest
+// "defaults", manifest "jobs[i]" entries, and serve-daemon submit frames all
+// validate through it, so a job means the same thing on every path.
+Result<bool> ApplyManifestJobFields(const Json& object, const std::string& where,
+                                    CheckJobSpec* spec);
+
+// Renders one job result exactly as it appears in a batch report's "jobs"
+// array. The serve daemon's result frames reuse this renderer, which is what
+// makes the serve ≡ batch byte-identity contract hold by construction.
+Json JobResultToJson(const JobResult& job);
+
+// Renders a spec as a manifest-vocabulary job object (the inverse of
+// ApplyManifestJobFields up to defaults). Round-trips: applying the rendered
+// object onto a default spec reproduces the original. Used by the scenario
+// runner and fuzzer to ship generated jobs over the serve socket.
+Json CheckJobSpecToJson(const CheckJobSpec& spec);
+
 // Renders a batch report as a JSON document (per-job results in submission
 // order plus scheduler and cache stats).
 Json BatchReportToJson(const BatchReport& report);

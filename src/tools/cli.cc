@@ -1,9 +1,13 @@
 #include "src/tools/cli.h"
 
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "src/flowchart/bytecode.h"
 #include "src/flowchart/dot.h"
@@ -16,6 +20,8 @@
 #include "src/obs/obs.h"
 #include "src/policy/policy.h"
 #include "src/scenario/fuzzer.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 #include "src/service/job.h"
 #include "src/service/manifest.h"
 #include "src/service/service.h"
@@ -673,6 +679,255 @@ int CmdFuzz(const ParsedArgs& args, std::string* out, std::string* err) {
   return code;
 }
 
+// Set by SIGTERM/SIGINT; the serve loop polls it and drains.
+volatile std::sig_atomic_t g_serve_stop = 0;
+void ServeStopHandler(int) { g_serve_stop = 1; }
+
+// Shared by serve/submit: a non-negative integer flag with a parse error
+// naming the flag.
+bool NonNegativeFlag(const ParsedArgs& args, const std::string& name, long long* value,
+                     std::string* err) {
+  const std::optional<std::string> text = FlagValue(args, name);
+  if (!text.has_value()) {
+    return true;
+  }
+  try {
+    *value = std::stoll(*text);
+  } catch (...) {
+    *err += "bad --" + name + " value '" + *text + "'\n";
+    return false;
+  }
+  if (*value < 0) {
+    *err += "--" + name + " must be non-negative\n";
+    return false;
+  }
+  return true;
+}
+
+// `secpol serve --socket=<path> [--tcp=<port>] [--concurrency=N]
+// [--cache-capacity=N] [--max-inflight=N] [--max-frame-bytes=N]
+// [--max-json-depth=N] [--defaults=<defaults.json>]`: run the persistent
+// checking daemon until SIGTERM/SIGINT, then drain gracefully (admitted
+// jobs complete; new submissions get typed shutting-down rejections).
+// --defaults names a JSON file holding a manifest-vocabulary job object
+// applied as the initial per-job defaults (reload can replace them later).
+int CmdServe(const ParsedArgs& args, std::string* out, std::string* err) {
+  ServerConfig config;
+  config.unix_path = FlagValue(args, "socket").value_or("");
+  long long tcp_port = -1;
+  long long concurrency = config.concurrency;
+  long long cache_capacity = static_cast<long long>(config.cache_capacity);
+  long long max_inflight = config.quotas.max_inflight_per_client;
+  long long max_frame_bytes = static_cast<long long>(config.quotas.max_frame_bytes);
+  long long max_json_depth = config.quotas.max_json_depth;
+  if (FlagValue(args, "tcp").has_value() && !NonNegativeFlag(args, "tcp", &tcp_port, err)) {
+    return 1;
+  }
+  if (!NonNegativeFlag(args, "concurrency", &concurrency, err) ||
+      !NonNegativeFlag(args, "cache-capacity", &cache_capacity, err) ||
+      !NonNegativeFlag(args, "max-inflight", &max_inflight, err) ||
+      !NonNegativeFlag(args, "max-frame-bytes", &max_frame_bytes, err) ||
+      !NonNegativeFlag(args, "max-json-depth", &max_json_depth, err)) {
+    return 1;
+  }
+  if (config.unix_path.empty() && tcp_port < 0) {
+    *err += "usage: secpol serve --socket=<path> and/or --tcp=<port>\n";
+    return 1;
+  }
+  if (cache_capacity < 1 || max_inflight < 1 || max_frame_bytes < 1) {
+    *err += "--cache-capacity, --max-inflight and --max-frame-bytes must be >= 1\n";
+    return 1;
+  }
+  config.tcp_port = static_cast<int>(tcp_port);
+  config.concurrency = static_cast<int>(concurrency);
+  config.cache_capacity = static_cast<std::size_t>(cache_capacity);
+  config.quotas.max_inflight_per_client = static_cast<int>(max_inflight);
+  config.quotas.max_frame_bytes = static_cast<std::size_t>(max_frame_bytes);
+  config.quotas.max_json_depth = static_cast<int>(max_json_depth);
+
+  if (const auto path = FlagValue(args, "defaults"); path.has_value()) {
+    std::ifstream stream(*path);
+    if (!stream) {
+      *err += "cannot open '" + *path + "'\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << stream.rdbuf();
+    const Result<Json> defaults = Json::Parse(buffer.str());
+    if (!defaults.ok()) {
+      *err += *path + ": " + defaults.error().ToString() + "\n";
+      return 1;
+    }
+    if (!defaults.value().is_object()) {
+      *err += *path + ": defaults must be a JSON object\n";
+      return 1;
+    }
+    const Result<bool> applied =
+        ApplyManifestJobFields(defaults.value(), "defaults", &config.defaults);
+    if (!applied.ok()) {
+      *err += *path + ": " + applied.error().message + "\n";
+      return 1;
+    }
+  }
+
+  CheckServer server(std::move(config));
+  const Result<bool> started = server.Start();
+  if (!started.ok()) {
+    *err += started.error().message + "\n";
+    return 1;
+  }
+  // Readiness goes straight to stdout (the buffered *out is only flushed at
+  // exit, which for a daemon is too late for whoever is waiting to connect).
+  std::string listening = "secpol serve: listening on";
+  if (!server.unix_path().empty()) {
+    listening += " unix:" + server.unix_path();
+  }
+  if (server.tcp_port() >= 0) {
+    listening += " tcp:" + std::to_string(server.tcp_port());
+  }
+  std::printf("%s\n", listening.c_str());
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGTERM, ServeStopHandler);
+  std::signal(SIGINT, ServeStopHandler);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Shutdown();
+  *out += "secpol serve: drained and stopped\n";
+  return 0;
+}
+
+// `secpol submit (--socket=<path> | --tcp=<port>) <mode>` — the serve
+// daemon's client. Modes:
+//   --job=<inline-json> | --job-file=<file> | <file>   submit one job
+//   --ping                                             liveness + epoch
+//   --stats                                            live daemon stats
+//   --reload-defaults=<json> / --reload-quotas=<json>  hot policy swap
+// A submitted job prints its result frame (--print-report: just the report
+// body, byte-identical to `secpol batch`'s for the same job) and exits with
+// the job's exit code; typed error frames map to the rejected code (5) for
+// over-quota/shutting-down and the protocol code (6) otherwise.
+int CmdSubmit(const ParsedArgs& args, std::string* out, std::string* err) {
+  Result<ServeClient> connected = Error{"unconnected"};
+  if (const auto socket = FlagValue(args, "socket"); socket.has_value()) {
+    connected = ServeClient::ConnectUnixPath(*socket);
+  } else if (const auto tcp = FlagValue(args, "tcp"); tcp.has_value()) {
+    long long port = -1;
+    if (!NonNegativeFlag(args, "tcp", &port, err)) {
+      return 1;
+    }
+    connected = ServeClient::ConnectTcpPort(static_cast<int>(port));
+  } else {
+    *err += "usage: secpol submit (--socket=<path> | --tcp=<port>) ...\n";
+    return 1;
+  }
+  if (!connected.ok()) {
+    *err += connected.error().message + "\n";
+    return kServeProtocolExitCode;
+  }
+  ServeClient client = std::move(connected).value();
+
+  if (HasFlag(args, "ping")) {
+    const Result<Json> pong = client.Ping();
+    if (!pong.ok()) {
+      *err += pong.error().message + "\n";
+      return kServeProtocolExitCode;
+    }
+    *out += pong.value().Serialize() + "\n";
+    return 0;
+  }
+  if (HasFlag(args, "stats")) {
+    const Result<Json> stats = client.Stats();
+    if (!stats.ok()) {
+      *err += stats.error().message + "\n";
+      return kServeProtocolExitCode;
+    }
+    *out += (HasFlag(args, "pretty") ? stats.value().Pretty() : stats.value().Serialize()) + "\n";
+    return 0;
+  }
+  if (FlagValue(args, "reload-defaults").has_value() ||
+      FlagValue(args, "reload-quotas").has_value()) {
+    const auto parse_patch = [&](const std::string& name) -> std::optional<Json> {
+      const std::optional<std::string> text = FlagValue(args, name);
+      if (!text.has_value()) {
+        return Json();  // null = no patch
+      }
+      const Result<Json> patch = Json::Parse(*text);
+      if (!patch.ok() || !patch.value().is_object()) {
+        *err += "--" + name + ": expected an inline JSON object\n";
+        return std::nullopt;
+      }
+      return patch.value();
+    };
+    const std::optional<Json> defaults = parse_patch("reload-defaults");
+    const std::optional<Json> quotas = parse_patch("reload-quotas");
+    if (!defaults.has_value() || !quotas.has_value()) {
+      return 1;
+    }
+    const Result<Json> response = client.Reload(*defaults, *quotas);
+    if (!response.ok()) {
+      *err += response.error().message + "\n";
+      return kServeProtocolExitCode;
+    }
+    *out += response.value().Serialize() + "\n";
+    const Json* type = response.value().Find("type");
+    return type != nullptr && type->is_string() && type->AsString() == "reload-ok"
+               ? 0
+               : ServeClient::ExitCodeFor(response.value());
+  }
+
+  std::string job_text;
+  if (const auto inline_job = FlagValue(args, "job"); inline_job.has_value()) {
+    job_text = *inline_job;
+  } else {
+    const std::string path = FlagValue(args, "job-file").value_or(args.file);
+    if (path.empty()) {
+      *err += "missing job: --job=<json>, --job-file=<file>, or a positional file\n";
+      return 1;
+    }
+    std::ifstream stream(path);
+    if (!stream) {
+      *err += "cannot open '" + path + "'\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << stream.rdbuf();
+    job_text = buffer.str();
+  }
+  const Result<Json> job = Json::Parse(job_text);
+  if (!job.ok()) {
+    *err += "job: " + job.error().ToString() + "\n";
+    return 1;
+  }
+  if (!job.value().is_object()) {
+    *err += "job: expected a JSON object\n";
+    return 1;
+  }
+
+  const Result<Json> terminal = client.SubmitJob(job.value());
+  if (!terminal.ok()) {
+    *err += terminal.error().message + "\n";
+    return kServeProtocolExitCode;
+  }
+  if (HasFlag(args, "print-report")) {
+    const Json* result_job = terminal.value().Find("job");
+    const Json* report = result_job != nullptr ? result_job->Find("report") : nullptr;
+    if (report != nullptr && report->is_string()) {
+      *out += report->AsString();
+    } else if (const Json* message = terminal.value().Find("message");
+               message != nullptr && message->is_string()) {
+      *err += message->AsString() + "\n";
+    }
+  } else {
+    *out +=
+        (HasFlag(args, "pretty") ? terminal.value().Pretty() : terminal.value().Serialize()) +
+        "\n";
+  }
+  return ServeClient::ExitCodeFor(terminal.value());
+}
+
 int CmdAnalyze(const ParsedArgs& args, std::string* out, std::string* err) {
   const auto program = LoadProgram(args, err);
   if (!program.has_value()) {
@@ -812,6 +1067,12 @@ int RunCli(const std::vector<std::string>& args, std::string* out, std::string* 
   if (parsed->command == "fuzz") {
     return CmdFuzz(*parsed, out, err);
   }
+  if (parsed->command == "serve") {
+    return CmdServe(*parsed, out, err);
+  }
+  if (parsed->command == "submit") {
+    return CmdSubmit(*parsed, out, err);
+  }
   if (parsed->command == "analyze") {
     return CmdAnalyze(*parsed, out, err);
   }
@@ -834,7 +1095,7 @@ int RunCli(const std::vector<std::string>& args, std::string* out, std::string* 
     return CmdBytecode(*parsed, out, err);
   }
   *err += "unknown command '" + parsed->command +
-          "' (expected run|monitor|check|audit|batch|fuzz|analyze|instrument|advise|optimize|decompile|dot|bytecode)\n";
+          "' (expected run|monitor|check|audit|batch|serve|submit|fuzz|analyze|instrument|advise|optimize|decompile|dot|bytecode)\n";
   return 1;
 }
 

@@ -10,13 +10,23 @@ namespace secpol {
 
 namespace {
 
+// Stable prefixes the limit errors are tagged with; ClassifyJsonLimit keys
+// off them so callers never string-match ad hoc.
+constexpr const char* kTooLargePrefix = "json document too large";
+constexpr const char* kTooDeepPrefix = "json nesting too deep";
+
 // Recursive-descent JSON parser over a string_view, tracking line/column for
 // error messages.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const Json::Limits& limits)
+      : text_(text), limits_(limits) {}
 
   Result<Json> ParseDocument() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes) {
+      return Fail(std::string(kTooLargePrefix) + ": " + std::to_string(text_.size()) +
+                  " bytes exceeds the " + std::to_string(limits_.max_bytes) + "-byte limit");
+    }
     Result<Json> value = ParseValue();
     if (!value.ok()) {
       return value;
@@ -85,9 +95,16 @@ class Parser {
     const char c = Peek();
     switch (c) {
       case '{':
-        return ParseObject();
-      case '[':
-        return ParseArray();
+      case '[': {
+        if (limits_.max_depth > 0 && depth_ >= limits_.max_depth) {
+          return Fail(std::string(kTooDeepPrefix) + ": depth exceeds the " +
+                      std::to_string(limits_.max_depth) + "-level limit");
+        }
+        ++depth_;
+        Result<Json> nested = c == '{' ? ParseObject() : ParseArray();
+        --depth_;
+        return nested;
+      }
       case '"': {
         Result<std::string> s = ParseString();
         if (!s.ok()) {
@@ -292,6 +309,8 @@ class Parser {
   }
 
   std::string_view text_;
+  Json::Limits limits_;
+  int depth_ = 0;
   std::size_t pos_ = 0;
   int line_ = 1;
   int column_ = 1;
@@ -517,8 +536,27 @@ std::string Json::Pretty() const {
 }
 
 Result<Json> Json::Parse(std::string_view text) {
-  Parser parser(text);
+  // Unlimited: trusted local input (our own reports, manifests, BENCH
+  // records). Network bytes go through the limited overload.
+  Limits unlimited;
+  unlimited.max_depth = 0;
+  unlimited.max_bytes = 0;
+  return Parse(text, unlimited);
+}
+
+Result<Json> Json::Parse(std::string_view text, const Limits& limits) {
+  Parser parser(text, limits);
   return parser.ParseDocument();
+}
+
+JsonLimitViolation ClassifyJsonLimit(const Error& error) {
+  if (error.message.rfind(kTooLargePrefix, 0) == 0) {
+    return JsonLimitViolation::kTooLarge;
+  }
+  if (error.message.rfind(kTooDeepPrefix, 0) == 0) {
+    return JsonLimitViolation::kTooDeep;
+  }
+  return JsonLimitViolation::kNone;
 }
 
 }  // namespace secpol

@@ -71,6 +71,12 @@ class Json {
   // Errors carry 1-based line/column of the offending character.
   static Result<Json> Parse(std::string_view text);
 
+  // Parse with resource limits, for documents from untrusted sources (the
+  // serve daemon's socket frames). Violations fail with errors that
+  // ClassifyJsonLimit recognizes; a zero limit means "unlimited".
+  struct Limits;
+  static Result<Json> Parse(std::string_view text, const Limits& limits);
+
  private:
   void SerializeTo(std::string* out, int indent, bool pretty) const;
 
@@ -82,6 +88,29 @@ class Json {
   std::vector<Json> items_;
   std::vector<std::pair<std::string, Json>> members_;
 };
+
+// Resource bounds for parsing untrusted input. The plain Parse(text)
+// overload is unlimited (local manifests, BENCH records, our own reports);
+// anything that reads network bytes must pass explicit limits.
+struct Json::Limits {
+  // Maximum nesting depth of arrays/objects. A top-level scalar has depth 0,
+  // `[{"k": 1}]` has depth 2. 0 = unlimited.
+  int max_depth = 64;
+  // Maximum document size in bytes, checked before any parsing work.
+  // 0 = unlimited.
+  std::size_t max_bytes = 1 << 20;
+};
+
+// Which resource limit (if any) a Parse(text, limits) error represents.
+// Limit violations need to be distinguishable from plain syntax errors so
+// the wire protocol can answer them with distinct typed error codes.
+enum class JsonLimitViolation {
+  kNone,      // not a limit error (syntax, number range, ...)
+  kTooLarge,  // document exceeded Limits::max_bytes
+  kTooDeep,   // nesting exceeded Limits::max_depth
+};
+
+JsonLimitViolation ClassifyJsonLimit(const Error& error);
 
 // Escapes `s` as the *contents* of a JSON string literal (no quotes).
 std::string JsonEscape(std::string_view s);

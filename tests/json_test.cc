@@ -93,5 +93,65 @@ TEST(JsonSerializeTest, NonFiniteDoublesDegradeToNull) {
   EXPECT_EQ(doc.Serialize(), "null");
 }
 
+// --- Resource limits (untrusted socket input) ---
+
+TEST(JsonLimitsTest, DepthCapRejectsDeepNesting) {
+  Json::Limits limits;
+  limits.max_depth = 4;
+  limits.max_bytes = 0;
+  // Depth 4 parses, depth 5 is a typed limit error.
+  EXPECT_TRUE(Json::Parse("[[[[1]]]]", limits).ok());
+  const Result<Json> deep = Json::Parse("[[[[[1]]]]]", limits);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(ClassifyJsonLimit(deep.error()), JsonLimitViolation::kTooDeep);
+  // Mixed object/array nesting counts every level.
+  const Result<Json> mixed = Json::Parse(R"({"a": [{"b": [{"c": 1}]}]})", limits);
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(ClassifyJsonLimit(mixed.error()), JsonLimitViolation::kTooDeep);
+}
+
+TEST(JsonLimitsTest, DepthBombFailsFastInsteadOfOverflowing) {
+  // A pathological frame an adversary can cheaply construct: 1M open
+  // brackets. Without the cap this would exhaust the parser's stack.
+  Json::Limits limits;  // defaults: depth 64, 1 MiB
+  const std::string bomb(1 << 19, '[');
+  const Result<Json> parsed = Json::Parse(bomb, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(ClassifyJsonLimit(parsed.error()), JsonLimitViolation::kTooDeep);
+}
+
+TEST(JsonLimitsTest, SizeCapRejectsOversizedDocuments) {
+  Json::Limits limits;
+  limits.max_depth = 0;
+  limits.max_bytes = 16;
+  EXPECT_TRUE(Json::Parse(R"({"k": 1})", limits).ok());
+  const Result<Json> big = Json::Parse(R"({"key": "0123456789abcdef"})", limits);
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(ClassifyJsonLimit(big.error()), JsonLimitViolation::kTooLarge);
+  // The size check is up-front: no partial parse work happens first.
+  const Result<Json> garbage = Json::Parse(std::string(1000, '@'), limits);
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(ClassifyJsonLimit(garbage.error()), JsonLimitViolation::kTooLarge);
+}
+
+TEST(JsonLimitsTest, SyntaxErrorsAreNotLimitViolations) {
+  Json::Limits limits;
+  const Result<Json> bad = Json::Parse("{oops}", limits);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(ClassifyJsonLimit(bad.error()), JsonLimitViolation::kNone);
+}
+
+TEST(JsonLimitsTest, ZeroMeansUnlimited) {
+  Json::Limits limits;
+  limits.max_depth = 0;
+  limits.max_bytes = 0;
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_TRUE(Json::Parse(deep, limits).ok());
+  EXPECT_TRUE(Json::Parse(deep).ok());  // the plain overload stays permissive
+}
+
 }  // namespace
 }  // namespace secpol

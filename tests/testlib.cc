@@ -1,9 +1,12 @@
 #include "tests/testlib.h"
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "src/flowlang/lower.h"
 #include "src/flowlang/parser.h"
+#include "src/server/socket.h"
 #include "src/util/result.h"
 
 namespace secpol {
@@ -93,6 +96,24 @@ std::string TempPath(const std::string& prefix, const std::string& stem) {
   const std::string test_name =
       ::testing::UnitTest::GetInstance()->current_test_info()->name();
   return ::testing::TempDir() + prefix + "_" + test_name + "_" + stem;
+}
+
+std::string TempSocketPath(const std::string& stem) {
+  // UniqueSocketPath already mixes in the pid and a process-wide counter, so
+  // concurrent ctest shards (separate processes) and repeated calls inside
+  // one test both get distinct paths.
+  const std::string path = UniqueSocketPath(stem);
+  ::unlink(path.c_str());
+  return path;
+}
+
+int UniqueLoopbackPort() {
+  int port = 0;
+  Result<Fd> listener = ListenTcp(0, &port);
+  EXPECT_TRUE(listener.ok()) << (listener.ok() ? "" : listener.error().message);
+  // Closing frees the port; the caller re-binds it. The race window is real
+  // but tiny, and ephemeral ports are not immediately reissued on Linux.
+  return port;
 }
 
 }  // namespace testlib

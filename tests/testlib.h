@@ -60,6 +60,18 @@ Program MustLower(const std::string& text);
 // <TempDir>/<prefix>_<test name>_<stem>.
 std::string TempPath(const std::string& prefix, const std::string& stem);
 
+// A unix-socket path that is (a) unique per process and call, so suites
+// running under `ctest -j` never collide, and (b) short enough for
+// sun_path's ~107-byte limit — which gtest's TempDir()-based names are not
+// guaranteed to be. The file is unlinked first so a crashed predecessor
+// can't wedge a re-run.
+std::string TempSocketPath(const std::string& stem);
+
+// A loopback TCP port the kernel just handed out (bind :0, read it back,
+// close). Unique enough for tests that need to pass a literal port number;
+// prefer ListenTcp(0, &port) where the listener itself can pick.
+int UniqueLoopbackPort();
+
 }  // namespace testlib
 }  // namespace secpol
 
