@@ -23,7 +23,12 @@
 //
 // The "job" object of submit frames speaks the exact batch-manifest job
 // vocabulary (src/service/manifest.h), so a manifest job, a CLI submit and
-// a fuzzer-generated job all validate through one code path.
+// a fuzzer-generated job all validate through one code path — with one
+// deliberate exception: "program_file" names a server-side path and is
+// refused (bad-request) for anything arriving over the socket, because a
+// submission must never be able to read or probe the daemon's filesystem.
+// Clients that want file-based programs load them client-side and inline
+// the text via "program".
 
 #ifndef SECPOL_SRC_SERVER_PROTOCOL_H_
 #define SECPOL_SRC_SERVER_PROTOCOL_H_

@@ -35,10 +35,13 @@ struct CheckServer::Session {
     }
     std::string error;
     if (!WriteFrame(fd.get(), frame, &error)) {
-      // A dead peer is not an event worth more than remembering: its queued
-      // results are dropped (the cache already kept the work) and the
-      // reader thread will see EOF on its own.
+      // A dead (or non-reading — the send timeout fires) peer is not worth
+      // more than remembering: its queued results are dropped (the cache
+      // already kept the work), and shutting the descriptor down kicks the
+      // reader thread out of recv so the session closes promptly instead of
+      // accumulating doomed writes.
       write_broken = true;
+      fd.ShutdownBoth();
       return false;
     }
     return true;
@@ -198,8 +201,9 @@ Result<std::uint64_t> CheckServer::Reload(const Json& defaults_patch, const Json
   std::lock_guard<std::mutex> lock(policy_mu_);
   ServerPolicy next = *policy_;
   if (defaults_patch.is_object()) {
-    Result<bool> applied =
-        ApplyManifestJobFields(defaults_patch, "reload.defaults", &next.defaults);
+    Result<bool> applied = ApplyManifestJobFields(defaults_patch, "reload.defaults",
+                                                  &next.defaults,
+                                                  JobFieldSource::kUntrustedSubmission);
     if (!applied.ok()) {
       return applied.error();
     }
@@ -301,17 +305,24 @@ void CheckServer::AcceptLoop(const Fd& listener) {
       }
       continue;  // one failed accept must not kill the daemon
     }
+    if (config_.send_timeout_ms > 0) {
+      SetSendTimeoutMs(connection, config_.send_timeout_ms);
+    }
     auto session = std::make_shared<Session>();
     session->fd = std::move(connection);
     session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
     counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    // The thread is stored before the session is published: once another
+    // accept thread can see this session in sessions_, its thread member is
+    // immutable, so ReapClosedSessionsLocked never races the assignment
+    // (and can never reap a not-yet-joinable thread).
+    session->thread = std::thread([this, session] { ServeSession(session); });
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
       ReapClosedSessionsLocked();
       sessions_.push_back(session);
     }
-    session->thread = std::thread([this, session] { ServeSession(session); });
   }
 }
 
@@ -409,6 +420,20 @@ void CheckServer::HandleSubmit(const std::shared_ptr<Session>& session,
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
   const std::string frame_id = JobIdOf(job);
 
+  // "program_file" would have the daemon open a client-chosen path with its
+  // own privileges — a filesystem read (and existence probe) primitive for
+  // anyone on the socket. Refused at the protocol layer, before admission;
+  // ApplyManifestJobFields rejects it again below as defense in depth.
+  if (job.Find("program_file") != nullptr) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    session->SendFrame(MakeErrorFrame(
+        ServeErrorCode::kBadRequest,
+        "submit.job.program_file: server-side file loading is not available for "
+        "socket submissions; inline the source via 'program'",
+        frame_id));
+    return;
+  }
+
   // Quota first: a greedy client is told "over quota" even while the daemon
   // drains, because that is the error it can act on.
   if (session->inflight.load(std::memory_order_relaxed) >=
@@ -441,7 +466,8 @@ void CheckServer::HandleSubmit(const std::shared_ptr<Session>& session,
   const std::uint64_t client_seq = ++session->client_seq;
 
   CheckJobSpec spec = policy->defaults;
-  Result<bool> applied = ApplyManifestJobFields(job, "submit.job", &spec);
+  Result<bool> applied =
+      ApplyManifestJobFields(job, "submit.job", &spec, JobFieldSource::kUntrustedSubmission);
   if (spec.id.empty()) {
     spec.id = "job-" + std::to_string(seq);
   }

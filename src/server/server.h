@@ -22,7 +22,11 @@
 //
 //   Fail-closed isolation.  Every malformed frame, over-limit document or
 //   over-quota submission is answered with a typed error frame; sibling
-//   connections proceed untouched. A session can never wedge the daemon.
+//   connections proceed untouched. A session can never wedge the daemon:
+//   submissions cannot name server-side files ("program_file" is a
+//   local-manifest-only key, rejected at the trust boundary), and a peer
+//   that stops reading trips the per-connection send timeout and is
+//   disconnected instead of blocking a worker or the drain barrier.
 //
 //   Epoch pinning.  The active policy (job-field defaults + quotas) is an
 //   immutable snapshot swapped atomically by reload. A job is pinned to the
@@ -82,6 +86,13 @@ struct ServerConfig {
   int concurrency = 1;  // job worker threads (0 = hardware threads)
   std::size_t cache_capacity = 1024;
   int cache_shards = 8;
+
+  // SO_SNDTIMEO applied to every accepted connection (0 disables). Bounds
+  // how long a result/error frame write may wait on a peer that stopped
+  // reading; past it the session is marked broken and disconnected, so a
+  // stalled client can neither pin a worker thread nor stall the SIGTERM
+  // drain barrier.
+  int send_timeout_ms = 10000;
 
   CheckJobSpec defaults;
   ServerQuotas quotas;

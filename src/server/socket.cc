@@ -17,6 +17,16 @@ namespace {
 
 std::string Errno(const std::string& what) { return what + ": " + std::strerror(errno); }
 
+// htons() would happily truncate 70000 to 4464; reject out-of-range ports
+// instead of binding/connecting somewhere the caller never named.
+Result<bool> CheckPortRange(int port, int min_port) {
+  if (port < min_port || port > 65535) {
+    return Error{"tcp port must be in [" + std::to_string(min_port) + ", 65535], got " +
+                 std::to_string(port)};
+  }
+  return true;
+}
+
 }  // namespace
 
 void Fd::Reset() {
@@ -56,6 +66,9 @@ Result<Fd> ListenUnix(const std::string& path) {
 }
 
 Result<Fd> ListenTcp(int port, int* bound_port) {
+  if (Result<bool> range = CheckPortRange(port, 0); !range.ok()) {
+    return range.error();
+  }
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) {
     return Error{Errno("socket(AF_INET)")};
@@ -101,6 +114,9 @@ Result<Fd> ConnectUnix(const std::string& path) {
 }
 
 Result<Fd> ConnectTcp(int port) {
+  if (Result<bool> range = CheckPortRange(port, 1); !range.ok()) {
+    return range.error();
+  }
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) {
     return Error{Errno("socket(AF_INET)")};
@@ -136,6 +152,16 @@ IoStatus Accept(const Fd& listener, Fd* connection, std::string* error) {
   }
 }
 
+bool SetSendTimeoutMs(const Fd& fd, int timeout_ms) {
+  if (!fd.valid() || timeout_ms <= 0) {
+    return false;
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
 bool SendAll(int fd, const void* data, std::size_t size, std::string* error) {
   const char* cursor = static_cast<const char*>(data);
   std::size_t remaining = size;
@@ -146,7 +172,13 @@ bool SendAll(int fd, const void* data, std::size_t size, std::string* error) {
         continue;
       }
       if (error != nullptr) {
-        *error = Errno("send");
+        // EAGAIN here means SO_SNDTIMEO expired with the buffer still full:
+        // the peer stopped reading, not a transient condition worth retrying.
+        *error = errno == EAGAIN || errno == EWOULDBLOCK
+                     ? "send: timed out waiting for the peer to read (" +
+                           std::to_string(remaining) + "/" + std::to_string(size) +
+                           " bytes unsent)"
+                     : Errno("send");
       }
       return false;
     }

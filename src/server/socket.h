@@ -53,11 +53,18 @@ class Fd {
 Result<Fd> ListenUnix(const std::string& path);
 
 // Binds + listens on loopback TCP. `port` 0 picks an ephemeral port; the
-// bound port is written to *bound_port either way.
+// bound port is written to *bound_port either way. Ports outside
+// [0, 65535] are an error, never a silent 16-bit truncation.
 Result<Fd> ListenTcp(int port, int* bound_port);
 
 Result<Fd> ConnectUnix(const std::string& path);
+// Connects to loopback TCP. `port` must be in [1, 65535].
 Result<Fd> ConnectTcp(int port);
+
+// Bounds how long a blocking send may wait for socket-buffer space
+// (SO_SNDTIMEO). With it set, a peer that stops reading makes SendAll fail
+// within the timeout instead of pinning the writer thread forever.
+bool SetSendTimeoutMs(const Fd& fd, int timeout_ms);
 
 // Accepts one connection; blocks. kEof means the listener was shut down.
 enum class IoStatus { kOk, kEof, kError };

@@ -73,7 +73,7 @@ Result<VarSet> VarSetField(const Json& object, const std::string& key,
 // Applies one job object's fields over `spec` (used for "defaults", each
 // entry of "jobs", and serve-daemon submit frames).
 Result<bool> ApplyManifestJobFields(const Json& object, const std::string& where,
-                                    CheckJobSpec* spec) {
+                                    CheckJobSpec* spec, JobFieldSource source) {
   static const char* const kKnownKeys[] = {
       "id",        "checker",    "program",  "program_file", "allow",
       "allow2",    "mechanism",  "mechanism2", "grid",       "observe_time",
@@ -108,6 +108,17 @@ Result<bool> ApplyManifestJobFields(const Json& object, const std::string& where
   Result<std::string> program = StringField(object, "program", where, spec->program_text);
   if (!program.ok()) return program.error();
   spec->program_text = std::move(program).value();
+
+  // "program_file" opens a path with this process's privileges. For a local
+  // manifest that is the operator reading their own files; for a socket
+  // submission it would let any client read (or probe for) files on the
+  // daemon host, so the key is refused before its value is even looked at.
+  if (source == JobFieldSource::kUntrustedSubmission &&
+      object.Find("program_file") != nullptr) {
+    return Error{where +
+                 ".program_file: server-side file loading is not available for "
+                 "socket submissions; inline the source via 'program'"};
+  }
 
   Result<std::string> program_file = StringField(object, "program_file", where, "");
   if (!program_file.ok()) return program_file.error();
@@ -247,7 +258,8 @@ Result<BatchManifest> ParseBatchManifest(const std::string& text) {
     if (!default_fields->is_object()) {
       return Error{"manifest.defaults: expected an object"};
     }
-    Result<bool> applied = ApplyManifestJobFields(*default_fields, "manifest.defaults", &defaults);
+    Result<bool> applied = ApplyManifestJobFields(*default_fields, "manifest.defaults", &defaults,
+                                                  JobFieldSource::kLocalManifest);
     if (!applied.ok()) return applied.error();
   }
 
@@ -262,7 +274,8 @@ Result<BatchManifest> ParseBatchManifest(const std::string& text) {
       return Error{where + ": expected an object"};
     }
     CheckJobSpec spec = defaults;
-    Result<bool> applied = ApplyManifestJobFields(entry, where, &spec);
+    Result<bool> applied =
+        ApplyManifestJobFields(entry, where, &spec, JobFieldSource::kLocalManifest);
     if (!applied.ok()) return applied.error();
     if (spec.id.empty()) {
       spec.id = "job-" + std::to_string(i);

@@ -54,13 +54,21 @@ struct BatchManifest {
 // Parses a manifest document. `text` is the raw JSON.
 Result<BatchManifest> ParseBatchManifest(const std::string& text);
 
+// Who authored the job object. Local manifests are written by whoever runs
+// the process and may reference files ("program_file" loads server-side at
+// parse time); socket submissions are adversary input crossing a trust
+// boundary and must never be able to read the daemon's filesystem, so the
+// key itself is rejected there.
+enum class JobFieldSource { kLocalManifest, kUntrustedSubmission };
+
 // Applies one job object's fields over `spec` with manifest-grade strictness
 // (unknown keys, wrong types and out-of-range values are errors naming
 // `where`). This is the single job-vocabulary entry point: manifest
 // "defaults", manifest "jobs[i]" entries, and serve-daemon submit frames all
-// validate through it, so a job means the same thing on every path.
+// validate through it, so a job means the same thing on every path — except
+// "program_file", which only a kLocalManifest source may use.
 Result<bool> ApplyManifestJobFields(const Json& object, const std::string& where,
-                                    CheckJobSpec* spec);
+                                    CheckJobSpec* spec, JobFieldSource source);
 
 // Renders one job result exactly as it appears in a batch report's "jobs"
 // array. The serve daemon's result frames reuse this renderer, which is what

@@ -762,8 +762,9 @@ int CmdServe(const ParsedArgs& args, std::string* out, std::string* err) {
       *err += *path + ": defaults must be a JSON object\n";
       return 1;
     }
-    const Result<bool> applied =
-        ApplyManifestJobFields(defaults.value(), "defaults", &config.defaults);
+    const Result<bool> applied = ApplyManifestJobFields(defaults.value(), "defaults",
+                                                        &config.defaults,
+                                                        JobFieldSource::kLocalManifest);
     if (!applied.ok()) {
       *err += *path + ": " + applied.error().message + "\n";
       return 1;
@@ -905,8 +906,30 @@ int CmdSubmit(const ParsedArgs& args, std::string* out, std::string* err) {
     *err += "job: expected a JSON object\n";
     return 1;
   }
+  // "program_file" is a client-side convenience: the daemon refuses to read
+  // files on its own host, so the path is resolved here — against *this*
+  // process's filesystem — and shipped inline as "program".
+  Json job_object = job.value();
+  if (const Json* program_file = job_object.Find("program_file");
+      program_file != nullptr && program_file->is_string()) {
+    std::ifstream stream(program_file->AsString());
+    if (!stream) {
+      *err += "job.program_file: cannot open '" + program_file->AsString() + "'\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << stream.rdbuf();
+    Json inlined = Json::MakeObject();
+    for (const auto& [key, value] : job_object.Members()) {
+      if (key != "program_file") {
+        inlined.Set(key, value);
+      }
+    }
+    inlined.Set("program", Json::MakeString(buffer.str()));
+    job_object = std::move(inlined);
+  }
 
-  const Result<Json> terminal = client.SubmitJob(job.value());
+  const Result<Json> terminal = client.SubmitJob(job_object);
   if (!terminal.ok()) {
     *err += terminal.error().message + "\n";
     return kServeProtocolExitCode;

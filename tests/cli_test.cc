@@ -7,8 +7,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/server/server.h"
 #include "src/tools/cli.h"
 #include "src/util/json.h"
+#include "tests/testlib.h"
 
 namespace secpol {
 namespace {
@@ -431,6 +433,27 @@ TEST_F(CliTest, ParserErrorsCarryLocation) {
   const std::string bad = WriteProgram("program p(a) {\n  y = ;\n}");
   EXPECT_EQ(Run({"run", bad, "--input=1"}), 1);
   EXPECT_NE(err_.find(":2:"), std::string::npos);
+}
+
+TEST_F(CliTest, SubmitInlinesProgramFileClientSide) {
+  ServerConfig config;
+  config.unix_path = testlib::TempSocketPath("cli_submit");
+  CheckServer server(std::move(config));
+  ASSERT_TRUE(server.Start().ok());
+
+  // The daemon refuses "program_file" on the wire, so `secpol submit` must
+  // resolve it against the client's filesystem and inline the text.
+  const std::string program = WriteProgram("program p(a) { y = a; }");
+  const std::string job = WriteProgram(R"({"checker": "soundness", "allow": [0],
+    "program_file": ")" + program + R"("})");
+  EXPECT_EQ(Run({"submit", "--socket=" + server.unix_path(), "--job-file=" + job}), 0);
+  EXPECT_NE(out_.find("\"status\": \"completed\""), std::string::npos) << out_;
+
+  // A path the client cannot open is a client-side error; no frame is sent.
+  const std::string bad_job = WriteProgram(R"({"program_file": "/no/such/file.fl"})");
+  EXPECT_EQ(Run({"submit", "--socket=" + server.unix_path(), "--job-file=" + bad_job}), 1);
+  EXPECT_NE(err_.find("cannot open"), std::string::npos) << err_;
+  server.Shutdown();
 }
 
 }  // namespace

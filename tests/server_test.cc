@@ -7,10 +7,13 @@
 #include "src/server/server.h"
 
 #include <arpa/inet.h>
+#include <sys/socket.h>
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -345,6 +348,88 @@ TEST(ServerTest, BadRequestKeepsConnectionOpen) {
   EXPECT_EQ(TypeOf(pong.value()), "pong");
 }
 
+TEST(ServerTest, SubmitProgramFileIsRejectedWithoutTouchingTheFilesystem) {
+  std::unique_ptr<CheckServer> server = StartServer(ServerConfig{});
+  ServeClient client = MustConnect(*server);
+
+  const std::string existing = ::testing::TempDir() + "/server_test_secret.fl";
+  std::ofstream(existing) << "program p(a) { y = a; }";
+
+  const auto submit_program_file = [&](const std::string& path) {
+    Json job = Json::MakeObject();
+    job.Set("id", Json::MakeString("spy"));
+    job.Set("program_file", Json::MakeString(path));
+    Result<Json> terminal = client.SubmitJob(job);
+    EXPECT_TRUE(terminal.ok()) << (terminal.ok() ? "" : terminal.error().message);
+    return terminal.ok() ? std::move(terminal.value()) : Json();
+  };
+
+  const Json present = submit_program_file(existing);
+  const Json absent = submit_program_file(existing + ".does-not-exist");
+  EXPECT_EQ(TypeOf(present), "error");
+  EXPECT_EQ(ErrorCodeOf(present), "bad-request");
+  EXPECT_EQ(StringField(present, "id"), "spy");
+  EXPECT_NE(StringField(present, "message").find("program_file"), std::string::npos);
+  // No existence oracle: the refusal is byte-identical whether or not the
+  // named path exists on the daemon host.
+  EXPECT_EQ(StringField(present, "message"), StringField(absent, "message"));
+  EXPECT_EQ(ErrorCodeOf(present), ErrorCodeOf(absent));
+
+  // Request-level rejection: the stream is intact and real work proceeds.
+  const Result<Json> pong = client.Ping();
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(TypeOf(pong.value()), "pong");
+}
+
+TEST(ServerTest, ReloadDefaultsCannotSmuggleProgramFile) {
+  std::unique_ptr<CheckServer> server = StartServer(ServerConfig{});
+  ServeClient client = MustConnect(*server);
+
+  Json defaults = Json::MakeObject();
+  defaults.Set("program_file", Json::MakeString("/etc/passwd"));
+  const Result<Json> response = client.Reload(defaults, Json());
+  ASSERT_TRUE(response.ok()) << response.error().message;
+  EXPECT_EQ(TypeOf(response.value()), "error");
+  EXPECT_EQ(ErrorCodeOf(response.value()), "bad-request");
+  EXPECT_NE(StringField(response.value(), "message").find("program_file"),
+            std::string::npos);
+
+  // The failed reload left the original policy (and epoch) in place.
+  const Result<Json> pong = client.Ping();
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(IntField(pong.value(), "epoch"), 1);
+}
+
+TEST(ServerTest, TcpPortsOutsideRangeAreRejectedNotTruncated) {
+  int bound = -1;
+  const Result<Fd> listen_high = ListenTcp(70000, &bound);  // htons would bind 4464
+  ASSERT_FALSE(listen_high.ok());
+  EXPECT_NE(listen_high.error().message.find("65535"), std::string::npos);
+  EXPECT_FALSE(ListenTcp(65536, &bound).ok());
+  EXPECT_FALSE(ConnectTcp(70000).ok());
+  EXPECT_FALSE(ConnectTcp(0).ok());  // 0 means "ephemeral" only for listeners
+}
+
+TEST(ServerTest, SendTimeoutFailsFastWhenPeerStopsReading) {
+  int pair[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  Fd writer(pair[0]);
+  Fd silent_peer(pair[1]);  // never reads, exactly like a stalled client
+  ASSERT_TRUE(SetSendTimeoutMs(writer, 100));
+
+  // Far beyond any default socket buffer, so the write must eventually wait
+  // for the peer — and with SO_SNDTIMEO set, fail instead of waiting forever.
+  const std::string block(8u << 20, 'x');
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(SendAll(writer.get(), block.data(), block.size(), &error));
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  EXPECT_LT(elapsed_ms, 5000) << "send timeout did not bound the blocking write";
+}
+
 TEST(ServerTest, ErrorCodesAreDistinctOnTheWire) {
   const ServeErrorCode codes[] = {
       ServeErrorCode::kMalformedFrame, ServeErrorCode::kOversizedFrame,
@@ -442,14 +527,17 @@ TEST(ServerTest, HigherPriorityJobsDispatchFirst) {
   FrameReader frames(&client);
 
   // The slow job pins the single worker; the two queued behind it must then
-  // dispatch by priority, not arrival order.
+  // dispatch by priority, not arrival order. Slow carries the top priority so
+  // the order holds even if the worker only wakes after all three are queued
+  // (the accepted frame is sent at admission, before dispatch).
   CheckJobSpec low = BaseSpec("low", kCleanProgram);
   low.priority = 1;
   CheckJobSpec high = BaseSpec("high", kLeakyProgram);
   high.grid_lo = -2;  // distinct spec: a cache hit would not mask ordering
   high.priority = 9;
 
-  const CheckJobSpec slow = SlowSpec("slow");
+  CheckJobSpec slow = SlowSpec("slow");
+  slow.priority = 10;
   const CheckJobSpec* submissions[] = {&slow /*holds the worker*/, &low, &high};
   for (const CheckJobSpec* spec : submissions) {
     Json submit = Json::MakeObject();

@@ -754,6 +754,35 @@ TEST(ManifestTest, ParsesDefaultsAndJobs) {
   EXPECT_EQ(report.stats.completed, 3);
 }
 
+TEST(ManifestTest, ProgramFileIsALocalManifestOnlyKey) {
+  const std::string path = ::testing::TempDir() + "/manifest_program.fl";
+  std::ofstream(path) << "program p(a) { y = a; }";
+
+  // A local manifest is operator-authored and may load files at parse time.
+  const Result<BatchManifest> manifest = ParseBatchManifest(
+      R"({"jobs": [{"program_file": ")" + path + R"(", "allow": [0]}]})");
+  ASSERT_TRUE(manifest.ok()) << manifest.error().message;
+  ASSERT_EQ(manifest.value().jobs.size(), 1u);
+  EXPECT_EQ(manifest.value().jobs[0].program_text, "program p(a) { y = a; }");
+
+  // An untrusted submission must not: the key itself is refused, with the
+  // same error whether or not the path exists (no existence oracle).
+  const auto reject = [](const std::string& file_path) {
+    Json object = Json::MakeObject();
+    object.Set("program_file", Json::MakeString(file_path));
+    CheckJobSpec spec;
+    const Result<bool> applied = ApplyManifestJobFields(
+        object, "submit.job", &spec, JobFieldSource::kUntrustedSubmission);
+    EXPECT_FALSE(applied.ok());
+    EXPECT_TRUE(spec.program_text.empty()) << "file content must never load";
+    return applied.ok() ? std::string() : applied.error().message;
+  };
+  const std::string exists = reject(path);
+  const std::string missing = reject(path + ".does-not-exist");
+  EXPECT_EQ(exists, missing);
+  EXPECT_NE(exists.find("program_file"), std::string::npos);
+}
+
 TEST(ManifestTest, RejectsUnknownAndMistypedFields) {
   EXPECT_FALSE(ParseBatchManifest("[1]").ok());
   EXPECT_FALSE(ParseBatchManifest("{}").ok());  // no jobs array
