@@ -1,0 +1,236 @@
+// E23 — the equivalence-class sweep (DESIGN.md §14): evaluation savings
+// from constancy certificates, and the incremental-recheck win from the
+// representative memo after a one-box program edit.
+//
+// The |D|^k wall: a point sweep evaluates the mechanism once per grid
+// point, so cost scales as the full grid product. The class sweep
+// partitions the grid by the policy image (analytically for allow(J) —
+// zero policy evaluations), runs ONE tracked representative per class, and
+// copies its outcome across every member the constancy certificate covers.
+// For a mechanism that reads only allowed coordinates, mechanism
+// evaluations collapse from |D|^k to |D|^|J| — the table below measures
+// that ratio (the acceptance target is >= 10x fewer) together with the
+// wall-clock speedup, which tracks it once per-evaluation cost dominates.
+//
+// The second table measures the memo layer: re-submitting a "class" job
+// after an edit confined to a box the representatives never executed
+// revalidates every memo entry against the new program's digest tree and
+// spends ZERO representative evaluations — the incremental recheck. The
+// result cache cannot help there (the program text changed, so the job's
+// cache key changed); the memo is the layer below it.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/classes.h"
+#include "src/mechanism/outcome_table.h"
+#include "src/service/service.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+// A loop body gives every surveilled evaluation a real cost, so the
+// evaluation-count ratio shows up in wall time too. Only coordinate `a` is
+// read, so with allow={0} every class certifies.
+std::string CertifyingProgram(int k, int loop) {
+  std::string params = "a";
+  for (int i = 1; i < k; ++i) {
+    params += ", " + std::string(1, static_cast<char>('a' + i));
+  }
+  return "program p(" + params + ") { locals i; i = " + std::to_string(loop) +
+         "; while (i != 0) { i = i - 1; } y = a; }";
+}
+
+struct BuildCost {
+  double wall_ms = 0.0;
+  ClassBuildStats stats;
+};
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One point-mode and one class-mode table build over the same sources.
+// Returns (point ms, class cost); asserts completion via DoNotOptimize.
+std::pair<double, BuildCost> BuildBothWays(const ProtectionMechanism& mechanism,
+                                           const SecurityPolicy& policy,
+                                           const InputDomain& domain,
+                                           const ClassPartition& partition) {
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+  sources.policy = &policy;
+
+  auto start = std::chrono::steady_clock::now();
+  const OutcomeTable point = BuildOutcomeTable(sources, domain, CheckOptions::Serial());
+  const double point_ms = MillisSince(start);
+  benchmark::DoNotOptimize(point.complete());
+
+  BuildCost classed;
+  ClassSweepContext context;
+  context.partition = &partition;
+  context.stats = &classed.stats;
+  start = std::chrono::steady_clock::now();
+  const OutcomeTable table =
+      BuildOutcomeTableWithClasses(sources, domain, context, CheckOptions::Serial());
+  classed.wall_ms = MillisSince(start);
+  benchmark::DoNotOptimize(table.complete());
+  return {point_ms, classed};
+}
+
+void PrintReproduction() {
+  PrintHeader("E23: equivalence-class sweeps — breaking the |D|^k wall");
+
+  // (1) Mechanism evaluations, point vs class, as the grid grows. The
+  // surveillance mechanism reads only the allowed coordinate, so the class
+  // sweep runs |D| representatives however large |D|^k gets.
+  {
+    PrintRow({"k", "points", "evals pt", "evals cls", "fewer", "pt ms", "cls ms", "speedup"},
+             {3, 8, 9, 9, 8, 9, 9, 8});
+    for (const int k : {3, 4, 5, 6}) {
+      const InputDomain domain = InputDomain::Range(k, -1, 2);  // 4^k points
+      const VarSet allowed = VarSet::Singleton(0);
+      const AllowPolicy policy(k, allowed);
+      const SurveillanceMechanism mechanism(
+          MustCompile(CertifyingProgram(k, 40)), allowed);
+      const ClassPartition partition = PartitionByAllow(domain, allowed);
+      const auto [point_ms, classed] = BuildBothWays(mechanism, policy, domain, partition);
+      const double fewer =
+          classed.stats.mechanism_runs > 0
+              ? static_cast<double>(domain.size()) /
+                    static_cast<double>(classed.stats.mechanism_runs)
+              : 0.0;
+      const double speedup = classed.wall_ms > 0 ? point_ms / classed.wall_ms : 0.0;
+      PrintRow({std::to_string(k), std::to_string(domain.size()),
+                std::to_string(domain.size()),
+                std::to_string(classed.stats.mechanism_runs),
+                FormatDouble(fewer, 0) + "x", FormatDouble(point_ms, 2),
+                FormatDouble(classed.wall_ms, 2), FormatDouble(speedup, 1) + "x"},
+               {3, 8, 9, 9, 8, 9, 9, 8});
+    }
+    std::printf("  (acceptance target: >= 10x fewer mechanism evaluations)\n\n");
+  }
+
+  // (2) Incremental recheck through the service's representative memo: the
+  // same class job cold, again warm (result-cache hit: no checker at all),
+  // and after a dead-box edit (new cache key, but every representative
+  // outcome revalidates from the memo).
+  {
+    // A heavy loop body makes the representative evaluations the dominant
+    // cost of the cold class run (64 representatives for allow{0,1,2} over
+    // 4^6 points; the 4096 certified copies are nearly free). The edited
+    // resubmission revalidates every memo entry — the executed boxes are
+    // untouched by the dead-branch edit — and pays for none of them.
+    const std::string base_text =
+        "program p(a, b, c, d, e, f) { locals i; i = 2000; "
+        "while (i != 0) { i = i - 1; } "
+        "if (a > 50) { y = b; } else { y = a; } }";
+    const std::string edited_text =
+        "program p(a, b, c, d, e, f) { locals i; i = 2000; "
+        "while (i != 0) { i = i - 1; } "
+        "if (a > 50) { y = b - 7; } else { y = a; } }";
+
+    CheckJobSpec spec;
+    spec.id = "e23";
+    spec.program_text = base_text;
+    spec.allow = VarSet::FirstN(3);
+    spec.sweep_mode = "class";
+
+    ServiceConfig config;
+    config.concurrency = 1;
+    CheckService service(config);
+
+    const auto run = [&](const CheckJobSpec& job) {
+      const auto start = std::chrono::steady_clock::now();
+      const BatchReport report = service.RunBatch({job});
+      benchmark::DoNotOptimize(report.stats.completed);
+      return MillisSince(start);
+    };
+
+    const double cold_ms = run(spec);
+    const std::uint64_t hits_cold = service.class_memo().hits();
+    const double warm_ms = run(spec);  // result-cache hit, memo untouched
+    CheckJobSpec edited = spec;
+    edited.program_text = edited_text;
+    const double edit_ms = run(edited);  // cache miss, memo revalidates
+    const std::uint64_t hits_edit = service.class_memo().hits() - hits_cold;
+
+    PrintRow({"submission", "wall ms", "memo hits", "speedup vs cold"}, {22, 10, 10, 16});
+    PrintRow({"cold", FormatDouble(cold_ms, 2), "0", "1.0x"}, {22, 10, 10, 16});
+    PrintRow({"identical (cache hit)", FormatDouble(warm_ms, 3), "0",
+              FormatDouble(warm_ms > 0 ? cold_ms / warm_ms : 0.0, 1) + "x"},
+             {22, 10, 10, 16});
+    PrintRow({"dead-box edit (memo)", FormatDouble(edit_ms, 2), std::to_string(hits_edit),
+              FormatDouble(edit_ms > 0 ? cold_ms / edit_ms : 0.0, 1) + "x"},
+             {22, 10, 10, 16});
+    std::printf(
+        "  (the edit changes the job's cache key; the memo layer below the\n"
+        "   cache still reuses every representative outcome)\n");
+  }
+}
+
+void BM_PointTable(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const InputDomain domain = InputDomain::Range(k, -1, 2);
+  const VarSet allowed = VarSet::Singleton(0);
+  const AllowPolicy policy(k, allowed);
+  const SurveillanceMechanism mechanism(
+      MustCompile(CertifyingProgram(k, 40)), allowed);
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+  sources.policy = &policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildOutcomeTable(sources, domain, CheckOptions::Serial()).complete());
+  }
+  state.counters["points"] = static_cast<double>(domain.size());
+}
+BENCHMARK(BM_PointTable)->Arg(4)->Arg(6);
+
+void BM_ClassTable(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const InputDomain domain = InputDomain::Range(k, -1, 2);
+  const VarSet allowed = VarSet::Singleton(0);
+  const AllowPolicy policy(k, allowed);
+  const SurveillanceMechanism mechanism(
+      MustCompile(CertifyingProgram(k, 40)), allowed);
+  const ClassPartition partition = PartitionByAllow(domain, allowed);
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+  sources.policy = &policy;
+  for (auto _ : state) {
+    ClassSweepContext context;
+    context.partition = &partition;
+    benchmark::DoNotOptimize(
+        BuildOutcomeTableWithClasses(sources, domain, context, CheckOptions::Serial())
+            .complete());
+  }
+  state.counters["points"] = static_cast<double>(domain.size());
+}
+BENCHMARK(BM_ClassTable)->Arg(4)->Arg(6);
+
+void BM_ClassMemoLookup(benchmark::State& state) {
+  ClassMemo memo;
+  Fingerprinter fp;
+  fp.Tag("bench");
+  const Fingerprint context = fp.Digest();
+  ClassMemo::Entry entry;
+  entry.outcome = Outcome::Val(1, 1);
+  memo.Insert(context, 0, entry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memo.Lookup(context, 0).has_value());
+  }
+}
+BENCHMARK(BM_ClassMemoLookup);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

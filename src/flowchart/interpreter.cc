@@ -38,6 +38,67 @@ ExecResult RunProgram(const Program& program, InputView input, StepCount fuel) {
   return result;  // fuel exhausted
 }
 
+std::vector<int> ExecFootprint::BoxIds() const {
+  std::vector<int> out;
+  for (size_t b = 0; b < boxes.size(); ++b) {
+    if (boxes[b]) {
+      out.push_back(static_cast<int>(b));
+    }
+  }
+  return out;
+}
+
+ExecResult RunProgramTracked(const Program& program, InputView input, ExecFootprint* footprint,
+                             StepCount fuel) {
+  assert(static_cast<int>(input.size()) == program.num_inputs());
+  assert(footprint != nullptr);
+  std::vector<Value> env(program.num_vars(), 0);
+  for (int i = 0; i < program.num_inputs(); ++i) {
+    env[i] = input[i];
+  }
+  footprint->reads = VarSet();
+  footprint->boxes.assign(static_cast<size_t>(program.num_boxes()), false);
+  // Input variables that have been overwritten no longer carry input data;
+  // reading them is not an input read.
+  VarSet live_inputs = VarSet::FirstN(program.num_inputs());
+  const auto note_reads = [&](const Expr& expr) {
+    footprint->reads = footprint->reads.Union(expr.FreeVars().Intersect(live_inputs));
+  };
+
+  ExecResult result;
+  int pc = program.start_box();
+  while (result.steps < fuel) {
+    ++result.steps;
+    footprint->boxes[pc] = true;
+    const Box& box = program.box(pc);
+    switch (box.kind) {
+      case Box::Kind::kStart:
+        pc = box.next;
+        break;
+      case Box::Kind::kAssign:
+        note_reads(box.expr);
+        env[box.var] = box.expr.Eval(env);
+        if (program.IsInputVar(box.var)) {
+          live_inputs.Erase(box.var);
+        }
+        pc = box.next;
+        break;
+      case Box::Kind::kDecision:
+        note_reads(box.predicate);
+        pc = box.predicate.Eval(env) != 0 ? box.true_next : box.false_next;
+        break;
+      case Box::Kind::kHalt:
+        // y is never an input variable (ids place it after all inputs), so
+        // reading it at the halt box adds no input dependency of its own.
+        result.output = env[program.output_var()];
+        result.halted = true;
+        result.halt_box = pc;
+        return result;
+    }
+  }
+  return result;  // fuel exhausted
+}
+
 namespace {
 
 // Recursively enumerates the grid and compares outputs.

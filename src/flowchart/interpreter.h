@@ -8,8 +8,11 @@
 #ifndef SECPOL_SRC_FLOWCHART_INTERPRETER_H_
 #define SECPOL_SRC_FLOWCHART_INTERPRETER_H_
 
+#include <vector>
+
 #include "src/flowchart/program.h"
 #include "src/util/value.h"
+#include "src/util/var_set.h"
 
 namespace secpol {
 
@@ -27,6 +30,36 @@ struct ExecResult {
 
 // Executes `program` on `input` (input.size() must equal num_inputs()).
 ExecResult RunProgram(const Program& program, InputView input, StepCount fuel = kDefaultFuel);
+
+// What one tracked execution consumed: a sound over-approximation of the
+// input coordinates the run depended on, and the set of boxes it executed.
+//
+// `reads` contains every input variable that still held its initial input
+// value when a box referencing it executed (reads are over-approximated per
+// executed box via FreeVars, which is sound: extra coordinates only weaken
+// the certificate below, never break it). The dependency theorem the
+// class sweep relies on (DESIGN.md §14): execution is a deterministic
+// function of the start box, the contents of the executed boxes, and the
+// values of the coordinates in `reads` — so two inputs agreeing on `reads`
+// produce byte-identical traces, outcomes, and step counts.
+//
+// `boxes[b]` is true iff box b executed at least once. An edit to a program
+// box outside this set cannot change the run (the incremental-recheck memo
+// keys on exactly this, via the per-node digest tree).
+struct ExecFootprint {
+  VarSet reads;
+  std::vector<bool> boxes;
+
+  // The executed boxes as a sorted id list (the memo-friendly form).
+  std::vector<int> BoxIds() const;
+};
+
+// RunProgram plus the execution's footprint. The traced run costs a FreeVars
+// walk per executed box (the same price the surveillance interpreter already
+// pays per step), so it is reserved for class representatives, not the grid
+// hot path.
+ExecResult RunProgramTracked(const Program& program, InputView input, ExecFootprint* footprint,
+                             StepCount fuel = kDefaultFuel);
 
 // Exhaustively checks that two programs compute the same output function on
 // the cross product of `grid_values` assigned to each input (both programs

@@ -1,5 +1,6 @@
 #include "src/flowchart/program.h"
 
+#include <algorithm>
 #include <deque>
 
 namespace secpol {
@@ -172,6 +173,35 @@ std::string Program::ToString() const {
   return out;
 }
 
+namespace {
+
+// The canonical encoding of one box. Shared by the flat program fingerprint
+// (golden-pinned: this must keep writing exactly the bytes it always has)
+// and the per-box leaves of the digest tree.
+void AppendBoxFingerprint(const Box& box, Fingerprinter* fp) {
+  fp->Tag("box");
+  fp->I32(static_cast<int>(box.kind));
+  switch (box.kind) {
+    case Box::Kind::kStart:
+      fp->I32(box.next);
+      break;
+    case Box::Kind::kAssign:
+      fp->I32(box.var);
+      box.expr.AppendFingerprint(fp);
+      fp->I32(box.next);
+      break;
+    case Box::Kind::kDecision:
+      box.predicate.AppendFingerprint(fp);
+      fp->I32(box.true_next);
+      fp->I32(box.false_next);
+      break;
+    case Box::Kind::kHalt:
+      break;
+  }
+}
+
+}  // namespace
+
 void Program::AppendFingerprint(Fingerprinter* fp) const {
   fp->Tag("program");
   fp->Str(name_);
@@ -184,25 +214,7 @@ void Program::AppendFingerprint(Fingerprinter* fp) const {
   fp->I32(start_box_);
   fp->U64(boxes_.size());
   for (const Box& box : boxes_) {
-    fp->Tag("box");
-    fp->I32(static_cast<int>(box.kind));
-    switch (box.kind) {
-      case Box::Kind::kStart:
-        fp->I32(box.next);
-        break;
-      case Box::Kind::kAssign:
-        fp->I32(box.var);
-        box.expr.AppendFingerprint(fp);
-        fp->I32(box.next);
-        break;
-      case Box::Kind::kDecision:
-        box.predicate.AppendFingerprint(fp);
-        fp->I32(box.true_next);
-        fp->I32(box.false_next);
-        break;
-      case Box::Kind::kHalt:
-        break;
-    }
+    AppendBoxFingerprint(box, fp);
   }
 }
 
@@ -210,6 +222,55 @@ Fingerprint Program::ContentFingerprint() const {
   Fingerprinter fp;
   AppendFingerprint(&fp);
   return fp.Digest();
+}
+
+Fingerprint Program::BoxDigest(int box_id) const {
+  Fingerprinter fp;
+  AppendBoxFingerprint(boxes_[static_cast<size_t>(box_id)], &fp);
+  return fp.Digest();
+}
+
+ProgramDigestTree Program::DigestTree() const {
+  ProgramDigestTree tree;
+
+  Fingerprinter skeleton;
+  skeleton.Tag("program-skeleton");
+  skeleton.Str(name_);
+  skeleton.I32(num_inputs_);
+  skeleton.I32(num_locals_);
+  skeleton.U64(var_names_.size());
+  for (const std::string& name : var_names_) {
+    skeleton.Str(name);
+  }
+  skeleton.I32(start_box_);
+  skeleton.U64(boxes_.size());
+  tree.skeleton = skeleton.Digest();
+
+  tree.nodes.reserve(boxes_.size());
+  Fingerprinter root;
+  root.Tag("program-tree");
+  root.Nested(tree.skeleton);
+  for (int b = 0; b < num_boxes(); ++b) {
+    const Fingerprint leaf = BoxDigest(b);
+    tree.nodes.push_back(NodeFingerprint{b, leaf});
+    root.Nested(leaf);
+  }
+  tree.root = root.Digest();
+  return tree;
+}
+
+std::vector<int> ChangedNodes(const ProgramDigestTree& a, const ProgramDigestTree& b) {
+  std::vector<int> changed;
+  const size_t common = std::min(a.nodes.size(), b.nodes.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (!(a.nodes[i] == b.nodes[i])) {
+      changed.push_back(static_cast<int>(i));
+    }
+  }
+  for (size_t i = common; i < std::max(a.nodes.size(), b.nodes.size()); ++i) {
+    changed.push_back(static_cast<int>(i));
+  }
+  return changed;
 }
 
 }  // namespace secpol

@@ -45,6 +45,40 @@ struct Box {
   int false_next = -1;
 };
 
+// One leaf of a program's digest tree: the content hash of a single box
+// (its kind, edges, assigned variable, and expression).
+struct NodeFingerprint {
+  int box = -1;
+  Fingerprint digest;
+
+  bool operator==(const NodeFingerprint& other) const {
+    return box == other.box && digest == other.digest;
+  }
+};
+
+// A compositional fingerprint of a program: a skeleton digest (name, arity,
+// variable names, start box, box count) plus one digest per box, combined
+// Merkle-style into a root. Two trees with equal roots encode equal
+// programs; two trees with equal skeletons but differing node digests
+// pinpoint exactly WHICH boxes changed — the changed-dependency set the
+// incremental recheck (DESIGN.md §14) prunes with. Computed on demand (the
+// Program is mutable via mutable_box, so there is no safe place to cache).
+//
+// Note the root is deliberately NOT the same value as ContentFingerprint():
+// the flat encoding is pinned by cache-key goldens and must not change; the
+// tree is a separate, additive construction.
+struct ProgramDigestTree {
+  Fingerprint skeleton;
+  std::vector<NodeFingerprint> nodes;  // one per box, in box-id order
+  Fingerprint root;
+};
+
+// The box ids whose digests differ between the two trees (including ids
+// present in only one tree, when box counts differ). A skeleton change is
+// reported separately by comparing `skeleton` members — callers that key on
+// box edits must treat a skeleton change as "everything changed".
+std::vector<int> ChangedNodes(const ProgramDigestTree& a, const ProgramDigestTree& b);
+
 class Program {
  public:
   Program(std::string name, std::vector<std::string> input_names,
@@ -98,6 +132,11 @@ class Program {
 
   // Convenience: the digest of AppendFingerprint into a fresh Fingerprinter.
   Fingerprint ContentFingerprint() const;
+
+  // The compositional digest tree (see ProgramDigestTree above).
+  ProgramDigestTree DigestTree() const;
+  // The digest of one box alone (the tree's leaf for `box_id`).
+  Fingerprint BoxDigest(int box_id) const;
 
  private:
   std::string name_;

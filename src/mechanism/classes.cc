@@ -1,0 +1,230 @@
+#include "src/mechanism/classes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace secpol {
+
+std::uint64_t ClassPartition::MultiMemberClasses() const {
+  std::uint64_t multi = 0;
+  for (std::uint64_t size : class_size) {
+    if (size > 1) {
+      ++multi;
+    }
+  }
+  return multi;
+}
+
+ClassPartition PartitionByAllow(const InputDomain& domain, VarSet allowed) {
+  ClassPartition partition;
+  const std::optional<std::uint64_t> grid = domain.CheckedSize();
+  if (!grid.has_value() || *grid > ClassPartition::kMaxPoints) {
+    return partition;  // refused: empty
+  }
+  const int k = domain.num_inputs();
+  assert(allowed.SubsetOf(VarSet::FirstN(k)));
+
+  partition.num_points = *grid;
+  partition.analytic = true;
+
+  // Rank strides of the lexicographic order (coordinate 0 most significant).
+  std::vector<std::uint64_t> stride(static_cast<size_t>(k), 1);
+  for (int i = k - 2; i >= 0; --i) {
+    stride[i] = stride[i + 1] * domain.values_for(i + 1).size();
+  }
+
+  // Class count = product of the allowed coordinates' sizes; the class id is
+  // the mixed-radix value of the J-projected digits, so ids increase with
+  // the representative's rank.
+  std::uint64_t num_classes = 1;
+  for (int i = 0; i < k; ++i) {
+    if (allowed.Contains(i)) {
+      num_classes *= domain.values_for(i).size();
+    }
+  }
+  const std::uint64_t class_size = partition.num_points / std::max<std::uint64_t>(num_classes, 1);
+
+  // Constant within every class: the allowed coordinates (shared by
+  // definition) plus every singleton coordinate (nothing to vary).
+  VarSet constant = allowed;
+  for (int i = 0; i < k; ++i) {
+    if (domain.values_for(i).size() == 1) {
+      constant.Insert(i);
+    }
+  }
+
+  partition.num_classes = static_cast<std::int64_t>(num_classes);
+  partition.class_of_rank.assign(partition.num_points, 0);
+  partition.representative.assign(num_classes, 0);
+  partition.class_size.assign(num_classes, class_size);
+  partition.constant_coords.assign(num_classes, constant);
+
+  // One odometer pass over the ranks, maintaining the J-projected class id
+  // incrementally.
+  std::vector<std::uint64_t> digits(static_cast<size_t>(k), 0);
+  std::uint64_t class_id = 0;
+  std::vector<std::uint64_t> class_stride(static_cast<size_t>(k), 0);
+  {
+    std::uint64_t s = 1;
+    for (int i = k - 1; i >= 0; --i) {
+      if (allowed.Contains(i)) {
+        class_stride[i] = s;
+        s *= domain.values_for(i).size();
+      }
+    }
+  }
+  std::vector<char> seen(num_classes, 0);
+  for (std::uint64_t rank = 0; rank < partition.num_points; ++rank) {
+    partition.class_of_rank[rank] = static_cast<std::int32_t>(class_id);
+    if (!seen[class_id]) {
+      seen[class_id] = 1;
+      // First visit in rank order = lowest member rank.
+      partition.representative[class_id] = rank;
+    }
+    // Advance the odometer (no-op past the last rank).
+    for (int i = k - 1; i >= 0; --i) {
+      const std::uint64_t size = domain.values_for(i).size();
+      if (++digits[i] < size) {
+        if (allowed.Contains(i)) {
+          class_id += class_stride[i];
+        }
+        break;
+      }
+      digits[i] = 0;
+      if (allowed.Contains(i)) {
+        class_id -= class_stride[i] * (size - 1);
+      }
+    }
+  }
+  return partition;
+}
+
+ClassPartition PartitionByImages(const InputDomain& domain, const SecurityPolicy& policy) {
+  ClassPartition partition;
+  const std::optional<std::uint64_t> grid = domain.CheckedSize();
+  if (!grid.has_value() || *grid > ClassPartition::kMaxPoints) {
+    return partition;  // refused: empty
+  }
+  const int k = domain.num_inputs();
+  assert(policy.num_inputs() == k);
+
+  partition.num_points = *grid;
+  partition.analytic = false;
+  partition.class_of_rank.assign(partition.num_points, 0);
+
+  std::map<PolicyImage, std::int32_t> class_of_image;
+  std::vector<Input> first_member;
+  const VarSet all_coords = VarSet::FirstN(k);
+  domain.ForEachRange(0, partition.num_points, [&](std::uint64_t rank, InputView input) {
+    ++partition.policy_evals;
+    PolicyImage image = policy.Image(input);
+    auto [it, inserted] =
+        class_of_image.try_emplace(std::move(image), static_cast<std::int32_t>(
+                                                         partition.representative.size()));
+    const std::int32_t c = it->second;
+    partition.class_of_rank[rank] = c;
+    if (inserted) {
+      partition.representative.push_back(rank);
+      partition.class_size.push_back(1);
+      partition.constant_coords.push_back(all_coords);
+      first_member.emplace_back(input.begin(), input.end());
+    } else {
+      ++partition.class_size[static_cast<size_t>(c)];
+      VarSet& constant = partition.constant_coords[static_cast<size_t>(c)];
+      const Input& first = first_member[static_cast<size_t>(c)];
+      for (int i = 0; i < k; ++i) {
+        if (constant.Contains(i) && input[i] != first[static_cast<size_t>(i)]) {
+          constant.Erase(i);
+        }
+      }
+    }
+    return true;
+  });
+  partition.num_classes = static_cast<std::int64_t>(partition.representative.size());
+  return partition;
+}
+
+ClassPartition BuildClassPartition(const InputDomain& domain, const SecurityPolicy& policy) {
+  if (const auto* allow = dynamic_cast<const AllowPolicy*>(&policy)) {
+    return PartitionByAllow(domain, allow->allowed());
+  }
+  return PartitionByImages(domain, policy);
+}
+
+Fingerprint TouchedBoxDigest(const ProgramDigestTree& tree, const std::vector<int>& boxes) {
+  Fingerprinter fp;
+  fp.Tag("touched-boxes");
+  fp.U64(boxes.size());
+  for (int box : boxes) {
+    fp.I32(box);
+    if (box >= 0 && static_cast<size_t>(box) < tree.nodes.size()) {
+      fp.Nested(tree.nodes[static_cast<size_t>(box)].digest);
+    } else {
+      fp.Tag("missing-box");
+    }
+  }
+  return fp.Digest();
+}
+
+ClassMemo::ClassMemo(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<ClassMemo::Entry> ClassMemo::Lookup(const Fingerprint& context,
+                                                  std::uint64_t rep_rank) {
+  const Key key{context, rep_rank};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+  return it->second->entry;
+}
+
+void ClassMemo::Insert(const Fingerprint& context, std::uint64_t rep_rank, Entry entry) {
+  const Key key{context, rep_rank};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Slot{key, std::move(entry)});
+  index_[key] = lru_.begin();
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t ClassMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+std::uint64_t ClassMemo::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ClassMemo::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t ClassMemo::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void ClassMemo::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace secpol

@@ -1,0 +1,203 @@
+// Equivalence-class machinery for the class-level sweep (DESIGN.md §14).
+//
+// A security policy I partitions the input grid into indistinguishability
+// classes: d ~ d' iff I(d) = I(d'). Soundness-style checks only ever compare
+// mechanism outcomes *within* a class, and for the paper's central allow(J)
+// family the classes are analytically derivable — the class of d is its
+// projection onto J — so the partition costs ZERO policy evaluations.
+//
+// The |D|^k wall breaks in two steps:
+//
+//   1. ClassPartition — split the grid into classes, pick the lowest-rank
+//      member of each class as its representative, and record per class the
+//      coordinate set that is CONSTANT across its members (for allow(J):
+//      J itself plus every singleton coordinate).
+//
+//   2. Constancy certificates — run the representative through
+//      ProtectionMechanism::RunTracked. If the run tracked exactly and its
+//      read set is contained in the class's constant coordinates, every
+//      member of the class agrees with the representative on every
+//      coordinate the execution can observe, so by the dependency theorem
+//      (src/flowchart/interpreter.h) every member's outcome is byte-identical
+//      to the representative's: one evaluation covers the whole class.
+//
+// Certificates are sound-by-default: mechanisms that cannot track (fault
+// injectors, retry wrappers, tables, arbitrary callables) inherit the
+// fail-closed base RunTracked and simply never certify — the class sweep
+// then degenerates to the point sweep plus a few wasted representative runs,
+// never to a wrong table.
+//
+// ClassMemo adds the incremental-recheck layer: representative outcomes are
+// memoized under (context fingerprint, representative rank) together with
+// the executed-box set and a digest of those boxes' contents. A re-submitted
+// job whose program edit avoids the executed boxes revalidates the entry
+// against the current ProgramDigestTree and reuses the outcome without
+// running the mechanism at all.
+
+#ifndef SECPOL_SRC_MECHANISM_CLASSES_H_
+#define SECPOL_SRC_MECHANISM_CLASSES_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/flowchart/program.h"
+#include "src/mechanism/domain.h"
+#include "src/mechanism/outcome.h"
+#include "src/policy/policy.h"
+#include "src/util/fingerprint.h"
+#include "src/util/var_set.h"
+
+namespace secpol {
+
+// The policy's indistinguishability classes over one grid.
+//
+// Representatives are the lowest-rank member of each class, which is what
+// makes class-mode reports byte-identical to point-mode ones: the serial
+// scan's first occurrence of a class IS its representative, so first-witness
+// reducers see identical (representative, witness) pairs either way.
+struct ClassPartition {
+  // Largest grid a partition will materialize, matching
+  // OutcomeTable::kMaxPoints — partitions exist to feed tables.
+  static constexpr std::uint64_t kMaxPoints = std::uint64_t{1} << 21;
+
+  std::uint64_t num_points = 0;
+  std::int64_t num_classes = 0;
+  // True when the partition was derived from allow(J) structure alone,
+  // with zero policy evaluations.
+  bool analytic = false;
+  // Policy evaluations spent building (0 when analytic).
+  std::uint64_t policy_evals = 0;
+
+  std::vector<std::int32_t> class_of_rank;       // size num_points
+  std::vector<std::uint64_t> representative;     // per class: lowest member rank
+  std::vector<std::uint64_t> class_size;         // per class: member count
+  std::vector<VarSet> constant_coords;           // per class: coords constant
+                                                 // across all members
+
+  // A refused build (oversized or overflowing grid) is empty.
+  bool empty() const { return num_classes == 0; }
+
+  std::uint64_t MultiMemberClasses() const;
+};
+
+// Analytic partition for allow(J): the class of d is its J-projection, the
+// representative has every non-J coordinate at its first candidate value,
+// and the constant coordinates are J plus every singleton coordinate.
+// Costs zero policy evaluations. `allowed` must be a subset of the grid's
+// coordinates.
+ClassPartition PartitionByAllow(const InputDomain& domain, VarSet allowed);
+
+// Generic fallback: evaluate I(d) for every rank and group equal images.
+// Class ids are assigned in first-occurrence rank order; each class's
+// constant coordinates are computed exactly (a coordinate is constant iff
+// every member agrees with the first member on it). Costs one policy
+// evaluation per grid point — but zero MECHANISM evaluations, which is
+// where the class sweep's savings live.
+ClassPartition PartitionByImages(const InputDomain& domain, const SecurityPolicy& policy);
+
+// Dispatch: analytic for AllowPolicy, evaluated images otherwise.
+ClassPartition BuildClassPartition(const InputDomain& domain, const SecurityPolicy& policy);
+
+// Instrumentation out-param of the class-backed table build: where the
+// evaluations went and what the certificates saved.
+struct ClassBuildStats {
+  std::uint64_t classes = 0;
+  std::uint64_t multi_member_classes = 0;
+  bool analytic_partition = false;
+  std::uint64_t partition_policy_evals = 0;
+
+  std::uint64_t certified_classes = 0;    // mechanism column
+  std::uint64_t certified_classes2 = 0;   // mechanism2 column
+  std::uint64_t rep_evals = 0;            // tracked representative runs
+  std::uint64_t mechanism_runs = 0;       // actual M evaluations (both phases)
+  std::uint64_t mechanism2_runs = 0;
+  std::uint64_t copied_points = 0;        // member slots filled by copy
+
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+};
+
+// Digest of the CONTENTS of the listed boxes under `tree`, in list order.
+// This is the revalidation token of the incremental recheck: a memo entry
+// recorded against one version of a program remains valid exactly when the
+// current tree assigns the same digests to every box the run executed.
+// Box ids outside the tree hash to a distinct "missing" marker, so a
+// shrunken program can never collide with the original.
+Fingerprint TouchedBoxDigest(const ProgramDigestTree& tree, const std::vector<int>& boxes);
+
+// A bounded, thread-safe memo of tracked representative outcomes, shared
+// across jobs by the service and the daemon.
+//
+// Key: (context fingerprint, representative rank). The context fingerprint
+// must cover everything that determines the representative's outcome except
+// the program's box contents: mechanism recipe, policy parameters feeding
+// the mechanism, grid coordinate lists, fault spec, and the program's
+// SKELETON fingerprint (name, arity, variable names, start box, box count).
+// Box contents are deliberately excluded — they are revalidated per lookup
+// via TouchedBoxDigest against the caller's current ProgramDigestTree, which
+// is exactly what lets an edited program reuse entries whose executed boxes
+// the edit did not touch.
+class ClassMemo {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  struct Entry {
+    Fingerprint touched_digest;  // TouchedBoxDigest at record time
+    std::vector<int> boxes;      // executed boxes of the representative run
+    VarSet reads;                // input coordinates the run read
+    Outcome outcome;             // the representative's outcome
+  };
+
+  explicit ClassMemo(std::size_t capacity = kDefaultCapacity);
+
+  // Returns the entry for (context, rep_rank) if present. The caller is
+  // responsible for revalidating `touched_digest` against its current
+  // program tree before trusting `outcome`.
+  std::optional<Entry> Lookup(const Fingerprint& context, std::uint64_t rep_rank);
+
+  // Inserts or refreshes an entry; evicts least-recently-used past capacity.
+  void Insert(const Fingerprint& context, std::uint64_t rep_rank, Entry entry);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  void Clear();
+
+ private:
+  struct Key {
+    Fingerprint context;
+    std::uint64_t rep_rank = 0;
+
+    bool operator==(const Key& other) const {
+      return context == other.context && rep_rank == other.rep_rank;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      return FingerprintHash()(key.context) ^
+             (key.rep_rank * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct Slot {
+    Key key;
+    Entry entry;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Slot> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Slot>::iterator, KeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_MECHANISM_CLASSES_H_

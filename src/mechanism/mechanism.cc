@@ -15,6 +15,14 @@ Outcome ProgramAsMechanism::Run(InputView input) const {
   return Outcome::Val(result.output, result.steps);
 }
 
+TrackedOutcome ProgramAsMechanism::RunTracked(InputView input) const {
+  ExecFootprint footprint;
+  const ExecResult result = RunProgramTracked(program_, input, &footprint, fuel_);
+  Outcome outcome = result.halted ? Outcome::Val(result.output, result.steps)
+                                  : Outcome::Violation(result.steps, "fuel exhausted");
+  return TrackedOutcome{std::move(outcome), footprint.reads, true, footprint.BoxIds(), true};
+}
+
 PlugMechanism::PlugMechanism(int num_inputs) : num_inputs_(num_inputs) {}
 
 Outcome PlugMechanism::Run(InputView input) const {
@@ -56,25 +64,69 @@ JoinMechanism::JoinMechanism(std::vector<std::shared_ptr<const ProtectionMechani
 
 int JoinMechanism::num_inputs() const { return members_[0]->num_inputs(); }
 
-Outcome JoinMechanism::Run(InputView input) const {
+namespace {
+
+// Shared merge for Join/Meet tracked runs: member outcomes plus the union of
+// member read sets, exact only when every member tracked. Box footprints are
+// never merged — members may be different programs with unrelated box ids.
+TrackedOutcome TrackMembers(
+    const std::vector<std::shared_ptr<const ProtectionMechanism>>& members, InputView input,
+    std::vector<Outcome>* outcomes) {
+  TrackedOutcome merged;
+  merged.exact = true;
+  outcomes->clear();
+  outcomes->reserve(members.size());
+  for (const auto& member : members) {
+    TrackedOutcome tracked = member->RunTracked(input);
+    merged.reads = merged.reads.Union(tracked.reads);
+    merged.exact = merged.exact && tracked.exact;
+    outcomes->push_back(std::move(tracked.outcome));
+  }
+  return merged;
+}
+
+Outcome MergeJoin(const std::vector<Outcome>& outcomes) {
   StepCount total_steps = 0;
-  const Outcome* first_value = nullptr;
+  for (const Outcome& outcome : outcomes) {
+    total_steps += outcome.steps;
+  }
+  for (const Outcome& outcome : outcomes) {
+    if (outcome.IsValue()) {
+      return Outcome::Val(outcome.value, total_steps);
+    }
+  }
+  return Outcome::Violation(total_steps, "all joined mechanisms violated");
+}
+
+Outcome MergeMeet(const std::vector<Outcome>& outcomes) {
+  StepCount total_steps = 0;
+  for (const Outcome& outcome : outcomes) {
+    total_steps += outcome.steps;
+  }
+  for (const Outcome& outcome : outcomes) {
+    if (outcome.IsViolation()) {
+      return Outcome::Violation(total_steps, "some met mechanism violated");
+    }
+  }
+  return Outcome::Val(outcomes.back().value, total_steps);
+}
+
+}  // namespace
+
+Outcome JoinMechanism::Run(InputView input) const {
   std::vector<Outcome> outcomes;
   outcomes.reserve(members_.size());
   for (const auto& member : members_) {
     outcomes.push_back(member->Run(input));
-    total_steps += outcomes.back().steps;
   }
-  for (const Outcome& outcome : outcomes) {
-    if (outcome.IsValue()) {
-      first_value = &outcome;
-      break;
-    }
-  }
-  if (first_value != nullptr) {
-    return Outcome::Val(first_value->value, total_steps);
-  }
-  return Outcome::Violation(total_steps, "all joined mechanisms violated");
+  return MergeJoin(outcomes);
+}
+
+TrackedOutcome JoinMechanism::RunTracked(InputView input) const {
+  std::vector<Outcome> outcomes;
+  TrackedOutcome merged = TrackMembers(members_, input, &outcomes);
+  merged.outcome = MergeJoin(outcomes);
+  return merged;
 }
 
 std::string JoinMechanism::name() const {
@@ -109,21 +161,19 @@ MeetMechanism::MeetMechanism(std::vector<std::shared_ptr<const ProtectionMechani
 int MeetMechanism::num_inputs() const { return members_[0]->num_inputs(); }
 
 Outcome MeetMechanism::Run(InputView input) const {
-  StepCount total_steps = 0;
-  const Outcome* value = nullptr;
   std::vector<Outcome> outcomes;
   outcomes.reserve(members_.size());
   for (const auto& member : members_) {
     outcomes.push_back(member->Run(input));
-    total_steps += outcomes.back().steps;
   }
-  for (const Outcome& outcome : outcomes) {
-    if (outcome.IsViolation()) {
-      return Outcome::Violation(total_steps, "some met mechanism violated");
-    }
-    value = &outcome;
-  }
-  return Outcome::Val(value->value, total_steps);
+  return MergeMeet(outcomes);
+}
+
+TrackedOutcome MeetMechanism::RunTracked(InputView input) const {
+  std::vector<Outcome> outcomes;
+  TrackedOutcome merged = TrackMembers(members_, input, &outcomes);
+  merged.outcome = MergeMeet(outcomes);
+  return merged;
 }
 
 std::string MeetMechanism::name() const {

@@ -22,6 +22,7 @@
 #include "src/flowchart/program.h"
 #include "src/mechanism/outcome.h"
 #include "src/util/value.h"
+#include "src/util/var_set.h"
 
 namespace secpol {
 
@@ -35,6 +36,27 @@ class OutOfDomainError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// The result of a dependency-tracked run (the class sweep's constancy
+// certificate, DESIGN.md §14). When `exact` is true, `reads` is a sound
+// over-approximation of the input coordinates the outcome depended on and
+// `boxes` (non-empty only for program-backed mechanisms) lists the program
+// boxes the run executed: any input agreeing with the run's input on `reads`
+// yields a byte-identical Outcome, and any program edit confined to boxes
+// outside `boxes` leaves the run unchanged. When `exact` is false the
+// mechanism cannot track its dependencies and the outcome must be treated as
+// depending on every coordinate and every box — the fail-closed default.
+struct TrackedOutcome {
+  Outcome outcome;
+  VarSet reads;
+  bool exact = false;
+  // Sorted executed-box ids of the mechanism's single underlying program;
+  // meaningful iff boxes_exact. Kept separate from `exact` because a join of
+  // several programs can still track reads precisely while having no single
+  // box id space.
+  std::vector<int> boxes;
+  bool boxes_exact = false;
+};
+
 class ProtectionMechanism {
  public:
   virtual ~ProtectionMechanism() = default;
@@ -42,6 +64,16 @@ class ProtectionMechanism {
   virtual int num_inputs() const = 0;
   virtual Outcome Run(InputView input) const = 0;
   virtual std::string name() const = 0;
+
+  // Runs the mechanism while tracking which inputs (and program boxes) the
+  // outcome depended on. The base implementation cannot track anything and
+  // fails closed: it runs normally and reports exact = false. Overrides must
+  // keep the outcome byte-identical to Run(input) — the class sweep uses
+  // RunTracked for representatives and Run for members, and mixes the two in
+  // one table.
+  virtual TrackedOutcome RunTracked(InputView input) const {
+    return TrackedOutcome{Run(input), VarSet(), false, {}, false};
+  }
 };
 
 // Example 3, first trivial mechanism: the program Q as its own protection
@@ -53,6 +85,7 @@ class ProgramAsMechanism : public ProtectionMechanism {
 
   int num_inputs() const override { return program_.num_inputs(); }
   Outcome Run(InputView input) const override;
+  TrackedOutcome RunTracked(InputView input) const override;
   std::string name() const override { return "identity(" + program_.name() + ")"; }
 
   const Program& program() const { return program_; }
@@ -70,6 +103,10 @@ class PlugMechanism : public ProtectionMechanism {
 
   int num_inputs() const override { return num_inputs_; }
   Outcome Run(InputView input) const override;
+  // The plug reads nothing: its outcome is the same on every input.
+  TrackedOutcome RunTracked(InputView input) const override {
+    return TrackedOutcome{Run(input), VarSet(), true, {}, true};
+  }
   std::string name() const override { return "plug"; }
 
  private:
@@ -128,6 +165,9 @@ class JoinMechanism : public ProtectionMechanism {
 
   int num_inputs() const override;
   Outcome Run(InputView input) const override;
+  // Tracked iff every member tracks: the join's outcome is a function of the
+  // member outcomes, so its dependency set is the union of theirs.
+  TrackedOutcome RunTracked(InputView input) const override;
   std::string name() const override;
 
  private:
@@ -151,6 +191,7 @@ class MeetMechanism : public ProtectionMechanism {
 
   int num_inputs() const override;
   Outcome Run(InputView input) const override;
+  TrackedOutcome RunTracked(InputView input) const override;
   std::string name() const override;
 
  private:

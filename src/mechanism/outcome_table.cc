@@ -1,5 +1,6 @@
 #include "src/mechanism/outcome_table.h"
 
+#include <atomic>
 #include <cassert>
 #include <optional>
 #include <string>
@@ -69,6 +70,263 @@ OutcomeTable BuildOutcomeTable(const OutcomeTableSources& sources, const InputDo
     table.outcomes2_.clear();
     table.images_.clear();
     table.images2_.clear();
+  }
+  scope.SetPoints(table.build_.evaluated);
+  return table;
+}
+
+namespace {
+
+// Per-column phase-1 state: the representative's outcome (when known) and
+// whether it certifies the whole class. Plain-char flag vectors: distinct
+// classes are distinct memory locations, so rank-disjoint shards writing
+// distinct class slots need no synchronization.
+struct ColumnCerts {
+  std::vector<Outcome> rep;
+  std::vector<char> have_rep;
+  std::vector<char> certified;
+
+  explicit ColumnCerts(std::size_t num_classes)
+      : rep(num_classes), have_rep(num_classes, 0), certified(num_classes, 0) {}
+};
+
+// Resolves one representative for one column: memo first (revalidated
+// against the current program tree), then a tracked run. Returns the number
+// of actual mechanism evaluations performed (0 on a validated memo hit).
+int ResolveRepresentative(const ProtectionMechanism& mechanism, InputView rep_input,
+                          std::uint64_t rep_rank, VarSet class_constant, ClassMemo* memo,
+                          const ProgramDigestTree* tree, const Fingerprint& context,
+                          ColumnCerts& certs, std::int32_t c,
+                          std::atomic<std::uint64_t>& memo_hits,
+                          std::atomic<std::uint64_t>& memo_misses) {
+  const bool memo_usable = memo != nullptr && tree != nullptr;
+  if (memo_usable) {
+    if (std::optional<ClassMemo::Entry> entry = memo->Lookup(context, rep_rank)) {
+      if (TouchedBoxDigest(*tree, entry->boxes) == entry->touched_digest) {
+        certs.rep[static_cast<size_t>(c)] = std::move(entry->outcome);
+        certs.have_rep[static_cast<size_t>(c)] = 1;
+        certs.certified[static_cast<size_t>(c)] =
+            entry->reads.SubsetOf(class_constant) ? 1 : 0;
+        memo_hits.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+    }
+    memo_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  TrackedOutcome tracked = mechanism.RunTracked(rep_input);
+  certs.have_rep[static_cast<size_t>(c)] = 1;
+  certs.certified[static_cast<size_t>(c)] =
+      (tracked.exact && tracked.reads.SubsetOf(class_constant)) ? 1 : 0;
+  if (memo_usable && tracked.exact && tracked.boxes_exact) {
+    ClassMemo::Entry entry;
+    entry.touched_digest = TouchedBoxDigest(*tree, tracked.boxes);
+    entry.boxes = std::move(tracked.boxes);
+    entry.reads = tracked.reads;
+    entry.outcome = tracked.outcome;
+    memo->Insert(context, rep_rank, std::move(entry));
+  }
+  certs.rep[static_cast<size_t>(c)] = std::move(tracked.outcome);
+  return 1;
+}
+
+}  // namespace
+
+OutcomeTable BuildOutcomeTableWithClasses(const OutcomeTableSources& sources,
+                                          const InputDomain& domain,
+                                          const ClassSweepContext& context,
+                                          const CheckOptions& options) {
+  assert(sources.mechanism != nullptr);
+  assert(context.partition != nullptr);
+  CheckScope scope(options.obs, "tabulate-classes");
+  OutcomeTable table(domain);
+  table.mechanism_name_ = sources.mechanism->name();
+  if (sources.mechanism2 != nullptr) {
+    table.mechanism2_name_ = sources.mechanism2->name();
+  }
+  if (sources.policy != nullptr) {
+    table.policy_name_ = sources.policy->name();
+  }
+  if (sources.policy2 != nullptr) {
+    table.policy2_name_ = sources.policy2->name();
+  }
+
+  const std::optional<std::uint64_t> grid = domain.CheckedSize();
+  if (!grid.has_value() || *grid > OutcomeTable::kMaxPoints) {
+    table.build_.total = domain.size();
+    AbortProgress(&table.build_, "grid too large to tabulate (cap " +
+                                     std::to_string(OutcomeTable::kMaxPoints) +
+                                     " points); fall back to live checkers");
+    return table;
+  }
+  const std::uint64_t points = *grid;
+  const ClassPartition& partition = *context.partition;
+  if (partition.empty() || partition.num_points != points ||
+      partition.class_of_rank.size() != points) {
+    table.build_.total = points;
+    AbortProgress(&table.build_, "class partition does not match grid");
+    return table;
+  }
+
+  table.outcomes_.resize(points);
+  if (sources.mechanism2 != nullptr) {
+    table.outcomes2_.resize(points);
+  }
+  if (sources.policy != nullptr) {
+    table.images_.resize(points);
+  }
+  if (sources.policy2 != nullptr) {
+    table.images2_.resize(points);
+  }
+
+  const std::size_t num_classes = static_cast<std::size_t>(partition.num_classes);
+  ColumnCerts certs1(num_classes);
+  ColumnCerts certs2(sources.mechanism2 != nullptr ? num_classes : 0);
+  std::atomic<std::uint64_t> mech_runs{0};
+  std::atomic<std::uint64_t> mech2_runs{0};
+  std::atomic<std::uint64_t> rep_evals{0};
+  std::atomic<std::uint64_t> copied{0};
+  std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> memo_misses{0};
+
+  // Phase 1: resolve representatives of multi-member classes — the only
+  // classes where a certificate saves anything.
+  std::vector<Value> multi_classes;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (partition.class_size[c] > 1) {
+      multi_classes.push_back(static_cast<Value>(c));
+    }
+  }
+  if (!multi_classes.empty()) {
+    const InputDomain class_domain = InputDomain::PerInput({multi_classes});
+    const SweepPlan rep_plan = SweepPlan::ForClasses(options, multi_classes.size());
+    const CheckProgress phase1 = SweepGrid(
+        class_domain, options, rep_plan,
+        [&](std::uint64_t shard, std::uint64_t class_rank, InputView class_input) {
+          (void)shard;
+          (void)class_rank;
+          const std::int32_t c = static_cast<std::int32_t>(class_input[0]);
+          const std::uint64_t rep_rank = partition.representative[static_cast<size_t>(c)];
+          const VarSet constant = partition.constant_coords[static_cast<size_t>(c)];
+          Input rep_input;
+          domain.ForEachRange(rep_rank, rep_rank + 1, [&](std::uint64_t, InputView tuple) {
+            rep_input.assign(tuple.begin(), tuple.end());
+            return true;
+          });
+          int runs = ResolveRepresentative(*sources.mechanism, rep_input, rep_rank, constant,
+                                           context.memo, context.program_tree,
+                                           context.memo_context, certs1, c, memo_hits,
+                                           memo_misses);
+          mech_runs.fetch_add(static_cast<std::uint64_t>(runs), std::memory_order_relaxed);
+          rep_evals.fetch_add(static_cast<std::uint64_t>(runs), std::memory_order_relaxed);
+          if (sources.mechanism2 != nullptr) {
+            runs = ResolveRepresentative(*sources.mechanism2, rep_input, rep_rank, constant,
+                                         context.memo, context.program_tree,
+                                         context.memo_context2, certs2, c, memo_hits,
+                                         memo_misses);
+            mech2_runs.fetch_add(static_cast<std::uint64_t>(runs), std::memory_order_relaxed);
+            rep_evals.fetch_add(static_cast<std::uint64_t>(runs), std::memory_order_relaxed);
+          }
+          return true;
+        });
+    if (!phase1.complete()) {
+      // Fail closed with the representative sweep's status; the counters are
+      // in representative units, so restate coverage in grid terms.
+      table.build_ = phase1;
+      table.build_.total = points;
+      table.build_.evaluated = 0;
+      table.outcomes_.clear();
+      table.outcomes2_.clear();
+      table.images_.clear();
+      table.images2_.clear();
+      scope.SetPoints(0);
+      return table;
+    }
+  }
+
+  // Phase 2: the ordinary kernel sweep over every rank. Certified classes
+  // copy their representative's outcome instead of running the mechanism;
+  // everything else — uncertified members, policy image columns, progress
+  // accounting — is exactly the point build.
+  const SweepPlan plan = SweepPlan::For(options, points);
+  table.build_ = SweepGrid(
+      domain, options, plan, [&](std::uint64_t shard, std::uint64_t rank, InputView input) {
+        (void)shard;
+        const std::int32_t c = partition.class_of_rank[rank];
+        const std::size_t cs = static_cast<std::size_t>(c);
+        const bool is_rep = partition.representative[cs] == rank;
+        if (certs1.certified[cs]) {
+          table.outcomes_[rank] = certs1.rep[cs];
+          if (!is_rep) {
+            copied.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (certs1.have_rep[cs] && is_rep) {
+          table.outcomes_[rank] = certs1.rep[cs];
+        } else {
+          table.outcomes_[rank] = sources.mechanism->Run(input);
+          mech_runs.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (sources.mechanism2 != nullptr) {
+          if (certs2.certified[cs]) {
+            table.outcomes2_[rank] = certs2.rep[cs];
+            if (!is_rep) {
+              copied.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (certs2.have_rep[cs] && is_rep) {
+            table.outcomes2_[rank] = certs2.rep[cs];
+          } else {
+            table.outcomes2_[rank] = sources.mechanism2->Run(input);
+            mech2_runs.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (sources.policy != nullptr) {
+          table.images_[rank] = sources.policy->Image(input);
+        }
+        if (sources.policy2 != nullptr) {
+          table.images2_[rank] = sources.policy2->Image(input);
+        }
+        return true;
+      });
+
+  if (!table.build_.complete()) {
+    table.outcomes_.clear();
+    table.outcomes2_.clear();
+    table.images_.clear();
+    table.images2_.clear();
+  }
+
+  if (context.stats != nullptr) {
+    ClassBuildStats& stats = *context.stats;
+    stats.classes = static_cast<std::uint64_t>(partition.num_classes);
+    stats.multi_member_classes = partition.MultiMemberClasses();
+    stats.analytic_partition = partition.analytic;
+    stats.partition_policy_evals = partition.policy_evals;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (partition.class_size[c] > 1 && certs1.certified[c]) {
+        ++stats.certified_classes;
+      }
+    }
+    if (sources.mechanism2 != nullptr) {
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        if (partition.class_size[c] > 1 && certs2.certified[c]) {
+          ++stats.certified_classes2;
+        }
+      }
+    }
+    stats.rep_evals = rep_evals.load();
+    stats.mechanism_runs = mech_runs.load();
+    stats.mechanism2_runs = mech2_runs.load();
+    stats.copied_points = copied.load();
+    stats.memo_hits = memo_hits.load();
+    stats.memo_misses = memo_misses.load();
+  }
+  if (options.obs.metrics != nullptr) {
+    MetricsRegistry& m = *options.obs.metrics;
+    m.GetCounter("classes.builds")->Add(1);
+    m.GetCounter("classes.classes")->Add(static_cast<std::uint64_t>(partition.num_classes));
+    m.GetCounter("classes.copied_points")->Add(copied.load());
+    m.GetCounter("classes.mechanism_runs")->Add(mech_runs.load() + mech2_runs.load());
+    m.GetCounter("classes.memo_hits")->Add(memo_hits.load());
+    m.GetCounter("classes.memo_misses")->Add(memo_misses.load());
   }
   scope.SetPoints(table.build_.evaluated);
   return table;

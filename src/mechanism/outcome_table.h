@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/mechanism/check_options.h"
+#include "src/mechanism/classes.h"
 #include "src/mechanism/domain.h"
 #include "src/mechanism/mechanism.h"
 #include "src/mechanism/outcome.h"
@@ -38,6 +39,23 @@ struct OutcomeTableSources {
   const ProtectionMechanism* mechanism2 = nullptr;
   const SecurityPolicy* policy = nullptr;
   const SecurityPolicy* policy2 = nullptr;
+};
+
+// Inputs of the class-backed build (DESIGN.md §14). `partition` is required
+// and must cover exactly the grid being tabulated. The memo trio is
+// optional: when all three of `memo`, `program_tree`, and a non-zero
+// `memo_context` are supplied, representative outcomes are reused across
+// jobs (validated per lookup against the current tree). `stats` receives
+// the evaluation accounting when non-null.
+struct ClassSweepContext {
+  const ClassPartition* partition = nullptr;
+
+  ClassMemo* memo = nullptr;
+  const ProgramDigestTree* program_tree = nullptr;
+  Fingerprint memo_context;   // context key for the mechanism column
+  Fingerprint memo_context2;  // context key for the mechanism2 column
+
+  ClassBuildStats* stats = nullptr;
 };
 
 class OutcomeTable {
@@ -75,6 +93,10 @@ class OutcomeTable {
   friend OutcomeTable BuildOutcomeTable(const OutcomeTableSources& sources,
                                         const InputDomain& domain,
                                         const CheckOptions& options);
+  friend OutcomeTable BuildOutcomeTableWithClasses(const OutcomeTableSources& sources,
+                                                   const InputDomain& domain,
+                                                   const ClassSweepContext& context,
+                                                   const CheckOptions& options);
 
   explicit OutcomeTable(InputDomain domain) : domain_(std::move(domain)) {}
 
@@ -98,6 +120,30 @@ class OutcomeTable {
 // needs no synchronization beyond the kernel's own.
 OutcomeTable BuildOutcomeTable(const OutcomeTableSources& sources, const InputDomain& domain,
                                const CheckOptions& options = CheckOptions());
+
+// The class-level build: same table, fewer mechanism evaluations.
+//
+// Phase 1 sweeps the multi-member class REPRESENTATIVES (under
+// SweepPlan::ForClasses) through RunTracked, consulting the memo first.
+// A representative whose run tracked exactly and read only class-constant
+// coordinates certifies its whole class. Phase 2 is the ordinary kernel
+// sweep over every grid rank — so a completed build's progress is
+// byte-identical to BuildOutcomeTable's — except that certified classes'
+// member slots are filled by copying the representative's outcome instead
+// of calling Run, and policy image columns are evaluated as usual.
+//
+// The byte-identity argument: copied slots equal what Run would have
+// produced (the dependency theorem, src/flowchart/interpreter.h), every
+// rank still counts as evaluated, and the table-backed reducers are the
+// UNCHANGED ones — so a completed class-mode report is byte-for-byte the
+// point-mode report. Incomplete builds fail closed exactly like
+// BuildOutcomeTable (columns released, progress only); their progress
+// counters may differ from point mode's, which is why byte-identity is
+// promised for completed runs only.
+OutcomeTable BuildOutcomeTableWithClasses(const OutcomeTableSources& sources,
+                                          const InputDomain& domain,
+                                          const ClassSweepContext& context,
+                                          const CheckOptions& options = CheckOptions());
 
 }  // namespace secpol
 

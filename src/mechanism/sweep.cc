@@ -11,6 +11,10 @@ SweepPlan SweepPlan::For(const CheckOptions& options, std::uint64_t grid_size) {
   return plan;
 }
 
+SweepPlan SweepPlan::ForClasses(const CheckOptions& options, std::uint64_t num_classes) {
+  return For(options, num_classes);
+}
+
 void RecordSweepMetrics(const ObsContext& obs, const std::vector<ShardMeter>& meters,
                         const CheckProgress& progress, bool exception, bool out_of_domain) {
   if (!obs.enabled()) {

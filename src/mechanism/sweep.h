@@ -43,6 +43,12 @@ struct SweepPlan {
   std::uint64_t num_shards = 1;
 
   static SweepPlan For(const CheckOptions& options, std::uint64_t grid_size);
+
+  // Plan for a class-level sweep: the unit of work is one equivalence-class
+  // representative, not one grid point, so shards are sized to the class
+  // count. Representative runs are the expensive tracked evaluations, which
+  // is why they get their own plan instead of inheriting the grid's.
+  static SweepPlan ForClasses(const CheckOptions& options, std::uint64_t num_classes);
 };
 
 // Folds one finished sweep into the attached sinks: "sweep.*" counters, the

@@ -11,6 +11,64 @@ void SecurityPolicy::AppendFingerprint(Fingerprinter* fp) const {
   fp->I32(num_inputs());
 }
 
+namespace {
+
+// Combines a skeleton digest and per-coordinate leaves into a tree root.
+PolicyDigestTree FinishPolicyTree(Fingerprint skeleton,
+                                  std::vector<CoordinateFingerprint> coordinates) {
+  PolicyDigestTree tree;
+  tree.skeleton = skeleton;
+  tree.coordinates = std::move(coordinates);
+  Fingerprinter root;
+  root.Tag("policy-tree");
+  root.Nested(tree.skeleton);
+  for (const CoordinateFingerprint& leaf : tree.coordinates) {
+    root.Nested(leaf.digest);
+  }
+  tree.root = root.Digest();
+  return tree;
+}
+
+}  // namespace
+
+PolicyDigestTree SecurityPolicy::DigestTree() const {
+  // Fail-closed: every leaf is derived from the whole flat fingerprint, so
+  // any behavioural change marks every coordinate as changed.
+  Fingerprinter whole;
+  AppendFingerprint(&whole);
+  const Fingerprint flat = whole.Digest();
+
+  Fingerprinter skeleton;
+  skeleton.Tag("policy-skeleton-opaque");
+  skeleton.Nested(flat);
+  skeleton.I32(num_inputs());
+
+  std::vector<CoordinateFingerprint> coordinates;
+  coordinates.reserve(static_cast<size_t>(num_inputs()));
+  for (int i = 0; i < num_inputs(); ++i) {
+    Fingerprinter leaf;
+    leaf.Tag("policy-coord-opaque");
+    leaf.I32(i);
+    leaf.Nested(flat);
+    coordinates.push_back(CoordinateFingerprint{i, leaf.Digest()});
+  }
+  return FinishPolicyTree(skeleton.Digest(), std::move(coordinates));
+}
+
+std::vector<int> ChangedCoordinates(const PolicyDigestTree& a, const PolicyDigestTree& b) {
+  std::vector<int> changed;
+  const size_t common = std::min(a.coordinates.size(), b.coordinates.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (!(a.coordinates[i] == b.coordinates[i])) {
+      changed.push_back(static_cast<int>(i));
+    }
+  }
+  for (size_t i = common; i < std::max(a.coordinates.size(), b.coordinates.size()); ++i) {
+    changed.push_back(static_cast<int>(i));
+  }
+  return changed;
+}
+
 AllowPolicy::AllowPolicy(int num_inputs, VarSet allowed)
     : num_inputs_(num_inputs), allowed_(allowed) {
   assert(allowed.SubsetOf(VarSet::FirstN(num_inputs)));
@@ -58,6 +116,23 @@ void AllowPolicy::AppendFingerprint(Fingerprinter* fp) const {
   fp->Tag("allow-policy");
   fp->I32(num_inputs_);
   fp->U64(allowed_.bits());
+}
+
+PolicyDigestTree AllowPolicy::DigestTree() const {
+  Fingerprinter skeleton;
+  skeleton.Tag("allow-policy-skeleton");
+  skeleton.I32(num_inputs_);
+
+  std::vector<CoordinateFingerprint> coordinates;
+  coordinates.reserve(static_cast<size_t>(num_inputs_));
+  for (int i = 0; i < num_inputs_; ++i) {
+    Fingerprinter leaf;
+    leaf.Tag("allow-policy-coord");
+    leaf.I32(i);
+    leaf.Bool(allowed_.Contains(i));
+    coordinates.push_back(CoordinateFingerprint{i, leaf.Digest()});
+  }
+  return FinishPolicyTree(skeleton.Digest(), std::move(coordinates));
 }
 
 DirectoryGatedPolicy::DirectoryGatedPolicy(int num_files, Value grant_value)

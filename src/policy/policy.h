@@ -31,6 +31,37 @@ namespace secpol {
 // the policy's indistinguishability classes.
 using PolicyImage = std::vector<Value>;
 
+// One leaf of a policy's digest tree: the content hash of how the policy
+// treats input coordinate `coordinate`.
+struct CoordinateFingerprint {
+  int coordinate = -1;
+  Fingerprint digest;
+
+  bool operator==(const CoordinateFingerprint& other) const {
+    return coordinate == other.coordinate && digest == other.digest;
+  }
+};
+
+// A compositional fingerprint of a policy, mirroring ProgramDigestTree: a
+// skeleton digest plus one digest per input coordinate, combined into a
+// root. Contract: if two policies' trees agree on the skeleton and on
+// coordinate i's leaf, then the policies treat coordinate i identically —
+// an edit that flips only those leaves can only affect equivalence classes
+// through those coordinates. The base implementation is fail-closed: every
+// leaf derives from the policy's whole flat fingerprint, so ANY change marks
+// every coordinate changed. Policies whose structure is genuinely
+// per-coordinate (AllowPolicy) override with precise leaves.
+struct PolicyDigestTree {
+  Fingerprint skeleton;
+  std::vector<CoordinateFingerprint> coordinates;  // one per input coordinate
+  Fingerprint root;
+};
+
+// Coordinates whose leaves differ between the trees (including coordinates
+// present in only one, when arities differ). As with ChangedNodes, compare
+// `skeleton` members separately.
+std::vector<int> ChangedCoordinates(const PolicyDigestTree& a, const PolicyDigestTree& b);
+
 class SecurityPolicy {
  public:
   virtual ~SecurityPolicy() = default;
@@ -50,6 +81,10 @@ class SecurityPolicy {
   // name() spells out every behavioural parameter — but subclasses whose
   // name does NOT determine Image must override with a structured encoding.
   virtual void AppendFingerprint(Fingerprinter* fp) const;
+
+  // The compositional digest tree (see PolicyDigestTree above). The base
+  // builds the fail-closed tree from AppendFingerprint.
+  virtual PolicyDigestTree DigestTree() const;
 };
 
 // allow(J): the user may learn exactly the coordinates in J.
@@ -71,6 +106,9 @@ class AllowPolicy : public SecurityPolicy {
   PolicyImage Image(InputView input) const override;
   std::string name() const override;
   void AppendFingerprint(Fingerprinter* fp) const override;
+  // Precise leaves: coordinate i's digest covers only whether i is in J, so
+  // toggling one coordinate's permission changes exactly one leaf.
+  PolicyDigestTree DigestTree() const override;
 
  private:
   int num_inputs_;

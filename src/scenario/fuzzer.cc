@@ -38,6 +38,7 @@ constexpr KindName kKindNames[] = {
     {FindingKind::kCacheMismatch, "cache-mismatch"},
     {FindingKind::kTableMismatch, "table-mismatch"},
     {FindingKind::kServeMismatch, "serve-mismatch"},
+    {FindingKind::kClassVsPointMismatch, "class-vs-point-mismatch"},
     {FindingKind::kSurveillanceUnsound, "surveillance-unsound"},
     {FindingKind::kStaticCertifiedUnsound, "static-certified-unsound"},
     {FindingKind::kTransformChangedMeaning, "transform-changed-meaning"},
@@ -136,6 +137,32 @@ bool TableMismatch(const Program& program, VarSet allow, const InputDomain& doma
              CheckSoundness(mechanism, policy, domain, obs, serial).ToString() ||
          MeasureLeak(table, obs, serial).ToString() !=
              MeasureLeak(mechanism, policy, domain, obs, serial).ToString();
+}
+
+// True when the class-mode sweep of the job disagrees with the point-mode
+// sweep on any deterministic field. Completed class reports are promised
+// byte-identical to the point sweep (DESIGN.md §14), and on a fault-free,
+// unbounded spec class mode completes whenever point mode does — so a
+// non-completion on the class side is itself a disagreement. Checked for
+// both the single-checker job and the full audit concatenation.
+bool ClassVsPointMismatch(const CheckJobSpec& base) {
+  for (const CheckerKind checker : {CheckerKind::kSoundness, CheckerKind::kAudit}) {
+    CheckJobSpec point_spec = base;
+    point_spec.checker = checker;
+    point_spec.sweep_mode = "point";
+    const JobResult point = ExecuteJob(point_spec);
+    if (point.status != JobStatus::kCompleted) {
+      continue;  // abort paths have their own oracles
+    }
+    CheckJobSpec class_spec = point_spec;
+    class_spec.sweep_mode = "class";
+    const JobResult classed = ExecuteJob(class_spec);
+    if (classed.status != JobStatus::kCompleted || classed.report != point.report ||
+        classed.exit_code != point.exit_code) {
+      return true;
+    }
+  }
+  return false;
 }
 
 // The serve-oracle endpoint: one in-process daemon on a unix socket plus a
@@ -248,6 +275,8 @@ bool WitnessReproduces(const FuzzFinding& finding, const SourceProgram& source, 
       return TableMismatch(program, allow, domain);
     case FindingKind::kServeMismatch:
       return ServeMismatch(OracleSpec(source, allow, finding.grid_lo, finding.grid_hi));
+    case FindingKind::kClassVsPointMismatch:
+      return ClassVsPointMismatch(OracleSpec(source, allow, finding.grid_lo, finding.grid_hi));
     case FindingKind::kStaticCertifiedUnsound: {
       const StaticCertifiedMechanism cert(program, allow);
       return cert.certified() &&
@@ -362,6 +391,7 @@ bool IsDisagreement(FindingKind kind) {
     case FindingKind::kCacheMismatch:
     case FindingKind::kTableMismatch:
     case FindingKind::kServeMismatch:
+    case FindingKind::kClassVsPointMismatch:
     case FindingKind::kSurveillanceUnsound:
     case FindingKind::kStaticCertifiedUnsound:
     case FindingKind::kTransformChangedMeaning:
@@ -700,6 +730,11 @@ void DisagreementFuzzer::Iterate(const FuzzInput& input, std::uint64_t iteration
       Record(FindingKind::kServeMismatch,
              "daemon result frame differs from the in-process run", source, input, false,
              no_plan, iteration, report);
+    }
+    if (ClassVsPointMismatch(spec)) {
+      Record(FindingKind::kClassVsPointMismatch,
+             "class-mode sweep differs from the point sweep", source, input, false, no_plan,
+             iteration, report);
     }
   }
 

@@ -13,6 +13,8 @@
 //     * an OutcomeTable-backed reduction differing from the live sweep;
 //     * a serve-daemon result frame differing from the in-process run
 //       (the job goes over a real unix socket and back);
+//     * a class-mode sweep (one tracked representative per policy class,
+//       DESIGN.md §14) differing from the point sweep's completed bytes;
 //     * a surveillance mechanism unsound under value-only observation
 //       (a Theorem 3 violation);
 //     * a statically certified program the dynamic checker refutes;
@@ -64,6 +66,7 @@ enum class FindingKind {
   kCacheMismatch,
   kTableMismatch,
   kServeMismatch,
+  kClassVsPointMismatch,
   kSurveillanceUnsound,
   kStaticCertifiedUnsound,
   kTransformChangedMeaning,

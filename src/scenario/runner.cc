@@ -42,13 +42,16 @@ ServiceConfig RunnerServiceConfig() {
 }
 
 // The scenario spec with all degradation knobs removed: the fault-free,
-// unbounded, serial run whose bytes every completed run must reproduce.
+// unbounded, serial, point-sweep run whose bytes every completed run must
+// reproduce. Forcing sweep_mode here makes every completed "class" scenario
+// a class ≡ point byte-identity oracle for free.
 CheckJobSpec ReferenceSpec(const CheckJobSpec& spec) {
   CheckJobSpec reference = spec;
   reference.fault_spec.clear();
   reference.retries = -1;
   reference.deadline_ms = 0;
   reference.num_threads = 1;
+  reference.sweep_mode = "point";
   return reference;
 }
 

@@ -145,6 +145,15 @@ std::vector<ScenarioAxis> DefaultAxes() {
   deadlines.values.push_back({"d1ms", [](ScenarioConfig* c) { c->deadline_ms = 1; }});
   axes.push_back(std::move(deadlines));
 
+  // The sweep axis crosses every configuration with both sweep strategies.
+  // The runner's reference run always forces "point", so every completed
+  // "swc" scenario is a class ≡ point byte-identity check by construction.
+  ScenarioAxis sweeps;
+  sweeps.label = "sweep";
+  sweeps.values.push_back({"swp", [](ScenarioConfig* c) { c->sweep_mode = "point"; }});
+  sweeps.values.push_back({"swc", [](ScenarioConfig* c) { c->sweep_mode = "class"; }});
+  axes.push_back(std::move(sweeps));
+
   return axes;
 }
 
@@ -171,6 +180,7 @@ CheckJobSpec BuildJobSpec(const Scenario& scenario) {
   spec.grid_hi = config.grid_hi;
   spec.num_threads = config.threads;
   spec.deadline_ms = config.deadline_ms;
+  spec.sweep_mode = config.sweep_mode;
   switch (config.fault) {
     case ScenarioFault::kNone:
       break;

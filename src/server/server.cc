@@ -285,6 +285,17 @@ Json CheckServer::StatsJson() const {
   cache.Set("entries", Json::MakeInt(static_cast<std::int64_t>(cache_stats.entries)));
   server.Set("cache", std::move(cache));
 
+  // The class-sweep representative memo (DESIGN.md §14): how much of the
+  // daemon's "class"-mode work was answered from remembered representative
+  // runs. All zeros until a client submits a job with "sweep_mode": "class".
+  Json class_memo = Json::MakeObject();
+  class_memo.Set("entries", Json::MakeInt(static_cast<std::int64_t>(class_memo_.size())));
+  class_memo.Set("hits", Json::MakeInt(static_cast<std::int64_t>(class_memo_.hits())));
+  class_memo.Set("misses", Json::MakeInt(static_cast<std::int64_t>(class_memo_.misses())));
+  class_memo.Set("evictions",
+                 Json::MakeInt(static_cast<std::int64_t>(class_memo_.evictions())));
+  server.Set("class_memo", std::move(class_memo));
+
   server.Set("reloads", load(counters_.reloads));
   return server;
 }
@@ -567,7 +578,7 @@ JobResult CheckServer::RunServerJob(const CheckJobSpec& spec) {
     slot.total = hit->total;
     slot.cache_key = job.key.ToHex();
   } else {
-    slot = RunPreparedJob(spec, job, obs_);
+    slot = RunPreparedJob(spec, job, obs_, &class_memo_);
     counters_.executed.fetch_add(1, std::memory_order_relaxed);
     if (slot.status == JobStatus::kCompleted) {
       CachedResult value;

@@ -47,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/mechanism/classes.h"
 #include "src/obs/obs.h"
 #include "src/server/protocol.h"
 #include "src/server/socket.h"
@@ -149,6 +150,10 @@ class CheckServer {
 
   ResultCache& cache() { return cache_; }
   MetricsRegistry& metrics() { return *obs_.metrics; }
+  // The daemon-lifetime class-sweep representative memo: "class"-mode jobs
+  // from every connection share it, which is what makes a re-submitted job
+  // with a small program edit incremental across the wire.
+  ClassMemo& class_memo() { return class_memo_; }
 
  private:
   void AcceptLoop(const Fd& listener);
@@ -163,6 +168,7 @@ class CheckServer {
   std::unique_ptr<MetricsRegistry> own_metrics_;
   ObsContext obs_;
   ResultCache cache_;
+  ClassMemo class_memo_;
 
   mutable std::mutex policy_mu_;
   std::shared_ptr<const ServerPolicy> policy_;

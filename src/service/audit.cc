@@ -18,7 +18,8 @@ std::uint64_t AuditReport::EvaluatedPoints() const {
 AuditReport CheckAll(const ProtectionMechanism& mechanism,
                      const ProtectionMechanism& mechanism2, const SecurityPolicy& policy,
                      const SecurityPolicy& policy2, const InputDomain& domain,
-                     Observability obs, const CheckOptions& options) {
+                     Observability obs, const CheckOptions& options,
+                     const ClassSweepContext* classes) {
   // The audit span brackets all six checks (plus the tabulation when the
   // grid fits); each nested CheckScope contributes its own "check" span.
   ScopedSpan span(options.obs.trace, "audit", "audit");
@@ -45,7 +46,11 @@ AuditReport CheckAll(const ProtectionMechanism& mechanism,
   sources.mechanism2 = &mechanism2;
   sources.policy = &policy;
   sources.policy2 = &policy2;
-  const OutcomeTable table = BuildOutcomeTable(sources, domain, options);
+  const bool use_classes =
+      classes != nullptr && classes->partition != nullptr && !classes->partition->empty();
+  const OutcomeTable table = use_classes
+                                 ? BuildOutcomeTableWithClasses(sources, domain, *classes, options)
+                                 : BuildOutcomeTable(sources, domain, options);
   report.shared = true;
   report.tabulation = table.build();
 

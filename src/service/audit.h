@@ -28,6 +28,8 @@
 
 namespace secpol {
 
+struct ClassSweepContext;  // src/mechanism/outcome_table.h
+
 struct AuditReport {
   SoundnessReport soundness;         // mechanism sound for policy
   IntegrityReport integrity;         // mechanism preserves policy
@@ -54,10 +56,19 @@ struct AuditReport {
 // point; completed sub-reports are byte-identical to the standalone
 // checkers'. Honours options.deadline / options.cancel across the build and
 // every reduction (they share the absolute deadline).
+//
+// When `classes` is non-null (and the grid fits a table), the tabulation
+// runs through BuildOutcomeTableWithClasses instead of BuildOutcomeTable:
+// certified equivalence classes are filled from one representative run, so
+// the audit spends fewer mechanism evaluations while every COMPLETED
+// sub-report stays byte-identical (the class build's identity contract,
+// src/mechanism/outcome_table.h). A null `classes` is the point-mode audit,
+// unchanged.
 AuditReport CheckAll(const ProtectionMechanism& mechanism,
                      const ProtectionMechanism& mechanism2, const SecurityPolicy& policy,
                      const SecurityPolicy& policy2, const InputDomain& domain,
-                     Observability obs, const CheckOptions& options = CheckOptions());
+                     Observability obs, const CheckOptions& options = CheckOptions(),
+                     const ClassSweepContext* classes = nullptr);
 
 }  // namespace secpol
 

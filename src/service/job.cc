@@ -8,10 +8,12 @@
 #include "src/flowlang/lower.h"
 #include "src/flowlang/parser.h"
 #include "src/mechanism/check_options.h"
+#include "src/mechanism/classes.h"
 #include "src/mechanism/completeness.h"
 #include "src/mechanism/fault.h"
 #include "src/mechanism/integrity.h"
 #include "src/mechanism/outcome.h"
+#include "src/mechanism/outcome_table.h"
 #include "src/mechanism/policy_compare.h"
 #include "src/mechanism/soundness.h"
 #include "src/service/audit.h"
@@ -231,6 +233,48 @@ Fingerprint JobCacheKey(const CheckJobSpec& spec, const Program& program,
   fp.Tag("faults");
   fp.Str(spec.fault_spec);
   fp.I32(spec.retries);
+  // Sweep-mode sub-key. "point" contributes NOTHING — every cache key minted
+  // before sweep modes existed stays byte-identical (golden-pinned). "class"
+  // gets its own cache line even though a completed class report is
+  // byte-identical to the point report: the identity is a tested theorem,
+  // not an assumption the cache is allowed to bank on, and keeping the lines
+  // separate means a regression in the class path can never serve bytes to a
+  // point-mode caller.
+  if (spec.sweep_mode != "point") {
+    fp.Tag("sweep-mode");
+    fp.Str(spec.sweep_mode);
+  }
+  return fp.Digest();
+}
+
+Fingerprint ClassMemoContextKey(const CheckJobSpec& spec, const Program& program,
+                                const InputDomain& domain, const std::string& mechanism_kind) {
+  Fingerprinter fp;
+  fp.Tag("class-memo-context");
+  fp.I32(1);  // memo-context format version
+  fp.Str(mechanism_kind);
+  // The allow set parameterizes every mechanism kind except "bare" (which
+  // never consults a policy). Excluding it for bare lets entries survive a
+  // policy edit, which is exactly when incremental recheck pays off.
+  if (mechanism_kind != "bare" && !mechanism_kind.empty()) {
+    fp.Tag("allow");
+    fp.U64(spec.allow.bits());
+  }
+  // The exact grid: FaultInjectingMechanism fires by the input's grid RANK,
+  // so the same representative tuple can fault differently on a different
+  // grid. Same coordinate-by-coordinate encoding as JobCacheKey.
+  fp.Tag("grid");
+  fp.I32(domain.num_inputs());
+  for (int i = 0; i < domain.num_inputs(); ++i) {
+    fp.I64List(domain.values_for(i));
+  }
+  fp.Tag("faults");
+  fp.Str(spec.fault_spec);
+  fp.I32(spec.retries);
+  // The program's SKELETON only — box contents are deliberately absent.
+  // They are revalidated per lookup via TouchedBoxDigest, which is what lets
+  // a program edit outside the executed boxes reuse the entry.
+  fp.Nested(program.DigestTree().skeleton);
   return fp.Digest();
 }
 
@@ -266,6 +310,9 @@ Result<PreparedJob> PrepareJob(const CheckJobSpec& spec) {
     if (!retries.ok()) {
       return Error{"retries: " + retries.error().message};
     }
+  }
+  if (spec.sweep_mode != "point" && spec.sweep_mode != "class") {
+    return Error{"sweep_mode: must be 'point' or 'class'; got '" + spec.sweep_mode + "'"};
   }
   std::string mech_error;
   if (MakeMechanismKind(spec.mechanism, program, spec.allow, &mech_error) == nullptr) {
@@ -304,7 +351,7 @@ std::string RenderMaximalReport(const MaximalSynthesis& synthesis) {
 }
 
 JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
-                         const ObsContext& obs_ctx) {
+                         const ObsContext& obs_ctx, ClassMemo* class_memo) {
   JobResult result;
   result.id = spec.id;
   result.cache_key = prepared.key.ToHex();
@@ -347,11 +394,67 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
 
   const AllowPolicy policy(prepared.program.num_inputs(), spec.allow);
 
+  // Class sweep mode (DESIGN.md §14): partition the grid by the allow-policy
+  // image once per job, and route every table-feedable checker through the
+  // class-backed build. The partition is sound for EVERY checker — class
+  // certification only relies on the representative's read set being
+  // class-constant, never on what the partition means to the checker — so
+  // one allow(J) partition serves soundness and completeness alike. When the
+  // grid exceeds the table cap the job silently degrades to the point path
+  // (same fallback the audit uses).
+  ClassPartition partition;
+  ProgramDigestTree digest_tree;
+  ClassBuildStats class_stats;
+  ClassSweepContext class_ctx;
+  bool use_classes = false;
+  if (spec.sweep_mode == "class") {
+    const std::optional<std::uint64_t> grid_points = prepared.domain.CheckedSize();
+    if (grid_points.has_value() && *grid_points <= OutcomeTable::kMaxPoints) {
+      partition = BuildClassPartition(prepared.domain, policy);
+    }
+    if (!partition.empty()) {
+      digest_tree = prepared.program.DigestTree();
+      class_ctx.partition = &partition;
+      class_ctx.program_tree = &digest_tree;
+      class_ctx.stats = &class_stats;
+      if (class_memo != nullptr) {
+        class_ctx.memo = class_memo;
+        class_ctx.memo_context =
+            ClassMemoContextKey(spec, prepared.program, prepared.domain, spec.mechanism);
+        class_ctx.memo_context2 =
+            ClassMemoContextKey(spec, prepared.program, prepared.domain, spec.mechanism2);
+      }
+      use_classes = true;
+    }
+  }
+  // One class-backed table per single-checker job. An incomplete build is
+  // never consumed: the caller fails closed on the build's progress, exactly
+  // as the audit does for its shared table.
+  const auto class_table = [&](const ProtectionMechanism* second_mechanism,
+                               const SecurityPolicy* table_policy) {
+    OutcomeTableSources sources;
+    sources.mechanism = mechanism.get();
+    sources.mechanism2 = second_mechanism;
+    sources.policy = table_policy;
+    return BuildOutcomeTableWithClasses(sources, prepared.domain, class_ctx, options);
+  };
+
   const auto start = std::chrono::steady_clock::now();
   switch (spec.checker) {
     case CheckerKind::kSoundness: {
-      const SoundnessReport report =
-          CheckSoundness(*mechanism, policy, prepared.domain, obs, options);
+      SoundnessReport report;
+      if (use_classes) {
+        const OutcomeTable table = class_table(nullptr, &policy);
+        if (table.complete()) {
+          report = CheckSoundness(table, obs, options);
+        } else {
+          report.sound = false;
+          report.inputs_checked = table.build().evaluated;
+          report.progress = table.build();
+        }
+      } else {
+        report = CheckSoundness(*mechanism, policy, prepared.domain, obs, options);
+      }
       result.report = Header(mechanism->name(), "for", policy.name(), prepared.domain, obs) +
                       report.ToString() + "\n";
       result.status = StatusForProgress(report.progress);
@@ -361,8 +464,19 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
       break;
     }
     case CheckerKind::kIntegrity: {
-      const IntegrityReport report =
-          CheckInformationPreservation(*mechanism, policy, prepared.domain, obs, options);
+      IntegrityReport report;
+      if (use_classes) {
+        const OutcomeTable table = class_table(nullptr, &policy);
+        if (table.complete()) {
+          report = CheckInformationPreservation(table, obs, options);
+        } else {
+          report.preserved = false;
+          report.inputs_checked = table.build().evaluated;
+          report.progress = table.build();
+        }
+      } else {
+        report = CheckInformationPreservation(*mechanism, policy, prepared.domain, obs, options);
+      }
       result.report =
           Header(mechanism->name(), "preserving", policy.name(), prepared.domain, obs) +
           report.ToString() + "\n";
@@ -382,8 +496,17 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
         return result;
       }
       second = wrap(std::move(second));
-      const CompletenessStats stats =
-          CompareCompleteness(*mechanism, *second, prepared.domain, options);
+      CompletenessStats stats;
+      if (use_classes) {
+        const OutcomeTable table = class_table(second.get(), nullptr);
+        if (table.complete()) {
+          stats = CompareCompleteness(table, options);
+        } else {
+          stats.progress = table.build();
+        }
+      } else {
+        stats = CompareCompleteness(*mechanism, *second, prepared.domain, options);
+      }
       result.report =
           Header(mechanism->name(), "vs", second->name(), prepared.domain, std::nullopt) +
           stats.ToString() + "\n";
@@ -396,8 +519,18 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
       break;
     }
     case CheckerKind::kMaximal: {
-      const MaximalSynthesis synthesis =
-          SynthesizeMaximalMechanism(*mechanism, policy, prepared.domain, obs, options);
+      MaximalSynthesis synthesis;
+      if (use_classes) {
+        const OutcomeTable table = class_table(nullptr, &policy);
+        if (table.complete()) {
+          synthesis = SynthesizeMaximalMechanism(table, obs, options);
+        } else {
+          synthesis.inputs = table.build().evaluated;
+          synthesis.progress = table.build();
+        }
+      } else {
+        synthesis = SynthesizeMaximalMechanism(*mechanism, policy, prepared.domain, obs, options);
+      }
       result.report = Header("maximal", "for", policy.name(), prepared.domain, obs) +
                       RenderMaximalReport(synthesis) + "\n";
       result.status = StatusForProgress(synthesis.progress);
@@ -407,6 +540,9 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
       break;
     }
     case CheckerKind::kPolicyCompare: {
+      // Policy comparison never evaluates a mechanism, so the class sweep
+      // has nothing to save it; it runs the live path in both sweep modes
+      // (the reports are identical either way).
       const AllowPolicy second(prepared.program.num_inputs(), spec.allow2);
       const PolicyCompareReport report =
           ComparePolicyDisclosure(policy, second, prepared.domain, options);
@@ -420,7 +556,17 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
       break;
     }
     case CheckerKind::kLeak: {
-      const LeakReport report = MeasureLeak(*mechanism, policy, prepared.domain, obs, options);
+      LeakReport report;
+      if (use_classes) {
+        const OutcomeTable table = class_table(nullptr, &policy);
+        if (table.complete()) {
+          report = MeasureLeak(table, obs, options);
+        } else {
+          report.progress = table.build();
+        }
+      } else {
+        report = MeasureLeak(*mechanism, policy, prepared.domain, obs, options);
+      }
       result.report = Header(mechanism->name(), "for", policy.name(), prepared.domain, obs) +
                       report.ToString() + "\n";
       result.status = StatusForProgress(report.progress);
@@ -443,7 +589,8 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
       second = wrap(std::move(second));
       const AllowPolicy policy2(prepared.program.num_inputs(), spec.allow2);
       const AuditReport audit =
-          CheckAll(*mechanism, *second, policy, policy2, prepared.domain, obs, options);
+          CheckAll(*mechanism, *second, policy, policy2, prepared.domain, obs, options,
+                   use_classes ? &class_ctx : nullptr);
       // Six sections, each rendered exactly as its standalone job would be —
       // the differential contract is "audit report == the concatenation of
       // the six standalone job reports".
@@ -473,7 +620,7 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
   return result;
 }
 
-JobResult ExecuteJob(const CheckJobSpec& spec, const ObsContext& obs) {
+JobResult ExecuteJob(const CheckJobSpec& spec, const ObsContext& obs, ClassMemo* class_memo) {
   Result<PreparedJob> prepared = PrepareJob(spec);
   if (!prepared.ok()) {
     JobResult result;
@@ -483,7 +630,7 @@ JobResult ExecuteJob(const CheckJobSpec& spec, const ObsContext& obs) {
     result.exit_code = 1;
     return result;
   }
-  return RunPreparedJob(spec, prepared.value(), obs);
+  return RunPreparedJob(spec, prepared.value(), obs, class_memo);
 }
 
 std::vector<CheckJobSpec> AuditSectionSpecs(const CheckJobSpec& audit) {

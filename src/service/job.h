@@ -32,6 +32,8 @@
 
 namespace secpol {
 
+class ClassMemo;  // src/mechanism/classes.h
+
 // Which exhaustive checker the job runs.
 enum class CheckerKind {
   kSoundness,      // CheckSoundness(mechanism, allow-policy)
@@ -70,6 +72,16 @@ struct CheckJobSpec {
   Value grid_lo = -1;
   Value grid_hi = 2;
   bool observe_time = false;  // kValueAndTime instead of kValueOnly
+
+  // How the checker sweeps the grid: "point" (the default — every rank
+  // evaluated directly, exactly as before this field existed) or "class"
+  // (equivalence-class sweep, DESIGN.md §14: partition the grid by the
+  // policy image, run one tracked representative per class, copy certified
+  // classes instead of re-running the mechanism). The contract: a COMPLETED
+  // class-mode report is byte-identical to the point-mode report. "class"
+  // contributes a cache sub-key; "point" leaves the cache key byte-for-byte
+  // what it was before sweep modes existed.
+  std::string sweep_mode = "point";
 
   // Evaluation knobs (not part of the cache key; see JobCacheKey).
   int num_threads = 1;
@@ -135,15 +147,28 @@ Result<PreparedJob> PrepareJob(const CheckJobSpec& spec);
 Fingerprint JobCacheKey(const CheckJobSpec& spec, const Program& program,
                         const InputDomain& domain);
 
+// The memo context of one mechanism column of a class-mode job: everything
+// that determines a representative's outcome EXCEPT the program's box
+// contents (those are revalidated per lookup — see ClassMemo). Covers the
+// mechanism kind, the policy bits feeding it (omitted for "bare", which
+// ignores them), the exact grid (fault injection fires by grid rank), the
+// fault/retry recipe, and the program's skeleton digest. Exposed so tests
+// and benchmarks can address the same memo lines the service does.
+Fingerprint ClassMemoContextKey(const CheckJobSpec& spec, const Program& program,
+                                const InputDomain& domain, const std::string& mechanism_kind);
+
 // Runs the checker for an already-prepared job (no cache, no scheduler).
 // The result's wall_ms covers the checker run only. `obs` (disabled by
 // default) is forwarded to the checker's CheckOptions; it never changes the
-// report bytes.
+// report bytes. `class_memo` (optional) is the cross-job representative
+// memo consulted by "class" sweep-mode jobs; point-mode jobs ignore it.
 JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
-                         const ObsContext& obs = ObsContext());
+                         const ObsContext& obs = ObsContext(),
+                         ClassMemo* class_memo = nullptr);
 
 // PrepareJob + RunPreparedJob; invalid specs yield a kInvalid result.
-JobResult ExecuteJob(const CheckJobSpec& spec, const ObsContext& obs = ObsContext());
+JobResult ExecuteJob(const CheckJobSpec& spec, const ObsContext& obs = ObsContext(),
+                     ClassMemo* class_memo = nullptr);
 
 // The six standalone jobs an audit job bundles, in section order (soundness,
 // integrity, completeness, maximal, policy-compare, leak). Each spec keeps

@@ -78,6 +78,7 @@ Result<bool> ApplyManifestJobFields(const Json& object, const std::string& where
       "id",        "checker",    "program",  "program_file", "allow",
       "allow2",    "mechanism",  "mechanism2", "grid",       "observe_time",
       "threads",   "deadline_ms", "priority", "fault_spec",  "retries",
+      "sweep_mode",
   };
   for (const auto& [key, value] : object.Members()) {
     bool known = false;
@@ -183,6 +184,16 @@ Result<bool> ApplyManifestJobFields(const Json& object, const std::string& where
   Result<std::int64_t> retries = IntField(object, "retries", where, spec->retries);
   if (!retries.ok()) return retries.error();
   spec->retries = static_cast<int>(retries.value());
+
+  // Vocabulary errors surface here with the manifest-grade message; PrepareJob
+  // re-validates for specs built programmatically.
+  Result<std::string> sweep_mode = StringField(object, "sweep_mode", where, spec->sweep_mode);
+  if (!sweep_mode.ok()) return sweep_mode.error();
+  if (sweep_mode.value() != "point" && sweep_mode.value() != "class") {
+    return Error{where + ".sweep_mode: expected 'point' or 'class'; got '" +
+                 sweep_mode.value() + "'"};
+  }
+  spec->sweep_mode = std::move(sweep_mode).value();
 
   return true;
 }
@@ -328,6 +339,12 @@ Json CheckJobSpecToJson(const CheckJobSpec& spec) {
   object.Set("priority", Json::MakeInt(spec.priority));
   object.Set("fault_spec", Json::MakeString(spec.fault_spec));
   object.Set("retries", Json::MakeInt(spec.retries));
+  // Emitted only when non-default, so point-mode spec renderings (and every
+  // golden fixture that predates sweep modes) keep their exact bytes. The
+  // round-trip still holds: an absent key leaves the default "point".
+  if (spec.sweep_mode != "point") {
+    object.Set("sweep_mode", Json::MakeString(spec.sweep_mode));
+  }
   return object;
 }
 

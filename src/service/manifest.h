@@ -25,7 +25,8 @@
 //         "grid": {"lo": -1, "hi": 2},
 //         "observe_time": false,
 //         "threads": 1, "deadline_ms": 0, "priority": 0,
-//         "fault_spec": "", "retries": -1
+//         "fault_spec": "", "retries": -1,
+//         "sweep_mode": "point"         // point|class (DESIGN.md §14)
 //       }
 //     ]
 //   }

@@ -20,7 +20,8 @@ int BatchReport::ExitCode() const {
 
 CheckService::CheckService(ServiceConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache_capacity, config_.cache_shards) {
+      cache_(config_.cache_capacity, config_.cache_shards),
+      class_memo_(config_.class_memo_capacity) {
   obs_ = config_.obs;
   if (config_.report_metrics && obs_.metrics == nullptr) {
     own_metrics_ = std::make_unique<MetricsRegistry>();
@@ -145,7 +146,7 @@ BatchReport CheckService::RunBatch(const std::vector<CheckJobSpec>& specs) {
       slot.total = hit->total;
       slot.cache_key = job.key.ToHex();
     } else {
-      slot = RunPreparedJob(spec, job, obs_);
+      slot = RunPreparedJob(spec, job, obs_, &class_memo_);
       if (slot.status == JobStatus::kCompleted) {
         CachedResult value;
         value.report = slot.report;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/mechanism/classes.h"
 #include "src/obs/obs.h"
 #include "src/service/job.h"
 #include "src/service/result_cache.h"
@@ -39,6 +40,9 @@ struct ServiceConfig {
 
   std::size_t cache_capacity = 1024;
   int cache_shards = 8;
+  // Capacity of the class-sweep representative memo (entries, not bytes) —
+  // the cross-job layer that makes re-submitted "class" jobs incremental.
+  std::size_t class_memo_capacity = ClassMemo::kDefaultCapacity;
   // Optional persistence: loaded on construction, atomically written on
   // destruction (and on demand via PersistCache).
   std::string cache_file;
@@ -105,6 +109,10 @@ class CheckService {
 
   const ServiceConfig& config() const { return config_; }
   ResultCache& cache() { return cache_; }
+  // The service-owned representative memo, shared by every "class"-mode job
+  // the service runs (and, via the daemon, across connections). Point-mode
+  // jobs never touch it.
+  ClassMemo& class_memo() { return class_memo_; }
 
  private:
   ServiceConfig config_;
@@ -112,6 +120,7 @@ class CheckService {
   std::unique_ptr<MetricsRegistry> own_metrics_;
   ObsContext obs_;
   ResultCache cache_;
+  ClassMemo class_memo_;
   int cache_preloaded_ = 0;
   std::string cache_load_error_;
 };

@@ -24,6 +24,19 @@ Outcome StaticCertifiedMechanism::Run(InputView input) const {
   return Outcome::Val(result.output, result.steps);
 }
 
+TrackedOutcome StaticCertifiedMechanism::RunTracked(InputView input) const {
+  if (!certified_) {
+    (void)input;
+    return TrackedOutcome{Outcome::Violation(0, "program failed flow certification"), VarSet(),
+                          true, {}, true};
+  }
+  ExecFootprint footprint;
+  const ExecResult result = RunProgramTracked(program_, input, &footprint, fuel_);
+  Outcome outcome = result.halted ? Outcome::Val(result.output, result.steps)
+                                  : Outcome::Violation(result.steps, "fuel exhausted");
+  return TrackedOutcome{std::move(outcome), footprint.reads, true, footprint.BoxIds(), true};
+}
+
 std::string StaticCertifiedMechanism::name() const {
   return "static-certify[" + PcDisciplineName(discipline_) + "](" + program_.name() + ")";
 }
@@ -50,6 +63,20 @@ Outcome ResidualGuardMechanism::Run(InputView input) const {
     return Outcome::Violation(result.steps, "halt on uncertified path");
   }
   return Outcome::Val(result.output, result.steps);
+}
+
+TrackedOutcome ResidualGuardMechanism::RunTracked(InputView input) const {
+  ExecFootprint footprint;
+  const ExecResult result = RunProgramTracked(program_, input, &footprint, fuel_);
+  Outcome outcome;
+  if (!result.halted) {
+    outcome = Outcome::Violation(result.steps, "fuel exhausted");
+  } else if (!release_at_[result.halt_box]) {
+    outcome = Outcome::Violation(result.steps, "halt on uncertified path");
+  } else {
+    outcome = Outcome::Val(result.output, result.steps);
+  }
+  return TrackedOutcome{std::move(outcome), footprint.reads, true, footprint.BoxIds(), true};
 }
 
 std::string ResidualGuardMechanism::name() const {

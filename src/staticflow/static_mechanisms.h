@@ -44,6 +44,9 @@ class StaticCertifiedMechanism : public ProtectionMechanism {
 
   int num_inputs() const override { return program_.num_inputs(); }
   Outcome Run(InputView input) const override;
+  // Uncertified: the outcome is the same constant on every input (reads
+  // nothing, executes nothing). Certified: the plain interpreter's footprint.
+  TrackedOutcome RunTracked(InputView input) const override;
   std::string name() const override;
 
  private:
@@ -65,6 +68,9 @@ class ResidualGuardMechanism : public ProtectionMechanism {
 
   int num_inputs() const override { return program_.num_inputs(); }
   Outcome Run(InputView input) const override;
+  // The release decision is a pure function of the halt box, which the
+  // tracked interpreter already pins down, so the plain footprint is exact.
+  TrackedOutcome RunTracked(InputView input) const override;
   std::string name() const override;
 
  private:

@@ -56,6 +56,18 @@ std::string SurveillanceMechanism::name() const {
 Outcome SurveillanceMechanism::Run(InputView input) const { return RunTraced(input).outcome; }
 
 SurveillanceTrace SurveillanceMechanism::RunTraced(InputView input) const {
+  return RunTracedImpl(input, nullptr);
+}
+
+TrackedOutcome SurveillanceMechanism::RunTracked(InputView input) const {
+  ExecFootprint footprint;
+  SurveillanceTrace trace = RunTracedImpl(input, &footprint);
+  return TrackedOutcome{std::move(trace.outcome), footprint.reads, true, footprint.BoxIds(),
+                        true};
+}
+
+SurveillanceTrace SurveillanceMechanism::RunTracedImpl(InputView input,
+                                                       ExecFootprint* footprint) const {
   assert(static_cast<int>(input.size()) == program_.num_inputs());
 
   std::vector<Value> env(program_.num_vars(), 0);
@@ -65,6 +77,16 @@ SurveillanceTrace SurveillanceMechanism::RunTraced(InputView input) const {
     labels[i] = VarSet::Singleton(i);
   }
   VarSet pc_label;
+  VarSet live_inputs = VarSet::FirstN(program_.num_inputs());
+  if (footprint != nullptr) {
+    footprint->reads = VarSet();
+    footprint->boxes.assign(static_cast<size_t>(program_.num_boxes()), false);
+  }
+  const auto note_reads = [&](const Expr& expr) {
+    if (footprint != nullptr) {
+      footprint->reads = footprint->reads.Union(expr.FreeVars().Intersect(live_inputs));
+    }
+  };
 
   // kNaiveScopedPc: saved pc labels to restore when control reaches the
   // decision's immediate postdominator (the join point).
@@ -93,6 +115,9 @@ SurveillanceTrace SurveillanceMechanism::RunTraced(InputView input) const {
       }
     }
     ++steps;
+    if (footprint != nullptr) {
+      footprint->boxes[pc] = true;
+    }
     const Box& box = program_.box(pc);
     switch (box.kind) {
       case Box::Kind::kStart:
@@ -105,12 +130,17 @@ SurveillanceTrace SurveillanceMechanism::RunTraced(InputView input) const {
           new_label = new_label.Union(labels[box.var]);
         }
         labels[box.var] = new_label;
+        note_reads(box.expr);
         env[box.var] = box.expr.Eval(env);
+        if (program_.IsInputVar(box.var)) {
+          live_inputs.Erase(box.var);
+        }
         pc = box.next;
         break;
       }
       case Box::Kind::kDecision: {
         const VarSet test_label = expr_label(box.predicate);
+        note_reads(box.predicate);
         if (timing_ == TimingMode::kTimeObservable &&
             !test_label.Union(pc_label).SubsetOf(allowed_)) {
           // M': "if a disallowed variable is about to be tested, flowchart

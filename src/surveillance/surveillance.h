@@ -75,6 +75,11 @@ class SurveillanceMechanism : public ProtectionMechanism {
 
   int num_inputs() const override { return program_.num_inputs(); }
   Outcome Run(InputView input) const override;
+  // Tracked precisely: the instrumented execution is deterministic in the
+  // executed boxes and the input coordinates read along the taken path (the
+  // labels themselves are a function of the path, not of the data values),
+  // so the plain interpreter's dependency argument carries over verbatim.
+  TrackedOutcome RunTracked(InputView input) const override;
   std::string name() const override;
 
   SurveillanceTrace RunTraced(InputView input) const;
@@ -83,6 +88,8 @@ class SurveillanceMechanism : public ProtectionMechanism {
   VarSet allowed_inputs() const { return allowed_; }
 
  private:
+  SurveillanceTrace RunTracedImpl(InputView input, ExecFootprint* footprint) const;
+
   Program program_;
   VarSet allowed_;
   TimingMode timing_;

@@ -129,15 +129,36 @@ std::optional<VarSet> ParseAllowSet(const ParsedArgs& args, int num_inputs, std:
   return allowed;
 }
 
-InputDomain ParseGrid(const ParsedArgs& args, int num_inputs) {
+// THE --grid parse: every grid-taking verb (check, audit, advise) funnels
+// through here, so "--grid=lo:hi" means exactly one thing and a malformed
+// value produces exactly one message on every verb — a parity locked by
+// tests/cli_test.cc. An absent flag keeps the canonical default {-1..2};
+// a present-but-malformed one is an error, never a silent default.
+bool ParseGridFlag(const ParsedArgs& args, Value* lo, Value* hi, std::string* err) {
+  const std::optional<std::string> grid = FlagValue(args, "grid");
+  if (!grid.has_value()) {
+    return true;
+  }
+  const size_t colon = grid->find(':');
+  if (colon != std::string::npos) {
+    try {
+      *lo = std::stoll(grid->substr(0, colon));
+      *hi = std::stoll(grid->substr(colon + 1));
+      return true;
+    } catch (...) {
+      // fall through to the shared message
+    }
+  }
+  *err += "bad --grid value '" + *grid + "' (expected lo:hi)\n";
+  return false;
+}
+
+std::optional<InputDomain> ParseGrid(const ParsedArgs& args, int num_inputs,
+                                     std::string* err) {
   Value lo = -1;
   Value hi = 2;
-  if (const auto grid = FlagValue(args, "grid"); grid.has_value()) {
-    const size_t colon = grid->find(':');
-    if (colon != std::string::npos) {
-      lo = std::stoll(grid->substr(0, colon));
-      hi = std::stoll(grid->substr(colon + 1));
-    }
+  if (!ParseGridFlag(args, &lo, &hi, err)) {
+    return std::nullopt;
   }
   return InputDomain::Range(num_inputs, lo, hi);
 }
@@ -359,7 +380,35 @@ std::unique_ptr<ProtectionMechanism> MakeCheckedMechanism(const std::string& kin
   return mechanism;
 }
 
+std::optional<CheckJobSpec> JobSpecFromFlags(const ParsedArgs& args, CheckerKind checker,
+                                             std::string* err);
+
 int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
+  // --sweep-mode=class routes the verb through the job layer, whose class
+  // sweep covers certified equivalence classes from one representative run
+  // (DESIGN.md §14). A completed run's stdout and exit code are
+  // byte-identical to the default point path — that identity is the class
+  // sweep's core contract and is locked by tests/cli_test.cc and the
+  // scenario matrix.
+  if (const auto sweep_mode = FlagValue(args, "sweep-mode");
+      sweep_mode.has_value() && *sweep_mode != "point") {
+    const std::optional<CheckJobSpec> spec =
+        JobSpecFromFlags(args, CheckerKind::kSoundness, err);
+    if (!spec.has_value()) {
+      return 1;
+    }
+    const auto sinks = MakeObsSinks(args, err);
+    if (!sinks.has_value()) {
+      return 1;
+    }
+    const JobResult result = ExecuteJob(*spec, sinks->Context());
+    if (result.status == JobStatus::kInvalid) {
+      *err += result.error + "\n";
+      return result.exit_code;
+    }
+    *out += result.report;
+    return FoldWrite(result.exit_code, *sinks, err);
+  }
   const auto program = LoadProgram(args, err);
   if (!program.has_value()) {
     return 1;
@@ -379,7 +428,11 @@ int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
     return 1;
   }
   const AllowPolicy policy(program->num_inputs(), *allowed);
-  const InputDomain domain = ParseGrid(args, program->num_inputs());
+  const auto parsed_domain = ParseGrid(args, program->num_inputs(), err);
+  if (!parsed_domain.has_value()) {
+    return 1;
+  }
+  const InputDomain domain = *parsed_domain;
 
   // Optional fault injection (for exercising the runtime's degradation
   // paths from the command line) and bounded retry of transient faults.
@@ -479,22 +532,30 @@ int CmdBatch(const ParsedArgs& args, std::string* out, std::string* err) {
 // concatenation of the six standalone check reports; the exit code is the
 // worst of the six sections'. Routed through ExecuteJob so the CLI, a batch
 // manifest, and the cache all render the identical bytes.
-int CmdAudit(const ParsedArgs& args, std::string* out, std::string* err) {
+// Builds a CheckJobSpec from the checking verbs' shared flag vocabulary
+// (--allow / --allow2 / --mechanism / --mechanism2 / --grid / --time /
+// --threads / --deadline-ms / --fault-spec / --retries / --sweep-mode),
+// validating every flag with the verbs' own error style before the job
+// layer re-validates. Shared by `audit` (always job-routed) and `check`
+// (job-routed under --sweep-mode=class), so both verbs parse each flag —
+// and misparse each flag — identically.
+std::optional<CheckJobSpec> JobSpecFromFlags(const ParsedArgs& args, CheckerKind checker,
+                                             std::string* err) {
   if (args.file.empty()) {
     *err += "missing program file\n";
-    return 1;
+    return std::nullopt;
   }
   std::ifstream stream(args.file);
   if (!stream) {
     *err += "cannot open '" + args.file + "'\n";
-    return 1;
+    return std::nullopt;
   }
   std::stringstream buffer;
   buffer << stream.rdbuf();
 
   CheckJobSpec spec;
-  spec.id = "audit";
-  spec.checker = CheckerKind::kAudit;
+  spec.id = CheckerKindName(checker);
+  spec.checker = checker;
   spec.program_text = buffer.str();
 
   // Validate the allow sets against the parsed program up front, so flag
@@ -502,12 +563,12 @@ int CmdAudit(const ParsedArgs& args, std::string* out, std::string* err) {
   Result<SourceProgram> parsed = ParseProgram(spec.program_text);
   if (!parsed.ok()) {
     *err += args.file + ":" + parsed.error().ToString() + "\n";
-    return 1;
+    return std::nullopt;
   }
   const int num_inputs = parsed.value().num_inputs();
   const auto allowed = ParseAllowSet(args, num_inputs, err);
   if (!allowed.has_value()) {
-    return 1;
+    return std::nullopt;
   }
   spec.allow = *allowed;
   // Default disclosure reference: the policy itself (a trivially true
@@ -516,7 +577,7 @@ int CmdAudit(const ParsedArgs& args, std::string* out, std::string* err) {
   if (FlagValue(args, "allow2").has_value()) {
     const auto allowed2 = ParseAllowSet(args, num_inputs, err, "allow2");
     if (!allowed2.has_value()) {
-      return 1;
+      return std::nullopt;
     }
     spec.allow2 = *allowed2;
   }
@@ -524,21 +585,12 @@ int CmdAudit(const ParsedArgs& args, std::string* out, std::string* err) {
   spec.mechanism = FlagValue(args, "mechanism").value_or("surveillance");
   spec.mechanism2 = FlagValue(args, "mechanism2").value_or("bare");
   spec.observe_time = HasFlag(args, "time");
-  if (const auto grid = FlagValue(args, "grid"); grid.has_value()) {
-    const size_t colon = grid->find(':');
-    if (colon != std::string::npos) {
-      try {
-        spec.grid_lo = std::stoll(grid->substr(0, colon));
-        spec.grid_hi = std::stoll(grid->substr(colon + 1));
-      } catch (...) {
-        *err += "bad --grid value '" + *grid + "'\n";
-        return 1;
-      }
-    }
+  if (!ParseGridFlag(args, &spec.grid_lo, &spec.grid_hi, err)) {
+    return std::nullopt;
   }
   const auto options = ParseCheckOptions(args, err);
   if (!options.has_value()) {
-    return 1;
+    return std::nullopt;
   }
   spec.num_threads = options->num_threads;
   if (const auto deadline = FlagValue(args, "deadline-ms"); deadline.has_value()) {
@@ -552,9 +604,26 @@ int CmdAudit(const ParsedArgs& args, std::string* out, std::string* err) {
       spec.retries = static_cast<int>(std::stoll(*retries));
     } catch (...) {
       *err += "bad --retries value '" + *retries + "'\n";
-      return 1;
+      return std::nullopt;
     }
   }
+  const std::string sweep_mode = FlagValue(args, "sweep-mode").value_or("point");
+  if (sweep_mode != "point" && sweep_mode != "class") {
+    *err += "bad --sweep-mode value '" + sweep_mode + "' (expected point or class)\n";
+    return std::nullopt;
+  }
+  spec.sweep_mode = sweep_mode;
+  return spec;
+}
+
+int CmdAudit(const ParsedArgs& args, std::string* out, std::string* err) {
+  const std::optional<CheckJobSpec> spec_from_flags =
+      JobSpecFromFlags(args, CheckerKind::kAudit, err);
+  if (!spec_from_flags.has_value()) {
+    return 1;
+  }
+  CheckJobSpec spec = *spec_from_flags;
+  spec.id = "audit";
 
   const auto sinks = MakeObsSinks(args, err);
   if (!sinks.has_value()) {
@@ -1003,7 +1072,11 @@ int CmdAdvise(const ParsedArgs& args, std::string* out, std::string* err) {
   if (!check.has_value()) {
     return 1;
   }
-  const InputDomain domain = ParseGrid(args, num_inputs);
+  const auto parsed_domain = ParseGrid(args, num_inputs, err);
+  if (!parsed_domain.has_value()) {
+    return 1;
+  }
+  const InputDomain domain = *parsed_domain;
   AdvisorOptions advisor_options;
   advisor_options.check = *check;
   const AdvisorReport report = AdviseTransforms(*source, *allowed, domain, advisor_options);

@@ -7,11 +7,14 @@
 //   secpol monitor <file.fl> --allow=0,2 --input=1,2,3 [--time-safe|--high-water]
 //       Run it under a surveillance mechanism.
 //   secpol check <file.fl> --allow=0,2 [--grid=lo:hi] [--time] [--mechanism=M]
-//                [--threads=N]
+//                [--threads=N] [--sweep-mode=point|class]
 //       Exhaustive soundness verdict; M in {surveillance, mprime, highwater,
 //       bare, static, residual}. --threads=N evaluates the grid on N worker
 //       threads (0 = one per hardware thread, 1 = serial); the verdict and
 //       counterexample are identical at every thread count.
+//       --sweep-mode=class evaluates one tracked representative per policy
+//       equivalence class and covers certified classes by copy (DESIGN.md
+//       §14); completed output is byte-identical to the point sweep.
 //   secpol fuzz [--seed=N] [--iterations=N] [--budget-ms=N] [--threads=N]
 //               [--out-dir=DIR] [--replay=witness.json]
 //       Coverage-guided disagreement fuzzer over the seeded corpus. Exit 0

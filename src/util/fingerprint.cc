@@ -205,6 +205,16 @@ void Fingerprinter::I32List(const std::vector<std::int32_t>& values) {
   }
 }
 
+void Fingerprinter::Nested(const Fingerprint& digest) {
+  buffer_.push_back('N');
+  unsigned char raw[16];
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = static_cast<unsigned char>(digest.hi >> (i * 8));
+    raw[8 + i] = static_cast<unsigned char>(digest.lo >> (i * 8));
+  }
+  RawBytes(raw, sizeof raw);
+}
+
 Fingerprint Fingerprinter::Digest() const {
   return Murmur3_128(buffer_.data(), buffer_.size());
 }

@@ -71,6 +71,11 @@ class Fingerprinter {
   void Str(std::string_view s);           // length-prefixed bytes
   void I64List(const std::vector<std::int64_t>& values);
   void I32List(const std::vector<std::int32_t>& values);
+  // A nested digest (Merkle-style composition: the digest trees of
+  // src/flowchart and src/policy combine per-node digests into a root with
+  // this). Tagged distinctly from a pair of U64s so a tree encoding can never
+  // collide with a flat one.
+  void Nested(const Fingerprint& digest);
 
   // Number of bytes encoded so far (diagnostics / tests).
   std::size_t encoded_size() const { return buffer_.size(); }

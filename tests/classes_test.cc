@@ -1,0 +1,720 @@
+// Tests for the equivalence-class sweep machinery (src/mechanism/classes):
+// partition correctness (analytic vs evaluated images, degenerate grids,
+// size caps), the class-backed table build and its byte-identity with the
+// point build, constancy-certificate soundness for untrackable mechanisms,
+// the representative memo (LRU, revalidation, incremental recheck after a
+// dead-box edit), compositional digest trees (ChangedNodes /
+// ChangedCoordinates), and the job/service-level "class" sweep mode:
+// spec plumbing, cache sub-keys, manifest round-trips, and class ≡ point
+// report identity for all seven checker kinds at several thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/channels/timing.h"
+#include "src/mechanism/classes.h"
+#include "src/mechanism/outcome_table.h"
+#include "src/mechanism/soundness.h"
+#include "src/policy/policy.h"
+#include "src/service/job.h"
+#include "src/service/manifest.h"
+#include "src/service/service.h"
+#include "src/util/json.h"
+#include "testlib.h"
+
+namespace secpol {
+namespace {
+
+using testlib::MustLower;
+
+// A mechanism that computes the same function as the bare program but cannot
+// track its dependencies: it inherits the fail-closed base RunTracked, so no
+// class may ever certify against it.
+class UntrackedMechanism : public ProtectionMechanism {
+ public:
+  explicit UntrackedMechanism(Program program) : inner_(std::move(program)) {}
+  int num_inputs() const override { return inner_.num_inputs(); }
+  Outcome Run(InputView input) const override { return inner_.Run(input); }
+  std::string name() const override { return inner_.name(); }
+
+ private:
+  ProgramAsMechanism inner_;
+};
+
+// ---------------------------------------------------------------------------
+// ClassPartition: analytic allow(J) vs evaluated images.
+
+TEST(ClassPartitionTest, AnalyticAllowMatchesEvaluatedImages) {
+  const InputDomain domain = InputDomain::Range(3, -1, 1);
+  for (const VarSet allowed :
+       {VarSet::Empty(), VarSet::Singleton(0), VarSet::Singleton(2),
+        VarSet::FirstN(2), VarSet::FirstN(3)}) {
+    const ClassPartition analytic = PartitionByAllow(domain, allowed);
+    const AllowPolicy policy(3, allowed);
+    const ClassPartition evaluated = PartitionByImages(domain, policy);
+
+    ASSERT_FALSE(analytic.empty());
+    ASSERT_FALSE(evaluated.empty());
+    EXPECT_TRUE(analytic.analytic);
+    EXPECT_FALSE(evaluated.analytic);
+    EXPECT_EQ(analytic.policy_evals, 0u);
+    EXPECT_EQ(evaluated.policy_evals, domain.size());
+
+    // Both schemes number classes in first-occurrence rank order, so every
+    // derived array must agree element for element.
+    EXPECT_EQ(analytic.num_points, evaluated.num_points);
+    EXPECT_EQ(analytic.num_classes, evaluated.num_classes);
+    EXPECT_EQ(analytic.class_of_rank, evaluated.class_of_rank);
+    EXPECT_EQ(analytic.representative, evaluated.representative);
+    EXPECT_EQ(analytic.class_size, evaluated.class_size);
+    for (std::int64_t c = 0; c < analytic.num_classes; ++c) {
+      EXPECT_EQ(analytic.constant_coords[static_cast<size_t>(c)].bits(),
+                evaluated.constant_coords[static_cast<size_t>(c)].bits())
+          << "class " << c << " allowed=" << allowed.ToString();
+    }
+  }
+}
+
+TEST(ClassPartitionTest, DegenerateGrids) {
+  // Singleton domain: one point, one class, every coordinate constant.
+  const InputDomain singleton = InputDomain::Range(3, 5, 5);
+  const ClassPartition one_point = PartitionByAllow(singleton, VarSet::Singleton(1));
+  ASSERT_FALSE(one_point.empty());
+  EXPECT_EQ(one_point.num_points, 1u);
+  EXPECT_EQ(one_point.num_classes, 1);
+  EXPECT_EQ(one_point.MultiMemberClasses(), 0u);
+  EXPECT_EQ(one_point.constant_coords[0].bits(), VarSet::FirstN(3).bits());
+
+  const InputDomain domain = InputDomain::Range(2, 0, 2);
+
+  // allow() folds the whole grid into one class.
+  const ClassPartition all_one = PartitionByAllow(domain, VarSet::Empty());
+  ASSERT_FALSE(all_one.empty());
+  EXPECT_EQ(all_one.num_classes, 1);
+  EXPECT_EQ(all_one.class_size[0], domain.size());
+  EXPECT_EQ(all_one.MultiMemberClasses(), 1u);
+
+  // allow(everything) makes every point its own class: nothing to save.
+  const ClassPartition all_distinct = PartitionByAllow(domain, VarSet::FirstN(2));
+  ASSERT_FALSE(all_distinct.empty());
+  EXPECT_EQ(all_distinct.num_classes, static_cast<std::int64_t>(domain.size()));
+  EXPECT_EQ(all_distinct.MultiMemberClasses(), 0u);
+  for (std::uint64_t rank = 0; rank < all_distinct.num_points; ++rank) {
+    EXPECT_EQ(all_distinct.representative[static_cast<size_t>(
+                  all_distinct.class_of_rank[rank])],
+              rank);
+  }
+}
+
+TEST(ClassPartitionTest, RefusesGridsPastTheCap) {
+  // Exactly kMaxPoints is accepted; one more point is refused (empty).
+  std::vector<Value> values(static_cast<size_t>(ClassPartition::kMaxPoints));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<Value>(i);
+  }
+  const InputDomain at_cap = InputDomain::PerInput({values});
+  const ClassPartition accepted = PartitionByAllow(at_cap, VarSet::Empty());
+  ASSERT_FALSE(accepted.empty());
+  EXPECT_EQ(accepted.num_points, ClassPartition::kMaxPoints);
+  EXPECT_EQ(accepted.num_classes, 1);
+
+  values.push_back(static_cast<Value>(values.size()));
+  const InputDomain over_cap = InputDomain::PerInput({values});
+  EXPECT_TRUE(PartitionByAllow(over_cap, VarSet::Empty()).empty());
+  const AllowPolicy policy(1, VarSet::Empty());
+  EXPECT_TRUE(PartitionByImages(over_cap, policy).empty());
+}
+
+TEST(ClassPartitionTest, DispatchPicksAnalyticForAllowPolicies) {
+  const InputDomain domain = InputDomain::Range(2, 0, 1);
+  const AllowPolicy allow(2, VarSet::Singleton(0));
+  EXPECT_TRUE(BuildClassPartition(domain, allow).analytic);
+  // A non-allow policy falls back to evaluated images.
+  const QueryBudgetPolicy budget(1);  // 2 inputs: one secret + the budget
+  const ClassPartition evaluated = BuildClassPartition(domain, budget);
+  EXPECT_FALSE(evaluated.analytic);
+  EXPECT_GT(evaluated.policy_evals, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// OutcomeTable boundaries.
+
+TEST(OutcomeTableBoundaryTest, ExactlyMaxPointsTabulates) {
+  std::vector<Value> values(static_cast<size_t>(OutcomeTable::kMaxPoints));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<Value>(i);
+  }
+  const InputDomain domain = InputDomain::PerInput({values});
+  const ProgramAsMechanism mechanism(MustLower("program p(a) { y = a; }"));
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+  const OutcomeTable table = BuildOutcomeTable(sources, domain, CheckOptions::Threads(0));
+  ASSERT_TRUE(table.complete());
+  EXPECT_EQ(table.build().evaluated, OutcomeTable::kMaxPoints);
+  EXPECT_EQ(table.outcome(0).value, 0);
+  EXPECT_EQ(table.outcome(OutcomeTable::kMaxPoints - 1).value,
+            static_cast<Value>(OutcomeTable::kMaxPoints - 1));
+}
+
+TEST(OutcomeTableBoundaryTest, OnePointOverTheCapFailsClosed) {
+  std::vector<Value> values(static_cast<size_t>(OutcomeTable::kMaxPoints) + 1);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<Value>(i);
+  }
+  const InputDomain domain = InputDomain::PerInput({values});
+  const ProgramAsMechanism mechanism(MustLower("program p(a) { y = a; }"));
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+
+  const OutcomeTable table = BuildOutcomeTable(sources, domain, CheckOptions::Serial());
+  EXPECT_FALSE(table.complete());
+  EXPECT_FALSE(table.has_outcomes());
+  EXPECT_NE(table.build().message.find("grid too large"), std::string::npos);
+
+  // The class-mode build refuses identically (before touching the partition).
+  ClassSweepContext context;
+  const ClassPartition empty_partition;
+  context.partition = &empty_partition;
+  const OutcomeTable class_table =
+      BuildOutcomeTableWithClasses(sources, domain, context, CheckOptions::Serial());
+  EXPECT_FALSE(class_table.complete());
+  EXPECT_FALSE(class_table.has_outcomes());
+}
+
+TEST(OutcomeTableBoundaryTest, MismatchedPartitionFailsClosed) {
+  const InputDomain domain = InputDomain::Range(2, 0, 1);
+  const InputDomain other = InputDomain::Range(2, 0, 2);
+  const ProgramAsMechanism mechanism(MustLower("program p(a, b) { y = a; }"));
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+
+  const ClassPartition partition = PartitionByAllow(other, VarSet::Singleton(0));
+  ClassSweepContext context;
+  context.partition = &partition;
+  const OutcomeTable table =
+      BuildOutcomeTableWithClasses(sources, domain, context, CheckOptions::Serial());
+  EXPECT_FALSE(table.complete());
+  EXPECT_FALSE(table.has_outcomes());
+  EXPECT_NE(table.build().message.find("partition"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The class-backed build: savings where certificates hold, byte-identity
+// always.
+
+TEST(ClassSweepTest, CertifiedClassesSkipMemberEvaluations) {
+  // y reads only the allowed coordinate, so every class certifies: the
+  // mechanism runs once per class, members are filled by copy.
+  const Program program = MustLower("program p(a, b) { y = a; }");
+  const InputDomain domain = InputDomain::Range(2, -1, 2);
+  const VarSet allowed = VarSet::Singleton(0);
+  const AllowPolicy policy(2, allowed);
+  const ProgramAsMechanism mechanism(program);
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+  sources.policy = &policy;
+
+  const ClassPartition partition = PartitionByAllow(domain, allowed);
+  ASSERT_EQ(partition.num_classes, 4);
+
+  ClassBuildStats stats;
+  ClassSweepContext context;
+  context.partition = &partition;
+  context.stats = &stats;
+  const OutcomeTable classed =
+      BuildOutcomeTableWithClasses(sources, domain, context, CheckOptions::Serial());
+  ASSERT_TRUE(classed.complete());
+  EXPECT_EQ(stats.certified_classes, 4u);
+  EXPECT_EQ(stats.mechanism_runs, 4u);   // one representative per class
+  EXPECT_EQ(stats.copied_points, 12u);   // the other 12 of 16 slots
+  EXPECT_TRUE(stats.analytic_partition);
+
+  // Byte-identity with the point build: every outcome and the progress.
+  const OutcomeTable point = BuildOutcomeTable(sources, domain, CheckOptions::Serial());
+  ASSERT_TRUE(point.complete());
+  EXPECT_EQ(classed.build().evaluated, point.build().evaluated);
+  for (std::uint64_t rank = 0; rank < domain.size(); ++rank) {
+    EXPECT_EQ(classed.outcome(rank).ToString(), point.outcome(rank).ToString()) << rank;
+    EXPECT_EQ(classed.image(rank), point.image(rank)) << rank;
+  }
+  const Observability obs = Observability::kValueOnly;
+  const CheckOptions serial = CheckOptions::Serial();
+  EXPECT_EQ(CheckSoundness(classed, obs, serial).ToString(),
+            CheckSoundness(point, obs, serial).ToString());
+  EXPECT_EQ(MeasureLeak(classed, obs, serial).ToString(),
+            MeasureLeak(point, obs, serial).ToString());
+}
+
+TEST(ClassSweepTest, UncertifiedClassesFallBackToPointEvaluations) {
+  // y reads the DENIED coordinate: reads ⊄ class-constant coords, no class
+  // certifies, and the build degrades to the point sweep plus the
+  // representative probes — never to a wrong table.
+  const Program program = MustLower("program p(a, b) { y = b; }");
+  const InputDomain domain = InputDomain::Range(2, -1, 2);
+  const VarSet allowed = VarSet::Singleton(0);
+  const AllowPolicy policy(2, allowed);
+  const ProgramAsMechanism mechanism(program);
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+  sources.policy = &policy;
+
+  const ClassPartition partition = PartitionByAllow(domain, allowed);
+  ClassBuildStats stats;
+  ClassSweepContext context;
+  context.partition = &partition;
+  context.stats = &stats;
+  const OutcomeTable classed =
+      BuildOutcomeTableWithClasses(sources, domain, context, CheckOptions::Serial());
+  ASSERT_TRUE(classed.complete());
+  EXPECT_EQ(stats.certified_classes, 0u);
+  EXPECT_EQ(stats.copied_points, 0u);
+  // 4 representative probes + 16 member evaluations (reps re-run in phase 2
+  // only when uncertified-and-not-representative slots need them; the
+  // representative slots reuse the probe's outcome).
+  EXPECT_EQ(stats.mechanism_runs, 4u + 12u);
+
+  const OutcomeTable point = BuildOutcomeTable(sources, domain, CheckOptions::Serial());
+  for (std::uint64_t rank = 0; rank < domain.size(); ++rank) {
+    EXPECT_EQ(classed.outcome(rank).ToString(), point.outcome(rank).ToString()) << rank;
+  }
+}
+
+TEST(ClassSweepTest, UntrackableMechanismNeverCertifies) {
+  // The fail-closed default RunTracked: exact == false, so even a
+  // policy-respecting function yields zero certificates. Soundness of the
+  // certificate scheme must not depend on what the mechanism claims.
+  UntrackedMechanism mechanism(MustLower("program p(a, b) { y = a; }"));
+  const InputDomain domain = InputDomain::Range(2, -1, 1);
+  const VarSet allowed = VarSet::Singleton(0);
+  const AllowPolicy policy(2, allowed);
+  OutcomeTableSources sources;
+  sources.mechanism = &mechanism;
+  sources.policy = &policy;
+
+  const ClassPartition partition = PartitionByAllow(domain, allowed);
+  ClassBuildStats stats;
+  ClassSweepContext context;
+  context.partition = &partition;
+  context.stats = &stats;
+  const OutcomeTable classed =
+      BuildOutcomeTableWithClasses(sources, domain, context, CheckOptions::Serial());
+  ASSERT_TRUE(classed.complete());
+  EXPECT_EQ(stats.certified_classes, 0u);
+  EXPECT_EQ(stats.copied_points, 0u);
+
+  const OutcomeTable point = BuildOutcomeTable(sources, domain, CheckOptions::Serial());
+  for (std::uint64_t rank = 0; rank < domain.size(); ++rank) {
+    EXPECT_EQ(classed.outcome(rank).ToString(), point.outcome(rank).ToString()) << rank;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TouchedBoxDigest and the representative memo.
+
+TEST(TouchedBoxDigestTest, CoversContentsOrderAndMissingBoxes) {
+  const Program program = MustLower("program p(a) { y = a + 1; }");
+  const Program edited = MustLower("program p(a) { y = a + 2; }");
+  const ProgramDigestTree tree = program.DigestTree();
+  const ProgramDigestTree edited_tree = edited.DigestTree();
+
+  // The digest differs exactly when the touched list includes an edited box.
+  const std::vector<int> changed = ChangedNodes(tree, edited_tree);
+  ASSERT_EQ(changed.size(), 1u);
+  const std::vector<int> touching = {0, changed[0]};
+  std::vector<int> avoiding;
+  for (int box = 0; box < program.num_boxes(); ++box) {
+    if (box != changed[0]) {
+      avoiding.push_back(box);
+    }
+  }
+  EXPECT_EQ(TouchedBoxDigest(tree, touching), TouchedBoxDigest(tree, touching));
+  EXPECT_FALSE(TouchedBoxDigest(tree, touching) == TouchedBoxDigest(edited_tree, touching));
+  EXPECT_EQ(TouchedBoxDigest(tree, avoiding), TouchedBoxDigest(edited_tree, avoiding));
+  EXPECT_FALSE(TouchedBoxDigest(tree, {0, 1}) == TouchedBoxDigest(tree, {1, 0}));
+  // A box id past the tree hashes as "missing", distinct from any real box.
+  EXPECT_FALSE(TouchedBoxDigest(tree, {0}) == TouchedBoxDigest(tree, {program.num_boxes()}));
+}
+
+TEST(ClassMemoTest, LruEvictionAndCounters) {
+  ClassMemo memo(2);
+  Fingerprinter fp;
+  fp.Tag("ctx");
+  const Fingerprint context = fp.Digest();
+
+  EXPECT_FALSE(memo.Lookup(context, 0).has_value());
+  EXPECT_EQ(memo.misses(), 1u);
+
+  ClassMemo::Entry entry;
+  entry.outcome = Outcome::Val(1, 1);
+  memo.Insert(context, 0, entry);
+  memo.Insert(context, 1, entry);
+  EXPECT_EQ(memo.size(), 2u);
+
+  // Touch rank 0 so rank 1 is the LRU victim of the next insert.
+  EXPECT_TRUE(memo.Lookup(context, 0).has_value());
+  memo.Insert(context, 2, entry);
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_EQ(memo.evictions(), 1u);
+  EXPECT_TRUE(memo.Lookup(context, 0).has_value());
+  EXPECT_FALSE(memo.Lookup(context, 1).has_value());
+  EXPECT_TRUE(memo.Lookup(context, 2).has_value());
+  EXPECT_EQ(memo.hits(), 3u);
+  EXPECT_EQ(memo.misses(), 2u);
+
+  memo.Clear();
+  EXPECT_EQ(memo.size(), 0u);
+}
+
+// The incremental-recheck core: a second class build against the memo spends
+// zero representative evaluations, and an edit confined to a box the
+// representatives never executed keeps the memo valid — while an edit to an
+// executed box invalidates it.
+TEST(ClassMemoTest, RevalidationSurvivesDeadBoxEditsOnly) {
+  // The then-branch is dead on this grid (a ranges over -1..1, never > 50),
+  // so representative runs execute only the test box and the else path.
+  const char* kBase = "program p(a, b) { if (a > 50) { y = b; } else { y = a; } }";
+  const char* kDeadEdit =
+      "program p(a, b) { if (a > 50) { y = b - 7; } else { y = a; } }";
+  const char* kLiveEdit =
+      "program p(a, b) { if (a > 50) { y = b; } else { y = a + 0; } }";
+
+  const InputDomain domain = InputDomain::Range(2, -1, 1);
+  const VarSet allowed = VarSet::Singleton(0);
+  const AllowPolicy policy(2, allowed);
+  const ClassPartition partition = PartitionByAllow(domain, allowed);
+  Fingerprinter fp;
+  fp.Tag("memo-context");
+  const Fingerprint memo_context = fp.Digest();
+
+  ClassMemo memo;
+  const auto build = [&](const char* text, ClassBuildStats* stats) {
+    const Program program = MustLower(text);
+    const ProgramDigestTree tree = program.DigestTree();
+    const ProgramAsMechanism mechanism(program);
+    OutcomeTableSources sources;
+    sources.mechanism = &mechanism;
+    sources.policy = &policy;
+    ClassSweepContext context;
+    context.partition = &partition;
+    context.memo = &memo;
+    context.program_tree = &tree;
+    context.memo_context = memo_context;
+    context.stats = stats;
+    return BuildOutcomeTableWithClasses(sources, domain, context, CheckOptions::Serial());
+  };
+
+  ClassBuildStats cold;
+  ASSERT_TRUE(build(kBase, &cold).complete());
+  EXPECT_GT(cold.rep_evals, 0u);
+  EXPECT_EQ(cold.memo_hits, 0u);
+
+  // Same program again: every representative comes from the memo.
+  ClassBuildStats warm;
+  ASSERT_TRUE(build(kBase, &warm).complete());
+  EXPECT_EQ(warm.rep_evals, 0u);
+  EXPECT_EQ(warm.memo_hits, cold.rep_evals);
+
+  // Dead-box edit: the executed boxes' digests are unchanged, so the entries
+  // revalidate and the representatives are still free.
+  ClassBuildStats dead;
+  const OutcomeTable dead_table = build(kDeadEdit, &dead);
+  ASSERT_TRUE(dead_table.complete());
+  EXPECT_EQ(dead.rep_evals, 0u);
+  EXPECT_GT(dead.memo_hits, 0u);
+
+  // Live-box edit: the else-arm digest changed, revalidation fails, and the
+  // representatives are re-run (then re-memoized under the new digests).
+  ClassBuildStats live;
+  const OutcomeTable live_table = build(kLiveEdit, &live);
+  ASSERT_TRUE(live_table.complete());
+  EXPECT_GT(live.rep_evals, 0u);
+
+  // Reused outcomes are still correct outcomes.
+  const Program dead_program = MustLower(kDeadEdit);
+  const ProgramAsMechanism dead_mechanism(dead_program);
+  OutcomeTableSources sources;
+  sources.mechanism = &dead_mechanism;
+  sources.policy = &policy;
+  const OutcomeTable point = BuildOutcomeTable(sources, domain, CheckOptions::Serial());
+  for (std::uint64_t rank = 0; rank < domain.size(); ++rank) {
+    EXPECT_EQ(dead_table.outcome(rank).ToString(), point.outcome(rank).ToString()) << rank;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compositional digest trees.
+
+TEST(DigestTreeTest, ChangedNodesPinpointsEditedBoxes) {
+  const Program base = MustLower("program p(a, b) { y = a; y = y + b; }");
+  const ProgramDigestTree tree = base.DigestTree();
+  EXPECT_TRUE(ChangedNodes(tree, base.DigestTree()).empty());
+  EXPECT_EQ(tree.root, base.DigestTree().root);
+  EXPECT_EQ(static_cast<int>(tree.nodes.size()), base.num_boxes());
+
+  // Exactly one box differs between these programs.
+  const Program edited = MustLower("program p(a, b) { y = a; y = y - b; }");
+  const ProgramDigestTree edited_tree = edited.DigestTree();
+  EXPECT_EQ(tree.skeleton, edited_tree.skeleton);
+  EXPECT_FALSE(tree.root == edited_tree.root);
+  const std::vector<int> changed = ChangedNodes(tree, edited_tree);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_FALSE(tree.nodes[static_cast<size_t>(changed[0])].digest ==
+               edited_tree.nodes[static_cast<size_t>(changed[0])].digest);
+
+  // A renamed program changes the skeleton, not necessarily any node.
+  const Program renamed = MustLower("program q(a, b) { y = a; y = y + b; }");
+  EXPECT_FALSE(tree.skeleton == renamed.DigestTree().skeleton);
+
+  // Different box counts: the extra ids are all reported changed.
+  const Program longer = MustLower("program p(a, b) { y = a; y = y + b; y = y; }");
+  const std::vector<int> grown = ChangedNodes(tree, longer.DigestTree());
+  EXPECT_GE(grown.size(), 1u);
+}
+
+TEST(DigestTreeTest, AllowPolicyLeavesArePerCoordinate) {
+  const AllowPolicy base(4, VarSet::FromBits(0b0011));
+  const AllowPolicy toggled(4, VarSet::FromBits(0b0101));
+  const PolicyDigestTree a = base.DigestTree();
+  const PolicyDigestTree b = toggled.DigestTree();
+  ASSERT_EQ(a.coordinates.size(), 4u);
+  EXPECT_EQ(a.skeleton, b.skeleton);
+  // Coordinates 1 and 2 flipped membership; 0 and 3 did not.
+  EXPECT_EQ(ChangedCoordinates(a, b), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(ChangedCoordinates(a, base.DigestTree()).empty());
+  EXPECT_EQ(a.root, base.DigestTree().root);
+  EXPECT_FALSE(a.root == b.root);
+}
+
+TEST(DigestTreeTest, BasePolicyTreeFailsClosed) {
+  // A policy without a precise override marks EVERY coordinate changed on
+  // any behavioural difference — the sound default.
+  const DirectoryGatedPolicy a(1, /*grant_value=*/0);
+  const DirectoryGatedPolicy b(1, /*grant_value=*/1);
+  const std::vector<int> changed = ChangedCoordinates(a.DigestTree(), b.DigestTree());
+  EXPECT_EQ(changed, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(ChangedCoordinates(a.DigestTree(), a.DigestTree()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Job-level sweep_mode: validation, cache sub-keys, memo context keys.
+
+CheckJobSpec BaseSpec(const std::string& program_text) {
+  CheckJobSpec spec;
+  spec.id = "classes-test";
+  spec.program_text = program_text;
+  spec.allow = VarSet::Singleton(0);
+  spec.allow2 = VarSet::FirstN(2);
+  return spec;
+}
+
+TEST(SweepModeJobTest, InvalidSweepModeIsRejectedByName) {
+  CheckJobSpec spec = BaseSpec("program p(a, b) { y = a; }");
+  spec.sweep_mode = "banana";
+  const Result<PreparedJob> prepared = PrepareJob(spec);
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_NE(prepared.error().ToString().find("sweep_mode"), std::string::npos);
+}
+
+TEST(SweepModeJobTest, PointKeysAreUnperturbedAndClassGetsASubKey) {
+  const CheckJobSpec spec = BaseSpec("program p(a, b) { y = a; }");
+  CheckJobSpec class_spec = spec;
+  class_spec.sweep_mode = "class";
+  const Result<PreparedJob> point = PrepareJob(spec);
+  const Result<PreparedJob> classed = PrepareJob(class_spec);
+  ASSERT_TRUE(point.ok());
+  ASSERT_TRUE(classed.ok());
+  // "class" jobs live on separate cache lines: the class ≡ point identity is
+  // a tested theorem, not an assumption the cache is allowed to bank on.
+  EXPECT_FALSE(point.value().key == classed.value().key);
+
+  // An explicitly-spelled "point" is the same key as the default.
+  CheckJobSpec explicit_point = spec;
+  explicit_point.sweep_mode = "point";
+  const Result<PreparedJob> again = PrepareJob(explicit_point);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(point.value().key, again.value().key);
+}
+
+TEST(SweepModeJobTest, MemoContextKeyScopesPolicyAndSkeleton) {
+  const CheckJobSpec spec = BaseSpec("program p(a, b) { y = a; }");
+  const Result<PreparedJob> prepared = PrepareJob(spec);
+  ASSERT_TRUE(prepared.ok());
+  const Program& program = prepared.value().program;
+  const InputDomain& domain = prepared.value().domain;
+
+  CheckJobSpec other_allow = spec;
+  other_allow.allow = VarSet::FirstN(2);
+  const Result<PreparedJob> other = PrepareJob(other_allow);
+  ASSERT_TRUE(other.ok());
+
+  // "bare" ignores the policy, so its memo lines survive policy edits; the
+  // surveillance mechanism is parameterized by the allow bits, so its lines
+  // must not.
+  EXPECT_EQ(ClassMemoContextKey(spec, program, domain, "bare"),
+            ClassMemoContextKey(other_allow, program, domain, "bare"));
+  EXPECT_FALSE(ClassMemoContextKey(spec, program, domain, "surveillance") ==
+               ClassMemoContextKey(other_allow, program, domain, "surveillance"));
+
+  // The context covers only the program SKELETON: a dead-box edit keeps the
+  // same context (the box contents are revalidated per lookup instead).
+  const Program edited =
+      MustLower("program p(a, b) { y = a; }");  // same text, same skeleton
+  EXPECT_EQ(ClassMemoContextKey(spec, program, domain, "surveillance"),
+            ClassMemoContextKey(spec, edited, domain, "surveillance"));
+
+  // A different grid addresses different memo lines (fault injection fires
+  // by grid rank).
+  CheckJobSpec wider = spec;
+  wider.grid_hi = 3;
+  const Result<PreparedJob> wide = PrepareJob(wider);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_FALSE(ClassMemoContextKey(spec, program, domain, "surveillance") ==
+               ClassMemoContextKey(wider, program, wide.value().domain, "surveillance"));
+}
+
+// ---------------------------------------------------------------------------
+// The central differential: class ≡ point for all seven checker kinds at
+// several thread counts, on both a certifying and a non-certifying program.
+
+TEST(SweepModeJobTest, ClassReportsAreByteIdenticalAcrossCheckersAndThreads) {
+  for (const char* text : {
+           "program p(a, b) { y = a; }",  // certifies: reads ⊆ allow(0)
+           "program p(a, b) { y = b; }",  // never certifies: reads the secret
+       }) {
+    for (const CheckerKind checker :
+         {CheckerKind::kSoundness, CheckerKind::kIntegrity, CheckerKind::kCompleteness,
+          CheckerKind::kMaximal, CheckerKind::kPolicyCompare, CheckerKind::kLeak,
+          CheckerKind::kAudit}) {
+      for (const int threads : {1, 2, 7}) {
+        CheckJobSpec spec = BaseSpec(text);
+        spec.checker = checker;
+        spec.num_threads = threads;
+        const JobResult point = ExecuteJob(spec);
+        ASSERT_EQ(point.status, JobStatus::kCompleted)
+            << text << " " << CheckerKindName(checker);
+
+        CheckJobSpec class_spec = spec;
+        class_spec.sweep_mode = "class";
+        const JobResult classed = ExecuteJob(class_spec);
+        ASSERT_EQ(classed.status, JobStatus::kCompleted)
+            << text << " " << CheckerKindName(checker);
+        EXPECT_EQ(classed.report, point.report)
+            << text << " " << CheckerKindName(checker) << " t" << threads;
+        EXPECT_EQ(classed.exit_code, point.exit_code);
+        EXPECT_EQ(classed.evaluated, point.evaluated);
+        EXPECT_EQ(classed.total, point.total);
+      }
+    }
+  }
+}
+
+TEST(SweepModeJobTest, TransientFaultsAbsorbAndAbortsFailClosedInClassMode) {
+  // Fault injectors cannot track reads, so class mode under faults degrades
+  // to point behaviour — the completed transient report must still equal the
+  // point-mode bytes, and a persistent fault must fail closed, not crash.
+  CheckJobSpec spec = BaseSpec("program p(a, b) { y = a; }");
+  spec.fault_spec = "throw~1/3:11!";
+  spec.retries = 2;
+  const JobResult point = ExecuteJob(spec);
+  ASSERT_EQ(point.status, JobStatus::kCompleted);
+  CheckJobSpec class_spec = spec;
+  class_spec.sweep_mode = "class";
+  const JobResult classed = ExecuteJob(class_spec);
+  ASSERT_EQ(classed.status, JobStatus::kCompleted);
+  EXPECT_EQ(classed.report, point.report);
+
+  CheckJobSpec abort_spec = BaseSpec("program p(a, b) { y = a; }");
+  abort_spec.sweep_mode = "class";
+  abort_spec.fault_spec = "throw@1";
+  const JobResult aborted = ExecuteJob(abort_spec);
+  EXPECT_EQ(aborted.status, JobStatus::kAborted);
+  EXPECT_GE(aborted.exit_code, 2);
+  EXPECT_LE(aborted.exit_code, 4);
+  EXPECT_LE(aborted.evaluated, aborted.total);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest vocabulary round-trip.
+
+TEST(SweepModeManifestTest, RoundTripsAndOmitsTheDefault) {
+  CheckJobSpec spec = BaseSpec("program p(a, b) { y = a; }");
+  const Json point_json = CheckJobSpecToJson(spec);
+  // Default "point" is omitted so pre-existing golden manifests keep their
+  // exact bytes.
+  EXPECT_EQ(point_json.Find("sweep_mode"), nullptr);
+
+  spec.sweep_mode = "class";
+  const Json class_json = CheckJobSpecToJson(spec);
+  const Json* mode = class_json.Find("sweep_mode");
+  ASSERT_NE(mode, nullptr);
+  EXPECT_EQ(mode->AsString(), "class");
+
+  CheckJobSpec decoded;
+  const Result<bool> applied =
+      ApplyManifestJobFields(class_json, "jobs[0]", &decoded, JobFieldSource::kLocalManifest);
+  ASSERT_TRUE(applied.ok()) << applied.error().ToString();
+  EXPECT_EQ(decoded.sweep_mode, "class");
+  EXPECT_EQ(CheckJobSpecToJson(decoded).Serialize(), class_json.Serialize());
+}
+
+TEST(SweepModeManifestTest, RejectsUnknownModesNamingTheField) {
+  Json object = Json::MakeObject();
+  object.Set("sweep_mode", Json::MakeString("fast"));
+  CheckJobSpec spec;
+  const Result<bool> applied =
+      ApplyManifestJobFields(object, "jobs[3]", &spec, JobFieldSource::kLocalManifest);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_NE(applied.error().ToString().find("jobs[3].sweep_mode"), std::string::npos);
+
+  Json wrong_type = Json::MakeObject();
+  wrong_type.Set("sweep_mode", Json::MakeInt(1));
+  EXPECT_FALSE(
+      ApplyManifestJobFields(wrong_type, "jobs[3]", &spec, JobFieldSource::kLocalManifest)
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Service-level incremental recheck: the shared ClassMemo carries
+// representative outcomes across batches, including across a dead-box edit
+// (which changes the result-cache key but not the executed boxes).
+
+TEST(SweepModeServiceTest, ClassMemoMakesEditedResubmissionsIncremental) {
+  ServiceConfig config;
+  config.concurrency = 1;
+  CheckService service(config);
+
+  CheckJobSpec spec = BaseSpec(
+      "program p(a, b) { if (a > 50) { y = b; } else { y = a; } }");
+  spec.sweep_mode = "class";
+  const BatchReport first = service.RunBatch({spec});
+  ASSERT_EQ(first.jobs.size(), 1u);
+  ASSERT_EQ(first.jobs[0].status, JobStatus::kCompleted);
+  const std::uint64_t hits_after_first = service.class_memo().hits();
+  EXPECT_GT(service.class_memo().size(), 0u);
+
+  // Dead-box edit: new program text, new cache key — but the memo's
+  // revalidation recognizes the executed boxes as unchanged.
+  CheckJobSpec edited = spec;
+  edited.program_text =
+      "program p(a, b) { if (a > 50) { y = b - 7; } else { y = a; } }";
+  const BatchReport second = service.RunBatch({edited});
+  ASSERT_EQ(second.jobs.size(), 1u);
+  ASSERT_EQ(second.jobs[0].status, JobStatus::kCompleted);
+  EXPECT_FALSE(second.jobs[0].from_cache);
+  EXPECT_NE(second.jobs[0].cache_key, first.jobs[0].cache_key);
+  EXPECT_GT(service.class_memo().hits(), hits_after_first);
+
+  // The edited job's bytes are still the point-mode bytes.
+  CheckJobSpec edited_point = edited;
+  edited_point.sweep_mode = "point";
+  const JobResult reference = ExecuteJob(edited_point);
+  ASSERT_EQ(reference.status, JobStatus::kCompleted);
+  EXPECT_EQ(second.jobs[0].report, reference.report);
+}
+
+}  // namespace
+}  // namespace secpol

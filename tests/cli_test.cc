@@ -183,6 +183,40 @@ TEST_F(CliTest, AuditRunsAllSixChecksInOnePass) {
   EXPECT_NE(err_.find("mechanism2"), std::string::npos);
 }
 
+TEST_F(CliTest, GridErrorsAreByteIdenticalAcrossVerbs) {
+  // Every grid-taking verb funnels --grid through one parser, so a malformed
+  // value produces one message, byte-for-byte, no matter the verb.
+  const std::string path = WriteProgram("program p(pub, sec) { y = pub; }");
+  const std::string expected = "bad --grid value '1-3' (expected lo:hi)\n";
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--grid=1-3"}), 1);
+  EXPECT_EQ(err_, expected);
+  EXPECT_EQ(Run({"audit", path, "--allow=0", "--grid=1-3"}), 1);
+  EXPECT_EQ(err_, expected);
+  EXPECT_EQ(Run({"advise", path, "--allow=0", "--grid=1-3"}), 1);
+  EXPECT_EQ(err_, expected);
+}
+
+TEST_F(CliTest, SweepModeValidatesAndPreservesReportBytes) {
+  const std::string path = WriteProgram("program p(pub, sec) { y = pub; }");
+  const std::string expected =
+      "bad --sweep-mode value 'banana' (expected point or class)\n";
+  EXPECT_EQ(Run({"check", path, "--allow=0", "--sweep-mode=banana"}), 1);
+  EXPECT_EQ(err_, expected);
+  EXPECT_EQ(Run({"audit", path, "--allow=0", "--sweep-mode=banana"}), 1);
+  EXPECT_EQ(err_, expected);
+
+  // The class sweep's contract at the CLI layer: same stdout, same exit code.
+  for (const char* verb : {"check", "audit"}) {
+    EXPECT_EQ(Run({verb, path, "--allow=0", "--sweep-mode=point"}), 0) << verb;
+    const std::string point_out = out_;
+    EXPECT_EQ(Run({verb, path, "--allow=0", "--sweep-mode=class"}), 0) << verb;
+    EXPECT_EQ(out_, point_out) << verb;
+    // And the default is "point".
+    EXPECT_EQ(Run({verb, path, "--allow=0"}), 0) << verb;
+    EXPECT_EQ(out_, point_out) << verb;
+  }
+}
+
 TEST_F(CliTest, AnalyzeReportsLabels) {
   const std::string path = WriteProgram(
       "program p(pub, sec) { if (sec > 0) { y = 1; } else { y = 2; } }");
