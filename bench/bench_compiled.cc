@@ -1,0 +1,208 @@
+// E24 — the compiled surveillance fast path (DESIGN.md §15, ROADMAP item 3):
+// ns/point of the interpreted reference vs the compiled mechanism vs the SoA
+// block evaluator, on the loop-bearing configurations of E19 (the 512-point
+// audit grid) and E13's example family (short branchy programs), plus the
+// end-to-end audit job in both exec modes.
+//
+// What the fast path removes from the per-point loop: AST pointer chasing,
+// a VarSet vector allocation per run, std::function dispatch, and (in the
+// block evaluator) per-point scratch setup — reduced to two memsets and an
+// input scatter against a register file reused across the whole shard. The
+// acceptance target is a >= 5x ns/point reduction on the E13/E19
+// configurations; byte-identity of every report is locked separately by
+// tests/compiled_test.cc, the scenario matrix's exec axis, and the fuzzer's
+// compiled-vs-interpreted oracle — this binary only measures.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/domain.h"
+#include "src/service/job.h"
+#include "src/surveillance/compiled.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// E19's audit workload: a 100-iteration loop body over a 512-point grid.
+Program E19Program() {
+  return MustCompile(
+      "program p(a, b, c) { locals i; i = 100; while (i != 0) { i = i - 1; } "
+      "y = a + b; }");
+}
+
+// E13's example family: Example 9's branchy shape (short runs, dispatch
+// overhead dominates) over the canonical table domain.
+Program E13Program() {
+  return MustCompile(
+      "program ex9(x1, x2) { locals r; if (x1 == 0) { r = 0; } else { r = x2; } y = r; }");
+}
+
+struct Config {
+  const char* label;
+  Program program;
+  VarSet allowed;
+  InputDomain domain;
+};
+
+// ns/point over `repeat` full sweeps of the domain, interpreted vs compiled
+// (virtual Run per point, thread_local scratch) vs the SoA block evaluator.
+void MeasureConfig(const Config& config) {
+  const SurveillanceMechanism interpreted(config.program, config.allowed);
+  const CompiledSurveillanceMechanism compiled(config.program, config.allowed);
+  const std::uint64_t points = config.domain.size();
+
+  // SoA columns in rank order for the block entry point.
+  std::vector<std::vector<Value>> columns(
+      static_cast<std::size_t>(config.program.num_inputs()));
+  config.domain.ForEach([&](InputView input) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      columns[i].push_back(input[i]);
+    }
+  });
+
+  // Each mode is measured as the median of five rounds of `repeat` full
+  // sweeps: the box this runs on sees multi-x interference spikes, and a
+  // median round is robust to them without favouring either side.
+  const int repeat = 8;
+  const auto median_round = [&](const auto& one_round) {
+    std::vector<double> rounds;
+    for (int i = 0; i < 5; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeat; ++r) {
+        one_round();
+      }
+      rounds.push_back(MillisSince(start) * 1e6 / static_cast<double>(points * repeat));
+    }
+    std::sort(rounds.begin(), rounds.end());
+    return rounds[rounds.size() / 2];
+  };
+  const auto sweep_ns = [&](const ProtectionMechanism& mechanism) {
+    return median_round([&] {
+      config.domain.ForEach(
+          [&](InputView input) { benchmark::DoNotOptimize(mechanism.Run(input).steps); });
+    });
+  };
+
+  const double interp_ns = sweep_ns(interpreted);
+  const double compiled_ns = sweep_ns(compiled);
+
+  BcScratch scratch;
+  std::vector<Outcome> block(points);
+  const double block_ns = median_round([&] {
+    RunCompiledBlock(compiled.compiled(), columns, 0, points, scratch, block);
+    benchmark::DoNotOptimize(block.back().steps);
+  });
+
+  PrintRow({config.label, std::to_string(points), FormatDouble(interp_ns, 0),
+            FormatDouble(compiled_ns, 0),
+            FormatDouble(compiled_ns > 0 ? interp_ns / compiled_ns : 0.0, 1) + "x",
+            FormatDouble(block_ns, 0),
+            FormatDouble(block_ns > 0 ? interp_ns / block_ns : 0.0, 1) + "x"},
+           {10, 8, 10, 10, 8, 10, 8});
+}
+
+void PrintReproduction() {
+  PrintHeader("E24: the compiled surveillance fast path — ns/point vs the interpreter");
+
+  PrintRow({"config", "points", "interp", "compiled", "faster", "block", "faster"},
+           {10, 8, 10, 10, 8, 10, 8});
+  MeasureConfig({"E19-audit", E19Program(), VarSet::Singleton(0),
+                 InputDomain::Range(3, 0, 7)});
+  MeasureConfig({"E13-ex9", E13Program(), VarSet::Singleton(0),
+                 InputDomain::Range(2, -8, 7)});
+  std::printf("  (ns/point; acceptance target: >= 5x on both configurations)\n\n");
+
+  // End-to-end: the full E19-style audit job in both exec modes. The win is
+  // diluted by the checkers' own reduction work but must survive the trip
+  // through the job layer.
+  {
+    CheckJobSpec spec;
+    spec.id = "e24";
+    spec.checker = CheckerKind::kAudit;
+    spec.program_text =
+        "program p(a, b, c) { locals i; i = 100; while (i != 0) { i = i - 1; } y = a + b; }";
+    spec.allow = VarSet::Singleton(0);
+    spec.allow2 = VarSet::FirstN(3);
+    spec.grid_lo = 0;
+    spec.grid_hi = 7;
+
+    const auto run_ms = [&](const std::string& exec_mode) {
+      CheckJobSpec job = spec;
+      job.exec_mode = exec_mode;
+      const auto start = std::chrono::steady_clock::now();
+      const JobResult result = ExecuteJob(job);
+      benchmark::DoNotOptimize(result.exit_code);
+      return MillisSince(start);
+    };
+    run_ms("interpreted");  // warm-up: fault tables, allocators
+    const double interp_ms = run_ms("interpreted");
+    const double compiled_ms = run_ms("compiled");
+    PrintRow({"audit job", "interp ms", "compiled ms", "faster"}, {10, 10, 12, 8});
+    PrintRow({"512-pt", FormatDouble(interp_ms, 2), FormatDouble(compiled_ms, 2),
+              FormatDouble(compiled_ms > 0 ? interp_ms / compiled_ms : 0.0, 1) + "x"},
+             {10, 10, 12, 8});
+  }
+}
+
+void BM_InterpretedSweep(benchmark::State& state) {
+  const Program program = E19Program();
+  const SurveillanceMechanism mechanism(program, VarSet::Singleton(0));
+  const InputDomain domain = InputDomain::Range(3, 0, 7);
+  for (auto _ : state) {
+    domain.ForEach(
+        [&](InputView input) { benchmark::DoNotOptimize(mechanism.Run(input).steps); });
+  }
+  state.counters["points"] = static_cast<double>(domain.size());
+}
+BENCHMARK(BM_InterpretedSweep);
+
+void BM_CompiledSweep(benchmark::State& state) {
+  const Program program = E19Program();
+  const CompiledSurveillanceMechanism mechanism(program, VarSet::Singleton(0));
+  const InputDomain domain = InputDomain::Range(3, 0, 7);
+  for (auto _ : state) {
+    domain.ForEach(
+        [&](InputView input) { benchmark::DoNotOptimize(mechanism.Run(input).steps); });
+  }
+  state.counters["points"] = static_cast<double>(domain.size());
+}
+BENCHMARK(BM_CompiledSweep);
+
+void BM_CompiledBlockSweep(benchmark::State& state) {
+  const Program program = E19Program();
+  const CompiledSurveillanceMechanism mechanism(program, VarSet::Singleton(0));
+  const InputDomain domain = InputDomain::Range(3, 0, 7);
+  std::vector<std::vector<Value>> columns(3);
+  domain.ForEach([&](InputView input) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      columns[i].push_back(input[i]);
+    }
+  });
+  BcScratch scratch;
+  std::vector<Outcome> block(domain.size());
+  for (auto _ : state) {
+    RunCompiledBlock(mechanism.compiled(), columns, 0, domain.size(), scratch, block);
+    benchmark::DoNotOptimize(block.back().steps);
+  }
+  state.counters["points"] = static_cast<double>(domain.size());
+}
+BENCHMARK(BM_CompiledBlockSweep);
+
+}  // namespace
+}  // namespace secpol
+
+SECPOL_BENCH_MAIN(secpol::PrintReproduction)

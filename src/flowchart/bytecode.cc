@@ -1,6 +1,6 @@
 #include "src/flowchart/bytecode.h"
 
-#include <cassert>
+#include <string>
 
 #include "src/expr/arith.h"
 
@@ -106,13 +106,24 @@ class ExprCompiler {
 
 }  // namespace
 
-BytecodeProgram CompileToBytecode(const Program& program) {
-  assert(program.Validate().ok());
+BytecodeProgram CompileToBytecode(const Program& program, const BcSurveillance* surveillance) {
+  if (const Result<bool> valid = program.Validate(); !valid.ok()) {
+    throw BytecodeError("cannot compile invalid program '" + program.name() +
+                        "': " + valid.error().ToString());
+  }
+  if (surveillance != nullptr && surveillance->scoped_pc &&
+      static_cast<int>(surveillance->ipdom.size()) != program.num_boxes()) {
+    throw BytecodeError("scoped-pc instrumentation needs one ipdom entry per box");
+  }
   BytecodeProgram out;
   out.num_inputs_ = program.num_inputs();
   out.output_reg_ = program.output_var();
+  out.instrumented_ = surveillance != nullptr;
 
   // Pass 1: compile each box into a chunk with box-indexed jump targets.
+  // Instrumented chunks lead with the box's label ops (after the scoped-pc
+  // restore, which must run whenever control reaches the box), mirroring the
+  // reference interpreter's order: restore, charge, label update, evaluate.
   struct Chunk {
     std::vector<BcInst> code;  // targets hold BOX ids, patched in pass 2
   };
@@ -123,6 +134,11 @@ BytecodeProgram CompileToBytecode(const Program& program) {
     const Box& box = program.box(b);
     Chunk& chunk = chunks[static_cast<size_t>(b)];
     ExprCompiler exprs(program.num_vars(), &chunk.code);
+    if (surveillance != nullptr && surveillance->scoped_pc) {
+      BcInst restore;
+      restore.op = BcOp::kLabRestore;
+      chunk.code.push_back(restore);
+    }
     switch (box.kind) {
       case Box::Kind::kStart: {
         BcInst jump;
@@ -132,6 +148,13 @@ BytecodeProgram CompileToBytecode(const Program& program) {
         break;
       }
       case Box::Kind::kAssign: {
+        if (surveillance != nullptr) {
+          BcInst lab;
+          lab.op = surveillance->high_water ? BcOp::kLabAssignHW : BcOp::kLabAssign;
+          lab.dst = box.var;
+          lab.vars_mask = box.expr.FreeVars().bits();
+          chunk.code.push_back(lab);
+        }
         // The root write happens last, so compiling straight into the
         // destination register still reads the old value in the operands.
         exprs.Compile(box.expr, box.var);
@@ -142,6 +165,13 @@ BytecodeProgram CompileToBytecode(const Program& program) {
         break;
       }
       case Box::Kind::kDecision: {
+        if (surveillance != nullptr) {
+          BcInst lab;
+          lab.op = surveillance->checked_tests ? BcOp::kLabTestChecked : BcOp::kLabTest;
+          lab.vars_mask = box.predicate.FreeVars().bits();
+          lab.b = surveillance->scoped_pc ? surveillance->ipdom[static_cast<size_t>(b)] : -1;
+          chunk.code.push_back(lab);
+        }
         const int test = exprs.Compile(box.predicate, -1);
         BcInst branch;
         branch.op = BcOp::kBranchZ;
@@ -156,12 +186,14 @@ BytecodeProgram CompileToBytecode(const Program& program) {
       }
       case Box::Kind::kHalt: {
         BcInst halt;
-        halt.op = BcOp::kHalt;
+        halt.op = surveillance != nullptr ? BcOp::kLabHalt : BcOp::kHalt;
         chunk.code.push_back(halt);
         break;
       }
     }
-    assert(!chunk.code.empty());
+    if (chunk.code.empty()) {
+      throw BytecodeError("box " + std::to_string(b) + " compiled to no instructions");
+    }
     chunk.code.front().charges_step = true;
     for (BcInst& inst : chunk.code) {
       inst.source_box = b;
@@ -202,11 +234,20 @@ BytecodeProgram CompileToBytecode(const Program& program) {
   return out;
 }
 
-ExecResult RunBytecode(const BytecodeProgram& bytecode, InputView input, StepCount fuel) {
-  assert(static_cast<int>(input.size()) == bytecode.num_inputs());
-  std::vector<Value> regs(static_cast<size_t>(bytecode.num_registers()), 0);
+ExecResult RunBytecode(const BytecodeProgram& bytecode, InputView input, BcScratch& scratch,
+                       StepCount fuel) {
+  if (static_cast<int>(input.size()) != bytecode.num_inputs()) {
+    throw ArityError("bytecode program expects " + std::to_string(bytecode.num_inputs()) +
+                     " inputs, got " + std::to_string(input.size()));
+  }
+  if (bytecode.instrumented()) {
+    throw BytecodeError(
+        "instrumented bytecode must run on the surveillance runner, not RunBytecode");
+  }
+  std::vector<Value>& regs = scratch.regs;
+  regs.assign(static_cast<size_t>(bytecode.num_registers()), 0);
   for (int i = 0; i < bytecode.num_inputs(); ++i) {
-    regs[i] = input[i];
+    regs[static_cast<size_t>(i)] = input[i];
   }
   const BcInst* code = bytecode.code().data();
 
@@ -252,8 +293,22 @@ ExecResult RunBytecode(const BytecodeProgram& bytecode, InputView input, StepCou
         result.halted = true;
         result.halt_box = inst.source_box;
         return result;
+      case BcOp::kLabAssign:
+      case BcOp::kLabAssignHW:
+      case BcOp::kLabTest:
+      case BcOp::kLabTestChecked:
+      case BcOp::kLabHalt:
+      case BcOp::kLabRestore:
+        // Unreachable given the instrumented() gate above; fail closed
+        // rather than skipping a label op if the gate is ever bypassed.
+        throw BytecodeError("label op in plain bytecode at pc " + std::to_string(pc));
     }
   }
+}
+
+ExecResult RunBytecode(const BytecodeProgram& bytecode, InputView input, StepCount fuel) {
+  BcScratch scratch;
+  return RunBytecode(bytecode, input, scratch, fuel);
 }
 
 std::string BytecodeProgram::ToString() const {
@@ -261,7 +316,11 @@ std::string BytecodeProgram::ToString() const {
   // char* + std::string chains when inlined at -O3 (PR 105651).
   std::string out = "bytecode (";
   out += std::to_string(num_registers_);
-  out += " regs)\n";
+  out += " regs";
+  if (instrumented_) {
+    out += ", instrumented";
+  }
+  out += ")\n";
   for (size_t i = 0; i < code_.size(); ++i) {
     const BcInst& inst = code_[i];
     out += "  ";
@@ -320,6 +379,40 @@ std::string BytecodeProgram::ToString() const {
         break;
       case BcOp::kHalt:
         out += "halt";
+        break;
+      case BcOp::kLabAssign:
+        out += "lab r";
+        out += std::to_string(inst.dst);
+        out += " <- join(";
+        out += VarSet::FromBits(inst.vars_mask).ToString();
+        out += ") | C";
+        break;
+      case BcOp::kLabAssignHW:
+        out += "lab r";
+        out += std::to_string(inst.dst);
+        out += " |= join(";
+        out += VarSet::FromBits(inst.vars_mask).ToString();
+        out += ") | C";
+        break;
+      case BcOp::kLabTest:
+        out += "lab C |= join(";
+        out += VarSet::FromBits(inst.vars_mask).ToString();
+        out += ")";
+        if (inst.b >= 0) {
+          out += " scope ";
+          out += std::to_string(inst.b);
+        }
+        break;
+      case BcOp::kLabTestChecked:
+        out += "lab check+C |= join(";
+        out += VarSet::FromBits(inst.vars_mask).ToString();
+        out += ")";
+        break;
+      case BcOp::kLabHalt:
+        out += "lab halt-release";
+        break;
+      case BcOp::kLabRestore:
+        out += "lab restore";
         break;
     }
     if (inst.charges_step) {

@@ -9,17 +9,37 @@
 // instruction, so a bytecode run can stand in for an interpreted run even
 // under Observability::kValueAndTime. A differential property suite enforces
 // this on random corpora.
+//
+// The compiler can additionally weave in the surveillance instrumentation of
+// Section 3 (DESIGN.md §15): label ops that join taint bitsets in a label
+// register file, update the pc label, perform M′'s pre-test abort, and run
+// the release check at halt. Instrumented code is executed by the
+// surveillance runner in src/surveillance/compiled.h; the plain RunBytecode
+// below fails closed on label ops rather than silently skipping them.
 
 #ifndef SECPOL_SRC_FLOWCHART_BYTECODE_H_
 #define SECPOL_SRC_FLOWCHART_BYTECODE_H_
 
+#include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/flowchart/interpreter.h"
 #include "src/flowchart/program.h"
 
 namespace secpol {
+
+// The bytecode layer's fail-closed error: compiling an invalid program,
+// running instrumented code on the plain runner, or any other misuse that
+// would otherwise read garbage. Thrown unconditionally (never compiled out
+// with NDEBUG); the sweep kernel's exception barrier turns it into an
+// aborted, fail-closed verdict.
+class BytecodeError : public std::runtime_error {
+ public:
+  explicit BytecodeError(const std::string& what) : std::runtime_error(what) {}
+};
 
 enum class BcOp {
   kConst,     // dst <- imm
@@ -30,6 +50,16 @@ enum class BcOp {
   kJump,      // pc <- target
   kBranchZ,   // pc <- target if reg a == 0, else fall through
   kHalt,      // stop; output register holds y
+
+  // Surveillance label ops (only emitted by the instrumenting compile; the
+  // plain runner rejects them). Labels are raw 64-bit taint bitsets indexed
+  // by program variable, mirroring VarSet's representation exactly.
+  kLabAssign,       // labels[dst] <- join(vars_mask) | pc_label
+  kLabAssignHW,     // labels[dst] <- labels[dst] | join(vars_mask) | pc_label
+  kLabTest,         // pc_label |= join(vars_mask); b = scope join box or -1
+  kLabTestChecked,  // M′: abort before the test if (join | pc_label) ⊄ allowed
+  kLabHalt,         // release y iff (labels[y] | pc_label) ⊆ allowed
+  kLabRestore,      // scoped pc: pop scopes whose join box == this box
 };
 
 struct BcInst {
@@ -42,11 +72,35 @@ struct BcInst {
   UnaryOp unary_op = UnaryOp::kNeg;
   BinaryOp binary_op = BinaryOp::kAdd;
   int target = -1;
+  // For label ops: the bitset of variables free in the box's expression or
+  // predicate (VarSet::bits() of FreeVars), joined into the new label.
+  std::uint64_t vars_mask = 0;
   // True on the first instruction compiled from each flowchart box: executing
   // it charges one step, preserving the reference step count.
   bool charges_step = false;
   // The source box id (reported as halt_box for kHalt, and for diagnostics).
   int source_box = -1;
+};
+
+// Optional surveillance instrumentation for CompileToBytecode. Plain data so
+// the flowchart layer needs no dependency on the surveillance enums; the
+// caller (CompileSurveillance) translates TimingMode/LabelDiscipline and
+// supplies the immediate postdominators for the scoped discipline.
+struct BcSurveillance {
+  bool high_water = false;    // assignment joins the old label (no forgetting)
+  bool checked_tests = false;  // M′: abort before any test on disallowed data
+  bool scoped_pc = false;      // naive discipline: restore C-bar at join points
+  std::vector<int> ipdom;      // join box per box; consulted iff scoped_pc
+};
+
+// Reusable execution scratch: the register file, the label file, and the
+// scoped-pc stack. Callers that sweep many points construct one per shard
+// and pass it to every run, hoisting all heap churn out of the point loop;
+// the runners size the vectors on entry (grow-only in steady state).
+struct BcScratch {
+  std::vector<Value> regs;
+  std::vector<std::uint64_t> labels;
+  std::vector<std::pair<int, std::uint64_t>> scopes;  // (join box, saved C-bar)
 };
 
 class BytecodeProgram {
@@ -55,23 +109,42 @@ class BytecodeProgram {
   int num_registers() const { return num_registers_; }
   int output_reg() const { return output_reg_; }
   const std::vector<BcInst>& code() const { return code_; }
+  // True iff the program contains surveillance label ops (instrumented
+  // compile); such code must run on the surveillance runner.
+  bool instrumented() const { return instrumented_; }
 
   std::string ToString() const;
 
  private:
-  friend BytecodeProgram CompileToBytecode(const Program& program);
+  friend BytecodeProgram CompileToBytecode(const Program& program,
+                                           const BcSurveillance* surveillance);
   int num_inputs_ = 0;
   int num_registers_ = 0;
   int output_reg_ = 0;
+  bool instrumented_ = false;
   std::vector<BcInst> code_;
 };
 
-// Compiles a valid flowchart program.
-BytecodeProgram CompileToBytecode(const Program& program);
+// Compiles a flowchart program; with non-null `surveillance`, weaves the
+// label ops of the instrumented semantics into each box's chunk. Throws
+// BytecodeError if the program fails validation — compiling an unvalidated
+// program previously asserted, which compiled to nothing in Release builds.
+BytecodeProgram CompileToBytecode(const Program& program,
+                                  const BcSurveillance* surveillance);
+inline BytecodeProgram CompileToBytecode(const Program& program) {
+  return CompileToBytecode(program, nullptr);
+}
 
 // Executes with semantics identical to RunProgram on the source flowchart
-// (same output, steps, halted flag, and halt_box).
+// (same output, steps, halted flag, and halt_box). Throws ArityError on an
+// input/arity mismatch (previously an assert, i.e. an out-of-bounds read in
+// Release builds) and BytecodeError on instrumented code.
 ExecResult RunBytecode(const BytecodeProgram& bytecode, InputView input,
+                       StepCount fuel = kDefaultFuel);
+
+// Same, with caller-supplied scratch: no per-call allocation. The scratch is
+// resized as needed and may be reused across programs.
+ExecResult RunBytecode(const BytecodeProgram& bytecode, InputView input, BcScratch& scratch,
                        StepCount fuel = kDefaultFuel);
 
 }  // namespace secpol

@@ -1,12 +1,24 @@
 #include "src/flowchart/interpreter.h"
 
-#include <cassert>
+#include <string>
 #include <vector>
 
 namespace secpol {
 
+namespace {
+
+void CheckArity(const Program& program, InputView input) {
+  if (static_cast<int>(input.size()) != program.num_inputs()) {
+    throw ArityError("program '" + program.name() + "' expects " +
+                     std::to_string(program.num_inputs()) + " inputs, got " +
+                     std::to_string(input.size()));
+  }
+}
+
+}  // namespace
+
 ExecResult RunProgram(const Program& program, InputView input, StepCount fuel) {
-  assert(static_cast<int>(input.size()) == program.num_inputs());
+  CheckArity(program, input);
   std::vector<Value> env(program.num_vars(), 0);
   for (int i = 0; i < program.num_inputs(); ++i) {
     env[i] = input[i];
@@ -50,8 +62,10 @@ std::vector<int> ExecFootprint::BoxIds() const {
 
 ExecResult RunProgramTracked(const Program& program, InputView input, ExecFootprint* footprint,
                              StepCount fuel) {
-  assert(static_cast<int>(input.size()) == program.num_inputs());
-  assert(footprint != nullptr);
+  CheckArity(program, input);
+  if (footprint == nullptr) {
+    throw std::invalid_argument("RunProgramTracked requires a footprint sink");
+  }
   std::vector<Value> env(program.num_vars(), 0);
   for (int i = 0; i < program.num_inputs(); ++i) {
     env[i] = input[i];

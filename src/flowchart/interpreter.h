@@ -8,6 +8,8 @@
 #ifndef SECPOL_SRC_FLOWCHART_INTERPRETER_H_
 #define SECPOL_SRC_FLOWCHART_INTERPRETER_H_
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/flowchart/program.h"
@@ -15,6 +17,16 @@
 #include "src/util/var_set.h"
 
 namespace secpol {
+
+// Fail-closed error for input tuples whose size does not match the
+// program's arity. Crosses layers (manifest-derived grids, wire-submitted
+// jobs, bytecode callers), so it is a typed throw — never a debug-only
+// assert that would become an out-of-bounds read in Release builds. The
+// sweep kernel's exception barrier turns it into an aborted verdict.
+class ArityError : public std::runtime_error {
+ public:
+  explicit ArityError(const std::string& what) : std::runtime_error(what) {}
+};
 
 // Default fuel bound. Programs in this library are total by construction;
 // the bound exists to turn accidental nontermination into a detectable error

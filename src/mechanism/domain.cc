@@ -1,7 +1,7 @@
 #include "src/mechanism/domain.h"
 
 #include <algorithm>
-#include <cassert>
+#include <string>
 
 #include "src/util/thread_pool.h"
 
@@ -9,9 +9,11 @@ namespace secpol {
 
 InputDomain::InputDomain(std::vector<std::vector<Value>> per_input)
     : per_input_(std::move(per_input)) {
-  for (const auto& values : per_input_) {
-    (void)values;
-    assert(!values.empty() && "every coordinate needs at least one candidate value");
+  for (size_t i = 0; i < per_input_.size(); ++i) {
+    if (per_input_[i].empty()) {
+      throw DomainError("grid coordinate " + std::to_string(i) +
+                        " has no candidate values");
+    }
   }
 }
 
@@ -25,7 +27,10 @@ InputDomain InputDomain::PerInput(std::vector<std::vector<Value>> per_input) {
 }
 
 InputDomain InputDomain::Range(int num_inputs, Value lo, Value hi) {
-  assert(lo <= hi);
+  if (lo > hi) {
+    throw DomainError("grid range [" + std::to_string(lo) + ", " + std::to_string(hi) +
+                      "] is inverted");
+  }
   std::vector<Value> values;
   for (Value v = lo; v <= hi; ++v) {
     values.push_back(v);
@@ -124,7 +129,10 @@ void InputDomain::ForEachRange(std::uint64_t begin, std::uint64_t end, const Ran
 
 void InputDomain::ForEachShard(std::uint64_t shard, std::uint64_t num_shards,
                                const RangeFn& fn) const {
-  assert(num_shards > 0 && shard < num_shards);
+  if (num_shards == 0 || shard >= num_shards) {
+    throw DomainError("shard " + std::to_string(shard) + " out of range for " +
+                      std::to_string(num_shards) + " shards");
+  }
   const std::uint64_t total = size();
   const std::uint64_t base = total / num_shards;
   const std::uint64_t extra = total % num_shards;

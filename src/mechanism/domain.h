@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,15 @@
 #include "src/util/value.h"
 
 namespace secpol {
+
+// Fail-closed error for malformed grid descriptions (empty coordinate lists,
+// inverted ranges, bad shard indices). Grids arrive from manifests and the
+// wire, so these are typed throws rather than debug-only asserts; callers'
+// exception barriers turn them into aborted verdicts.
+class DomainError : public std::runtime_error {
+ public:
+  explicit DomainError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class InputDomain {
  public:

@@ -39,6 +39,7 @@ constexpr KindName kKindNames[] = {
     {FindingKind::kTableMismatch, "table-mismatch"},
     {FindingKind::kServeMismatch, "serve-mismatch"},
     {FindingKind::kClassVsPointMismatch, "class-vs-point-mismatch"},
+    {FindingKind::kCompiledVsInterpretedMismatch, "compiled-vs-interpreted-mismatch"},
     {FindingKind::kSurveillanceUnsound, "surveillance-unsound"},
     {FindingKind::kStaticCertifiedUnsound, "static-certified-unsound"},
     {FindingKind::kTransformChangedMeaning, "transform-changed-meaning"},
@@ -165,6 +166,33 @@ bool ClassVsPointMismatch(const CheckJobSpec& base) {
   return false;
 }
 
+// True when the compiled-mode run of the job disagrees with the interpreted
+// run on any deterministic field. Compiled reports are promised
+// byte-identical to the interpreted path (DESIGN.md §15), and on a
+// fault-free, unbounded spec compiled mode completes whenever interpreted
+// mode does — so a non-completion on the compiled side is itself a
+// disagreement. Checked for both the single-checker job and the full audit
+// concatenation.
+bool CompiledVsInterpretedMismatch(const CheckJobSpec& base) {
+  for (const CheckerKind checker : {CheckerKind::kSoundness, CheckerKind::kAudit}) {
+    CheckJobSpec interp_spec = base;
+    interp_spec.checker = checker;
+    interp_spec.exec_mode = "interpreted";
+    const JobResult interpreted = ExecuteJob(interp_spec);
+    if (interpreted.status != JobStatus::kCompleted) {
+      continue;  // abort paths have their own oracles
+    }
+    CheckJobSpec compiled_spec = interp_spec;
+    compiled_spec.exec_mode = "compiled";
+    const JobResult compiled = ExecuteJob(compiled_spec);
+    if (compiled.status != JobStatus::kCompleted || compiled.report != interpreted.report ||
+        compiled.exit_code != interpreted.exit_code) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // The serve-oracle endpoint: one in-process daemon on a unix socket plus a
 // persistent client connection, started lazily on the first serve-oracle
 // evaluation and shared for the rest of the process. Sharing is sound
@@ -277,6 +305,9 @@ bool WitnessReproduces(const FuzzFinding& finding, const SourceProgram& source, 
       return ServeMismatch(OracleSpec(source, allow, finding.grid_lo, finding.grid_hi));
     case FindingKind::kClassVsPointMismatch:
       return ClassVsPointMismatch(OracleSpec(source, allow, finding.grid_lo, finding.grid_hi));
+    case FindingKind::kCompiledVsInterpretedMismatch:
+      return CompiledVsInterpretedMismatch(
+          OracleSpec(source, allow, finding.grid_lo, finding.grid_hi));
     case FindingKind::kStaticCertifiedUnsound: {
       const StaticCertifiedMechanism cert(program, allow);
       return cert.certified() &&
@@ -392,6 +423,7 @@ bool IsDisagreement(FindingKind kind) {
     case FindingKind::kTableMismatch:
     case FindingKind::kServeMismatch:
     case FindingKind::kClassVsPointMismatch:
+    case FindingKind::kCompiledVsInterpretedMismatch:
     case FindingKind::kSurveillanceUnsound:
     case FindingKind::kStaticCertifiedUnsound:
     case FindingKind::kTransformChangedMeaning:
@@ -734,6 +766,11 @@ void DisagreementFuzzer::Iterate(const FuzzInput& input, std::uint64_t iteration
     if (ClassVsPointMismatch(spec)) {
       Record(FindingKind::kClassVsPointMismatch,
              "class-mode sweep differs from the point sweep", source, input, false, no_plan,
+             iteration, report);
+    }
+    if (CompiledVsInterpretedMismatch(spec)) {
+      Record(FindingKind::kCompiledVsInterpretedMismatch,
+             "compiled run differs from the interpreted run", source, input, false, no_plan,
              iteration, report);
     }
   }

@@ -15,6 +15,8 @@
 //       (the job goes over a real unix socket and back);
 //     * a class-mode sweep (one tracked representative per policy class,
 //       DESIGN.md §14) differing from the point sweep's completed bytes;
+//     * a compiled-mode run (surveillance as instrumented bytecode,
+//       DESIGN.md §15) differing from the interpreted run's completed bytes;
 //     * a surveillance mechanism unsound under value-only observation
 //       (a Theorem 3 violation);
 //     * a statically certified program the dynamic checker refutes;
@@ -67,6 +69,7 @@ enum class FindingKind {
   kTableMismatch,
   kServeMismatch,
   kClassVsPointMismatch,
+  kCompiledVsInterpretedMismatch,
   kSurveillanceUnsound,
   kStaticCertifiedUnsound,
   kTransformChangedMeaning,

@@ -42,9 +42,11 @@ ServiceConfig RunnerServiceConfig() {
 }
 
 // The scenario spec with all degradation knobs removed: the fault-free,
-// unbounded, serial, point-sweep run whose bytes every completed run must
-// reproduce. Forcing sweep_mode here makes every completed "class" scenario
-// a class ≡ point byte-identity oracle for free.
+// unbounded, serial, point-sweep, interpreted run whose bytes every
+// completed run must reproduce. Forcing sweep_mode here makes every
+// completed "class" scenario a class ≡ point byte-identity oracle for free;
+// forcing exec_mode likewise makes every completed "compiled" scenario a
+// compiled ≡ interpreted oracle.
 CheckJobSpec ReferenceSpec(const CheckJobSpec& spec) {
   CheckJobSpec reference = spec;
   reference.fault_spec.clear();
@@ -52,6 +54,7 @@ CheckJobSpec ReferenceSpec(const CheckJobSpec& spec) {
   reference.deadline_ms = 0;
   reference.num_threads = 1;
   reference.sweep_mode = "point";
+  reference.exec_mode = "interpreted";
   return reference;
 }
 

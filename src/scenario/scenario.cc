@@ -154,6 +154,16 @@ std::vector<ScenarioAxis> DefaultAxes() {
   sweeps.values.push_back({"swc", [](ScenarioConfig* c) { c->sweep_mode = "class"; }});
   axes.push_back(std::move(sweeps));
 
+  // The exec axis crosses every configuration with both evaluation backends.
+  // The runner's reference run always forces "interpreted", so every
+  // completed "exc" scenario is a compiled ≡ interpreted byte-identity check
+  // by construction (DESIGN.md §15).
+  ScenarioAxis execs;
+  execs.label = "exec";
+  execs.values.push_back({"exi", [](ScenarioConfig* c) { c->exec_mode = "interpreted"; }});
+  execs.values.push_back({"exc", [](ScenarioConfig* c) { c->exec_mode = "compiled"; }});
+  axes.push_back(std::move(execs));
+
   return axes;
 }
 
@@ -181,6 +191,7 @@ CheckJobSpec BuildJobSpec(const Scenario& scenario) {
   spec.num_threads = config.threads;
   spec.deadline_ms = config.deadline_ms;
   spec.sweep_mode = config.sweep_mode;
+  spec.exec_mode = config.exec_mode;
   switch (config.fault) {
     case ScenarioFault::kNone:
       break;

@@ -69,7 +69,8 @@ struct ScenarioConfig {
   ScenarioFault fault = ScenarioFault::kNone;
   int threads = 1;
   std::int64_t deadline_ms = 0;      // 0 = unbounded
-  std::string sweep_mode = "point";  // point|class (DESIGN.md §14)
+  std::string sweep_mode = "point";        // point|class (DESIGN.md §14)
+  std::string exec_mode = "interpreted";   // interpreted|compiled (DESIGN.md §15)
 };
 
 // One generated scenario: a byte-stable name plus the config it denotes.
@@ -100,7 +101,8 @@ std::vector<Scenario> MakeScenarios(const std::vector<ScenarioAxis>& axes);
 
 // The shipped matrix: 6 programs x 4 policy shapes x 4 mechanism kinds x
 // 3 grids x 3 fault modes x 3 thread counts x 2 deadlines x 2 sweep modes
-// = 10368 scenarios. The program axis draws seeds kDefaultProgramSeedBase + i.
+// x 2 exec modes = 20736 scenarios. The program axis draws seeds
+// kDefaultProgramSeedBase + i.
 std::vector<ScenarioAxis> DefaultAxes();
 
 inline constexpr std::uint64_t kDefaultProgramSeedBase = 9000;

@@ -18,6 +18,7 @@
 #include "src/mechanism/soundness.h"
 #include "src/service/audit.h"
 #include "src/staticflow/static_mechanisms.h"
+#include "src/surveillance/compiled.h"
 #include "src/surveillance/surveillance.h"
 
 namespace secpol {
@@ -151,18 +152,33 @@ std::string JobStatusName(JobStatus status) {
 
 std::unique_ptr<ProtectionMechanism> MakeMechanismKind(const std::string& kind,
                                                        const Program& program, VarSet allowed,
+                                                       const std::string& exec_mode,
                                                        std::string* error) {
+  // Under "compiled", the surveillance family swaps in the bytecode fast
+  // path (a SurveillanceMechanism subclass: same name, same outcome
+  // vocabulary, bit-identical behaviour by the differential suite). Kinds
+  // without surveillance shadows have nothing to compile and keep their
+  // usual objects, so their reports are identical across exec modes by
+  // construction.
+  const bool compiled = exec_mode == "compiled";
+  const auto make_surveillance =
+      [&](TimingMode timing,
+          LabelDiscipline discipline) -> std::unique_ptr<SurveillanceMechanism> {
+    if (compiled) {
+      return std::make_unique<CompiledSurveillanceMechanism>(Program(program), allowed, timing,
+                                                             discipline);
+    }
+    return std::make_unique<SurveillanceMechanism>(Program(program), allowed, timing,
+                                                   discipline);
+  };
   if (kind == "surveillance" || kind.empty()) {
-    return std::make_unique<SurveillanceMechanism>(Program(program), allowed);
+    return make_surveillance(TimingMode::kTimeUnobservable, LabelDiscipline::kSurveillance);
   }
   if (kind == "mprime") {
-    return std::make_unique<SurveillanceMechanism>(Program(program), allowed,
-                                                   TimingMode::kTimeObservable);
+    return make_surveillance(TimingMode::kTimeObservable, LabelDiscipline::kSurveillance);
   }
   if (kind == "highwater") {
-    return std::make_unique<SurveillanceMechanism>(Program(program), allowed,
-                                                   TimingMode::kTimeUnobservable,
-                                                   LabelDiscipline::kHighWater);
+    return make_surveillance(TimingMode::kTimeUnobservable, LabelDiscipline::kHighWater);
   }
   if (kind == "bare") {
     return std::make_unique<ProgramAsMechanism>(Program(program));
@@ -186,11 +202,12 @@ std::unique_ptr<ProtectionMechanism> MakeMechanismKind(const std::string& kind,
       }
       return nullptr;
     }
-    const SurveillanceMechanism live(Program(program), allowed);
+    const std::unique_ptr<SurveillanceMechanism> live =
+        make_surveillance(TimingMode::kTimeUnobservable, LabelDiscipline::kSurveillance);
     auto table = std::make_unique<TableMechanism>("table(" + program.name() + ")",
                                                   program.num_inputs());
     canonical.ForEach([&](InputView input) {
-      table->Set(Input(input.begin(), input.end()), live.Run(input));
+      table->Set(Input(input.begin(), input.end()), live->Run(input));
     });
     return table;
   }
@@ -244,6 +261,15 @@ Fingerprint JobCacheKey(const CheckJobSpec& spec, const Program& program,
     fp.Tag("sweep-mode");
     fp.Str(spec.sweep_mode);
   }
+  // Exec-mode sub-key, same philosophy: "interpreted" contributes NOTHING
+  // (pre-existing cache keys stay byte-identical), and "compiled" gets its
+  // own cache line so that a regression in the compiled path can never
+  // serve bytes to an interpreted caller even though completed reports are
+  // identical by the differential theorem.
+  if (spec.exec_mode != "interpreted") {
+    fp.Tag("exec-mode");
+    fp.Str(spec.exec_mode);
+  }
   return fp.Digest();
 }
 
@@ -275,6 +301,13 @@ Fingerprint ClassMemoContextKey(const CheckJobSpec& spec, const Program& program
   // They are revalidated per lookup via TouchedBoxDigest, which is what lets
   // a program edit outside the executed boxes reuse the entry.
   fp.Nested(program.DigestTree().skeleton);
+  // Exec-mode sub-key (mirrors JobCacheKey): compiled representatives get
+  // their own memo lines, so a compiled-path regression can never feed a
+  // memoized outcome to an interpreted job.
+  if (spec.exec_mode != "interpreted") {
+    fp.Tag("exec-mode");
+    fp.Str(spec.exec_mode);
+  }
   return fp.Digest();
 }
 
@@ -314,13 +347,19 @@ Result<PreparedJob> PrepareJob(const CheckJobSpec& spec) {
   if (spec.sweep_mode != "point" && spec.sweep_mode != "class") {
     return Error{"sweep_mode: must be 'point' or 'class'; got '" + spec.sweep_mode + "'"};
   }
+  if (spec.exec_mode != "interpreted" && spec.exec_mode != "compiled") {
+    return Error{"exec_mode: must be 'interpreted' or 'compiled'; got '" + spec.exec_mode +
+                 "'"};
+  }
   std::string mech_error;
-  if (MakeMechanismKind(spec.mechanism, program, spec.allow, &mech_error) == nullptr) {
+  if (MakeMechanismKind(spec.mechanism, program, spec.allow, spec.exec_mode, &mech_error) ==
+      nullptr) {
     return Error{"mechanism: " + mech_error};
   }
   if (spec.checker == CheckerKind::kCompleteness || spec.checker == CheckerKind::kAudit) {
     mech_error.clear();
-    if (MakeMechanismKind(spec.mechanism2, program, spec.allow, &mech_error) == nullptr) {
+    if (MakeMechanismKind(spec.mechanism2, program, spec.allow, spec.exec_mode, &mech_error) ==
+        nullptr) {
       return Error{"mechanism2: " + mech_error};
     }
   }
@@ -383,7 +422,7 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
     return m;
   };
   std::shared_ptr<const ProtectionMechanism> mechanism =
-      MakeMechanismKind(spec.mechanism, prepared.program, spec.allow, &error);
+      MakeMechanismKind(spec.mechanism, prepared.program, spec.allow, spec.exec_mode, &error);
   if (mechanism == nullptr) {
     result.status = JobStatus::kInvalid;
     result.error = error;
@@ -487,8 +526,8 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
       break;
     }
     case CheckerKind::kCompleteness: {
-      std::shared_ptr<const ProtectionMechanism> second =
-          MakeMechanismKind(spec.mechanism2, prepared.program, spec.allow, &error);
+      std::shared_ptr<const ProtectionMechanism> second = MakeMechanismKind(
+          spec.mechanism2, prepared.program, spec.allow, spec.exec_mode, &error);
       if (second == nullptr) {
         result.status = JobStatus::kInvalid;
         result.error = error;
@@ -578,8 +617,8 @@ JobResult RunPreparedJob(const CheckJobSpec& spec, const PreparedJob& prepared,
       break;
     }
     case CheckerKind::kAudit: {
-      std::shared_ptr<const ProtectionMechanism> second =
-          MakeMechanismKind(spec.mechanism2, prepared.program, spec.allow, &error);
+      std::shared_ptr<const ProtectionMechanism> second = MakeMechanismKind(
+          spec.mechanism2, prepared.program, spec.allow, spec.exec_mode, &error);
       if (second == nullptr) {
         result.status = JobStatus::kInvalid;
         result.error = error;

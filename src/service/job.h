@@ -83,6 +83,16 @@ struct CheckJobSpec {
   // what it was before sweep modes existed.
   std::string sweep_mode = "point";
 
+  // How each grid point is evaluated: "interpreted" (the default — the
+  // reference AST-walking interpreter, exactly as before this field existed)
+  // or "compiled" (surveillance-family mechanisms run as instrumented
+  // bytecode, DESIGN.md §15; kinds with no surveillance shadow — bare,
+  // static, residual — have nothing to compile and run their usual objects).
+  // The contract: reports are byte-identical across exec modes. "compiled"
+  // contributes a cache sub-key; "interpreted" leaves cache keys
+  // byte-for-byte what they were before exec modes existed.
+  std::string exec_mode = "interpreted";
+
   // Evaluation knobs (not part of the cache key; see JobCacheKey).
   int num_threads = 1;
   std::int64_t deadline_ms = 0;  // 0 = unbounded
@@ -180,10 +190,21 @@ std::vector<CheckJobSpec> AuditSectionSpecs(const CheckJobSpec& audit);
 
 // Builds one of the named mechanism kinds over `program` (the vocabulary of
 // `secpol check --mechanism` and CheckJobSpec::mechanism). Returns nullptr
-// and sets *error for an unknown kind.
+// and sets *error for an unknown kind. `exec_mode` selects the evaluation
+// backend (CheckJobSpec::exec_mode vocabulary): under "compiled" the
+// surveillance-family kinds (surveillance/mprime/highwater, and the live
+// mechanism behind "table") are built on the bytecode fast path; kinds with
+// no surveillance shadow are unchanged, preserving report bytes trivially.
 std::unique_ptr<ProtectionMechanism> MakeMechanismKind(const std::string& kind,
                                                        const Program& program, VarSet allowed,
+                                                       const std::string& exec_mode,
                                                        std::string* error);
+inline std::unique_ptr<ProtectionMechanism> MakeMechanismKind(const std::string& kind,
+                                                              const Program& program,
+                                                              VarSet allowed,
+                                                              std::string* error) {
+  return MakeMechanismKind(kind, program, allowed, "interpreted", error);
+}
 
 // Report rendering for the maximal synthesizer (the one checker whose result
 // struct has no ToString of its own). Exposed so differential tests can

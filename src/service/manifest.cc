@@ -78,7 +78,7 @@ Result<bool> ApplyManifestJobFields(const Json& object, const std::string& where
       "id",        "checker",    "program",  "program_file", "allow",
       "allow2",    "mechanism",  "mechanism2", "grid",       "observe_time",
       "threads",   "deadline_ms", "priority", "fault_spec",  "retries",
-      "sweep_mode",
+      "sweep_mode", "exec_mode",
   };
   for (const auto& [key, value] : object.Members()) {
     bool known = false;
@@ -194,6 +194,14 @@ Result<bool> ApplyManifestJobFields(const Json& object, const std::string& where
                  sweep_mode.value() + "'"};
   }
   spec->sweep_mode = std::move(sweep_mode).value();
+
+  Result<std::string> exec_mode = StringField(object, "exec_mode", where, spec->exec_mode);
+  if (!exec_mode.ok()) return exec_mode.error();
+  if (exec_mode.value() != "interpreted" && exec_mode.value() != "compiled") {
+    return Error{where + ".exec_mode: expected 'interpreted' or 'compiled'; got '" +
+                 exec_mode.value() + "'"};
+  }
+  spec->exec_mode = std::move(exec_mode).value();
 
   return true;
 }
@@ -344,6 +352,9 @@ Json CheckJobSpecToJson(const CheckJobSpec& spec) {
   // round-trip still holds: an absent key leaves the default "point".
   if (spec.sweep_mode != "point") {
     object.Set("sweep_mode", Json::MakeString(spec.sweep_mode));
+  }
+  if (spec.exec_mode != "interpreted") {
+    object.Set("exec_mode", Json::MakeString(spec.exec_mode));
   }
   return object;
 }

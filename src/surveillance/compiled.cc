@@ -1,0 +1,1168 @@
+#include "src/surveillance/compiled.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "src/expr/arith.h"
+#include "src/staticflow/cfg.h"
+#include "src/staticflow/dominance.h"
+
+namespace secpol {
+
+namespace {
+
+std::uint64_t JoinOf(const std::uint64_t* labels, std::uint64_t mask) {
+  std::uint64_t join = 0;
+  while (mask != 0) {
+    join |= labels[std::countr_zero(mask)];
+    mask &= mask - 1;
+  }
+  return join;
+}
+
+// Pops scoped-pc frames whose join box is `box`, restoring the saved C-bar —
+// byte-for-byte the kLabRestore semantics of the reference runner.
+void PopScopes(std::vector<std::pair<int, std::uint64_t>>& scopes, std::uint64_t& pc_label,
+               int box) {
+  while (!scopes.empty() && scopes.back().first == box) {
+    pc_label = scopes.back().second;
+    scopes.pop_back();
+  }
+}
+
+// Token-threaded dispatch: on GCC/Clang each handler ends with its own
+// indirect jump through the label table, giving every dispatch site a stable
+// branch-target history (the classic 2x over a single shared switch). Other
+// compilers fall back to an equivalent switch.
+#if defined(__GNUC__) || defined(__clang__)
+#define SECPOL_VM_THREADED 1
+#endif
+
+// The SoA block descriptor consumed by the batch mode of RunCoreImpl.
+struct BlockRun {
+  const std::vector<std::vector<Value>>* columns;
+  std::size_t begin;
+  std::size_t end;  // callers guarantee begin < end
+  std::vector<Outcome>* out;
+};
+
+// Executes fused code to completion, writing each outcome in place
+// (`notice` reuses its capacity across points, so the grid loop allocates
+// nothing in steady state). Templating on the footprint strips the tracking
+// branches from the untracked hot loop. In block mode (kBlock) the whole
+// rank range runs inside one activation — per-point setup is a register
+// fill, a label-seed memcpy, and an input scatter, with no call-boundary
+// register traffic between points.
+//
+// Reference order inside every box, preserved by each handler below: charge
+// the step (fuel check first, so exhaustion reports the box's own step
+// count), pop scoped-pc frames, run the label op from the OLD labels, note
+// reads against the still-live inputs, then evaluate and transfer.
+//
+// kPlain strips the scoped-pc restore, the scope push, and the checked-test
+// abort from every handler: those exist only under the naive-scoped-pc
+// discipline and time-observable instrumentation respectively, which is a
+// whole-program property the dispatcher selects on — no fused instruction
+// carries the corresponding flags in a plain program.
+template <bool kTrack, bool kBlock, bool kPlain>
+void RunCoreImpl(const CompiledSurveillance& cs, BcScratch& scratch,
+                 ExecFootprint* footprint, std::uint64_t* pc_label_out, Outcome* out_single,
+                 const BlockRun* blk) {
+  Value* const regs = scratch.regs.data();
+  std::uint64_t* const labels = scratch.labels.data();
+  auto& scopes = scratch.scopes;
+  const FastInst* const code = cs.fast.data();
+  const char* const code_bytes = reinterpret_cast<const char*>(code);
+  const std::uint64_t allowed = cs.allowed.bits();
+  const std::uint64_t inputs_mask = VarSet::FirstN(cs.num_inputs).bits();
+  const StepCount fuel = cs.fuel;
+  const std::size_t num_regs = scratch.regs.size();
+  const std::uint64_t* const seed = cs.label_seed.data();
+  const std::size_t seed_bytes = cs.label_seed.size() * sizeof(std::uint64_t);
+  static_cast<void>(num_regs);  // block-mode only
+  static_cast<void>(seed);
+  static_cast<void>(seed_bytes);
+  // Entry elision: pre-charge the opening start-jump unless fuel is too low
+  // to cover it (then start at 0 so exhaustion reports the exact step).
+  const bool elide_entry = fuel >= cs.entry_steps;
+  const std::int32_t pc0 = elide_entry ? cs.entry_pc : 0;
+  const StepCount steps0 = elide_entry ? cs.entry_steps : 0;
+  const Value* colp[64];
+  std::size_t num_inputs_blk = 0;
+  if constexpr (kBlock) {
+    const std::vector<std::vector<Value>>& cols = *blk->columns;
+    num_inputs_blk = cols.size();
+    for (std::size_t i = 0; i < num_inputs_blk; ++i) {
+      colp[i] = cols[i].data();
+    }
+  }
+  static_cast<void>(colp);
+  static_cast<void>(num_inputs_blk);
+
+  std::uint64_t pc_label;
+  std::uint64_t live;
+  std::uint64_t reads;
+  static_cast<void>(live);  // only read by the kTrack instantiation
+  static_cast<void>(reads);
+  StepCount steps;
+  std::int32_t pc;  // byte offset into the fused stream (targets are pre-scaled)
+  const FastInst* inst;
+  std::size_t rank = kBlock ? blk->begin : 0;
+  Outcome* outp = out_single;
+
+point_start:
+  if constexpr (kBlock) {
+    outp = blk->out->data() + rank;
+    // Input registers are scattered over, so only the rest need zeroing.
+    std::fill_n(regs + num_inputs_blk, num_regs - num_inputs_blk, Value{0});
+    std::memcpy(labels, seed, seed_bytes);
+    scopes.clear();
+    for (std::size_t i = 0; i < num_inputs_blk; ++i) {
+      regs[i] = colp[i][rank];
+    }
+  }
+  pc_label = 0;
+  live = inputs_mask;
+  reads = 0;
+  steps = steps0;
+  if constexpr (kTrack) {
+    if (steps0 != 0) {
+      footprint->boxes[static_cast<size_t>(cs.entry_box)] = true;
+    }
+  }
+  pc = pc0;
+  inst = code;
+
+// Fuel check + step charge + footprint + scoped-pc restore, shared by every
+// charging handler.
+#define SECPOL_CHARGE()                                                       \
+  do {                                                                        \
+    if (steps >= fuel) {                                                      \
+      goto exhausted;                                                         \
+    }                                                                         \
+    ++steps;                                                                  \
+    if constexpr (kTrack) {                                                   \
+      footprint->boxes[static_cast<size_t>(inst->source_box)] = true;         \
+    }                                                                         \
+    if (!kPlain && (inst->flags & kFFlagRestore)) {                           \
+      PopScopes(scopes, pc_label, inst->source_box);                          \
+    }                                                                         \
+  } while (0)
+
+// The assign-box label op. live only ever holds input bits, so clearing a
+// non-input dst is a no-op — no need to branch on IsInputVar here. The
+// reads/live bookkeeping feeds only the footprint, so the untracked loop
+// skips it entirely. Fused boxes take `join`, the precomputed two-slot
+// label join (unused slots read the hardwired zero slot — no loop, no
+// branch); generic chunks pass JoinOf over the mask.
+#define SECPOL_ASSIGN_LABEL(join)                                             \
+  do {                                                                        \
+    std::uint64_t label = (join) | pc_label;                                  \
+    if (inst->flags & kFFlagHW) {                                             \
+      label |= labels[inst->dst];                                             \
+    }                                                                         \
+    if constexpr (kTrack) {                                                   \
+      reads |= inst->vars_mask & live;                                        \
+      live &= ~(std::uint64_t{1} << inst->dst);                               \
+    }                                                                         \
+    labels[inst->dst] = label;                                                \
+  } while (0)
+#define SECPOL_ASSIGN_LABEL_FAST() \
+  SECPOL_ASSIGN_LABEL(labels[inst->lab1] | labels[inst->lab2])
+
+// The decision-box label op: M' aborts immediately before any test on
+// disallowed data (before the scope push and the C-bar update, exactly as
+// the reference returns before them).
+#define SECPOL_DECISION_LABEL(join)                                           \
+  do {                                                                        \
+    const std::uint64_t test_label = (join);                                  \
+    if constexpr (kTrack) {                                                   \
+      reads |= inst->vars_mask & live;                                        \
+    }                                                                         \
+    if (!kPlain && (inst->flags & kFFlagChecked) &&                           \
+        ((test_label | pc_label) & ~allowed) != 0) {                          \
+      goto checked_abort;                                                     \
+    }                                                                         \
+    if (!kPlain && inst->scope_box >= 0 &&                                    \
+        (scopes.empty() || scopes.back().first != inst->scope_box)) {         \
+      scopes.emplace_back(inst->scope_box, pc_label);                         \
+    }                                                                         \
+    pc_label |= test_label;                                                   \
+  } while (0)
+#define SECPOL_DECISION_LABEL_FAST() \
+  SECPOL_DECISION_LABEL(labels[inst->lab1] | labels[inst->lab2])
+
+#define SECPOL_BIN(a, b) EvalBinaryOp(static_cast<BinaryOp>(inst->arith), (a), (b))
+#define SECPOL_TARGET(off) reinterpret_cast<const FastInst*>(code_bytes + (off))
+
+// Decision tail: a real two-way branch with a dispatch site per arm, NOT a
+// conditional move — a cmov would chain the branch target into the next
+// dispatch's data dependencies, serializing the loop; a branch lets the
+// target predictor speculate across iterations.
+#define SECPOL_DECISION_TAIL(cond)                                            \
+  do {                                                                        \
+    if (cond) {                                                               \
+      pc = inst->target;                                                      \
+      SECPOL_DISPATCH();                                                      \
+    } else {                                                                  \
+      pc = inst->target2;                                                     \
+      SECPOL_DISPATCH();                                                      \
+    }                                                                         \
+  } while (0)
+
+#if SECPOL_VM_THREADED
+  // One entry per FastHandler, in enum order.
+  static const void* const kLabels[] = {
+      &&h_assign_imm, &&h_assign_reg, &&h_assign_unary, &&h_assign_rr, &&h_assign_ri,
+      &&h_assign_ir, &&h_assign_sel,
+      &&h_decision_imm, &&h_decision_reg, &&h_decision_unary, &&h_decision_rr,
+      &&h_decision_ri, &&h_decision_ir, &&h_decision_sel,
+      &&h_halt_release, &&h_start_jump,
+      &&h_const, &&h_mov, &&h_unary, &&h_binary, &&h_select, &&h_jump, &&h_branchz,
+      &&h_lab_assign, &&h_lab_test, &&h_lab_restore,
+      &&h_assign_add_rr, &&h_assign_sub_rr, &&h_assign_add_ri, &&h_assign_sub_ri,
+      &&h_decision_eq_ri, &&h_decision_ne_ri, &&h_decision_lt_ri, &&h_decision_le_ri,
+      &&h_decision_gt_ri, &&h_decision_ge_ri,
+      &&h_decision_eq_rr, &&h_decision_ne_rr, &&h_decision_lt_rr,
+      &&h_assign_reg_halt, &&h_assign_imm_halt, &&h_assign_add_rr_halt,
+      &&h_sub_ri_then_ne_ri, &&h_sub_ri_then_gt_ri, &&h_sub_ri_then_ge_ri,
+      &&h_add_ri_then_ne_ri, &&h_add_ri_then_lt_ri, &&h_add_ri_then_le_ri,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kHNumHandlers);
+#define SECPOL_CASE(name) h_##name
+#define SECPOL_DISPATCH()                                                     \
+  do {                                                                        \
+    inst = reinterpret_cast<const FastInst*>(code_bytes + pc);                \
+    goto* kLabels[inst->handler];                                             \
+  } while (0)
+  SECPOL_DISPATCH();
+#else
+#define SECPOL_CASE(name) case k_handler_##name
+#define SECPOL_DISPATCH() goto dispatch
+  enum : std::uint8_t {
+    k_handler_assign_imm = kHAssignImm, k_handler_assign_reg, k_handler_assign_unary,
+    k_handler_assign_rr, k_handler_assign_ri, k_handler_assign_ir, k_handler_assign_sel,
+    k_handler_decision_imm, k_handler_decision_reg, k_handler_decision_unary,
+    k_handler_decision_rr, k_handler_decision_ri, k_handler_decision_ir,
+    k_handler_decision_sel,
+    k_handler_halt_release, k_handler_start_jump,
+    k_handler_const, k_handler_mov, k_handler_unary, k_handler_binary, k_handler_select,
+    k_handler_jump, k_handler_branchz,
+    k_handler_lab_assign, k_handler_lab_test, k_handler_lab_restore,
+    k_handler_assign_add_rr, k_handler_assign_sub_rr, k_handler_assign_add_ri,
+    k_handler_assign_sub_ri,
+    k_handler_decision_eq_ri, k_handler_decision_ne_ri, k_handler_decision_lt_ri,
+    k_handler_decision_le_ri, k_handler_decision_gt_ri, k_handler_decision_ge_ri,
+    k_handler_decision_eq_rr, k_handler_decision_ne_rr, k_handler_decision_lt_rr,
+    k_handler_assign_reg_halt, k_handler_assign_imm_halt, k_handler_assign_add_rr_halt,
+    k_handler_sub_ri_then_ne_ri, k_handler_sub_ri_then_gt_ri, k_handler_sub_ri_then_ge_ri,
+    k_handler_add_ri_then_ne_ri, k_handler_add_ri_then_lt_ri, k_handler_add_ri_then_le_ri,
+  };
+dispatch:
+  inst = reinterpret_cast<const FastInst*>(code_bytes + pc);
+  switch (inst->handler) {
+#endif
+
+  // -- Fused assign boxes, one handler per operand shape ---------------------
+  SECPOL_CASE(assign_imm) : {
+    SECPOL_CHARGE();
+    SECPOL_ASSIGN_LABEL_FAST();
+    regs[inst->dst] = inst->imm;
+    pc = inst->target;
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(assign_reg) : {
+    SECPOL_CHARGE();
+    SECPOL_ASSIGN_LABEL_FAST();
+    regs[inst->dst] = regs[inst->a];
+    pc = inst->target;
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(assign_unary) : {
+    SECPOL_CHARGE();
+    SECPOL_ASSIGN_LABEL_FAST();
+    regs[inst->dst] = EvalUnaryOp(static_cast<UnaryOp>(inst->arith), regs[inst->a]);
+    pc = inst->target;
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(assign_rr) : {
+    SECPOL_CHARGE();
+    SECPOL_ASSIGN_LABEL_FAST();
+    regs[inst->dst] = SECPOL_BIN(regs[inst->a], regs[inst->b]);
+    pc = inst->target;
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(assign_ri) : {
+    SECPOL_CHARGE();
+    SECPOL_ASSIGN_LABEL_FAST();
+    regs[inst->dst] = SECPOL_BIN(regs[inst->a], inst->imm);
+    pc = inst->target;
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(assign_ir) : {
+    SECPOL_CHARGE();
+    SECPOL_ASSIGN_LABEL_FAST();
+    regs[inst->dst] = SECPOL_BIN(inst->imm, regs[inst->b]);
+    pc = inst->target;
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(assign_sel) : {
+    SECPOL_CHARGE();
+    SECPOL_ASSIGN_LABEL_FAST();
+    regs[inst->dst] = regs[inst->a] != 0 ? regs[inst->b] : regs[inst->c];
+    pc = inst->target;
+    SECPOL_DISPATCH();
+  }
+
+  // -- Fused decision boxes ---------------------------------------------------
+  SECPOL_CASE(decision_imm) : {
+    SECPOL_CHARGE();
+    SECPOL_DECISION_LABEL_FAST();
+    SECPOL_DECISION_TAIL(inst->imm != 0);
+  }
+  SECPOL_CASE(decision_reg) : {
+    SECPOL_CHARGE();
+    SECPOL_DECISION_LABEL_FAST();
+    SECPOL_DECISION_TAIL(regs[inst->a] != 0);
+  }
+  SECPOL_CASE(decision_unary) : {
+    SECPOL_CHARGE();
+    SECPOL_DECISION_LABEL_FAST();
+    SECPOL_DECISION_TAIL(EvalUnaryOp(static_cast<UnaryOp>(inst->arith), regs[inst->a]) != 0);
+  }
+  SECPOL_CASE(decision_rr) : {
+    SECPOL_CHARGE();
+    SECPOL_DECISION_LABEL_FAST();
+    SECPOL_DECISION_TAIL(SECPOL_BIN(regs[inst->a], regs[inst->b]) != 0);
+  }
+  SECPOL_CASE(decision_ri) : {
+    SECPOL_CHARGE();
+    SECPOL_DECISION_LABEL_FAST();
+    SECPOL_DECISION_TAIL(SECPOL_BIN(regs[inst->a], inst->imm) != 0);
+  }
+  SECPOL_CASE(decision_ir) : {
+    SECPOL_CHARGE();
+    SECPOL_DECISION_LABEL_FAST();
+    SECPOL_DECISION_TAIL(SECPOL_BIN(inst->imm, regs[inst->b]) != 0);
+  }
+  SECPOL_CASE(decision_sel) : {
+    SECPOL_CHARGE();
+    SECPOL_DECISION_LABEL_FAST();
+    SECPOL_DECISION_TAIL((regs[inst->a] != 0 ? regs[inst->b] : regs[inst->c]) != 0);
+  }
+
+  // -- Fused halt / start ------------------------------------------------------
+  SECPOL_CASE(halt_release) : {
+  halt_body:
+    SECPOL_CHARGE();
+    const std::uint64_t release = labels[cs.output_var] | pc_label;
+    if ((release & ~allowed) == 0) {
+      outp->kind = Outcome::Kind::kValue;
+      outp->value = regs[cs.code.output_reg()];
+      outp->steps = steps;
+      outp->notice.clear();
+    } else {
+      outp->kind = Outcome::Kind::kViolation;
+      outp->value = 0;
+      outp->steps = steps;
+      outp->notice.assign("output depends on disallowed inputs");
+    }
+    goto done;
+  }
+  SECPOL_CASE(start_jump) : {
+    SECPOL_CHARGE();
+    pc = inst->target;
+    SECPOL_DISPATCH();
+  }
+
+  // -- Generic fallback chunks: one dispatch per bytecode micro-op -------------
+  SECPOL_CASE(const) : {
+    regs[inst->dst] = inst->imm;
+    pc += static_cast<std::int32_t>(sizeof(FastInst));
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(mov) : {
+    regs[inst->dst] = regs[inst->a];
+    pc += static_cast<std::int32_t>(sizeof(FastInst));
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(unary) : {
+    regs[inst->dst] = EvalUnaryOp(static_cast<UnaryOp>(inst->arith), regs[inst->a]);
+    pc += static_cast<std::int32_t>(sizeof(FastInst));
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(binary) : {
+    regs[inst->dst] = SECPOL_BIN(regs[inst->a], regs[inst->b]);
+    pc += static_cast<std::int32_t>(sizeof(FastInst));
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(select) : {
+    regs[inst->dst] = regs[inst->a] != 0 ? regs[inst->b] : regs[inst->c];
+    pc += static_cast<std::int32_t>(sizeof(FastInst));
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(jump) : {
+    pc = inst->target;
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(branchz) : {
+    if (regs[inst->a] == 0) {
+      pc = inst->target;
+      SECPOL_DISPATCH();
+    }
+    pc += static_cast<std::int32_t>(sizeof(FastInst));
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(lab_assign) : {
+    if (inst->flags & kFFlagCharges) {
+      SECPOL_CHARGE();
+    }
+    SECPOL_ASSIGN_LABEL(JoinOf(labels, inst->vars_mask));
+    pc += static_cast<std::int32_t>(sizeof(FastInst));
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(lab_test) : {
+    if (inst->flags & kFFlagCharges) {
+      SECPOL_CHARGE();
+    }
+    SECPOL_DECISION_LABEL(JoinOf(labels, inst->vars_mask));
+    pc += static_cast<std::int32_t>(sizeof(FastInst));
+    SECPOL_DISPATCH();
+  }
+  SECPOL_CASE(lab_restore) : {
+    if (inst->flags & kFFlagCharges) {
+      // SECPOL_CHARGE() performs the restore itself via kFFlagRestore.
+      SECPOL_CHARGE();
+    } else {
+      PopScopes(scopes, pc_label, inst->source_box);
+    }
+    pc += static_cast<std::int32_t>(sizeof(FastInst));
+    SECPOL_DISPATCH();
+  }
+
+// -- Arith-specialized fused boxes: the operator is baked into the dispatch
+// token, so loop counters (`i = i - 1`) and guards (`i != 0`) evaluate
+// inline with no EvalBinaryOp switch on the critical path.
+#define SECPOL_ASSIGN_SPEC(name, expr)                                        \
+  SECPOL_CASE(name) : {                                                       \
+    SECPOL_CHARGE();                                                          \
+    SECPOL_ASSIGN_LABEL_FAST();                                               \
+    regs[inst->dst] = (expr);                                                 \
+    pc = inst->target;                                                        \
+    SECPOL_DISPATCH();                                                        \
+  }
+#define SECPOL_DECISION_SPEC(name, cond)                                      \
+  SECPOL_CASE(name) : {                                                       \
+    SECPOL_CHARGE();                                                          \
+    SECPOL_DECISION_LABEL_FAST();                                             \
+    SECPOL_DECISION_TAIL(cond);                                               \
+  }
+// As above, plus a local body label so loop-pair handlers can enter the
+// decision with a direct branch instead of a dispatch.
+#define SECPOL_DECISION_SPEC_L(name, body, cond)                              \
+  SECPOL_CASE(name) : {                                                       \
+  body:                                                                       \
+    SECPOL_CHARGE();                                                          \
+    SECPOL_DECISION_LABEL_FAST();                                             \
+    SECPOL_DECISION_TAIL(cond);                                               \
+  }
+
+  SECPOL_ASSIGN_SPEC(assign_add_rr, WrapAdd(regs[inst->a], regs[inst->b]))
+  SECPOL_ASSIGN_SPEC(assign_sub_rr, WrapSub(regs[inst->a], regs[inst->b]))
+  SECPOL_ASSIGN_SPEC(assign_add_ri, WrapAdd(regs[inst->a], inst->imm))
+  SECPOL_ASSIGN_SPEC(assign_sub_ri, WrapSub(regs[inst->a], inst->imm))
+  SECPOL_DECISION_SPEC(decision_eq_ri, regs[inst->a] == inst->imm)
+  SECPOL_DECISION_SPEC_L(decision_ne_ri, d_ne_ri_body, regs[inst->a] != inst->imm)
+  SECPOL_DECISION_SPEC_L(decision_lt_ri, d_lt_ri_body, regs[inst->a] < inst->imm)
+  SECPOL_DECISION_SPEC_L(decision_le_ri, d_le_ri_body, regs[inst->a] <= inst->imm)
+  SECPOL_DECISION_SPEC_L(decision_gt_ri, d_gt_ri_body, regs[inst->a] > inst->imm)
+  SECPOL_DECISION_SPEC_L(decision_ge_ri, d_ge_ri_body, regs[inst->a] >= inst->imm)
+  SECPOL_DECISION_SPEC(decision_eq_rr, regs[inst->a] == regs[inst->b])
+  SECPOL_DECISION_SPEC(decision_ne_rr, regs[inst->a] != regs[inst->b])
+  SECPOL_DECISION_SPEC(decision_lt_rr, regs[inst->a] < regs[inst->b])
+
+#undef SECPOL_ASSIGN_SPEC
+#undef SECPOL_DECISION_SPEC
+#undef SECPOL_DECISION_SPEC_L
+
+// -- Release pairs: assign, then fall straight into the halt box ------------
+#define SECPOL_ASSIGN_HALT(name, expr)                                        \
+  SECPOL_CASE(name) : {                                                       \
+    SECPOL_CHARGE();                                                          \
+    SECPOL_ASSIGN_LABEL_FAST();                                               \
+    regs[inst->dst] = (expr);                                                 \
+    inst = SECPOL_TARGET(inst->target);                                       \
+    goto halt_body;                                                           \
+  }
+
+  SECPOL_ASSIGN_HALT(assign_reg_halt, regs[inst->a])
+  SECPOL_ASSIGN_HALT(assign_imm_halt, inst->imm)
+  SECPOL_ASSIGN_HALT(assign_add_rr_halt, WrapAdd(regs[inst->a], regs[inst->b]))
+
+#undef SECPOL_ASSIGN_HALT
+
+// -- Loop pairs: counted-loop update, then straight into the guard ----------
+#define SECPOL_LOOP_PAIR(name, expr, body)                                    \
+  SECPOL_CASE(name) : {                                                       \
+    SECPOL_CHARGE();                                                          \
+    SECPOL_ASSIGN_LABEL_FAST();                                               \
+    regs[inst->dst] = (expr);                                                 \
+    inst = SECPOL_TARGET(inst->target);                                       \
+    goto body;                                                                \
+  }
+
+  SECPOL_LOOP_PAIR(sub_ri_then_ne_ri, WrapSub(regs[inst->a], inst->imm), d_ne_ri_body)
+  SECPOL_LOOP_PAIR(sub_ri_then_gt_ri, WrapSub(regs[inst->a], inst->imm), d_gt_ri_body)
+  SECPOL_LOOP_PAIR(sub_ri_then_ge_ri, WrapSub(regs[inst->a], inst->imm), d_ge_ri_body)
+  SECPOL_LOOP_PAIR(add_ri_then_ne_ri, WrapAdd(regs[inst->a], inst->imm), d_ne_ri_body)
+  SECPOL_LOOP_PAIR(add_ri_then_lt_ri, WrapAdd(regs[inst->a], inst->imm), d_lt_ri_body)
+  SECPOL_LOOP_PAIR(add_ri_then_le_ri, WrapAdd(regs[inst->a], inst->imm), d_le_ri_body)
+
+#undef SECPOL_LOOP_PAIR
+
+#if !SECPOL_VM_THREADED
+  }
+  throw BytecodeError("invalid fused handler token");
+#endif
+
+  // -- Cold exits ---------------------------------------------------------------
+exhausted:
+  outp->kind = Outcome::Kind::kViolation;
+  outp->value = 0;
+  outp->steps = steps;
+  outp->notice.assign("fuel exhausted");
+  goto done;
+checked_abort:
+  outp->kind = Outcome::Kind::kViolation;
+  outp->value = 0;
+  outp->steps = steps;
+  outp->notice.assign("test on disallowed data");
+  goto done;
+done:
+  if constexpr (kTrack) {
+    footprint->reads = VarSet::FromBits(reads);
+  }
+  if (pc_label_out != nullptr) {
+    *pc_label_out = pc_label;
+  }
+  // Plain `if` (constant-folded) rather than `if constexpr`, so the
+  // point_start label is referenced in every instantiation.
+  if (kBlock && ++rank < blk->end) {
+    goto point_start;
+  }
+
+#undef SECPOL_CHARGE
+#undef SECPOL_ASSIGN_LABEL
+#undef SECPOL_DECISION_LABEL
+#undef SECPOL_BIN
+#undef SECPOL_CASE
+#undef SECPOL_TARGET
+#undef SECPOL_DISPATCH
+#undef SECPOL_DECISION_TAIL
+}
+
+void RunCore(const CompiledSurveillance& cs, BcScratch& scratch, ExecFootprint* footprint,
+             std::uint64_t* pc_label_out, Outcome& out) {
+  if (cs.fast.empty()) {
+    throw BytecodeError(
+        "compiled surveillance has no fused code — not produced by CompileSurveillance");
+  }
+  // Plain programs (no scoped-pc frames, no checked tests) take the
+  // stripped-down instantiation; the builder never sets the corresponding
+  // flags for them.
+  const bool plain = cs.discipline != LabelDiscipline::kNaiveScopedPc &&
+                     cs.timing != TimingMode::kTimeObservable;
+  if (footprint != nullptr) {
+    if (plain) {
+      RunCoreImpl<true, false, true>(cs, scratch, footprint, pc_label_out, &out, nullptr);
+    } else {
+      RunCoreImpl<true, false, false>(cs, scratch, footprint, pc_label_out, &out, nullptr);
+    }
+  } else {
+    if (plain) {
+      RunCoreImpl<false, false, true>(cs, scratch, nullptr, pc_label_out, &out, nullptr);
+    } else {
+      RunCoreImpl<false, false, false>(cs, scratch, nullptr, pc_label_out, &out, nullptr);
+    }
+  }
+}
+
+// Per-point scratch reset: registers zeroed and inputs scattered, the label
+// file copied from the precomputed seed (which includes the fused join's
+// always-zero slot), scope stack emptied. No allocation in steady state.
+void LoadPoint(const CompiledSurveillance& cs, InputView input, BcScratch& scratch) {
+  scratch.regs.resize(static_cast<size_t>(cs.code.num_registers()));
+  scratch.labels.resize(cs.label_seed.size());
+  std::fill(scratch.regs.begin(), scratch.regs.end(), Value{0});
+  std::memcpy(scratch.labels.data(), cs.label_seed.data(),
+              cs.label_seed.size() * sizeof(std::uint64_t));
+  scratch.scopes.clear();
+  for (int i = 0; i < cs.num_inputs; ++i) {
+    scratch.regs[static_cast<size_t>(i)] = input[i];
+  }
+}
+
+// ---- Fused-stream construction -------------------------------------------
+
+// Matches a chunk's value micro-ops against the inline small-expression
+// forms, filling eval/arith/a/b/c/imm. `result_reg` is where the chunk's
+// terminator expects the value (the assign destination or the branch
+// register). Constant subtrees fold through the total arithmetic of arith.h,
+// which computes exactly what the reference would compute at run time.
+bool MatchSmallExpr(const BcInst* ops, std::size_t n, int result_reg, FastInst& f) {
+  const auto set_bin = [&](BinaryOp op) { f.arith = static_cast<std::uint8_t>(op); };
+  if (n == 0) {
+    // A variable-to-itself assign (or a bare-variable predicate) compiles to
+    // no micro-ops; the value is already in result_reg.
+    f.eval = static_cast<std::uint8_t>(FastEval::kReg);
+    f.a = static_cast<std::int16_t>(result_reg);
+    return true;
+  }
+  if (n == 1) {
+    const BcInst& v = ops[0];
+    if (v.dst != result_reg) {
+      return false;
+    }
+    switch (v.op) {
+      case BcOp::kConst:
+        f.eval = static_cast<std::uint8_t>(FastEval::kImm);
+        f.imm = v.imm;
+        return true;
+      case BcOp::kMov:
+        f.eval = static_cast<std::uint8_t>(FastEval::kReg);
+        f.a = static_cast<std::int16_t>(v.a);
+        return true;
+      case BcOp::kUnary:
+        f.eval = static_cast<std::uint8_t>(FastEval::kUnaryReg);
+        f.arith = static_cast<std::uint8_t>(v.unary_op);
+        f.a = static_cast<std::int16_t>(v.a);
+        return true;
+      case BcOp::kBinary:
+        f.eval = static_cast<std::uint8_t>(FastEval::kBinRR);
+        set_bin(v.binary_op);
+        f.a = static_cast<std::int16_t>(v.a);
+        f.b = static_cast<std::int16_t>(v.b);
+        return true;
+      case BcOp::kSelect:
+        f.eval = static_cast<std::uint8_t>(FastEval::kSel);
+        f.a = static_cast<std::int16_t>(v.a);
+        f.b = static_cast<std::int16_t>(v.b);
+        f.c = static_cast<std::int16_t>(v.c);
+        return true;
+      default:
+        return false;
+    }
+  }
+  if (n == 2 && ops[0].op == BcOp::kConst) {
+    const int t = ops[0].dst;
+    const BcInst& v = ops[1];
+    if (v.dst != result_reg) {
+      return false;
+    }
+    if (v.op == BcOp::kBinary && v.a == t && v.b != t) {
+      f.eval = static_cast<std::uint8_t>(FastEval::kBinIR);
+      set_bin(v.binary_op);
+      f.imm = ops[0].imm;
+      f.b = static_cast<std::int16_t>(v.b);
+      return true;
+    }
+    if (v.op == BcOp::kBinary && v.b == t && v.a != t) {
+      f.eval = static_cast<std::uint8_t>(FastEval::kBinRI);
+      set_bin(v.binary_op);
+      f.a = static_cast<std::int16_t>(v.a);
+      f.imm = ops[0].imm;
+      return true;
+    }
+    if (v.op == BcOp::kUnary && v.a == t) {
+      f.eval = static_cast<std::uint8_t>(FastEval::kImm);
+      f.imm = EvalUnaryOp(v.unary_op, ops[0].imm);
+      return true;
+    }
+    return false;
+  }
+  if (n == 3 && ops[0].op == BcOp::kConst && ops[1].op == BcOp::kConst &&
+      ops[2].op == BcOp::kBinary && ops[2].dst == result_reg && ops[2].a == ops[0].dst &&
+      ops[2].b == ops[1].dst && ops[0].dst != ops[1].dst) {
+    f.eval = static_cast<std::uint8_t>(FastEval::kImm);
+    f.imm = EvalBinaryOp(ops[2].binary_op, ops[0].imm, ops[1].imm);
+    return true;
+  }
+  return false;
+}
+
+// Decomposes a fused box's join mask into the two label-slot operands of
+// the branchless join (`labels[lab1] | labels[lab2]`). Unused slots read the
+// hardwired zero slot at index `zero_slot`; masks wider than two variables
+// return false and the chunk falls back to the generic translation.
+bool SetLabSlots(FastInst& f, std::uint64_t mask, int zero_slot) {
+  if (std::popcount(mask) > 2) {
+    return false;
+  }
+  f.lab1 = f.lab2 = static_cast<std::int16_t>(zero_slot);
+  if (mask != 0) {
+    f.lab1 = static_cast<std::int16_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    if (mask != 0) {
+      f.lab2 = static_cast<std::int16_t>(std::countr_zero(mask));
+    }
+  }
+  return true;
+}
+
+// Composes the dispatch token from the builder-facing (op, eval) pair. The
+// fused handler blocks are laid out in FastEval order, so the token is a base
+// plus the eval ordinal.
+std::uint8_t HandlerFor(FastOp op, std::uint8_t eval) {
+  switch (op) {
+    case FastOp::kAssign:
+      return static_cast<std::uint8_t>(kHAssignImm + eval);
+    case FastOp::kDecision:
+      return static_cast<std::uint8_t>(kHDecisionImm + eval);
+    case FastOp::kHaltRelease:
+      return kHHaltRelease;
+    case FastOp::kStartJump:
+      return kHStartJump;
+    case FastOp::kConst:
+      return kHConst;
+    case FastOp::kMov:
+      return kHMov;
+    case FastOp::kUnary:
+      return kHUnary;
+    case FastOp::kBinary:
+      return kHBinary;
+    case FastOp::kSelect:
+      return kHSelect;
+    case FastOp::kJump:
+      return kHJump;
+    case FastOp::kBranchZ:
+      return kHBranchZ;
+    case FastOp::kLabAssign:
+      return kHLabAssign;
+    case FastOp::kLabTest:
+      return kHLabTest;
+    case FastOp::kLabRestore:
+      return kHLabRestore;
+  }
+  throw BytecodeError("unknown fused op");
+}
+
+// Upgrades a fused binary token to its arith-specialized handler when the
+// operator has one, baking the operation into the dispatch byte. Purely a
+// dispatch refinement: the specialized handlers compute exactly what the
+// generic handler's EvalBinaryOp call would.
+void SpecializeHandler(FastInst& f) {
+  const auto op = static_cast<BinaryOp>(f.arith);
+  switch (f.handler) {
+    case kHAssignRR:
+      if (op == BinaryOp::kAdd) f.handler = kHAssignAddRR;
+      if (op == BinaryOp::kSub) f.handler = kHAssignSubRR;
+      break;
+    case kHAssignRI:
+      if (op == BinaryOp::kAdd) f.handler = kHAssignAddRI;
+      if (op == BinaryOp::kSub) f.handler = kHAssignSubRI;
+      break;
+    case kHDecisionRI:
+      switch (op) {
+        case BinaryOp::kEq: f.handler = kHDecisionEqRI; break;
+        case BinaryOp::kNe: f.handler = kHDecisionNeRI; break;
+        case BinaryOp::kLt: f.handler = kHDecisionLtRI; break;
+        case BinaryOp::kLe: f.handler = kHDecisionLeRI; break;
+        case BinaryOp::kGt: f.handler = kHDecisionGtRI; break;
+        case BinaryOp::kGe: f.handler = kHDecisionGeRI; break;
+        default: break;
+      }
+      break;
+    case kHDecisionRR:
+      switch (op) {
+        case BinaryOp::kEq: f.handler = kHDecisionEqRR; break;
+        case BinaryOp::kNe: f.handler = kHDecisionNeRR; break;
+        case BinaryOp::kLt: f.handler = kHDecisionLtRR; break;
+        default: break;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// Translates one micro-op for a generic (non-fusable) chunk, preserving the
+// original charge placement and label semantics 1:1.
+FastInst TranslateMicroOp(const BcInst& inst) {
+  FastInst f;
+  f.source_box = static_cast<std::int16_t>(inst.source_box);
+  f.dst = static_cast<std::int16_t>(inst.dst);
+  f.a = static_cast<std::int16_t>(inst.a);
+  f.b = static_cast<std::int16_t>(inst.b);
+  f.c = static_cast<std::int16_t>(inst.c);
+  f.imm = inst.imm;
+  f.vars_mask = inst.vars_mask;
+  f.target = inst.target;  // original pc; patched to a fused pc by the caller
+  if (inst.charges_step) {
+    f.flags |= kFFlagCharges;
+  }
+  switch (inst.op) {
+    case BcOp::kConst:
+      f.op = static_cast<std::uint8_t>(FastOp::kConst);
+      break;
+    case BcOp::kMov:
+      f.op = static_cast<std::uint8_t>(FastOp::kMov);
+      break;
+    case BcOp::kUnary:
+      f.op = static_cast<std::uint8_t>(FastOp::kUnary);
+      f.arith = static_cast<std::uint8_t>(inst.unary_op);
+      break;
+    case BcOp::kBinary:
+      f.op = static_cast<std::uint8_t>(FastOp::kBinary);
+      f.arith = static_cast<std::uint8_t>(inst.binary_op);
+      break;
+    case BcOp::kSelect:
+      f.op = static_cast<std::uint8_t>(FastOp::kSelect);
+      break;
+    case BcOp::kJump:
+      f.op = static_cast<std::uint8_t>(FastOp::kJump);
+      break;
+    case BcOp::kBranchZ:
+      f.op = static_cast<std::uint8_t>(FastOp::kBranchZ);
+      break;
+    case BcOp::kLabAssign:
+    case BcOp::kLabAssignHW:
+      f.op = static_cast<std::uint8_t>(FastOp::kLabAssign);
+      if (inst.op == BcOp::kLabAssignHW) {
+        f.flags |= kFFlagHW;
+      }
+      break;
+    case BcOp::kLabTest:
+    case BcOp::kLabTestChecked:
+      f.op = static_cast<std::uint8_t>(FastOp::kLabTest);
+      f.scope_box = static_cast<std::int16_t>(inst.b);
+      if (inst.op == BcOp::kLabTestChecked) {
+        f.flags |= kFFlagChecked;
+      }
+      break;
+    case BcOp::kLabRestore:
+      f.op = static_cast<std::uint8_t>(FastOp::kLabRestore);
+      if (inst.charges_step) {
+        // charge() performs the restore itself in this case.
+        f.flags |= kFFlagRestore;
+      }
+      break;
+    case BcOp::kLabHalt:
+    case BcOp::kHalt:
+      // Halt chunks always fuse; a loose (or plain) halt here means the
+      // stream was not produced by the instrumenting compiler.
+      throw BytecodeError("unexpected halt micro-op in instrumented bytecode");
+  }
+  f.handler = HandlerFor(static_cast<FastOp>(f.op), f.eval);
+  return f;
+}
+
+// Builds the fused stream from the instrumented bytecode. Chunks are
+// delimited by charging instructions (exactly one per flowchart box); each
+// chunk either collapses to one superinstruction or falls back to the 1:1
+// translation. Targets are emitted as original pcs (always chunk heads) and
+// patched through the head map at the end.
+std::vector<FastInst> BuildFastCode(const BytecodeProgram& bytecode, int num_vars) {
+  const std::vector<BcInst>& code = bytecode.code();
+  if (code.empty() || !code.front().charges_step) {
+    throw BytecodeError("instrumented bytecode does not start with a charging chunk head");
+  }
+  // Chunk boundaries: [starts[i], starts[i+1]).
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].charges_step) {
+      starts.push_back(i);
+    }
+  }
+  starts.push_back(code.size());
+
+  std::vector<FastInst> fast;
+  std::vector<std::int32_t> fast_pc_of(code.size() + 1, -1);
+  for (std::size_t chunk = 0; chunk + 1 < starts.size(); ++chunk) {
+    const std::size_t begin = starts[chunk];
+    const std::size_t end = starts[chunk + 1];
+    fast_pc_of[begin] = static_cast<std::int32_t>(fast.size());
+
+    const BcInst* insts = code.data() + begin;
+    std::size_t n = end - begin;
+    bool restore = false;
+    if (insts[0].op == BcOp::kLabRestore) {
+      restore = true;
+      ++insts;
+      --n;
+    }
+
+    FastInst f;
+    f.source_box = static_cast<std::int16_t>(code[begin].source_box);
+    if (restore) {
+      f.flags |= kFFlagRestore;
+    }
+    bool fused = false;
+    if (n == 1 && insts[0].op == BcOp::kJump) {
+      f.op = static_cast<std::uint8_t>(FastOp::kStartJump);
+      f.target = insts[0].target;
+      fused = true;
+    } else if (n == 1 && insts[0].op == BcOp::kLabHalt) {
+      f.op = static_cast<std::uint8_t>(FastOp::kHaltRelease);
+      fused = true;
+    } else if (n >= 2 &&
+               (insts[0].op == BcOp::kLabAssign || insts[0].op == BcOp::kLabAssignHW) &&
+               insts[n - 1].op == BcOp::kJump) {
+      if (MatchSmallExpr(insts + 1, n - 2, insts[0].dst, f) &&
+          SetLabSlots(f, insts[0].vars_mask, num_vars)) {
+        f.op = static_cast<std::uint8_t>(FastOp::kAssign);
+        if (insts[0].op == BcOp::kLabAssignHW) {
+          f.flags |= kFFlagHW;
+        }
+        f.dst = static_cast<std::int16_t>(insts[0].dst);
+        f.vars_mask = insts[0].vars_mask;
+        f.target = insts[n - 1].target;
+        fused = true;
+      }
+    } else if (n >= 3 &&
+               (insts[0].op == BcOp::kLabTest || insts[0].op == BcOp::kLabTestChecked) &&
+               insts[n - 2].op == BcOp::kBranchZ && insts[n - 1].op == BcOp::kJump) {
+      if (MatchSmallExpr(insts + 1, n - 3, insts[n - 2].a, f) &&
+          SetLabSlots(f, insts[0].vars_mask, num_vars)) {
+        f.op = static_cast<std::uint8_t>(FastOp::kDecision);
+        if (insts[0].op == BcOp::kLabTestChecked) {
+          f.flags |= kFFlagChecked;
+        }
+        f.vars_mask = insts[0].vars_mask;
+        f.scope_box = static_cast<std::int16_t>(insts[0].b);
+        f.target = insts[n - 1].target;   // predicate true
+        f.target2 = insts[n - 2].target;  // predicate false
+        fused = true;
+      }
+    }
+    if (fused) {
+      f.handler = HandlerFor(static_cast<FastOp>(f.op), f.eval);
+      SpecializeHandler(f);
+      fast.push_back(f);
+      continue;
+    }
+    // Generic fallback: translate the whole chunk (including any leading
+    // restore, which keeps its charge placement) one micro-op at a time.
+    for (std::size_t i = begin; i < end; ++i) {
+      fast.push_back(TranslateMicroOp(code[i]));
+    }
+  }
+
+  // Patch targets: every original target is a chunk head.
+  for (FastInst& inst : fast) {
+    const auto patch = [&](std::int32_t& target) {
+      if (target < 0) {
+        return;
+      }
+      if (static_cast<std::size_t>(target) >= fast_pc_of.size() ||
+          fast_pc_of[static_cast<std::size_t>(target)] < 0) {
+        throw BytecodeError("fused jump target " + std::to_string(target) +
+                            " is not a chunk head");
+      }
+      // Targets are stored pre-scaled to byte offsets so the dispatch loop
+      // indexes the stream with a plain add.
+      target = fast_pc_of[static_cast<std::size_t>(target)] *
+               static_cast<std::int32_t>(sizeof(FastInst));
+    };
+    switch (static_cast<FastOp>(inst.op)) {
+      case FastOp::kAssign:
+      case FastOp::kDecision:
+      case FastOp::kStartJump:
+      case FastOp::kJump:
+      case FastOp::kBranchZ:
+        patch(inst.target);
+        patch(inst.target2);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Release pairs: an assign of pairable shape whose successor is the halt
+  // box fuses with it (the halt instruction stays in place for its other
+  // predecessors). Runs after patching so targets index the fused stream.
+  const auto inst_at = [&](std::int32_t byte_off) -> const FastInst& {
+    return fast[static_cast<std::size_t>(byte_off) / sizeof(FastInst)];
+  };
+  for (FastInst& inst : fast) {
+    if (inst.target < 0 || inst_at(inst.target).handler != kHHaltRelease) {
+      continue;
+    }
+    switch (inst.handler) {
+      case kHAssignReg:
+        inst.handler = kHAssignRegHalt;
+        break;
+      case kHAssignImm:
+        inst.handler = kHAssignImmHalt;
+        break;
+      case kHAssignAddRR:
+        inst.handler = kHAssignAddRRHalt;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Loop pairs: a counted-loop update whose successor is a comparison
+  // decision enters the guard by a direct branch — one dispatch per
+  // iteration for the canonical `i = i ± c; if (i <cmp> k)` back-edge.
+  const auto pair_of = [](std::uint8_t update, std::uint8_t guard) -> std::uint8_t {
+    if (update == kHAssignSubRI) {
+      if (guard == kHDecisionNeRI) return kHSubRIThenNeRI;
+      if (guard == kHDecisionGtRI) return kHSubRIThenGtRI;
+      if (guard == kHDecisionGeRI) return kHSubRIThenGeRI;
+    }
+    if (update == kHAssignAddRI) {
+      if (guard == kHDecisionNeRI) return kHAddRIThenNeRI;
+      if (guard == kHDecisionLtRI) return kHAddRIThenLtRI;
+      if (guard == kHDecisionLeRI) return kHAddRIThenLeRI;
+    }
+    return update;
+  };
+  for (FastInst& inst : fast) {
+    if (inst.target >= 0) {
+      inst.handler = pair_of(inst.handler, inst_at(inst.target).handler);
+    }
+  }
+  return fast;
+}
+
+}  // namespace
+
+CompiledSurveillance CompileSurveillance(const Program& program, VarSet allowed,
+                                         TimingMode timing, LabelDiscipline discipline,
+                                         StepCount fuel) {
+  if (!allowed.SubsetOf(VarSet::FirstN(program.num_inputs()))) {
+    throw ArityError("allow set " + allowed.ToString() + " references inputs beyond arity " +
+                     std::to_string(program.num_inputs()) + " of program '" + program.name() +
+                     "'");
+  }
+  if (const Result<bool> valid = program.Validate(); !valid.ok()) {
+    throw BytecodeError("cannot compile invalid program '" + program.name() +
+                        "': " + valid.error().ToString());
+  }
+  BcSurveillance instr;
+  instr.high_water = discipline == LabelDiscipline::kHighWater;
+  instr.checked_tests = timing == TimingMode::kTimeObservable;
+  instr.scoped_pc = discipline == LabelDiscipline::kNaiveScopedPc;
+  if (instr.scoped_pc) {
+    const Cfg cfg(program);
+    const PostDominators pdom(cfg);
+    instr.ipdom.resize(static_cast<size_t>(program.num_boxes()), -1);
+    for (int b = 0; b < program.num_boxes(); ++b) {
+      instr.ipdom[static_cast<size_t>(b)] = pdom.ImmediatePostDominator(b);
+    }
+  }
+  CompiledSurveillance out;
+  out.code = CompileToBytecode(program, &instr);
+  out.fast = BuildFastCode(out.code, program.num_vars());
+  out.allowed = allowed;
+  out.timing = timing;
+  out.discipline = discipline;
+  out.fuel = fuel;
+  out.num_vars = program.num_vars();
+  out.num_boxes = program.num_boxes();
+  out.num_inputs = program.num_inputs();
+  out.output_var = program.output_var();
+  out.label_seed.assign(static_cast<size_t>(out.num_vars) + 1, 0);
+  for (int i = 0; i < out.num_inputs; ++i) {
+    out.label_seed[static_cast<size_t>(i)] = std::uint64_t{1} << i;
+  }
+  if (!out.fast.empty() && out.fast.front().handler == kHStartJump &&
+      out.fast.front().flags == 0) {
+    out.entry_pc = out.fast.front().target;
+    out.entry_steps = 1;
+    out.entry_box = out.fast.front().source_box;
+  }
+  return out;
+}
+
+Outcome RunCompiled(const CompiledSurveillance& compiled, InputView input, BcScratch& scratch,
+                    ExecFootprint* footprint) {
+  if (static_cast<int>(input.size()) != compiled.num_inputs) {
+    throw ArityError("compiled mechanism expects " + std::to_string(compiled.num_inputs) +
+                     " inputs, got " + std::to_string(input.size()));
+  }
+  if (footprint != nullptr) {
+    footprint->reads = VarSet();
+    footprint->boxes.assign(static_cast<size_t>(compiled.num_boxes), false);
+  }
+  LoadPoint(compiled, input, scratch);
+  Outcome out;
+  RunCore(compiled, scratch, footprint, nullptr, out);
+  return out;
+}
+
+SurveillanceTrace RunCompiledTraced(const CompiledSurveillance& compiled, InputView input) {
+  if (static_cast<int>(input.size()) != compiled.num_inputs) {
+    throw ArityError("compiled mechanism expects " + std::to_string(compiled.num_inputs) +
+                     " inputs, got " + std::to_string(input.size()));
+  }
+  BcScratch scratch;
+  LoadPoint(compiled, input, scratch);
+  std::uint64_t pc_label = 0;
+  SurveillanceTrace trace;
+  RunCore(compiled, scratch, nullptr, &pc_label, trace.outcome);
+  trace.labels.reserve(static_cast<size_t>(compiled.num_vars));
+  for (int v = 0; v < compiled.num_vars; ++v) {
+    trace.labels.push_back(VarSet::FromBits(scratch.labels[static_cast<size_t>(v)]));
+  }
+  trace.pc_label = VarSet::FromBits(pc_label);
+  return trace;
+}
+
+void RunCompiledBlock(const CompiledSurveillance& compiled,
+                      const std::vector<std::vector<Value>>& columns, std::size_t begin,
+                      std::size_t end, BcScratch& scratch, std::vector<Outcome>& out) {
+  if (static_cast<int>(columns.size()) != compiled.num_inputs) {
+    throw ArityError("compiled mechanism expects " + std::to_string(compiled.num_inputs) +
+                     " input columns, got " + std::to_string(columns.size()));
+  }
+  if (begin >= end) {
+    return;
+  }
+  if (compiled.fast.empty()) {
+    throw BytecodeError(
+        "compiled surveillance has no fused code — not produced by CompileSurveillance");
+  }
+  scratch.regs.resize(static_cast<size_t>(compiled.code.num_registers()));
+  scratch.labels.resize(compiled.label_seed.size());
+  // The whole range runs inside one RunCoreImpl activation; outcomes are
+  // written in place (notice capacity reused), so the block loop performs no
+  // per-point allocation and no per-point call-boundary register traffic.
+  BlockRun blk{&columns, begin, end, &out};
+  if (compiled.discipline != LabelDiscipline::kNaiveScopedPc &&
+      compiled.timing != TimingMode::kTimeObservable) {
+    RunCoreImpl<false, true, true>(compiled, scratch, nullptr, nullptr, nullptr, &blk);
+  } else {
+    RunCoreImpl<false, true, false>(compiled, scratch, nullptr, nullptr, nullptr, &blk);
+  }
+}
+
+CompiledSurveillanceMechanism::CompiledSurveillanceMechanism(Program program,
+                                                             VarSet allowed_inputs,
+                                                             TimingMode timing,
+                                                             LabelDiscipline discipline,
+                                                             StepCount fuel)
+    : SurveillanceMechanism(std::move(program), allowed_inputs, timing, discipline, fuel),
+      compiled_(CompileSurveillance(this->program(), allowed_inputs, timing, discipline,
+                                    fuel)) {}
+
+Outcome CompiledSurveillanceMechanism::Run(InputView input) const {
+  // One scratch per thread = one per sweep shard: the register file, label
+  // file, and scope stack are recycled across every point the shard visits.
+  static thread_local BcScratch scratch;
+  return RunCompiled(compiled_, input, scratch);
+}
+
+TrackedOutcome CompiledSurveillanceMechanism::RunTracked(InputView input) const {
+  static thread_local BcScratch scratch;
+  ExecFootprint footprint;
+  Outcome outcome = RunCompiled(compiled_, input, scratch, &footprint);
+  return TrackedOutcome{std::move(outcome), footprint.reads, true, footprint.BoxIds(), true};
+}
+
+}  // namespace secpol

@@ -1,0 +1,223 @@
+// The compiled surveillance fast path (DESIGN.md §15, ROADMAP item 3).
+//
+// CompileSurveillance lowers a flowchart program TOGETHER with its Section 3
+// instrumentation to flat bytecode: the label disciplines become taint-bitset
+// register ops (kLabAssign/kLabAssignHW), the pc label and M′'s pre-test
+// abort become kLabTest/kLabTestChecked, the release check becomes kLabHalt,
+// and the naive scoped-pc restore becomes kLabRestore at the head of every
+// box chunk. The runner below executes that code with observable behaviour
+// bit-identical to SurveillanceMechanism::Run/RunTracked — same outcome kind,
+// value, violation notice, step count, halt semantics, final labels, pc
+// label, and ExecFootprint (reads + executed boxes) — which the differential
+// suite in tests/compiled_test.cc enforces per discipline, timing mode, and
+// fuel boundary.
+//
+// Identity argument, in brief: the compiler emits one chunk per box whose
+// first instruction charges the step (so step counts match by construction),
+// places the box's label op before its value ops (the reference updates
+// labels before evaluating, and label ops never read the environment), and
+// stamps every instruction with its source box (so footprints and halt boxes
+// match). Label joins over a box's free variables use a static mask — the
+// same FreeVars set the reference joins dynamically — and the scoped-pc
+// restore runs at chunk heads exactly where the reference restores at loop
+// tops. The only reordering (restore charging the step before popping rather
+// than after the fuel check) touches no observable state.
+//
+// Performance comes from what the loop no longer does: no AST pointer
+// chasing, no VarSet vector allocation per run, no std::function. A
+// BcScratch holds the register file, label file, and scope stack; one scratch
+// per shard (thread_local in the mechanism, explicit in the block evaluator)
+// hoists all heap churn out of the grid loop, and the SoA block entry point
+// evaluates a contiguous rank range with per-point setup reduced to two
+// memsets and an input scatter.
+//
+// On top of the instrumented bytecode, CompileSurveillance builds a fused
+// instruction stream (FastInst below): each flowchart box whose expression is
+// at most one arithmetic node deep — the overwhelming majority after
+// lowering — becomes a single superinstruction that charges the step, runs
+// the box's label op, evaluates the expression from an inline descriptor
+// (register/immediate operand forms, constants folded through the total
+// arithmetic of arith.h), and transfers control. Boxes with deeper
+// expressions fall back to a 1:1 translation of their bytecode chunk. The
+// runner executes only the fused stream; the identity argument above is
+// unchanged because fusion only removes interpreter dispatch between
+// micro-ops whose effects were already adjacent and independent.
+
+#ifndef SECPOL_SRC_SURVEILLANCE_COMPILED_H_
+#define SECPOL_SRC_SURVEILLANCE_COMPILED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/flowchart/bytecode.h"
+#include "src/surveillance/surveillance.h"
+
+namespace secpol {
+
+// The fused instruction set executed by the surveillance runner. Internal to
+// the fast path — built from the instrumented bytecode by CompileSurveillance
+// and never serialized; the public bytecode vocabulary in bytecode.h is the
+// stable surface.
+enum class FastOp : std::uint8_t {
+  // Fused per-box superinstructions. Each charges exactly one step.
+  kAssign,       // charge; lab-assign(dst, vars_mask); regs[dst] <- eval; pc = target
+  kDecision,     // charge; lab-test(vars_mask); pc = eval != 0 ? target : target2
+  kHaltRelease,  // charge; release y iff (labels[y] | C) subset of allowed
+  kStartJump,    // charge; pc = target
+  // Generic fallback for boxes whose expression needs temporaries: a 1:1
+  // translation of the bytecode chunk. Label/restore ops charge per flag.
+  kConst, kMov, kUnary, kBinary, kSelect, kJump, kBranchZ,
+  kLabAssign, kLabTest, kLabRestore,
+};
+
+// How a fused op computes its value (assign) or predicate (decision).
+enum class FastEval : std::uint8_t {
+  kImm,       // imm (also: constant-folded subtrees)
+  kReg,       // regs[a]
+  kUnaryReg,  // unary_op regs[a]
+  kBinRR,     // regs[a] op regs[b]
+  kBinRI,     // regs[a] op imm
+  kBinIR,     // imm op regs[b]
+  kSel,       // regs[a] != 0 ? regs[b] : regs[c]
+};
+
+inline constexpr std::uint8_t kFFlagRestore = 1;  // pop scoped-pc frames first
+inline constexpr std::uint8_t kFFlagHW = 2;       // assign joins the old label
+inline constexpr std::uint8_t kFFlagChecked = 4;  // M': abort before the test
+inline constexpr std::uint8_t kFFlagCharges = 8;  // generic label op charges the step
+
+// The runner's dispatch token: (FastOp, FastEval) composed into one byte by
+// the builder so each instruction resolves with a single indirect jump. The
+// fused assign/decision blocks are laid out so `kHAssignImm + eval` /
+// `kHDecisionImm + eval` index the specialized handler.
+enum FastHandler : std::uint8_t {
+  kHAssignImm, kHAssignReg, kHAssignUnary, kHAssignRR, kHAssignRI, kHAssignIR, kHAssignSel,
+  kHDecisionImm, kHDecisionReg, kHDecisionUnary, kHDecisionRR, kHDecisionRI, kHDecisionIR,
+  kHDecisionSel,
+  kHHaltRelease, kHStartJump,
+  kHConst, kHMov, kHUnary, kHBinary, kHSelect, kHJump, kHBranchZ,
+  kHLabAssign, kHLabTest, kHLabRestore,
+  // Arith-specialized variants of the fused binary forms. The builder
+  // upgrades the generic tokens above when the operator matches, so the hot
+  // loop evaluates `regs[a] - imm` or `regs[a] != imm` directly instead of
+  // routing every instruction through EvalBinaryOp's 18-way switch — loop
+  // counters and guard comparisons are exactly these shapes.
+  kHAssignAddRR, kHAssignSubRR, kHAssignAddRI, kHAssignSubRI,
+  kHDecisionEqRI, kHDecisionNeRI, kHDecisionLtRI, kHDecisionLeRI,
+  kHDecisionGtRI, kHDecisionGeRI,
+  kHDecisionEqRR, kHDecisionNeRR, kHDecisionLtRR,
+  // Release-pair variants: an assign whose successor is the halt box runs
+  // both boxes in one activation (the halt body is entered by a direct
+  // branch, not a dispatch). Every program ends with `y = ...; halt`, so
+  // this trims one dispatch from every point.
+  kHAssignRegHalt, kHAssignImmHalt, kHAssignAddRRHalt,
+  // Loop-pair variants: a counted-loop update (`i = i ± c`) whose successor
+  // is a comparison decision enters the decision body directly, making the
+  // whole back-edge one dispatch per iteration.
+  kHSubRIThenNeRI, kHSubRIThenGtRI, kHSubRIThenGeRI,
+  kHAddRIThenNeRI, kHAddRIThenLtRI, kHAddRIThenLeRI,
+  kHNumHandlers,
+};
+
+struct FastInst {
+  std::uint64_t vars_mask = 0;  // FreeVars bits joined by the label op
+  Value imm = 0;
+  std::int32_t target = -1;   // jump / branch-true successor (byte offset)
+  std::int32_t target2 = -1;  // decision branch-false successor (byte offset)
+  std::int16_t dst = -1;
+  std::int16_t a = -1;
+  std::int16_t b = -1;
+  std::int16_t c = -1;
+  std::int16_t source_box = -1;
+  std::int16_t scope_box = -1;  // decision: scoped-pc join box, or -1
+  // The label join, decomposed: fused boxes join at most two variables (the
+  // builder refuses to fuse wider masks), and unused slots point at the label
+  // file's hardwired zero slot — so the hot loop computes
+  // `labels[lab1] | labels[lab2]` with no loop and no branch.
+  std::int16_t lab1 = 0;
+  std::int16_t lab2 = 0;
+  std::uint8_t op = 0;       // FastOp
+  std::uint8_t eval = 0;     // FastEval (fused ops only)
+  std::uint8_t arith = 0;    // UnaryOp / BinaryOp ordinal for eval
+  std::uint8_t flags = 0;    // kFFlag*
+  std::uint8_t handler = 0;  // FastHandler: the runner's dispatch token
+};
+
+// An instrumented bytecode program plus everything the runner needs to
+// reproduce the reference mechanism's observable behaviour.
+struct CompiledSurveillance {
+  BytecodeProgram code;        // the instrumented bytecode (debug surface)
+  std::vector<FastInst> fast;  // the fused stream the runner executes
+  // Initial label file (singleton labels for the inputs, zeros elsewhere,
+  // including the fused join's zero slot): per-point setup is one memcpy.
+  std::vector<std::uint64_t> label_seed;
+  VarSet allowed;
+  TimingMode timing = TimingMode::kTimeUnobservable;
+  LabelDiscipline discipline = LabelDiscipline::kSurveillance;
+  StepCount fuel = kDefaultFuel;
+  // Entry elision: when the program opens with a plain start-jump box, the
+  // runner begins each point at `entry_pc` with `entry_steps` pre-charged
+  // (and `entry_box` pre-marked in tracked mode) instead of dispatching the
+  // jump — unless fuel < entry_steps, in which case it starts at 0 so
+  // exhaustion reports the exact step.
+  std::int32_t entry_pc = 0;
+  StepCount entry_steps = 0;
+  std::int16_t entry_box = -1;
+  int num_vars = 0;    // label file size
+  int num_boxes = 0;   // footprint bitmap size
+  int num_inputs = 0;
+  int output_var = 0;  // y's label slot (also the output register)
+};
+
+// Compiles `program` with the instrumentation for (timing, discipline).
+// Throws BytecodeError on an invalid program and ArityError if `allowed`
+// references inputs beyond the program's arity — the same fail-closed
+// vocabulary as the reference mechanism's constructor.
+CompiledSurveillance CompileSurveillance(
+    const Program& program, VarSet allowed,
+    TimingMode timing = TimingMode::kTimeUnobservable,
+    LabelDiscipline discipline = LabelDiscipline::kSurveillance,
+    StepCount fuel = kDefaultFuel);
+
+// Executes one input. With a non-null `footprint`, also records the tracked
+// reads and executed boxes exactly as the reference RunTracked does. The
+// scratch is resized as needed and reusable across points and programs.
+Outcome RunCompiled(const CompiledSurveillance& compiled, InputView input, BcScratch& scratch,
+                    ExecFootprint* footprint = nullptr);
+
+// Executes one input and returns the full instrumented state at exit —
+// outcome, final labels, final pc label — for the trace-parity tests.
+SurveillanceTrace RunCompiledTraced(const CompiledSurveillance& compiled, InputView input);
+
+// Block evaluator over an SoA input layout: `columns[i][r]` is coordinate i
+// of point r. Evaluates ranks [begin, end) into out[begin..end), reusing one
+// scratch for the whole block.
+void RunCompiledBlock(const CompiledSurveillance& compiled,
+                      const std::vector<std::vector<Value>>& columns, std::size_t begin,
+                      std::size_t end, BcScratch& scratch, std::vector<Outcome>& out);
+
+// The reference mechanism with its Run/RunTracked routed through the
+// compiled fast path. Reports render byte-identically by construction: the
+// name, arity, and outcome vocabulary are inherited, and the runner is
+// bit-identical to the base class's interpreter (enforced by the
+// differential suite). Selected by jobs with exec_mode == "compiled".
+class CompiledSurveillanceMechanism : public SurveillanceMechanism {
+ public:
+  CompiledSurveillanceMechanism(Program program, VarSet allowed_inputs,
+                                TimingMode timing = TimingMode::kTimeUnobservable,
+                                LabelDiscipline discipline = LabelDiscipline::kSurveillance,
+                                StepCount fuel = kDefaultFuel);
+
+  Outcome Run(InputView input) const override;
+  TrackedOutcome RunTracked(InputView input) const override;
+
+  const CompiledSurveillance& compiled() const { return compiled_; }
+
+ private:
+  CompiledSurveillance compiled_;
+};
+
+}  // namespace secpol
+
+#endif  // SECPOL_SRC_SURVEILLANCE_COMPILED_H_

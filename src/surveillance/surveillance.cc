@@ -1,6 +1,6 @@
 #include "src/surveillance/surveillance.h"
 
-#include <cassert>
+#include <string>
 
 #include "src/staticflow/cfg.h"
 #include "src/staticflow/dominance.h"
@@ -37,7 +37,13 @@ SurveillanceMechanism::SurveillanceMechanism(Program program, VarSet allowed_inp
       timing_(timing),
       discipline_(discipline),
       fuel_(fuel) {
-  assert(allowed_.SubsetOf(VarSet::FirstN(program_.num_inputs())));
+  if (!allowed_.SubsetOf(VarSet::FirstN(program_.num_inputs()))) {
+    // The allow set arrives from manifests and the wire; reject indices
+    // beyond the program's inputs instead of silently tracking phantoms.
+    throw ArityError("allow set " + allowed_.ToString() + " references inputs beyond arity " +
+                     std::to_string(program_.num_inputs()) + " of program '" +
+                     program_.name() + "'");
+  }
   if (discipline_ == LabelDiscipline::kNaiveScopedPc) {
     const Cfg cfg(program_);
     const PostDominators pdom(cfg);
@@ -68,7 +74,11 @@ TrackedOutcome SurveillanceMechanism::RunTracked(InputView input) const {
 
 SurveillanceTrace SurveillanceMechanism::RunTracedImpl(InputView input,
                                                        ExecFootprint* footprint) const {
-  assert(static_cast<int>(input.size()) == program_.num_inputs());
+  if (static_cast<int>(input.size()) != program_.num_inputs()) {
+    throw ArityError("mechanism '" + name() + "' expects " +
+                     std::to_string(program_.num_inputs()) + " inputs, got " +
+                     std::to_string(input.size()));
+  }
 
   std::vector<Value> env(program_.num_vars(), 0);
   std::vector<VarSet> labels(program_.num_vars());

@@ -386,12 +386,16 @@ std::optional<CheckJobSpec> JobSpecFromFlags(const ParsedArgs& args, CheckerKind
 int CmdCheck(const ParsedArgs& args, std::string* out, std::string* err) {
   // --sweep-mode=class routes the verb through the job layer, whose class
   // sweep covers certified equivalence classes from one representative run
-  // (DESIGN.md §14). A completed run's stdout and exit code are
-  // byte-identical to the default point path — that identity is the class
-  // sweep's core contract and is locked by tests/cli_test.cc and the
-  // scenario matrix.
+  // (DESIGN.md §14), and --exec-mode=compiled routes it there too so the
+  // job layer can build the bytecode fast path (DESIGN.md §15). A completed
+  // run's stdout and exit code are byte-identical to the default
+  // point/interpreted path — those identities are the modes' core contracts
+  // and are locked by tests/cli_test.cc and the scenario matrix.
+  const auto cmd_check_exec_mode = FlagValue(args, "exec-mode");
+  const bool job_routed_exec =
+      cmd_check_exec_mode.has_value() && *cmd_check_exec_mode != "interpreted";
   if (const auto sweep_mode = FlagValue(args, "sweep-mode");
-      sweep_mode.has_value() && *sweep_mode != "point") {
+      (sweep_mode.has_value() && *sweep_mode != "point") || job_routed_exec) {
     const std::optional<CheckJobSpec> spec =
         JobSpecFromFlags(args, CheckerKind::kSoundness, err);
     if (!spec.has_value()) {
@@ -534,11 +538,11 @@ int CmdBatch(const ParsedArgs& args, std::string* out, std::string* err) {
 // manifest, and the cache all render the identical bytes.
 // Builds a CheckJobSpec from the checking verbs' shared flag vocabulary
 // (--allow / --allow2 / --mechanism / --mechanism2 / --grid / --time /
-// --threads / --deadline-ms / --fault-spec / --retries / --sweep-mode),
-// validating every flag with the verbs' own error style before the job
-// layer re-validates. Shared by `audit` (always job-routed) and `check`
-// (job-routed under --sweep-mode=class), so both verbs parse each flag —
-// and misparse each flag — identically.
+// --threads / --deadline-ms / --fault-spec / --retries / --sweep-mode /
+// --exec-mode), validating every flag with the verbs' own error style
+// before the job layer re-validates. Shared by `audit` (always job-routed)
+// and `check` (job-routed under --sweep-mode=class or --exec-mode=compiled),
+// so both verbs parse each flag — and misparse each flag — identically.
 std::optional<CheckJobSpec> JobSpecFromFlags(const ParsedArgs& args, CheckerKind checker,
                                              std::string* err) {
   if (args.file.empty()) {
@@ -613,6 +617,12 @@ std::optional<CheckJobSpec> JobSpecFromFlags(const ParsedArgs& args, CheckerKind
     return std::nullopt;
   }
   spec.sweep_mode = sweep_mode;
+  const std::string exec_mode = FlagValue(args, "exec-mode").value_or("interpreted");
+  if (exec_mode != "interpreted" && exec_mode != "compiled") {
+    *err += "bad --exec-mode value '" + exec_mode + "' (expected interpreted or compiled)\n";
+    return std::nullopt;
+  }
+  spec.exec_mode = exec_mode;
   return spec;
 }
 
@@ -1133,7 +1143,14 @@ int CmdBytecode(const ParsedArgs& args, std::string* out, std::string* err) {
   if (!program.has_value()) {
     return 1;
   }
-  *out += CompileToBytecode(*program).ToString();
+  // The compiler fails closed on programs its validity audit rejects; in
+  // Release builds that surfaces as a typed BytecodeError, not an assert.
+  try {
+    *out += CompileToBytecode(*program).ToString();
+  } catch (const BytecodeError& error) {
+    *err += std::string("bytecode: ") + error.what() + "\n";
+    return 1;
+  }
   return 0;
 }
 

@@ -8,6 +8,7 @@
 //       Run it under a surveillance mechanism.
 //   secpol check <file.fl> --allow=0,2 [--grid=lo:hi] [--time] [--mechanism=M]
 //                [--threads=N] [--sweep-mode=point|class]
+//                [--exec-mode=interpreted|compiled]
 //       Exhaustive soundness verdict; M in {surveillance, mprime, highwater,
 //       bare, static, residual}. --threads=N evaluates the grid on N worker
 //       threads (0 = one per hardware thread, 1 = serial); the verdict and
@@ -15,6 +16,9 @@
 //       --sweep-mode=class evaluates one tracked representative per policy
 //       equivalence class and covers certified classes by copy (DESIGN.md
 //       §14); completed output is byte-identical to the point sweep.
+//       --exec-mode=compiled runs surveillance-family mechanisms as
+//       instrumented bytecode (DESIGN.md §15); output is byte-identical to
+//       the interpreted path.
 //   secpol fuzz [--seed=N] [--iterations=N] [--budget-ms=N] [--threads=N]
 //               [--out-dir=DIR] [--replay=witness.json]
 //       Coverage-guided disagreement fuzzer over the seeded corpus. Exit 0

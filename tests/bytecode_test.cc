@@ -87,6 +87,83 @@ TEST(BytecodeTest, ToStringListsInstructions) {
   EXPECT_NE(text.find("jump"), std::string::npos);
 }
 
+// --------------------------------------------------------------------------
+// Fail-closed typed errors. These run identically in Release builds (no
+// NDEBUG stripping): the guards are thrown, not asserted.
+
+TEST(BytecodeTest, RunRejectsWrongArityWithTypedError) {
+  const Program q = MustCompile("program q(a, b) { y = a + b; }");
+  const BytecodeProgram bc = CompileToBytecode(q);
+  EXPECT_THROW(RunBytecode(bc, Input{1}), ArityError);
+  EXPECT_THROW(RunBytecode(bc, Input{1, 2, 3}), ArityError);
+  try {
+    RunBytecode(bc, Input{1});
+    FAIL() << "expected ArityError";
+  } catch (const ArityError& error) {
+    EXPECT_NE(std::string(error.what()).find("expects 2 inputs"), std::string::npos);
+  }
+}
+
+TEST(BytecodeTest, CompileRejectsInvalidProgramWithTypedError) {
+  // A hand-built program whose start box points at an out-of-range successor
+  // fails validation; the compiler must throw rather than emit garbage code.
+  Program broken("broken", {"a"}, {});
+  Box start;
+  start.kind = Box::Kind::kStart;
+  start.next = 42;
+  broken.AddBox(start);
+  ASSERT_FALSE(broken.Validate().ok());
+  EXPECT_THROW(CompileToBytecode(broken), BytecodeError);
+}
+
+TEST(BytecodeTest, PlainRunnerRejectsInstrumentedCode) {
+  // Code carrying surveillance label ops must not run on the plain runner —
+  // it would silently skip the release check.
+  const Program q = MustCompile("program q(a, b) { y = a; }");
+  BcSurveillance instr;
+  const BytecodeProgram surveilled = CompileToBytecode(q, &instr);
+  EXPECT_TRUE(surveilled.instrumented());
+  EXPECT_THROW(RunBytecode(surveilled, Input{1, 2}), BytecodeError);
+}
+
+TEST(BytecodeTest, CallerSuppliedScratchMatchesAndIsReusable) {
+  const Program q = MustCompile(
+      "program q(n) { locals c; c = n; while (c != 0) { y = y + c; c = c - 1; } }");
+  const Program r = MustCompile("program r(a, b) { y = (a + b) * (a - b); }");
+  const BytecodeProgram bq = CompileToBytecode(q);
+  const BytecodeProgram br = CompileToBytecode(r);
+  BcScratch scratch;
+  for (Value n : {0, 3, 9}) {
+    const ExecResult ref = RunProgram(q, Input{n});
+    const ExecResult got = RunBytecode(bq, Input{n}, scratch);
+    EXPECT_EQ(ref.output, got.output);
+    EXPECT_EQ(ref.steps, got.steps);
+    EXPECT_EQ(ref.halt_box, got.halt_box);
+  }
+  // The same scratch serves a different program (different register count).
+  EXPECT_EQ(RunBytecode(br, Input{6, 2}, scratch).output, RunProgram(r, Input{6, 2}).output);
+}
+
+// --------------------------------------------------------------------------
+// Fuel boundaries: interpreter ≡ bytecode at fuel 0, at exactly the halting
+// step count, one below it, and mid-run exhaustion.
+
+TEST(BytecodeTest, FuelBoundaryDifferentials) {
+  const Program q = MustCompile(
+      "program q(n) { locals c; c = n; while (c != 0) { y = y + c; c = c - 1; } }");
+  const BytecodeProgram bc = CompileToBytecode(q);
+  const StepCount halting_steps = RunProgram(q, Input{5}).steps;
+  for (StepCount fuel : {StepCount{0}, StepCount{1}, halting_steps - 1, halting_steps,
+                         halting_steps + 1, kDefaultFuel}) {
+    const ExecResult ref = RunProgram(q, Input{5}, fuel);
+    const ExecResult got = RunBytecode(bc, Input{5}, fuel);
+    EXPECT_EQ(ref.halted, got.halted) << "fuel " << fuel;
+    EXPECT_EQ(ref.output, got.output) << "fuel " << fuel;
+    EXPECT_EQ(ref.steps, got.steps) << "fuel " << fuel;
+    EXPECT_EQ(ref.halt_box, got.halt_box) << "fuel " << fuel;
+  }
+}
+
 class BytecodeDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BytecodeDifferentialTest, MatchesInterpreterOnRandomPrograms) {

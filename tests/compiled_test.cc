@@ -1,0 +1,305 @@
+// Differential tests for the compiled surveillance fast path (DESIGN.md §15):
+// RunCompiled / RunCompiledTraced / the block evaluator / the
+// CompiledSurveillanceMechanism must be bit-identical to the reference
+// SurveillanceMechanism on every observable — outcome kind, value, violation
+// notice, step count, final labels, pc label, and the tracked footprint —
+// across disciplines, timing modes, fuel boundaries, and whole job reports.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/corpus/generator.h"
+#include "src/flowchart/bytecode.h"
+#include "src/flowchart/interpreter.h"
+#include "src/flowlang/lower.h"
+#include "src/mechanism/domain.h"
+#include "src/service/job.h"
+#include "src/service/manifest.h"
+#include "src/surveillance/compiled.h"
+#include "src/surveillance/surveillance.h"
+#include "src/util/json.h"
+#include "src/util/strings.h"
+
+namespace secpol {
+namespace {
+
+void ExpectSameOutcome(const Outcome& ref, const Outcome& got, const std::string& where) {
+  EXPECT_EQ(ref.kind, got.kind) << where;
+  EXPECT_EQ(ref.value, got.value) << where;
+  EXPECT_EQ(ref.steps, got.steps) << where;
+  EXPECT_EQ(ref.notice, got.notice) << where;
+}
+
+// Runs the reference and compiled mechanisms over the whole domain and
+// compares every observable, including traces and tracked footprints.
+void ExpectCompiledMatchesReference(const Program& program, VarSet allowed, TimingMode timing,
+                                    LabelDiscipline discipline, const InputDomain& domain,
+                                    StepCount fuel = kDefaultFuel) {
+  const SurveillanceMechanism reference(program, allowed, timing, discipline, fuel);
+  const CompiledSurveillance compiled =
+      CompileSurveillance(program, allowed, timing, discipline, fuel);
+  BcScratch scratch;
+  domain.ForEach([&](InputView input) {
+    const std::string where = program.name() + " " + LabelDisciplineName(discipline) + "/" +
+                              TimingModeName(timing) + FormatInput(input);
+    ExpectSameOutcome(reference.Run(input), RunCompiled(compiled, input, scratch), where);
+
+    const SurveillanceTrace ref_trace = reference.RunTraced(input);
+    const SurveillanceTrace got_trace = RunCompiledTraced(compiled, input);
+    ExpectSameOutcome(ref_trace.outcome, got_trace.outcome, where + " (traced)");
+    EXPECT_EQ(ref_trace.pc_label, got_trace.pc_label) << where;
+    ASSERT_EQ(ref_trace.labels.size(), got_trace.labels.size()) << where;
+    for (std::size_t v = 0; v < ref_trace.labels.size(); ++v) {
+      EXPECT_EQ(ref_trace.labels[v], got_trace.labels[v]) << where << " var " << v;
+    }
+
+    const TrackedOutcome ref_tracked = reference.RunTracked(input);
+    const TrackedOutcome got_tracked =
+        CompiledSurveillanceMechanism(program, allowed, timing, discipline, fuel)
+            .RunTracked(input);
+    ExpectSameOutcome(ref_tracked.outcome, got_tracked.outcome, where + " (tracked)");
+    EXPECT_EQ(ref_tracked.reads, got_tracked.reads) << where;
+    EXPECT_EQ(ref_tracked.exact, got_tracked.exact) << where;
+    EXPECT_EQ(ref_tracked.boxes, got_tracked.boxes) << where;
+    EXPECT_EQ(ref_tracked.boxes_exact, got_tracked.boxes_exact) << where;
+  });
+}
+
+// Programs chosen to exercise every instrumented construct: straight-line
+// releases, implicit flows through branches, loops (step counts and the
+// scoped-pc restore point), halts on both arms, and self-assignments (the
+// high-water vs overwrite distinction).
+const char* const kPrograms[] = {
+    "program release(pub, sec) { y = pub; }",
+    "program leak(pub, sec) { y = sec; }",
+    "program implicit(pub, sec) { if (sec > 0) { y = 1; } else { y = 0; } }",
+    "program loop(pub, sec) { locals c; c = pub; while (c > 0) { y = y + sec; c = c - 1; } }",
+    "program twohalt(pub, sec) { if (pub == 0) { y = 7; halt; } y = sec; }",
+    "program forget(pub, sec) { locals t; t = sec; t = pub; y = t; }",
+};
+
+TEST(CompiledSurveillanceTest, MatchesReferenceAcrossDisciplinesAndTimings) {
+  const InputDomain domain = InputDomain::Uniform(2, {-1, 0, 1, 2});
+  for (const char* text : kPrograms) {
+    const Program program = MustCompile(text);
+    for (const VarSet allowed : {VarSet::Empty(), VarSet::Singleton(0), VarSet::FirstN(2)}) {
+      for (const TimingMode timing :
+           {TimingMode::kTimeUnobservable, TimingMode::kTimeObservable}) {
+        for (const LabelDiscipline discipline :
+             {LabelDiscipline::kSurveillance, LabelDiscipline::kHighWater,
+              LabelDiscipline::kNaiveScopedPc}) {
+          ExpectCompiledMatchesReference(program, allowed, timing, discipline, domain);
+        }
+      }
+    }
+  }
+}
+
+TEST(CompiledSurveillanceTest, MatchesReferenceOnRandomCorpus) {
+  CorpusConfig config;
+  config.num_inputs = 3;
+  const InputDomain domain = InputDomain::Uniform(3, {-1, 0, 2});
+  for (std::uint64_t seed = 8100; seed < 8130; ++seed) {
+    const Program program = Lower(GenerateProgram(config, seed, "cmp"));
+    ExpectCompiledMatchesReference(program, VarSet::Singleton(0),
+                                   TimingMode::kTimeUnobservable,
+                                   LabelDiscipline::kSurveillance, domain);
+    ExpectCompiledMatchesReference(program, VarSet::FirstN(2), TimingMode::kTimeObservable,
+                                   LabelDiscipline::kHighWater, domain);
+    ExpectCompiledMatchesReference(program, VarSet::Singleton(1),
+                                   TimingMode::kTimeUnobservable,
+                                   LabelDiscipline::kNaiveScopedPc, domain);
+  }
+}
+
+TEST(CompiledSurveillanceTest, FuelBoundariesMatchReference) {
+  const Program program = MustCompile(
+      "program loop(pub, sec) { locals c; c = pub; while (c > 0) { y = y + sec; c = c - 1; } "
+      "}");
+  const InputDomain domain = InputDomain::Uniform(2, {0, 3, 7});
+  const SurveillanceMechanism probe(program, VarSet::Singleton(0));
+  const StepCount halting = probe.Run(Input{3, 1}).steps;
+  for (const StepCount fuel :
+       {StepCount{0}, StepCount{1}, halting - 1, halting, halting + 1}) {
+    for (const LabelDiscipline discipline :
+         {LabelDiscipline::kSurveillance, LabelDiscipline::kNaiveScopedPc}) {
+      ExpectCompiledMatchesReference(program, VarSet::Singleton(0),
+                                     TimingMode::kTimeUnobservable, discipline, domain, fuel);
+    }
+    ExpectCompiledMatchesReference(program, VarSet::Singleton(0),
+                                   TimingMode::kTimeObservable,
+                                   LabelDiscipline::kSurveillance, domain, fuel);
+  }
+}
+
+TEST(CompiledSurveillanceTest, MPrimeAbortsBeforeTheTest) {
+  // Testing on sec under M' with allow({pub}) must abort with the reference's
+  // notice, steps, and footprint — before the branch is taken.
+  const Program program =
+      MustCompile("program implicit(pub, sec) { if (sec > 0) { y = 1; } else { y = 0; } }");
+  const CompiledSurveillance compiled = CompileSurveillance(
+      program, VarSet::Singleton(0), TimingMode::kTimeObservable);
+  BcScratch scratch;
+  const Outcome got = RunCompiled(compiled, Input{0, 5}, scratch);
+  EXPECT_TRUE(got.IsViolation());
+  EXPECT_EQ(got.notice, "test on disallowed data");
+  const SurveillanceMechanism reference(program, VarSet::Singleton(0),
+                                        TimingMode::kTimeObservable);
+  ExpectSameOutcome(reference.Run(Input{0, 5}), got, "mprime abort");
+}
+
+TEST(CompiledSurveillanceTest, BlockEvaluatorMatchesPointRuns) {
+  const Program program = MustCompile(
+      "program loop(pub, sec) { locals c; c = pub; while (c > 0) { y = y + sec; c = c - 1; } "
+      "}");
+  const CompiledSurveillance compiled =
+      CompileSurveillance(program, VarSet::Singleton(0));
+  const InputDomain domain = InputDomain::Uniform(2, {-1, 0, 1, 2});
+
+  // Build the SoA columns in rank order.
+  std::vector<std::vector<Value>> columns(2);
+  domain.ForEach([&](InputView input) {
+    columns[0].push_back(input[0]);
+    columns[1].push_back(input[1]);
+  });
+  const std::size_t total = columns[0].size();
+  std::vector<Outcome> block(total);
+  BcScratch scratch;
+  RunCompiledBlock(compiled, columns, 0, total, scratch, block);
+
+  std::size_t rank = 0;
+  domain.ForEach([&](InputView input) {
+    ExpectSameOutcome(RunCompiled(compiled, input, scratch), block[rank],
+                      "rank " + std::to_string(rank));
+    ++rank;
+  });
+}
+
+TEST(CompiledSurveillanceTest, MechanismNameAndArityMatchReference) {
+  const Program program = MustCompile("program p(pub, sec) { y = pub; }");
+  for (const LabelDiscipline discipline :
+       {LabelDiscipline::kSurveillance, LabelDiscipline::kHighWater}) {
+    const SurveillanceMechanism reference(program, VarSet::Singleton(0),
+                                          TimingMode::kTimeUnobservable, discipline);
+    const CompiledSurveillanceMechanism compiled(program, VarSet::Singleton(0),
+                                                 TimingMode::kTimeUnobservable, discipline);
+    EXPECT_EQ(reference.name(), compiled.name());
+    EXPECT_EQ(reference.num_inputs(), compiled.num_inputs());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fail-closed behaviour (typed errors; never NDEBUG-stripped).
+
+TEST(CompiledSurveillanceTest, RejectsOutOfRangeAllowSet) {
+  const Program program = MustCompile("program p(a) { y = a; }");
+  EXPECT_THROW(CompileSurveillance(program, VarSet::Singleton(3)), ArityError);
+}
+
+TEST(CompiledSurveillanceTest, RejectsWrongArityInput) {
+  const Program program = MustCompile("program p(a, b) { y = a; }");
+  const CompiledSurveillance compiled = CompileSurveillance(program, VarSet::Singleton(0));
+  BcScratch scratch;
+  EXPECT_THROW(RunCompiled(compiled, Input{1}, scratch), ArityError);
+  EXPECT_THROW(RunCompiledTraced(compiled, Input{1, 2, 3}), ArityError);
+  std::vector<Outcome> out(1);
+  EXPECT_THROW(
+      RunCompiledBlock(compiled, std::vector<std::vector<Value>>(1), 0, 1, scratch, out),
+      ArityError);
+}
+
+// --------------------------------------------------------------------------
+// Job-level identity: the "compiled" exec mode produces byte-identical
+// reports for every checker at every thread count, and contributes a cache
+// sub-key (so compiled bytes can never be served to interpreted callers).
+
+CheckJobSpec CompiledJobSpec(const std::string& mechanism) {
+  CheckJobSpec spec;
+  spec.id = "exec-mode-test";
+  spec.program_text =
+      "program p(pub, sec) { locals c; c = pub; while (c > 0) { y = y + sec; c = c - 1; } }";
+  spec.allow = VarSet::Singleton(0);
+  spec.allow2 = VarSet::FirstN(2);
+  spec.mechanism = mechanism;
+  spec.mechanism2 = "bare";
+  spec.grid_lo = -1;
+  spec.grid_hi = 2;
+  return spec;
+}
+
+TEST(ExecModeJobTest, CompiledReportsAreByteIdenticalAcrossCheckersAndThreads) {
+  for (const CheckerKind checker :
+       {CheckerKind::kSoundness, CheckerKind::kIntegrity, CheckerKind::kCompleteness,
+        CheckerKind::kMaximal, CheckerKind::kPolicyCompare, CheckerKind::kLeak,
+        CheckerKind::kAudit}) {
+    for (const char* mechanism : {"surveillance", "mprime", "highwater", "table"}) {
+      for (const int threads : {1, 2, 7}) {
+        CheckJobSpec interpreted = CompiledJobSpec(mechanism);
+        interpreted.checker = checker;
+        interpreted.num_threads = threads;
+        CheckJobSpec compiled = interpreted;
+        compiled.exec_mode = "compiled";
+
+        const JobResult ref = ExecuteJob(interpreted);
+        const JobResult got = ExecuteJob(compiled);
+        const std::string where = CheckerKindName(checker) + "/" + mechanism + "/t" +
+                                  std::to_string(threads);
+        ASSERT_EQ(ref.status, JobStatus::kCompleted) << where;
+        ASSERT_EQ(got.status, JobStatus::kCompleted) << where;
+        EXPECT_EQ(ref.report, got.report) << where;
+        EXPECT_EQ(ref.exit_code, got.exit_code) << where;
+        EXPECT_EQ(ref.evaluated, got.evaluated) << where;
+      }
+    }
+  }
+}
+
+TEST(ExecModeJobTest, CompiledModeContributesACacheSubKey) {
+  CheckJobSpec interpreted = CompiledJobSpec("surveillance");
+  CheckJobSpec compiled = interpreted;
+  compiled.exec_mode = "compiled";
+  const Result<PreparedJob> a = PrepareJob(interpreted);
+  const Result<PreparedJob> b = PrepareJob(compiled);
+  ASSERT_TRUE(a.ok()) << a.error().ToString();
+  ASSERT_TRUE(b.ok()) << b.error().ToString();
+  EXPECT_NE(a.value().key, b.value().key);
+}
+
+TEST(ExecModeJobTest, InvalidExecModeIsRejected) {
+  CheckJobSpec spec = CompiledJobSpec("surveillance");
+  spec.exec_mode = "jit";
+  const Result<PreparedJob> prepared = PrepareJob(spec);
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_NE(prepared.error().ToString().find("exec_mode"), std::string::npos);
+}
+
+TEST(ExecModeJobTest, ManifestRoundTripsExecModeAndRejectsBadValues) {
+  CheckJobSpec spec = CompiledJobSpec("surveillance");
+  spec.exec_mode = "compiled";
+  const Json rendered = CheckJobSpecToJson(spec);
+  const Json* exec_mode = rendered.Find("exec_mode");
+  ASSERT_NE(exec_mode, nullptr);
+  EXPECT_EQ(exec_mode->AsString(), "compiled");
+
+  // The default is omitted, keeping pre-exec-mode manifest bytes intact.
+  CheckJobSpec defaulted = CompiledJobSpec("surveillance");
+  EXPECT_EQ(CheckJobSpecToJson(defaulted).Find("exec_mode"), nullptr);
+
+  const std::string manifest = R"({"jobs": [{"id": "j", "checker": "soundness",
+    "program": "program p(a) { y = a; }", "allow": [0], "exec_mode": "jit"}]})";
+  const Result<BatchManifest> parsed = ParseBatchManifest(manifest);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().ToString().find("exec_mode"), std::string::npos);
+
+  const std::string good = R"({"jobs": [{"id": "j", "checker": "soundness",
+    "program": "program p(a) { y = a; }", "allow": [0], "exec_mode": "compiled"}]})";
+  const Result<BatchManifest> ok = ParseBatchManifest(good);
+  ASSERT_TRUE(ok.ok()) << ok.error().ToString();
+  ASSERT_EQ(ok.value().jobs.size(), 1u);
+  EXPECT_EQ(ok.value().jobs[0].exec_mode, "compiled");
+}
+
+}  // namespace
+}  // namespace secpol

@@ -3,7 +3,7 @@
 // battery. Registered under the `scenario` ctest label (tests/CMakeLists.txt)
 // so `ctest -L scenario` runs exactly this sweep.
 //
-// The matrix is sharded by the program axis — six bundles of 1728 scenarios —
+// The matrix is sharded by the program axis — six bundles of 3456 scenarios —
 // so a failure names both the offending scenario (in the violation line) and
 // a narrow bundle to re-run, and no single test body monopolizes a runner.
 
@@ -28,7 +28,7 @@ TEST_P(ScenarioMatrixTest, BundleHoldsEveryInvariant) {
       bundle.push_back(std::move(scenario));
     }
   }
-  ASSERT_EQ(bundle.size(), 1728u) << prefix;
+  ASSERT_EQ(bundle.size(), 3456u) << prefix;
 
   ScenarioRunner runner;
   const ScenarioSummary summary = runner.RunAll(bundle);

@@ -3,7 +3,7 @@
 // battery, the witness minimizer, and a seeded fuzzer smoke run with
 // end-to-end witness replay.
 //
-// The full 10368-scenario differential sweep lives in scenario_matrix_test.cc
+// The full 20736-scenario differential sweep lives in scenario_matrix_test.cc
 // under the `scenario` ctest label; this file is tier-1 and keeps to samples.
 
 #include <gtest/gtest.h>
@@ -57,9 +57,9 @@ TEST(ScenarioEngineTest, CrossProductOrderAndNamesOnTinyAxes) {
 TEST(ScenarioEngineTest, DefaultMatrixShapeAndUniqueNames) {
   const std::vector<Scenario> scenarios = MakeScenarios(DefaultAxes());
   // 6 programs x 4 policies x 4 mechanisms x 3 grids x 3 faults x 3 thread
-  // counts x 2 deadlines x 2 sweep modes. The >= 1000 bound is the acceptance
-  // criterion; the exact count pins the shipped axes.
-  EXPECT_EQ(scenarios.size(), 10368u);
+  // counts x 2 deadlines x 2 sweep modes x 2 exec modes. The >= 1000 bound is
+  // the acceptance criterion; the exact count pins the shipped axes.
+  EXPECT_EQ(scenarios.size(), 20736u);
   EXPECT_GE(scenarios.size(), 1000u);
 
   std::set<std::string> names;
@@ -75,8 +75,8 @@ TEST(ScenarioEngineTest, DeterministicOrderingAcrossCalls) {
   for (std::size_t i = 0; i < first.size(); ++i) {
     ASSERT_EQ(first[i].name, second[i].name) << "index " << i;
   }
-  EXPECT_EQ(first.front().name, "s0.pnone.surv.g2.fok.t1.dfull.swp");
-  EXPECT_EQ(first.back().name, "s5.pall.static.g4.fabort.t7.d1ms.swc");
+  EXPECT_EQ(first.front().name, "s0.pnone.surv.g2.fok.t1.dfull.swp.exi");
+  EXPECT_EQ(first.back().name, "s5.pall.static.g4.fabort.t7.d1ms.swc.exc");
 }
 
 // The golden name fingerprint: scenario names appear in CI logs and bug
@@ -92,7 +92,7 @@ TEST(ScenarioEngineTest, NameListMatchesGoldenFingerprint) {
   for (const Scenario& scenario : scenarios) {
     fp.Str(scenario.name);
   }
-  EXPECT_EQ(fp.Digest().ToHex(), "7b3d5938d38b5ea424819930ef9348c0");
+  EXPECT_EQ(fp.Digest().ToHex(), "db5eace2240fa630f1bdf6602b9dd4cb");
 }
 
 // ---------------------------------------------------------------------------
@@ -168,6 +168,20 @@ TEST(ScenarioRunnerTest, SampledScenariosHoldTheirInvariants) {
       return s.name.find(want) != std::string::npos &&
              s.name.find(".fok.") != std::string::npos &&
              s.name.find(".dfull.swc") != std::string::npos;
+    });
+    ASSERT_NE(it, all.end());
+    sample.push_back(*it);
+  }
+
+  // One compiled-exec scenario per mechanism kind (clean, unbounded,
+  // point-sweep): the runner's interpreted reference makes each a
+  // compiled ≡ interpreted identity check.
+  for (const char* mech : {"surv", "hw", "table", "static"}) {
+    const std::string want = std::string(".") + mech + ".";
+    const auto it = std::find_if(all.begin(), all.end(), [&](const Scenario& s) {
+      return s.name.find(want) != std::string::npos &&
+             s.name.find(".fok.") != std::string::npos &&
+             s.name.find(".dfull.swp.exc") != std::string::npos;
     });
     ASSERT_NE(it, all.end());
     sample.push_back(*it);
@@ -341,6 +355,7 @@ TEST(WitnessTest, KindNamesRoundTrip) {
        {FindingKind::kParallelMismatch, FindingKind::kAuditMismatch,
         FindingKind::kCacheMismatch, FindingKind::kTableMismatch,
         FindingKind::kServeMismatch, FindingKind::kClassVsPointMismatch,
+        FindingKind::kCompiledVsInterpretedMismatch,
         FindingKind::kSurveillanceUnsound, FindingKind::kStaticCertifiedUnsound,
         FindingKind::kTransformChangedMeaning, FindingKind::kTimingLeakWitness,
         FindingKind::kTransformCompletenessFlip, FindingKind::kStaticDynamicGap}) {
